@@ -1,0 +1,98 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//!
+//! * exhaustive vs sampled relabel-outcome enumeration (Algorithm 4's
+//!   family construction);
+//! * sequential vs parallel schedule-space exploration (Theorem 1's
+//!   certificate search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_core::{lstar_outcomes, relabel_outcomes};
+use simsym_graph::topology;
+use simsym_vm::{explore, ExploreConfig, FnProgram, InstructionSet, Machine, SystemInit, Value};
+use std::sync::Arc;
+
+fn outcome_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/relabel-outcomes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [4usize, 5, 6] {
+        let g = topology::uniform_ring(n);
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &g, |b, g| {
+            b.iter(|| {
+                let s = relabel_outcomes(g, 1_000_000);
+                assert!(s.complete);
+                s.outcomes.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sampled-64", n), &g, |b, g| {
+            b.iter(|| relabel_outcomes(g, 64).outcomes.len())
+        });
+    }
+    for n in [4usize, 6] {
+        let g = topology::uniform_ring(n);
+        group.bench_with_input(BenchmarkId::new("lstar-exhaustive", n), &g, |b, g| {
+            b.iter(|| lstar_outcomes(g, 1_000_000).outcomes.len())
+        });
+    }
+    group.finish();
+}
+
+fn exploration_parallelism(c: &mut Criterion) {
+    let grab = || -> Arc<dyn simsym_vm::Program> {
+        Arc::new(FnProgram::new("grab", |local, ops| {
+            let n = ops.name("hub");
+            match local.pc {
+                0 => {
+                    let v = ops.read(n);
+                    local.set("saw", v);
+                    local.pc = 1;
+                }
+                1 => {
+                    if local.get("saw") == Value::Unit {
+                        ops.write(n, Value::tuple([Value::from(1), local.get("r")]));
+                        local.pc = 2;
+                    } else {
+                        // Retry with a changed token to blow up the space.
+                        let r = local.get("r").as_int().unwrap_or(0);
+                        local.set("r", Value::from((r + 1) % 3));
+                        local.pc = 0;
+                    }
+                }
+                2 => {
+                    local.selected = true;
+                    local.pc = 3;
+                }
+                _ => {}
+            }
+        }))
+    };
+    let machine = || {
+        let g = Arc::new(topology::star(3));
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::S, grab(), &init).unwrap()
+    };
+    let mut group = c.benchmark_group("ablation/explore");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                explore(
+                    &machine(),
+                    ExploreConfig {
+                        max_depth: 14,
+                        max_states: 500_000,
+                        threads: t,
+                    },
+                )
+                .states_visited
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, outcome_enumeration, exploration_parallelism);
+criterion_main!(benches);

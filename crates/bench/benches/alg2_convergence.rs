@@ -1,0 +1,53 @@
+//! E4 — Theorem 6 / Algorithm 2: wall-clock cost for every processor to
+//! learn its similarity label distributedly, as system size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_core::{hopcroft_similarity, LabelLearner, Model};
+use simsym_graph::topology;
+use simsym_vm::{run_until, InstructionSet, Machine, RoundRobin, SystemInit};
+use std::sync::Arc;
+
+fn converge(graph: &simsym_graph::SystemGraph) -> u64 {
+    let init = SystemInit::uniform(graph);
+    let theta = hopcroft_similarity(graph, &init, Model::Q);
+    let prog = Arc::new(LabelLearner::new(graph, &init, &theta).expect("tables"));
+    let mut m =
+        Machine::new(Arc::new(graph.clone()), InstructionSet::Q, prog, &init).expect("machine");
+    let mut sched = RoundRobin::new();
+    let report = run_until(&mut m, &mut sched, 10_000_000, &mut [], |mach| {
+        mach.graph()
+            .processors()
+            .all(|p| LabelLearner::is_done(mach.local(p)))
+    });
+    assert!(
+        m.graph()
+            .processors()
+            .all(|p| LabelLearner::is_done(m.local(p))),
+        "learner did not converge"
+    );
+    report.steps
+}
+
+fn alg2_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2/converge");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [4usize, 8, 12, 16] {
+        let g = topology::marked_ring(n);
+        group.bench_with_input(BenchmarkId::new("marked-ring", n), &g, |b, g| {
+            b.iter(|| converge(g))
+        });
+        let l = topology::line(n);
+        group.bench_with_input(BenchmarkId::new("line", n), &l, |b, l| {
+            b.iter(|| converge(l))
+        });
+    }
+    // The paper's own example.
+    let fig2 = topology::figure2();
+    group.bench_function("figure2", |b| b.iter(|| converge(&fig2)));
+    group.finish();
+}
+
+criterion_group!(benches, alg2_convergence);
+criterion_main!(benches);

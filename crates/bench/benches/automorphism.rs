@@ -1,0 +1,39 @@
+//! Graph-theoretic symmetry machinery (§7): orbit computation scaling on
+//! the systems the paper's arguments rely on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_graph::automorphism::{are_symmetric, orbits};
+use simsym_graph::topology;
+use simsym_graph::{Node, ProcId};
+
+fn automorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automorphism");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [8usize, 16, 32, 64] {
+        let ring = topology::uniform_ring(n);
+        group.bench_with_input(BenchmarkId::new("orbits/ring", n), &ring, |b, g| {
+            b.iter(|| orbits(g))
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise/ring", n), &ring, |b, g| {
+            b.iter(|| {
+                are_symmetric(
+                    g,
+                    Node::Proc(ProcId::new(0)),
+                    Node::Proc(ProcId::new(n / 2)),
+                )
+            })
+        });
+    }
+    for n in [6usize, 12, 24] {
+        let table = topology::philosophers_alternating(n);
+        group.bench_with_input(BenchmarkId::new("orbits/alternating", n), &table, |b, g| {
+            b.iter(|| orbits(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, automorphism);
+criterion_main!(benches);

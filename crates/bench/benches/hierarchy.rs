@@ -1,0 +1,40 @@
+//! E11 support: cost of the per-model selection decision procedures as
+//! systems grow — the L/L* analyses dominate (they enumerate relabel
+//! outcome families), the labeling-based decisions stay near-linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_core::{decide_with_budget, DecisionBudget, Model};
+use simsym_graph::topology;
+use simsym_vm::SystemInit;
+
+fn decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let budget = DecisionBudget {
+        outcomes: 64,
+        subsystems: 64,
+    };
+    for n in [3usize, 4, 5, 6] {
+        let g = topology::uniform_ring(n);
+        let init = SystemInit::uniform(&g);
+        for model in [Model::BoundedFairS, Model::Q, Model::L] {
+            group.bench_with_input(BenchmarkId::new(format!("ring/{model}"), n), &n, |b, _| {
+                b.iter(|| decide_with_budget(&g, &init, model, budget).possible())
+            });
+        }
+    }
+    // Mimicry-driven fair-S decision on small systems only.
+    for n in [3usize, 4, 5] {
+        let g = topology::uniform_ring(n);
+        let init = SystemInit::uniform(&g);
+        group.bench_with_input(BenchmarkId::new("ring/fair S", n), &n, |b, _| {
+            b.iter(|| decide_with_budget(&g, &init, Model::FairS, budget).possible())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decisions);
+criterion_main!(benches);

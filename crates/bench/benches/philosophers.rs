@@ -1,0 +1,82 @@
+//! E8 — dining-philosophers throughput: the DP′ alternating solution,
+//! Chandy–Misra encapsulated asymmetry, and Lehmann–Rabin randomization,
+//! across table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_graph::topology;
+use simsym_philo::{
+    chandy_misra_init, ChandyMisraPhilosopher, LehmannRabinPhilosopher, LockOrderPhilosopher,
+    MealCounter,
+};
+use simsym_vm::{run, InstructionSet, Machine, Program, RoundRobin, SystemInit};
+use std::sync::Arc;
+
+const STEPS: u64 = 20_000;
+
+fn dine(
+    graph: Arc<simsym_graph::SystemGraph>,
+    prog: Arc<dyn Program>,
+    init: &SystemInit,
+    seed: Option<u64>,
+) -> u64 {
+    let n = graph.processor_count();
+    let mut m = Machine::new(graph, InstructionSet::L, prog, init).expect("machine");
+    if let Some(s) = seed {
+        m = m.with_randomness(s);
+    }
+    let mut sched = RoundRobin::new();
+    let mut meals = MealCounter::new(n);
+    let report = run(&mut m, &mut sched, STEPS, &mut [&mut meals]);
+    assert!(report.violation.is_none());
+    meals.total()
+}
+
+fn philosophers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("philosophers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [6usize, 10, 14] {
+        let g = Arc::new(topology::philosophers_alternating(n));
+        let init = SystemInit::uniform(&g);
+        group.bench_with_input(BenchmarkId::new("dp-prime", n), &n, |b, _| {
+            b.iter(|| {
+                dine(
+                    Arc::clone(&g),
+                    Arc::new(LockOrderPhilosopher::new(3, 2)),
+                    &init,
+                    None,
+                )
+            })
+        });
+    }
+    for n in [5usize, 9, 13] {
+        let g = Arc::new(topology::philosophers_table(n));
+        let cm_init = chandy_misra_init(&g);
+        group.bench_with_input(BenchmarkId::new("chandy-misra", n), &n, |b, _| {
+            b.iter(|| {
+                dine(
+                    Arc::clone(&g),
+                    Arc::new(ChandyMisraPhilosopher::new(2, 2)),
+                    &cm_init,
+                    None,
+                )
+            })
+        });
+        let init = SystemInit::uniform(&g);
+        group.bench_with_input(BenchmarkId::new("lehmann-rabin", n), &n, |b, _| {
+            b.iter(|| {
+                dine(
+                    Arc::clone(&g),
+                    Arc::new(LehmannRabinPhilosopher::new(2, 2)),
+                    &init,
+                    Some(7),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, philosophers);
+criterion_main!(benches);

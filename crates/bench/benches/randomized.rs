@@ -1,0 +1,31 @@
+//! E9 — the power of randomization (§8): randomized selection on fully
+//! symmetric systems where deterministic selection is impossible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_core::measure_randomized_selection;
+use simsym_graph::topology;
+
+fn randomized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized-select");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 4, 8, 16] {
+        let g = if n == 2 {
+            topology::figure1()
+        } else {
+            topology::star(n)
+        };
+        group.bench_with_input(BenchmarkId::new("star", n), &g, |b, g| {
+            b.iter(|| {
+                let stats = measure_randomized_selection(g, n + 2, 5, 1_000_000);
+                assert_eq!(stats.violations, 0);
+                stats
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, randomized);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E6 — Theorem 9 / Algorithm 4: planning (relabel-family analysis) and
+//! executing selection in instruction set L.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_core::Algorithm4;
+use simsym_graph::topology;
+use simsym_vm::{run_until, BoundedFairRandom, InstructionSet, Machine, Program, SystemInit};
+use std::sync::Arc;
+
+fn plan_star(n: usize, budget: usize) -> Algorithm4 {
+    let g = topology::star(n);
+    let init = SystemInit::uniform(&g);
+    Algorithm4::plan(&g, &init, n + 1, false, budget)
+        .expect("tables")
+        .program
+        .expect("stars are L-solvable")
+}
+
+fn run_star(n: usize, prog: &Arc<dyn Program>) -> u64 {
+    let g = Arc::new(topology::star(n));
+    let init = SystemInit::uniform(&g);
+    let mut m =
+        Machine::new(Arc::clone(&g), InstructionSet::L, Arc::clone(prog), &init).expect("machine");
+    let mut sched = BoundedFairRandom::new(n, n + 1, 7);
+    let report = run_until(&mut m, &mut sched, 50_000_000, &mut [], |mach| {
+        mach.selected_count() >= 1
+    });
+    assert_eq!(m.selected_count(), 1, "star({n}) must elect");
+    report.steps
+}
+
+fn selection_l(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm4");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("plan/star", n), &n, |b, &n| {
+            b.iter(|| plan_star(n, 50_000))
+        });
+        let prog: Arc<dyn Program> = Arc::new(plan_star(n, 50_000));
+        group.bench_with_input(BenchmarkId::new("run/star", n), &n, |b, &n| {
+            b.iter(|| run_star(n, &prog))
+        });
+    }
+    // Figure 1: the canonical L > Q witness.
+    let g = topology::figure1();
+    let init = SystemInit::uniform(&g);
+    group.bench_function("plan/figure1", |b| {
+        b.iter(|| {
+            Algorithm4::plan(&g, &init, 4, false, 10_000)
+                .expect("tables")
+                .program
+                .expect("solvable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, selection_l);
+criterion_main!(benches);

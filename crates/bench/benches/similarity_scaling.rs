@@ -1,0 +1,70 @@
+//! E3 — Theorem 5: similarity-labeling computation scales as
+//! `O(n log n)` with the worklist (Hopcroft-style) algorithm versus the
+//! naive Algorithm 1.
+//!
+//! The paper's claim is asymptotic; the shape to reproduce is that the
+//! worklist variant's advantage *grows* with system size, most visibly on
+//! the fully-splitting marked rings (where naive refinement needs ~n
+//! sweeps of O(E) each).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_bench::{marked_ring_workload, random_workload, ring_workload, Workload};
+use simsym_core::{hopcroft_similarity, refinement_similarity, Model};
+
+fn bench_pair(c: &mut Criterion, group_name: &str, make: fn(usize) -> Workload, sizes: &[usize]) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in sizes {
+        let w = make(n);
+        // The naive algorithm is quadratic on splitting workloads: skip
+        // the largest sizes to keep the suite fast; the crossover shape
+        // is visible well before that.
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &w, |b, w| {
+                b.iter(|| refinement_similarity(&w.graph, &w.init, Model::Q))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("hopcroft", n), &w, |b, w| {
+            b.iter(|| hopcroft_similarity(&w.graph, &w.init, Model::Q))
+        });
+    }
+    group.finish();
+}
+
+fn similarity_scaling(c: &mut Criterion) {
+    // Marked rings: worst case for the naive algorithm (n sweeps).
+    bench_pair(
+        c,
+        "similarity/marked-ring",
+        marked_ring_workload,
+        &[16, 64, 256, 1024],
+    );
+    // Uniform rings: the coarse fixpoint, cheap for both.
+    bench_pair(c, "similarity/ring", ring_workload, &[16, 64, 256, 1024]);
+    // Random systems: typical case.
+    bench_pair(
+        c,
+        "similarity/random",
+        |n| random_workload(n, 0xBEE5),
+        &[16, 64, 256, 1024],
+    );
+}
+
+fn set_rule_scaling(c: &mut Criterion) {
+    // The S set-rule variant on the same workloads.
+    let mut group = c.benchmark_group("similarity/marked-ring-setrule");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16, 64, 256] {
+        let w = marked_ring_workload(n);
+        group.bench_with_input(BenchmarkId::new("hopcroft-S", n), &w, |b, w| {
+            b.iter(|| hopcroft_similarity(&w.graph, &w.init, Model::BoundedFairS))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, similarity_scaling, set_rule_scaling);
+criterion_main!(benches);

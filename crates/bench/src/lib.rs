@@ -1,0 +1,76 @@
+//! # simsym-bench
+//!
+//! Workload builders shared by the Criterion benches and the
+//! `experiments` binary that regenerates every figure/theorem-claim of
+//! the paper (see `EXPERIMENTS.md` at the workspace root).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simsym_graph::{topology, SystemGraph};
+use simsym_vm::SystemInit;
+
+/// The graph sizes swept by the scaling benches.
+pub const SCALING_SIZES: [usize; 5] = [16, 64, 256, 1024, 4096];
+
+/// A named workload: a system graph plus initial state.
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// The network.
+    pub graph: SystemGraph,
+    /// The initial state.
+    pub init: SystemInit,
+}
+
+/// A fully symmetric ring of size `n` (coarse fixpoint: best case for
+/// refinement).
+pub fn ring_workload(n: usize) -> Workload {
+    let graph = topology::uniform_ring(n);
+    let init = SystemInit::uniform(&graph);
+    Workload {
+        name: format!("ring/{n}"),
+        graph,
+        init,
+    }
+}
+
+/// A marked ring of size `n` (fully splitting fixpoint: worst case — the
+/// partition refines `n` times).
+pub fn marked_ring_workload(n: usize) -> Workload {
+    let graph = topology::marked_ring(n);
+    let init = SystemInit::uniform(&graph);
+    Workload {
+        name: format!("marked-ring/{n}"),
+        graph,
+        init,
+    }
+}
+
+/// A random system with `n` processors, `n` variables and two names.
+pub fn random_workload(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = topology::random_system(n, n, 2, &mut rng);
+    let init = SystemInit::uniform(&graph);
+    Workload {
+        name: format!("random/{n}"),
+        graph,
+        init,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_well_formed() {
+        for w in [
+            ring_workload(16),
+            marked_ring_workload(16),
+            random_workload(16, 7),
+        ] {
+            assert!(w.init.matches(&w.graph), "{}", w.name);
+            assert!(w.graph.processor_count() >= 3);
+        }
+    }
+}

@@ -1,0 +1,777 @@
+//! **Algorithm 2**: the distributed program by which each processor learns
+//! its own similarity label (§4), realized as a [`Program`] for `simsym-vm`
+//! machines in instruction set **Q**.
+//!
+//! The program is *generated* from the system: the graph, the initial
+//! state, and the similarity labeling `Θ` (computed centrally by
+//! Algorithm 1) are compiled into lookup tables — `PLABELS`, `VLABELS`,
+//! initial states per label, `n-nbr` on labels, and the
+//! `neighborhood_size` function. Every processor runs the same generated
+//! program; a processor's behaviour depends only on its own initial state
+//! and what it observes by peeking.
+//!
+//! Each processor keeps a set `PEC` of labels it suspects for itself and,
+//! per name `n`, a set `VEC[n]` of labels it suspects for its
+//! `n`-neighbor. It repeatedly peeks all neighbors, removes labels for
+//! which it has found an **alibi**, and posts `(PEC, n)` to each neighbor:
+//!
+//! * a **variable alibi** (`v-alibi`): label `β` is impossible for a
+//!   variable if, for some name `n` and label set `Lab`, more processors
+//!   posted `n`-suspecting only labels in `Lab` than a `β`-variable has
+//!   `n`-neighbors with labels in `Lab`;
+//! * a **processor alibi** (`p-alibi`): label `α` is impossible for me if
+//!   (1) my `n`-neighbor has an alibi for `n-nbr(α)`, or (2) all
+//!   `neighborhood_size(n, n-nbr(α), α)` processors labeled `α` around my
+//!   `n`-neighbor already know their label (posted the singleton `{α}`)
+//!   while I still do not know mine.
+//!
+//! A processor is done when `PEC` is a singleton: it has learned its label
+//! (Theorem 6: this terminates on connected fair systems). `SELECT(Σ)`
+//! (§3, [`crate::select`]) is this program plus “select yourself if your
+//! label is the designated elite label”.
+
+use crate::labeling::NeighborhoodTable;
+use crate::{InconsistentLabeling, Label, Labeling};
+use simsym_graph::SystemGraph;
+use simsym_vm::{LocalState, OpEnv, PeekView, Program, SystemInit, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Sentinel program counter: the processor has learned its label and
+/// halted.
+const DONE: u32 = u32::MAX;
+
+/// The compiled knowledge Algorithm 2 needs about `(Σ, Θ)`.
+#[derive(Clone, Debug)]
+pub struct Alg2Tables {
+    names: usize,
+    plabels: Vec<Label>,
+    vlabels: Vec<Label>,
+    /// `state₀` of each processor label.
+    state0_p: BTreeMap<Label, Value>,
+    /// `state₀` of each variable label.
+    state0_v: BTreeMap<Label, Value>,
+    /// `n-nbr` lifted to labels: the label of the `n`-neighbor of an
+    /// `α`-labeled processor.
+    nbr: BTreeMap<(Label, usize), Label>,
+    /// `neighborhood_size(name, α, β)`.
+    nsize: BTreeMap<(usize, Label, Label), usize>,
+    /// Algorithm 3 phase-1 mode: ignore all initial states, so every
+    /// processor suspects every processor label and every variable every
+    /// variable label (§5: a run that ignores initial states has the same
+    /// effect on each member of a homogeneous family).
+    ignore_init: bool,
+}
+
+impl Alg2Tables {
+    /// Compiles the tables from a system and its similarity labeling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InconsistentLabeling`] if `labeling` is not a
+    /// supersimilarity labeling of `(graph, init)` — the tables are only
+    /// well-defined for environment-consistent labelings.
+    pub fn generate(
+        graph: &SystemGraph,
+        init: &SystemInit,
+        labeling: &Labeling,
+    ) -> Result<Alg2Tables, InconsistentLabeling> {
+        let names = graph.name_count();
+        let table = NeighborhoodTable::new(graph, labeling)?;
+        let mut state0_p = BTreeMap::new();
+        for p in graph.processors() {
+            let l = labeling.proc_label(p);
+            let v = init.proc_values[p.index()].clone();
+            if let Some(prev) = state0_p.insert(l, v.clone()) {
+                if prev != v {
+                    return Err(InconsistentLabeling {
+                        detail: format!("processors labeled {l} have different initial states"),
+                    });
+                }
+            }
+        }
+        let mut state0_v = BTreeMap::new();
+        for v in graph.variables() {
+            let l = labeling.var_label(v);
+            let val = init.var_values[v.index()].clone();
+            if let Some(prev) = state0_v.insert(l, val.clone()) {
+                if prev != val {
+                    return Err(InconsistentLabeling {
+                        detail: format!("variables labeled {l} have different initial states"),
+                    });
+                }
+            }
+        }
+        let mut nbr = BTreeMap::new();
+        for p in graph.processors() {
+            let alpha = labeling.proc_label(p);
+            for (ni, &v) in graph.processor_neighbors(p).iter().enumerate() {
+                let beta = labeling.var_label(v);
+                if let Some(prev) = nbr.insert((alpha, ni), beta) {
+                    if prev != beta {
+                        return Err(InconsistentLabeling {
+                            detail: format!(
+                                "processors labeled {alpha} disagree on the label of their neighbor {ni}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let mut nsize = BTreeMap::new();
+        for name in graph.names().ids() {
+            for &alpha in &labeling.proc_labels() {
+                for &beta in &labeling.var_labels() {
+                    let c = table.size(name, alpha, beta);
+                    if c > 0 {
+                        nsize.insert((name.index(), alpha, beta), c);
+                    }
+                }
+            }
+        }
+        Ok(Alg2Tables {
+            names,
+            plabels: labeling.proc_labels(),
+            vlabels: labeling.var_labels(),
+            state0_p,
+            state0_v,
+            nbr,
+            nsize,
+            ignore_init: false,
+        })
+    }
+
+    /// Switches the tables into the initial-state-ignoring mode used by
+    /// Algorithm 3's first phase.
+    pub fn ignoring_init(mut self) -> Alg2Tables {
+        self.ignore_init = true;
+        self
+    }
+
+    /// Number of names the tables were compiled for.
+    pub fn name_count(&self) -> usize {
+        self.names
+    }
+
+    /// The processor labels (`PLABELS`).
+    pub fn proc_labels(&self) -> &[Label] {
+        &self.plabels
+    }
+
+    /// The variable labels (`VLABELS`).
+    pub fn var_labels(&self) -> &[Label] {
+        &self.vlabels
+    }
+
+    /// The label of the `n`-neighbor of an `α`-labeled processor.
+    pub fn neighbor_label(&self, alpha: Label, name: usize) -> Option<Label> {
+        self.nbr.get(&(alpha, name)).copied()
+    }
+
+    /// `state₀` of a processor label, if known.
+    pub fn state0_of_proc(&self, label: Label) -> Option<&Value> {
+        self.state0_p.get(&label)
+    }
+
+    /// `state₀` of a variable label, if known.
+    pub fn state0_of_var(&self, label: Label) -> Option<&Value> {
+        self.state0_v.get(&label)
+    }
+
+    fn nsize(&self, name: usize, alpha: Label, beta: Label) -> usize {
+        self.nsize.get(&(name, alpha, beta)).copied().unwrap_or(0)
+    }
+}
+
+/// The generated Algorithm-2 program: every processor learns its label
+/// under `Θ`.
+///
+/// Optionally selects the processor whose learned label lies in `elite`
+/// (turning the learner into `SELECT(Σ)`).
+pub struct LabelLearner {
+    tables: Arc<Alg2Tables>,
+    elite: Option<BTreeSet<Label>>,
+    name: String,
+}
+
+impl LabelLearner {
+    /// Builds the label-learning program for `(graph, init, labeling)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Alg2Tables::generate`].
+    pub fn new(
+        graph: &SystemGraph,
+        init: &SystemInit,
+        labeling: &Labeling,
+    ) -> Result<LabelLearner, InconsistentLabeling> {
+        Ok(LabelLearner {
+            tables: Arc::new(Alg2Tables::generate(graph, init, labeling)?),
+            elite: None,
+            name: "algorithm2".to_owned(),
+        })
+    }
+
+    /// Builds directly from compiled tables (used by Algorithm 3/4 which
+    /// share tables across phases).
+    pub fn from_tables(tables: Arc<Alg2Tables>) -> LabelLearner {
+        LabelLearner {
+            tables,
+            elite: None,
+            name: "algorithm2".to_owned(),
+        }
+    }
+
+    /// Turns the learner into `SELECT(Σ)`: a processor selects itself when
+    /// its learned label is in `elite`.
+    pub fn with_elite(mut self, elite: BTreeSet<Label>) -> LabelLearner {
+        self.elite = Some(elite);
+        self.name = "select".to_owned();
+        self
+    }
+
+    /// The label a processor has learned, if its `PEC` is a singleton.
+    pub fn learned_label(local: &LocalState) -> Option<Label> {
+        let pec = local.get_ref("pec")?.as_set()?.to_vec();
+        match pec.as_slice() {
+            [Value::Sym(l)] => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Whether the processor has finished (learned its label and posted it).
+    pub fn is_done(local: &LocalState) -> bool {
+        local.pc == DONE
+    }
+
+    /// The current suspect set of a processor.
+    pub fn suspects(local: &LocalState) -> Vec<Label> {
+        local
+            .get_ref("pec")
+            .and_then(|v| v.as_set())
+            .map(|s| s.iter().filter_map(Value::as_sym).collect())
+            .unwrap_or_default()
+    }
+}
+
+pub(crate) fn labels_to_set<I: IntoIterator<Item = Label>>(labels: I) -> Value {
+    Value::set(labels.into_iter().map(Value::Sym))
+}
+
+pub(crate) fn set_to_labels(v: &Value) -> Vec<Label> {
+    v.as_set()
+        .map(|s| s.iter().filter_map(Value::as_sym).collect())
+        .unwrap_or_default()
+}
+
+/// A decoded posted record: `(suspects, name)`.
+pub(crate) struct Posted {
+    pub(crate) suspects: Vec<Label>,
+    pub(crate) name: usize,
+}
+
+/// Encodes a posted record. Multi-phase algorithms (Algorithm 3/4) tag
+/// posts with their phase and carry the poster's *final label from the
+/// previous phase* so that laggards still see the information their phase
+/// needs after the poster has overwritten its subvalue.
+pub(crate) fn encode_post(suspects: Value, name: usize, phase: i64, prior: Value) -> Value {
+    Value::tuple([suspects, Value::from(name), Value::from(phase), prior])
+}
+
+/// Decodes the posts relevant to `phase`: same-phase posts verbatim, and
+/// posts from *later* phases reinterpreted as final singleton posts of this
+/// phase (via their `prior` label).
+pub(crate) fn decode_posts(bag: &Value, phase: i64) -> Vec<Posted> {
+    let Value::Bag(m) = bag else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (item, &count) in m {
+        let Some([suspects, name, post_phase, prior]) = item
+            .as_tuple()
+            .and_then(|t| <&[Value; 4]>::try_from(t).ok())
+        else {
+            continue;
+        };
+        let (Some(n), Some(pp)) = (name.as_int(), post_phase.as_int()) else {
+            continue;
+        };
+        for _ in 0..count {
+            if pp == phase {
+                out.push(Posted {
+                    suspects: set_to_labels(suspects),
+                    name: n as usize,
+                });
+            } else if pp == phase + 1 {
+                if let Some(l) = prior.as_sym() {
+                    out.push(Posted {
+                        suspects: vec![l],
+                        name: n as usize,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Program for LabelLearner {
+    fn boot(&self, initial: &Value) -> LocalState {
+        let t = &self.tables;
+        let mut s = LocalState::with_initial(initial.clone());
+        let pec: Vec<Label> = if t.ignore_init {
+            t.plabels.clone()
+        } else {
+            t.plabels
+                .iter()
+                .copied()
+                .filter(|l| t.state0_p.get(l) == Some(initial))
+                .collect()
+        };
+        s.set("pec", labels_to_set(pec.iter().copied()));
+        s.set(
+            "vec",
+            Value::tuple(std::iter::repeat_n(Value::Unit, t.names)),
+        );
+        s.set(
+            "peeked",
+            Value::tuple(std::iter::repeat_n(Value::Unit, t.names)),
+        );
+        s.set("round", Value::from(0));
+        if t.names == 0 {
+            // Degenerate: no shared variables; the initial suspects are
+            // final (a single processor system).
+            s.pc = DONE;
+            if pec.len() == 1 {
+                if let Some(elite) = &self.elite {
+                    s.selected = elite.contains(&pec[0]);
+                }
+            }
+        }
+        s
+    }
+
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        let t = &self.tables;
+        let names = t.names as u32;
+        if local.pc == DONE {
+            return;
+        }
+        if local.pc < names {
+            // Peek phase.
+            let ni = local.pc as usize;
+            let name = ops.all_names()[ni];
+            let view = ops.peek(name);
+            store_peek(local, ni, &view, t);
+            local.pc += 1;
+            if local.pc == names {
+                update_suspects_phase(local, t, 0);
+            }
+        } else {
+            // Post phase.
+            let ni = (local.pc - names) as usize;
+            let name = ops.all_names()[ni];
+            let pec = local.get("pec");
+            ops.post(name, encode_post(pec, ni, 0, Value::Unit));
+            local.pc += 1;
+            if local.pc == 2 * names {
+                let r = local.get("round").as_int().unwrap_or(0);
+                local.set("round", Value::from(r + 1));
+                let pec = set_to_labels(&local.get("pec"));
+                if pec.len() == 1 {
+                    if let Some(elite) = &self.elite {
+                        if elite.contains(&pec[0]) {
+                            local.selected = true;
+                        }
+                    }
+                    local.pc = DONE;
+                } else {
+                    local.pc = 0;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Records the peek result and (re)computes the base candidate set for the
+/// variable, minus previously accumulated alibis.
+pub(crate) fn store_peek(local: &mut LocalState, ni: usize, view: &PeekView, t: &Alg2Tables) {
+    // peeked[ni] = bag of posted records.
+    let mut peeked = local
+        .get_ref("peeked")
+        .and_then(|v| v.as_tuple())
+        .map(<[Value]>::to_vec)
+        .expect("peeked register present");
+    peeked[ni] = Value::bag(view.posted.iter().cloned());
+    local.set("peeked", Value::Tuple(peeked));
+    // Initialize VEC[ni] on first peek: labels whose state₀ matches the
+    // observed initial value.
+    let mut vec = local
+        .get_ref("vec")
+        .and_then(|v| v.as_tuple())
+        .map(<[Value]>::to_vec)
+        .expect("vec register present");
+    if vec[ni].is_unit() {
+        let base: Vec<Label> = if t.ignore_init {
+            t.vlabels.clone()
+        } else {
+            t.vlabels
+                .iter()
+                .copied()
+                .filter(|l| t.state0_v.get(l) == Some(&view.initial))
+                .collect()
+        };
+        vec[ni] = labels_to_set(base);
+        local.set("vec", Value::Tuple(vec));
+    }
+}
+
+/// The body of Algorithm 2's loop after all peeks of a round:
+/// `VEC[n] -= v-alibi(local[n])`, then `PEC -= p-alibi(VEC, local, PEC)`.
+pub(crate) fn update_suspects_phase(local: &mut LocalState, t: &Alg2Tables, phase: i64) {
+    let peeked: Vec<Vec<Posted>> = local
+        .get_ref("peeked")
+        .and_then(|v| v.as_tuple())
+        .expect("peeked register present")
+        .iter()
+        .map(|b| decode_posts(b, phase))
+        .collect();
+    let mut vec: Vec<Vec<Label>> = local
+        .get_ref("vec")
+        .and_then(|v| v.as_tuple())
+        .expect("vec register present")
+        .iter()
+        .map(set_to_labels)
+        .collect();
+    // v-alibi per name.
+    for (ni, posts) in peeked.iter().enumerate() {
+        let alibis = v_alibi(posts, &vec[ni], t);
+        vec[ni].retain(|l| !alibis.contains(l));
+    }
+    // p-alibi.
+    let pec = set_to_labels(&local.get("pec"));
+    let alibis = p_alibi(&pec, &vec, &peeked, t);
+    let new_pec: Vec<Label> = pec
+        .iter()
+        .copied()
+        .filter(|l| !alibis.contains(l))
+        .collect();
+    local.set("pec", labels_to_set(new_pec));
+    local.set("vec", Value::tuple(vec.into_iter().map(labels_to_set)));
+}
+
+/// `v-alibi`: variable labels ruled out by the posted suspect sets.
+///
+/// The paper quantifies `Lab` over the powerset of `PLABELS` but notes
+/// (footnote 2) that linearly many sets suffice; we enumerate the unions
+/// of the *distinct posted suspect sets* (any violated powerset witness
+/// has such a union as a tighter witness).
+pub(crate) fn v_alibi(posts: &[Posted], candidates: &[Label], t: &Alg2Tables) -> BTreeSet<Label> {
+    let mut out = BTreeSet::new();
+    if posts.is_empty() {
+        return out;
+    }
+    // Distinct posted suspect sets per name.
+    let mut names: BTreeSet<usize> = BTreeSet::new();
+    for p in posts {
+        names.insert(p.name);
+    }
+    for &n in &names {
+        let mut distinct: Vec<BTreeSet<Label>> = Vec::new();
+        for p in posts.iter().filter(|p| p.name == n) {
+            let s: BTreeSet<Label> = p.suspects.iter().copied().collect();
+            if !distinct.contains(&s) {
+                distinct.push(s);
+            }
+        }
+        // Unions of subsets of the distinct sets (capped).
+        let labs = unions_of(&distinct, 12);
+        for lab in labs {
+            let posted_within = posts
+                .iter()
+                .filter(|p| p.name == n && p.suspects.iter().all(|l| lab.contains(l)))
+                .count();
+            for &beta in candidates {
+                let capacity: usize = lab.iter().map(|&alpha| t.nsize(n, alpha, beta)).sum();
+                if posted_within > capacity {
+                    out.insert(beta);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All unions of the given sets (up to `cap` base sets; beyond that, a
+/// chain of prefix unions is used to stay polynomial).
+fn unions_of(sets: &[BTreeSet<Label>], cap: usize) -> Vec<BTreeSet<Label>> {
+    let mut out: Vec<BTreeSet<Label>> = Vec::new();
+    if sets.len() <= cap {
+        let n = sets.len();
+        for mask in 1u32..(1 << n) {
+            let mut u = BTreeSet::new();
+            for (i, s) in sets.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    u.extend(s.iter().copied());
+                }
+            }
+            if !out.contains(&u) {
+                out.push(u);
+            }
+        }
+    } else {
+        let mut acc = BTreeSet::new();
+        for s in sets {
+            out.push(s.clone());
+            acc.extend(s.iter().copied());
+            out.push(acc.clone());
+        }
+        out.sort();
+        out.dedup();
+    }
+    out
+}
+
+/// `p-alibi`: processor labels ruled out for *me*.
+pub(crate) fn p_alibi(
+    pec: &[Label],
+    vec: &[Vec<Label>],
+    peeked: &[Vec<Posted>],
+    t: &Alg2Tables,
+) -> BTreeSet<Label> {
+    let mut out = BTreeSet::new();
+    for &alpha in pec {
+        let mut alibi = false;
+        for n in 0..t.names {
+            let Some(&beta) = t.nbr.get(&(alpha, n)) else {
+                // α-processors have no neighbor table entry for n — since
+                // every processor has one neighbor per name this cannot
+                // happen for genuine labels; treat as an alibi.
+                alibi = true;
+                break;
+            };
+            // Condition 1: my n-neighbor cannot be labeled n-nbr(α).
+            if !vec[n].contains(&beta) {
+                alibi = true;
+                break;
+            }
+            // Condition 2: all α-processors around my n-neighbor already
+            // know they are α, and I still don't know who I am.
+            if pec.len() > 1 {
+                let knowers = peeked[n]
+                    .iter()
+                    .filter(|p| p.name == n && p.suspects == [alpha])
+                    .count();
+                if knowers == t.nsize(n, alpha, beta) && knowers > 0 {
+                    alibi = true;
+                    break;
+                }
+            }
+        }
+        if alibi {
+            out.insert(alpha);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_similarity;
+    use crate::Model;
+    use simsym_graph::{topology, ProcId};
+    use simsym_vm::{
+        run_until, BoundedFairRandom, InstructionSet, Machine, RandomFair, RoundRobin, Scheduler,
+        SystemInit,
+    };
+
+    /// Runs the learner until every processor is done (or the budget runs
+    /// out) and returns the learned labels.
+    fn learn(
+        graph: &SystemGraph,
+        init: &SystemInit,
+        sched: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> Option<Vec<Label>> {
+        let labeling = hopcroft_similarity(graph, init, Model::Q);
+        let prog = LabelLearner::new(graph, init, &labeling).expect("consistent labeling");
+        let mut m = Machine::new(
+            Arc::new(graph.clone()),
+            InstructionSet::Q,
+            Arc::new(prog),
+            init,
+        )
+        .expect("valid machine");
+        let report = run_until(&mut m, sched, max_steps, &mut [], |mach| {
+            mach.graph()
+                .processors()
+                .all(|p| LabelLearner::is_done(mach.local(p)))
+        });
+        let all_done = m
+            .graph()
+            .processors()
+            .all(|p| LabelLearner::is_done(m.local(p)));
+        if !all_done {
+            let _ = report;
+            return None;
+        }
+        Some(
+            m.graph()
+                .processors()
+                .map(|p| LabelLearner::learned_label(m.local(p)).expect("done means learned"))
+                .collect(),
+        )
+    }
+
+    fn assert_learns_theta(graph: &SystemGraph, init: &SystemInit, max_steps: u64) {
+        let labeling = hopcroft_similarity(graph, init, Model::Q);
+        let mut sched = RoundRobin::new();
+        let learned = learn(graph, init, &mut sched, max_steps)
+            .unwrap_or_else(|| panic!("learner did not converge on {graph:?}"));
+        for p in graph.processors() {
+            assert_eq!(
+                learned[p.index()],
+                labeling.proc_label(p),
+                "{p} learned the wrong label on {graph:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_processors_learn_their_labels() {
+        // The paper's worked example: p3 needs the second kind of alibi.
+        let g = topology::figure2();
+        assert_learns_theta(&g, &SystemInit::uniform(&g), 10_000);
+    }
+
+    #[test]
+    fn figure2_learning_under_random_fair_schedule() {
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let labeling = hopcroft_similarity(&g, &init, Model::Q);
+        for seed in 0..10 {
+            let mut sched = RandomFair::seeded(seed);
+            let learned = learn(&g, &init, &mut sched, 50_000)
+                .unwrap_or_else(|| panic!("no convergence with seed {seed}"));
+            for p in g.processors() {
+                assert_eq!(learned[p.index()], labeling.proc_label(p));
+            }
+        }
+    }
+
+    #[test]
+    fn marked_ring_all_learn_unique_labels() {
+        let g = topology::marked_ring(5);
+        assert_learns_theta(&g, &SystemInit::uniform(&g), 100_000);
+    }
+
+    #[test]
+    fn marked_init_ring_learns() {
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        assert_learns_theta(&g, &init, 100_000);
+    }
+
+    #[test]
+    fn line_learns() {
+        let g = topology::line(4);
+        assert_learns_theta(&g, &SystemInit::uniform(&g), 100_000);
+    }
+
+    #[test]
+    fn uniform_ring_converges_instantly() {
+        // All processors share one label: PEC is a singleton from the
+        // start; one round posts it and finishes.
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::uniform(&g);
+        let labeling = hopcroft_similarity(&g, &init, Model::Q);
+        let mut sched = RoundRobin::new();
+        let learned = learn(&g, &init, &mut sched, 1_000).expect("converges");
+        assert!(learned
+            .iter()
+            .all(|&l| l == labeling.proc_label(ProcId::new(0))));
+    }
+
+    #[test]
+    fn figure1_converges_to_shared_label() {
+        let g = topology::figure1();
+        assert_learns_theta(&g, &SystemInit::uniform(&g), 1_000);
+    }
+
+    #[test]
+    fn bounded_fair_schedule_also_works() {
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let labeling = hopcroft_similarity(&g, &init, Model::Q);
+        let mut sched = BoundedFairRandom::new(3, 5, 42);
+        let learned = learn(&g, &init, &mut sched, 50_000).expect("converges");
+        for p in g.processors() {
+            assert_eq!(learned[p.index()], labeling.proc_label(p));
+        }
+    }
+
+    #[test]
+    fn tables_reject_non_supersimilar_labeling() {
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        // All nodes in two coarse classes: not environment-consistent.
+        let bad = Labeling::from_raw(3, &[0, 0, 0, 1, 1, 1]);
+        assert!(Alg2Tables::generate(&g, &init, &bad).is_err());
+    }
+
+    #[test]
+    fn tables_reject_mismatched_initial_states() {
+        let g = topology::figure1();
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        // Both processors share a label but have different initial states.
+        let l = Labeling::from_raw(2, &[0, 0, 1]);
+        let err = Alg2Tables::generate(&g, &init, &l).unwrap_err();
+        assert!(err.to_string().contains("initial states"));
+    }
+
+    #[test]
+    fn suspects_shrink_monotonically() {
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let labeling = hopcroft_similarity(&g, &init, Model::Q);
+        let prog = LabelLearner::new(&g, &init, &labeling).unwrap();
+        let mut m = Machine::new(
+            Arc::new(g.clone()),
+            InstructionSet::Q,
+            Arc::new(prog),
+            &init,
+        )
+        .unwrap();
+        let mut sched = RoundRobin::new();
+        let mut last: Vec<usize> = vec![usize::MAX; 3];
+        for _ in 0..200 {
+            let p = sched.next(&m);
+            m.step(p);
+            for q in m.graph().processors() {
+                let now = LabelLearner::suspects(m.local(q)).len();
+                assert!(
+                    now <= last[q.index()] || last[q.index()] == usize::MAX,
+                    "suspects grew for {q}"
+                );
+                if now > 0 {
+                    last[q.index()] = now;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn learned_label_accessor() {
+        let mut s = LocalState::new();
+        assert_eq!(LabelLearner::learned_label(&s), None);
+        s.set("pec", Value::set([Value::Sym(3)]));
+        assert_eq!(LabelLearner::learned_label(&s), Some(3));
+        s.set("pec", Value::set([Value::Sym(3), Value::Sym(4)]));
+        assert_eq!(LabelLearner::learned_label(&s), None);
+    }
+}

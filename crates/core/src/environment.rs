@@ -1,0 +1,190 @@
+//! The *environment* relation of Theorem 4 (and its §6 variants).
+//!
+//! Given a labeling `Ψ`, two nodes have the same environment when:
+//!
+//! 1. they have the same initial state;
+//! 2. two **processors** must have same-labeled `n`-neighbors for every
+//!    name `n`;
+//! 3. two **variables** must have, for every name `n` and processor label
+//!    `α`, the same **number** of `n`-neighbors labeled `α` (instruction
+//!    set Q) — or merely the same **set** of labels among `n`-neighbors
+//!    (instruction set S, §6: a processor in S can never count how many
+//!    same-looking writers a variable has).
+//!
+//! Theorem 4: a labeling under which same-labeled nodes always have the
+//! same environment is a supersimilarity labeling.
+
+use crate::{Label, Labeling, Model};
+use simsym_graph::{Node, SystemGraph, VarId};
+use std::collections::BTreeMap;
+
+/// The environment signature of a node under a labeling — two nodes have
+/// the same environment (conditions 2/3 above) iff their keys are equal.
+/// Condition 1 (initial states) is handled by the initial partition.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EnvKey {
+    /// Processor: labels of the `n`-neighbors in name order.
+    Proc(Vec<Label>),
+    /// Variable under Q-like models: per `(name, label)` neighbor counts.
+    VarCounts(Vec<(u32, Label, usize)>),
+    /// Variable under S-like models: the set of `(name, label)` pairs.
+    VarSet(Vec<(u32, Label)>),
+}
+
+/// Computes the environment signature of `node` under `labeling` for the
+/// given model.
+pub fn env_key(graph: &SystemGraph, labeling: &Labeling, model: Model, node: Node) -> EnvKey {
+    match node {
+        Node::Proc(p) => EnvKey::Proc(
+            graph
+                .processor_neighbors(p)
+                .iter()
+                .map(|&v| labeling.var_label(v))
+                .collect(),
+        ),
+        Node::Var(v) => var_env_key(graph, labeling, model, v),
+    }
+}
+
+fn var_env_key(graph: &SystemGraph, labeling: &Labeling, model: Model, v: VarId) -> EnvKey {
+    let mut counts: BTreeMap<(u32, Label), usize> = BTreeMap::new();
+    for &(p, name) in graph.variable_edges(v) {
+        *counts
+            .entry((name.index() as u32, labeling.proc_label(p)))
+            .or_insert(0) += 1;
+    }
+    if model.counts_neighbors() {
+        EnvKey::VarCounts(counts.into_iter().map(|((n, l), c)| (n, l, c)).collect())
+    } else {
+        EnvKey::VarSet(counts.into_keys().collect())
+    }
+}
+
+/// Whether nodes `x` and `y` have the same environment under `labeling`
+/// (conditions 2/3 only; compare initial states separately).
+pub fn same_environment(
+    graph: &SystemGraph,
+    labeling: &Labeling,
+    model: Model,
+    x: Node,
+    y: Node,
+) -> bool {
+    env_key(graph, labeling, model, x) == env_key(graph, labeling, model, y)
+}
+
+/// Checks whether `labeling` satisfies Theorem 4's premise for `model`:
+/// same-labeled nodes always have the same environment (and, for
+/// [`Model::L`]/[`Model::LStar`], the extra sharing conditions of
+/// Theorem 8/§6). Such a labeling is a **supersimilarity labeling**.
+///
+/// Note this does *not* check initial states: pass a labeling that refines
+/// the initial-state partition (as every labeling produced by this crate
+/// does) or check separately.
+pub fn is_environment_consistent(graph: &SystemGraph, labeling: &Labeling, model: Model) -> bool {
+    // Same-labeled nodes must share environment keys.
+    let mut key_of_label: BTreeMap<Label, EnvKey> = BTreeMap::new();
+    for node in graph.nodes() {
+        let l = labeling.of(node);
+        let key = env_key(graph, labeling, model, node);
+        match key_of_label.get(&l) {
+            None => {
+                key_of_label.insert(l, key);
+            }
+            Some(existing) if *existing == key => {}
+            Some(_) => return false,
+        }
+    }
+    // L: no two same-labeled processors may give the same variable the
+    // same name (Theorem 8). L*: no two same-labeled processors may share
+    // a variable at all (§6).
+    if !model.allows_same_name_sharing() {
+        for v in graph.variables() {
+            let edges = graph.variable_edges(v);
+            for (i, &(p, n)) in edges.iter().enumerate() {
+                for &(q, m) in &edges[i + 1..] {
+                    if p == q {
+                        continue;
+                    }
+                    let same_label = labeling.proc_label(p) == labeling.proc_label(q);
+                    if same_label && (n == m || !model.allows_any_sharing()) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::{topology, ProcId};
+
+    fn fig2_similarity() -> Labeling {
+        // {p1,p2}, {p3}, {v1}, {v2}, {v3}
+        Labeling::from_raw(3, &[0, 0, 1, 2, 3, 4])
+    }
+
+    #[test]
+    fn figure2_environment_consistency_in_q() {
+        let g = topology::figure2();
+        assert!(is_environment_consistent(&g, &fig2_similarity(), Model::Q));
+        // Lumping p3 with p1/p2 breaks consistency (different a-neighbors).
+        let bad = Labeling::from_raw(3, &[0, 0, 0, 1, 2, 3]);
+        assert!(!is_environment_consistent(&g, &bad, Model::Q));
+    }
+
+    #[test]
+    fn q_counts_vs_s_sets() {
+        let g = topology::figure2();
+        // Lump v1 (two a-neighbors labeled 0) with v2 (one a-neighbor
+        // labeled... p3). With p1,p2,p3 all labeled 0, v1 and v2 have the
+        // same *set* {(a, 0)} but different counts.
+        let l = Labeling::from_raw(3, &[0, 0, 0, 1, 1, 2]);
+        let v1 = Node::Var(VarId::new(0));
+        let v2 = Node::Var(VarId::new(1));
+        assert!(!same_environment(&g, &l, Model::Q, v1, v2));
+        assert!(same_environment(&g, &l, Model::BoundedFairS, v1, v2));
+    }
+
+    #[test]
+    fn proc_env_orders_by_name() {
+        let g = topology::uniform_ring(3);
+        let l = Labeling::trivial(&g);
+        let k = env_key(&g, &l, Model::Q, Node::Proc(ProcId::new(0)));
+        assert_eq!(k, EnvKey::Proc(vec![0, 0]));
+    }
+
+    #[test]
+    fn l_rejects_same_name_sharing() {
+        // Figure 1: both processors call v by the same name "n".
+        let g = topology::figure1();
+        let both_same = Labeling::from_raw(2, &[0, 0, 1]);
+        assert!(is_environment_consistent(&g, &both_same, Model::Q));
+        assert!(!is_environment_consistent(&g, &both_same, Model::L));
+        let split = Labeling::from_raw(2, &[0, 1, 2]);
+        assert!(is_environment_consistent(&g, &split, Model::L));
+    }
+
+    #[test]
+    fn lstar_rejects_any_sharing() {
+        // A 2-ring: processors share each variable under *different* names.
+        let g = topology::uniform_ring(2);
+        let both_same = Labeling::from_raw(2, &[0, 0, 1, 1]);
+        // Fine for L (different names) ...
+        assert!(is_environment_consistent(&g, &both_same, Model::L));
+        // ... but not for extended locking.
+        assert!(!is_environment_consistent(&g, &both_same, Model::LStar));
+    }
+
+    #[test]
+    fn env_keys_are_ordered() {
+        let a = EnvKey::Proc(vec![0]);
+        let b = EnvKey::Proc(vec![1]);
+        assert!(a < b);
+        let c = EnvKey::VarCounts(vec![(0, 0, 1)]);
+        let d = EnvKey::VarSet(vec![(0, 0)]);
+        assert_ne!(c, d);
+    }
+}

@@ -1,0 +1,454 @@
+//! The model-power hierarchy (§9): deciding the selection problem for a
+//! system under every model, and the comparison table
+//!
+//! ```text
+//! fair S  <  bounded-fair S  <  Q  <  L  <  L*
+//! ```
+//!
+//! Each strict inequality is witnessed by a concrete system solvable in
+//! the stronger model and unsolvable in the weaker one; [`power_table`]
+//! assembles the witness table reproduced in experiment E11.
+
+use crate::family::elite_from_member_labels;
+use crate::mimic;
+use crate::relabel::{lstar_outcomes, outcome_init, relabel_outcomes};
+use crate::select::DEFAULT_OUTCOME_BUDGET;
+use crate::{hopcroft_similarity, Family, Model};
+use simsym_graph::SystemGraph;
+use simsym_vm::{SystemInit, Value};
+use std::fmt;
+
+/// The outcome of deciding the selection problem for one system under one
+/// model.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// The model analyzed.
+    pub model: Model,
+    /// Whether a selection algorithm exists.
+    possible: bool,
+    /// Whether the analysis was exhaustive (sampled relabel families or
+    /// truncated mimicry make a verdict heuristic).
+    pub certain: bool,
+    /// Human-readable justification.
+    pub reason: String,
+}
+
+impl Decision {
+    /// Whether a selection algorithm exists for the system in this model.
+    pub fn possible(&self) -> bool {
+        self.possible
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}{} — {}",
+            self.model,
+            if self.possible {
+                "selectable"
+            } else {
+                "no selection"
+            },
+            if self.certain { "" } else { " (heuristic)" },
+            self.reason
+        )
+    }
+}
+
+/// Budgets for the decision procedures.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionBudget {
+    /// Max relabel outcomes enumerated for L/L*.
+    pub outcomes: usize,
+    /// Max subsystem subsets examined per mimicry query.
+    pub subsystems: usize,
+}
+
+impl Default for DecisionBudget {
+    fn default() -> Self {
+        DecisionBudget {
+            outcomes: DEFAULT_OUTCOME_BUDGET,
+            subsystems: 1 << 12,
+        }
+    }
+}
+
+/// Decides the selection problem for `(graph, uniform init)` under `model`.
+pub fn decide_selection(graph: &SystemGraph, model: Model) -> Decision {
+    decide_selection_with_init(graph, &SystemInit::uniform(graph), model)
+}
+
+/// Decides the selection problem for `(graph, init)` under `model`.
+pub fn decide_selection_with_init(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    model: Model,
+) -> Decision {
+    decide_with_budget(graph, init, model, DecisionBudget::default())
+}
+
+/// Decides with explicit budgets.
+pub fn decide_with_budget(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    model: Model,
+    budget: DecisionBudget,
+) -> Decision {
+    match model {
+        Model::FairS => {
+            let free = mimic::unmimicking_processors(graph, init, budget.subsystems);
+            let exhaustive =
+                (1usize << graph.processor_count().saturating_sub(1)) <= budget.subsystems;
+            Decision {
+                model,
+                possible: !free.is_empty(),
+                certain: exhaustive || !free.is_empty(),
+                reason: if free.is_empty() {
+                    "every processor mimics another (§6)".to_owned()
+                } else {
+                    format!("processor {} mimics no other", free[0])
+                },
+            }
+        }
+        Model::BoundedFairS | Model::Q => {
+            let theta = hopcroft_similarity(graph, init, model);
+            let unique = theta.uniquely_labeled_processors();
+            Decision {
+                model,
+                possible: !unique.is_empty(),
+                certain: true,
+                reason: match unique.first() {
+                    Some(p) => format!("processor {p} is uniquely labeled"),
+                    None => "every processor shares its label (Theorem 3)".to_owned(),
+                },
+            }
+        }
+        Model::L | Model::LStar => {
+            let extended = model == Model::LStar;
+            let outcomes = if extended {
+                lstar_outcomes(graph, budget.outcomes)
+            } else {
+                relabel_outcomes(graph, budget.outcomes)
+            };
+            let members: Vec<SystemInit> = outcomes
+                .outcomes
+                .iter()
+                .map(|o| {
+                    let mut m = outcome_init(graph, init, o);
+                    m.var_values = graph
+                        .variables()
+                        .map(|v| Value::from(graph.variable_degree(v)))
+                        .collect();
+                    m
+                })
+                .collect();
+            let family = Family::new(graph.clone(), members).expect("outcome shapes");
+            let (_, member_labels) = family.similarity(Model::Q);
+            let elite = elite_from_member_labels(&member_labels);
+            Decision {
+                model,
+                possible: elite.is_some(),
+                // A positive answer from a sample is still sound (those
+                // members are solvable... but unseen members might not
+                // be). Only a *complete* enumeration is a certificate
+                // either way.
+                certain: outcomes.complete,
+                reason: match (&elite, outcomes.complete) {
+                    (Some(e), _) => format!(
+                        "ELITE of {} label(s) covers all {} relabel outcomes",
+                        e.labels.len(),
+                        member_labels.len()
+                    ),
+                    (None, true) => {
+                        "some relabel outcome leaves every processor shadowed (Theorem 9)"
+                            .to_owned()
+                    }
+                    (None, false) => "no ELITE found over the sampled outcomes".to_owned(),
+                },
+            }
+        }
+    }
+}
+
+/// A named witness system for the power table.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Display name.
+    pub name: &'static str,
+    /// The network.
+    pub graph: SystemGraph,
+    /// The initial state.
+    pub init: SystemInit,
+    /// Which model is the *weakest* that solves selection here (`None` =
+    /// unsolvable everywhere we check).
+    pub weakest_solving: Option<Model>,
+}
+
+/// The canonical witness systems separating each adjacent pair of models
+/// in the §9 hierarchy — one system per strict inequality, plus controls.
+pub fn separation_witnesses() -> Vec<Witness> {
+    use simsym_graph::topology;
+    // Fig. 3 plus a mirror component: every processor mimics another, yet
+    // the bounded-fair-S labeling leaves p0 unique.
+    let gap = {
+        let mut b = SystemGraph::builder();
+        let a = b.name("a");
+        let ps = b.processors(5);
+        let vs = b.variables(3);
+        b.connect(ps[0], a, vs[0]).expect("gap wiring");
+        b.connect(ps[1], a, vs[1]).expect("gap wiring");
+        b.connect(ps[2], a, vs[1]).expect("gap wiring");
+        b.connect(ps[3], a, vs[2]).expect("gap wiring");
+        b.connect(ps[4], a, vs[2]).expect("gap wiring");
+        b.build().expect("gap is well formed")
+    };
+    let mut gap_init = SystemInit::uniform(&gap);
+    gap_init.proc_values[2] = Value::from(1);
+    gap_init.proc_values[4] = Value::from(1);
+    let fig2 = simsym_graph::topology::figure2();
+    let fig1 = topology::figure1();
+    let ring2 = topology::uniform_ring(2);
+    let ring5 = topology::uniform_ring(5);
+    let marked = topology::marked_ring(5);
+    vec![
+        Witness {
+            name: "mimicry gap (Fig.3 ext.)",
+            init: gap_init,
+            graph: gap,
+            weakest_solving: Some(Model::BoundedFairS),
+        },
+        Witness {
+            name: "figure2 (alibis)",
+            init: SystemInit::uniform(&fig2),
+            graph: fig2,
+            weakest_solving: Some(Model::Q),
+        },
+        Witness {
+            name: "figure1 (shared name)",
+            init: SystemInit::uniform(&fig1),
+            graph: fig1,
+            weakest_solving: Some(Model::L),
+        },
+        Witness {
+            name: "2-ring",
+            init: SystemInit::uniform(&ring2),
+            graph: ring2,
+            weakest_solving: Some(Model::LStar),
+        },
+        Witness {
+            name: "uniform 5-ring",
+            init: SystemInit::uniform(&ring5),
+            graph: ring5,
+            weakest_solving: Some(Model::LStar),
+        },
+        Witness {
+            // The mark here is *structural* (a private token variable):
+            // visible to Q's counts, invisible to S's sets — weakest
+            // solving model is Q. (Contrast an *initial-state* mark,
+            // which even fair S can exploit.)
+            name: "marked 5-ring",
+            init: SystemInit::uniform(&marked),
+            graph: marked,
+            weakest_solving: Some(Model::Q),
+        },
+    ]
+}
+
+/// One row of the model-power table: a named system and its verdict under
+/// each model.
+#[derive(Clone, Debug)]
+pub struct PowerRow {
+    /// Display name of the system.
+    pub system: String,
+    /// Decisions indexed like [`Model::ALL`].
+    pub decisions: Vec<Decision>,
+}
+
+/// Builds the model-comparison table for the given systems (experiment
+/// E11). Each row shows, per model, whether selection is solvable —
+/// demonstrating the strict hierarchy of §9.
+pub fn power_table(systems: &[(&str, &SystemGraph, &SystemInit)]) -> Vec<PowerRow> {
+    systems
+        .iter()
+        .map(|(name, g, init)| PowerRow {
+            system: (*name).to_owned(),
+            decisions: Model::ALL
+                .iter()
+                .map(|&m| decide_selection_with_init(g, init, m))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the power table as aligned text (used by the `experiments`
+/// binary).
+pub fn render_power_table(rows: &[PowerRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<28}", "system"));
+    for m in Model::ALL {
+        out.push_str(&format!("{:>16}", m.to_string()));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<28}", row.system));
+        for d in &row.decisions {
+            let mark = if d.possible() { "yes" } else { "no" };
+            let mark = if d.certain {
+                mark.to_owned()
+            } else {
+                format!("{mark}?")
+            };
+            out.push_str(&format!("{mark:>16}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::{topology, ProcId};
+
+    #[test]
+    fn figure1_solvable_exactly_from_l() {
+        let g = topology::figure1();
+        assert!(!decide_selection(&g, Model::FairS).possible());
+        assert!(!decide_selection(&g, Model::BoundedFairS).possible());
+        assert!(!decide_selection(&g, Model::Q).possible());
+        assert!(decide_selection(&g, Model::L).possible());
+        assert!(decide_selection(&g, Model::LStar).possible());
+    }
+
+    #[test]
+    fn two_ring_separates_l_from_lstar() {
+        let g = topology::uniform_ring(2);
+        let l = decide_selection(&g, Model::L);
+        assert!(!l.possible() && l.certain, "{l}");
+        let ls = decide_selection(&g, Model::LStar);
+        assert!(ls.possible(), "{ls}");
+    }
+
+    #[test]
+    fn figure2_separates_q_from_s() {
+        // Fig. 2: p3 uniquely labeled under Q counts, but the set rule
+        // cannot separate the processors.
+        let g = topology::figure2();
+        assert!(!decide_selection(&g, Model::BoundedFairS).possible());
+        assert!(decide_selection(&g, Model::Q).possible());
+    }
+
+    #[test]
+    fn mimicry_gap_separates_fair_from_bounded_s() {
+        // The Fig. 3 extension from the mimicry tests.
+        let mut b = SystemGraph::builder();
+        let a = b.name("a");
+        let ps = b.processors(5);
+        let vs = b.variables(3);
+        b.connect(ps[0], a, vs[0]).unwrap();
+        b.connect(ps[1], a, vs[1]).unwrap();
+        b.connect(ps[2], a, vs[1]).unwrap();
+        b.connect(ps[3], a, vs[2]).unwrap();
+        b.connect(ps[4], a, vs[2]).unwrap();
+        let g = b.build().unwrap();
+        let mut init = SystemInit::uniform(&g);
+        init.proc_values[2] = Value::from(1);
+        init.proc_values[4] = Value::from(1);
+        assert!(!decide_selection_with_init(&g, &init, Model::FairS).possible());
+        assert!(decide_selection_with_init(&g, &init, Model::BoundedFairS).possible());
+    }
+
+    #[test]
+    fn marked_ring_solvable_everywhere() {
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        for m in Model::ALL {
+            let d = decide_selection_with_init(&g, &init, m);
+            assert!(d.possible(), "{m}: {d}");
+        }
+    }
+
+    #[test]
+    fn uniform_ring_unsolvable_through_l() {
+        let g = topology::uniform_ring(3);
+        for m in [Model::FairS, Model::BoundedFairS, Model::Q, Model::L] {
+            let d = decide_selection(&g, m);
+            assert!(!d.possible(), "{m}: {d}");
+        }
+        // L* splits any shared variable's users: the odd ring becomes
+        // electable.
+        assert!(decide_selection(&g, Model::LStar).possible());
+    }
+
+    #[test]
+    fn even_rings_defeat_even_lstar() {
+        // On an even ring, the global acquisition order 0,2,…,1,3,… gives
+        // alternate processors identical count profiles; the alternating
+        // partition is environment-stable with no unique processor, so no
+        // ELITE covers that outcome: even extended locking cannot elect.
+        let g = topology::uniform_ring(4);
+        let d = decide_selection(&g, Model::LStar);
+        assert!(!d.possible(), "{d}");
+        assert!(d.certain);
+        // Odd rings are fine.
+        let g5 = topology::uniform_ring(5);
+        assert!(decide_selection(&g5, Model::LStar).possible());
+    }
+
+    #[test]
+    fn separation_witnesses_behave_as_declared() {
+        for w in separation_witnesses() {
+            let verdicts: Vec<(Model, bool)> = Model::ALL
+                .iter()
+                .map(|&m| {
+                    (
+                        m,
+                        decide_selection_with_init(&w.graph, &w.init, m).possible(),
+                    )
+                })
+                .collect();
+            match w.weakest_solving {
+                Some(weakest) => {
+                    for (m, ok) in verdicts {
+                        assert_eq!(
+                            ok,
+                            m >= weakest,
+                            "{}: {m} expected {}",
+                            w.name,
+                            m >= weakest
+                        );
+                    }
+                }
+                None => {
+                    for (m, ok) in verdicts {
+                        assert!(!ok, "{}: {m} unexpectedly solvable", w.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_table_renders() {
+        let g1 = topology::figure1();
+        let g2 = topology::uniform_ring(2);
+        let i1 = SystemInit::uniform(&g1);
+        let i2 = SystemInit::uniform(&g2);
+        let rows = power_table(&[("figure1", &g1, &i1), ("2-ring", &g2, &i2)]);
+        let text = render_power_table(&rows);
+        assert!(text.contains("figure1"));
+        assert!(text.contains("2-ring"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn decision_display() {
+        let g = topology::figure1();
+        let d = decide_selection(&g, Model::Q);
+        let s = d.to_string();
+        assert!(s.contains("Q"));
+        assert!(s.contains("no selection"));
+    }
+}

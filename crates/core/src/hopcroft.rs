@@ -1,0 +1,315 @@
+//! Worklist partition refinement — the `O(|P ∪ V| log |P ∪ V|)` variant of
+//! Algorithm 1 (Theorem 5), in the style of Hopcroft's DFA-minimization
+//! algorithm \[H71\] which the paper cites.
+//!
+//! The naive Algorithm 1 ([`crate::refine`]) recomputes every node's full
+//! environment each sweep — `O(E)` per sweep, `O(N)` sweeps worst case.
+//! The worklist variant instead propagates *splitters*: when a class `B`
+//! splits off, only the neighbors of `B` can become distinguishable, and
+//! their signatures **relative to `B`** suffice to split their classes.
+//!
+//! * For **Q** (count semantics) the classic Hopcroft optimization applies:
+//!   after a class splits while processing a splitter, it is enough to
+//!   enqueue all parts but the largest, because count-stability w.r.t. a
+//!   parent class and one part implies it w.r.t. the other part. This
+//!   yields the `E log N` bound.
+//! * For **S** (set semantics, §6) the count trick is unsound — counts
+//!   split classes the set rule must keep together — so boolean signatures
+//!   are used and every part is enqueued (Paige–Tarjan-style, still
+//!   near-linear in practice).
+//!
+//! The fixpoint equals the naive algorithm's fixpoint; the benchmark
+//! `similarity_scaling` (experiment E3) compares the two implementations.
+
+use crate::refine::initial_partition;
+use crate::{Labeling, Model};
+use simsym_graph::{Node, ProcId, SystemGraph, VarId};
+use simsym_vm::SystemInit;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Computes the similarity labeling with the worklist algorithm.
+///
+/// Produces the same partition as
+/// [`refinement_similarity`](crate::refine::refinement_similarity); prefer
+/// this entry point for large systems.
+pub fn hopcroft_similarity(graph: &SystemGraph, init: &SystemInit, model: Model) -> Labeling {
+    let start = initial_partition(graph, init);
+    refine_worklist(graph, start, model)
+}
+
+/// Runs worklist refinement from an arbitrary starting partition.
+pub fn refine_worklist(graph: &SystemGraph, start: Labeling, model: Model) -> Labeling {
+    let mut p = Partition::new(graph, &start);
+    // Seed: every initial class is a potential splitter.
+    let mut worklist: VecDeque<usize> = (0..p.members.len()).collect();
+    let mut queued = vec![true; p.members.len()];
+    while let Some(b) = worklist.pop_front() {
+        queued[b] = false;
+        let splits = p.split_by(graph, model, b);
+        for (_origin, mut parts) in splits {
+            if model.counts_neighbors() {
+                // Hopcroft: enqueue all but the largest part — unless the
+                // origin class was still pending, in which case all parts
+                // inherit its pending status.
+                let origin_was_queued = parts.iter().any(|&c| queued.get(c) == Some(&true));
+                if !origin_was_queued {
+                    // Drop the largest part from the queue set.
+                    let largest = parts
+                        .iter()
+                        .copied()
+                        .max_by_key(|&c| p.members[c].len())
+                        .expect("split produces parts");
+                    parts.retain(|&c| c != largest);
+                }
+                for c in parts {
+                    enqueue(&mut worklist, &mut queued, c);
+                }
+            } else {
+                for c in parts {
+                    enqueue(&mut worklist, &mut queued, c);
+                }
+            }
+        }
+    }
+    p.into_labeling(graph)
+}
+
+fn enqueue(worklist: &mut VecDeque<usize>, queued: &mut Vec<bool>, c: usize) {
+    if queued.len() <= c {
+        queued.resize(c + 1, false);
+    }
+    if !queued[c] {
+        queued[c] = true;
+        worklist.push_back(c);
+    }
+}
+
+/// A node's signature relative to a splitter: per-name counts.
+type SplitSig = Vec<(u32, usize)>;
+
+/// Mutable partition state for the worklist algorithm.
+struct Partition {
+    /// `class_of[node_linear_index]`.
+    class_of: Vec<usize>,
+    /// `members[class_id]` — node linear indices.
+    members: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    fn new(graph: &SystemGraph, start: &Labeling) -> Partition {
+        let n = graph.node_count();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut class_of = vec![0usize; n];
+        let mut remap: BTreeMap<u32, usize> = BTreeMap::new();
+        for (i, slot) in class_of.iter_mut().enumerate() {
+            let node = Node::from_linear_index(i, graph.processor_count(), graph.variable_count());
+            let l = start.of(node);
+            let c = *remap.entry(l).or_insert_with(|| {
+                members.push(Vec::new());
+                members.len() - 1
+            });
+            *slot = c;
+            members[c].push(i);
+        }
+        Partition { class_of, members }
+    }
+
+    /// Splits every class touched by splitter `b`. Returns, per class that
+    /// actually split, the list of resulting class ids (old id first).
+    fn split_by(
+        &mut self,
+        graph: &SystemGraph,
+        model: Model,
+        b: usize,
+    ) -> Vec<(usize, Vec<usize>)> {
+        let pc = graph.processor_count();
+        // Signature of each affected node relative to B.
+        // For processors: sorted list of name-ids whose neighbor is in B.
+        // For variables: per name, count (Q) or presence (S) of B-members.
+        let mut sig: BTreeMap<usize, SplitSig> = BTreeMap::new();
+        let b_members = self.members[b].clone();
+        for &m in &b_members {
+            if m < pc {
+                // Splitter member is a processor: affect its variables.
+                let p = ProcId::new(m);
+                for (ni, &v) in graph.processor_neighbors(p).iter().enumerate() {
+                    let node = pc + v.index();
+                    let entry = sig.entry(node).or_default();
+                    bump(entry, ni as u32);
+                }
+            } else {
+                // Splitter member is a variable: affect its processors.
+                let v = VarId::new(m - pc);
+                for &(p, name) in graph.variable_edges(v) {
+                    let entry = sig.entry(p.index()).or_default();
+                    bump(entry, name.index() as u32);
+                }
+            }
+        }
+        if !model.counts_neighbors() {
+            // Set semantics: collapse counts to presence.
+            for entry in sig.values_mut() {
+                for e in entry.iter_mut() {
+                    e.1 = 1;
+                }
+            }
+        }
+        // Group affected nodes by class and split by signature.
+        let mut by_class: BTreeMap<usize, Vec<(usize, SplitSig)>> = BTreeMap::new();
+        for (node, s) in sig {
+            by_class
+                .entry(self.class_of[node])
+                .or_default()
+                .push((node, s));
+        }
+        let mut result = Vec::new();
+        for (class, touched) in by_class {
+            let class_size = self.members[class].len();
+            // Signature groups among touched members; untouched members
+            // implicitly have the empty signature.
+            let mut groups: BTreeMap<SplitSig, Vec<usize>> = BTreeMap::new();
+            for (node, s) in touched {
+                groups.entry(s).or_default().push(node);
+            }
+            let touched_total: usize = groups.values().map(Vec::len).sum();
+            let has_untouched = touched_total < class_size;
+            let group_count = groups.len() + usize::from(has_untouched);
+            if group_count <= 1 {
+                continue; // uniform — no split
+            }
+            // Keep the untouched members (if any) in the old class id;
+            // otherwise keep the first group there.
+            let mut part_ids = vec![class];
+            let mut groups_iter = groups.into_values();
+            let keep_first_group = !has_untouched;
+            if keep_first_group {
+                // First group stays as `class`; remove the rest below.
+                let first = groups_iter.next().expect("non-empty groups");
+                // Nothing to move for the first group.
+                drop(first);
+            }
+            for group in groups_iter.by_ref() {
+                let new_id = self.members.len();
+                self.members.push(Vec::new());
+                for node in group {
+                    self.class_of[node] = new_id;
+                }
+                part_ids.push(new_id);
+            }
+            // Rebuild member lists of the old class and the new ones.
+            let old_members = std::mem::take(&mut self.members[class]);
+            for node in old_members {
+                let c = self.class_of[node];
+                self.members[c].push(node);
+            }
+            result.push((class, part_ids));
+        }
+        result
+    }
+
+    fn into_labeling(self, graph: &SystemGraph) -> Labeling {
+        Labeling::from_raw(graph.processor_count(), &self.class_of)
+    }
+}
+
+fn bump(entry: &mut Vec<(u32, usize)>, name: u32) {
+    match entry.binary_search_by_key(&name, |e| e.0) {
+        Ok(i) => entry[i].1 += 1,
+        Err(i) => entry.insert(i, (name, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::refinement_similarity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simsym_graph::topology;
+    use simsym_vm::SystemInit;
+
+    fn agree(graph: &SystemGraph, init: &SystemInit, model: Model) {
+        let naive = refinement_similarity(graph, init, model);
+        let fast = hopcroft_similarity(graph, init, model);
+        assert_eq!(naive, fast, "partition mismatch on {graph:?} under {model}");
+    }
+
+    #[test]
+    fn agrees_on_paper_figures() {
+        for g in [
+            topology::figure1(),
+            topology::figure2(),
+            topology::figure3(),
+            topology::philosophers_table(5),
+            topology::philosophers_alternating(6),
+        ] {
+            let init = SystemInit::uniform(&g);
+            agree(&g, &init, Model::Q);
+            agree(&g, &init, Model::BoundedFairS);
+        }
+    }
+
+    #[test]
+    fn agrees_on_marked_rings() {
+        for n in [3, 4, 5, 8] {
+            let g = topology::marked_ring(n);
+            let init = SystemInit::uniform(&g);
+            agree(&g, &init, Model::Q);
+            agree(&g, &init, Model::BoundedFairS);
+        }
+    }
+
+    #[test]
+    fn agrees_on_lines_and_stars() {
+        for g in [
+            topology::line(6),
+            topology::star(5),
+            topology::shared_board(4, 3),
+        ] {
+            let init = SystemInit::uniform(&g);
+            agree(&g, &init, Model::Q);
+            agree(&g, &init, Model::BoundedFairS);
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_systems() {
+        let mut rng = StdRng::seed_from_u64(2026);
+        for trial in 0..25 {
+            let procs = 3 + (trial % 8);
+            let vars = 2 + (trial % 5);
+            let names = 1 + (trial % 3);
+            let g = topology::random_system(procs, vars, names, &mut rng);
+            let init = SystemInit::uniform(&g);
+            agree(&g, &init, Model::Q);
+            agree(&g, &init, Model::BoundedFairS);
+        }
+    }
+
+    #[test]
+    fn agrees_with_marked_inits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..10 {
+            let g = topology::random_system(5 + trial, 4, 2, &mut rng);
+            let init = SystemInit::with_marked(&g, &[simsym_graph::ProcId::new(0)]);
+            agree(&g, &init, Model::Q);
+            agree(&g, &init, Model::BoundedFairS);
+        }
+    }
+
+    #[test]
+    fn large_ring_stays_coarse() {
+        let g = topology::uniform_ring(512);
+        let init = SystemInit::uniform(&g);
+        let l = hopcroft_similarity(&g, &init, Model::Q);
+        assert_eq!(l.class_count(), 2);
+    }
+
+    #[test]
+    fn large_marked_ring_fully_splits() {
+        let g = topology::marked_ring(128);
+        let init = SystemInit::uniform(&g);
+        let l = hopcroft_similarity(&g, &init, Model::Q);
+        assert_eq!(l.proc_labels().len(), 128);
+    }
+}

@@ -1,0 +1,170 @@
+//! # simsym-core
+//!
+//! The similarity theory of Johnson & Schneider, *Symmetry and Similarity
+//! in Distributed Systems* (PODC 1985): similarity labelings, the
+//! selection problem, and the algorithms that solve it.
+//!
+//! ## The similarity relation
+//!
+//! A schedule causes processors to *behave similarly* if it brings them to
+//! the same state at the same time infinitely often, **for any program**; a
+//! set of nodes is *similar* if some schedule causes that (§3). Similar
+//! processors can never be told apart, so no deterministic program can
+//! elect exactly one of them (Theorem 2). Similarity is computed as a
+//! [`Labeling`] by **Algorithm 1** — partition refinement over the
+//! *environment* conditions of Theorem 4 — in two implementations:
+//! [`refinement_similarity`] (naive) and [`hopcroft_similarity`] (worklist,
+//! the `O(n log n)` bound of Theorem 5).
+//!
+//! ## The selection problem
+//!
+//! [`decide_selection`] answers, for any system and any [`Model`]
+//! (fair S, bounded-fair S, Q, L, L*), whether a selection algorithm
+//! exists — and the `select` module *generates* the algorithm when it
+//! does: [`LabelLearner`] (Algorithm 2, distributed alibi-based label
+//! learning), [`Algorithm3`] (homogeneous families, Theorem 7),
+//! [`Algorithm4`] (systems in L via `relabel`, Theorem 9).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use simsym_core::{similarity, decide_selection, Model};
+//! use simsym_graph::topology;
+//!
+//! let ring = topology::uniform_ring(5);
+//! // Every processor of a uniform ring is similar to every other:
+//! let theta = similarity(&ring, Model::Q);
+//! assert!(!theta.has_uniquely_labeled_processor());
+//! // ...so selection is impossible in Q — and locking does not help a
+//! // ring (Theorem 9), only extended locking does (§6):
+//! assert!(!decide_selection(&ring, Model::Q).possible());
+//! assert!(!decide_selection(&ring, Model::L).possible());
+//! assert!(decide_selection(&ring, Model::LStar).possible());
+//! ```
+
+pub mod choice;
+pub mod consensus;
+pub mod distributed;
+pub mod environment;
+pub mod family;
+pub mod hierarchy;
+pub mod hopcroft;
+pub mod labeling;
+pub mod mimic;
+pub mod model;
+pub mod quotient;
+pub mod randomized;
+pub mod refine;
+pub mod relabel;
+pub mod report;
+pub mod s_learner;
+pub mod select;
+pub mod simulate;
+pub mod symmetry;
+
+pub use choice::{decide_choice, is_marked, ChoiceCoordination, ChoiceMonitor, RandomizedChoice};
+pub use consensus::{
+    crash_outcomes, AgreementMonitor, ConsensusViaSelection, CrashOutcome, ValidityMonitor,
+};
+pub use distributed::{Alg2Tables, LabelLearner};
+pub use environment::{env_key, is_environment_consistent, same_environment, EnvKey};
+pub use family::{elite_from_member_labels, EliteSet, Family, FamilyError, GeneralFamily};
+pub use hierarchy::{
+    decide_selection, decide_selection_with_init, decide_with_budget, power_table,
+    render_power_table, separation_witnesses, Decision, DecisionBudget, PowerRow, Witness,
+};
+pub use hopcroft::{hopcroft_similarity, refine_worklist};
+pub use labeling::{InconsistentLabeling, Label, Labeling, NeighborhoodTable};
+pub use mimic::{fair_s_selection_possible, mimicry_matrix, mimics, unmimicking_processors};
+pub use model::Model;
+pub use quotient::{quotient, Quotient};
+pub use randomized::{measure_randomized_selection, RandomizedSelect, RandomizedStats};
+pub use refine::{initial_partition, refine_fixpoint, refine_step, refinement_similarity};
+pub use relabel::{
+    lstar_outcomes, outcome_init, relabel_outcomes, relabel_round_robin, synthesize_schedule,
+    OutcomeSet, RelabelOutcome,
+};
+pub use report::{analyze_system, markdown_report, render_markdown, SystemReport};
+pub use s_learner::{SLearnTables, SLearner};
+pub use select::{
+    selection_program_q, Algorithm3, Algorithm4, LSelectionPlan, DEFAULT_OUTCOME_BUDGET,
+};
+pub use simulate::{coincidence_rate, probe_programs, validate_operationally};
+pub use symmetry::{
+    can_break_symmetry, is_symmetric_class, orbit_labeling, theorem10_orbits_are_supersimilar,
+    theorem11_generator, theorem11_l_supersimilarity,
+};
+
+use simsym_graph::SystemGraph;
+use simsym_vm::SystemInit;
+
+/// The similarity labeling of `(graph, uniform init)` under `model`.
+///
+/// For the refinement models (S variants and Q) this is Algorithm 1's
+/// fixpoint. For [`Model::L`]/[`Model::LStar`] it is the similarity
+/// labeling of the *canonical relabel outcome* (the round-robin member of
+/// the outcome family `R`) — a supersimilarity labeling of the system in
+/// L; the full family analysis lives in [`decide_selection`].
+pub fn similarity(graph: &SystemGraph, model: Model) -> Labeling {
+    similarity_with_init(graph, &SystemInit::uniform(graph), model)
+}
+
+/// [`similarity`] with an explicit initial state.
+pub fn similarity_with_init(graph: &SystemGraph, init: &SystemInit, model: Model) -> Labeling {
+    match model {
+        Model::FairS | Model::BoundedFairS | Model::Q => hopcroft_similarity(graph, init, model),
+        Model::L => {
+            let outcome = relabel_round_robin(graph);
+            let member = relabel::outcome_init(graph, init, &outcome);
+            hopcroft_similarity(graph, &member, Model::Q)
+        }
+        Model::LStar => {
+            // Canonical L* outcome: processors acquire in id order.
+            let order: Vec<usize> = (0..graph.processor_count()).collect();
+            let outcome = relabel::lstar_counts_for(graph, &order);
+            let member = relabel::outcome_init(graph, init, &outcome);
+            hopcroft_similarity(graph, &member, Model::Q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+
+    #[test]
+    fn facade_similarity_q_matches_hopcroft() {
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        assert_eq!(
+            similarity(&g, Model::Q),
+            hopcroft_similarity(&g, &init, Model::Q)
+        );
+    }
+
+    #[test]
+    fn facade_similarity_l_on_figure1_splits() {
+        let g = topology::figure1();
+        let l = similarity(&g, Model::L);
+        // The canonical relabel outcome separates the two processors.
+        assert!(l.has_uniquely_labeled_processor());
+        // While the Q labeling does not.
+        assert!(!similarity(&g, Model::Q).has_uniquely_labeled_processor());
+    }
+
+    #[test]
+    fn facade_similarity_l_on_ring_stays_coarse() {
+        // The round-robin relabel outcome of a uniform ring is symmetric.
+        let g = topology::uniform_ring(4);
+        let l = similarity(&g, Model::L);
+        assert!(!l.has_uniquely_labeled_processor());
+    }
+
+    #[test]
+    fn facade_similarity_lstar_splits_ring() {
+        let g = topology::uniform_ring(4);
+        let l = similarity(&g, Model::LStar);
+        assert!(l.has_uniquely_labeled_processor());
+    }
+}

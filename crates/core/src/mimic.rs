@@ -1,0 +1,245 @@
+//! Mimicry (§6): the obstruction that separates **fair S** from
+//! **bounded-fair S**.
+//!
+//! In a fair (but not bounded-fair) system in S, a processor `x` may be
+//! unable to learn its similarity label even when the labeling
+//! distinguishes it: `x` **mimics** `y` if there is a subsystem of `Σ`
+//! such that `x` is similar to the image of `y` in that subsystem. While
+//! the processors outside the subsystem take no steps (which fairness
+//! permits for any finite prefix), `y`'s experience is indistinguishable
+//! from the image's — and hence from `x`'s, so neither `x` nor `y` can
+//! safely conclude which label it carries (Fig. 3).
+//!
+//! Selection in a fair system in S is possible iff some processor mimics
+//! no other processor: that processor's experiences identify it uniquely,
+//! so it can select itself.
+
+use crate::{hopcroft_similarity, Labeling, Model};
+use simsym_graph::{ProcId, SystemGraph};
+use simsym_vm::SystemInit;
+
+/// Whether `x` mimics `y` in `(graph, init)`: some induced subsystem
+/// containing `y` has an image of `y` similar (under the bounded-fair-S
+/// labeling of the union) to `x`.
+///
+/// Subsystems are enumerated over subsets of processors containing `y`;
+/// `budget` caps the number of subsets examined (exhaustive when
+/// `2^(n-1) <= budget`). Mimicry via a skipped subset is then missed, so a
+/// `false` under budget pressure is heuristic.
+///
+/// # Panics
+///
+/// Panics if `x` or `y` is out of range.
+pub fn mimics(graph: &SystemGraph, init: &SystemInit, x: ProcId, y: ProcId, budget: usize) -> bool {
+    assert!(x.index() < graph.processor_count(), "unknown processor {x}");
+    assert!(y.index() < graph.processor_count(), "unknown processor {y}");
+    let n = graph.processor_count();
+    let others: Vec<ProcId> = graph.processors().filter(|&p| p != y).collect();
+    let subsets = 1usize << others.len().min(30);
+    for (examined, mask) in (0..subsets).enumerate() {
+        if examined >= budget {
+            return false;
+        }
+        let mut kept = vec![y];
+        for (i, &p) in others.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                kept.push(p);
+            }
+        }
+        kept.sort_unstable();
+        if kept.len() == n {
+            // The full system: the image of y is y itself; x ~ y in Σ is
+            // ordinary similarity, which already blocks selection by
+            // Theorem 2 — include it for x ≠ y.
+        }
+        if mimics_via(graph, init, x, y, &kept) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `x` is similar to the image of `y` in the subsystem induced by
+/// `kept` (which must contain `y`).
+fn mimics_via(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    x: ProcId,
+    y: ProcId,
+    kept: &[ProcId],
+) -> bool {
+    let (sub, var_map) = graph.induced_subsystem(kept);
+    let (union, proc_offset, var_offset) = graph.disjoint_union(&sub);
+    // Initial states: Σ's init followed by the restriction to the
+    // subsystem.
+    let mut proc_values = init.proc_values.clone();
+    for &p in kept {
+        proc_values.push(init.proc_values[p.index()].clone());
+    }
+    let mut var_values = init.var_values.clone();
+    let mut sub_vars: Vec<(usize, simsym_graph::VarId)> = var_map
+        .iter()
+        .map(|(&old, &new)| (new.index(), old))
+        .collect();
+    sub_vars.sort_unstable();
+    for (_, old) in sub_vars {
+        var_values.push(init.var_values[old.index()].clone());
+    }
+    let union_init = SystemInit {
+        proc_values,
+        var_values,
+    };
+    debug_assert!(union_init.matches(&union));
+    let _ = var_offset;
+    let labeling = hopcroft_similarity(&union, &union_init, Model::BoundedFairS);
+    let y_pos = kept.iter().position(|&p| p == y).expect("kept contains y");
+    let y_image = ProcId::new(proc_offset + y_pos);
+    labeling.proc_label(x) == labeling.proc_label(y_image)
+}
+
+/// The full mimicry matrix: `matrix[x][y]` iff `x` mimics `y` (diagonal is
+/// trivially `true` — every processor mimics itself via the full system).
+pub fn mimicry_matrix(graph: &SystemGraph, init: &SystemInit, budget: usize) -> Vec<Vec<bool>> {
+    let n = graph.processor_count();
+    (0..n)
+        .map(|x| {
+            (0..n)
+                .map(|y| x == y || mimics(graph, init, ProcId::new(x), ProcId::new(y), budget))
+                .collect()
+        })
+        .collect()
+}
+
+/// Processors that mimic **no other** processor — the candidates a fair-S
+/// selection algorithm can elect. Empty result ⟹ no selection algorithm
+/// for the fair system in S.
+pub fn unmimicking_processors(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    budget: usize,
+) -> Vec<ProcId> {
+    let matrix = mimicry_matrix(graph, init, budget);
+    (0..graph.processor_count())
+        .filter(|&x| (0..graph.processor_count()).all(|y| x == y || !matrix[x][y]))
+        .map(ProcId::new)
+        .collect()
+}
+
+/// Decision for the fair-S selection problem (§6): possible iff some
+/// processor mimics no other.
+pub fn fair_s_selection_possible(graph: &SystemGraph, init: &SystemInit, budget: usize) -> bool {
+    !unmimicking_processors(graph, init, budget).is_empty()
+}
+
+/// Convenience: the bounded-fair-S labeling used by the mimicry analysis.
+pub fn bounded_fair_s_labeling(graph: &SystemGraph, init: &SystemInit) -> Labeling {
+    hopcroft_similarity(graph, init, Model::BoundedFairS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+
+    const BUDGET: usize = 1 << 12;
+
+    fn figure3_marked() -> (SystemGraph, SystemInit) {
+        let g = topology::figure3();
+        // z (p2) carries a distinguished initial state.
+        let init = SystemInit::with_marked(&g, &[ProcId::new(2)]);
+        (g, init)
+    }
+
+    #[test]
+    fn figure3_p_mimics_q() {
+        let (g, init) = figure3_marked();
+        // p (private variable) mimics q (whose variable looks private
+        // while z sleeps).
+        assert!(mimics(&g, &init, ProcId::new(0), ProcId::new(1), BUDGET));
+    }
+
+    #[test]
+    fn figure3_q_does_not_mimic_p() {
+        let (g, init) = figure3_marked();
+        // The formal relation is asymmetric: no subsystem image of p looks
+        // like q, because q's variable has a z-labeled neighbor in Σ.
+        assert!(!mimics(&g, &init, ProcId::new(1), ProcId::new(0), BUDGET));
+    }
+
+    #[test]
+    fn figure3_z_mimics_no_other() {
+        let (g, init) = figure3_marked();
+        let free = unmimicking_processors(&g, &init, BUDGET);
+        assert!(
+            free.contains(&ProcId::new(2)),
+            "z is identified by its state"
+        );
+        // And selection is therefore possible in the fair system: select z.
+        assert!(fair_s_selection_possible(&g, &init, BUDGET));
+    }
+
+    #[test]
+    fn uniform_ring_everyone_mimics() {
+        // All processors similar ⟹ everyone mimics everyone (via the full
+        // subsystem).
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::uniform(&g);
+        let m = mimicry_matrix(&g, &init, BUDGET);
+        for row in &m {
+            assert!(row.iter().all(|&b| b));
+        }
+        assert!(!fair_s_selection_possible(&g, &init, BUDGET));
+    }
+
+    #[test]
+    fn matrix_diagonal_is_true() {
+        let (g, init) = figure3_marked();
+        let m = mimicry_matrix(&g, &init, BUDGET);
+        for (i, row) in m.iter().enumerate() {
+            assert!(row[i]);
+        }
+    }
+
+    #[test]
+    fn mimicry_gap_blocks_fair_s_but_not_bounded() {
+        // The separation witness: component 1 is Fig. 3 (p, q, z with z
+        // marked); component 2 is a copy without p (q2, z2 sharing w2).
+        // Every processor mimics another, yet p is uniquely labeled under
+        // the bounded-fair-S labeling.
+        let mut b = SystemGraph::builder();
+        let a = b.name("a");
+        let ps = b.processors(5); // p, q, z, q2, z2
+        let vs = b.variables(3); // u, w, w2
+        b.connect(ps[0], a, vs[0]).unwrap();
+        b.connect(ps[1], a, vs[1]).unwrap();
+        b.connect(ps[2], a, vs[1]).unwrap();
+        b.connect(ps[3], a, vs[2]).unwrap();
+        b.connect(ps[4], a, vs[2]).unwrap();
+        let g = b.build().unwrap();
+        let mut init = SystemInit::uniform(&g);
+        init.proc_values[2] = simsym_vm::Value::from(1); // z
+        init.proc_values[4] = simsym_vm::Value::from(1); // z2
+                                                         // Bounded-fair-S labeling: p is unique (its variable has one
+                                                         // writer), so BF-S selection is possible.
+        let labeling = bounded_fair_s_labeling(&g, &init);
+        assert!(labeling
+            .uniquely_labeled_processors()
+            .contains(&ProcId::new(0)));
+        // Fair-S: everyone mimics someone.
+        assert!(!fair_s_selection_possible(&g, &init, BUDGET));
+        let m = mimicry_matrix(&g, &init, BUDGET);
+        assert!(m[0][1], "p mimics q");
+        assert!(m[1][3], "q mimics q2");
+        assert!(m[2][4], "z mimics z2");
+        assert!(m[3][1], "q2 mimics q");
+        assert!(m[4][2], "z2 mimics z");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown processor")]
+    fn out_of_range_rejected() {
+        let g = topology::figure1();
+        let init = SystemInit::uniform(&g);
+        let _ = mimics(&g, &init, ProcId::new(9), ProcId::new(0), 8);
+    }
+}

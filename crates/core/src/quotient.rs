@@ -1,0 +1,180 @@
+//! Quotient systems: the *schema* of a supersimilarity labeling.
+//!
+//! Collapsing each label class of an environment-consistent labeling to a
+//! single node yields a smaller system whose processor nodes are `PLABELS`
+//! and variable nodes are `VLABELS`, with the `n-nbr` function lifted to
+//! labels (well-defined exactly because the labeling is environment-
+//! consistent — condition 2 of Theorem 4). The quotient is what
+//! Algorithm 2's generated program actually reasons about: its tables
+//! (`n-nbr` on labels, `neighborhood_size`) are the quotient's adjacency
+//! structure.
+
+use crate::{is_environment_consistent, InconsistentLabeling, Label, Labeling, Model};
+use simsym_graph::{ProcId, SystemGraph, VarId};
+use std::collections::BTreeMap;
+
+/// The quotient of a system by a labeling.
+#[derive(Clone, Debug)]
+pub struct Quotient {
+    /// The quotient graph: one processor per processor label, one variable
+    /// per variable label.
+    pub graph: SystemGraph,
+    /// `proc_label -> quotient processor`.
+    pub proc_of_label: BTreeMap<Label, ProcId>,
+    /// `var_label -> quotient variable`.
+    pub var_of_label: BTreeMap<Label, VarId>,
+    /// How many concrete processors each quotient processor represents.
+    pub proc_multiplicity: BTreeMap<Label, usize>,
+    /// How many concrete variables each quotient variable represents.
+    pub var_multiplicity: BTreeMap<Label, usize>,
+}
+
+/// Builds the quotient of `(graph, labeling)`.
+///
+/// # Errors
+///
+/// Returns [`InconsistentLabeling`] if the labeling is not environment-
+/// consistent under the **Q** rules — then `n-nbr` does not lift to labels
+/// and no quotient exists.
+pub fn quotient(
+    graph: &SystemGraph,
+    labeling: &Labeling,
+) -> Result<Quotient, InconsistentLabeling> {
+    if !is_environment_consistent(graph, labeling, Model::Q) {
+        return Err(InconsistentLabeling {
+            detail: "labeling is not environment-consistent; n-nbr does not lift to labels"
+                .to_owned(),
+        });
+    }
+    let mut b = SystemGraph::builder();
+    let names: Vec<_> = graph.names().iter().map(|(_, s)| s.to_owned()).collect();
+    let name_ids: Vec<_> = names.iter().map(|s| b.name(s)).collect();
+    let mut proc_of_label = BTreeMap::new();
+    let mut proc_multiplicity: BTreeMap<Label, usize> = BTreeMap::new();
+    for p in graph.processors() {
+        let l = labeling.proc_label(p);
+        proc_of_label.entry(l).or_insert_with(|| b.processor());
+        *proc_multiplicity.entry(l).or_insert(0) += 1;
+    }
+    let mut var_of_label = BTreeMap::new();
+    let mut var_multiplicity: BTreeMap<Label, usize> = BTreeMap::new();
+    for v in graph.variables() {
+        let l = labeling.var_label(v);
+        var_of_label.entry(l).or_insert_with(|| b.variable());
+        *var_multiplicity.entry(l).or_insert(0) += 1;
+    }
+    // Lift n-nbr: consistent by the environment check; connect once per
+    // (proc label, name).
+    let mut connected: BTreeMap<(Label, usize), Label> = BTreeMap::new();
+    for p in graph.processors() {
+        let alpha = labeling.proc_label(p);
+        for (ni, &v) in graph.processor_neighbors(p).iter().enumerate() {
+            let beta = labeling.var_label(v);
+            if connected.insert((alpha, ni), beta).is_none() {
+                b.connect(proc_of_label[&alpha], name_ids[ni], var_of_label[&beta])
+                    .expect("lifted n-nbr is functional");
+            }
+        }
+    }
+    let graph = b.build().expect("quotient is well formed");
+    Ok(Quotient {
+        graph,
+        proc_of_label,
+        var_of_label,
+        proc_multiplicity,
+        var_multiplicity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hopcroft_similarity, Model};
+    use simsym_graph::topology;
+    use simsym_vm::SystemInit;
+
+    #[test]
+    fn uniform_ring_collapses_to_a_point_pair() {
+        // All processors one label, all variables one label: the quotient
+        // is a single processor whose left and right names both point at
+        // the single fork class.
+        let g = topology::uniform_ring(5);
+        let init = SystemInit::uniform(&g);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        let q = quotient(&g, &theta).expect("ring labeling is consistent");
+        assert_eq!(q.graph.processor_count(), 1);
+        assert_eq!(q.graph.variable_count(), 1);
+        assert_eq!(q.proc_multiplicity.values().sum::<usize>(), 5);
+        assert_eq!(q.var_multiplicity.values().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn figure2_quotient_shape() {
+        // Classes: {p1,p2}, {p3}, {v1}, {v2}, {v3} → 2 processors, 3 vars.
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        let q = quotient(&g, &theta).unwrap();
+        assert_eq!(q.graph.processor_count(), 2);
+        assert_eq!(q.graph.variable_count(), 3);
+        // The shared-pair class has multiplicity 2.
+        assert!(q.proc_multiplicity.values().any(|&m| m == 2));
+        // Quotient adjacency mirrors the lifted n-nbr: both quotient
+        // processors share the b-variable class.
+        let bname = q.graph.names().get("b").unwrap();
+        let b0 = q.graph.n_nbr(simsym_graph::ProcId::new(0), bname);
+        let b1 = q.graph.n_nbr(simsym_graph::ProcId::new(1), bname);
+        assert_eq!(b0, b1);
+    }
+
+    #[test]
+    fn quotient_of_discrete_labeling_is_isomorphic() {
+        let g = topology::line(4);
+        let init = SystemInit::uniform(&g);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        // line(4) fully splits: quotient has the same node counts.
+        let q = quotient(&g, &theta).unwrap();
+        assert_eq!(q.graph.processor_count(), g.processor_count());
+        assert_eq!(q.graph.variable_count(), g.variable_count());
+        assert_eq!(q.graph.degree_sequence(), g.degree_sequence());
+    }
+
+    #[test]
+    fn inconsistent_labeling_rejected() {
+        let g = topology::figure2();
+        let bad = Labeling::from_raw(3, &[0, 0, 0, 1, 1, 1]);
+        assert!(quotient(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn quotient_discards_multiplicities_by_design() {
+        // The quotient records multiplicities separately; the quotient
+        // GRAPH of figure2 no longer distinguishes the 2-writer class
+        // from the 1-writer class, so re-quotienting collapses further.
+        // This is why Algorithm 2's tables carry `neighborhood_size`
+        // alongside the lifted n-nbr.
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        let q1 = quotient(&g, &theta).unwrap();
+        let q_init = SystemInit::uniform(&q1.graph);
+        let theta2 = hopcroft_similarity(&q1.graph, &q_init, Model::Q);
+        let q2 = quotient(&q1.graph, &theta2).unwrap();
+        assert!(q2.graph.processor_count() < q1.graph.processor_count());
+    }
+
+    #[test]
+    fn quotient_of_discrete_labeling_is_idempotent() {
+        // On a fully split system the quotient is an isomorphic copy, and
+        // quotienting again changes nothing.
+        let g = topology::line(4);
+        let init = SystemInit::uniform(&g);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        let q1 = quotient(&g, &theta).unwrap();
+        let q_init = SystemInit::uniform(&q1.graph);
+        let theta2 = hopcroft_similarity(&q1.graph, &q_init, Model::Q);
+        let q2 = quotient(&q1.graph, &theta2).unwrap();
+        assert_eq!(q2.graph.processor_count(), q1.graph.processor_count());
+        assert_eq!(q2.graph.variable_count(), q1.graph.variable_count());
+    }
+}

@@ -1,0 +1,349 @@
+//! Randomized symmetry breaking (§8): selection with probability 1 on
+//! systems where **no deterministic algorithm can select at all**.
+//!
+//! The paper closes by observing that characterizing symmetry through
+//! similarity *quantifies the added power of randomization*: randomized
+//! algorithms (\\[IR81\\], \\[LR80\\], \\[FR80\\]) solve synchronization problems on
+//! exactly the systems whose similarity labeling dooms deterministic
+//! programs. This module provides a randomized selection protocol for
+//! systems in **Q** whose processors share a common arena variable (e.g.
+//! [`simsym_graph::topology::figure1`], [`simsym_graph::topology::star`],
+//! [`simsym_graph::topology::shared_board`]) — all of which are fully
+//! similar, hence deterministically unselectable.
+//!
+//! ### Protocol
+//!
+//! Every processor posts a random draw tagged with round 0, waits out a
+//! patience period (under a `k`-bounded-fair schedule, all participants
+//! have posted by then), and learns the participant count `m` from the
+//! number of subvalues. Rounds then self-synchronize: a processor judges
+//! round `r` once the arena holds the expected number of round-`r` draws;
+//! the unique maximum wins, ties redraw among the tied. Because all
+//! participants judge identical data, their verdicts agree — Uniqueness is
+//! deterministic, only the *latency* is random (geometric in the tie
+//! probability).
+
+use simsym_graph::SystemGraph;
+use simsym_vm::{LocalState, OpEnv, Program, Value};
+
+/// Randomized selection over a shared arena variable.
+///
+/// Requires a machine built with
+/// [`Machine::with_randomness`](simsym_vm::Machine::with_randomness) and a
+/// `k`-bounded-fair schedule matching `patience >= 4k`.
+pub struct RandomizedSelect {
+    arena: String,
+    patience: i64,
+    domain: u64,
+}
+
+impl RandomizedSelect {
+    /// Creates the protocol posting to the variable named `arena`, with
+    /// the given patience (own-steps to wait before counting
+    /// participants; use `>= 4k` for a `k`-bounded-fair schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience == 0` or `domain < 2`.
+    pub fn new(arena: &str, patience: i64, domain: u64) -> RandomizedSelect {
+        assert!(patience > 0, "patience must be positive");
+        assert!(domain >= 2, "draw domain must have at least two values");
+        RandomizedSelect {
+            arena: arena.to_owned(),
+            patience,
+            domain,
+        }
+    }
+
+    /// Convenience constructor for a graph using its first edge name as
+    /// the arena, patience `4k`.
+    pub fn for_graph(graph: &SystemGraph, k: usize) -> RandomizedSelect {
+        let name = graph
+            .names()
+            .iter()
+            .next()
+            .map(|(_, s)| s.to_owned())
+            .expect("graph has at least one name");
+        RandomizedSelect::new(&name, (4 * k) as i64, 1 << 20)
+    }
+
+    /// Number of rounds a finished processor took (1-based: a first-round
+    /// win reports 1).
+    pub fn rounds(local: &LocalState) -> i64 {
+        local.get("round").as_int().unwrap_or(0) + 1
+    }
+
+    /// Whether the processor has reached a verdict.
+    pub fn is_done(local: &LocalState) -> bool {
+        local.pc == u32::MAX
+    }
+}
+
+const DONE: u32 = u32::MAX;
+
+impl Program for RandomizedSelect {
+    fn boot(&self, initial: &Value) -> LocalState {
+        let mut s = LocalState::with_initial(initial.clone());
+        s.set("round", Value::from(0));
+        s.set("stage", Value::from(0)); // 0 post, 1 patience, 2 count, 3 judge
+        s.set("wait", Value::from(self.patience));
+        s
+    }
+
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        if local.pc == DONE {
+            return;
+        }
+        let arena = ops.name(&self.arena);
+        match local.get("stage").as_int().unwrap_or(0) {
+            0 => {
+                // Post my draw for the current round. The post also
+                // carries my previous round's draw: a laggard still
+                // judging round r-1 must be able to count my (replaced)
+                // round-(r-1) entry — round skew is bounded by one.
+                let draw = ops.random_below(self.domain) as i64;
+                let round = local.get("round").as_int().unwrap_or(0);
+                let prev = local.get("draw");
+                local.set("draw", Value::from(draw));
+                ops.post(
+                    arena,
+                    Value::tuple([Value::from(round), Value::from(draw), prev]),
+                );
+                let stage = if round == 0 { 1 } else { 3 };
+                local.set("stage", Value::from(stage));
+            }
+            1 => {
+                // Patience: wait for all round-0 posts (local step).
+                let w = local.get("wait").as_int().unwrap_or(0);
+                if w <= 1 {
+                    local.set("stage", Value::from(2));
+                } else {
+                    local.set("wait", Value::from(w - 1));
+                }
+            }
+            2 => {
+                // Learn the participant count.
+                let view = ops.peek(arena);
+                local.set("m", Value::from(view.posted.len()));
+                local.set("stage", Value::from(3));
+            }
+            _ => {
+                // Judge the current round once all expected draws are in.
+                let view = ops.peek(arena);
+                let round = local.get("round").as_int().unwrap_or(0);
+                let expected = local.get("m").as_int().unwrap_or(0);
+                let mut draws: Vec<i64> = view
+                    .posted
+                    .iter()
+                    .filter_map(|v| {
+                        let [r, d, prev] = <&[Value; 3]>::try_from(v.as_tuple()?).ok()?;
+                        let r = r.as_int()?;
+                        if r == round {
+                            d.as_int()
+                        } else if r == round + 1 {
+                            // A participant one round ahead: its draw for
+                            // *this* round rode along in the post.
+                            prev.as_int()
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                if (draws.len() as i64) < expected {
+                    return; // not everyone has posted this round yet
+                }
+                draws.sort_unstable();
+                let max = *draws.last().expect("nonempty round");
+                let tied = draws.iter().filter(|&&d| d == max).count();
+                let mine = local.get("draw").as_int().unwrap_or(-1);
+                if tied == 1 {
+                    // Unanimous verdict: the unique maximum wins.
+                    local.selected = mine == max;
+                    local.pc = DONE;
+                } else if mine == max {
+                    // I am among the tied leaders: redraw in the next
+                    // round; expected participants = tied.
+                    local.set("round", Value::from(round + 1));
+                    local.set("m", Value::from(tied as i64));
+                    local.set("stage", Value::from(0));
+                } else {
+                    // Beaten outright: out, and the tied leaders will
+                    // settle it among themselves.
+                    local.selected = false;
+                    local.pc = DONE;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "randomized-select"
+    }
+}
+
+/// Statistics from repeated randomized-selection runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RandomizedStats {
+    /// Trials that ended with exactly one selected processor.
+    pub successes: usize,
+    /// Trials that violated uniqueness or stability (must stay 0).
+    pub violations: usize,
+    /// Trials that hit the step budget before finishing.
+    pub timeouts: usize,
+    /// Mean rounds used by the winner, over successful trials.
+    pub mean_rounds: f64,
+    /// Mean steps to completion, over successful trials.
+    pub mean_steps: f64,
+}
+
+/// Runs the randomized protocol `trials` times on `(graph, k-bounded-fair
+/// schedules)` and aggregates outcomes — the measurement behind experiment
+/// E9.
+pub fn measure_randomized_selection(
+    graph: &SystemGraph,
+    k: usize,
+    trials: u64,
+    max_steps: u64,
+) -> RandomizedStats {
+    use simsym_vm::{
+        run_until, BoundedFairRandom, InstructionSet, Machine, StabilityMonitor, SystemInit,
+        UniquenessMonitor,
+    };
+    use std::sync::Arc;
+
+    let init = SystemInit::uniform(graph);
+    let g = Arc::new(graph.clone());
+    let mut stats = RandomizedStats::default();
+    let mut total_rounds = 0i64;
+    let mut total_steps = 0u64;
+    for trial in 0..trials {
+        let prog = Arc::new(RandomizedSelect::for_graph(graph, k));
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::Q, prog, &init)
+            .expect("machine")
+            .with_randomness(0x9e3779b9 ^ trial);
+        let mut sched = BoundedFairRandom::new(graph.processor_count(), k, trial);
+        let mut uniq = UniquenessMonitor;
+        let mut stab = StabilityMonitor::default();
+        let report = run_until(
+            &mut m,
+            &mut sched,
+            max_steps,
+            &mut [&mut uniq, &mut stab],
+            |mach| {
+                mach.graph()
+                    .processors()
+                    .all(|p| RandomizedSelect::is_done(mach.local(p)))
+            },
+        );
+        if report.violation.is_some() {
+            stats.violations += 1;
+        } else if m
+            .graph()
+            .processors()
+            .all(|p| RandomizedSelect::is_done(m.local(p)))
+        {
+            if m.selected_count() == 1 {
+                stats.successes += 1;
+                let winner = m.selected()[0];
+                total_rounds += RandomizedSelect::rounds(m.local(winner));
+                total_steps += report.steps;
+            } else {
+                stats.violations += 1;
+            }
+        } else {
+            stats.timeouts += 1;
+        }
+    }
+    if stats.successes > 0 {
+        stats.mean_rounds = total_rounds as f64 / stats.successes as f64;
+        stats.mean_steps = total_steps as f64 / stats.successes as f64;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decide_selection, Model};
+    use simsym_graph::topology;
+
+    #[test]
+    fn figure1_randomized_selection_succeeds() {
+        let g = topology::figure1();
+        // Deterministically impossible in Q...
+        assert!(!decide_selection(&g, Model::Q).possible());
+        // ...but the randomized protocol elects every time.
+        let stats = measure_randomized_selection(&g, 2, 20, 100_000);
+        assert_eq!(stats.violations, 0);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.successes, 20);
+        assert!(stats.mean_rounds >= 1.0);
+    }
+
+    #[test]
+    fn star_randomized_selection_scales() {
+        for n in [3, 5, 8] {
+            let g = topology::star(n);
+            assert!(!decide_selection(&g, Model::Q).possible());
+            let stats = measure_randomized_selection(&g, n + 2, 10, 500_000);
+            assert_eq!(stats.violations, 0, "star({n})");
+            assert_eq!(stats.successes + stats.timeouts, 10);
+            assert!(stats.successes >= 9, "star({n}): {stats:?}");
+        }
+    }
+
+    #[test]
+    fn ties_force_extra_rounds() {
+        // A tiny draw domain forces ties; the protocol must still never
+        // violate uniqueness and must converge with probability 1.
+        let g = topology::star(4);
+        let mut stats = RandomizedStats::default();
+        let mut total_rounds = 0i64;
+        use simsym_vm::{
+            run_until, BoundedFairRandom, InstructionSet, Machine, SystemInit, UniquenessMonitor,
+        };
+        use std::sync::Arc;
+        let init = SystemInit::uniform(&g);
+        for trial in 0..20u64 {
+            let prog = Arc::new(RandomizedSelect::new("hub", 4 * 6, 2)); // coin-sized domain
+            let mut m = Machine::new(Arc::new(g.clone()), InstructionSet::Q, prog, &init)
+                .unwrap()
+                .with_randomness(trial);
+            let mut sched = BoundedFairRandom::new(4, 6, trial);
+            let mut uniq = UniquenessMonitor;
+            let report = run_until(&mut m, &mut sched, 500_000, &mut [&mut uniq], |mach| {
+                mach.graph()
+                    .processors()
+                    .all(|p| RandomizedSelect::is_done(mach.local(p)))
+            });
+            assert!(report.violation.is_none(), "trial {trial}");
+            if m.graph()
+                .processors()
+                .all(|p| RandomizedSelect::is_done(m.local(p)))
+            {
+                assert_eq!(m.selected_count(), 1, "trial {trial}");
+                stats.successes += 1;
+                total_rounds += RandomizedSelect::rounds(m.local(m.selected()[0]));
+            }
+        }
+        assert!(stats.successes >= 18);
+        // With a 2-value domain and 4 players, ties are overwhelmingly
+        // likely in round 0: the winner needs > 1 round on average.
+        assert!(
+            total_rounds as f64 / stats.successes as f64 > 1.0,
+            "expected multi-round tournaments"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "patience")]
+    fn zero_patience_rejected() {
+        let _ = RandomizedSelect::new("hub", 0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn tiny_domain_rejected() {
+        let _ = RandomizedSelect::new("hub", 8, 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! **Algorithm 1**: computing the similarity labeling by iterated
+//! partition refinement (the naive variant; see [`crate::hopcroft`] for the
+//! `O(E log N)` worklist variant of Theorem 5).
+//!
+//! Starting from the *trivial subsimilarity labeling* (all nodes together),
+//! refined first by initial state, the algorithm repeatedly splits classes
+//! whose members have different environments until the partition is stable.
+//! Because splits only separate nodes that provably behave differently, the
+//! fixpoint is simultaneously a subsimilarity and a supersimilarity
+//! labeling — i.e. *the* similarity labeling (unique up to renaming).
+
+use crate::environment::env_key;
+use crate::{Labeling, Model};
+use simsym_graph::SystemGraph;
+use simsym_vm::SystemInit;
+
+/// The starting partition: nodes split by kind (processor vs variable) and
+/// by initial state — environment condition (1).
+pub fn initial_partition(graph: &SystemGraph, init: &SystemInit) -> Labeling {
+    assert!(
+        init.matches(graph),
+        "initial state shape must match the graph"
+    );
+    let pc = graph.processor_count();
+    let keys: Vec<(bool, &simsym_vm::Value)> = (0..graph.node_count())
+        .map(|i| (i >= pc, init.node_value(i)))
+        .collect();
+    Labeling::from_raw(pc, &keys)
+}
+
+/// One refinement sweep: splits every class by the members' environment
+/// keys. Returns the refined labeling and whether anything changed.
+pub fn refine_step(graph: &SystemGraph, labeling: &Labeling, model: Model) -> (Labeling, bool) {
+    let keys: Vec<_> = graph
+        .nodes()
+        .map(|node| (labeling.of(node), env_key(graph, labeling, model, node)))
+        .collect();
+    let refined = Labeling::from_raw(graph.processor_count(), &keys);
+    let changed = refined.class_count() != labeling.class_count();
+    (refined, changed)
+}
+
+/// Runs refinement to fixpoint from the given starting labeling.
+pub fn refine_fixpoint(graph: &SystemGraph, start: Labeling, model: Model) -> Labeling {
+    let mut current = start;
+    loop {
+        let (next, changed) = refine_step(graph, &current, model);
+        if !changed {
+            return next;
+        }
+        current = next;
+    }
+}
+
+/// **Algorithm 1** for the environment-refinement models (S and Q): the
+/// similarity labeling of `(N, state₀)` under `model`'s refinement rules.
+///
+/// For [`Model::L`] and [`Model::LStar`] this computes only the *Q-rule
+/// fixpoint* of the initial partition; the full L analysis goes through the
+/// relabel family (see [`crate::relabel`] and [`crate::decide_selection`]),
+/// because locking can split classes in non-canonical ways.
+pub fn refinement_similarity(graph: &SystemGraph, init: &SystemInit, model: Model) -> Labeling {
+    refine_fixpoint(graph, initial_partition(graph, init), model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::{topology, ProcId, VarId};
+    use simsym_vm::{SystemInit, Value};
+
+    #[test]
+    fn figure1_all_similar_in_q() {
+        let g = topology::figure1();
+        let init = SystemInit::uniform(&g);
+        let l = refinement_similarity(&g, &init, Model::Q);
+        assert_eq!(l.proc_label(ProcId::new(0)), l.proc_label(ProcId::new(1)));
+        assert!(l.all_processors_shadowed());
+    }
+
+    #[test]
+    fn figure2_similarity_classes() {
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let l = refinement_similarity(&g, &init, Model::Q);
+        // p1 ~ p2, p3 apart; all three variables distinct.
+        assert_eq!(l.proc_label(ProcId::new(0)), l.proc_label(ProcId::new(1)));
+        assert_ne!(l.proc_label(ProcId::new(0)), l.proc_label(ProcId::new(2)));
+        assert_ne!(l.var_label(VarId::new(0)), l.var_label(VarId::new(1)));
+        assert_ne!(l.var_label(VarId::new(1)), l.var_label(VarId::new(2)));
+        assert_eq!(l.class_count(), 5);
+    }
+
+    #[test]
+    fn uniform_ring_is_fully_similar() {
+        for n in [3, 5, 8] {
+            let g = topology::uniform_ring(n);
+            let init = SystemInit::uniform(&g);
+            let l = refinement_similarity(&g, &init, Model::Q);
+            assert_eq!(l.class_count(), 2, "ring {n}: procs and vars only");
+            assert!(l.all_processors_shadowed());
+        }
+    }
+
+    #[test]
+    fn marked_ring_breaks_similarity() {
+        let g = topology::marked_ring(5);
+        let init = SystemInit::uniform(&g);
+        let l = refinement_similarity(&g, &init, Model::Q);
+        // The marked processor is uniquely labeled; refinement then spreads
+        // asymmetry around the ring, splitting everyone.
+        assert!(l.has_uniquely_labeled_processor());
+        let unique = l.uniquely_labeled_processors();
+        assert!(unique.contains(&ProcId::new(0)));
+        // In fact all five processors become distinct (distance to the
+        // mark differs, and ring orientation breaks the remaining tie).
+        assert_eq!(l.proc_labels().len(), 5);
+    }
+
+    #[test]
+    fn initial_state_marks_propagate() {
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        let l = refinement_similarity(&g, &init, Model::Q);
+        // Marking p0 in an oriented ring makes everyone unique.
+        assert_eq!(l.proc_labels().len(), 4);
+    }
+
+    #[test]
+    fn alternating_table_two_classes_in_q() {
+        // Fig. 5 generalized: 6 philosophers, alternate orientation.
+        let g = topology::philosophers_alternating(6);
+        let init = SystemInit::uniform(&g);
+        let l = refinement_similarity(&g, &init, Model::Q);
+        // In Q the table is *fully* similar by orientation class: facing
+        // and back-turned philosophers have identical environments (all
+        // forks look alike), so everything collapses to procs/vars.
+        // What matters for DP′ is the L analysis; here we just check the
+        // labeling is a valid coarse partition.
+        assert!(l.class_count() >= 2);
+        assert!(l.all_processors_shadowed());
+    }
+
+    #[test]
+    fn s_set_rule_is_coarser_than_q_on_figure2() {
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let q = refinement_similarity(&g, &init, Model::Q);
+        let s = refinement_similarity(&g, &init, Model::BoundedFairS);
+        // Under the set rule, v1 (two writers) and v2 (one writer) are NOT
+        // separated: v3 splits off (different name set) but the processors
+        // all stay together.
+        assert!(q.is_refinement_of(&s));
+        assert!(s.class_count() < q.class_count());
+        assert_eq!(s.class_count(), 3);
+        assert!(s.all_processors_shadowed());
+    }
+
+    #[test]
+    fn figure3_s_rule_with_marked_z() {
+        let g = topology::figure3();
+        // z (p2) distinguished by initial state.
+        let init = SystemInit::with_marked(&g, &[ProcId::new(2)]);
+        let l = refinement_similarity(&g, &init, Model::BoundedFairS);
+        // p (p0) and q (p1) become dissimilar: q's variable has a
+        // z-labeled neighbor.
+        assert_ne!(l.proc_label(ProcId::new(0)), l.proc_label(ProcId::new(1)));
+        assert_ne!(l.proc_label(ProcId::new(1)), l.proc_label(ProcId::new(2)));
+    }
+
+    #[test]
+    fn line_ends_break_symmetry() {
+        let g = topology::line(4);
+        let init = SystemInit::uniform(&g);
+        let l = refinement_similarity(&g, &init, Model::Q);
+        // End caps have degree 1, interior vars degree 2: ends split off,
+        // and the split propagates inward making all processors unique.
+        assert_eq!(l.proc_labels().len(), 4);
+    }
+
+    #[test]
+    fn refine_step_reports_stability() {
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::uniform(&g);
+        let fix = refinement_similarity(&g, &init, Model::Q);
+        let (again, changed) = refine_step(&g, &fix, Model::Q);
+        assert!(!changed);
+        assert_eq!(again, fix);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must match")]
+    fn initial_partition_validates_shape() {
+        let g = topology::uniform_ring(3);
+        let bad = SystemInit {
+            proc_values: vec![Value::Unit],
+            var_values: vec![],
+        };
+        let _ = initial_partition(&g, &bad);
+    }
+
+    #[test]
+    fn result_refines_initial_partition() {
+        let g = topology::marked_ring(4);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(1)]);
+        let start = initial_partition(&g, &init);
+        let l = refinement_similarity(&g, &init, Model::Q);
+        assert!(l.is_refinement_of(&start));
+    }
+}

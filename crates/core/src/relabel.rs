@@ -1,0 +1,726 @@
+//! The `relabel` procedure (§5) and the enumeration of its possible
+//! outcomes — the bridge from instruction set **L** to homogeneous
+//! families in **Q**.
+//!
+//! In L, two processors that give the same variable the same name can
+//! always tell themselves apart: they race for the variable's lock and
+//! exactly one wins. The paper packages this into `relabel(k)`: each
+//! processor locks each of its neighbors in name order, reads a counter,
+//! increments it, and unlocks — so each processor learns, per name, *how
+//! many processors locked that variable before it*. The resulting state is
+//! one member of a set `R` of possible outcome states, and
+//! `{(N, state, L, F) | state ∈ R}` is a **homogeneous family** whose
+//! similarity labelings (computed with Q rules) are supersimilarity
+//! labelings of the original system (Theorems 8–9).
+//!
+//! This module computes:
+//! * [`relabel_round_robin`] — the outcome realized by the round-robin
+//!   schedule (a canonical member of `R`);
+//! * [`relabel_outcomes`] — all members of `R` (or a sample when the space
+//!   is too large), by enumerating per-variable lock orders and filtering
+//!   to the globally realizable ones;
+//! * [`lstar_outcomes`] — the analogue for **extended locking** (§6),
+//!   where a processor atomically locks *all* its neighbors, so an outcome
+//!   is induced by a global acquisition order on processors;
+//! * [`outcome_init`] — folding an outcome into a [`SystemInit`] so the Q
+//!   machinery can label the family member.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use simsym_graph::{ProcId, SystemGraph};
+use simsym_vm::{SystemInit, Value};
+use std::collections::BTreeSet;
+
+/// One relabel outcome: `counts[p][n]` is the counter value processor `p`
+/// read from its `n`-neighbor (i.e. how many lock events preceded it on
+/// that variable).
+pub type RelabelOutcome = Vec<Vec<usize>>;
+
+/// The set of outcomes produced by an enumeration, with a flag telling
+/// whether it is exhaustive (`complete = true`) or a sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutcomeSet {
+    /// Distinct outcomes, sorted.
+    pub outcomes: Vec<RelabelOutcome>,
+    /// Whether every realizable outcome is present.
+    pub complete: bool,
+}
+
+/// Simulates `relabel` under the round-robin schedule, micro-step by
+/// micro-step (lock attempt / read / write / unlock each take one turn;
+/// failed lock attempts busy-wait).
+///
+/// On a uniform ring this produces the *symmetric* outcome — every
+/// processor reads the same counts — which is exactly why plain rings
+/// cannot elect a leader even in L.
+pub fn relabel_round_robin(graph: &SystemGraph) -> RelabelOutcome {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Stage {
+        Lock,
+        Read,
+        Write,
+        Unlock,
+        Done,
+    }
+    let names: Vec<_> = graph.names().ids().collect();
+    let n = graph.processor_count();
+    let mut counts: RelabelOutcome = vec![vec![0; names.len()]; n];
+    let mut var_locked = vec![false; graph.variable_count()];
+    let mut var_count = vec![0usize; graph.variable_count()];
+    let mut name_idx = vec![0usize; n];
+    let mut stage = vec![Stage::Lock; n];
+    let mut cur = vec![0usize; n];
+    let mut done = if names.is_empty() { n } else { 0 };
+    if names.is_empty() {
+        return counts;
+    }
+    let mut guard = 0u64;
+    while done < n {
+        guard += 1;
+        assert!(
+            guard < 1_000_000,
+            "relabel round-robin failed to terminate (deadlock impossible by construction)"
+        );
+        for pi in 0..n {
+            if stage[pi] == Stage::Done {
+                continue;
+            }
+            let p = ProcId::new(pi);
+            let v = graph.n_nbr(p, names[name_idx[pi]]);
+            match stage[pi] {
+                Stage::Lock => {
+                    if !var_locked[v.index()] {
+                        var_locked[v.index()] = true;
+                        stage[pi] = Stage::Read;
+                    }
+                }
+                Stage::Read => {
+                    cur[pi] = var_count[v.index()];
+                    stage[pi] = Stage::Write;
+                }
+                Stage::Write => {
+                    var_count[v.index()] = cur[pi] + 1;
+                    stage[pi] = Stage::Unlock;
+                }
+                Stage::Unlock => {
+                    var_locked[v.index()] = false;
+                    counts[pi][name_idx[pi]] = cur[pi];
+                    name_idx[pi] += 1;
+                    if name_idx[pi] == names.len() {
+                        stage[pi] = Stage::Done;
+                        done += 1;
+                    } else {
+                        stage[pi] = Stage::Lock;
+                    }
+                }
+                Stage::Done => unreachable!(),
+            }
+        }
+    }
+    counts
+}
+
+/// An atomic lock event: processor `proc` locking its `name`-neighbor.
+type Event = (usize, usize); // (proc index, name index)
+
+/// Enumerates the realizable relabel outcomes of a system in **L**.
+///
+/// An outcome assigns each variable a permutation of its lock events;
+/// a tuple of permutations is realizable iff the union of the per-variable
+/// orders with each processor's name-order chain is acyclic. When the raw
+/// permutation space exceeds `budget`, a pseudo-random sample of
+/// realizable interleavings is returned instead (`complete = false`).
+pub fn relabel_outcomes(graph: &SystemGraph, budget: usize) -> OutcomeSet {
+    let names = graph.name_count();
+    let procs = graph.processor_count();
+    if names == 0 {
+        return OutcomeSet {
+            outcomes: vec![vec![vec![]; procs]],
+            complete: true,
+        };
+    }
+    // Raw space size: product of factorials of variable degrees.
+    let mut space = 1usize;
+    let mut overflow = false;
+    for v in graph.variables() {
+        let d = graph.variable_degree(v);
+        for f in 2..=d {
+            space = match space.checked_mul(f) {
+                Some(s) if s <= 4 * budget.max(1) => s,
+                _ => {
+                    overflow = true;
+                    break;
+                }
+            };
+        }
+        if overflow {
+            break;
+        }
+    }
+    if overflow || space > budget {
+        return sample_outcomes(graph, budget.max(1));
+    }
+    // Exhaustive: enumerate per-variable permutations, filter by
+    // realizability.
+    let var_events: Vec<Vec<Event>> = graph
+        .variables()
+        .map(|v| {
+            graph
+                .variable_edges(v)
+                .iter()
+                .map(|&(p, n)| (p.index(), n.index()))
+                .collect()
+        })
+        .collect();
+    let mut outcomes = BTreeSet::new();
+    let mut perms: Vec<Vec<Event>> = var_events.to_vec();
+    enumerate_var_perms(graph, &var_events, &mut perms, 0, &mut outcomes);
+    OutcomeSet {
+        outcomes: outcomes.into_iter().collect(),
+        complete: true,
+    }
+}
+
+fn enumerate_var_perms(
+    graph: &SystemGraph,
+    var_events: &[Vec<Event>],
+    perms: &mut Vec<Vec<Event>>,
+    vi: usize,
+    outcomes: &mut BTreeSet<RelabelOutcome>,
+) {
+    if vi == var_events.len() {
+        if let Some(outcome) = realize(graph, perms) {
+            outcomes.insert(outcome);
+        }
+        return;
+    }
+    let mut events = var_events[vi].clone();
+    permute(&mut events, 0, &mut |perm| {
+        perms[vi] = perm.to_vec();
+        enumerate_var_perms(graph, var_events, perms, vi + 1, outcomes);
+    });
+}
+
+fn permute<T: Clone>(items: &mut [T], k: usize, visit: &mut impl FnMut(&[T])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// Checks whether the per-variable orders are jointly realizable (acyclic
+/// with the per-processor name-order chains); if so returns the outcome.
+fn realize(graph: &SystemGraph, perms: &[Vec<Event>]) -> Option<RelabelOutcome> {
+    let procs = graph.processor_count();
+    let names = graph.name_count();
+    // Event id = proc * names + name.
+    let id = |e: Event| e.0 * names + e.1;
+    let total = procs * names;
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut indeg = vec![0usize; total];
+    // Per-processor chains.
+    for p in 0..procs {
+        for n in 1..names {
+            succ[id((p, n - 1))].push(id((p, n)));
+            indeg[id((p, n))] += 1;
+        }
+    }
+    // Per-variable chains.
+    for perm in perms {
+        for w in perm.windows(2) {
+            succ[id(w[0])].push(id(w[1]));
+            indeg[id(w[1])] += 1;
+        }
+    }
+    // Kahn topological sort.
+    let mut queue: Vec<usize> = (0..total).filter(|&e| indeg[e] == 0).collect();
+    let mut seen = 0;
+    while let Some(e) = queue.pop() {
+        seen += 1;
+        for &s in &succ[e] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if seen != total {
+        return None; // cyclic: not realizable
+    }
+    // Outcome: each event's rank within its variable's permutation.
+    let mut counts = vec![vec![0usize; names]; procs];
+    for perm in perms {
+        for (rank, &(p, n)) in perm.iter().enumerate() {
+            counts[p][n] = rank;
+        }
+    }
+    Some(counts)
+}
+
+/// Samples realizable outcomes by generating random global interleavings
+/// consistent with the per-processor name order.
+fn sample_outcomes(graph: &SystemGraph, budget: usize) -> OutcomeSet {
+    let procs = graph.processor_count();
+    let names = graph.name_count();
+    let mut rng = StdRng::seed_from_u64(0x51_73_79_6d);
+    let mut outcomes = BTreeSet::new();
+    // Always include the canonical round-robin outcome.
+    outcomes.insert(relabel_round_robin(graph));
+    for _ in 0..budget.saturating_mul(4) {
+        if outcomes.len() >= budget {
+            break;
+        }
+        // A random linearization: shuffle processors into a sequence of
+        // "turns"; each processor performs its name-events in order, at
+        // positions drawn by interleaving.
+        let mut events: Vec<Event> = (0..procs)
+            .flat_map(|p| (0..names).map(move |n| (p, n)))
+            .collect();
+        events.shuffle(&mut rng);
+        // Stable-sort by name within each processor to restore per-proc
+        // order while keeping the random interleaving across processors.
+        let mut next_name = vec![0usize; procs];
+        let mut ordered = Vec::with_capacity(events.len());
+        let mut pending = events;
+        while !pending.is_empty() {
+            let mut progressed = false;
+            let mut rest = Vec::new();
+            for e in pending {
+                if e.1 == next_name[e.0] {
+                    next_name[e.0] += 1;
+                    ordered.push(e);
+                    progressed = true;
+                } else {
+                    rest.push(e);
+                }
+            }
+            pending = rest;
+            assert!(progressed, "interleaving repair always progresses");
+        }
+        // Per-variable ranks from the global order.
+        let mut var_next = vec![0usize; graph.variable_count()];
+        let mut counts = vec![vec![0usize; names]; procs];
+        for (p, n) in ordered {
+            let v = graph.n_nbr(ProcId::new(p), simsym_graph::NameId::new(n));
+            counts[p][n] = var_next[v.index()];
+            var_next[v.index()] += 1;
+        }
+        outcomes.insert(counts);
+    }
+    OutcomeSet {
+        outcomes: outcomes.into_iter().collect(),
+        complete: false,
+    }
+}
+
+/// Synthesizes a *schedule* realizing a given relabel outcome on the real
+/// machine — the constructive content of Theorem 8's proof: for any member
+/// of the family `R` there is a schedule of the locking system that
+/// produces exactly that member.
+///
+/// The returned sequence drives the `relabel` procedure (4 micro-steps per
+/// acquisition: lock, read, write, unlock) so that each variable is locked
+/// in exactly the order the outcome prescribes. Returns `None` when the
+/// outcome is not realizable (its per-variable orders conflict with the
+/// processors' name-order chains).
+pub fn synthesize_schedule(graph: &SystemGraph, outcome: &RelabelOutcome) -> Option<Vec<ProcId>> {
+    let names = graph.name_count();
+    let procs = graph.processor_count();
+    if outcome.len() != procs || outcome.iter().any(|c| c.len() != names) {
+        return None;
+    }
+    // Rebuild per-variable event orders from the outcome ranks.
+    let mut per_var: Vec<Vec<Option<Event>>> = graph
+        .variables()
+        .map(|v| vec![None; graph.variable_degree(v)])
+        .collect();
+    for p in 0..procs {
+        for n in 0..names {
+            let v = graph.n_nbr(ProcId::new(p), simsym_graph::NameId::new(n));
+            let rank = outcome[p][n];
+            let slot = per_var.get_mut(v.index())?.get_mut(rank)?;
+            if slot.is_some() {
+                return None; // duplicate rank
+            }
+            *slot = Some((p, n));
+        }
+    }
+    let perms: Vec<Vec<Event>> = per_var
+        .into_iter()
+        .map(|slots| slots.into_iter().collect::<Option<Vec<_>>>())
+        .collect::<Option<Vec<_>>>()?;
+    // Topologically order the events (per-proc name chains + per-var
+    // chains), then expand each event into its four micro-steps.
+    let id = |e: Event| e.0 * names + e.1;
+    let total = procs * names;
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut indeg = vec![0usize; total];
+    for p in 0..procs {
+        for n in 1..names {
+            succ[id((p, n - 1))].push(id((p, n)));
+            indeg[id((p, n))] += 1;
+        }
+    }
+    for perm in &perms {
+        for w in perm.windows(2) {
+            succ[id(w[0])].push(id(w[1]));
+            indeg[id(w[1])] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..total).filter(|&e| indeg[e] == 0).collect();
+    queue.sort_unstable();
+    let mut order = Vec::with_capacity(total);
+    while let Some(e) = queue.pop() {
+        order.push(e);
+        for &t in &succ[e] {
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    if order.len() != total {
+        return None; // cyclic
+    }
+    // Each event = 4 consecutive steps of its processor: since the events
+    // are emitted in a global order consistent with every variable's lock
+    // order, no lock attempt in this schedule ever fails.
+    let mut schedule = Vec::with_capacity(total * 4);
+    for e in order {
+        let p = ProcId::new(e / names);
+        for _ in 0..4 {
+            schedule.push(p);
+        }
+    }
+    Some(schedule)
+}
+
+/// Enumerates the outcomes for **extended locking** (§6): each processor
+/// acquires all its neighbors in one indivisible instruction, so an
+/// execution induces a global acquisition order on processors; each
+/// processor's count at a variable is its rank among that variable's
+/// neighbors in the order.
+pub fn lstar_outcomes(graph: &SystemGraph, budget: usize) -> OutcomeSet {
+    let procs = graph.processor_count();
+    let names = graph.name_count();
+    let mut outcomes = BTreeSet::new();
+    let mut order: Vec<usize> = (0..procs).collect();
+    let mut factorial = 1usize;
+    let mut complete = true;
+    for f in 2..=procs {
+        factorial = factorial.saturating_mul(f);
+    }
+    if factorial <= budget {
+        permute(&mut order, 0, &mut |perm| {
+            outcomes.insert(lstar_counts(graph, perm, names));
+        });
+    } else {
+        complete = false;
+        let mut rng = StdRng::seed_from_u64(0x4c_2a);
+        for _ in 0..budget.saturating_mul(4) {
+            if outcomes.len() >= budget {
+                break;
+            }
+            order.shuffle(&mut rng);
+            outcomes.insert(lstar_counts(graph, &order, names));
+        }
+    }
+    OutcomeSet {
+        outcomes: outcomes.into_iter().collect(),
+        complete,
+    }
+}
+
+/// The L* outcome induced by a specific global acquisition order.
+pub fn lstar_counts_for(graph: &SystemGraph, order: &[usize]) -> RelabelOutcome {
+    lstar_counts(graph, order, graph.name_count())
+}
+
+fn lstar_counts(graph: &SystemGraph, order: &[usize], names: usize) -> RelabelOutcome {
+    let mut var_next = vec![0usize; graph.variable_count()];
+    let mut counts = vec![vec![0usize; names]; graph.processor_count()];
+    for &pi in order {
+        let p = ProcId::new(pi);
+        // Rank per distinct variable (a processor adjacent under two names
+        // acquires the variable once).
+        let mut vars: Vec<_> = graph.processor_neighbors(p).to_vec();
+        vars.sort_unstable();
+        vars.dedup();
+        let mut rank_of = std::collections::BTreeMap::new();
+        for v in vars {
+            rank_of.insert(v, var_next[v.index()]);
+            var_next[v.index()] += 1;
+        }
+        for (n, &v) in graph.processor_neighbors(p).iter().enumerate() {
+            counts[pi][n] = rank_of[&v];
+        }
+    }
+    counts
+}
+
+/// Folds a relabel outcome into the initial state: each processor's value
+/// becomes `(base, (count₀, count₁, …))`. Variable values are reset to the
+/// base init (relabel leaves each counter equal to the variable's degree,
+/// which carries no extra information and is dropped for clarity).
+pub fn outcome_init(
+    graph: &SystemGraph,
+    base: &SystemInit,
+    outcome: &RelabelOutcome,
+) -> SystemInit {
+    assert_eq!(outcome.len(), graph.processor_count());
+    let proc_values = base
+        .proc_values
+        .iter()
+        .zip(outcome)
+        .map(|(b, counts)| {
+            Value::tuple([
+                b.clone(),
+                Value::tuple(counts.iter().map(|&c| Value::from(c))),
+            ])
+        })
+        .collect();
+    SystemInit {
+        proc_values,
+        var_values: base.var_values.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+
+    #[test]
+    fn round_robin_on_uniform_ring_is_symmetric() {
+        for n in [3, 4, 5] {
+            let g = topology::uniform_ring(n);
+            let out = relabel_round_robin(&g);
+            // Every processor reads the same count vector: the schedule
+            // preserves rotational symmetry.
+            for p in 1..n {
+                assert_eq!(out[p], out[0], "ring {n}: p{p} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_on_figure1_breaks_symmetry() {
+        let g = topology::figure1();
+        let out = relabel_round_robin(&g);
+        assert_ne!(out[0], out[1]);
+        let mut sorted: Vec<usize> = vec![out[0][0], out[1][0]];
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn figure1_outcomes_complete() {
+        let g = topology::figure1();
+        let set = relabel_outcomes(&g, 1000);
+        assert!(set.complete);
+        // Two realizable outcomes: p0 first or p1 first.
+        assert_eq!(set.outcomes.len(), 2);
+        for o in &set.outcomes {
+            let mut counts: Vec<usize> = vec![o[0][0], o[1][0]];
+            counts.sort_unstable();
+            assert_eq!(counts, vec![0, 1]);
+        }
+        // The round-robin outcome is among them.
+        assert!(set.outcomes.contains(&relabel_round_robin(&g)));
+    }
+
+    #[test]
+    fn ring_outcomes_include_symmetric_one() {
+        let g = topology::uniform_ring(3);
+        let set = relabel_outcomes(&g, 10_000);
+        assert!(set.complete);
+        // The all-equal outcome must be realizable (Theorem: rings resist
+        // locking).
+        let symmetric = set.outcomes.iter().any(|o| o.iter().all(|c| c == &o[0]));
+        assert!(symmetric, "no symmetric outcome among {:?}", set.outcomes);
+        // And asymmetric outcomes exist too.
+        let asymmetric = set.outcomes.iter().any(|o| o.iter().any(|c| c != &o[0]));
+        assert!(asymmetric);
+    }
+
+    #[test]
+    fn cyclic_orders_are_rejected() {
+        // On a 2-ring, each variable is locked by both processors; the
+        // outcome where each processor reads 0 from *both* its variables
+        // would require each variable to be locked first by different
+        // processors in a cyclic way... in fact for a 2-ring, (0,0)/(0,0)
+        // would need p0 first on both vars AND p1 first on both vars —
+        // plainly impossible. Verify no outcome has both processors
+        // reading (0, 0).
+        let g = topology::uniform_ring(2);
+        let set = relabel_outcomes(&g, 1000);
+        assert!(set.complete);
+        for o in &set.outcomes {
+            assert!(
+                !(o[0] == vec![0, 0] && o[1] == vec![0, 0]),
+                "impossible outcome produced"
+            );
+        }
+        // But the symmetric (0,1)/(0,1) outcome IS realizable (lock left
+        // vars first everywhere, then right vars).
+        assert!(set
+            .outcomes
+            .iter()
+            .any(|o| o[0] == vec![0, 1] && o[1] == vec![0, 1]));
+    }
+
+    #[test]
+    fn sampled_outcomes_when_budget_small() {
+        let g = topology::uniform_ring(8);
+        let set = relabel_outcomes(&g, 16);
+        assert!(!set.complete);
+        assert!(!set.outcomes.is_empty());
+        assert!(set.outcomes.len() <= 16);
+        // All sampled outcomes have the right shape.
+        for o in &set.outcomes {
+            assert_eq!(o.len(), 8);
+            assert!(o.iter().all(|c| c.len() == 2));
+        }
+    }
+
+    #[test]
+    fn lstar_breaks_two_ring_symmetry() {
+        // In L the 2-ring admits a symmetric outcome; in L* it cannot:
+        // one processor acquires both variables first.
+        let g = topology::uniform_ring(2);
+        let set = lstar_outcomes(&g, 1000);
+        assert!(set.complete);
+        for o in &set.outcomes {
+            assert_ne!(o[0], o[1], "extended locking must separate the pair");
+        }
+        assert_eq!(set.outcomes.len(), 2);
+    }
+
+    #[test]
+    fn synthesized_schedules_realize_their_outcomes() {
+        // For every realizable outcome of the 3-ring, the synthesized
+        // schedule drives the actual relabel program to exactly that
+        // outcome.
+        use simsym_vm::{FixedSequence, InstructionSet, Machine, SystemInit, Value};
+        use std::sync::Arc;
+
+        // The relabel program as an executable L program.
+        struct Relabel;
+        impl simsym_vm::Program for Relabel {
+            fn boot(&self, initial: &Value) -> simsym_vm::LocalState {
+                let mut s = simsym_vm::LocalState::with_initial(initial.clone());
+                s.set("ni", Value::from(0));
+                s.set("stage", Value::from(0));
+                s
+            }
+            fn step(&self, local: &mut simsym_vm::LocalState, ops: &mut simsym_vm::OpEnv<'_>) {
+                let ni = local.get("ni").as_int().unwrap_or(0) as usize;
+                if ni >= ops.name_count() {
+                    return;
+                }
+                let name = ops.all_names()[ni];
+                match local.get("stage").as_int().unwrap_or(0) {
+                    0 => {
+                        if ops.lock(name) {
+                            local.set("stage", Value::from(1));
+                        }
+                    }
+                    1 => {
+                        let v = ops.read(name);
+                        local.set("buf", v);
+                        local.set("stage", Value::from(2));
+                    }
+                    2 => {
+                        let c = local.get("buf").as_int().unwrap_or(0);
+                        local.set(&format!("count{ni}"), Value::from(c));
+                        ops.write(name, Value::from(c + 1));
+                        local.set("stage", Value::from(3));
+                    }
+                    _ => {
+                        ops.unlock(name);
+                        local.set("ni", Value::from(ni as i64 + 1));
+                        local.set("stage", Value::from(0));
+                    }
+                }
+            }
+            fn name(&self) -> &str {
+                "relabel"
+            }
+        }
+
+        let g = topology::uniform_ring(3);
+        let set = relabel_outcomes(&g, 10_000);
+        assert!(set.complete);
+        let names = g.name_count();
+        for outcome in &set.outcomes {
+            let schedule = synthesize_schedule(&g, outcome)
+                .unwrap_or_else(|| panic!("outcome {outcome:?} must be realizable"));
+            let mut init = SystemInit::uniform(&g);
+            init.var_values = g.variables().map(|_| Value::from(0)).collect();
+            let mut m = Machine::new(
+                Arc::new(g.clone()),
+                InstructionSet::L,
+                Arc::new(Relabel),
+                &init,
+            )
+            .unwrap();
+            let mut sched = FixedSequence::once(schedule);
+            for _ in 0..(g.processor_count() * names * 4) {
+                let p = simsym_vm::Scheduler::next(&mut sched, &m);
+                m.step(p);
+            }
+            // Every processor's recorded counts match the outcome.
+            for p in g.processors() {
+                for n in 0..names {
+                    assert_eq!(
+                        m.local(p).get(&format!("count{n}")).as_int(),
+                        Some(outcome[p.index()][n] as i64),
+                        "{p} name {n} under outcome {outcome:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrealizable_outcomes_are_rejected() {
+        // On a 2-ring, both processors reading 0 from both variables is
+        // impossible.
+        let g = topology::uniform_ring(2);
+        let impossible = vec![vec![0, 0], vec![0, 0]];
+        assert!(synthesize_schedule(&g, &impossible).is_none());
+        // Wrong shapes are rejected too.
+        assert!(synthesize_schedule(&g, &vec![vec![0, 1]]).is_none());
+    }
+
+    #[test]
+    fn outcome_init_tuples_base_and_counts() {
+        let g = topology::figure1();
+        let base = SystemInit::uniform(&g);
+        let outcome = vec![vec![0], vec![1]];
+        let init = outcome_init(&g, &base, &outcome);
+        assert_eq!(
+            init.proc_values[1],
+            Value::tuple([Value::Unit, Value::tuple([Value::from(1)])])
+        );
+        assert!(init.matches(&g));
+    }
+
+    #[test]
+    fn no_names_degenerate() {
+        let mut b = SystemGraph::builder();
+        b.processor();
+        let g = b.build().unwrap();
+        let out = relabel_round_robin(&g);
+        assert_eq!(out, vec![Vec::<usize>::new()]);
+        let set = relabel_outcomes(&g, 10);
+        assert!(set.complete);
+        assert_eq!(set.outcomes.len(), 1);
+    }
+}

@@ -1,0 +1,877 @@
+//! `SELECT(Σ)` and Algorithms 3–4: selection programs for single systems
+//! in **Q**, homogeneous families in **Q**, and systems in **L**.
+//!
+//! * [`selection_program_q`] — `SELECT(Σ)` for a single connected system in
+//!   Q: Algorithm 2 plus “select yourself if your learned label is the
+//!   designated unique label” (§4).
+//! * [`Algorithm3`] — the two-phase family learner (§5): phase A runs
+//!   Algorithm 2 *ignoring initial states* (identical on every member of a
+//!   homogeneous family) so processors learn the init-independent labeling
+//!   — in particular the neighbor-count classes of their variables; phase B
+//!   re-runs Algorithm 2 with those classes as the variables' initial
+//!   states and the member's true processor states, learning the family
+//!   similarity label. With an `ELITE` set (Theorem 7) it selects.
+//! * [`Algorithm4`] — selection in **L** (Theorem 9): `relabel` (lock each
+//!   neighbor in name order, read-increment its counter), then a barrier,
+//!   then phase B of Algorithm 3 over the *relabel outcome family*, with
+//!   `peek`/`post` **emulated on read/write/lock** — each processor's
+//!   lock-order rank keys its slot in a variable-resident map, which is
+//!   precisely how L's power strictly exceeds Q's.
+//!
+//! ### Deviation note (barrier)
+//!
+//! The paper's Algorithm 4 analyzes the post-`relabel` system as a family
+//! member, implicitly treating `relabel` as completed before label
+//! learning begins. Executably, a processor cannot observe global
+//! `relabel` completion under plain fairness; under a `k`-bounded-fair
+//! schedule it *can* wait out a step budget that guarantees completion.
+//! [`Algorithm4`] therefore takes the schedule bound `k` and inserts that
+//! barrier. The paper itself notes (§4, §5) that for connected systems the
+//! selection problem does not distinguish fair from bounded-fair
+//! schedules, so this restriction loses no generality for solvability.
+
+use crate::distributed::{
+    encode_post, labels_to_set, set_to_labels, store_peek, update_suspects_phase, Alg2Tables,
+    LabelLearner,
+};
+use crate::family::elite_from_member_labels;
+use crate::relabel::{lstar_outcomes, outcome_init, relabel_outcomes};
+use crate::{hopcroft_similarity, Family, InconsistentLabeling, Label, Model};
+use simsym_graph::SystemGraph;
+use simsym_vm::{LocalState, OpEnv, PeekView, Program, SystemInit, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Default enumeration budget for relabel outcome families.
+pub const DEFAULT_OUTCOME_BUDGET: usize = 2_000;
+
+/// Builds `SELECT(Σ)` for a single system in **Q**: returns `None` when
+/// the similarity labeling leaves every processor shadowed (no selection
+/// algorithm exists, Theorem 3).
+///
+/// # Errors
+///
+/// Propagates [`InconsistentLabeling`] if table generation fails (cannot
+/// happen for labelings produced by Algorithm 1).
+pub fn selection_program_q(
+    graph: &SystemGraph,
+    init: &SystemInit,
+) -> Result<Option<LabelLearner>, InconsistentLabeling> {
+    let theta = hopcroft_similarity(graph, init, Model::Q);
+    let unique = theta.uniquely_labeled_processors();
+    let Some(&leader) = unique.first() else {
+        return Ok(None);
+    };
+    let designated = theta.proc_label(leader);
+    let learner = LabelLearner::new(graph, init, &theta)?;
+    Ok(Some(learner.with_elite(BTreeSet::from([designated]))))
+}
+
+/// The two-phase family learner/selector of §5.
+pub struct Algorithm3 {
+    phase_a: Arc<Alg2Tables>,
+    phase_b: Arc<Alg2Tables>,
+    elite: Option<BTreeSet<Label>>,
+    name: String,
+}
+
+impl Algorithm3 {
+    /// Builds Algorithm 3 for a homogeneous family in **Q**.
+    ///
+    /// Returns `Ok(None)` when the family has no `ELITE` set — by
+    /// Theorem 7 it then has no selection algorithm (calling
+    /// [`Algorithm3::learner_only`] still yields the label-learning
+    /// program).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-generation failures.
+    pub fn for_family(family: &Family) -> Result<Option<Algorithm3>, InconsistentLabeling> {
+        let mut alg = Self::learner_only(family)?;
+        let (_, member_labels) = family_phase_b(family).1;
+        let Some(elite) = elite_from_member_labels(&member_labels) else {
+            return Ok(None);
+        };
+        alg.elite = Some(elite.labels);
+        alg.name = "algorithm3-select".to_owned();
+        Ok(Some(alg))
+    }
+
+    /// The label-learning program without selection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-generation failures.
+    pub fn learner_only(family: &Family) -> Result<Algorithm3, InconsistentLabeling> {
+        let graph = family.graph();
+        // Phase A: the init-independent labeling of the (single) network.
+        let uniform = SystemInit::uniform(graph);
+        let theta_a = hopcroft_similarity(graph, &uniform, Model::Q);
+        let tables_a = Alg2Tables::generate(graph, &uniform, &theta_a)?.ignoring_init();
+        // Phase B: the family labeling with variables re-seeded by their
+        // phase-A label.
+        let (family_b, _) = family_phase_b(family);
+        let (ugraph, uinit) = family_b.union_system();
+        let theta_b = hopcroft_similarity(&ugraph, &uinit, Model::Q);
+        let tables_b = Alg2Tables::generate(&ugraph, &uinit, &theta_b)?;
+        Ok(Algorithm3 {
+            phase_a: Arc::new(tables_a),
+            phase_b: Arc::new(tables_b),
+            elite: None,
+            name: "algorithm3".to_owned(),
+        })
+    }
+
+    /// The phase-B (family) label a processor has learned, if finished.
+    pub fn learned_label(local: &LocalState) -> Option<Label> {
+        (local.get("phase").as_int() == Some(1) && local.pc == u32::MAX)
+            .then(|| LabelLearner::learned_label(local))
+            .flatten()
+    }
+
+    /// Whether a processor has finished both phases.
+    pub fn is_done(local: &LocalState) -> bool {
+        local.get("phase").as_int() == Some(1) && local.pc == u32::MAX
+    }
+}
+
+/// Re-seeds the members' variable initial states with their phase-A labels
+/// and returns the family plus its similarity data.
+fn family_phase_b(family: &Family) -> (Family, (crate::Labeling, Vec<Vec<Label>>)) {
+    let graph = family.graph();
+    let uniform = SystemInit::uniform(graph);
+    let theta_a = hopcroft_similarity(graph, &uniform, Model::Q);
+    let members_b: Vec<SystemInit> = family
+        .members()
+        .iter()
+        .map(|m| SystemInit {
+            proc_values: m.proc_values.clone(),
+            var_values: graph
+                .variables()
+                .map(|v| Value::Sym(theta_a.var_label(v)))
+                .collect(),
+        })
+        .collect();
+    let family_b = Family::new(graph.clone(), members_b).expect("same shapes as input family");
+    let sim = family_b.similarity(Model::Q);
+    (family_b, sim)
+}
+
+const DONE: u32 = u32::MAX;
+
+impl Program for Algorithm3 {
+    fn boot(&self, initial: &Value) -> LocalState {
+        // Phase A boots in ignore-init mode; remember the true initial
+        // value for phase B.
+        let mut s = LabelLearner::from_tables(Arc::clone(&self.phase_a)).boot(initial);
+        s.set("phase", Value::from(0));
+        s.set("true_init", initial.clone());
+        s
+    }
+
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        match local.get("phase").as_int() {
+            Some(0) => {
+                let t = &self.phase_a;
+                let names = t.name_count() as u32;
+                if local.pc == DONE || names == 0 {
+                    // Degenerate: straight to phase B.
+                    self.enter_phase_b(local);
+                    return;
+                }
+                if local.pc < names {
+                    let ni = local.pc as usize;
+                    let name = ops.all_names()[ni];
+                    let view = ops.peek(name);
+                    store_peek(local, ni, &view, t);
+                    local.pc += 1;
+                    if local.pc == names {
+                        update_suspects_phase(local, t, 0);
+                    }
+                } else {
+                    let ni = (local.pc - names) as usize;
+                    let name = ops.all_names()[ni];
+                    let pec = local.get("pec");
+                    ops.post(name, encode_post(pec, ni, 0, Value::Unit));
+                    local.pc += 1;
+                    if local.pc == 2 * names {
+                        let pec = set_to_labels(&local.get("pec"));
+                        if pec.len() == 1 {
+                            self.enter_phase_b(local);
+                        } else {
+                            local.pc = 0;
+                        }
+                    }
+                }
+            }
+            Some(1) => {
+                let t = &self.phase_b;
+                let names = t.name_count() as u32;
+                if local.pc == DONE {
+                    return;
+                }
+                if names == 0 {
+                    local.pc = DONE;
+                    return;
+                }
+                if local.pc < names {
+                    let ni = local.pc as usize;
+                    let name = ops.all_names()[ni];
+                    let view = ops.peek(name);
+                    // VEC was pre-seeded at the phase switch; store_peek
+                    // only records the posts.
+                    store_peek(local, ni, &view, t);
+                    local.pc += 1;
+                    if local.pc == names {
+                        update_suspects_phase(local, t, 1);
+                    }
+                } else {
+                    let ni = (local.pc - names) as usize;
+                    let name = ops.all_names()[ni];
+                    let pec = local.get("pec");
+                    let prior = local.get("alabel");
+                    ops.post(name, encode_post(pec, ni, 1, prior));
+                    local.pc += 1;
+                    if local.pc == 2 * names {
+                        let pec = set_to_labels(&local.get("pec"));
+                        if pec.len() == 1 {
+                            if let Some(elite) = &self.elite {
+                                if elite.contains(&pec[0]) {
+                                    local.selected = true;
+                                }
+                            }
+                            local.pc = DONE;
+                        } else {
+                            local.pc = 0;
+                        }
+                    }
+                }
+            }
+            other => panic!("algorithm 3 in invalid phase {other:?}"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Algorithm3 {
+    fn enter_phase_b(&self, local: &mut LocalState) {
+        let a_label = LabelLearner::learned_label(local)
+            .expect("phase A finished with a singleton suspect set");
+        local.set("alabel", Value::Sym(a_label));
+        local.set("phase", Value::from(1));
+        let tb = &self.phase_b;
+        let true_init = local.get("true_init");
+        let pec: Vec<Label> = tb
+            .proc_labels()
+            .iter()
+            .copied()
+            .filter(|l| tb.state0_of_proc(*l) == Some(&true_init))
+            .collect();
+        local.set("pec", labels_to_set(pec));
+        // VEC[n] := labels whose (phase-B) initial state is the phase-A
+        // label of my n-neighbor, which I can derive from my own phase-A
+        // label.
+        let ta = &self.phase_a;
+        let vec: Vec<Value> = (0..tb.name_count())
+            .map(|n| {
+                let nbr_a = ta
+                    .neighbor_label(a_label, n)
+                    .expect("phase-A neighbor label exists");
+                let want = Value::Sym(nbr_a);
+                labels_to_set(
+                    tb.var_labels()
+                        .iter()
+                        .copied()
+                        .filter(|l| tb.state0_of_var(*l) == Some(&want)),
+                )
+            })
+            .collect();
+        local.set("vec", Value::Tuple(vec));
+        local.set(
+            "peeked",
+            Value::tuple(std::iter::repeat_n(Value::Unit, tb.name_count())),
+        );
+        local.pc = 0;
+    }
+}
+
+/// Selection for systems in **L** (Algorithm 4, Theorem 9) and **L***
+/// (§6): `relabel`, barrier, then the emulated family learner.
+pub struct Algorithm4 {
+    tables: Arc<Alg2Tables>,
+    elite: Option<BTreeSet<Label>>,
+    names: usize,
+    /// Own-step budget for the post-relabel barrier.
+    barrier: i64,
+    extended: bool,
+    name: String,
+}
+
+/// The decision produced while generating [`Algorithm4`].
+pub struct LSelectionPlan {
+    /// The generated program, when selection is possible.
+    pub program: Option<Algorithm4>,
+    /// Whether the outcome family was enumerated exhaustively (if not,
+    /// an impossibility verdict is heuristic, not a certificate).
+    pub complete: bool,
+    /// Per-member processor labels of the outcome family (diagnostics).
+    pub member_labels: Vec<Vec<Label>>,
+}
+
+impl Algorithm4 {
+    /// Analyzes a system in **L** (or **L*** with `extended = true`) under
+    /// `k`-bounded-fair schedules and builds the selection program when
+    /// one exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-generation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is smaller than the processor count (no such
+    /// schedule exists).
+    pub fn plan(
+        graph: &SystemGraph,
+        init: &SystemInit,
+        k: usize,
+        extended: bool,
+        budget: usize,
+    ) -> Result<LSelectionPlan, InconsistentLabeling> {
+        assert!(
+            k >= graph.processor_count(),
+            "k-bounded fairness requires k >= processor count"
+        );
+        let outcomes = if extended {
+            lstar_outcomes(graph, budget)
+        } else {
+            relabel_outcomes(graph, budget)
+        };
+        // The family of relabel outcomes: processor states carry the
+        // counts; variable states carry the final counter value (= the
+        // variable's degree), which is what the learner observes.
+        let members: Vec<SystemInit> = outcomes
+            .outcomes
+            .iter()
+            .map(|o| {
+                let mut m = outcome_init(graph, init, o);
+                m.var_values = graph
+                    .variables()
+                    .map(|v| Value::from(graph.variable_degree(v)))
+                    .collect();
+                m
+            })
+            .collect();
+        let family = Family::new(graph.clone(), members).expect("outcome shapes match");
+        let (ugraph, uinit) = family.union_system();
+        let theta = hopcroft_similarity(&ugraph, &uinit, Model::Q);
+        let (_, member_labels) = family.similarity(Model::Q);
+        let elite = elite_from_member_labels(&member_labels);
+        let program = match elite {
+            Some(elite) => {
+                let tables = Alg2Tables::generate(&ugraph, &uinit, &theta)?;
+                let maxdeg = graph
+                    .variables()
+                    .map(|v| graph.variable_degree(v))
+                    .max()
+                    .unwrap_or(0);
+                let names = graph.name_count();
+                let barrier = (8 * k * names * (maxdeg + 1) + k) as i64;
+                Some(Algorithm4 {
+                    tables: Arc::new(tables),
+                    elite: Some(elite.labels),
+                    names,
+                    barrier,
+                    extended,
+                    name: if extended {
+                        "algorithm4-lstar".to_owned()
+                    } else {
+                        "algorithm4".to_owned()
+                    },
+                })
+            }
+            None => None,
+        };
+        Ok(LSelectionPlan {
+            program,
+            complete: outcomes.complete,
+            member_labels,
+        })
+    }
+
+    /// Whether a processor has selected or definitively lost.
+    pub fn is_done(local: &LocalState) -> bool {
+        local.pc == DONE
+    }
+
+    /// The family label a processor learned, if done.
+    pub fn learned_label(local: &LocalState) -> Option<Label> {
+        (local.pc == DONE)
+            .then(|| LabelLearner::learned_label(local))
+            .flatten()
+    }
+}
+
+/// Decodes an L-variable value into `(counter, entries)` where entries map
+/// lock-rank → posted payload.
+fn decode_lvar(v: &Value) -> (i64, Vec<(i64, Value)>) {
+    if let Some([count, entries]) = v.as_tuple().and_then(|t| <&[Value; 2]>::try_from(t).ok()) {
+        if let (Some(c), Some(set)) = (count.as_int(), entries.as_set()) {
+            let entries = set
+                .iter()
+                .filter_map(|e| {
+                    let [rank, payload] = <&[Value; 2]>::try_from(e.as_tuple()?).ok()?;
+                    Some((rank.as_int()?, payload.clone()))
+                })
+                .collect();
+            return (c, entries);
+        }
+    }
+    (0, Vec::new())
+}
+
+fn encode_lvar(count: i64, entries: Vec<(i64, Value)>) -> Value {
+    Value::tuple([
+        Value::from(count),
+        Value::set(
+            entries
+                .into_iter()
+                .map(|(r, p)| Value::tuple([Value::from(r), p])),
+        ),
+    ])
+}
+
+impl Program for Algorithm4 {
+    fn boot(&self, initial: &Value) -> LocalState {
+        let mut s = LocalState::with_initial(initial.clone());
+        s.set("phase", Value::from(0)); // 0 relabel, 1 barrier, 2 learn
+        s.set("rname", Value::from(0));
+        s.set("rstage", Value::from(0));
+        s.set(
+            "counts",
+            Value::tuple(std::iter::repeat_n(Value::Unit, self.names)),
+        );
+        if self.names == 0 {
+            s.pc = DONE;
+        }
+        s
+    }
+
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        if local.pc == DONE {
+            return;
+        }
+        match local.get("phase").as_int() {
+            Some(0) => self.step_relabel(local, ops),
+            Some(1) => {
+                let w = local.get("wait").as_int().unwrap_or(0);
+                if w <= 1 {
+                    self.enter_learn(local);
+                } else {
+                    local.set("wait", Value::from(w - 1));
+                }
+            }
+            Some(2) => self.step_learn(local, ops),
+            other => panic!("algorithm 4 in invalid phase {other:?}"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Algorithm4 {
+    fn step_relabel(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        let ni = local.get("rname").as_int().unwrap_or(0) as usize;
+        let name = ops.all_names()[ni];
+        match local.get("rstage").as_int().unwrap_or(0) {
+            0 => {
+                // In L*, atomically lock *all* neighbors; in L, lock the
+                // current one.
+                let got = if self.extended {
+                    let names = ops.all_names();
+                    ops.lock_many(&names)
+                } else {
+                    ops.lock(name)
+                };
+                if got {
+                    local.set("rstage", Value::from(1));
+                }
+            }
+            1 => {
+                let v = ops.read(name);
+                let (c, entries) = decode_lvar(&v);
+                let mut counts = local
+                    .get_ref("counts")
+                    .and_then(|v| v.as_tuple())
+                    .map(<[Value]>::to_vec)
+                    .expect("counts register");
+                counts[ni] = Value::from(c);
+                local.set("counts", Value::Tuple(counts));
+                local.set("rbuf", encode_lvar(c, entries));
+                local.set("rstage", Value::from(2));
+            }
+            2 => {
+                let (c, entries) = decode_lvar(&local.get("rbuf"));
+                ops.write(name, encode_lvar(c + 1, entries));
+                local.set("rstage", Value::from(3));
+            }
+            _ => {
+                if self.extended {
+                    // Unlock only after processing the last name (the
+                    // multi-lock held everything). Unlock one variable per
+                    // step.
+                    let next = ni + 1;
+                    if next < self.names {
+                        // Move to reading the next variable while still
+                        // holding all locks; unlock at the very end.
+                        local.set("rname", Value::from(next));
+                        local.set("rstage", Value::from(1));
+                        return;
+                    }
+                    // Release in reverse order, one per step, tracked by
+                    // "runlock".
+                    let r = local.get("runlock").as_int().unwrap_or(0) as usize;
+                    if r < self.names {
+                        ops.unlock(ops.all_names()[r]);
+                        local.set("runlock", Value::from(r as i64 + 1));
+                        if r + 1 < self.names {
+                            return;
+                        }
+                    }
+                    self.enter_barrier(local);
+                } else {
+                    ops.unlock(name);
+                    let next = ni + 1;
+                    if next < self.names {
+                        local.set("rname", Value::from(next));
+                        local.set("rstage", Value::from(0));
+                    } else {
+                        self.enter_barrier(local);
+                    }
+                }
+            }
+        }
+    }
+
+    fn enter_barrier(&self, local: &mut LocalState) {
+        local.set("phase", Value::from(1));
+        local.set("wait", Value::from(self.barrier));
+    }
+
+    fn enter_learn(&self, local: &mut LocalState) {
+        let t = &self.tables;
+        local.set("phase", Value::from(2));
+        // Pseudo-initial state: (true init, counts) — the family member's
+        // processor state after relabel.
+        let counts = local.get("counts");
+        let pseudo = Value::tuple([local.get("init"), counts]);
+        let pec: Vec<Label> = t
+            .proc_labels()
+            .iter()
+            .copied()
+            .filter(|l| t.state0_of_proc(*l) == Some(&pseudo))
+            .collect();
+        local.set("pec", labels_to_set(pec));
+        local.set(
+            "vec",
+            Value::tuple(std::iter::repeat_n(Value::Unit, self.names)),
+        );
+        local.set(
+            "peeked",
+            Value::tuple(std::iter::repeat_n(Value::Unit, self.names)),
+        );
+        local.pc = 0;
+        local.set("post_ni", Value::from(0));
+        local.set("pstage", Value::from(0));
+    }
+
+    fn step_learn(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        let t = &self.tables;
+        let names = self.names as u32;
+        if local.pc < names {
+            // Emulated peek: one atomic read.
+            let ni = local.pc as usize;
+            let name = ops.all_names()[ni];
+            let raw = ops.read(name);
+            let (count, entries) = decode_lvar(&raw);
+            let view = PeekView {
+                initial: Value::from(count),
+                posted: entries.into_iter().map(|(_, p)| p).collect(),
+            };
+            store_peek(local, ni, &view, t);
+            local.pc += 1;
+            if local.pc == names {
+                update_suspects_phase(local, t, 0);
+                local.set("post_ni", Value::from(0));
+                local.set("pstage", Value::from(0));
+            }
+        } else {
+            // Emulated post: lock, read, write own slot, unlock.
+            let ni = local.get("post_ni").as_int().unwrap_or(0) as usize;
+            let name = ops.all_names()[ni];
+            match local.get("pstage").as_int().unwrap_or(0) {
+                0 => {
+                    if ops.lock(name) {
+                        local.set("pstage", Value::from(1));
+                    }
+                }
+                1 => {
+                    local.set("pbuf", ops.read(name));
+                    local.set("pstage", Value::from(2));
+                }
+                2 => {
+                    let (count, mut entries) = decode_lvar(&local.get("pbuf"));
+                    let rank = local
+                        .get_ref("counts")
+                        .and_then(|v| v.as_tuple())
+                        .and_then(|t| t[ni].as_int())
+                        .expect("rank recorded during relabel");
+                    entries.retain(|(r, _)| *r != rank);
+                    let payload = encode_post(local.get("pec"), ni, 0, Value::Unit);
+                    entries.push((rank, payload));
+                    ops.write(name, encode_lvar(count, entries));
+                    local.set("pstage", Value::from(3));
+                }
+                _ => {
+                    ops.unlock(name);
+                    let next = ni + 1;
+                    if next < self.names {
+                        local.set("post_ni", Value::from(next));
+                        local.set("pstage", Value::from(0));
+                    } else {
+                        // Round complete.
+                        let pec = set_to_labels(&local.get("pec"));
+                        if pec.len() == 1 {
+                            if let Some(elite) = &self.elite {
+                                if elite.contains(&pec[0]) {
+                                    local.selected = true;
+                                }
+                            }
+                            local.pc = DONE;
+                        } else {
+                            local.pc = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::{topology, ProcId};
+    use simsym_vm::{
+        run_until, BoundedFairRandom, InstructionSet, Machine, RoundRobin, Scheduler,
+        StabilityMonitor, UniquenessMonitor,
+    };
+
+    fn run_to_selection(
+        graph: &SystemGraph,
+        isa: InstructionSet,
+        prog: Arc<dyn Program>,
+        init: &SystemInit,
+        sched: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> (Vec<ProcId>, Option<simsym_vm::Violation>) {
+        let mut m = Machine::new(Arc::new(graph.clone()), isa, prog, init).expect("machine");
+        let mut uniq = UniquenessMonitor;
+        let mut stab = StabilityMonitor::default();
+        let report = run_until(
+            &mut m,
+            sched,
+            max_steps,
+            &mut [&mut uniq, &mut stab],
+            |mach| {
+                mach.selected_count() >= 1
+                    && mach.graph().processors().all(|p| {
+                        // Stop when someone selected and everyone has settled.
+                        let l = mach.local(p);
+                        l.pc == u32::MAX || l.selected
+                    })
+            },
+        );
+        (m.selected(), report.violation)
+    }
+
+    #[test]
+    fn q_selection_on_marked_ring() {
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(2)]);
+        let prog = selection_program_q(&g, &init)
+            .expect("tables generate")
+            .expect("marked ring admits selection");
+        let mut sched = RoundRobin::new();
+        let (selected, violation) = run_to_selection(
+            &g,
+            InstructionSet::Q,
+            Arc::new(prog),
+            &init,
+            &mut sched,
+            100_000,
+        );
+        assert!(violation.is_none(), "violation: {violation:?}");
+        assert_eq!(selected.len(), 1);
+    }
+
+    #[test]
+    fn q_selection_impossible_on_uniform_ring() {
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::uniform(&g);
+        assert!(selection_program_q(&g, &init).expect("tables").is_none());
+    }
+
+    #[test]
+    fn q_selection_impossible_on_figure1() {
+        let g = topology::figure1();
+        let init = SystemInit::uniform(&g);
+        assert!(selection_program_q(&g, &init).expect("tables").is_none());
+    }
+
+    #[test]
+    fn q_selection_on_figure2_impossible() {
+        // Fig. 2 has p1 ~ p2: the only unique processor label is p3's, so
+        // selection IS possible (select p3).
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let prog = selection_program_q(&g, &init)
+            .expect("tables")
+            .expect("p3 is uniquely labeled");
+        let mut sched = RoundRobin::new();
+        let (selected, violation) = run_to_selection(
+            &g,
+            InstructionSet::Q,
+            Arc::new(prog),
+            &init,
+            &mut sched,
+            100_000,
+        );
+        assert!(violation.is_none());
+        assert_eq!(selected, vec![ProcId::new(2)], "the unique p3 is selected");
+    }
+
+    #[test]
+    fn algorithm3_selects_across_family_members() {
+        // Family over a 3-ring: member 0 marks p0, member 1 marks p1 with
+        // a different value. One program must elect in both.
+        let g = topology::uniform_ring(3);
+        let mut a = SystemInit::uniform(&g);
+        a.proc_values[0] = Value::from(1);
+        let mut b = SystemInit::uniform(&g);
+        b.proc_values[1] = Value::from(2);
+        let family = Family::new(g.clone(), vec![a.clone(), b.clone()]).unwrap();
+        let prog: Arc<dyn Program> = Arc::new(
+            Algorithm3::for_family(&family)
+                .expect("tables")
+                .expect("family admits selection"),
+        );
+        for init in [&a, &b] {
+            let mut sched = RoundRobin::new();
+            let (selected, violation) = run_to_selection(
+                &g,
+                InstructionSet::Q,
+                Arc::clone(&prog),
+                init,
+                &mut sched,
+                200_000,
+            );
+            assert!(violation.is_none(), "violation: {violation:?}");
+            assert_eq!(selected.len(), 1, "exactly one leader per member");
+        }
+    }
+
+    #[test]
+    fn algorithm3_impossible_with_symmetric_member() {
+        let g = topology::uniform_ring(3);
+        let family = Family::new(
+            g.clone(),
+            vec![
+                SystemInit::with_marked(&g, &[ProcId::new(0)]),
+                SystemInit::uniform(&g),
+            ],
+        )
+        .unwrap();
+        assert!(Algorithm3::for_family(&family).expect("tables").is_none());
+    }
+
+    #[test]
+    fn algorithm4_selects_on_figure1() {
+        // Figure 1 in L: the two processors race for the shared variable's
+        // lock; the relabel counts split them and selection succeeds —
+        // the canonical demonstration that L > Q.
+        let g = topology::figure1();
+        let init = SystemInit::uniform(&g);
+        let k = 4;
+        let plan = Algorithm4::plan(&g, &init, k, false, DEFAULT_OUTCOME_BUDGET).expect("tables");
+        assert!(plan.complete);
+        let prog: Arc<dyn Program> = Arc::new(plan.program.expect("figure 1 selects in L"));
+        for seed in 0..5 {
+            let mut sched = BoundedFairRandom::new(2, k, seed);
+            let (selected, violation) = run_to_selection(
+                &g,
+                InstructionSet::L,
+                Arc::clone(&prog),
+                &init,
+                &mut sched,
+                500_000,
+            );
+            assert!(violation.is_none(), "violation: {violation:?}");
+            assert_eq!(selected.len(), 1, "seed {seed}: exactly one selected");
+        }
+    }
+
+    #[test]
+    fn algorithm4_impossible_on_uniform_ring() {
+        // Rings resist locking: the symmetric relabel outcome keeps all
+        // processors similar (the L-impossibility behind DP).
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::uniform(&g);
+        let plan = Algorithm4::plan(&g, &init, 3, false, 100_000).expect("tables");
+        assert!(plan.complete);
+        assert!(plan.program.is_none());
+    }
+
+    #[test]
+    fn lstar_selects_on_two_ring() {
+        // The 2-ring cannot select in L (symmetric outcome exists) but can
+        // in L*: extended locking orders the two processors globally.
+        let g = topology::uniform_ring(2);
+        let init = SystemInit::uniform(&g);
+        let plan_l = Algorithm4::plan(&g, &init, 2, false, 100_000).expect("tables");
+        assert!(plan_l.complete);
+        assert!(plan_l.program.is_none(), "L cannot elect on the 2-ring");
+        let plan = Algorithm4::plan(&g, &init, 2, true, 100_000).expect("tables");
+        assert!(plan.complete);
+        let prog: Arc<dyn Program> = Arc::new(plan.program.expect("L* elects on the 2-ring"));
+        for seed in 0..5 {
+            let mut sched = BoundedFairRandom::new(2, 2, seed);
+            let (selected, violation) = run_to_selection(
+                &g,
+                InstructionSet::LStar,
+                Arc::clone(&prog),
+                &init,
+                &mut sched,
+                500_000,
+            );
+            assert!(violation.is_none(), "violation: {violation:?}");
+            assert_eq!(selected.len(), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lvar_codec_round_trip() {
+        let entries = vec![(0, Value::from(5)), (2, Value::set([Value::from(1)]))];
+        let v = encode_lvar(3, entries.clone());
+        let (c, e) = decode_lvar(&v);
+        assert_eq!(c, 3);
+        assert_eq!(e, entries);
+        // Unit decodes to empty.
+        assert_eq!(decode_lvar(&Value::Unit), (0, vec![]));
+    }
+}

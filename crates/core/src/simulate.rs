@@ -1,0 +1,257 @@
+//! Operational validation of labelings — Theorem 4, executed.
+//!
+//! A supersimilarity labeling promises that a round-robin schedule keeps
+//! same-labeled processors in identical states at every round boundary,
+//! *for any program*. This module runs that check over a battery of
+//! probe programs: a cheap, high-confidence test that a labeling really is
+//! a supersimilarity labeling (complementing the static
+//! [`is_environment_consistent`](crate::is_environment_consistent) check),
+//! and the tool used throughout the test suite to validate Algorithm 1's
+//! output against the machine itself.
+
+use crate::Labeling;
+use simsym_graph::{ProcId, SystemGraph};
+use simsym_vm::{
+    run, FnProgram, InstructionSet, Machine, Program, RoundRobin, SimilarityObserver, SystemInit,
+    Value,
+};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Folds an observation into a bounded rolling digest — probes must not
+/// accumulate unbounded state (a nested-tuple accumulator fed back into
+/// posts grows exponentially).
+fn digest(local: &mut simsym_vm::LocalState, obs: &Value) {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    local.get("acc").hash(&mut h);
+    obs.hash(&mut h);
+    local.set("acc", Value::from(h.finish() as i64));
+}
+
+/// The round-robin state-coincidence rate of the labeling's processor
+/// classes under `program`: 1.0 means same-labeled processors had equal
+/// states at every observed round boundary.
+///
+/// # Panics
+///
+/// Panics if `init` does not match the graph or `rounds == 0`.
+pub fn coincidence_rate(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    isa: InstructionSet,
+    labeling: &Labeling,
+    program: Arc<dyn Program>,
+    rounds: u64,
+) -> f64 {
+    assert!(rounds > 0, "need at least one round");
+    let n = graph.processor_count() as u64;
+    let mut machine =
+        Machine::new(Arc::new(graph.clone()), isa, program, init).expect("valid machine");
+    let mut sched = RoundRobin::new();
+    let classes: Vec<Vec<ProcId>> = labeling.proc_classes();
+    let mut obs = SimilarityObserver::new(classes, n.max(1));
+    let _ = run(&mut machine, &mut sched, rounds * n.max(1), &mut [&mut obs]);
+    obs.coincidence_rate().unwrap_or(0.0)
+}
+
+/// A battery of probe programs exercising each instruction set's shared
+/// operations in state-dependent ways.
+pub fn probe_programs(isa: InstructionSet) -> Vec<Arc<dyn Program>> {
+    let mut programs: Vec<Arc<dyn Program>> = vec![
+        Arc::new(FnProgram::new("idle-counter", |local, _ops| {
+            local.pc = local.pc.wrapping_add(1);
+        })),
+        Arc::new(FnProgram::new("init-folder", |local, _ops| {
+            let init = local.get("init");
+            digest(local, &init);
+        })),
+    ];
+    match isa {
+        InstructionSet::Q => {
+            programs.push(Arc::new(FnProgram::new("post-cycle", |local, ops| {
+                let names = ops.all_names();
+                if names.is_empty() {
+                    return;
+                }
+                let n = names[(local.pc as usize) % names.len()];
+                ops.post(n, Value::from(i64::from(local.pc)));
+                local.pc = local.pc.wrapping_add(1);
+            })));
+            programs.push(Arc::new(FnProgram::new("peek-fold", |local, ops| {
+                let names = ops.all_names();
+                if names.is_empty() {
+                    return;
+                }
+                let n = names[(local.pc as usize) % names.len()];
+                let view = ops.peek(n);
+                let obs = Value::tuple([view.initial, Value::bag(view.posted)]);
+                digest(local, &obs);
+                local.pc = local.pc.wrapping_add(1);
+            })));
+            // The decisive probe: alternate posting and peeking, folding
+            // the observed multisets — this is what makes neighbor COUNTS
+            // observable (the power of Q over S).
+            programs.push(Arc::new(FnProgram::new("post-peek", |local, ops| {
+                let names = ops.all_names();
+                if names.is_empty() {
+                    return;
+                }
+                let n = names[((local.pc / 2) as usize) % names.len()];
+                if local.pc % 2 == 0 {
+                    ops.post(n, local.get("acc"));
+                } else {
+                    let view = ops.peek(n);
+                    let obs = Value::bag(view.posted);
+                    digest(local, &obs);
+                }
+                local.pc = local.pc.wrapping_add(1);
+            })));
+        }
+        InstructionSet::S | InstructionSet::L | InstructionSet::LStar => {
+            programs.push(Arc::new(FnProgram::new("write-cycle", |local, ops| {
+                let names = ops.all_names();
+                if names.is_empty() {
+                    return;
+                }
+                let n = names[(local.pc as usize) % names.len()];
+                ops.write(
+                    n,
+                    Value::tuple([local.get("init"), Value::from(i64::from(local.pc))]),
+                );
+                local.pc = local.pc.wrapping_add(1);
+            })));
+            programs.push(Arc::new(FnProgram::new("read-fold", |local, ops| {
+                let names = ops.all_names();
+                if names.is_empty() {
+                    return;
+                }
+                let n = names[(local.pc as usize) % names.len()];
+                let v = ops.read(n);
+                digest(local, &v);
+                local.pc = local.pc.wrapping_add(1);
+            })));
+            // Alternate writing own state and reading back.
+            programs.push(Arc::new(FnProgram::new("write-read", |local, ops| {
+                let names = ops.all_names();
+                if names.is_empty() {
+                    return;
+                }
+                let n = names[((local.pc / 2) as usize) % names.len()];
+                if local.pc % 2 == 0 {
+                    ops.write(n, Value::tuple([local.get("init"), local.get("acc")]));
+                } else {
+                    let v = ops.read(n);
+                    digest(local, &v);
+                }
+                local.pc = local.pc.wrapping_add(1);
+            })));
+        }
+    }
+    programs
+}
+
+/// Validates a labeling operationally: every probe program must keep all
+/// of its processor classes coincident at every round boundary.
+///
+/// A `true` result is evidence (over the battery), not proof; a `false`
+/// result is a *counterexample* — the labeling is certainly not a
+/// supersimilarity labeling for this system.
+pub fn validate_operationally(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    isa: InstructionSet,
+    labeling: &Labeling,
+    rounds: u64,
+) -> bool {
+    probe_programs(isa)
+        .into_iter()
+        .all(|p| coincidence_rate(graph, init, isa, labeling, p, rounds) == 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hopcroft_similarity, Model};
+    use simsym_graph::topology;
+
+    #[test]
+    fn computed_labelings_validate_operationally_in_q() {
+        for g in [
+            topology::figure1(),
+            topology::figure2(),
+            topology::uniform_ring(5),
+            topology::philosophers_alternating(6),
+        ] {
+            let init = SystemInit::uniform(&g);
+            let theta = hopcroft_similarity(&g, &init, Model::Q);
+            assert!(
+                validate_operationally(&g, &init, InstructionSet::Q, &theta, 60),
+                "{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn computed_labelings_validate_operationally_in_s() {
+        for g in [topology::figure2(), topology::uniform_ring(4)] {
+            let init = SystemInit::uniform(&g);
+            let theta = hopcroft_similarity(&g, &init, Model::BoundedFairS);
+            // The S labeling's classes coincide under S programs.
+            assert!(
+                validate_operationally(&g, &init, InstructionSet::S, &theta, 60),
+                "{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_coarse_labelings_are_refuted() {
+        // Lumping the marked processor with the others is caught by the
+        // init-folder probe immediately.
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        let everything_same = Labeling::from_raw(3, &[0, 0, 0, 1, 1, 1]);
+        assert!(!validate_operationally(
+            &g,
+            &init,
+            InstructionSet::Q,
+            &everything_same,
+            20
+        ));
+    }
+
+    #[test]
+    fn s_labeling_fails_under_q_probes_where_counts_matter() {
+        // figure2's S labeling lumps all processors; a Q program that
+        // peeks (counts!) separates p3 from p1/p2 — the operational
+        // content of "Q is stronger than S".
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let s_theta = hopcroft_similarity(&g, &init, Model::BoundedFairS);
+        assert!(!validate_operationally(
+            &g,
+            &init,
+            InstructionSet::Q,
+            &s_theta,
+            40
+        ));
+    }
+
+    #[test]
+    fn rate_is_fractional_for_transient_coincidence() {
+        // A labeling that is wrong only via initial states diverges from
+        // round 1 on: rate 0. A correct one: rate 1. Both extremes hit.
+        let g = topology::figure1();
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        let wrong = Labeling::from_raw(2, &[0, 0, 1]);
+        let rate = coincidence_rate(
+            &g,
+            &init,
+            InstructionSet::Q,
+            &wrong,
+            probe_programs(InstructionSet::Q).remove(1),
+            20,
+        );
+        assert_eq!(rate, 0.0);
+    }
+}

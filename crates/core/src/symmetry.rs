@@ -1,0 +1,316 @@
+//! Graph-theoretic symmetry vs. similarity: Theorems 10 and 11 (§7).
+//!
+//! * **Theorem 10** — symmetric nodes (related by a name-preserving
+//!   automorphism) of a system in **Q** are similar: the orbit partition is
+//!   a supersimilarity labeling, so systems in Q *cannot break symmetry*.
+//! * **Theorem 11** — in a *distributed* symmetric deterministic system in
+//!   **L** with an equivalence class of `j` symmetric processors, `j`
+//!   prime, all `j` processors are similar: a prime-order rotation leaves
+//!   no room for locking to split the class. This is the engine of the
+//!   dining-philosophers impossibility **DP** (5 is prime) and of its
+//!   failure for six philosophers **DP′** (6 is composite).
+
+use crate::{environment, hopcroft_similarity, refine, Labeling, Model};
+use simsym_graph::automorphism::{self, Automorphism};
+use simsym_graph::{Node, ProcId, SystemGraph};
+use simsym_vm::{SystemInit, Value};
+
+/// The orbit partition of the system graph under initial-state-preserving
+/// automorphisms, as a [`Labeling`].
+pub fn orbit_labeling(graph: &SystemGraph, init: &SystemInit) -> Labeling {
+    let colors = init_colors(graph, init);
+    let orbits = automorphism::orbits_with_init(graph, Some(&colors));
+    Labeling::from_raw(graph.processor_count(), &orbits)
+}
+
+/// Encodes initial states as node colors for the automorphism machinery:
+/// equal values ⟷ equal colors.
+fn init_colors(graph: &SystemGraph, init: &SystemInit) -> Vec<u64> {
+    let mut distinct: Vec<&Value> = Vec::new();
+    (0..graph.node_count())
+        .map(|i| {
+            let v = init.node_value(i);
+            match distinct.iter().position(|d| *d == v) {
+                Some(p) => p as u64,
+                None => {
+                    distinct.push(v);
+                    (distinct.len() - 1) as u64
+                }
+            }
+        })
+        .collect()
+}
+
+/// **Theorem 10** checker: verifies that the orbit partition of
+/// `(graph, init)` satisfies the Q environment conditions (and is
+/// therefore a supersimilarity labeling — symmetric nodes are similar in
+/// Q). Returns the orbit labeling.
+///
+/// # Panics
+///
+/// Panics if the verification fails — that would contradict the theorem,
+/// i.e. indicate a bug in the automorphism or environment machinery.
+pub fn theorem10_orbits_are_supersimilar(graph: &SystemGraph, init: &SystemInit) -> Labeling {
+    let orbits = orbit_labeling(graph, init);
+    assert!(
+        environment::is_environment_consistent(graph, &orbits, Model::Q),
+        "Theorem 10 violated: orbit partition is not environment-consistent in Q"
+    );
+    // It is also a *sub*similarity labeling candidate: the similarity
+    // labeling must refine it or coincide; verify the refinement relation.
+    let theta = hopcroft_similarity(graph, init, Model::Q);
+    assert!(
+        theta.is_refinement_of(&orbits) || orbits.is_refinement_of(&theta),
+        "orbits and similarity labeling are incomparable"
+    );
+    orbits
+}
+
+/// Whether all processors in `class` are symmetric to each other
+/// (pairwise related by initial-state-preserving automorphisms).
+pub fn is_symmetric_class(graph: &SystemGraph, init: &SystemInit, class: &[ProcId]) -> bool {
+    let colors = init_colors(graph, init);
+    class.windows(2).all(|w| {
+        automorphism::find_automorphism_mapping(
+            graph,
+            Node::Proc(w[0]),
+            Node::Proc(w[1]),
+            Some(&colors),
+        )
+        .is_some()
+    })
+}
+
+/// The conclusion of **Theorem 11**, checked constructively: given a
+/// distributed system and a class of `j` symmetric processors with `j`
+/// prime, returns an order-`j` automorphism generating the class (whose
+/// cyclic orbit partition is a supersimilarity labeling valid even in
+/// **L**), or `None` if the hypotheses fail.
+pub fn theorem11_generator(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    class: &[ProcId],
+) -> Option<Automorphism> {
+    let j = class.len();
+    if j < 2 || !is_prime(j) || !graph.is_distributed() {
+        return None;
+    }
+    if !is_symmetric_class(graph, init, class) {
+        return None;
+    }
+    let colors = init_colors(graph, init);
+    // An automorphism mapping class[0] to class[1]; since j is prime, if
+    // it permutes the class it generates a transitive cyclic group on it.
+    let sigma = automorphism::find_automorphism_mapping(
+        graph,
+        Node::Proc(class[0]),
+        Node::Proc(class[1]),
+        Some(&colors),
+    )?;
+    // Check σ permutes the class and its order on the class is j.
+    let mut current = class[0];
+    for _ in 0..j {
+        current = sigma.apply_proc(current);
+        if !class.contains(&current) {
+            return None;
+        }
+    }
+    (current == class[0]).then_some(sigma)
+}
+
+/// Verifies the full Theorem-11 pipeline on a system: if the hypotheses
+/// hold for `class`, the cyclic orbit partition of the generator is a
+/// supersimilarity labeling satisfying Theorem 8's side condition, so all
+/// `j` processors are similar **in L** — no program, even with locking,
+/// separates them. Returns the supersimilarity labeling.
+pub fn theorem11_l_supersimilarity(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    class: &[ProcId],
+) -> Option<Labeling> {
+    let sigma = theorem11_generator(graph, init, class)?;
+    // Orbit partition of the cyclic group generated by σ.
+    let n = graph.node_count();
+    let pc = graph.processor_count();
+    let mut orbit = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for start in 0..n {
+        if orbit[start] != u32::MAX {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut node = Node::from_linear_index(start, pc, n - pc);
+        loop {
+            let li = node.linear_index(pc);
+            if orbit[li] != u32::MAX {
+                break;
+            }
+            orbit[li] = id;
+            node = sigma.apply(node);
+        }
+    }
+    let labeling = Labeling::from_raw(pc, &orbit);
+    // The paper's argument: the partition is environment-consistent in Q
+    // (Theorem 10 reasoning), and because the system is distributed and j
+    // prime, no two same-labeled processors give the same variable the
+    // same name — Theorem 8 then lifts it to L.
+    let consistent_q = environment::is_environment_consistent(graph, &labeling, Model::Q);
+    let consistent_l = environment::is_environment_consistent(graph, &labeling, Model::L);
+    // It must also refine the initial partition for the similarity claim.
+    let init_part = refine::initial_partition(graph, init);
+    (consistent_q && consistent_l && labeling.is_refinement_of(&init_part)).then_some(labeling)
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Whether a system **can break symmetry** (§8): some pair of
+/// graph-symmetric nodes is *not* similar. Systems in Q never can
+/// (Theorem 10); locking can.
+pub fn can_break_symmetry(graph: &SystemGraph, init: &SystemInit, model: Model) -> bool {
+    let orbits = orbit_labeling(graph, init);
+    match model {
+        Model::Q | Model::FairS | Model::BoundedFairS => {
+            // Similarity is coarser than orbits in these models: cannot
+            // break symmetry. (The S models are coarser still.)
+            false
+        }
+        Model::L => {
+            // L breaks the symmetry between two processors iff they are
+            // graph-symmetric but can be split — which happens exactly
+            // when two same-orbit processors give the same variable the
+            // same name (they race for its lock).
+            !environment::is_environment_consistent(graph, &orbits, Model::L)
+        }
+        Model::LStar => !environment::is_environment_consistent(graph, &orbits, Model::LStar),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+
+    fn procs(n: usize) -> Vec<ProcId> {
+        (0..n).map(ProcId::new).collect()
+    }
+
+    #[test]
+    fn theorem10_on_rings_and_tables() {
+        for g in [
+            topology::uniform_ring(5),
+            topology::philosophers_alternating(6),
+            topology::figure2(),
+        ] {
+            let init = SystemInit::uniform(&g);
+            let orbits = theorem10_orbits_are_supersimilar(&g, &init);
+            // Orbit classes are coarser or equal to similarity classes —
+            // and in Q symmetric nodes are similar, so the similarity
+            // labeling cannot be finer than orbits... it must be COARSER
+            // or equal (similar ⊇ symmetric).
+            let theta = hopcroft_similarity(&g, &init, Model::Q);
+            assert!(
+                orbits.is_refinement_of(&theta),
+                "symmetric nodes must be similar in Q"
+            );
+        }
+    }
+
+    #[test]
+    fn five_philosophers_prime_class_similar_in_l() {
+        // DP: 5 is prime — all philosophers are similar even in L.
+        let g = topology::philosophers_table(5);
+        let init = SystemInit::uniform(&g);
+        let labeling = theorem11_l_supersimilarity(&g, &init, &procs(5))
+            .expect("Theorem 11 applies to the 5-table");
+        // Every philosopher shares its label: no selection, and (as §7
+        // argues) no dining solution.
+        assert!(labeling.all_processors_shadowed());
+    }
+
+    #[test]
+    fn six_philosophers_table_is_composite() {
+        // DP′: 6 is composite — Theorem 11 does not apply (no prime class
+        // covering all six), leaving room for the alternating solution.
+        let g = topology::philosophers_alternating(6);
+        let init = SystemInit::uniform(&g);
+        assert!(theorem11_generator(&g, &init, &procs(6)).is_none());
+        // The philosophers ARE all symmetric...
+        assert!(is_symmetric_class(&g, &init, &procs(6)));
+        // ...but split into two L-consistent classes by orientation, so
+        // adjacent philosophers can be dissimilar.
+    }
+
+    #[test]
+    fn seven_philosophers_prime_again() {
+        let g = topology::philosophers_table(7);
+        let init = SystemInit::uniform(&g);
+        assert!(theorem11_l_supersimilarity(&g, &init, &procs(7)).is_some());
+    }
+
+    #[test]
+    fn theorem11_requires_distributed() {
+        // A star is symmetric with any class size but NOT distributed.
+        let g = topology::star(5);
+        let init = SystemInit::uniform(&g);
+        assert!(theorem11_generator(&g, &init, &procs(5)).is_none());
+    }
+
+    #[test]
+    fn theorem11_requires_symmetric_class() {
+        let g = topology::marked_ring(5);
+        let init = SystemInit::uniform(&g);
+        assert!(theorem11_generator(&g, &init, &procs(5)).is_none());
+    }
+
+    #[test]
+    fn q_cannot_break_symmetry_l_can() {
+        // Figure 1: the two processors are symmetric and share the
+        // variable under the same name.
+        let g = topology::figure1();
+        let init = SystemInit::uniform(&g);
+        assert!(!can_break_symmetry(&g, &init, Model::Q));
+        assert!(!can_break_symmetry(&g, &init, Model::BoundedFairS));
+        assert!(can_break_symmetry(&g, &init, Model::L));
+    }
+
+    #[test]
+    fn l_cannot_break_ring_symmetry_lstar_can() {
+        // On a 2-ring neighbors use different names: L cannot split them,
+        // L* can.
+        let g = topology::uniform_ring(2);
+        let init = SystemInit::uniform(&g);
+        assert!(!can_break_symmetry(&g, &init, Model::L));
+        assert!(can_break_symmetry(&g, &init, Model::LStar));
+    }
+
+    #[test]
+    fn orbit_labeling_respects_init() {
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        let orbits = orbit_labeling(&g, &init);
+        assert!(orbits.has_uniquely_labeled_processor());
+    }
+
+    #[test]
+    fn prime_checker() {
+        assert!(is_prime(2));
+        assert!(is_prime(5));
+        assert!(is_prime(7));
+        assert!(!is_prime(1));
+        assert!(!is_prime(6));
+        assert!(!is_prime(9));
+    }
+}

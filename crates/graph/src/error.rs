@@ -1,0 +1,107 @@
+//! Error type for system-graph construction and validation.
+
+use crate::{NameId, ProcId, VarId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::SystemGraph`].
+///
+/// The paper's model (§2) requires that *each processor has exactly one
+/// `n`-neighbor for each element `n` in `NAMES`* — so a program's reference
+/// to a name always denotes a unique variable. The builder enforces this at
+/// [`crate::SystemGraphBuilder::build`] time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A processor lacks a neighbor for some name in `NAMES`.
+    MissingNeighbor {
+        /// The incomplete processor.
+        proc: ProcId,
+        /// The name with no neighbor.
+        name: NameId,
+    },
+    /// A processor was connected to two variables under the same name.
+    DuplicateNeighbor {
+        /// The over-connected processor.
+        proc: ProcId,
+        /// The duplicated name.
+        name: NameId,
+        /// The variable already registered under `name`.
+        existing: VarId,
+        /// The conflicting variable.
+        conflicting: VarId,
+    },
+    /// An id referenced a processor or variable that was never declared.
+    UnknownNode {
+        /// Human-readable description of the offending reference.
+        what: String,
+    },
+    /// The graph has no processors; the selection problem is vacuous.
+    NoProcessors,
+    /// The graph has names but a processor set that cannot satisfy them
+    /// (e.g. zero variables while `NAMES` is non-empty).
+    NoVariables,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::MissingNeighbor { proc, name } => {
+                write!(f, "processor {proc} has no neighbor for name {name:?}")
+            }
+            GraphError::DuplicateNeighbor {
+                proc,
+                name,
+                existing,
+                conflicting,
+            } => write!(
+                f,
+                "processor {proc} already calls {existing} by name {name:?}; cannot also name {conflicting}"
+            ),
+            GraphError::UnknownNode { what } => write!(f, "unknown node reference: {what}"),
+            GraphError::NoProcessors => write!(f, "system graph has no processors"),
+            GraphError::NoVariables => {
+                write!(f, "system graph declares names but has no variables")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            GraphError::MissingNeighbor {
+                proc: ProcId::new(0),
+                name: NameId::new(1),
+            },
+            GraphError::DuplicateNeighbor {
+                proc: ProcId::new(0),
+                name: NameId::new(0),
+                existing: VarId::new(0),
+                conflicting: VarId::new(1),
+            },
+            GraphError::UnknownNode {
+                what: "p9".to_owned(),
+            },
+            GraphError::NoProcessors,
+            GraphError::NoVariables,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("processor"));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,313 @@
+//! A small textual format for defining system graphs (and marks), so
+//! users can analyze their own topologies without writing Rust.
+//!
+//! ```text
+//! # Figure 2 of the paper — comments start with '#'
+//! names a b
+//! procs p1 p2 p3
+//! vars  v1 v2 v3
+//! edge p1 a v1
+//! edge p2 a v1
+//! edge p3 a v2
+//! edge p1 b v3
+//! edge p2 b v3
+//! edge p3 b v3
+//! mark p3 1          # optional: initial value (integer) for a processor
+//! ```
+//!
+//! Identifiers are free-form tokens; processors and variables are numbered
+//! in declaration order. Parsing returns the graph plus the list of
+//! `(processor, integer mark)` pairs for building a `SystemInit`.
+
+use crate::{GraphError, ProcId, SystemGraph, VarId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors parsing a system spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The resulting graph violated a structural invariant.
+    Graph(GraphError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax { line, detail } => write!(f, "line {line}: {detail}"),
+            SpecError::Graph(e) => write!(f, "invalid system: {e}"),
+        }
+    }
+}
+
+impl Error for SpecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpecError::Graph(e) => Some(e),
+            SpecError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for SpecError {
+    fn from(e: GraphError) -> Self {
+        SpecError::Graph(e)
+    }
+}
+
+/// A parsed spec: the graph plus processor marks.
+#[derive(Clone, Debug)]
+pub struct ParsedSpec {
+    /// The system graph.
+    pub graph: SystemGraph,
+    /// `(processor, value)` marks from `mark` lines, in file order.
+    pub marks: Vec<(ProcId, i64)>,
+    /// Declared processor identifiers, in id order.
+    pub proc_names: Vec<String>,
+    /// Declared variable identifiers, in id order.
+    pub var_names: Vec<String>,
+}
+
+impl ParsedSpec {
+    /// Looks up a processor by its spec identifier.
+    pub fn proc(&self, ident: &str) -> Option<ProcId> {
+        self.proc_names
+            .iter()
+            .position(|n| n == ident)
+            .map(ProcId::new)
+    }
+
+    /// Looks up a variable by its spec identifier.
+    pub fn var(&self, ident: &str) -> Option<VarId> {
+        self.var_names
+            .iter()
+            .position(|n| n == ident)
+            .map(VarId::new)
+    }
+}
+
+/// Parses a system spec.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Syntax`] for malformed lines and
+/// [`SpecError::Graph`] when the described system violates the
+/// one-neighbor-per-name invariant (or is otherwise ill-formed).
+pub fn parse_spec(text: &str) -> Result<ParsedSpec, SpecError> {
+    let mut builder = SystemGraph::builder();
+    let mut names: HashMap<String, crate::NameId> = HashMap::new();
+    let mut procs: HashMap<String, ProcId> = HashMap::new();
+    let mut vars: HashMap<String, VarId> = HashMap::new();
+    let mut proc_names = Vec::new();
+    let mut var_names = Vec::new();
+    let mut marks = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut toks = content.split_whitespace();
+        let keyword = toks.next().expect("nonempty line");
+        let rest: Vec<&str> = toks.collect();
+        let syntax = |detail: String| SpecError::Syntax { line, detail };
+        match keyword {
+            "names" => {
+                if rest.is_empty() {
+                    return Err(syntax("names needs at least one identifier".into()));
+                }
+                for n in rest {
+                    names.entry(n.to_owned()).or_insert_with(|| builder.name(n));
+                }
+            }
+            "procs" => {
+                if rest.is_empty() {
+                    return Err(syntax("procs needs at least one identifier".into()));
+                }
+                for p in rest {
+                    if procs.contains_key(p) {
+                        return Err(syntax(format!("duplicate processor {p:?}")));
+                    }
+                    procs.insert(p.to_owned(), builder.processor());
+                    proc_names.push(p.to_owned());
+                }
+            }
+            "vars" => {
+                if rest.is_empty() {
+                    return Err(syntax("vars needs at least one identifier".into()));
+                }
+                for v in rest {
+                    if vars.contains_key(v) {
+                        return Err(syntax(format!("duplicate variable {v:?}")));
+                    }
+                    vars.insert(v.to_owned(), builder.variable());
+                    var_names.push(v.to_owned());
+                }
+            }
+            "edge" => {
+                let [p, n, v] = rest.as_slice() else {
+                    return Err(syntax("edge needs: edge <proc> <name> <var>".into()));
+                };
+                let &pid = procs
+                    .get(*p)
+                    .ok_or_else(|| syntax(format!("unknown processor {p:?}")))?;
+                let &nid = names
+                    .get(*n)
+                    .ok_or_else(|| syntax(format!("unknown name {n:?}")))?;
+                let &vid = vars
+                    .get(*v)
+                    .ok_or_else(|| syntax(format!("unknown variable {v:?}")))?;
+                builder.connect(pid, nid, vid)?;
+            }
+            "mark" => {
+                let [p, value] = rest.as_slice() else {
+                    return Err(syntax("mark needs: mark <proc> <integer>".into()));
+                };
+                let &pid = procs
+                    .get(*p)
+                    .ok_or_else(|| syntax(format!("unknown processor {p:?}")))?;
+                let value: i64 = value
+                    .parse()
+                    .map_err(|_| syntax(format!("bad mark value {value:?}")))?;
+                marks.push((pid, value));
+            }
+            other => return Err(syntax(format!("unknown keyword {other:?}"))),
+        }
+    }
+    let graph = builder.build()?;
+    Ok(ParsedSpec {
+        graph,
+        marks,
+        proc_names,
+        var_names,
+    })
+}
+
+/// Renders a graph back into spec format (marks are not part of the
+/// graph and are omitted). Round-trips through [`parse_spec`].
+pub fn to_spec(graph: &SystemGraph) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = graph.names().iter().map(|(_, s)| s).collect();
+    out.push_str(&format!("names {}\n", names.join(" ")));
+    let procs: Vec<String> = graph.processors().map(|p| p.to_string()).collect();
+    out.push_str(&format!("procs {}\n", procs.join(" ")));
+    let vars: Vec<String> = graph.variables().map(|v| v.to_string()).collect();
+    out.push_str(&format!("vars {}\n", vars.join(" ")));
+    for p in graph.processors() {
+        for (ni, &v) in graph.processor_neighbors(p).iter().enumerate() {
+            out.push_str(&format!("edge {p} {} {v}\n", names[ni]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    const FIGURE2_SPEC: &str = "
+# Figure 2 of the paper
+names a b
+procs p1 p2 p3
+vars  v1 v2 v3
+edge p1 a v1
+edge p2 a v1
+edge p3 a v2
+edge p1 b v3
+edge p2 b v3
+edge p3 b v3
+mark p3 1
+";
+
+    #[test]
+    fn parses_figure2() {
+        let spec = parse_spec(FIGURE2_SPEC).expect("valid spec");
+        assert_eq!(spec.graph.processor_count(), 3);
+        assert_eq!(spec.graph.variable_count(), 3);
+        assert_eq!(
+            spec.graph.degree_sequence(),
+            topology::figure2().degree_sequence()
+        );
+        assert_eq!(spec.marks, vec![(ProcId::new(2), 1)]);
+        assert_eq!(spec.proc("p1"), Some(ProcId::new(0)));
+        assert_eq!(spec.var("v3"), Some(VarId::new(2)));
+        assert_eq!(spec.proc("zz"), None);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec =
+            parse_spec("\n# hi\nnames n\nprocs a b\nvars v\nedge a n v # trailing\nedge b n v\n")
+                .expect("valid");
+        assert_eq!(spec.graph.processor_count(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_spec("names n\nbogus x\n").unwrap_err();
+        match err {
+            SpecError::Syntax { line, detail } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("bogus"));
+            }
+            other => panic!("expected syntax error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        assert!(parse_spec("names n\nprocs p\nvars v\nedge q n v\n").is_err());
+        assert!(parse_spec("names n\nprocs p\nvars v\nedge p m v\n").is_err());
+        assert!(parse_spec("names n\nprocs p\nvars v\nedge p n w\n").is_err());
+        assert!(parse_spec("names n\nprocs p\nvars v\nedge p n v\nmark q 1\n").is_err());
+        assert!(parse_spec("names n\nprocs p\nvars v\nedge p n v\nmark p x\n").is_err());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(parse_spec("procs p p\n").is_err());
+        assert!(parse_spec("names n\nprocs p\nvars v v\n").is_err());
+    }
+
+    #[test]
+    fn incomplete_graph_rejected() {
+        // p has no neighbor for name n.
+        let err = parse_spec("names n\nprocs p\nvars v\n").unwrap_err();
+        assert!(matches!(err, SpecError::Graph(_)));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn round_trip_through_to_spec() {
+        for g in [
+            topology::figure2(),
+            topology::uniform_ring(4),
+            topology::line(3),
+        ] {
+            let text = to_spec(&g);
+            let back = parse_spec(&text).expect("round trip parses");
+            assert_eq!(back.graph.processor_count(), g.processor_count());
+            assert_eq!(back.graph.variable_count(), g.variable_count());
+            assert_eq!(back.graph.degree_sequence(), g.degree_sequence());
+            assert_eq!(back.graph.name_count(), g.name_count());
+        }
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = SpecError::Syntax {
+            line: 3,
+            detail: "nope".into(),
+        };
+        assert_eq!(e.to_string(), "line 3: nope");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for system-graph construction and the automorphism
+//! machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simsym_graph::automorphism::{are_symmetric, color_refinement, orbits};
+use simsym_graph::{topology, Node, ProcId};
+
+fn arb_graph() -> impl Strategy<Value = simsym_graph::SystemGraph> {
+    (2usize..9, 1usize..6, 1usize..4, any::<u64>()).prop_map(|(p, v, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        topology::random_system(p, v, n, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_processor_has_one_neighbor_per_name(g in arb_graph()) {
+        for p in g.processors() {
+            prop_assert_eq!(g.processor_neighbors(p).len(), g.name_count());
+        }
+    }
+
+    #[test]
+    fn edge_counts_are_consistent(g in arb_graph()) {
+        let from_procs = g.processor_count() * g.name_count();
+        let from_vars: usize = g.variables().map(|v| g.variable_degree(v)).sum();
+        prop_assert_eq!(from_procs, from_vars);
+        prop_assert_eq!(g.edge_count(), from_vars);
+    }
+
+    #[test]
+    fn variable_edges_are_sorted_and_consistent(g in arb_graph()) {
+        for v in g.variables() {
+            let edges = g.variable_edges(v);
+            let mut sorted = edges.to_vec();
+            sorted.sort_unstable();
+            prop_assert_eq!(edges, &sorted[..]);
+            for &(p, name) in edges {
+                prop_assert_eq!(g.n_nbr(p, name), v);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_union_adds_up(g in arb_graph()) {
+        let (u, po, vo) = g.disjoint_union(&g);
+        prop_assert_eq!(po, g.processor_count());
+        prop_assert_eq!(vo, g.variable_count());
+        prop_assert_eq!(u.node_count(), 2 * g.node_count());
+        prop_assert_eq!(u.edge_count(), 2 * g.edge_count());
+        let mut ds = g.degree_sequence();
+        ds.extend(g.degree_sequence());
+        ds.sort_unstable();
+        prop_assert_eq!(u.degree_sequence(), ds);
+    }
+
+    #[test]
+    fn induced_subsystem_is_well_formed(g in arb_graph()) {
+        let kept: Vec<ProcId> = g.processors().take(2).collect();
+        let (sub, var_map) = g.induced_subsystem(&kept);
+        prop_assert_eq!(sub.processor_count(), kept.len());
+        prop_assert_eq!(sub.name_count(), g.name_count());
+        // Every kept variable is referenced at least once.
+        for v in sub.variables() {
+            prop_assert!(sub.variable_degree(v) >= 1);
+        }
+        prop_assert_eq!(var_map.len(), sub.variable_count());
+    }
+
+    #[test]
+    fn symmetry_is_symmetric_and_reflexive(g in arb_graph()) {
+        let n = g.processor_count().min(4);
+        for i in 0..n {
+            let x = Node::Proc(ProcId::new(i));
+            prop_assert!(are_symmetric(&g, x, x));
+            for j in (i + 1)..n {
+                let y = Node::Proc(ProcId::new(j));
+                prop_assert_eq!(are_symmetric(&g, x, y), are_symmetric(&g, y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn orbits_agree_with_pairwise_symmetry(g in arb_graph()) {
+        let os = orbits(&g);
+        let n = g.processor_count().min(4);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let x = Node::Proc(ProcId::new(i));
+                let y = Node::Proc(ProcId::new(j));
+                prop_assert_eq!(
+                    os[i] == os[j],
+                    are_symmetric(&g, x, y),
+                    "orbit table vs pairwise on p{} p{}", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wl_colors_are_coarser_than_orbits(g in arb_graph()) {
+        let colors = color_refinement(&g, None);
+        let os = orbits(&g);
+        // Same orbit => same WL color.
+        for i in 0..g.node_count() {
+            for j in (i + 1)..g.node_count() {
+                if os[i] == os[j] {
+                    prop_assert_eq!(colors[i], colors[j]);
+                }
+            }
+        }
+    }
+}

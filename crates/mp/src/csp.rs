@@ -1,0 +1,411 @@
+//! Synchronous rendezvous (CSP) — §6's second message-passing model.
+//!
+//! The paper: *"extended CSP [with output guards] is to asynchronous
+//! bidirectional message-passing systems as systems in **L** are to
+//! systems in **Q**"* — the rendezvous pairing breaks the symmetry of the
+//! two partners exactly the way a lock race does. Plain CSP (no output
+//! guards) inherits only the asynchronous supersimilarity labelings, and
+//! the paper notes no general deadlock-free labeling algorithm is known
+//! for it.
+//!
+//! The machine: each processor, per scheduling point, publishes an
+//! **offer** — the set of communications it is willing to complete. The
+//! scheduler (the adversary) picks any *enabled rendezvous*: a channel
+//! whose sender offers the send and whose receiver offers the receive;
+//! both sides advance atomically. Without output guards an offer may
+//! contain **either** one committed send **or** a set of receives; with
+//! output guards (extended CSP) it may mix both — and that freedom is
+//! what lets two symmetric partners race.
+
+use crate::MpNetwork;
+use simsym_graph::ProcId;
+use simsym_vm::{LocalState, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// What a processor is willing to do next.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CspOffer {
+    /// Out-ports (with payloads) this processor offers to send on.
+    pub sends: Vec<(usize, Value)>,
+    /// In-ports this processor offers to receive on.
+    pub recvs: Vec<usize>,
+}
+
+impl CspOffer {
+    /// The empty offer (the processor is not communicating).
+    pub fn none() -> CspOffer {
+        CspOffer::default()
+    }
+
+    /// A single committed send (legal without output guards).
+    pub fn send(port: usize, value: Value) -> CspOffer {
+        CspOffer {
+            sends: vec![(port, value)],
+            recvs: Vec::new(),
+        }
+    }
+
+    /// A guarded set of receives.
+    pub fn recv_any<I: IntoIterator<Item = usize>>(ports: I) -> CspOffer {
+        CspOffer {
+            sends: Vec::new(),
+            recvs: ports.into_iter().collect(),
+        }
+    }
+
+    /// Whether this offer is legal in CSP *without* output guards: at most
+    /// one send, and not mixed with receives.
+    pub fn is_committed_form(&self) -> bool {
+        self.sends.len() <= 1 && (self.sends.is_empty() || self.recvs.is_empty())
+    }
+}
+
+/// What happened to a processor at a rendezvous.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CspEvent {
+    /// Its send on the given out-port completed.
+    Sent(usize),
+    /// It received `Value` on the given in-port.
+    Received(usize, Value),
+}
+
+/// A program for rendezvous processors.
+pub trait CspProgram: Send + Sync {
+    /// Initial local state.
+    fn boot(&self, initial: &Value) -> LocalState {
+        LocalState::with_initial(initial.clone())
+    }
+
+    /// The processor's current offer, as a function of its state.
+    fn offer(&self, local: &LocalState) -> CspOffer;
+
+    /// Called when one of the offered communications completed.
+    fn on_sync(&self, local: &mut LocalState, event: CspEvent);
+}
+
+/// Whether the machine enforces the no-output-guards restriction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CspMode {
+    /// Plain CSP: offers must be committed-form.
+    NoOutputGuards,
+    /// Extended CSP: sends may appear in alternatives.
+    OutputGuards,
+}
+
+/// A rendezvous currently enabled: `(channel index, sender, receiver)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Enabled {
+    /// Index into the network's channel list.
+    pub channel: usize,
+    /// The sending processor.
+    pub sender: ProcId,
+    /// The receiving processor.
+    pub receiver: ProcId,
+}
+
+/// The synchronous machine.
+pub struct CspMachine {
+    net: Arc<MpNetwork>,
+    program: Arc<dyn CspProgram>,
+    mode: CspMode,
+    locals: Vec<LocalState>,
+    rendezvous_count: u64,
+}
+
+impl CspMachine {
+    /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len()` differs from the processor count.
+    pub fn new(
+        net: Arc<MpNetwork>,
+        program: Arc<dyn CspProgram>,
+        mode: CspMode,
+        init: &[Value],
+    ) -> CspMachine {
+        assert_eq!(init.len(), net.processor_count(), "one value per processor");
+        let locals = init.iter().map(|v| program.boot(v)).collect();
+        CspMachine {
+            net,
+            program,
+            mode,
+            locals,
+            rendezvous_count: 0,
+        }
+    }
+
+    /// A processor's local state.
+    pub fn local(&self, p: ProcId) -> &LocalState {
+        &self.locals[p.index()]
+    }
+
+    /// Processors with the `selected` flag set.
+    pub fn selected(&self) -> Vec<ProcId> {
+        self.net
+            .processors()
+            .filter(|p| self.locals[p.index()].selected)
+            .collect()
+    }
+
+    /// Rendezvous completed so far.
+    pub fn rendezvous_count(&self) -> u64 {
+        self.rendezvous_count
+    }
+
+    /// The currently enabled rendezvous, in channel order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`CspMode::NoOutputGuards`] if a program publishes a
+    /// mixed offer — that is a programming error against the model.
+    pub fn enabled(&self) -> Vec<Enabled> {
+        let offers: Vec<CspOffer> = self
+            .net
+            .processors()
+            .map(|p| {
+                let o = self.program.offer(&self.locals[p.index()]);
+                if self.mode == CspMode::NoOutputGuards {
+                    assert!(
+                        o.is_committed_form(),
+                        "offer of {p} uses output guards in NoOutputGuards mode"
+                    );
+                }
+                o
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (ci, &(from, to)) in self.net.channels().iter().enumerate() {
+            let out_port = self
+                .net
+                .out_neighbors(from)
+                .iter()
+                .position(|&q| q == to)
+                .expect("consistent network");
+            let in_port = self
+                .net
+                .in_neighbors(to)
+                .iter()
+                .position(|&q| q == from)
+                .expect("consistent network");
+            let sender_offers = offers[from.index()]
+                .sends
+                .iter()
+                .any(|&(p, _)| p == out_port);
+            let receiver_offers = offers[to.index()].recvs.contains(&in_port);
+            if sender_offers && receiver_offers {
+                out.push(Enabled {
+                    channel: ci,
+                    sender: from,
+                    receiver: to,
+                });
+            }
+        }
+        out
+    }
+
+    /// Completes the given rendezvous (must currently be enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rendezvous is not enabled.
+    pub fn fire(&mut self, r: Enabled) {
+        assert!(self.enabled().contains(&r), "rendezvous not enabled");
+        let (from, to) = self.net.channels()[r.channel];
+        let out_port = self
+            .net
+            .out_neighbors(from)
+            .iter()
+            .position(|&q| q == to)
+            .expect("port");
+        let in_port = self
+            .net
+            .in_neighbors(to)
+            .iter()
+            .position(|&q| q == from)
+            .expect("port");
+        let payload = self
+            .program
+            .offer(&self.locals[from.index()])
+            .sends
+            .into_iter()
+            .find(|&(p, _)| p == out_port)
+            .expect("enabled send")
+            .1;
+        let mut sender = std::mem::take(&mut self.locals[from.index()]);
+        self.program.on_sync(&mut sender, CspEvent::Sent(out_port));
+        self.locals[from.index()] = sender;
+        let mut receiver = std::mem::take(&mut self.locals[to.index()]);
+        self.program
+            .on_sync(&mut receiver, CspEvent::Received(in_port, payload));
+        self.locals[to.index()] = receiver;
+        self.rendezvous_count += 1;
+    }
+
+    /// Repeatedly fires the rendezvous chosen by `pick` until none is
+    /// enabled, `max` rendezvous completed, or `pick` returns `None`.
+    /// Returns the number fired.
+    pub fn run<F: FnMut(&[Enabled]) -> Option<usize>>(&mut self, max: u64, mut pick: F) -> u64 {
+        let mut fired = 0;
+        while fired < max {
+            let enabled = self.enabled();
+            if enabled.is_empty() {
+                break;
+            }
+            let Some(i) = pick(&enabled) else { break };
+            self.fire(enabled[i]);
+            fired += 1;
+        }
+        fired
+    }
+}
+
+impl fmt::Debug for CspMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CspMachine")
+            .field("processors", &self.net.processor_count())
+            .field("mode", &self.mode)
+            .field("rendezvous", &self.rendezvous_count)
+            .finish()
+    }
+}
+
+/// The symmetric-pair election program: each of two mutually connected
+/// processors wants to either send its token or receive the partner's —
+/// whoever *sends first* wins.
+///
+/// * In **extended CSP** the offer is `send ∥ recv` (an output guard in an
+///   alternative): one rendezvous fires, the sender selects itself, done —
+///   asymmetry encapsulated, exactly like the Figure-1 lock race in L.
+/// * In **plain CSP** the same behaviour cannot be expressed: a symmetric
+///   deterministic program must commit both processors to the same kind
+///   of offer, so both send (no receiver — deadlock) or both receive (no
+///   sender — deadlock).
+pub struct PairElection {
+    /// Whether to publish the mixed offer (extended CSP) or the committed
+    /// send (plain CSP).
+    pub extended: bool,
+}
+
+impl CspProgram for PairElection {
+    fn offer(&self, local: &LocalState) -> CspOffer {
+        if local.pc != 0 {
+            return CspOffer::none();
+        }
+        if self.extended {
+            CspOffer {
+                sends: vec![(0, Value::from(1))],
+                recvs: vec![0],
+            }
+        } else {
+            // Plain CSP: the symmetric program must commit. (Committing
+            // to receive instead deadlocks the same way.)
+            CspOffer::send(0, Value::from(1))
+        }
+    }
+
+    fn on_sync(&self, local: &mut LocalState, event: CspEvent) {
+        match event {
+            CspEvent::Sent(_) => {
+                local.selected = true;
+                local.pc = 1;
+            }
+            CspEvent::Received(_, _) => {
+                local.pc = 2; // lost the race
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_net() -> Arc<MpNetwork> {
+        Arc::new(MpNetwork::ring_bidirectional(2))
+    }
+
+    #[test]
+    fn extended_csp_breaks_the_symmetric_pair() {
+        // Whatever the scheduler picks, exactly one partner ends selected.
+        for choice in 0..2usize {
+            let m0 = CspMachine::new(
+                pair_net(),
+                Arc::new(PairElection { extended: true }),
+                CspMode::OutputGuards,
+                &[Value::Unit, Value::Unit],
+            );
+            let mut m = m0;
+            let enabled = m.enabled();
+            assert_eq!(enabled.len(), 2, "both directions enabled initially");
+            m.fire(enabled[choice]);
+            // After the first rendezvous the loser offers nothing.
+            assert_eq!(m.selected().len(), 1);
+            assert!(m.enabled().is_empty());
+        }
+    }
+
+    #[test]
+    fn plain_csp_symmetric_pair_deadlocks() {
+        let mut m = CspMachine::new(
+            pair_net(),
+            Arc::new(PairElection { extended: false }),
+            CspMode::NoOutputGuards,
+            &[Value::Unit, Value::Unit],
+        );
+        // Both committed to send: no receiver exists, nothing is enabled.
+        assert!(m.enabled().is_empty());
+        assert_eq!(m.run(10, |en| Some(en.len() - 1)), 0);
+        assert!(m.selected().is_empty());
+    }
+
+    #[test]
+    fn no_output_guards_mode_rejects_mixed_offers() {
+        let m = CspMachine::new(
+            pair_net(),
+            Arc::new(PairElection { extended: true }),
+            CspMode::NoOutputGuards,
+            &[Value::Unit, Value::Unit],
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.enabled()));
+        assert!(result.is_err(), "mixed offer must be rejected");
+    }
+
+    #[test]
+    fn run_drives_to_quiescence() {
+        let mut m = CspMachine::new(
+            pair_net(),
+            Arc::new(PairElection { extended: true }),
+            CspMode::OutputGuards,
+            &[Value::Unit, Value::Unit],
+        );
+        let fired = m.run(100, |_| Some(0));
+        assert_eq!(fired, 1, "one rendezvous settles the pair");
+        assert_eq!(m.rendezvous_count(), 1);
+        assert_eq!(m.selected().len(), 1);
+    }
+
+    #[test]
+    fn offers_are_validated() {
+        assert!(CspOffer::send(0, Value::Unit).is_committed_form());
+        assert!(CspOffer::recv_any([0, 1]).is_committed_form());
+        let mixed = CspOffer {
+            sends: vec![(0, Value::Unit)],
+            recvs: vec![0],
+        };
+        assert!(!mixed.is_committed_form());
+        assert!(CspOffer::none().is_committed_form());
+    }
+
+    #[test]
+    fn debug_renders() {
+        let m = CspMachine::new(
+            pair_net(),
+            Arc::new(PairElection { extended: true }),
+            CspMode::OutputGuards,
+            &[Value::Unit, Value::Unit],
+        );
+        assert!(format!("{m:?}").contains("CspMachine"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # simsym-mp
+//!
+//! Message-passing systems under the similarity lens (§6 of Johnson &
+//! Schneider, PODC 1985).
+//!
+//! The paper analyzes asynchronous message passing by analogy with the
+//! shared-variable models: a processor's environment is determined by the
+//! processors that can send to it; bidirectional (and otherwise
+//! well-informed) systems behave like **Q**, while unidirectional fair
+//! systems that are not strongly connected inherit the fair-S mimicry
+//! obstruction. Synchronous rendezvous (CSP with output guards) relates
+//! to asynchronous message passing as **L** relates to **Q**: the
+//! rendezvous pairing breaks the symmetry of neighboring processors.
+//!
+//! This crate provides:
+//! * [`MpNetwork`] — directed channel networks with ordered ports;
+//! * [`mp_similarity`] — the similarity labeling by direct refinement, and
+//!   [`to_system_graph`]/[`reduced_similarity`] — the reduction of a
+//!   network to a shared-variable system in **Q** (channel ↦ multiset
+//!   variable), which agrees with the direct rule;
+//! * [`extended_csp_consistent`] — Theorem 8's analogue for extended CSP;
+//! * [`MpMachine`] — an executable FIFO-channel machine, with
+//!   [`ViewLearner`] (the message-passing analogue of Algorithm 2) and
+//!   [`ChangRoberts`] (leader election from asymmetric initial values,
+//!   plus its anonymous-ring failure mode).
+//!
+//! ```
+//! use simsym_mp::{MpNetwork, mp_similarity, MpModel};
+//! use simsym_vm::Value;
+//!
+//! let ring = MpNetwork::ring_unidirectional(5);
+//! let init = vec![Value::Unit; 5];
+//! let theta = mp_similarity(&ring, &init, MpModel::AsyncUnidirectional);
+//! // Anonymous ring: everyone similar, no leader election.
+//! assert!(theta.all_processors_shadowed());
+//! ```
+
+mod csp;
+mod machine;
+mod net;
+mod similarity;
+
+pub use csp::{CspEvent, CspMachine, CspMode, CspOffer, CspProgram, Enabled, PairElection};
+pub use machine::{ChangRoberts, MpMachine, MpOps, MpProgram, ViewLearner};
+pub use net::{MpError, MpNetwork};
+pub use similarity::{
+    extended_csp_consistent, mp_similarity, reduced_similarity, same_partition, to_system_graph,
+    MpModel,
+};

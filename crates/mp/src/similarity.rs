@@ -1,0 +1,303 @@
+//! Similarity for message-passing systems (§6) and the reduction to
+//! **Q**-systems.
+//!
+//! The paper's treatment: in asynchronous message passing, *the
+//! environment of a processor depends only on the processors that can send
+//! messages to it*. Bidirectional systems (and strongly-connected
+//! unidirectional ones, and systems with in-degree knowledge) behave like
+//! **Q**; a unidirectional, fair, not strongly-connected system with no
+//! in-degree knowledge suffers the fair-S mimicry problem. Synchronous
+//! rendezvous: extended CSP is to async bidirectional MP as **L** is to
+//! **Q** — a supersimilarity labeling survives the move to extended CSP
+//! iff no two *neighboring* processors share a label.
+
+use crate::MpNetwork;
+use simsym_core::{hopcroft_similarity, Label, Labeling, Model};
+use simsym_graph::{ProcId, SystemGraph, VarId};
+use simsym_vm::{SystemInit, Value};
+use std::collections::BTreeMap;
+
+/// Message-passing model variants analyzed in §6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MpModel {
+    /// Asynchronous channels; environments driven by senders only.
+    AsyncUnidirectional,
+    /// Asynchronous channels with every reverse channel present.
+    AsyncBidirectional,
+}
+
+/// The similarity labeling of a message-passing network: partition
+/// refinement where a processor's signature is the labels of its in-port
+/// peers (and, bidirectionally, out-port peers), in port order, refined
+/// from the initial states.
+///
+/// # Panics
+///
+/// Panics if `init` does not provide one value per processor.
+pub fn mp_similarity(net: &MpNetwork, init: &[Value], model: MpModel) -> Labeling {
+    assert_eq!(
+        init.len(),
+        net.processor_count(),
+        "one initial value per processor required"
+    );
+    let n = net.processor_count();
+    let mut labels = densify(init);
+    loop {
+        let keys: Vec<(u32, Vec<u32>, Vec<u32>)> = (0..n)
+            .map(|i| {
+                let p = ProcId::new(i);
+                let ins: Vec<u32> = net
+                    .in_neighbors(p)
+                    .iter()
+                    .map(|q| labels[q.index()])
+                    .collect();
+                let outs: Vec<u32> = match model {
+                    MpModel::AsyncUnidirectional => Vec::new(),
+                    MpModel::AsyncBidirectional => net
+                        .out_neighbors(p)
+                        .iter()
+                        .map(|q| labels[q.index()])
+                        .collect(),
+                };
+                (labels[i], ins, outs)
+            })
+            .collect();
+        let next = densify(&keys);
+        if class_count(&next) == class_count(&labels) {
+            return Labeling::from_raw(n, &labels);
+        }
+        labels = next;
+    }
+}
+
+fn densify<K: Clone + Ord>(keys: &[K]) -> Vec<u32> {
+    let mut sorted: Vec<K> = keys.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    keys.iter()
+        .map(|k| sorted.binary_search(k).expect("present") as u32)
+        .collect()
+}
+
+fn class_count(labels: &[u32]) -> usize {
+    let mut ls = labels.to_vec();
+    ls.sort_unstable();
+    ls.dedup();
+    ls.len()
+}
+
+/// Reduces a message-passing network to a shared-variable system in **Q**:
+/// each channel becomes a multiset variable the sender posts to and the
+/// receiver peeks from. Ports become edge names (`out0…`, `in0…`);
+/// processors missing a port are padded with a private placeholder
+/// variable so the one-neighbor-per-name invariant holds.
+///
+/// Returns the graph and, for each channel (in network order), its
+/// variable id.
+pub fn to_system_graph(net: &MpNetwork) -> (SystemGraph, Vec<VarId>) {
+    let max_out = net
+        .processors()
+        .map(|p| net.out_neighbors(p).len())
+        .max()
+        .unwrap_or(0);
+    let max_in = net
+        .processors()
+        .map(|p| net.in_neighbors(p).len())
+        .max()
+        .unwrap_or(0);
+    let mut b = SystemGraph::builder();
+    let out_names: Vec<_> = (0..max_out).map(|i| b.name(&format!("out{i}"))).collect();
+    let in_names: Vec<_> = (0..max_in).map(|i| b.name(&format!("in{i}"))).collect();
+    let ps = b.processors(net.processor_count());
+    // One variable per channel.
+    let chan_vars: Vec<VarId> = net.channels().iter().map(|_| b.variable()).collect();
+    let mut chan_of: BTreeMap<(usize, usize), VarId> = BTreeMap::new();
+    for (ci, &(from, to)) in net.channels().iter().enumerate() {
+        chan_of.insert((from.index(), to.index()), chan_vars[ci]);
+    }
+    for p in net.processors() {
+        for (slot, q) in net.out_neighbors(p).iter().enumerate() {
+            let v = chan_of[&(p.index(), q.index())];
+            b.connect(ps[p.index()], out_names[slot], v)
+                .expect("reduction wiring");
+        }
+        for &name in out_names.iter().skip(net.out_neighbors(p).len()) {
+            let pad = b.variable();
+            b.connect(ps[p.index()], name, pad).expect("padding");
+        }
+        for (slot, q) in net.in_neighbors(p).iter().enumerate() {
+            let v = chan_of[&(q.index(), p.index())];
+            b.connect(ps[p.index()], in_names[slot], v)
+                .expect("reduction wiring");
+        }
+        for &name in in_names.iter().skip(net.in_neighbors(p).len()) {
+            let pad = b.variable();
+            b.connect(ps[p.index()], name, pad).expect("padding");
+        }
+    }
+    (b.build().expect("reduction is well formed"), chan_vars)
+}
+
+/// The similarity labeling of the reduced Q-system, restricted to
+/// processors.
+///
+/// On port-homogeneous networks (rings, regular graphs) this coincides
+/// with [`mp_similarity`]; in general it *refines* the direct rule,
+/// because a channel variable's label couples the port indices at both
+/// endpoints (property-tested in `tests/proptest_mp.rs`).
+pub fn reduced_similarity(net: &MpNetwork, init: &[Value]) -> Vec<Label> {
+    let (graph, _) = to_system_graph(net);
+    let mut sys_init = SystemInit::uniform(&graph);
+    sys_init.proc_values[..init.len()].clone_from_slice(init);
+    let labeling = hopcroft_similarity(&graph, &sys_init, Model::Q);
+    net.processors().map(|p| labeling.proc_label(p)).collect()
+}
+
+/// Whether two processor partitions agree (up to renaming).
+pub fn same_partition(a: &[Label], b: &[Label]) -> bool {
+    densify(a) == densify(b)
+}
+
+/// Extended-CSP consistency (§6): a supersimilarity labeling of the
+/// asynchronous bidirectional system survives in extended CSP iff **no two
+/// neighboring processors share a label** — the rendezvous pairing plays
+/// the role locking plays in L (Theorem 8's analogue).
+pub fn extended_csp_consistent(net: &MpNetwork, labeling: &Labeling) -> bool {
+    net.channels()
+        .iter()
+        .all(|&(a, b)| labeling.proc_label(a) != labeling.proc_label(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_init(n: usize) -> Vec<Value> {
+        vec![Value::Unit; n]
+    }
+
+    #[test]
+    fn unidirectional_ring_all_similar() {
+        let net = MpNetwork::ring_unidirectional(5);
+        let l = mp_similarity(&net, &uniform_init(5), MpModel::AsyncUnidirectional);
+        assert_eq!(l.class_count(), 1);
+        assert!(l.all_processors_shadowed());
+    }
+
+    #[test]
+    fn marked_ring_splits_fully() {
+        let net = MpNetwork::ring_unidirectional(4);
+        let mut init = uniform_init(4);
+        init[0] = Value::from(1);
+        let l = mp_similarity(&net, &init, MpModel::AsyncUnidirectional);
+        assert_eq!(l.class_count(), 4);
+    }
+
+    #[test]
+    fn chain_splits_by_depth() {
+        // 0 has no senders, 1 hears 0, 2 hears 1, ...: all distinct.
+        let net = MpNetwork::chain(4);
+        let l = mp_similarity(&net, &uniform_init(4), MpModel::AsyncUnidirectional);
+        assert_eq!(l.class_count(), 4);
+    }
+
+    #[test]
+    fn bidirectional_sees_more_than_unidirectional() {
+        // A "broom": 0 -> 2, 1 -> 2, and 2 -> 3 (only 3 hears 2).
+        // Unidirectionally 0 and 1 are similar AND 3 hears {2}.
+        let mut net = MpNetwork::new(4);
+        net.channel(ProcId::new(0), ProcId::new(2)).unwrap();
+        net.channel(ProcId::new(1), ProcId::new(2)).unwrap();
+        net.channel(ProcId::new(2), ProcId::new(3)).unwrap();
+        let uni = mp_similarity(&net, &uniform_init(4), MpModel::AsyncUnidirectional);
+        assert_eq!(
+            uni.proc_label(ProcId::new(0)),
+            uni.proc_label(ProcId::new(1))
+        );
+        // Bidirectional analysis also uses out-ports: 0 and 1 stay
+        // similar (same shape), but 2 (one out) splits from 3 (none) in
+        // both — and in the *uni* rule 2 and 3 differ too via in-ports.
+        let bi = mp_similarity(&net, &uniform_init(4), MpModel::AsyncBidirectional);
+        assert!(bi.is_refinement_of(&uni));
+    }
+
+    #[test]
+    fn reduction_agrees_with_direct_rule_on_rings() {
+        for n in [3, 4, 5] {
+            let net = MpNetwork::ring_bidirectional(n);
+            let init = uniform_init(n);
+            let direct = mp_similarity(&net, &init, MpModel::AsyncBidirectional);
+            let reduced = reduced_similarity(&net, &init);
+            let direct_labels: Vec<Label> =
+                net.processors().map(|p| direct.proc_label(p)).collect();
+            assert!(
+                same_partition(&direct_labels, &reduced),
+                "n={n}: {direct_labels:?} vs {reduced:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_agrees_on_marked_ring() {
+        let net = MpNetwork::ring_bidirectional(4);
+        let mut init = uniform_init(4);
+        init[2] = Value::from(9);
+        let direct = mp_similarity(&net, &init, MpModel::AsyncBidirectional);
+        let reduced = reduced_similarity(&net, &init);
+        let direct_labels: Vec<Label> = net.processors().map(|p| direct.proc_label(p)).collect();
+        assert!(same_partition(&direct_labels, &reduced));
+    }
+
+    #[test]
+    fn reduction_shapes() {
+        let net = MpNetwork::ring_unidirectional(3);
+        let (g, chans) = to_system_graph(&net);
+        assert_eq!(g.processor_count(), 3);
+        assert_eq!(chans.len(), 3);
+        // Each channel variable has exactly a sender and a receiver.
+        for &v in &chans {
+            assert_eq!(g.variable_degree(v), 2);
+        }
+        // No padding needed on a regular ring.
+        assert_eq!(g.variable_count(), 3);
+    }
+
+    #[test]
+    fn reduction_pads_irregular_degrees() {
+        let mut net = MpNetwork::new(3);
+        net.channel(ProcId::new(0), ProcId::new(1)).unwrap();
+        net.channel(ProcId::new(0), ProcId::new(2)).unwrap();
+        let (g, chans) = to_system_graph(&net);
+        // p0 has 2 out-ports; p1 and p2 get 2 padded out-vars each; all
+        // three get padded in-vars where needed.
+        assert_eq!(chans.len(), 2);
+        assert!(g.variable_count() > 2);
+        // Invariant held: every processor has a neighbor for every name.
+        for p in g.processors() {
+            assert_eq!(g.processor_neighbors(p).len(), g.name_count());
+        }
+    }
+
+    #[test]
+    fn extended_csp_needs_neighbor_separation() {
+        let net = MpNetwork::ring_bidirectional(4);
+        // Alternating labels: neighbors differ.
+        let alternating = Labeling::from_raw(4, &[0, 1, 0, 1]);
+        assert!(extended_csp_consistent(&net, &alternating));
+        // All-same: neighbors collide.
+        let same = Labeling::from_raw(4, &[0, 0, 0, 0]);
+        assert!(!extended_csp_consistent(&net, &same));
+        // Odd ring cannot be 2-colored: any labeling with all classes
+        // shared must fail somewhere.
+        let net5 = MpNetwork::ring_bidirectional(5);
+        let l5 = Labeling::from_raw(5, &[0, 1, 0, 1, 0]);
+        assert!(!extended_csp_consistent(&net5, &l5));
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial value per processor")]
+    fn init_shape_checked() {
+        let net = MpNetwork::ring_unidirectional(3);
+        let _ = mp_similarity(&net, &[Value::Unit], MpModel::AsyncUnidirectional);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for message-passing networks and their similarity
+//! analysis.
+
+use proptest::prelude::*;
+use simsym_graph::ProcId;
+use simsym_mp::{mp_similarity, reduced_similarity, MpModel, MpNetwork};
+use simsym_vm::Value;
+
+fn arb_network() -> impl Strategy<Value = MpNetwork> {
+    (2usize..7, any::<u64>()).prop_map(|(n, seed)| {
+        // Deterministic pseudo-random channel set from the seed.
+        let mut net = MpNetwork::new(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && next() % 3 == 0 {
+                    let _ = net.channel(ProcId::new(a), ProcId::new(b));
+                }
+            }
+        }
+        // Guarantee at least one channel so the reduction has names.
+        if net.channels().is_empty() {
+            let _ = net.channel(ProcId::new(0), ProcId::new(1));
+        }
+        net
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn similarity_refines_under_marks(net in arb_network()) {
+        let n = net.processor_count();
+        let uniform = vec![Value::Unit; n];
+        let mut marked = uniform.clone();
+        marked[0] = Value::from(1);
+        for model in [MpModel::AsyncUnidirectional, MpModel::AsyncBidirectional] {
+            let base = mp_similarity(&net, &uniform, model);
+            let fine = mp_similarity(&net, &marked, model);
+            prop_assert!(fine.is_refinement_of(&base));
+        }
+    }
+
+    #[test]
+    fn bidirectional_refines_unidirectional(net in arb_network()) {
+        let init = vec![Value::Unit; net.processor_count()];
+        let uni = mp_similarity(&net, &init, MpModel::AsyncUnidirectional);
+        let bi = mp_similarity(&net, &init, MpModel::AsyncBidirectional);
+        prop_assert!(bi.is_refinement_of(&uni));
+    }
+
+    #[test]
+    fn reduction_refines_direct_rule(net in arb_network()) {
+        // The reduction's channel variables couple both endpoints' port
+        // indices, so it refines the direct rule (and coincides with it
+        // on port-homogeneous networks such as rings — see the unit
+        // tests). A coarser reduction would be unsound; refinement is the
+        // correct general relationship.
+        let init = vec![Value::Unit; net.processor_count()];
+        let direct = mp_similarity(&net, &init, MpModel::AsyncBidirectional);
+        let reduced = reduced_similarity(&net, &init);
+        let n = net.processor_count();
+        let reduced_labeling = simsym_core::Labeling::from_raw(n, &reduced);
+        let direct_labels: Vec<_> = net.processors().map(|p| direct.proc_label(p)).collect();
+        let direct_labeling = simsym_core::Labeling::from_raw(n, &direct_labels);
+        prop_assert!(
+            reduced_labeling.is_refinement_of(&direct_labeling),
+            "direct {:?} vs reduced {:?}",
+            direct_labels,
+            reduced
+        );
+    }
+
+    #[test]
+    fn neighbor_queries_are_consistent(net in arb_network()) {
+        let total: usize = net.processors().map(|p| net.out_neighbors(p).len()).sum();
+        prop_assert_eq!(total, net.channels().len());
+        let total_in: usize = net.processors().map(|p| net.in_neighbors(p).len()).sum();
+        prop_assert_eq!(total_in, net.channels().len());
+        for (from, to) in net.channels().iter().copied() {
+            prop_assert!(net.out_neighbors(from).contains(&to));
+            prop_assert!(net.in_neighbors(to).contains(&from));
+        }
+    }
+}

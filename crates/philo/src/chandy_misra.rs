@@ -1,0 +1,315 @@
+//! A Chandy–Misra-style dining solution: **asymmetry encapsulated in the
+//! initial state** (§8, \\[CM84\\]).
+//!
+//! Five being prime, no deterministic symmetric program solves the uniform
+//! five-table (DP, Theorem 11). The paper's discussion points at the
+//! Chandy–Misra way out: all processors still execute the same program and
+//! carry no identifiers — the necessary asymmetry lives entirely in the
+//! **initial states of the forks**, which encode an acyclic precedence
+//! orientation. Each fork record stores its current *holder* (by side: the
+//! user that names it `right` or the one that names it `left`), a *dirty*
+//! bit, and per-side request flags:
+//!
+//! * a hungry philosopher requests forks it does not hold;
+//! * a philosopher holding a **dirty** requested fork yields it (cleaned)
+//!   whenever it is not eating — even while hungry;
+//! * **clean** forks are never yielded: whoever holds a clean fork is on
+//!   its way to eat;
+//! * eating dirties both forks.
+//!
+//! The initial orientation (philosopher 0 holds both its forks, the last
+//! philosopher none, everyone else exactly their right fork — all dirty)
+//! is acyclic, and the clean/dirty discipline preserves acyclicity, giving
+//! deadlock- and starvation-freedom for **any** table size, including the
+//! prime ones doomed in the symmetric setting.
+
+use crate::metrics::EATING;
+use simsym_graph::SystemGraph;
+use simsym_vm::{LocalState, OpEnv, Program, SystemInit, Value};
+
+/// Side encoding inside a fork record: the user that calls the fork
+/// `right`.
+const RIGHT_USER: i64 = 0;
+/// The user that calls the fork `left`.
+const LEFT_USER: i64 = 1;
+
+fn fork_record(holder: i64, dirty: bool, req_r: bool, req_l: bool) -> Value {
+    Value::tuple([
+        Value::from(holder),
+        Value::from(dirty),
+        Value::from(req_r),
+        Value::from(req_l),
+    ])
+}
+
+fn decode_fork(v: &Value) -> (i64, bool, bool, bool) {
+    if let Some([h, d, rr, rl]) = v.as_tuple().and_then(|t| <&[Value; 4]>::try_from(t).ok()) {
+        if let (Some(h), Some(d), Some(rr), Some(rl)) =
+            (h.as_int(), d.as_bool(), rr.as_bool(), rl.as_bool())
+        {
+            return (h, d, rr, rl);
+        }
+    }
+    (RIGHT_USER, true, false, false)
+}
+
+/// The initial state encoding the acyclic precedence orientation for a
+/// uniform table ([`simsym_graph::topology::philosophers_table`]):
+/// philosopher 0 holds both adjacent forks, the last philosopher neither,
+/// every fork dirty.
+///
+/// # Panics
+///
+/// Panics if the graph is not a uniform table (names `left`/`right`, one
+/// fork per philosopher).
+pub fn chandy_misra_init(graph: &SystemGraph) -> SystemInit {
+    let n = graph.processor_count();
+    assert_eq!(graph.variable_count(), n, "uniform table expected");
+    assert!(graph.names().get("left").is_some() && graph.names().get("right").is_some());
+    let mut init = SystemInit::uniform(graph);
+    for i in 0..n {
+        // Fork i sits between right-user phil i and left-user phil i+1.
+        let holder = if i == n - 1 { LEFT_USER } else { RIGHT_USER };
+        init.var_values[i] = fork_record(holder, true, false, false);
+    }
+    init
+}
+
+/// The Chandy–Misra-style philosopher program (instruction set **L**).
+#[derive(Clone, Debug)]
+pub struct ChandyMisraPhilosopher {
+    think: i64,
+    eat: i64,
+}
+
+impl ChandyMisraPhilosopher {
+    /// A philosopher with the given think/eat durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero.
+    pub fn new(think: u32, eat: u32) -> Self {
+        assert!(think > 0 && eat > 0, "durations must be positive");
+        ChandyMisraPhilosopher {
+            think: i64::from(think),
+            eat: i64::from(eat),
+        }
+    }
+
+    fn fork_name(fi: i64) -> &'static str {
+        if fi == 0 {
+            "right"
+        } else {
+            "left"
+        }
+    }
+
+    /// My side of fork `fi`: accessing via `right` makes me the
+    /// right-user.
+    fn side(fi: i64) -> i64 {
+        if fi == 0 {
+            RIGHT_USER
+        } else {
+            LEFT_USER
+        }
+    }
+}
+
+const THINK: i64 = 0;
+const HUNGRY: i64 = 1;
+const EAT: i64 = 2;
+const POST_EAT: i64 = 3;
+
+impl Program for ChandyMisraPhilosopher {
+    fn boot(&self, initial: &Value) -> LocalState {
+        let mut s = LocalState::with_initial(initial.clone());
+        s.set("mode", Value::from(THINK));
+        s.set("t", Value::from(self.think));
+        s.set("fi", Value::from(0));
+        s.set("stage", Value::from(0));
+        s.set("hold_r", Value::from(false));
+        s.set("hold_l", Value::from(false));
+        s.set(EATING, Value::from(false));
+        s
+    }
+
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        let mode = local.get("mode").as_int().unwrap_or(THINK);
+        if mode == EAT {
+            let e = local.get("e").as_int().unwrap_or(0);
+            if e <= 1 {
+                local.set(EATING, Value::from(false));
+                local.set("mode", Value::from(POST_EAT));
+                local.set("fi", Value::from(0));
+                local.set("stage", Value::from(0));
+            } else {
+                local.set("e", Value::from(e - 1));
+            }
+            return;
+        }
+        // THINK / HUNGRY / POST_EAT all cycle through fork visits:
+        // lock → read → act+write → unlock.
+        let fi = local.get("fi").as_int().unwrap_or(0);
+        let name = ops.name(Self::fork_name(fi));
+        match local.get("stage").as_int().unwrap_or(0) {
+            0 => {
+                if ops.lock(name) {
+                    local.set("stage", Value::from(1));
+                }
+            }
+            1 => {
+                local.set("buf", ops.read(name));
+                local.set("stage", Value::from(2));
+            }
+            2 => {
+                let (mut holder, mut dirty, mut req_r, mut req_l) = decode_fork(&local.get("buf"));
+                let s = Self::side(fi);
+                let hold_reg = if fi == 0 { "hold_r" } else { "hold_l" };
+                if mode == POST_EAT {
+                    // Eating dirtied the fork.
+                    dirty = true;
+                } else if holder == s {
+                    local.set(hold_reg, Value::from(true));
+                    let other_requested = if s == RIGHT_USER { req_l } else { req_r };
+                    if dirty && other_requested {
+                        // Yield: clean the fork, hand it over, clear the
+                        // request.
+                        holder = 1 - s;
+                        dirty = false;
+                        if s == RIGHT_USER {
+                            req_l = false;
+                        } else {
+                            req_r = false;
+                        }
+                        local.set(hold_reg, Value::from(false));
+                    }
+                } else {
+                    local.set(hold_reg, Value::from(false));
+                    if mode == HUNGRY {
+                        if s == RIGHT_USER {
+                            req_r = true;
+                        } else {
+                            req_l = true;
+                        }
+                    }
+                }
+                ops.write(name, fork_record(holder, dirty, req_r, req_l));
+                local.set("stage", Value::from(3));
+            }
+            _ => {
+                ops.unlock(name);
+                local.set("stage", Value::from(0));
+                local.set("fi", Value::from(1 - fi));
+                let completed_pair = fi == 1;
+                match mode {
+                    THINK if completed_pair => {
+                        let t = local.get("t").as_int().unwrap_or(0);
+                        if t <= 1 {
+                            local.set("mode", Value::from(HUNGRY));
+                        } else {
+                            local.set("t", Value::from(t - 1));
+                        }
+                    }
+                    HUNGRY => {
+                        let both = local.get("hold_r").as_bool() == Some(true)
+                            && local.get("hold_l").as_bool() == Some(true);
+                        if both {
+                            local.set("mode", Value::from(EAT));
+                            local.set("e", Value::from(self.eat));
+                            local.set(EATING, Value::from(true));
+                        }
+                    }
+                    POST_EAT if completed_pair => {
+                        local.set("mode", Value::from(THINK));
+                        local.set("t", Value::from(self.think));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "chandy-misra-philosopher"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ExclusionMonitor, MealCounter};
+    use simsym_graph::topology;
+    use simsym_vm::{run, InstructionSet, Machine, RandomFair, RoundRobin, Scheduler};
+    use std::sync::Arc;
+
+    fn dine(
+        n: usize,
+        sched: &mut dyn Scheduler,
+        steps: u64,
+    ) -> (MealCounter, Option<simsym_vm::Violation>) {
+        let g = Arc::new(topology::philosophers_table(n));
+        let prog = Arc::new(ChandyMisraPhilosopher::new(2, 2));
+        let init = chandy_misra_init(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).unwrap();
+        let mut excl = ExclusionMonitor::new(&g);
+        let mut meals = MealCounter::new(n);
+        let report = run(&mut m, sched, steps, &mut [&mut excl, &mut meals]);
+        (meals, report.violation)
+    }
+
+    #[test]
+    fn five_philosophers_all_eat_round_robin() {
+        // The prime table that defeats every symmetric program (DP) is
+        // solved once asymmetry is encapsulated in the fork states.
+        let (meals, violation) = dine(5, &mut RoundRobin::new(), 60_000);
+        assert!(violation.is_none(), "{violation:?}");
+        assert!(meals.minimum() > 0, "all eat: {:?}", meals.meals);
+        assert!(meals.fairness() > 0.8, "roughly fair: {:?}", meals.meals);
+    }
+
+    #[test]
+    fn five_philosophers_random_schedules() {
+        for seed in 0..5 {
+            let (meals, violation) = dine(5, &mut RandomFair::seeded(seed), 120_000);
+            assert!(violation.is_none(), "seed {seed}: {violation:?}");
+            assert!(meals.minimum() > 0, "seed {seed}: {:?}", meals.meals);
+        }
+    }
+
+    #[test]
+    fn various_table_sizes() {
+        for n in [3, 4, 6, 7] {
+            let (meals, violation) = dine(n, &mut RoundRobin::new(), 60_000);
+            assert!(violation.is_none(), "n={n}");
+            assert!(meals.minimum() > 0, "n={n}: {:?}", meals.meals);
+        }
+    }
+
+    #[test]
+    fn init_orientation_is_acyclic() {
+        let g = topology::philosophers_table(5);
+        let init = chandy_misra_init(&g);
+        // Phil 0 holds fork 0 (as right-user) and fork 4 (as left-user);
+        // phil 4 holds nothing.
+        let (h0, d0, _, _) = decode_fork(&init.var_values[0]);
+        let (h4, ..) = decode_fork(&init.var_values[4]);
+        assert_eq!(h0, RIGHT_USER);
+        assert_eq!(h4, LEFT_USER);
+        assert!(d0, "forks start dirty");
+    }
+
+    #[test]
+    fn record_codec_round_trip() {
+        let r = fork_record(LEFT_USER, false, true, false);
+        assert_eq!(decode_fork(&r), (LEFT_USER, false, true, false));
+        // Garbage decodes to the safe default.
+        assert_eq!(decode_fork(&Value::Unit), (RIGHT_USER, true, false, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform table")]
+    fn init_rejects_non_table() {
+        let g = topology::star(4);
+        let _ = chandy_misra_init(&g);
+    }
+}

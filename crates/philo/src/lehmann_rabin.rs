@@ -1,0 +1,233 @@
+//! The Lehmann–Rabin randomized dining philosophers (\\[LR80\\], §8).
+//!
+//! The paper's starting claim **DP** says no deterministic symmetric
+//! distributed program solves the five-philosopher problem — and §8 notes
+//! that *randomization* is exactly what buys back the lost power: the
+//! free-choice algorithm of Lehmann and Rabin stays fully symmetric (all
+//! philosophers run the same program, no identifiers, symmetric forks) yet
+//! achieves deadlock-free dining with probability 1 on **any** table,
+//! prime sizes included.
+//!
+//! Protocol per hunger episode: flip a fair coin to pick the first fork;
+//! wait for it; try the second fork **once** — on failure put the first
+//! fork back and re-flip. Locks provide the exclusion; the coin breaks the
+//! similarity that dooms deterministic programs (a round-robin schedule
+//! can no longer force all philosophers through identical states, because
+//! their coins differ).
+
+use crate::metrics::EATING;
+use simsym_vm::{LocalState, OpEnv, Program, Value};
+
+/// The Lehmann–Rabin philosopher (instruction set **L**, randomized
+/// machine required).
+#[derive(Clone, Debug)]
+pub struct LehmannRabinPhilosopher {
+    think: i64,
+    eat: i64,
+}
+
+impl LehmannRabinPhilosopher {
+    /// A philosopher with the given think/eat durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero.
+    pub fn new(think: u32, eat: u32) -> Self {
+        assert!(think > 0 && eat > 0, "durations must be positive");
+        LehmannRabinPhilosopher {
+            think: i64::from(think),
+            eat: i64::from(eat),
+        }
+    }
+}
+
+fn fork_name(first: bool, flip: bool) -> &'static str {
+    // flip picks which physical fork is "first".
+    match (first, flip) {
+        (true, true) | (false, false) => "right",
+        (true, false) | (false, true) => "left",
+    }
+}
+
+impl Program for LehmannRabinPhilosopher {
+    fn boot(&self, initial: &Value) -> LocalState {
+        let mut s = LocalState::with_initial(initial.clone());
+        s.set("t", Value::from(self.think));
+        s.set(EATING, Value::from(false));
+        s.pc = 0; // 0 think, 1 flip+try first, 2 try second, 3 put back first, 4 eat, 5 release second, 6 release first
+        s
+    }
+
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        match local.pc {
+            0 => {
+                let t = local.get("t").as_int().unwrap_or(0);
+                if t <= 1 {
+                    // Free choice: flip the coin for this attempt.
+                    let flip = ops.coin();
+                    local.set("flip", Value::from(flip));
+                    local.pc = 1;
+                } else {
+                    local.set("t", Value::from(t - 1));
+                }
+            }
+            1 => {
+                let flip = local.get("flip").as_bool().unwrap_or(true);
+                if ops.lock(ops.name(fork_name(true, flip))) {
+                    local.pc = 2;
+                }
+                // On failure: wait (retry) — LR waits for the first fork.
+            }
+            2 => {
+                let flip = local.get("flip").as_bool().unwrap_or(true);
+                if ops.lock(ops.name(fork_name(false, flip))) {
+                    local.set(EATING, Value::from(true));
+                    local.set("e", Value::from(self.eat));
+                    local.pc = 4;
+                } else {
+                    // Single attempt at the second fork: put the first
+                    // back and re-flip.
+                    local.pc = 3;
+                }
+            }
+            3 => {
+                let flip = local.get("flip").as_bool().unwrap_or(true);
+                ops.unlock(ops.name(fork_name(true, flip)));
+                let flip = ops.coin();
+                local.set("flip", Value::from(flip));
+                local.pc = 1;
+            }
+            4 => {
+                let e = local.get("e").as_int().unwrap_or(0);
+                if e <= 1 {
+                    local.set(EATING, Value::from(false));
+                    local.pc = 5;
+                } else {
+                    local.set("e", Value::from(e - 1));
+                }
+            }
+            5 => {
+                let flip = local.get("flip").as_bool().unwrap_or(true);
+                ops.unlock(ops.name(fork_name(false, flip)));
+                local.pc = 6;
+            }
+            _ => {
+                let flip = local.get("flip").as_bool().unwrap_or(true);
+                ops.unlock(ops.name(fork_name(true, flip)));
+                local.set("t", Value::from(self.think));
+                local.pc = 0;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "lehmann-rabin-philosopher"
+    }
+}
+
+/// Outcome of a measured Lehmann–Rabin run.
+#[derive(Clone, Debug, Default)]
+pub struct DiningStats {
+    /// Meals per philosopher.
+    pub meals: Vec<u64>,
+    /// Whether an exclusion violation occurred (must never).
+    pub violated: bool,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+impl DiningStats {
+    /// Total meals.
+    pub fn total_meals(&self) -> u64 {
+        self.meals.iter().sum()
+    }
+
+    /// Minimum per-philosopher meals.
+    pub fn min_meals(&self) -> u64 {
+        self.meals.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Runs Lehmann–Rabin on the uniform `n`-table for `steps` steps and
+/// reports meal statistics — the measurement behind experiment E9's
+/// dining half.
+pub fn measure_lehmann_rabin(n: usize, seed: u64, steps: u64) -> DiningStats {
+    use crate::metrics::{ExclusionMonitor, MealCounter};
+    use simsym_graph::topology;
+    use simsym_vm::{run, InstructionSet, Machine, RandomFair, SystemInit};
+    use std::sync::Arc;
+
+    let g = Arc::new(topology::philosophers_table(n));
+    let prog = Arc::new(LehmannRabinPhilosopher::new(2, 2));
+    let init = SystemInit::uniform(&g);
+    let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init)
+        .expect("machine")
+        .with_randomness(seed ^ 0xD1CE);
+    let mut sched = RandomFair::seeded(seed);
+    let mut excl = ExclusionMonitor::new(&g);
+    let mut meals = MealCounter::new(n);
+    let report = run(&mut m, &mut sched, steps, &mut [&mut excl, &mut meals]);
+    DiningStats {
+        meals: meals.meals,
+        violated: report.violation.is_some(),
+        steps: report.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ExclusionMonitor, MealCounter};
+    use simsym_graph::topology;
+    use simsym_vm::{run, InstructionSet, Machine, RoundRobin, SystemInit};
+    use std::sync::Arc;
+
+    #[test]
+    fn five_philosophers_eat_with_probability_one() {
+        for seed in 0..5 {
+            let stats = measure_lehmann_rabin(5, seed, 60_000);
+            assert!(!stats.violated, "seed {seed}");
+            assert!(
+                stats.min_meals() > 0,
+                "seed {seed}: everyone eats, got {:?}",
+                stats.meals
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_prime_and_composite_tables() {
+        for n in [3, 4, 7] {
+            let stats = measure_lehmann_rabin(n, 42, 80_000);
+            assert!(!stats.violated, "n={n}");
+            assert!(stats.min_meals() > 0, "n={n}: {:?}", stats.meals);
+        }
+    }
+
+    #[test]
+    fn round_robin_with_coins_still_dines() {
+        // Even the adversarial-for-deterministic round-robin schedule
+        // cannot starve the randomized protocol: coins desynchronize the
+        // philosophers.
+        let g = Arc::new(topology::philosophers_table(5));
+        let prog = Arc::new(LehmannRabinPhilosopher::new(2, 2));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init)
+            .unwrap()
+            .with_randomness(7);
+        let mut sched = RoundRobin::new();
+        let mut excl = ExclusionMonitor::new(&g);
+        let mut meals = MealCounter::new(5);
+        let report = run(&mut m, &mut sched, 60_000, &mut [&mut excl, &mut meals]);
+        assert!(report.violation.is_none());
+        assert!(meals.total() > 0, "someone eats under round-robin + coins");
+    }
+
+    #[test]
+    fn fork_name_mapping() {
+        assert_eq!(fork_name(true, true), "right");
+        assert_eq!(fork_name(false, true), "left");
+        assert_eq!(fork_name(true, false), "left");
+        assert_eq!(fork_name(false, false), "right");
+    }
+}

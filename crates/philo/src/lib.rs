@@ -1,0 +1,58 @@
+//! # simsym-philo
+//!
+//! The Dining Philosophers case study of *Symmetry and Similarity in
+//! Distributed Systems* (§7–§8): executable versions of every claim.
+//!
+//! * **DP** — *there is no symmetric, distributed, deterministic solution
+//!   to the (five) Dining Philosophers problem.* Five is prime, so by
+//!   Theorem 11 all five philosophers are similar even with locking; the
+//!   round-robin schedule marches them through identical states, and any
+//!   program either starves everyone ([`LockOrderPhilosopher`] deadlocks
+//!   on the uniform table) or makes everyone eat at once
+//!   ([`ObliviousPhilosopher`] violates exclusion).
+//! * **DP′** — *the six-philosopher problem has such a solution.* On the
+//!   alternating table (Fig. 5) the same [`LockOrderPhilosopher`] dines
+//!   forever without violations: the orientation classes make adjacent
+//!   philosophers dissimilar.
+//! * **Encapsulated asymmetry** (\\[CM84\\]) — [`ChandyMisraPhilosopher`]
+//!   solves *any* table, prime or not, by hiding an acyclic precedence
+//!   orientation in the forks' initial states while processors stay
+//!   anonymous and identical.
+//! * **Randomization** (\\[LR80\\]) — [`LehmannRabinPhilosopher`] solves any
+//!   table with probability 1 using free choice, quantifying the added
+//!   power of randomization (§8).
+//!
+//! ```
+//! use simsym_philo::{LockOrderPhilosopher, ExclusionMonitor, MealCounter};
+//! use simsym_graph::topology;
+//! use simsym_vm::{Machine, InstructionSet, SystemInit, RoundRobin, run};
+//! use std::sync::Arc;
+//!
+//! // DP′: six philosophers, alternating orientation, symmetric program.
+//! let table = Arc::new(topology::philosophers_alternating(6));
+//! let init = SystemInit::uniform(&table);
+//! let mut m = Machine::new(
+//!     Arc::clone(&table),
+//!     InstructionSet::L,
+//!     Arc::new(LockOrderPhilosopher::new(3, 2)),
+//!     &init,
+//! )?;
+//! let mut exclusion = ExclusionMonitor::new(&table);
+//! let mut meals = MealCounter::new(6);
+//! let report = run(&mut m, &mut RoundRobin::new(), 10_000, &mut [&mut exclusion, &mut meals]);
+//! assert!(report.violation.is_none());
+//! assert!(meals.minimum() > 0); // every philosopher dines
+//! # Ok::<(), simsym_vm::MachineError>(())
+//! ```
+
+mod chandy_misra;
+mod lehmann_rabin;
+pub mod metrics;
+mod programs;
+
+pub use chandy_misra::{chandy_misra_init, ChandyMisraPhilosopher};
+pub use lehmann_rabin::{measure_lehmann_rabin, DiningStats, LehmannRabinPhilosopher};
+pub use metrics::{
+    adjacent_pairs, is_eating, ExclusionMonitor, HungerMonitor, MealCounter, EATING,
+};
+pub use programs::{LockOrderPhilosopher, ObliviousPhilosopher};

@@ -1,0 +1,248 @@
+//! Monitors and metrics for dining-philosophers runs.
+
+use simsym_graph::{ProcId, SystemGraph};
+use simsym_vm::{Machine, Monitor, Violation};
+
+/// The conventional register philosophers set while eating.
+pub const EATING: &str = "eating";
+
+/// Whether a philosopher is currently eating.
+pub fn is_eating(machine: &Machine, p: ProcId) -> bool {
+    machine.local(p).get(EATING).as_bool() == Some(true)
+}
+
+/// Pairs of philosophers that share a fork (adjacent at the table).
+pub fn adjacent_pairs(graph: &SystemGraph) -> Vec<(ProcId, ProcId)> {
+    let mut pairs = Vec::new();
+    for v in graph.variables() {
+        let procs = graph.variable_processors(v);
+        for (i, &a) in procs.iter().enumerate() {
+            for &b in &procs[i + 1..] {
+                if !pairs.contains(&(a, b)) {
+                    pairs.push((a, b));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Fails the run if two philosophers sharing a fork eat simultaneously —
+/// the core safety requirement of the problem (§7).
+#[derive(Clone, Debug)]
+pub struct ExclusionMonitor {
+    pairs: Vec<(ProcId, ProcId)>,
+}
+
+impl ExclusionMonitor {
+    /// Builds the monitor from the table topology.
+    pub fn new(graph: &SystemGraph) -> Self {
+        ExclusionMonitor {
+            pairs: adjacent_pairs(graph),
+        }
+    }
+}
+
+impl Monitor for ExclusionMonitor {
+    fn observe(&mut self, machine: &Machine, _just_stepped: ProcId) -> Option<Violation> {
+        for &(a, b) in &self.pairs {
+            if is_eating(machine, a) && is_eating(machine, b) {
+                return Some(Violation::Custom {
+                    step: machine.steps(),
+                    description: format!("adjacent philosophers {a} and {b} eat simultaneously"),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Counts meals: transitions of each philosopher into the eating state.
+#[derive(Clone, Debug)]
+pub struct MealCounter {
+    was_eating: Vec<bool>,
+    /// Meals completed per philosopher.
+    pub meals: Vec<u64>,
+}
+
+impl MealCounter {
+    /// A counter for `n` philosophers.
+    pub fn new(n: usize) -> Self {
+        MealCounter {
+            was_eating: vec![false; n],
+            meals: vec![0; n],
+        }
+    }
+
+    /// Total meals across the table.
+    pub fn total(&self) -> u64 {
+        self.meals.iter().sum()
+    }
+
+    /// Smallest per-philosopher meal count (0 ⟹ someone starved).
+    pub fn minimum(&self) -> u64 {
+        self.meals.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Jain's fairness index over per-philosopher meal counts
+    /// (1.0 = perfectly fair, → 1/n as one philosopher hogs the table).
+    pub fn fairness(&self) -> f64 {
+        let n = self.meals.len() as f64;
+        let sum: f64 = self.meals.iter().map(|&m| m as f64).sum();
+        let sumsq: f64 = self.meals.iter().map(|&m| (m as f64) * (m as f64)).sum();
+        if sumsq == 0.0 {
+            return 0.0;
+        }
+        sum * sum / (n * sumsq)
+    }
+}
+
+impl Monitor for MealCounter {
+    fn observe(&mut self, machine: &Machine, just_stepped: ProcId) -> Option<Violation> {
+        let i = just_stepped.index();
+        let now = is_eating(machine, just_stepped);
+        if now && !self.was_eating[i] {
+            self.meals[i] += 1;
+        }
+        self.was_eating[i] = now;
+        None
+    }
+}
+
+/// Tracks how long each philosopher goes between meals — the starvation
+/// metric behind the liveness claims (a bounded maximum hunger gap is
+/// starvation-freedom in practice).
+#[derive(Clone, Debug)]
+pub struct HungerMonitor {
+    last_meal_step: Vec<u64>,
+    was_eating: Vec<bool>,
+    /// Longest observed gap (in global steps) between consecutive meals,
+    /// per philosopher.
+    pub max_gap: Vec<u64>,
+}
+
+impl HungerMonitor {
+    /// A monitor for `n` philosophers.
+    pub fn new(n: usize) -> Self {
+        HungerMonitor {
+            last_meal_step: vec![0; n],
+            was_eating: vec![false; n],
+            max_gap: vec![0; n],
+        }
+    }
+
+    /// The worst gap across the table, including time still waiting at
+    /// the end of the run (`now` = final step count).
+    pub fn worst_gap(&self, now: u64) -> u64 {
+        self.max_gap
+            .iter()
+            .zip(&self.last_meal_step)
+            .map(|(&g, &last)| g.max(now.saturating_sub(last)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Monitor for HungerMonitor {
+    fn observe(&mut self, machine: &Machine, just_stepped: ProcId) -> Option<Violation> {
+        let i = just_stepped.index();
+        let now = machine.steps();
+        let eating = is_eating(machine, just_stepped);
+        if eating && !self.was_eating[i] {
+            let gap = now.saturating_sub(self.last_meal_step[i]);
+            if gap > self.max_gap[i] {
+                self.max_gap[i] = gap;
+            }
+            self.last_meal_step[i] = now;
+        }
+        self.was_eating[i] = eating;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+    use simsym_vm::{FnProgram, InstructionSet, Machine, SystemInit, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn adjacency_of_five_table() {
+        let g = topology::philosophers_table(5);
+        let pairs = adjacent_pairs(&g);
+        assert_eq!(pairs.len(), 5);
+    }
+
+    #[test]
+    fn exclusion_monitor_fires_on_adjacent_eaters() {
+        let g = Arc::new(topology::philosophers_table(3));
+        let prog = Arc::new(FnProgram::new("all-eat", |local, _ops| {
+            local.set(EATING, Value::from(true));
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::S, prog, &init).unwrap();
+        let mut mon = ExclusionMonitor::new(&g);
+        m.step(ProcId::new(0));
+        assert!(
+            mon.observe(&m, ProcId::new(0)).is_none(),
+            "one eater is fine"
+        );
+        m.step(ProcId::new(1));
+        assert!(
+            mon.observe(&m, ProcId::new(1)).is_some(),
+            "neighbors eating"
+        );
+    }
+
+    #[test]
+    fn meal_counter_counts_transitions() {
+        let g = Arc::new(topology::philosophers_table(3));
+        let prog = Arc::new(FnProgram::new("toggle", |local, _ops| {
+            let eating = local.get(EATING).as_bool().unwrap_or(false);
+            local.set(EATING, Value::from(!eating));
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::S, prog, &init).unwrap();
+        let mut meals = MealCounter::new(3);
+        for _ in 0..6 {
+            m.step(ProcId::new(0));
+            meals.observe(&m, ProcId::new(0));
+        }
+        assert_eq!(meals.meals[0], 3); // eats on steps 1, 3, 5
+        assert_eq!(meals.total(), 3);
+        assert_eq!(meals.minimum(), 0);
+    }
+
+    #[test]
+    fn hunger_monitor_tracks_gaps() {
+        let g = Arc::new(topology::philosophers_table(3));
+        let prog = Arc::new(FnProgram::new("slow-toggle", |local, _ops| {
+            // Eats on every 4th own step.
+            local.pc = local.pc.wrapping_add(1);
+            local.set(EATING, Value::from(local.pc % 4 == 0));
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::S, prog, &init).unwrap();
+        let mut hunger = HungerMonitor::new(3);
+        for _ in 0..24 {
+            m.step(ProcId::new(0));
+            hunger.observe(&m, ProcId::new(0));
+        }
+        // p0 eats at its steps 4, 8, ...: first gap 4 (from 0), then 4.
+        assert_eq!(hunger.max_gap[0], 4);
+        // Untouched philosophers report their full wait through worst_gap.
+        assert!(hunger.worst_gap(m.steps()) >= 24);
+    }
+
+    #[test]
+    fn fairness_index() {
+        let mut mc = MealCounter::new(4);
+        mc.meals = vec![5, 5, 5, 5];
+        assert!((mc.fairness() - 1.0).abs() < 1e-9);
+        mc.meals = vec![20, 0, 0, 0];
+        assert!((mc.fairness() - 0.25).abs() < 1e-9);
+        mc.meals = vec![0, 0, 0, 0];
+        assert_eq!(mc.fairness(), 0.0);
+    }
+}

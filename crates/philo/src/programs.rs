@@ -1,0 +1,283 @@
+//! Deterministic philosopher programs: the doomed symmetric attempts of
+//! §7 and the six-philosopher solution DP′.
+
+use crate::metrics::EATING;
+use simsym_vm::{LocalState, OpEnv, Program, Value};
+
+/// A deterministic, symmetric philosopher: think, lock the `right` fork,
+/// lock the `left` fork (holding the right), eat, release both, repeat.
+///
+/// * On the **alternating table** (Fig. 5, even `n`) this is the DP′
+///   solution: every fork is the *first* fork of both its users or the
+///   *second* of both, so hold-and-wait chains have length ≤ 2 and the
+///   program is deadlock-free while locks enforce exclusion.
+/// * On the **uniform table** (Fig. 4) the same program deadlocks under
+///   round-robin — all philosophers take their right fork, then spin on
+///   the left forever — illustrating DP: any deterministic symmetric
+///   program either starves everyone or (see [`ObliviousPhilosopher`])
+///   breaks exclusion, because round-robin keeps all five similar.
+#[derive(Clone, Debug)]
+pub struct LockOrderPhilosopher {
+    think: i64,
+    eat: i64,
+}
+
+impl LockOrderPhilosopher {
+    /// A philosopher thinking and eating for the given step counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero.
+    pub fn new(think: u32, eat: u32) -> Self {
+        assert!(think > 0 && eat > 0, "durations must be positive");
+        LockOrderPhilosopher {
+            think: i64::from(think),
+            eat: i64::from(eat),
+        }
+    }
+}
+
+impl Program for LockOrderPhilosopher {
+    fn boot(&self, initial: &Value) -> LocalState {
+        let mut s = LocalState::with_initial(initial.clone());
+        s.set("t", Value::from(self.think));
+        s.set(EATING, Value::from(false));
+        s.pc = 0; // 0 think, 1 lock right, 2 lock left, 3 eat, 4 unlock left, 5 unlock right
+        s
+    }
+
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        match local.pc {
+            0 => {
+                let t = local.get("t").as_int().unwrap_or(0);
+                if t <= 1 {
+                    local.pc = 1;
+                } else {
+                    local.set("t", Value::from(t - 1));
+                }
+            }
+            1 => {
+                if ops.lock(ops.name("right")) {
+                    local.pc = 2;
+                }
+            }
+            2 => {
+                if ops.lock(ops.name("left")) {
+                    local.set(EATING, Value::from(true));
+                    local.set("e", Value::from(self.eat));
+                    local.pc = 3;
+                }
+            }
+            3 => {
+                let e = local.get("e").as_int().unwrap_or(0);
+                if e <= 1 {
+                    local.set(EATING, Value::from(false));
+                    local.pc = 4;
+                } else {
+                    local.set("e", Value::from(e - 1));
+                }
+            }
+            4 => {
+                ops.unlock(ops.name("left"));
+                local.pc = 5;
+            }
+            _ => {
+                ops.unlock(ops.name("right"));
+                local.set("t", Value::from(self.think));
+                local.pc = 0;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "lock-order-philosopher"
+    }
+}
+
+/// A philosopher that ignores the forks entirely: think, “eat”, repeat.
+///
+/// Under round-robin on the uniform five-table all philosophers are
+/// similar, so whenever one eats **all** eat — this program makes the
+/// resulting exclusion violation directly observable (Theorem 2 applied to
+/// dining: a solution must make adjacent philosophers dissimilar).
+#[derive(Clone, Debug)]
+pub struct ObliviousPhilosopher {
+    think: i64,
+    eat: i64,
+}
+
+impl ObliviousPhilosopher {
+    /// A forkless philosopher with the given think/eat durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero.
+    pub fn new(think: u32, eat: u32) -> Self {
+        assert!(think > 0 && eat > 0, "durations must be positive");
+        ObliviousPhilosopher {
+            think: i64::from(think),
+            eat: i64::from(eat),
+        }
+    }
+}
+
+impl Program for ObliviousPhilosopher {
+    fn boot(&self, initial: &Value) -> LocalState {
+        let mut s = LocalState::with_initial(initial.clone());
+        s.set("t", Value::from(self.think));
+        s.set(EATING, Value::from(false));
+        s
+    }
+
+    fn step(&self, local: &mut LocalState, _ops: &mut OpEnv<'_>) {
+        match local.pc {
+            0 => {
+                let t = local.get("t").as_int().unwrap_or(0);
+                if t <= 1 {
+                    local.set(EATING, Value::from(true));
+                    local.set("e", Value::from(self.eat));
+                    local.pc = 1;
+                } else {
+                    local.set("t", Value::from(t - 1));
+                }
+            }
+            _ => {
+                let e = local.get("e").as_int().unwrap_or(0);
+                if e <= 1 {
+                    local.set(EATING, Value::from(false));
+                    local.set("t", Value::from(self.think));
+                    local.pc = 0;
+                } else {
+                    local.set("e", Value::from(e - 1));
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "oblivious-philosopher"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ExclusionMonitor, MealCounter};
+    use simsym_graph::topology;
+    use simsym_vm::{
+        run, InstructionSet, Machine, RoundRobin, SimilarityObserver, StopReason, SystemInit,
+    };
+    use std::sync::Arc;
+
+    #[test]
+    fn dp_prime_six_philosophers_dine_safely() {
+        // DP′: the same deterministic symmetric program solves the
+        // six-philosopher problem on the alternating table.
+        let g = Arc::new(topology::philosophers_alternating(6));
+        let prog = Arc::new(LockOrderPhilosopher::new(3, 2));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let mut excl = ExclusionMonitor::new(&g);
+        let mut meals = MealCounter::new(6);
+        let report = run(&mut m, &mut sched, 20_000, &mut [&mut excl, &mut meals]);
+        assert_eq!(report.stop, StopReason::MaxSteps, "{:?}", report.violation);
+        assert!(
+            meals.minimum() > 0,
+            "every philosopher eats: {:?}",
+            meals.meals
+        );
+    }
+
+    #[test]
+    fn dp_five_table_deadlocks_under_round_robin() {
+        // DP: on the uniform five-table the identical program reaches the
+        // all-hold-right deadlock — nobody ever eats.
+        let g = Arc::new(topology::philosophers_table(5));
+        let prog = Arc::new(LockOrderPhilosopher::new(3, 2));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let mut excl = ExclusionMonitor::new(&g);
+        let mut meals = MealCounter::new(5);
+        let report = run(&mut m, &mut sched, 20_000, &mut [&mut excl, &mut meals]);
+        assert!(
+            report.violation.is_none(),
+            "no exclusion violation — just starvation"
+        );
+        assert_eq!(meals.total(), 0, "nobody eats");
+        // Certify the deadlock: no processor's step changes anything — all
+        // five hold their right fork and spin on the left forever.
+        assert!(
+            simsym_vm::is_quiescent(&m),
+            "the all-hold-right state is a true deadlock"
+        );
+    }
+
+    #[test]
+    fn dp_five_table_round_robin_keeps_all_similar() {
+        // The round-robin schedule keeps all five philosophers in the same
+        // state at every round boundary — the operational content of
+        // Theorem 11 (all five are similar, 5 being prime).
+        let g = Arc::new(topology::philosophers_table(5));
+        let prog = Arc::new(LockOrderPhilosopher::new(3, 2));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let class: Vec<_> = g.processors().collect();
+        let mut obs = SimilarityObserver::new(vec![class], 5);
+        let _ = run(&mut m, &mut sched, 5_000, &mut [&mut obs]);
+        assert_eq!(obs.coincidence_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn six_table_round_robin_separates_neighbors() {
+        // On the alternating table the two orientation classes behave
+        // differently — adjacent philosophers diverge, which is what makes
+        // DP′ possible.
+        let g = Arc::new(topology::philosophers_alternating(6));
+        let prog = Arc::new(LockOrderPhilosopher::new(3, 2));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let all: Vec<_> = g.processors().collect();
+        let mut together = SimilarityObserver::new(vec![all], 6);
+        let _ = run(&mut m, &mut sched, 6_000, &mut [&mut together]);
+        let rate = together.coincidence_rate().unwrap();
+        assert!(rate < 1.0, "neighbors must diverge, rate = {rate}");
+    }
+
+    #[test]
+    fn oblivious_violates_exclusion_on_five_table() {
+        let g = Arc::new(topology::philosophers_table(5));
+        let prog = Arc::new(ObliviousPhilosopher::new(2, 2));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let mut excl = ExclusionMonitor::new(&g);
+        let report = run(&mut m, &mut sched, 1_000, &mut [&mut excl]);
+        assert_eq!(report.stop, StopReason::Violation, "all eat at once");
+    }
+
+    #[test]
+    fn larger_even_tables_work() {
+        for n in [8, 10] {
+            let g = Arc::new(topology::philosophers_alternating(n));
+            let prog = Arc::new(LockOrderPhilosopher::new(2, 2));
+            let init = SystemInit::uniform(&g);
+            let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).unwrap();
+            let mut sched = RoundRobin::new();
+            let mut excl = ExclusionMonitor::new(&g);
+            let mut meals = MealCounter::new(n);
+            let report = run(&mut m, &mut sched, 40_000, &mut [&mut excl, &mut meals]);
+            assert!(report.violation.is_none(), "n={n}");
+            assert!(meals.minimum() > 0, "n={n}: {:?}", meals.meals);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "durations")]
+    fn zero_duration_rejected() {
+        let _ = LockOrderPhilosopher::new(0, 1);
+    }
+}

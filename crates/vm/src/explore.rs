@@ -1,0 +1,449 @@
+//! Exhaustive exploration of the schedule space.
+//!
+//! For small systems, every reachable global state under *general*
+//! schedules can be enumerated. This turns the paper's ∀-schedule
+//! impossibility arguments into machine-checkable facts:
+//!
+//! * **Theorem 1** — for any candidate selection program in S with general
+//!   schedules, the explorer either finds a reachable state with two
+//!   selected processors, or finds a *starvation branch*: a crashed-
+//!   processor continuation that selects a second leader after the first
+//!   selection, which [`find_double_selection`] then assembles into an
+//!   explicit double-selection schedule exactly as the proof does.
+//! * Candidate algorithms can be exhaustively certified over bounded
+//!   horizons (`explore` reports every distinct selected-set ever reached).
+
+use crate::{LocalState, Machine, SharedVar};
+use simsym_graph::ProcId;
+use std::collections::{BTreeSet, HashSet};
+
+/// Limits for [`explore`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Maximum schedule depth (steps along one branch).
+    pub max_depth: usize,
+    /// Maximum number of distinct states to visit before truncating.
+    pub max_states: usize,
+    /// Spread the first level of branching across this many threads
+    /// (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_depth: 32,
+            max_states: 200_000,
+            threads: 1,
+        }
+    }
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreResult {
+    /// Every distinct set of selected processors observed in any reachable
+    /// state (sorted vectors).
+    pub outcomes: BTreeSet<Vec<ProcId>>,
+    /// Number of distinct states visited.
+    pub states_visited: usize,
+    /// Whether limits truncated the search (results are then a lower
+    /// bound, not a certificate).
+    pub truncated: bool,
+    /// A schedule reaching a state with more than one selected processor,
+    /// if one was found.
+    pub uniqueness_violation: Option<Vec<ProcId>>,
+}
+
+impl ExploreResult {
+    /// Whether some reachable state has two or more selected processors.
+    pub fn has_double_selection(&self) -> bool {
+        self.uniqueness_violation.is_some()
+    }
+
+    fn merge(&mut self, other: ExploreResult) {
+        self.outcomes.extend(other.outcomes);
+        self.states_visited += other.states_visited;
+        self.truncated |= other.truncated;
+        if self.uniqueness_violation.is_none() {
+            self.uniqueness_violation = other.uniqueness_violation;
+        }
+    }
+}
+
+type CanonState = (Vec<LocalState>, Vec<SharedVar>);
+
+/// Explores all schedules of `machine` up to the configured depth,
+/// deduplicating global states.
+///
+/// # Panics
+///
+/// Panics if the machine was built with randomness — exploration requires
+/// deterministic steps (a randomized program has a *tree* per schedule).
+pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
+    let procs: Vec<ProcId> = machine.graph().processors().collect();
+    if cfg.threads <= 1 || procs.len() <= 1 {
+        let mut seen = HashSet::new();
+        let mut result = ExploreResult::default();
+        dfs(
+            machine,
+            &procs,
+            cfg,
+            0,
+            &mut Vec::new(),
+            &mut seen,
+            &mut result,
+        );
+        return result;
+    }
+    // Parallel: split on the first step. Each worker explores the subtree
+    // rooted at one first move; crossbeam's scoped threads let us borrow
+    // the machine without Arc plumbing.
+    let mut result = ExploreResult {
+        states_visited: 1, // the root state itself
+        ..Default::default()
+    };
+    record_outcome(machine, &mut result, &[]);
+    let sub: Vec<ExploreResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = procs
+            .iter()
+            .map(|&p| {
+                let procs = &procs;
+                scope.spawn(move |_| {
+                    let mut m = machine.clone();
+                    m.step(p);
+                    let mut seen = HashSet::new();
+                    let mut res = ExploreResult::default();
+                    dfs(&m, procs, cfg, 1, &mut vec![p], &mut seen, &mut res);
+                    res
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    })
+    .expect("scoped exploration");
+    for s in sub {
+        result.merge(s);
+    }
+    result
+}
+
+fn record_outcome(machine: &Machine, result: &mut ExploreResult, schedule: &[ProcId]) {
+    let selected = machine.selected();
+    if selected.len() > 1 && result.uniqueness_violation.is_none() {
+        result.uniqueness_violation = Some(schedule.to_vec());
+    }
+    result.outcomes.insert(selected);
+}
+
+fn dfs(
+    machine: &Machine,
+    procs: &[ProcId],
+    cfg: ExploreConfig,
+    depth: usize,
+    schedule: &mut Vec<ProcId>,
+    seen: &mut HashSet<CanonState>,
+    result: &mut ExploreResult,
+) {
+    if !seen.insert(machine.canonical_state()) {
+        return;
+    }
+    result.states_visited += 1;
+    if result.states_visited > cfg.max_states {
+        result.truncated = true;
+        return;
+    }
+    record_outcome(machine, result, schedule);
+    if depth >= cfg.max_depth {
+        result.truncated = true;
+        return;
+    }
+    for &p in procs {
+        let mut next = machine.clone();
+        next.step(p);
+        // Skip no-op self-loops (halted processors) to keep the frontier
+        // small; the state dedup would catch them anyway.
+        if next.canonical_state() == machine.canonical_state() {
+            continue;
+        }
+        schedule.push(p);
+        dfs(&next, procs, cfg, depth + 1, schedule, seen, result);
+        schedule.pop();
+    }
+}
+
+/// Whether no processor can change the global state — a deadlock (or
+/// termination) detector: stepping any processor leaves the canonical
+/// state untouched.
+///
+/// Used to certify the DP deadlock (all philosophers holding their right
+/// fork, spinning on the left) rather than inferring it from a silent
+/// meal counter.
+pub fn is_quiescent(machine: &Machine) -> bool {
+    let base = machine.canonical_state();
+    machine.graph().processors().all(|p| {
+        let mut next = machine.clone();
+        next.step(p);
+        next.canonical_state() == base
+    })
+}
+
+/// A certificate that a candidate program violates Uniqueness under general
+/// schedules: an explicit schedule selecting two processors, assembled the
+/// way the proof of Theorem 1 assembles `ε p ρ`.
+#[derive(Clone, Debug)]
+pub struct DoubleSelection {
+    /// The full schedule that ends with ≥ 2 processors selected.
+    pub schedule: Vec<ProcId>,
+    /// The two processors that end up selected.
+    pub selected: Vec<ProcId>,
+}
+
+/// Builds the Theorem-1 adversary schedule against a candidate selection
+/// program in **S** under general schedules.
+///
+/// The construction follows the proof: run a fair schedule until some `p`
+/// is about to be selected (prefix `ε`, selecting step `p`); since general
+/// schedules permit `p` to take no further step, continue `ε` *without*
+/// `p` until some `q ≠ p` is selected (suffix `ρ`); then `ε · p · ρ`
+/// selects both. Returns `None` if the candidate never selects anyone
+/// within the step budget under either schedule — which itself means the
+/// candidate fails (it must select under *every* schedule).
+pub fn find_double_selection(
+    fresh: impl Fn() -> Machine,
+    max_steps: u64,
+) -> Option<DoubleSelection> {
+    use crate::{run_until, Excluding, RandomFair};
+
+    // Phase 1: fair run until a first selection; capture ε and p.
+    let mut m = fresh();
+    let mut sched = RandomFair::seeded(0xC0FFEE);
+    let report = run_until(&mut m, &mut sched, max_steps, &mut [], |mach| {
+        mach.selected_count() >= 1
+    });
+    if report.selected.is_empty() {
+        return None;
+    }
+    let p = report.selected[0];
+    // ε is everything up to (excluding) p's selecting step. The selecting
+    // step is the last step in the schedule taken by p (after which
+    // selected_count >= 1 triggered the stop).
+    let epsilon = &report.schedule[..report.schedule.len()];
+    // Find the exact position of the selecting step: replay and watch.
+    let mut m = fresh();
+    let mut select_pos = None;
+    for (i, &s) in epsilon.iter().enumerate() {
+        m.step(s);
+        if m.local(p).selected {
+            select_pos = Some(i);
+            break;
+        }
+    }
+    let select_pos = select_pos?;
+    let epsilon: Vec<ProcId> = epsilon[..select_pos].to_vec();
+
+    // Phase 2: from ε, continue without p until some q is selected (ρ).
+    let mut m = fresh();
+    for &s in &epsilon {
+        m.step(s);
+    }
+    if m.graph().processor_count() < 2 {
+        return None;
+    }
+    let mut sched = Excluding::new(RandomFair::seeded(0xBEEF), vec![p]);
+    let report2 = run_until(&mut m, &mut sched, max_steps, &mut [], |mach| {
+        mach.selected().iter().any(|&q| q != p)
+    });
+    if !report2.selected.iter().any(|&q| q != p) {
+        return None;
+    }
+    let rho = report2.schedule;
+
+    // Phase 3: ε · p · ρ — both p and q should be selected, *if* the
+    // candidate's selecting step does not influence other processors
+    // (true in S where the selecting instruction is local or a read).
+    let mut m = fresh();
+    let mut schedule = epsilon.clone();
+    for &s in &epsilon {
+        m.step(s);
+    }
+    m.step(p);
+    schedule.push(p);
+    for &s in &rho {
+        m.step(s);
+        schedule.push(s);
+    }
+    let selected = m.selected();
+    (selected.len() >= 2).then_some(DoubleSelection { schedule, selected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnProgram, InstructionSet, SystemInit, Value};
+    use simsym_graph::topology;
+    use std::sync::Arc;
+
+    fn figure1_machine(prog: Arc<dyn crate::Program>) -> Machine {
+        let g = Arc::new(topology::figure1());
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+    }
+
+    /// A plausible-looking but doomed selection attempt in S: grab the
+    /// variable by writing 1 if it reads 0, then select.
+    fn naive_grab() -> Arc<dyn crate::Program> {
+        Arc::new(FnProgram::new("naive-grab", |local, ops| {
+            let n = ops.name("n");
+            match local.pc {
+                0 => {
+                    let v = ops.read(n);
+                    local.set("saw", v);
+                    local.pc = 1;
+                }
+                1 => {
+                    if local.get("saw") == Value::Unit {
+                        ops.write(n, Value::from(1));
+                        local.pc = 2;
+                    } else {
+                        local.pc = 3; // lost
+                    }
+                }
+                2 => {
+                    // Selecting step: local-only, as the model requires.
+                    local.selected = true;
+                    local.pc = 3;
+                }
+                _ => {}
+            }
+        }))
+    }
+
+    #[test]
+    fn explore_finds_double_selection_of_naive_grab() {
+        let m = figure1_machine(naive_grab());
+        let res = explore(&m, ExploreConfig::default());
+        assert!(res.has_double_selection(), "outcomes: {:?}", res.outcomes);
+        assert!(!res.truncated);
+        // Replaying the witness schedule reproduces the violation.
+        let sched = res.uniqueness_violation.unwrap();
+        let mut m = figure1_machine(naive_grab());
+        for p in sched {
+            m.step(p);
+        }
+        assert!(m.selected_count() >= 2);
+    }
+
+    #[test]
+    fn explore_counts_states_and_outcomes() {
+        let prog: Arc<dyn crate::Program> = Arc::new(FnProgram::new("two-phase", |local, _| {
+            if local.pc < 2 {
+                local.pc += 1;
+            }
+        }));
+        let m = figure1_machine(prog);
+        let res = explore(&m, ExploreConfig::default());
+        // Each processor independently advances pc 0→1→2: 9 states.
+        assert_eq!(res.states_visited, 9);
+        assert_eq!(res.outcomes.len(), 1); // nobody ever selects
+        assert!(!res.has_double_selection());
+    }
+
+    #[test]
+    fn parallel_explore_agrees_with_sequential() {
+        let m = figure1_machine(naive_grab());
+        let seq = explore(
+            &m,
+            ExploreConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = explore(
+            &m,
+            ExploreConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.outcomes, par.outcomes);
+        assert_eq!(seq.has_double_selection(), par.has_double_selection());
+    }
+
+    #[test]
+    fn explore_truncates_at_depth() {
+        let prog: Arc<dyn crate::Program> = Arc::new(FnProgram::new("counter", |local, _| {
+            local.pc = local.pc.wrapping_add(1);
+        }));
+        let m = figure1_machine(prog);
+        let res = explore(
+            &m,
+            ExploreConfig {
+                max_depth: 3,
+                ..Default::default()
+            },
+        );
+        assert!(res.truncated);
+    }
+
+    #[test]
+    fn theorem1_adversary_builds_explicit_schedule() {
+        let witness = find_double_selection(|| figure1_machine(naive_grab()), 1000)
+            .expect("naive-grab must be defeated");
+        assert!(witness.selected.len() >= 2);
+        // Replay: the schedule is a concrete certificate.
+        let mut m = figure1_machine(naive_grab());
+        for &p in &witness.schedule {
+            m.step(p);
+        }
+        assert_eq!(m.selected().len(), witness.selected.len());
+    }
+}
+
+#[cfg(test)]
+mod quiescence_tests {
+    use super::*;
+    use crate::{FnProgram, IdleProgram, InstructionSet, SystemInit};
+    use simsym_graph::topology;
+    use std::sync::Arc;
+
+    #[test]
+    fn idle_machine_is_quiescent() {
+        let g = Arc::new(topology::figure1());
+        let init = SystemInit::uniform(&g);
+        let m = Machine::new(g, InstructionSet::S, Arc::new(IdleProgram), &init).unwrap();
+        assert!(is_quiescent(&m));
+    }
+
+    #[test]
+    fn active_machine_is_not_quiescent() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("count", |local, _| {
+            local.pc = local.pc.wrapping_add(1);
+        }));
+        let init = SystemInit::uniform(&g);
+        let m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        assert!(!is_quiescent(&m));
+    }
+
+    #[test]
+    fn machine_becomes_quiescent_after_halting() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("three-steps", |local, _| {
+            if local.pc < 3 {
+                local.pc += 1;
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        assert!(!is_quiescent(&m));
+        for _ in 0..3 {
+            m.step(simsym_graph::ProcId::new(0));
+            m.step(simsym_graph::ProcId::new(1));
+        }
+        assert!(is_quiescent(&m));
+    }
+}

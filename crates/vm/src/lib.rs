@@ -1,0 +1,67 @@
+//! # simsym-vm
+//!
+//! An executable realization of the machine model of Johnson & Schneider,
+//! *Symmetry and Similarity in Distributed Systems* (PODC 1985).
+//!
+//! A system `Σ = (N, state₀, I, SP)` is simulated as a [`Machine`]: the
+//! network `N` comes from `simsym-graph`, `state₀` is a [`SystemInit`],
+//! `I` is an [`InstructionSet`] (**S** read/write, **L** + lock/unlock,
+//! **Q** peek/post, **L\*** extended locking), and `SP` is realized by a
+//! [`Scheduler`]. Every processor executes the same [`Program`]; an atomic
+//! step is one instruction, and the schedule decides who steps.
+//!
+//! On top of the machine sit the tools the theory needs:
+//!
+//! * [`run`]/[`run_until`] with [`Monitor`]s for **Uniqueness** and
+//!   **Stability** (the two requirements of the selection problem, §3) and
+//!   a [`SimilarityObserver`] measuring state coincidence — the operational
+//!   content of the similarity relation;
+//! * schedules: [`RoundRobin`] (the proofs' workhorse), [`RandomFair`],
+//!   [`BoundedFairRandom`], [`FixedSequence`], [`Excluding`] (crashed
+//!   processors) and closure-driven [`Adversary`] schedules;
+//! * [`explore`] — exhaustive schedule-space enumeration, and
+//!   [`find_double_selection`] — the constructive Theorem-1 adversary that
+//!   assembles the `ε · p · ρ` double-selection schedule.
+//!
+//! ```
+//! use simsym_vm::{Machine, InstructionSet, SystemInit, FnProgram, RoundRobin, run};
+//! use simsym_graph::topology;
+//! use std::sync::Arc;
+//!
+//! // Two processors sharing one variable (Fig. 1), each counting steps.
+//! let g = Arc::new(topology::figure1());
+//! let prog = Arc::new(FnProgram::new("count", |local, _ops| { local.pc += 1; }));
+//! let init = SystemInit::uniform(&g);
+//! let mut m = Machine::new(g, InstructionSet::S, prog, &init)?;
+//! let report = run(&mut m, &mut RoundRobin::new(), 10, &mut []);
+//! assert_eq!(report.steps, 10);
+//! # Ok::<(), simsym_vm::MachineError>(())
+//! ```
+
+mod explore;
+mod isa;
+mod machine;
+mod program;
+mod runner;
+mod schedule;
+mod state;
+mod trace;
+mod value;
+
+pub use explore::{
+    explore, find_double_selection, is_quiescent, DoubleSelection, ExploreConfig, ExploreResult,
+};
+pub use isa::InstructionSet;
+pub use machine::{Machine, MachineError, OpEnv, PeekView};
+pub use program::{FnProgram, IdleProgram, Program};
+pub use runner::{
+    run, run_until, Monitor, RunReport, SimilarityObserver, StabilityMonitor, StopReason,
+    UniquenessMonitor, Violation,
+};
+pub use schedule::{
+    Adversary, BoundedFairRandom, Excluding, FixedSequence, RandomFair, RoundRobin, ScheduleKind,
+    Scheduler,
+};
+pub use state::{LocalState, SharedVar, SystemInit};
+pub use trace::{StepRecord, Tracer};
+pub use value::Value;

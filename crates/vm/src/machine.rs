@@ -1,0 +1,742 @@
+//! The executable system: graph + instruction set + program + state.
+
+use crate::{InstructionSet, LocalState, Program, SharedVar, SystemInit, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simsym_graph::{NameId, ProcId, SystemGraph, VarId};
+use std::collections::hash_map::DefaultHasher;
+use std::error::Error;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Errors constructing a [`Machine`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// The initial state vectors do not match the graph's node counts.
+    InitShapeMismatch {
+        /// Processors in the graph vs. values provided.
+        procs: (usize, usize),
+        /// Variables in the graph vs. values provided.
+        vars: (usize, usize),
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InitShapeMismatch { procs, vars } => write!(
+                f,
+                "initial state shape mismatch: graph has {} processors and {} variables, init provides {} and {}",
+                procs.0, vars.0, procs.1, vars.1
+            ),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+/// What a `peek` instruction returns: the variable's initial state together
+/// with the unordered multiset of posted subvalues (canonically sorted).
+///
+/// The number of subvalues is a *lower bound* on the number of neighbors of
+/// the variable — a processor cannot directly observe the neighbor count
+/// (§2), which is exactly why bounded-fair knowledge matters in §5.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeekView {
+    /// The variable's `state₀` component.
+    pub initial: Value,
+    /// Sorted multiset of subvalues posted so far.
+    pub posted: Vec<Value>,
+}
+
+/// A running system `Σ`: the network, an instruction set, the common
+/// program, and the current state of every processor and variable.
+///
+/// Machines are cheap to [`Clone`] (the graph and program are shared), which
+/// the exhaustive schedule explorer uses heavily.
+///
+/// ```
+/// use simsym_vm::{Machine, InstructionSet, SystemInit, FnProgram, Value};
+/// use simsym_graph::{topology, ProcId};
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(topology::figure1());
+/// let prog = Arc::new(FnProgram::new("post-once", |local, ops| {
+///     if local.pc == 0 {
+///         let n = ops.name("n");
+///         ops.post(n, Value::from(1));
+///         local.pc = 1;
+///     }
+/// }));
+/// let init = SystemInit::uniform(&g);
+/// let mut m = Machine::new(g, InstructionSet::Q, prog, &init)?;
+/// m.step(ProcId::new(0));
+/// assert_eq!(m.steps(), 1);
+/// # Ok::<(), simsym_vm::MachineError>(())
+/// ```
+#[derive(Clone)]
+pub struct Machine {
+    graph: Arc<SystemGraph>,
+    isa: InstructionSet,
+    program: Arc<dyn Program>,
+    locals: Vec<LocalState>,
+    vars: Vec<SharedVar>,
+    steps: u64,
+    rng: Option<StdRng>,
+}
+
+impl Machine {
+    /// Builds a machine in its initial state.
+    ///
+    /// Shared variables are created per the instruction set: plain cells
+    /// for S/L/L*, multiset variables (with `state₀` as their base) for Q.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::InitShapeMismatch`] if `init` does not match
+    /// the graph.
+    pub fn new(
+        graph: Arc<SystemGraph>,
+        isa: InstructionSet,
+        program: Arc<dyn Program>,
+        init: &SystemInit,
+    ) -> Result<Machine, MachineError> {
+        if !init.matches(&graph) {
+            return Err(MachineError::InitShapeMismatch {
+                procs: (graph.processor_count(), init.proc_values.len()),
+                vars: (graph.variable_count(), init.var_values.len()),
+            });
+        }
+        let locals = init.proc_values.iter().map(|v| program.boot(v)).collect();
+        let vars = init
+            .var_values
+            .iter()
+            .map(|v| {
+                if isa.uses_multi_vars() {
+                    SharedVar::multi(v.clone())
+                } else {
+                    SharedVar::plain(v.clone())
+                }
+            })
+            .collect();
+        Ok(Machine {
+            graph,
+            isa,
+            program,
+            locals,
+            vars,
+            steps: 0,
+            rng: None,
+        })
+    }
+
+    /// Enables coin flips ([`OpEnv::coin`]) with a deterministic seed —
+    /// required by randomized programs (§8).
+    pub fn with_randomness(mut self, seed: u64) -> Machine {
+        self.rng = Some(StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// The system graph.
+    pub fn graph(&self) -> &SystemGraph {
+        &self.graph
+    }
+
+    /// The shared graph handle.
+    pub fn graph_arc(&self) -> Arc<SystemGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The instruction set.
+    pub fn isa(&self) -> InstructionSet {
+        self.isa
+    }
+
+    /// Name of the loaded program.
+    pub fn program_name(&self) -> &str {
+        self.program.name()
+    }
+
+    /// Number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The local state of processor `p`.
+    pub fn local(&self, p: ProcId) -> &LocalState {
+        &self.locals[p.index()]
+    }
+
+    /// All local states, indexed by processor.
+    pub fn locals(&self) -> &[LocalState] {
+        &self.locals
+    }
+
+    /// The state of variable `v`.
+    pub fn var(&self, v: VarId) -> &SharedVar {
+        &self.vars[v.index()]
+    }
+
+    /// Processors whose `selected` flag is set.
+    pub fn selected(&self) -> Vec<ProcId> {
+        self.graph
+            .processors()
+            .filter(|p| self.locals[p.index()].selected)
+            .collect()
+    }
+
+    /// Number of selected processors.
+    pub fn selected_count(&self) -> usize {
+        self.locals.iter().filter(|l| l.selected).count()
+    }
+
+    /// Executes one atomic step of processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range, or if the program violates the
+    /// machine model (more than one shared operation in a step, or an
+    /// operation not in the instruction set) — these are programming
+    /// errors in the [`Program`], not run-time conditions.
+    pub fn step(&mut self, p: ProcId) {
+        let mut local = std::mem::take(&mut self.locals[p.index()]);
+        {
+            let mut env = OpEnv {
+                graph: &self.graph,
+                isa: self.isa,
+                vars: &mut self.vars,
+                proc: p,
+                rng: &mut self.rng,
+                shared_ops: 0,
+            };
+            self.program.step(&mut local, &mut env);
+        }
+        self.locals[p.index()] = local;
+        self.steps += 1;
+    }
+
+    /// A canonical snapshot of the global state (local states plus
+    /// variable states), used by the schedule explorer to deduplicate.
+    pub fn canonical_state(&self) -> (Vec<LocalState>, Vec<SharedVar>) {
+        (self.locals.clone(), self.vars.clone())
+    }
+
+    /// A 64-bit fingerprint of the global state.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.locals.hash(&mut h);
+        self.vars.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("isa", &self.isa)
+            .field("program", &self.program.name())
+            .field("processors", &self.locals.len())
+            .field("variables", &self.vars.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+/// The shared-operation environment handed to [`Program::step`].
+///
+/// Enforces the machine model: at most one shared operation per step, and
+/// only operations belonging to the machine's instruction set.
+pub struct OpEnv<'m> {
+    graph: &'m SystemGraph,
+    isa: InstructionSet,
+    vars: &'m mut Vec<SharedVar>,
+    proc: ProcId,
+    rng: &'m mut Option<StdRng>,
+    shared_ops: u32,
+}
+
+impl<'m> OpEnv<'m> {
+    /// Resolves an edge-name string to its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not in `NAMES` for this system.
+    pub fn name(&self, name: &str) -> NameId {
+        self.graph
+            .names()
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown edge name {name:?}"))
+    }
+
+    /// All edge names of the system, in dense order.
+    pub fn all_names(&self) -> Vec<NameId> {
+        self.graph.names().ids().collect()
+    }
+
+    /// Number of edge names (`|NAMES|`).
+    pub fn name_count(&self) -> usize {
+        self.graph.name_count()
+    }
+
+    fn charge(&mut self, op: &str) {
+        self.shared_ops += 1;
+        assert!(
+            self.shared_ops <= 1,
+            "program executed a second shared operation ({op}) within one atomic step"
+        );
+    }
+
+    fn var_mut(&mut self, n: NameId) -> &mut SharedVar {
+        let v = self.graph.n_nbr(self.proc, n);
+        &mut self.vars[v.index()]
+    }
+
+    /// `read i from n` — S, L, L*.
+    ///
+    /// # Panics
+    ///
+    /// Panics in instruction set Q, or on a second shared op in this step.
+    pub fn read(&mut self, n: NameId) -> Value {
+        assert!(
+            self.isa.allows_read_write(),
+            "read is not available in instruction set {}",
+            self.isa
+        );
+        self.charge("read");
+        match self.var_mut(n) {
+            SharedVar::Plain { value, .. } => value.clone(),
+            SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
+        }
+    }
+
+    /// `write i to n` — S, L, L*.
+    ///
+    /// # Panics
+    ///
+    /// Panics in instruction set Q, or on a second shared op in this step.
+    pub fn write(&mut self, n: NameId, value: Value) {
+        assert!(
+            self.isa.allows_read_write(),
+            "write is not available in instruction set {}",
+            self.isa
+        );
+        self.charge("write");
+        match self.var_mut(n) {
+            SharedVar::Plain { value: slot, .. } => *slot = value,
+            SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
+        }
+    }
+
+    /// `lock(n, success)` — L, L*. Returns `true` when the lock bit was
+    /// clear and is now set by this processor; `false` if it was already
+    /// set.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside L/L*, or on a second shared op in this step.
+    pub fn lock(&mut self, n: NameId) -> bool {
+        assert!(
+            self.isa.allows_lock(),
+            "lock is not available in instruction set {}",
+            self.isa
+        );
+        self.charge("lock");
+        match self.var_mut(n) {
+            SharedVar::Plain { locked, .. } => {
+                if *locked {
+                    false
+                } else {
+                    *locked = true;
+                    true
+                }
+            }
+            SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
+        }
+    }
+
+    /// `unlock(n)` — L, L*. Resets the lock bit unconditionally (the
+    /// paper's locks have no owner).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside L/L*, or on a second shared op in this step.
+    pub fn unlock(&mut self, n: NameId) {
+        assert!(
+            self.isa.allows_lock(),
+            "unlock is not available in instruction set {}",
+            self.isa
+        );
+        self.charge("unlock");
+        match self.var_mut(n) {
+            SharedVar::Plain { locked, .. } => *locked = false,
+            SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
+        }
+    }
+
+    /// Indivisibly locks a **list** of variables (§6 extended locking):
+    /// if every named lock bit is clear, sets them all and returns `true`;
+    /// otherwise changes nothing and returns `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside L*, or on a second shared op in this step.
+    pub fn lock_many(&mut self, names: &[NameId]) -> bool {
+        assert!(
+            self.isa.allows_multi_lock(),
+            "lock_many is not available in instruction set {}",
+            self.isa
+        );
+        self.charge("lock_many");
+        let vids: Vec<VarId> = names
+            .iter()
+            .map(|&n| self.graph.n_nbr(self.proc, n))
+            .collect();
+        let all_free = vids.iter().all(|v| match &self.vars[v.index()] {
+            SharedVar::Plain { locked, .. } => !locked,
+            SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
+        });
+        if all_free {
+            for v in vids {
+                if let SharedVar::Plain { locked, .. } = &mut self.vars[v.index()] {
+                    *locked = true;
+                }
+            }
+        }
+        all_free
+    }
+
+    /// `peek i from n` — Q. Returns the variable's initial state and the
+    /// unordered multiset of posted subvalues.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside Q, or on a second shared op in this step.
+    pub fn peek(&mut self, n: NameId) -> PeekView {
+        assert!(
+            self.isa.allows_peek_post(),
+            "peek is not available in instruction set {}",
+            self.isa
+        );
+        self.charge("peek");
+        match self.var_mut(n) {
+            SharedVar::Multi { base, .. } => {
+                let initial = base.clone();
+                let v = self.graph.n_nbr(self.proc, n);
+                PeekView {
+                    initial,
+                    posted: self.vars[v.index()].peek_all(),
+                }
+            }
+            SharedVar::Plain { .. } => unreachable!("multi ops on plain var"),
+        }
+    }
+
+    /// `post i to n` — Q. Creates or overwrites this processor's subvalue
+    /// in the named variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside Q, or on a second shared op in this step.
+    pub fn post(&mut self, n: NameId, value: Value) {
+        assert!(
+            self.isa.allows_peek_post(),
+            "post is not available in instruction set {}",
+            self.isa
+        );
+        self.charge("post");
+        let p = self.proc;
+        match self.var_mut(n) {
+            SharedVar::Multi { subvalues, .. } => {
+                subvalues.insert(p, value);
+            }
+            SharedVar::Plain { .. } => unreachable!("multi ops on plain var"),
+        }
+    }
+
+    /// A fair coin flip — only available on machines built with
+    /// [`Machine::with_randomness`]. Models the *free choice* of
+    /// randomized algorithms (§8, \\[LR80\\]); does not count as a shared
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was not configured with randomness — a
+    /// deterministic program must not flip coins.
+    pub fn coin(&mut self) -> bool {
+        self.rng
+            .as_mut()
+            .expect("coin() requires Machine::with_randomness")
+            .gen()
+    }
+
+    /// Uniformly random integer in `0..bound`, under the same rules as
+    /// [`OpEnv::coin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics without randomness, or if `bound == 0`.
+    pub fn random_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "random_below requires a positive bound");
+        self.rng
+            .as_mut()
+            .expect("random_below() requires Machine::with_randomness")
+            .gen_range(0..bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnProgram, IdleProgram};
+    use simsym_graph::topology;
+
+    fn machine_with(isa: InstructionSet, prog: Arc<dyn Program>) -> Machine {
+        let g = Arc::new(topology::figure1());
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, isa, prog, &init).expect("valid machine")
+    }
+
+    #[test]
+    fn init_shape_mismatch_rejected() {
+        let g = Arc::new(topology::figure1());
+        let bad = SystemInit {
+            proc_values: vec![Value::Unit],
+            var_values: vec![Value::Unit],
+        };
+        let err = Machine::new(g, InstructionSet::S, Arc::new(IdleProgram), &bad).unwrap_err();
+        assert!(matches!(err, MachineError::InitShapeMismatch { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let prog = Arc::new(FnProgram::new("w", |local, ops| {
+            let n = ops.name("n");
+            if local.pc == 0 {
+                ops.write(n, Value::from(7));
+                local.pc = 1;
+            } else {
+                let v = ops.read(n);
+                local.set("seen", v);
+            }
+        }));
+        let mut m = machine_with(InstructionSet::S, prog);
+        let p0 = ProcId::new(0);
+        let p1 = ProcId::new(1);
+        m.step(p0); // p0 writes 7
+        m.step(p1); // p1 writes 7 (pc 0)
+        m.step(p0); // p0 reads
+        assert_eq!(m.local(p0).get("seen"), Value::from(7));
+        assert_eq!(m.steps(), 3);
+    }
+
+    #[test]
+    fn lock_is_exclusive_and_unlock_releases() {
+        let prog = Arc::new(FnProgram::new("locker", |local, ops| {
+            let n = ops.name("n");
+            match local.pc {
+                0 => {
+                    let got = ops.lock(n);
+                    local.set("got", Value::from(got));
+                    local.pc = 1;
+                }
+                1 => {
+                    ops.unlock(n);
+                    local.pc = 2;
+                }
+                _ => {}
+            }
+        }));
+        let mut m = machine_with(InstructionSet::L, prog);
+        let p0 = ProcId::new(0);
+        let p1 = ProcId::new(1);
+        m.step(p0);
+        m.step(p1);
+        assert_eq!(m.local(p0).get("got"), Value::from(true));
+        assert_eq!(m.local(p1).get("got"), Value::from(false));
+        m.step(p0); // p0 unlocks
+                    // A fresh lock attempt by p1 would now succeed; emulate by checking
+                    // the variable state directly.
+        let v = m.graph().n_nbr(p0, m.graph().names().get("n").unwrap());
+        assert!(matches!(m.var(v), SharedVar::Plain { locked: false, .. }));
+    }
+
+    #[test]
+    fn post_and_peek_are_anonymous_multisets() {
+        let prog = Arc::new(FnProgram::new("poster", |local, ops| {
+            let n = ops.name("n");
+            if local.pc == 0 {
+                ops.post(n, Value::from(5));
+                local.pc = 1;
+            } else {
+                let view = ops.peek(n);
+                local.set("count", Value::from(view.posted.len()));
+                local.set("initial", view.initial);
+            }
+        }));
+        let mut m = machine_with(InstructionSet::Q, prog);
+        let p0 = ProcId::new(0);
+        let p1 = ProcId::new(1);
+        m.step(p0);
+        m.step(p1);
+        m.step(p0);
+        assert_eq!(m.local(p0).get("count"), Value::from(2));
+        assert_eq!(m.local(p0).get("initial"), Value::Unit);
+    }
+
+    #[test]
+    fn post_overwrites_own_subvalue() {
+        let prog = Arc::new(FnProgram::new("overposter", |local, ops| {
+            let n = ops.name("n");
+            let round = local.get("r").as_int().unwrap_or(0);
+            ops.post(n, Value::from(round));
+            local.set("r", Value::from(round + 1));
+        }));
+        let mut m = machine_with(InstructionSet::Q, prog);
+        let p0 = ProcId::new(0);
+        m.step(p0);
+        m.step(p0);
+        let v = m.graph().n_nbr(p0, m.graph().names().get("n").unwrap());
+        // Only one subvalue (p0's), holding the latest post.
+        assert_eq!(m.var(v).peek_all(), vec![Value::from(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "second shared operation")]
+    fn two_shared_ops_in_one_step_panic() {
+        let prog = Arc::new(FnProgram::new("greedy", |_local, ops| {
+            let n = ops.name("n");
+            let _ = ops.read(n);
+            let _ = ops.read(n);
+        }));
+        let mut m = machine_with(InstructionSet::S, prog);
+        m.step(ProcId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not available in instruction set S")]
+    fn lock_outside_l_panics() {
+        let prog = Arc::new(FnProgram::new("cheater", |_local, ops| {
+            let n = ops.name("n");
+            let _ = ops.lock(n);
+        }));
+        let mut m = machine_with(InstructionSet::S, prog);
+        m.step(ProcId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not available in instruction set Q")]
+    fn read_in_q_panics() {
+        let prog = Arc::new(FnProgram::new("cheater", |_local, ops| {
+            let n = ops.name("n");
+            let _ = ops.read(n);
+        }));
+        let mut m = machine_with(InstructionSet::Q, prog);
+        m.step(ProcId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "coin() requires")]
+    fn coin_without_randomness_panics() {
+        let prog = Arc::new(FnProgram::new("flipper", |_local, ops| {
+            let _ = ops.coin();
+        }));
+        let mut m = machine_with(InstructionSet::S, prog);
+        m.step(ProcId::new(0));
+    }
+
+    #[test]
+    fn coin_with_randomness_is_deterministic_per_seed() {
+        let prog = Arc::new(FnProgram::new("flipper", |local, ops| {
+            let b = ops.coin();
+            local.set("b", Value::from(b));
+        }));
+        let run = |seed| {
+            let mut m = machine_with(InstructionSet::S, prog.clone()).with_randomness(seed);
+            m.step(ProcId::new(0));
+            m.local(ProcId::new(0)).get("b")
+        };
+        assert_eq!(run(1), run(1));
+        // Different seeds eventually differ (check a few).
+        let vals: Vec<Value> = (0..8).map(run).collect();
+        assert!(
+            vals.iter().any(|v| v != &vals[0]),
+            "coin should vary by seed"
+        );
+    }
+
+    #[test]
+    fn lock_many_is_all_or_nothing() {
+        // Ring of 2 in L*: two names, two variables.
+        let g = Arc::new(topology::uniform_ring(2));
+        let prog = Arc::new(FnProgram::new("ml", |local, ops| {
+            if local.pc == 0 {
+                let names = [ops.name("left"), ops.name("right")];
+                let got = ops.lock_many(&names);
+                local.set("got", Value::from(got));
+                local.pc = 1;
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::LStar, prog, &init).unwrap();
+        let p0 = ProcId::new(0);
+        let p1 = ProcId::new(1);
+        m.step(p0);
+        assert_eq!(m.local(p0).get("got"), Value::from(true));
+        m.step(p1);
+        // Both variables were taken by p0, so p1 gets neither.
+        assert_eq!(m.local(p1).get("got"), Value::from(false));
+        for v in m.graph().variables() {
+            assert!(matches!(m.var(v), SharedVar::Plain { locked: true, .. }));
+        }
+    }
+
+    #[test]
+    fn selected_tracking() {
+        let prog = Arc::new(FnProgram::new("selfish", |local, _ops| {
+            local.selected = true;
+        }));
+        let mut m = machine_with(InstructionSet::S, prog);
+        assert_eq!(m.selected_count(), 0);
+        m.step(ProcId::new(0));
+        assert_eq!(m.selected(), vec![ProcId::new(0)]);
+        assert_eq!(m.selected_count(), 1);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_state() {
+        let prog = Arc::new(FnProgram::new("w", |local, ops| {
+            let n = ops.name("n");
+            ops.write(n, Value::from(9));
+            local.pc += 1;
+        }));
+        let mut m = machine_with(InstructionSet::S, prog);
+        let f0 = m.fingerprint();
+        m.step(ProcId::new(0));
+        assert_ne!(f0, m.fingerprint());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let prog = Arc::new(FnProgram::new("w", |local, ops| {
+            let n = ops.name("n");
+            ops.write(n, Value::from(9));
+            local.pc += 1;
+        }));
+        let m = machine_with(InstructionSet::S, prog);
+        let mut m2 = m.clone();
+        m2.step(ProcId::new(0));
+        assert_eq!(m.steps(), 0);
+        assert_ne!(m.fingerprint(), m2.fingerprint());
+    }
+
+    #[test]
+    fn debug_shows_program() {
+        let m = machine_with(InstructionSet::S, Arc::new(IdleProgram));
+        let s = format!("{m:?}");
+        assert!(s.contains("idle"));
+        assert!(s.contains("Machine"));
+    }
+}

@@ -1,0 +1,152 @@
+//! The `Program` trait: the common code all processors execute.
+//!
+//! A central premise of the paper's model (§2) is that **all processors
+//! execute the same program**, so processors in the same state execute the
+//! same instruction. The simulator enforces this structurally: a
+//! [`Machine`](crate::Machine) holds exactly one [`Program`], and a
+//! processor's behaviour may depend only on its [`LocalState`] and on what
+//! it observes through shared operations — never on its processor id.
+
+use crate::machine::OpEnv;
+use crate::{LocalState, Value};
+use std::sync::Arc;
+
+/// A program executed by every processor of a system.
+///
+/// Implementations must be **deterministic** functions of the local state
+/// and the values returned by shared operations (except for explicit coin
+/// flips via [`OpEnv::coin`], which model the randomized programs of §8).
+///
+/// # One atomic step
+///
+/// A schedule step corresponds to executing a *single instruction* (§2).
+/// Each call to [`Program::step`] may therefore perform **at most one**
+/// shared-memory operation through the [`OpEnv`]; the environment panics on
+/// a second operation, because that would be a bug in the program, not a
+/// run-time condition. Local computation between shared operations is
+/// folded into the same step, which only *strengthens* impossibility
+/// results and does not affect solvability.
+pub trait Program: Send + Sync {
+    /// Builds the initial local state of a processor whose `state₀` value
+    /// is `initial`.
+    ///
+    /// The default seeds register `init` with the value (see
+    /// [`LocalState::with_initial`]).
+    fn boot(&self, initial: &Value) -> LocalState {
+        LocalState::with_initial(initial.clone())
+    }
+
+    /// Executes one atomic step.
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>);
+
+    /// A short human-readable name for traces and reports.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+impl<P: Program + ?Sized> Program for &P {
+    fn boot(&self, initial: &Value) -> LocalState {
+        (**self).boot(initial)
+    }
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        (**self).step(local, ops)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<P: Program + ?Sized> Program for Arc<P> {
+    fn boot(&self, initial: &Value) -> LocalState {
+        (**self).boot(initial)
+    }
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        (**self).step(local, ops)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A [`Program`] built from closures — convenient for tests and small
+/// demos.
+///
+/// ```
+/// use simsym_vm::{FnProgram, Value};
+///
+/// // A program that increments a counter register each step.
+/// let prog = FnProgram::new("counter", |local, _ops| {
+///     let n = local.get("n").as_int().unwrap_or(0);
+///     local.set("n", Value::from(n + 1));
+/// });
+/// ```
+pub struct FnProgram<F> {
+    name: String,
+    step: F,
+}
+
+impl<F> FnProgram<F>
+where
+    F: Fn(&mut LocalState, &mut OpEnv<'_>) + Send + Sync,
+{
+    /// Wraps a step closure as a program.
+    pub fn new(name: &str, step: F) -> Self {
+        FnProgram {
+            name: name.to_owned(),
+            step,
+        }
+    }
+}
+
+impl<F> Program for FnProgram<F>
+where
+    F: Fn(&mut LocalState, &mut OpEnv<'_>) + Send + Sync,
+{
+    fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        (self.step)(local, ops)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The do-nothing program: every step is a no-op. Useful as a placeholder
+/// and for schedule-machinery tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdleProgram;
+
+impl Program for IdleProgram {
+    fn step(&self, _local: &mut LocalState, _ops: &mut OpEnv<'_>) {}
+
+    fn name(&self) -> &str {
+        "idle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_boot_seeds_init_register() {
+        let p = IdleProgram;
+        let s = p.boot(&Value::from(42));
+        assert_eq!(s.get("init"), Value::from(42));
+        assert_eq!(s.pc, 0);
+    }
+
+    #[test]
+    fn fn_program_invokes_closure() {
+        let prog = FnProgram::new("t", |local: &mut LocalState, _ops: &mut OpEnv<'_>| {
+            local.pc += 1;
+        });
+        assert_eq!(prog.name(), "t");
+        // Invoking step requires an OpEnv, exercised in machine tests; here
+        // we only check trait plumbing via Arc and reference impls.
+        let arc: Arc<dyn Program> = Arc::new(prog);
+        assert_eq!(arc.name(), "t");
+        assert_eq!(IdleProgram.name(), "idle");
+    }
+}

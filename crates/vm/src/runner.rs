@@ -1,0 +1,402 @@
+//! Driving a machine under a schedule, with invariant monitors.
+
+use crate::{LocalState, Machine, Scheduler};
+use simsym_graph::ProcId;
+use std::fmt;
+
+/// A violation of a monitored invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// More than one processor is selected — breaks the **Uniqueness**
+    /// requirement of the selection problem (§3).
+    Uniqueness {
+        /// Step at which the violation was observed.
+        step: u64,
+        /// The selected processors.
+        selected: Vec<ProcId>,
+    },
+    /// A selected processor became unselected — breaks **Stability** (§3).
+    Stability {
+        /// Step at which the violation was observed.
+        step: u64,
+        /// The processor that lost its selection.
+        proc: ProcId,
+    },
+    /// A domain-specific violation reported by a custom monitor.
+    Custom {
+        /// Step at which the violation was observed.
+        step: u64,
+        /// Human-readable description.
+        description: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Uniqueness { step, selected } => {
+                write!(
+                    f,
+                    "uniqueness violated at step {step}: selected = {selected:?}"
+                )
+            }
+            Violation::Stability { step, proc } => {
+                write!(
+                    f,
+                    "stability violated at step {step}: {proc} lost selection"
+                )
+            }
+            Violation::Custom { step, description } => {
+                write!(f, "violation at step {step}: {description}")
+            }
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The step budget was exhausted.
+    MaxSteps,
+    /// The caller's stop condition returned `true`.
+    Condition,
+    /// A monitor reported a violation.
+    Violation,
+}
+
+/// The outcome of a [`run`].
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Steps executed in this run.
+    pub steps: u64,
+    /// Processors selected when the run stopped.
+    pub selected: Vec<ProcId>,
+    /// First violation observed, if any.
+    pub violation: Option<Violation>,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// The exact schedule prefix executed.
+    pub schedule: Vec<ProcId>,
+}
+
+impl RunReport {
+    /// Whether exactly one processor is selected and no violation occurred.
+    pub fn is_clean_selection(&self) -> bool {
+        self.violation.is_none() && self.selected.len() == 1
+    }
+}
+
+/// Observes the machine after every step.
+pub trait Monitor {
+    /// Called after `just_stepped` executed a step; returns a violation to
+    /// abort the run.
+    fn observe(&mut self, machine: &Machine, just_stepped: ProcId) -> Option<Violation>;
+}
+
+/// Monitors the **Uniqueness** requirement: at most one selected processor.
+#[derive(Clone, Debug, Default)]
+pub struct UniquenessMonitor;
+
+impl Monitor for UniquenessMonitor {
+    fn observe(&mut self, machine: &Machine, _just_stepped: ProcId) -> Option<Violation> {
+        let selected = machine.selected();
+        if selected.len() > 1 {
+            Some(Violation::Uniqueness {
+                step: machine.steps(),
+                selected,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Monitors the **Stability** requirement: once selected, always selected.
+#[derive(Clone, Debug, Default)]
+pub struct StabilityMonitor {
+    selected_before: Vec<ProcId>,
+}
+
+impl Monitor for StabilityMonitor {
+    fn observe(&mut self, machine: &Machine, _just_stepped: ProcId) -> Option<Violation> {
+        for &p in &self.selected_before {
+            if !machine.local(p).selected {
+                return Some(Violation::Stability {
+                    step: machine.steps(),
+                    proc: p,
+                });
+            }
+        }
+        self.selected_before = machine.selected();
+        None
+    }
+}
+
+/// Statistics collector for the *similarity* definition: counts, at the end
+/// of every scheduling round, whether all processors within each declared
+/// class have identical local states.
+///
+/// The paper's definition (§3): a schedule causes processors to behave
+/// similarly if it brings them to the same state at the same time
+/// *infinitely often*. Over a finite run we measure the coincidence rate at
+/// round boundaries; a round-robin schedule over similar processors yields
+/// rate 1.
+#[derive(Clone, Debug)]
+pub struct SimilarityObserver {
+    classes: Vec<Vec<ProcId>>,
+    round_len: u64,
+    /// Rounds where every class was internally state-equal.
+    pub coincidences: u64,
+    /// Rounds where some class differed internally.
+    pub divergences: u64,
+}
+
+impl SimilarityObserver {
+    /// Observes the given processor classes at every multiple of
+    /// `round_len` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round_len == 0`.
+    pub fn new(classes: Vec<Vec<ProcId>>, round_len: u64) -> Self {
+        assert!(round_len > 0, "round length must be positive");
+        SimilarityObserver {
+            classes,
+            round_len,
+            coincidences: 0,
+            divergences: 0,
+        }
+    }
+
+    /// Fraction of observed rounds with full coincidence (`None` before the
+    /// first round completes).
+    pub fn coincidence_rate(&self) -> Option<f64> {
+        let total = self.coincidences + self.divergences;
+        (total > 0).then(|| self.coincidences as f64 / total as f64)
+    }
+
+    fn classes_coincide(&self, machine: &Machine) -> bool {
+        self.classes.iter().all(|class| {
+            let mut states = class.iter().map(|&p| machine.local(p));
+            match states.next() {
+                None => true,
+                Some(first) => states.all(|s| states_equal(first, s)),
+            }
+        })
+    }
+}
+
+fn states_equal(a: &LocalState, b: &LocalState) -> bool {
+    a == b
+}
+
+impl Monitor for SimilarityObserver {
+    fn observe(&mut self, machine: &Machine, _just_stepped: ProcId) -> Option<Violation> {
+        if machine.steps().is_multiple_of(self.round_len) {
+            if self.classes_coincide(machine) {
+                self.coincidences += 1;
+            } else {
+                self.divergences += 1;
+            }
+        }
+        None
+    }
+}
+
+/// Runs `machine` under `scheduler` for at most `max_steps`, consulting the
+/// monitors after every step.
+pub fn run(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    max_steps: u64,
+    monitors: &mut [&mut dyn Monitor],
+) -> RunReport {
+    run_until(machine, scheduler, max_steps, monitors, |_| false)
+}
+
+/// Like [`run`] but also stops (cleanly) when `stop` returns `true`.
+pub fn run_until<F: FnMut(&Machine) -> bool>(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    max_steps: u64,
+    monitors: &mut [&mut dyn Monitor],
+    mut stop: F,
+) -> RunReport {
+    let mut schedule = Vec::new();
+    let mut steps = 0u64;
+    let mut violation = None;
+    let mut reason = StopReason::MaxSteps;
+    while steps < max_steps {
+        if stop(machine) {
+            reason = StopReason::Condition;
+            break;
+        }
+        let p = scheduler.next(machine);
+        machine.step(p);
+        schedule.push(p);
+        steps += 1;
+        for m in monitors.iter_mut() {
+            if let Some(v) = m.observe(machine, p) {
+                violation = Some(v);
+                reason = StopReason::Violation;
+                break;
+            }
+        }
+        if violation.is_some() {
+            break;
+        }
+    }
+    if violation.is_none() && steps < max_steps && reason == StopReason::MaxSteps {
+        // Loop exited via stop() check at the top after the final step.
+        reason = StopReason::Condition;
+    }
+    RunReport {
+        steps,
+        selected: machine.selected(),
+        violation,
+        stop: reason,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnProgram, InstructionSet, RoundRobin, SystemInit, Value};
+    use simsym_graph::topology;
+    use std::sync::Arc;
+
+    fn select_all_machine() -> Machine {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("select-all", |local, _ops| {
+            local.selected = true;
+        }));
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+    }
+
+    #[test]
+    fn uniqueness_monitor_fires_on_double_selection() {
+        let mut m = select_all_machine();
+        let mut sched = RoundRobin::new();
+        let mut uniq = UniquenessMonitor;
+        let report = run(&mut m, &mut sched, 10, &mut [&mut uniq]);
+        assert_eq!(report.stop, StopReason::Violation);
+        match report.violation {
+            Some(Violation::Uniqueness { selected, .. }) => assert_eq!(selected.len(), 2),
+            other => panic!("expected uniqueness violation, got {other:?}"),
+        }
+        assert_eq!(report.steps, 2);
+        assert_eq!(report.schedule.len(), 2);
+    }
+
+    #[test]
+    fn stability_monitor_fires_on_unselect() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("flapper", |local, _ops| {
+            local.selected = !local.selected;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let mut sched = crate::FixedSequence::cycling(vec![ProcId::new(0)]);
+        let mut stab = StabilityMonitor::default();
+        let report = run(&mut m, &mut sched, 10, &mut [&mut stab]);
+        assert!(matches!(
+            report.violation,
+            Some(Violation::Stability { proc, .. }) if proc == ProcId::new(0)
+        ));
+    }
+
+    #[test]
+    fn clean_run_reports_max_steps() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("count", |local, _ops| {
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let report = run(&mut m, &mut sched, 6, &mut []);
+        assert_eq!(report.stop, StopReason::MaxSteps);
+        assert_eq!(report.steps, 6);
+        assert!(report.violation.is_none());
+        assert!(report.selected.is_empty());
+        assert!(!report.is_clean_selection());
+    }
+
+    #[test]
+    fn run_until_stops_on_condition() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("count", |local, _ops| {
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let report = run_until(&mut m, &mut sched, 100, &mut [], |mach| {
+            mach.local(ProcId::new(0)).pc >= 3
+        });
+        assert_eq!(report.stop, StopReason::Condition);
+        assert!(report.steps < 100);
+    }
+
+    #[test]
+    fn similarity_observer_coincides_under_round_robin() {
+        // Figure 1 + round-robin: the two processors march in lockstep.
+        let g = Arc::new(topology::uniform_ring(2));
+        let prog = Arc::new(FnProgram::new("symmetric", |local, ops| {
+            let right = ops.name("right");
+            ops.write(right, Value::from(1));
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let mut obs = SimilarityObserver::new(vec![vec![ProcId::new(0), ProcId::new(1)]], 2);
+        let _ = run(&mut m, &mut sched, 20, &mut [&mut obs]);
+        assert_eq!(obs.coincidence_rate(), Some(1.0));
+        assert_eq!(obs.coincidences, 10);
+    }
+
+    #[test]
+    fn similarity_observer_detects_divergence() {
+        // Mark processor 0's initial state: the two processors differ at
+        // every round boundary.
+        let g = Arc::new(topology::uniform_ring(2));
+        let prog = Arc::new(FnProgram::new("keep-init", |local, _ops| {
+            local.pc += 1;
+        }));
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let mut obs = SimilarityObserver::new(vec![vec![ProcId::new(0), ProcId::new(1)]], 2);
+        let _ = run(&mut m, &mut sched, 20, &mut [&mut obs]);
+        assert_eq!(obs.coincidence_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::Uniqueness {
+            step: 3,
+            selected: vec![ProcId::new(0), ProcId::new(1)],
+        };
+        assert!(v.to_string().contains("uniqueness"));
+        let v = Violation::Stability {
+            step: 1,
+            proc: ProcId::new(0),
+        };
+        assert!(v.to_string().contains("stability"));
+        let v = Violation::Custom {
+            step: 0,
+            description: "adjacent philosophers both eating".into(),
+        };
+        assert!(v.to_string().contains("philosophers"));
+    }
+
+    #[test]
+    #[should_panic(expected = "round length")]
+    fn zero_round_length_rejected() {
+        let _ = SimilarityObserver::new(vec![], 0);
+    }
+}

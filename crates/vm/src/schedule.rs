@@ -1,0 +1,425 @@
+//! Schedules: who takes the next atomic step.
+//!
+//! A *schedule* is a (possibly infinite) sequence of processor names; the
+//! `SP` component of a system fixes the class of admissible schedules (§2):
+//!
+//! * **general** — no restriction; in particular a processor may appear
+//!   only finitely often, which models a halting failure (the bridge to
+//!   FLP that Theorem 1 exploits);
+//! * **fair** — every processor appears infinitely often;
+//! * **k-bounded fair** — every processor appears at least once in any
+//!   window of `k` consecutive steps.
+//!
+//! Simulated schedules are necessarily finite prefixes; each [`Scheduler`]
+//! documents which class its infinite extension belongs to.
+
+use crate::Machine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simsym_graph::ProcId;
+use std::fmt;
+
+/// The schedule class a scheduler's infinite extension belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScheduleKind {
+    /// No restriction (processors may starve forever).
+    General,
+    /// Every processor is scheduled infinitely often.
+    Fair,
+    /// Every processor appears in every window of `k` steps.
+    BoundedFair(usize),
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleKind::General => write!(f, "general"),
+            ScheduleKind::Fair => write!(f, "fair"),
+            ScheduleKind::BoundedFair(k) => write!(f, "{k}-bounded fair"),
+        }
+    }
+}
+
+/// Chooses which processor steps next.
+///
+/// Schedulers may inspect the machine — the paper's schedules are chosen by
+/// an adversary with full knowledge of the system state.
+pub trait Scheduler {
+    /// The processor to step next.
+    fn next(&mut self, machine: &Machine) -> ProcId;
+
+    /// The schedule class this scheduler realizes in the limit.
+    fn kind(&self) -> ScheduleKind;
+}
+
+/// The round-robin schedule `p₀ p₁ … pₙ₋₁ p₀ …` — the workhorse of the
+/// paper's impossibility proofs (it is the schedule that makes similar
+/// processors coincide in state, Theorem 4).
+///
+/// Round-robin over `n` processors is `n`-bounded fair.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin scheduler starting at processor 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, machine: &Machine) -> ProcId {
+        let n = machine.graph().processor_count();
+        let p = ProcId::new(self.next % n);
+        self.next = (self.next + 1) % n;
+        p
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::BoundedFair(0) // refined by callers with proc count
+    }
+}
+
+/// Replays a fixed finite sequence, then (optionally) cycles it forever.
+///
+/// A non-cycling sequence followed by arbitrary continuation is the tool
+/// for building the adversarial prefixes of Theorem 1.
+#[derive(Clone, Debug)]
+pub struct FixedSequence {
+    seq: Vec<ProcId>,
+    cycle: bool,
+    pos: usize,
+}
+
+impl FixedSequence {
+    /// A scheduler that replays `seq` once and then repeats its last
+    /// element (callers normally stop the run before exhaustion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is empty.
+    pub fn once(seq: Vec<ProcId>) -> Self {
+        assert!(!seq.is_empty(), "schedule sequence must be nonempty");
+        FixedSequence {
+            seq,
+            cycle: false,
+            pos: 0,
+        }
+    }
+
+    /// A scheduler cycling `seq` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is empty.
+    pub fn cycling(seq: Vec<ProcId>) -> Self {
+        assert!(!seq.is_empty(), "schedule sequence must be nonempty");
+        FixedSequence {
+            seq,
+            cycle: true,
+            pos: 0,
+        }
+    }
+
+    /// Steps consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether a non-cycling sequence has been fully replayed.
+    pub fn exhausted(&self) -> bool {
+        !self.cycle && self.pos >= self.seq.len()
+    }
+}
+
+impl Scheduler for FixedSequence {
+    fn next(&mut self, _machine: &Machine) -> ProcId {
+        let i = if self.cycle {
+            self.pos % self.seq.len()
+        } else {
+            self.pos.min(self.seq.len() - 1)
+        };
+        self.pos += 1;
+        self.seq[i]
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::General
+    }
+}
+
+/// Uniformly random scheduling. Fair with probability 1 (but not bounded
+/// fair): the canonical “benign but unhelpful” schedule for statistical
+/// testing.
+#[derive(Clone, Debug)]
+pub struct RandomFair {
+    rng: StdRng,
+}
+
+impl RandomFair {
+    /// A random-fair scheduler with a deterministic seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomFair {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomFair {
+    fn next(&mut self, machine: &Machine) -> ProcId {
+        let n = machine.graph().processor_count();
+        ProcId::new(self.rng.gen_range(0..n))
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Fair
+    }
+}
+
+/// Random scheduling with a hard `k`-bounded-fairness guarantee: whenever a
+/// processor is about to exceed `k` steps without running, it is scheduled
+/// (oldest first).
+#[derive(Clone, Debug)]
+pub struct BoundedFairRandom {
+    k: usize,
+    rng: StdRng,
+    /// Step index at which each processor last ran (`None` = never).
+    last_run: Vec<Option<u64>>,
+    step: u64,
+}
+
+impl BoundedFairRandom {
+    /// A `k`-bounded-fair random scheduler over `procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < procs` — no schedule can fit all processors into a
+    /// window smaller than their number.
+    pub fn new(procs: usize, k: usize, seed: u64) -> Self {
+        assert!(
+            k >= procs,
+            "k-bounded fairness requires k >= processor count"
+        );
+        BoundedFairRandom {
+            k,
+            rng: StdRng::seed_from_u64(seed),
+            last_run: vec![None; procs],
+            step: 0,
+        }
+    }
+}
+
+impl Scheduler for BoundedFairRandom {
+    fn next(&mut self, machine: &Machine) -> ProcId {
+        let n = machine.graph().processor_count();
+        debug_assert_eq!(n, self.last_run.len());
+        // Deadline (inclusive step index) by which processor i must run:
+        // k-1 if it never ran (the first window is steps 0..k-1), else
+        // last_run + k.
+        let deadline = |i: usize| -> u64 {
+            match self.last_run[i] {
+                Some(s) => s + self.k as u64,
+                None => (self.k - 1) as u64,
+            }
+        };
+        // A choice r is safe iff the *other* processors remain
+        // EDF-feasible from the next step: sorting their deadlines
+        // ascending, the j-th earliest (1-indexed) must satisfy
+        // d_(j) >= (step + 1) + j - 1.
+        let mut safe = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut others: Vec<u64> = (0..n).filter(|&i| i != r).map(deadline).collect();
+            others.sort_unstable();
+            let ok = others
+                .iter()
+                .enumerate()
+                .all(|(j0, &d)| d >= self.step + 1 + j0 as u64);
+            if ok {
+                safe.push(r);
+            }
+        }
+        debug_assert!(!safe.is_empty(), "EDF choice is always safe");
+        let choice = if safe.is_empty() {
+            // Defensive fallback: earliest deadline first.
+            (0..n).min_by_key(|&i| deadline(i)).expect("nonempty")
+        } else {
+            safe[self.rng.gen_range(0..safe.len())]
+        };
+        self.last_run[choice] = Some(self.step);
+        self.step += 1;
+        ProcId::new(choice)
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::BoundedFair(self.k)
+    }
+}
+
+/// Wraps another scheduler but never schedules the excluded processors —
+/// a *general* schedule modeling crashed (FLP-faulty) processors.
+pub struct Excluding<S> {
+    inner: S,
+    excluded: Vec<ProcId>,
+}
+
+impl<S: Scheduler> Excluding<S> {
+    /// Excludes `excluded` from `inner`'s choices (by skipping).
+    pub fn new(inner: S, excluded: Vec<ProcId>) -> Self {
+        Excluding { inner, excluded }
+    }
+}
+
+impl<S: Scheduler> Scheduler for Excluding<S> {
+    fn next(&mut self, machine: &Machine) -> ProcId {
+        // Skip excluded choices; bounded retries then fall back to scanning.
+        for _ in 0..64 {
+            let p = self.inner.next(machine);
+            if !self.excluded.contains(&p) {
+                return p;
+            }
+        }
+        machine
+            .graph()
+            .processors()
+            .find(|p| !self.excluded.contains(p))
+            .expect("at least one processor must remain schedulable")
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::General
+    }
+}
+
+/// A scheduler driven by a closure — full adversarial power.
+pub struct Adversary<F> {
+    choose: F,
+    kind: ScheduleKind,
+}
+
+impl<F: FnMut(&Machine) -> ProcId> Adversary<F> {
+    /// Builds an adversary with the declared schedule class.
+    pub fn new(kind: ScheduleKind, choose: F) -> Self {
+        Adversary { choose, kind }
+    }
+}
+
+impl<F: FnMut(&Machine) -> ProcId> Scheduler for Adversary<F> {
+    fn next(&mut self, machine: &Machine) -> ProcId {
+        (self.choose)(machine)
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IdleProgram, InstructionSet, SystemInit};
+    use simsym_graph::topology;
+    use std::sync::Arc;
+
+    fn idle_machine(n: usize) -> Machine {
+        let g = Arc::new(topology::uniform_ring(n));
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::S, Arc::new(IdleProgram), &init).unwrap()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let m = idle_machine(3);
+        let mut s = RoundRobin::new();
+        let picks: Vec<usize> = (0..7).map(|_| s.next(&m).index()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn fixed_sequence_once_then_repeats_last() {
+        let m = idle_machine(3);
+        let mut s = FixedSequence::once(vec![ProcId::new(2), ProcId::new(0)]);
+        assert_eq!(s.next(&m).index(), 2);
+        assert!(!s.exhausted());
+        assert_eq!(s.next(&m).index(), 0);
+        assert!(s.exhausted());
+        assert_eq!(s.next(&m).index(), 0);
+        assert_eq!(s.position(), 3);
+    }
+
+    #[test]
+    fn fixed_sequence_cycles() {
+        let m = idle_machine(3);
+        let mut s = FixedSequence::cycling(vec![ProcId::new(1), ProcId::new(2)]);
+        let picks: Vec<usize> = (0..5).map(|_| s.next(&m).index()).collect();
+        assert_eq!(picks, vec![1, 2, 1, 2, 1]);
+        assert!(!s.exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_sequence_rejected() {
+        let _ = FixedSequence::once(vec![]);
+    }
+
+    #[test]
+    fn random_fair_is_deterministic_per_seed() {
+        let m = idle_machine(4);
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut s = RandomFair::seeded(seed);
+            (0..20).map(|_| s.next(&m).index()).collect()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    fn bounded_fair_random_respects_window() {
+        let n = 4;
+        let k = 6;
+        let m = idle_machine(n);
+        let mut s = BoundedFairRandom::new(n, k, 99);
+        let picks: Vec<usize> = (0..200).map(|_| s.next(&m).index()).collect();
+        // Every window of k consecutive steps contains every processor.
+        for w in picks.windows(k) {
+            for p in 0..n {
+                assert!(w.contains(&p), "window {w:?} misses p{p}");
+            }
+        }
+        assert_eq!(s.kind(), ScheduleKind::BoundedFair(k));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= processor count")]
+    fn bounded_fair_rejects_small_k() {
+        let _ = BoundedFairRandom::new(5, 3, 0);
+    }
+
+    #[test]
+    fn excluding_never_schedules_excluded() {
+        let m = idle_machine(3);
+        let mut s = Excluding::new(RandomFair::seeded(3), vec![ProcId::new(1)]);
+        for _ in 0..100 {
+            assert_ne!(s.next(&m).index(), 1);
+        }
+        assert_eq!(s.kind(), ScheduleKind::General);
+    }
+
+    #[test]
+    fn adversary_uses_machine_state() {
+        let m = idle_machine(3);
+        let mut s = Adversary::new(ScheduleKind::General, |mach: &Machine| {
+            // Always pick the last processor.
+            ProcId::new(mach.graph().processor_count() - 1)
+        });
+        assert_eq!(s.next(&m).index(), 2);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ScheduleKind::General.to_string(), "general");
+        assert_eq!(ScheduleKind::Fair.to_string(), "fair");
+        assert_eq!(ScheduleKind::BoundedFair(5).to_string(), "5-bounded fair");
+    }
+}

@@ -1,0 +1,337 @@
+//! Processor-local state, shared-variable state, and system initial states.
+
+use crate::Value;
+use serde::{Deserialize, Serialize};
+use simsym_graph::{ProcId, SystemGraph};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The complete local state of a processor.
+///
+/// The paper folds the program counter into the processor state (§2); two
+/// processors *have the same state* exactly when their `LocalState`s are
+/// equal, which is what the similarity relation compares. Every field —
+/// including `selected` and the program counter — therefore participates in
+/// equality.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalState {
+    /// The program counter (which instruction the program will execute
+    /// next). Programs are free to interpret this as a phase id.
+    pub pc: u32,
+    /// The `selected_p` flag of the selection problem (§3). Initially
+    /// `false`; setting it selects the processor. The Stability monitor
+    /// checks it is never reset.
+    pub selected: bool,
+    /// Named registers holding arbitrary [`Value`]s.
+    regs: BTreeMap<String, Value>,
+}
+
+impl LocalState {
+    /// A fresh state: `pc = 0`, not selected, no registers.
+    pub fn new() -> Self {
+        LocalState {
+            pc: 0,
+            selected: false,
+            regs: BTreeMap::new(),
+        }
+    }
+
+    /// A fresh state with register `init` holding the processor's initial
+    /// value — the conventional way programs receive `state₀`.
+    pub fn with_initial(value: Value) -> Self {
+        let mut s = LocalState::new();
+        s.set("init", value);
+        s
+    }
+
+    /// Reads register `name`, returning [`Value::Unit`] if it was never set.
+    pub fn get(&self, name: &str) -> Value {
+        self.regs.get(name).cloned().unwrap_or(Value::Unit)
+    }
+
+    /// Borrows register `name` if set.
+    pub fn get_ref(&self, name: &str) -> Option<&Value> {
+        self.regs.get(name)
+    }
+
+    /// Writes register `name`.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.regs.insert(name.to_owned(), value);
+    }
+
+    /// Removes register `name`, returning its prior value.
+    pub fn unset(&mut self, name: &str) -> Option<Value> {
+        self.regs.remove(name)
+    }
+
+    /// Iterates over `(register, value)` pairs in name order.
+    pub fn registers(&self) -> impl Iterator<Item = (&str, &Value)> + '_ {
+        self.regs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl Default for LocalState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for LocalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc={} selected={}", self.pc, self.selected)?;
+        for (k, v) in &self.regs {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The runtime state of one shared variable.
+///
+/// The representation depends on the instruction set:
+/// * **S** uses [`SharedVar::Plain`] with the lock bit permanently unset;
+/// * **L** uses [`SharedVar::Plain`] and its lock bit;
+/// * **Q** uses [`SharedVar::Multi`] — the paper's unusual variable holding
+///   one *subvalue per posting processor*, where `peek` returns the
+///   unordered multiset of subvalues (deliberately hiding who posted what,
+///   and how many processors have not yet posted).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SharedVar {
+    /// A single-celled variable with a lock bit (S and L).
+    Plain {
+        /// Current contents.
+        value: Value,
+        /// The lock bit used by `lock`/`unlock` (always `false` in S).
+        locked: bool,
+    },
+    /// A Q variable: a subvalue per processor that has posted.
+    Multi {
+        /// The variable's initial state `state₀(v)`. The paper folds this
+        /// into generated-program knowledge; we expose it through `peek` so
+        /// family algorithms (§5) can discover it at run time.
+        base: Value,
+        /// Subvalues keyed by owner. The key is *not* observable by
+        /// programs: `peek` strips it.
+        subvalues: BTreeMap<ProcId, Value>,
+    },
+}
+
+impl SharedVar {
+    /// A plain variable holding `value`, unlocked.
+    pub fn plain(value: Value) -> Self {
+        SharedVar::Plain {
+            value,
+            locked: false,
+        }
+    }
+
+    /// A Q variable with initial state `base` and no subvalues (the
+    /// paper's initial condition).
+    pub fn multi(base: Value) -> Self {
+        SharedVar::Multi {
+            base,
+            subvalues: BTreeMap::new(),
+        }
+    }
+
+    /// The multiset of subvalues as a canonically sorted vector (what
+    /// `peek` returns). Empty for plain variables.
+    pub fn peek_all(&self) -> Vec<Value> {
+        match self {
+            SharedVar::Plain { .. } => Vec::new(),
+            SharedVar::Multi { subvalues, .. } => {
+                let mut vs: Vec<Value> = subvalues.values().cloned().collect();
+                vs.sort();
+                vs
+            }
+        }
+    }
+
+    /// An *anonymized* snapshot of the variable state, for similarity
+    /// checking: two Q variables with the same multiset of subvalues are in
+    /// the same state even if the posting processors differ.
+    pub fn observable_state(&self) -> Value {
+        match self {
+            SharedVar::Plain { value, locked } => {
+                Value::tuple([value.clone(), Value::from(*locked)])
+            }
+            SharedVar::Multi { base, .. } => {
+                Value::tuple([base.clone(), Value::bag(self.peek_all())])
+            }
+        }
+    }
+}
+
+/// Initial states for every processor and variable of a system — the
+/// `state₀` component of `Σ = (N, state₀, I, SP)`.
+///
+/// Kept separate from the graph because homogeneous families (§5) share a
+/// network but differ exactly here.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SystemInit {
+    /// Initial value handed to each processor's `Program::init`.
+    pub proc_values: Vec<Value>,
+    /// Initial contents of each plain variable (ignored by Q variables,
+    /// which start with no subvalues, *unless* a program models the §5
+    /// two-phase trick of re-seeding variable states).
+    pub var_values: Vec<Value>,
+}
+
+impl SystemInit {
+    /// The uniform initial state: every processor and variable starts with
+    /// [`Value::Unit`] — the fully symmetric start.
+    pub fn uniform(graph: &SystemGraph) -> Self {
+        SystemInit {
+            proc_values: vec![Value::Unit; graph.processor_count()],
+            var_values: vec![Value::Unit; graph.variable_count()],
+        }
+    }
+
+    /// Uniform except that the given processors receive distinct marks
+    /// `1, 2, …` (processor `marked[i]` gets `Value::Int(i+1)`).
+    pub fn with_marked(graph: &SystemGraph, marked: &[ProcId]) -> Self {
+        let mut init = Self::uniform(graph);
+        for (i, &p) in marked.iter().enumerate() {
+            init.proc_values[p.index()] = Value::from(i as i64 + 1);
+        }
+        init
+    }
+
+    /// The initial state of a node in the combined linear index space
+    /// (processors first) — the `state₀(x)` function of the paper.
+    pub fn node_value(&self, linear_index: usize) -> &Value {
+        if linear_index < self.proc_values.len() {
+            &self.proc_values[linear_index]
+        } else {
+            &self.var_values[linear_index - self.proc_values.len()]
+        }
+    }
+
+    /// Validates that the shapes match a graph.
+    pub fn matches(&self, graph: &SystemGraph) -> bool {
+        self.proc_values.len() == graph.processor_count()
+            && self.var_values.len() == graph.variable_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+
+    #[test]
+    fn local_state_defaults() {
+        let s = LocalState::new();
+        assert_eq!(s.pc, 0);
+        assert!(!s.selected);
+        assert_eq!(s.get("x"), Value::Unit);
+        assert_eq!(s, LocalState::default());
+    }
+
+    #[test]
+    fn registers_round_trip() {
+        let mut s = LocalState::new();
+        s.set("x", Value::from(3));
+        assert_eq!(s.get("x"), Value::from(3));
+        assert_eq!(s.get_ref("x"), Some(&Value::from(3)));
+        assert_eq!(s.unset("x"), Some(Value::from(3)));
+        assert_eq!(s.get("x"), Value::Unit);
+    }
+
+    #[test]
+    fn equality_includes_everything() {
+        let mut a = LocalState::new();
+        let mut b = LocalState::new();
+        assert_eq!(a, b);
+        a.pc = 1;
+        assert_ne!(a, b);
+        b.pc = 1;
+        b.selected = true;
+        assert_ne!(a, b);
+        a.selected = true;
+        a.set("r", Value::from(false));
+        assert_ne!(a, b);
+        b.set("r", Value::from(false));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_initial_seeds_register() {
+        let s = LocalState::with_initial(Value::from(9));
+        assert_eq!(s.get("init"), Value::from(9));
+    }
+
+    #[test]
+    fn display_lists_registers() {
+        let mut s = LocalState::new();
+        s.set("a", Value::from(1));
+        let d = s.to_string();
+        assert!(d.contains("pc=0"));
+        assert!(d.contains("a=1"));
+    }
+
+    #[test]
+    fn plain_var_observable_state_includes_lock() {
+        let mut v = SharedVar::plain(Value::from(1));
+        let before = v.observable_state();
+        if let SharedVar::Plain { locked, .. } = &mut v {
+            *locked = true;
+        }
+        assert_ne!(before, v.observable_state());
+    }
+
+    #[test]
+    fn multi_var_peek_is_sorted_and_anonymous() {
+        let mut v = SharedVar::multi(Value::Unit);
+        if let SharedVar::Multi { subvalues, .. } = &mut v {
+            subvalues.insert(ProcId::new(3), Value::from(2));
+            subvalues.insert(ProcId::new(1), Value::from(5));
+            subvalues.insert(ProcId::new(2), Value::from(2));
+        }
+        assert_eq!(
+            v.peek_all(),
+            vec![Value::from(2), Value::from(2), Value::from(5)]
+        );
+        // Same multiset posted by different processors is the same
+        // observable state.
+        let mut w = SharedVar::multi(Value::Unit);
+        if let SharedVar::Multi { subvalues, .. } = &mut w {
+            subvalues.insert(ProcId::new(7), Value::from(5));
+            subvalues.insert(ProcId::new(8), Value::from(2));
+            subvalues.insert(ProcId::new(9), Value::from(2));
+        }
+        assert_eq!(v.observable_state(), w.observable_state());
+    }
+
+    #[test]
+    fn plain_var_peek_is_empty() {
+        assert!(SharedVar::plain(Value::from(1)).peek_all().is_empty());
+    }
+
+    #[test]
+    fn system_init_uniform_matches() {
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::uniform(&g);
+        assert!(init.matches(&g));
+        assert_eq!(init.proc_values.len(), 3);
+        assert_eq!(init.var_values.len(), 3);
+        assert!(init.proc_values.iter().all(Value::is_unit));
+    }
+
+    #[test]
+    fn system_init_marked() {
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(2)]);
+        assert_eq!(init.proc_values[2], Value::from(1));
+        assert!(init.proc_values[0].is_unit());
+    }
+
+    #[test]
+    fn node_value_spans_procs_then_vars() {
+        let g = topology::uniform_ring(2);
+        let mut init = SystemInit::uniform(&g);
+        init.var_values[1] = Value::from(7);
+        assert_eq!(init.node_value(0), &Value::Unit);
+        assert_eq!(init.node_value(3), &Value::from(7));
+    }
+}

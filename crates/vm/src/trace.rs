@@ -1,0 +1,231 @@
+//! Structured execution traces: record what happened, step by step, and
+//! render it for humans.
+//!
+//! The impossibility arguments of the paper are statements about *all*
+//! schedules; when a concrete run misbehaves (or behaves!), the trace is
+//! the artifact you inspect. A [`Tracer`] is a [`Monitor`] that records a
+//! [`StepRecord`] per step — who stepped, how the shared variables look,
+//! who is selected — with optional full state snapshots, and renders the
+//! lot as an aligned text table.
+
+use crate::{LocalState, Machine, Monitor, Violation};
+use simsym_graph::ProcId;
+use std::fmt;
+
+/// One recorded step.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Step index (1-based: after the step executed).
+    pub step: u64,
+    /// The processor that stepped.
+    pub proc: ProcId,
+    /// Selected processors after the step.
+    pub selected: Vec<ProcId>,
+    /// The stepping processor's state after the step (always recorded).
+    pub actor_state: LocalState,
+    /// Full per-processor snapshots (only with
+    /// [`Tracer::with_snapshots`]).
+    pub snapshot: Option<Vec<LocalState>>,
+    /// Global state fingerprint after the step.
+    pub fingerprint: u64,
+}
+
+/// A [`Monitor`] that records the run.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    records: Vec<StepRecord>,
+    snapshots: bool,
+    limit: Option<usize>,
+}
+
+impl Tracer {
+    /// A tracer recording actor states only.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Also record full per-processor snapshots (heavier).
+    pub fn with_snapshots(mut self) -> Tracer {
+        self.snapshots = true;
+        self
+    }
+
+    /// Stop recording after `limit` steps (the run continues untraced).
+    pub fn with_limit(mut self, limit: usize) -> Tracer {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// The recorded steps.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The first step at which `proc` appears selected, if any.
+    pub fn selection_step(&self, proc: ProcId) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.selected.contains(&proc))
+            .map(|r| r.step)
+    }
+
+    /// Steps at which the global state repeated an earlier fingerprint —
+    /// a quick cycle detector for livelock inspection.
+    pub fn repeated_states(&self) -> Vec<u64> {
+        let mut seen = std::collections::HashSet::new();
+        let mut repeats = Vec::new();
+        for r in &self.records {
+            if !seen.insert(r.fingerprint) {
+                repeats.push(r.step);
+            }
+        }
+        repeats
+    }
+
+    /// Renders the trace as an aligned text table (one line per step).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>6}  {:<5} {:<10} {}\n",
+            "step", "proc", "selected", "actor state"
+        ));
+        for r in &self.records {
+            let sel: Vec<String> = r.selected.iter().map(|p| p.to_string()).collect();
+            out.push_str(&format!(
+                "{:>6}  {:<5} {:<10} {}\n",
+                r.step,
+                r.proc.to_string(),
+                if sel.is_empty() {
+                    "-".to_owned()
+                } else {
+                    sel.join(",")
+                },
+                r.actor_state
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl Monitor for Tracer {
+    fn observe(&mut self, machine: &Machine, just_stepped: ProcId) -> Option<Violation> {
+        if let Some(limit) = self.limit {
+            if self.records.len() >= limit {
+                return None;
+            }
+        }
+        self.records.push(StepRecord {
+            step: machine.steps(),
+            proc: just_stepped,
+            selected: machine.selected(),
+            actor_state: machine.local(just_stepped).clone(),
+            snapshot: self.snapshots.then(|| machine.locals().to_vec()),
+            fingerprint: machine.fingerprint(),
+        });
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, FnProgram, InstructionSet, Machine, RoundRobin, SystemInit, Value};
+    use simsym_graph::topology;
+    use std::sync::Arc;
+
+    fn counting_machine() -> Machine {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("count", |local, _ops| {
+            local.pc = local.pc.wrapping_add(1);
+            if local.pc == 3 {
+                local.selected = true;
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+    }
+
+    #[test]
+    fn records_every_step() {
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new();
+        let _ = run(&mut m, &mut RoundRobin::new(), 6, &mut [&mut tracer]);
+        assert_eq!(tracer.len(), 6);
+        assert!(!tracer.is_empty());
+        assert_eq!(tracer.records()[0].proc, ProcId::new(0));
+        assert_eq!(tracer.records()[1].proc, ProcId::new(1));
+        assert_eq!(tracer.records()[5].step, 6);
+    }
+
+    #[test]
+    fn selection_step_found() {
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new();
+        let _ = run(&mut m, &mut RoundRobin::new(), 6, &mut [&mut tracer]);
+        // p0 hits pc == 3 at its third step = global step 5.
+        assert_eq!(tracer.selection_step(ProcId::new(0)), Some(5));
+        assert_eq!(tracer.selection_step(ProcId::new(1)), Some(6));
+    }
+
+    #[test]
+    fn limit_caps_recording() {
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new().with_limit(3);
+        let _ = run(&mut m, &mut RoundRobin::new(), 10, &mut [&mut tracer]);
+        assert_eq!(tracer.len(), 3);
+    }
+
+    #[test]
+    fn snapshots_capture_all_processors() {
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new().with_snapshots();
+        let _ = run(&mut m, &mut RoundRobin::new(), 2, &mut [&mut tracer]);
+        let snap = tracer.records()[0].snapshot.as_ref().unwrap();
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn repeated_states_detects_cycles() {
+        // An idle-ish program cycles through two states per processor.
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("toggle", |local, _ops| {
+            let b = local.get("b").as_bool().unwrap_or(false);
+            local.set("b", Value::from(!b));
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let mut tracer = Tracer::new();
+        let _ = run(&mut m, &mut RoundRobin::new(), 12, &mut [&mut tracer]);
+        assert!(
+            !tracer.repeated_states().is_empty(),
+            "cycle must be visible"
+        );
+    }
+
+    #[test]
+    fn render_is_aligned_and_nonempty() {
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new();
+        let _ = run(&mut m, &mut RoundRobin::new(), 4, &mut [&mut tracer]);
+        let text = tracer.render();
+        assert!(text.contains("step"));
+        assert_eq!(text.lines().count(), 5);
+        assert_eq!(format!("{tracer}"), text);
+    }
+}

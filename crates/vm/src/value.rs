@@ -1,0 +1,308 @@
+//! Dynamic values stored in processor registers and shared variables.
+//!
+//! The paper makes *no assumption about the number of possible states* of a
+//! processor or variable (§2), so the simulator uses a small dynamic value
+//! type instead of a fixed word size. Crucially, [`Value`] is totally
+//! ordered and hashable: the *definition* of similarity compares the full
+//! states of different processors for equality, and canonical ordering keeps
+//! every container deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamic value: the contents of a register, a shared variable, or a
+/// posted subvalue.
+///
+/// `Value` is deliberately closed under tupling and (multi)set formation so
+/// that programs like Algorithm 2 — which circulate *sets of suspected
+/// labels* — can be written directly.
+///
+/// ```
+/// use simsym_vm::Value;
+/// let v = Value::tuple([Value::from(1), Value::set([Value::from(true)])]);
+/// assert_eq!(v.to_string(), "(1, {true})");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// The unit (uninitialized) value.
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An interned symbol — used for similarity labels and program tags.
+    Sym(u32),
+    /// An ordered tuple.
+    Tuple(Vec<Value>),
+    /// A set (no duplicates, canonically ordered).
+    Set(Vec<Value>),
+    /// A multiset (bag), canonically ordered with multiplicities.
+    Bag(BTreeMap<Value, usize>),
+}
+
+impl Value {
+    /// Builds a tuple value.
+    pub fn tuple<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Tuple(items.into_iter().collect())
+    }
+
+    /// Builds a set value; duplicates are merged and order is canonical.
+    pub fn set<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        let mut v: Vec<Value> = items.into_iter().collect();
+        v.sort();
+        v.dedup();
+        Value::Set(v)
+    }
+
+    /// Builds a bag (multiset) value.
+    pub fn bag<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        let mut m = BTreeMap::new();
+        for item in items {
+            *m.entry(item).or_insert(0) += 1;
+        }
+        Value::Bag(m)
+    }
+
+    /// A symbol value.
+    pub fn sym(id: u32) -> Value {
+        Value::Sym(id)
+    }
+
+    /// Whether this is [`Value::Unit`].
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The symbol payload, if any.
+    pub fn as_sym(&self) -> Option<u32> {
+        match self {
+            Value::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The tuple elements, if this is a tuple.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The set elements (canonically ordered), if this is a set.
+    pub fn as_set(&self) -> Option<&[Value]> {
+        match self {
+            Value::Set(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether `item` is a member of this set value.
+    ///
+    /// Returns `false` when `self` is not a set.
+    pub fn set_contains(&self, item: &Value) -> bool {
+        match self {
+            Value::Set(items) => items.binary_search(item).is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Number of elements in a set, tuple, or bag (with multiplicity);
+    /// `None` for scalar values.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Value::Tuple(items) | Value::Set(items) => Some(items.len()),
+            Value::Bag(m) => Some(m.values().sum()),
+            _ => None,
+        }
+    }
+
+    /// Whether the container is empty; `None` for scalar values.
+    pub fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i64::try_from(i).expect("usize fits in i64"))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "#{s}"),
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Bag(m) => {
+                write!(f, "⟅")?;
+                let mut first = true;
+                for (item, &count) in m {
+                    for _ in 0..count {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        first = false;
+                        write!(f, "{item}")?;
+                    }
+                }
+                write!(f, "⟆")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_canonical() {
+        let a = Value::set([Value::from(2), Value::from(1), Value::from(2)]);
+        let b = Value::set([Value::from(1), Value::from(2)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), Some(2));
+    }
+
+    #[test]
+    fn bag_counts_multiplicity() {
+        let a = Value::bag([Value::from(1), Value::from(1), Value::from(2)]);
+        assert_eq!(a.len(), Some(3));
+        let b = Value::bag([Value::from(1), Value::from(2), Value::from(1)]);
+        assert_eq!(a, b);
+        let c = Value::bag([Value::from(1), Value::from(2)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn set_contains_uses_binary_search() {
+        let s = Value::set((0..10).map(Value::from));
+        assert!(s.set_contains(&Value::from(7)));
+        assert!(!s.set_contains(&Value::from(10)));
+        assert!(!Value::from(3).set_contains(&Value::from(3)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(5).as_int(), Some(5));
+        assert_eq!(Value::sym(3).as_sym(), Some(3));
+        assert_eq!(Value::from(5).as_bool(), None);
+        assert!(Value::Unit.is_unit());
+        let t = Value::tuple([Value::Unit, Value::from(1)]);
+        assert_eq!(t.as_tuple().unwrap().len(), 2);
+        assert_eq!(t.as_set(), None);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let mut vs = vec![
+            Value::set([Value::from(1)]),
+            Value::Unit,
+            Value::from(false),
+            Value::from(-1),
+            Value::sym(0),
+            Value::tuple([]),
+            Value::bag([]),
+        ];
+        vs.sort();
+        let sorted = vs.clone();
+        vs.sort();
+        assert_eq!(vs, sorted);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::sym(2).to_string(), "#2");
+        assert_eq!(
+            Value::tuple([Value::from(1), Value::from(2)]).to_string(),
+            "(1, 2)"
+        );
+        assert_eq!(
+            Value::set([Value::from(2), Value::from(1)]).to_string(),
+            "{1, 2}"
+        );
+        assert_eq!(
+            Value::bag([Value::from(1), Value::from(1)]).to_string(),
+            "⟅1, 1⟆"
+        );
+        // Debug mirrors Display and is never empty.
+        assert_eq!(format!("{:?}", Value::Unit), "()");
+    }
+
+    #[test]
+    fn default_is_unit() {
+        assert_eq!(Value::default(), Value::Unit);
+    }
+
+    #[test]
+    fn usize_conversion() {
+        assert_eq!(Value::from(7usize), Value::Int(7));
+    }
+}

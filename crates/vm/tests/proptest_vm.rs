@@ -1,0 +1,123 @@
+//! Property tests for the machine substrate: value canonicalization,
+//! schedule guarantees, and execution determinism.
+
+use proptest::prelude::*;
+use simsym_graph::{topology, ProcId};
+use simsym_vm::{
+    BoundedFairRandom, FnProgram, InstructionSet, Machine, Scheduler, SystemInit, Value,
+};
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::from),
+        any::<i32>().prop_map(Value::from),
+        (0u32..16).prop_map(Value::sym),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::tuple),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            prop::collection::vec(inner, 0..4).prop_map(Value::bag),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_ordering_is_total_and_stable(mut vs in prop::collection::vec(arb_value(), 0..12)) {
+        vs.sort();
+        let once = vs.clone();
+        vs.sort();
+        prop_assert_eq!(once, vs);
+    }
+
+    #[test]
+    fn sets_are_permutation_invariant(mut items in prop::collection::vec(arb_value(), 0..8)) {
+        let a = Value::set(items.clone());
+        items.reverse();
+        let b = Value::set(items.clone());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bags_are_permutation_invariant_but_count_sensitive(
+        items in prop::collection::vec(arb_value(), 1..6)
+    ) {
+        let mut rev = items.clone();
+        rev.reverse();
+        prop_assert_eq!(Value::bag(items.clone()), Value::bag(rev));
+        let mut extra = items.clone();
+        extra.push(items[0].clone());
+        prop_assert_ne!(Value::bag(items), Value::bag(extra));
+    }
+
+    #[test]
+    fn bounded_fair_random_honors_its_window(
+        n in 2usize..6, slack in 0usize..5, seed in any::<u64>()
+    ) {
+        let k = n + slack;
+        let g = Arc::new(topology::uniform_ring(n));
+        let init = SystemInit::uniform(&g);
+        let m = Machine::new(g, InstructionSet::S, Arc::new(simsym_vm::IdleProgram), &init).unwrap();
+        let mut sched = BoundedFairRandom::new(n, k, seed);
+        let picks: Vec<usize> = (0..20 * k).map(|_| sched.next(&m).index()).collect();
+        for w in picks.windows(k) {
+            for p in 0..n {
+                prop_assert!(w.contains(&p), "window misses p{}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic(seed in any::<u64>(), steps in 1u64..60) {
+        let build = || {
+            let g = Arc::new(topology::uniform_ring(3));
+            let init = SystemInit::uniform(&g);
+            let prog = Arc::new(FnProgram::new("mix", |local, ops| {
+                let names = ops.all_names();
+                let n = names[(local.pc as usize) % names.len()];
+                if local.pc % 2 == 0 {
+                    ops.write(n, Value::from(i64::from(local.pc)));
+                } else {
+                    let v = ops.read(n);
+                    local.set("acc", Value::tuple([local.get("acc"), v]));
+                }
+                local.pc = local.pc.wrapping_add(1);
+            }));
+            Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+        };
+        let mut rng_sched = simsym_vm::RandomFair::seeded(seed);
+        let mut a = build();
+        let mut picks = Vec::new();
+        for _ in 0..steps {
+            let p = rng_sched.next(&a);
+            picks.push(p);
+            a.step(p);
+        }
+        let mut b = build();
+        for &p in &picks {
+            b.step(p);
+        }
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a.canonical_state(), b.canonical_state());
+    }
+
+    #[test]
+    fn selected_count_matches_flags(k in 0usize..4) {
+        let g = Arc::new(topology::uniform_ring(4));
+        let init = SystemInit::uniform(&g);
+        let prog = Arc::new(FnProgram::new("sel", |local, _| {
+            local.selected = true;
+        }));
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        for i in 0..k {
+            m.step(ProcId::new(i));
+        }
+        prop_assert_eq!(m.selected_count(), k);
+        prop_assert_eq!(m.selected().len(), k);
+    }
+}

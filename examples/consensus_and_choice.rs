@@ -1,0 +1,115 @@
+//! The problems that ride on selection: consensus (the paper's FLP
+//! bridge, §3) and Rabin's choice coordination (§1).
+//!
+//! ```sh
+//! cargo run --example consensus_and_choice
+//! ```
+
+use simsym::core::{
+    crash_outcomes, decide_choice, AgreementMonitor, ChoiceCoordination, ChoiceMonitor,
+    ConsensusViaSelection, CrashOutcome, ValidityMonitor,
+};
+use simsym::graph::topology;
+use simsym::vm::{run_until, InstructionSet, Machine, RoundRobin, SystemInit, Value};
+use std::sync::Arc;
+
+fn main() {
+    println!("Consensus via selection, and the crash adversary");
+    println!("================================================\n");
+
+    // A ring with a marked processor: consensus = elect + flood.
+    let g = topology::uniform_ring(4);
+    let mut init = SystemInit::uniform(&g);
+    // Mark p0: every processor becomes uniquely labeled and the
+    // construction designates the first unique one (p0) as leader, so the
+    // decision will be p0's input, 7.
+    init.proc_values[0] = Value::from(7);
+    let build = {
+        let g = g.clone();
+        let init = init.clone();
+        move || {
+            let prog = ConsensusViaSelection::new(&g, &init)
+                .expect("tables")
+                .expect("unique processor exists");
+            Machine::new(
+                Arc::new(g.clone()),
+                InstructionSet::Q,
+                Arc::new(prog),
+                &init,
+            )
+            .expect("machine")
+        }
+    };
+    let mut m = build();
+    let mut sched = RoundRobin::new();
+    let mut agree = AgreementMonitor;
+    let mut valid = ValidityMonitor::new(&init);
+    let report = run_until(
+        &mut m,
+        &mut sched,
+        1_000_000,
+        &mut [&mut agree, &mut valid],
+        |mach| {
+            mach.graph()
+                .processors()
+                .all(|p| ConsensusViaSelection::is_decided(mach.local(p)))
+        },
+    );
+    println!(
+        "fair run on the marked 4-ring: all decided after {} steps, decision = {:?}, violations: {:?}",
+        report.steps,
+        ConsensusViaSelection::decision(m.local(simsym_graph::ProcId::new(0))),
+        report.violation
+    );
+
+    println!("\nnow crash one processor at a time (a *general* schedule):");
+    for (crashed, outcome) in crash_outcomes(build, 200_000) {
+        match outcome {
+            CrashOutcome::Decided(v) => {
+                println!("  crash {crashed}: survivors still decided {v}")
+            }
+            CrashOutcome::Blocked => println!(
+                "  crash {crashed}: survivors BLOCKED — Theorem 1's consensus impossibility in action"
+            ),
+        }
+    }
+
+    println!("\nChoice coordination (mark exactly one shared variable)");
+    println!("------------------------------------------------------");
+    let g = topology::figure2();
+    let init = SystemInit::uniform(&g);
+    match decide_choice(&g, &init) {
+        Some(v) => {
+            println!("figure2: variable {v} is uniquely labeled — deterministic choice possible")
+        }
+        None => println!("figure2: no unique variable"),
+    }
+    let prog = ChoiceCoordination::new(&g, &init)
+        .expect("tables")
+        .expect("solvable");
+    let mut m = Machine::new(
+        Arc::new(g.clone()),
+        InstructionSet::Q,
+        Arc::new(prog),
+        &init,
+    )
+    .expect("machine");
+    let mut sched = RoundRobin::new();
+    let mut mon = ChoiceMonitor;
+    let _ = run_until(&mut m, &mut sched, 200_000, &mut [&mut mon], |mach| {
+        mach.graph()
+            .processors()
+            .all(|p| ChoiceCoordination::is_done(mach.local(p)))
+    });
+    let marked: Vec<String> = g
+        .variables()
+        .filter(|&v| simsym::core::is_marked(&m, v))
+        .map(|v| v.to_string())
+        .collect();
+    println!("marked variables after the run: {marked:?} (exactly one, as required)");
+    let ring = topology::uniform_ring(5);
+    println!(
+        "\nuniform 5-ring: deterministic choice possible? {} — all forks are similar,\nso randomization (or locks) is needed, mirroring the selection story.",
+        decide_choice(&ring, &SystemInit::uniform(&ring)).is_some()
+    );
+}

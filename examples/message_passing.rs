@@ -1,0 +1,84 @@
+//! Message-passing systems (§6): similarity by direct refinement, by
+//! reduction to Q, and by running the distributed view learner — plus
+//! leader election and its anonymous failure mode.
+//!
+//! ```sh
+//! cargo run --example message_passing
+//! ```
+
+use simsym::mp::{
+    mp_similarity, reduced_similarity, ChangRoberts, MpMachine, MpModel, MpNetwork, ViewLearner,
+};
+use simsym::vm::Value;
+use std::sync::Arc;
+
+fn main() {
+    println!("Message passing under the similarity lens");
+    println!("=========================================\n");
+
+    // An anonymous unidirectional ring: everyone similar.
+    let ring = MpNetwork::ring_unidirectional(5);
+    let uniform = vec![Value::Unit; 5];
+    let theta = mp_similarity(&ring, &uniform, MpModel::AsyncUnidirectional);
+    println!(
+        "anonymous 5-ring: {} similarity class(es) — leader election impossible",
+        theta.class_count()
+    );
+
+    // Reduction to Q agrees with the direct rule.
+    let reduced = reduced_similarity(&ring, &uniform);
+    println!(
+        "reduction to Q-system gives the same partition: {}",
+        simsym::mp::same_partition(
+            &ring
+                .processors()
+                .map(|p| theta.proc_label(p))
+                .collect::<Vec<_>>(),
+            &reduced
+        )
+    );
+
+    // Chang–Roberts with distinct identities elects exactly the maximum.
+    let ids: Vec<Value> = [30, 10, 40, 20, 50].into_iter().map(Value::from).collect();
+    let net = Arc::new(MpNetwork::ring_unidirectional(5));
+    let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &ids);
+    m.run_round_robin(10_000, |m| !m.selected().is_empty());
+    println!(
+        "\nChang-Roberts with ids {ids:?}: elected {:?}",
+        m.selected()
+    );
+
+    // ...and with identical identities everyone "wins": Theorem 2 in
+    // message-passing clothes.
+    let same = vec![Value::from(7); 5];
+    let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &same);
+    m.run_round_robin(10_000, |m| m.selected().len() >= 5);
+    println!(
+        "Chang-Roberts with identical ids: {} processors selected — uniqueness is hopeless",
+        m.selected().len()
+    );
+
+    // The view learner: distributed similarity-label learning.
+    let mut init = vec![Value::Unit; 5];
+    init[2] = Value::from(9);
+    let theta = mp_similarity(&net, &init, MpModel::AsyncUnidirectional);
+    let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ViewLearner { rounds: 6 }), &init);
+    m.run_round_robin(200_000, |m| {
+        m.net()
+            .processors()
+            .all(|p| m.local(p).get("round").as_int() == Some(6))
+    });
+    println!("\nview learner on the ring with p2 marked:");
+    for p in net.processors() {
+        let view = m.local(p).get("view");
+        let label = theta.proc_label(p);
+        let digest = format!("{view}");
+        let digest = if digest.len() > 48 {
+            format!("{}…", &digest[..48])
+        } else {
+            digest
+        };
+        println!("  {p}: Θ-label {label}, view {digest}");
+    }
+    println!("\n(equal views ⟺ equal similarity labels — the MP analogue of Algorithm 2)");
+}

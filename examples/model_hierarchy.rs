@@ -1,0 +1,38 @@
+//! The §9 model-power hierarchy, as a table of witness systems: each
+//! strict inequality `fair S < bounded-fair S < Q < L < L*` is separated
+//! by a concrete system.
+//!
+//! ```sh
+//! cargo run --example model_hierarchy
+//! ```
+
+use simsym::core::{power_table, render_power_table, separation_witnesses};
+
+fn main() {
+    let witnesses = separation_witnesses();
+    let rows: Vec<(&str, &simsym::graph::SystemGraph, &simsym::vm::SystemInit)> = witnesses
+        .iter()
+        .map(|w| (w.name, &w.graph, &w.init))
+        .collect();
+    let table = power_table(&rows);
+    println!("Selection solvability by model (yes? / no? = sampled analysis)");
+    println!("{}", render_power_table(&table));
+    println!("Reading the separations:");
+    println!("  fair S < BF S : the mimicry-gap system (only BF-S learns who is who)");
+    println!("  BF S  < Q     : figure2 (only counting neighbors splits v1 from v2)");
+    println!("  Q     < L     : figure1 (only the lock race splits p from q)");
+    println!("  L     < L*    : the 2-ring (only multi-locking orders the pair)");
+    println!("  and the uniform 5-ring resists everything but L* — rings have no");
+    println!("  same-name sharing for locks to exploit (the engine behind DP).");
+    println!();
+    println!("Declared weakest-solving model per witness (verified in tests):");
+    for w in &witnesses {
+        println!(
+            "  {:<28} {}",
+            w.name,
+            w.weakest_solving
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "unsolvable".to_owned())
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: compute similarity labelings and decide the selection
+//! problem for a handful of systems under every machine model.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use simsym::core::{decide_selection_with_init, similarity_with_init, Model};
+use simsym::graph::{topology, SystemGraph};
+use simsym::vm::SystemInit;
+use simsym_graph::ProcId;
+
+fn main() {
+    let systems: Vec<(&str, SystemGraph, SystemInit)> = vec![
+        named("figure1 (shared name)", topology::figure1(), None),
+        named("figure2 (alibis)", topology::figure2(), None),
+        named("uniform 5-ring", topology::uniform_ring(5), None),
+        named(
+            "5-ring, p0 marked",
+            topology::uniform_ring(5),
+            Some(ProcId::new(0)),
+        ),
+        named("marked ring (topology)", topology::marked_ring(5), None),
+        named(
+            "six-table (Fig. 5)",
+            topology::philosophers_alternating(6),
+            None,
+        ),
+    ];
+
+    println!("Similarity classes and selection verdicts");
+    println!("==========================================\n");
+    for (name, graph, init) in &systems {
+        let theta = similarity_with_init(graph, init, Model::Q);
+        println!("{name}:");
+        println!(
+            "  {} processors, {} variables; Q-similarity classes: {}",
+            graph.processor_count(),
+            graph.variable_count(),
+            theta.class_count()
+        );
+        let classes: Vec<String> = theta
+            .proc_classes()
+            .iter()
+            .map(|c| {
+                let ids: Vec<String> = c.iter().map(|p| p.to_string()).collect();
+                format!("{{{}}}", ids.join(" "))
+            })
+            .collect();
+        println!("  processor classes: {}", classes.join("  "));
+        for model in Model::ALL {
+            let d = decide_selection_with_init(graph, init, model);
+            println!("    {d}");
+        }
+        println!();
+    }
+}
+
+fn named(name: &str, graph: SystemGraph, mark: Option<ProcId>) -> (&str, SystemGraph, SystemInit) {
+    let init = match mark {
+        Some(p) => SystemInit::with_marked(&graph, &[p]),
+        None => SystemInit::uniform(&graph),
+    };
+    (name, graph, init)
+}

@@ -1,0 +1,440 @@
+//! The `simsym` command-line tool: analyze systems, run elections, seat
+//! philosophers, and export Graphviz — from the shell.
+//!
+//! ```sh
+//! simsym list
+//! simsym analyze ring:5
+//! simsym analyze figure2 --mark p0
+//! simsym elect figure2
+//! simsym dine 6 alternating
+//! simsym dot marked-ring:5
+//! ```
+
+use simsym::core::{
+    decide_selection_with_init, hopcroft_similarity, markdown_report, selection_program_q, Model,
+};
+use simsym::graph::{dot, topology, SystemGraph};
+use simsym::philo::{
+    chandy_misra_init, ChandyMisraPhilosopher, ExclusionMonitor, LehmannRabinPhilosopher,
+    LockOrderPhilosopher, MealCounter,
+};
+use simsym::vm::{run, run_until, InstructionSet, Machine, Program, RoundRobin, SystemInit};
+use simsym_graph::ProcId;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("list") => Ok(list()),
+        Some("analyze") => {
+            let (graph, init) = parse_system_args(&args[1..])?;
+            Ok(analyze(&graph, &init))
+        }
+        Some("elect") => {
+            let (graph, init) = parse_system_args(&args[1..])?;
+            elect(&graph, &init)
+        }
+        Some("dine") => dine(&args[1..]),
+        Some("report") => {
+            let (graph, init) = parse_system_args(&args[1..])?;
+            Ok(markdown_report(&graph, &init))
+        }
+        Some("dot") => {
+            let (graph, init) = parse_system_args(&args[1..])?;
+            let theta = hopcroft_similarity(&graph, &init, Model::Q);
+            Ok(dot::to_dot(&graph, Some(theta.as_slice())))
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".to_owned()),
+    }
+}
+
+fn list() -> String {
+    let mut out = String::from("built-in systems:\n");
+    for (spec, desc) in [
+        (
+            "figure1",
+            "two processors sharing one variable by the same name (Fig. 1)",
+        ),
+        ("figure2", "the 'complicated alibis' system (Fig. 2)"),
+        (
+            "figure3",
+            "the fair-S mimicry system (Fig. 3; mark p2 to get the paper's z)",
+        ),
+        (
+            "ring:N",
+            "uniform ring of N processors with left/right forks (Fig. 4 for N=5)",
+        ),
+        ("marked-ring:N", "ring with a structurally marked processor"),
+        ("line:N", "open line of N processors"),
+        ("star:N", "N processors sharing one hub variable"),
+        ("table:N", "alias of ring:N (the dining table)"),
+        (
+            "alternating:N",
+            "even-N table with alternating orientation (Fig. 5 for N=6)",
+        ),
+        (
+            "board:PxV",
+            "P processors sharing V variables under common names",
+        ),
+    ] {
+        out.push_str(&format!("  {spec:<16} {desc}\n"));
+    }
+    out
+}
+
+/// Parses `<system> [--mark p0,p1]`. A leading `@` loads a spec file
+/// (see `simsym_graph::spec`), whose own `mark` lines seed the init.
+fn parse_system_args(args: &[String]) -> Result<(SystemGraph, SystemInit), String> {
+    let spec = args.first().ok_or("missing system spec")?;
+    if let Some(path) = spec.strip_prefix('@') {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let parsed = simsym::graph::parse_spec(&text).map_err(|e| e.to_string())?;
+        let mut init = SystemInit::uniform(&parsed.graph);
+        for (p, value) in &parsed.marks {
+            init.proc_values[p.index()] = simsym::vm::Value::from(*value);
+        }
+        if args.len() > 1 {
+            return Err(
+                "spec files carry their own marks; flags are not supported with @file".into(),
+            );
+        }
+        return Ok((parsed.graph, init));
+    }
+    let graph = parse_system(spec)?;
+    let mut init = SystemInit::uniform(&graph);
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mark" => {
+                let list = args.get(i + 1).ok_or("--mark needs a processor list")?;
+                let marks = parse_marks(list, graph.processor_count())?;
+                init = SystemInit::with_marked(&graph, &marks);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((graph, init))
+}
+
+fn parse_marks(list: &str, procs: usize) -> Result<Vec<ProcId>, String> {
+    list.split(',')
+        .map(|tok| {
+            let tok = tok.trim().trim_start_matches('p');
+            let idx: usize = tok.parse().map_err(|_| format!("bad processor {tok:?}"))?;
+            if idx >= procs {
+                return Err(format!("processor p{idx} out of range (have {procs})"));
+            }
+            Ok(ProcId::new(idx))
+        })
+        .collect()
+}
+
+/// Parses a system spec like `ring:5` or `board:3x2`.
+fn parse_system(spec: &str) -> Result<SystemGraph, String> {
+    let (kind, param) = match spec.split_once(':') {
+        Some((k, p)) => (k, Some(p)),
+        None => (spec, None),
+    };
+    let n = |p: Option<&str>, min: usize| -> Result<usize, String> {
+        let p = p.ok_or_else(|| format!("{kind} needs a size, e.g. {kind}:5"))?;
+        let v: usize = p.parse().map_err(|_| format!("bad size {p:?}"))?;
+        if v < min {
+            return Err(format!("{kind} needs size >= {min}"));
+        }
+        Ok(v)
+    };
+    match kind {
+        "figure1" => Ok(topology::figure1()),
+        "figure2" => Ok(topology::figure2()),
+        "figure3" => Ok(topology::figure3()),
+        "ring" | "table" => Ok(topology::uniform_ring(n(param, 2)?)),
+        "marked-ring" => Ok(topology::marked_ring(n(param, 3)?)),
+        "line" => Ok(topology::line(n(param, 2)?)),
+        "star" => Ok(topology::star(n(param, 1)?)),
+        "alternating" => {
+            let v = n(param, 2)?;
+            if v % 2 != 0 {
+                return Err("alternating needs an even size".to_owned());
+            }
+            Ok(topology::philosophers_alternating(v))
+        }
+        "board" => {
+            let p = param.ok_or("board needs PxV, e.g. board:3x2")?;
+            let (a, b) = p.split_once('x').ok_or("board needs PxV, e.g. board:3x2")?;
+            let procs: usize = a.parse().map_err(|_| "bad board size")?;
+            let vars: usize = b.parse().map_err(|_| "bad board size")?;
+            if procs == 0 || vars == 0 {
+                return Err("board sizes must be positive".to_owned());
+            }
+            Ok(topology::shared_board(procs, vars))
+        }
+        other => Err(format!("unknown system {other:?}")),
+    }
+}
+
+fn analyze(graph: &SystemGraph, init: &SystemInit) -> String {
+    let mut out = String::new();
+    let theta = hopcroft_similarity(graph, init, Model::Q);
+    out.push_str(&format!(
+        "{} processors, {} variables, {} names; Q-similarity classes: {}\n",
+        graph.processor_count(),
+        graph.variable_count(),
+        graph.name_count(),
+        theta.class_count()
+    ));
+    let classes: Vec<String> = theta
+        .proc_classes()
+        .iter()
+        .map(|c| {
+            let ids: Vec<String> = c.iter().map(|p| p.to_string()).collect();
+            format!("{{{}}}", ids.join(" "))
+        })
+        .collect();
+    out.push_str(&format!("processor classes: {}\n", classes.join("  ")));
+    for model in Model::ALL {
+        let d = decide_selection_with_init(graph, init, model);
+        out.push_str(&format!("  {d}\n"));
+    }
+    out
+}
+
+fn elect(graph: &SystemGraph, init: &SystemInit) -> Result<String, String> {
+    let prog = selection_program_q(graph, init)
+        .map_err(|e| e.to_string())?
+        .ok_or("no selection algorithm exists in Q for this system (every processor is shadowed); try `analyze` to see which models can solve it")?;
+    let mut m = Machine::new(
+        Arc::new(graph.clone()),
+        InstructionSet::Q,
+        Arc::new(prog),
+        init,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut sched = RoundRobin::new();
+    let report = run_until(&mut m, &mut sched, 10_000_000, &mut [], |mach| {
+        mach.selected_count() >= 1
+    });
+    Ok(format!(
+        "elected {:?} after {} round-robin steps\n",
+        m.selected(),
+        report.steps
+    ))
+}
+
+fn dine(args: &[String]) -> Result<String, String> {
+    let n: usize = args
+        .first()
+        .ok_or("dine needs a table size")?
+        .parse()
+        .map_err(|_| "bad table size")?;
+    if n < 2 {
+        return Err("table needs at least 2 philosophers".to_owned());
+    }
+    let solution = args.get(1).map(String::as_str).unwrap_or("alternating");
+    let steps: u64 = match args.get(2) {
+        Some(s) => s.parse().map_err(|_| "bad step count")?,
+        None => 50_000,
+    };
+    let (graph, init, prog, randomized): (SystemGraph, SystemInit, Arc<dyn Program>, bool) =
+        match solution {
+            "greedy" => {
+                let g = topology::philosophers_table(n);
+                let i = SystemInit::uniform(&g);
+                (g, i, Arc::new(LockOrderPhilosopher::new(3, 2)), false)
+            }
+            "alternating" => {
+                if !n.is_multiple_of(2) {
+                    return Err(format!(
+                        "the alternating solution needs an even table (got {n}); that is DP' — for odd/prime tables use chandy-misra or lehmann-rabin"
+                    ));
+                }
+                let g = topology::philosophers_alternating(n);
+                let i = SystemInit::uniform(&g);
+                (g, i, Arc::new(LockOrderPhilosopher::new(3, 2)), false)
+            }
+            "chandy-misra" => {
+                let g = topology::philosophers_table(n);
+                let i = chandy_misra_init(&g);
+                (g, i, Arc::new(ChandyMisraPhilosopher::new(2, 2)), false)
+            }
+            "lehmann-rabin" => {
+                let g = topology::philosophers_table(n);
+                let i = SystemInit::uniform(&g);
+                (g, i, Arc::new(LehmannRabinPhilosopher::new(2, 2)), true)
+            }
+            other => return Err(format!("unknown solution {other:?}")),
+        };
+    let mut m = Machine::new(Arc::new(graph.clone()), InstructionSet::L, prog, &init)
+        .map_err(|e| e.to_string())?;
+    if randomized {
+        m = m.with_randomness(0xD15E);
+    }
+    let mut sched = RoundRobin::new();
+    let mut excl = ExclusionMonitor::new(&graph);
+    let mut meals = MealCounter::new(n);
+    let report = run(&mut m, &mut sched, steps, &mut [&mut excl, &mut meals]);
+    let mut out = format!("{solution} on a {n}-table for {} steps:\n", report.steps);
+    match &report.violation {
+        Some(v) => out.push_str(&format!("  VIOLATION: {v}\n")),
+        None if meals.total() == 0 => {
+            let certified = simsym::vm::is_quiescent(&m);
+            out.push_str(&format!(
+                "  no violation, but nobody eats ({})\n",
+                if certified {
+                    "certified deadlock: no step changes any state"
+                } else {
+                    "starvation"
+                }
+            ));
+        }
+        None => out.push_str(&format!(
+            "  {} meals, min/philosopher {}, fairness {:.3}\n",
+            meals.total(),
+            meals.minimum(),
+            meals.fairness()
+        )),
+    }
+    out.push_str(&format!("  meals: {:?}\n", meals.meals));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    #[test]
+    fn list_runs() {
+        assert!(call(&["list"]).unwrap().contains("figure1"));
+    }
+
+    #[test]
+    fn analyze_ring() {
+        let out = call(&["analyze", "ring:5"]).unwrap();
+        assert!(out.contains("5 processors"));
+        assert!(out.contains("no selection"));
+    }
+
+    #[test]
+    fn analyze_with_mark() {
+        let out = call(&["analyze", "ring:4", "--mark", "p0"]).unwrap();
+        assert!(out.contains("selectable"));
+    }
+
+    #[test]
+    fn elect_figure2() {
+        let out = call(&["elect", "figure2"]).unwrap();
+        assert!(out.contains("elected [p2]"));
+    }
+
+    #[test]
+    fn elect_refuses_symmetric() {
+        let err = call(&["elect", "ring:4"]).unwrap_err();
+        assert!(err.contains("no selection algorithm"));
+    }
+
+    #[test]
+    fn dine_greedy_deadlocks() {
+        let out = call(&["dine", "5", "greedy", "5000"]).unwrap();
+        assert!(out.contains("deadlock"));
+    }
+
+    #[test]
+    fn dine_alternating_feeds_everyone() {
+        let out = call(&["dine", "6", "alternating", "20000"]).unwrap();
+        assert!(out.contains("meals"));
+        assert!(!out.contains("deadlock"));
+    }
+
+    #[test]
+    fn dine_rejects_odd_alternating() {
+        let err = call(&["dine", "5", "alternating"]).unwrap_err();
+        assert!(err.contains("even"));
+    }
+
+    #[test]
+    fn dine_chandy_misra_on_prime_table() {
+        let out = call(&["dine", "5", "chandy-misra", "20000"]).unwrap();
+        assert!(out.contains("meals"));
+        assert!(!out.contains("deadlock"));
+        assert!(!out.contains("VIOLATION"));
+    }
+
+    #[test]
+    fn dine_lehmann_rabin_on_prime_table() {
+        let out = call(&["dine", "5", "lehmann-rabin", "20000"]).unwrap();
+        assert!(out.contains("meals"));
+        assert!(!out.contains("VIOLATION"));
+    }
+
+    #[test]
+    fn dot_renders() {
+        let out = call(&["dot", "figure1"]).unwrap();
+        assert!(out.starts_with("graph system {"));
+    }
+
+    #[test]
+    fn parse_errors_are_friendly() {
+        assert!(call(&["analyze", "ring"]).is_err());
+        assert!(call(&["analyze", "nonsense"]).is_err());
+        assert!(call(&["analyze", "board:0x2"]).is_err());
+        assert!(call(&["analyze", "ring:4", "--mark", "p9"]).is_err());
+        assert!(call(&["bogus"]).is_err());
+        assert!(call(&[]).is_err());
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let out = call(&["report", "figure2"]).unwrap();
+        assert!(out.contains("# System analysis"));
+        assert!(out.contains("Q: selectable"));
+    }
+
+    #[test]
+    fn spec_file_loads() {
+        let dir = std::env::temp_dir().join("simsym-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.sysg");
+        std::fs::write(
+            &path,
+            "names a b\nprocs p1 p2 p3\nvars v1 v2 v3\nedge p1 a v1\nedge p2 a v1\nedge p3 a v2\nedge p1 b v3\nedge p2 b v3\nedge p3 b v3\n",
+        )
+        .unwrap();
+        let arg = format!("@{}", path.display());
+        let out = call(&["analyze", &arg]).unwrap();
+        assert!(out.contains("3 processors"));
+        assert!(out.contains("Q: selectable"));
+    }
+
+    #[test]
+    fn board_parses() {
+        let g = parse_system("board:3x2").unwrap();
+        assert_eq!(g.processor_count(), 3);
+        assert_eq!(g.variable_count(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! E8 — Figures 4–5, Theorems 10–11, DP and DP′, plus the §8 escapes
+//! (encapsulated asymmetry, randomization), end to end.
+
+use simsym::core::{
+    decide_selection, similarity, theorem11_generator, theorem11_l_supersimilarity, Model,
+};
+use simsym::graph::automorphism::are_symmetric;
+use simsym::graph::topology;
+use simsym::philo::{
+    chandy_misra_init, measure_lehmann_rabin, ChandyMisraPhilosopher, ExclusionMonitor,
+    LockOrderPhilosopher, MealCounter,
+};
+use simsym::vm::{run, InstructionSet, Machine, RandomFair, RoundRobin, SystemInit};
+use simsym_graph::{Node, ProcId};
+use std::sync::Arc;
+
+fn procs(n: usize) -> Vec<ProcId> {
+    (0..n).map(ProcId::new).collect()
+}
+
+#[test]
+fn dp_five_table_is_fully_similar_even_in_l() {
+    // Theorem 11 with j = 5 (prime): all philosophers similar in L.
+    let g = topology::philosophers_table(5);
+    let init = SystemInit::uniform(&g);
+    let labeling = theorem11_l_supersimilarity(&g, &init, &procs(5)).expect("five is prime");
+    assert!(labeling.all_processors_shadowed());
+    // Consequently no selection in L either.
+    assert!(!decide_selection(&g, Model::L).possible());
+}
+
+#[test]
+fn dp_prime_applies_to_any_prime_table() {
+    for n in [3, 5, 7, 11] {
+        let g = topology::philosophers_table(n);
+        let init = SystemInit::uniform(&g);
+        assert!(
+            theorem11_l_supersimilarity(&g, &init, &procs(n)).is_some(),
+            "table({n})"
+        );
+    }
+}
+
+#[test]
+fn six_table_is_symmetric_but_not_all_similar_in_l() {
+    // DP′'s geometry: all six philosophers are graph-symmetric, yet the
+    // alternating orientation means Theorem 11 cannot force similarity
+    // (6 is composite), and the orientation classes are L-consistent.
+    let g = topology::philosophers_alternating(6);
+    let init = SystemInit::uniform(&g);
+    for i in 1..6 {
+        assert!(are_symmetric(
+            &g,
+            Node::Proc(ProcId::new(0)),
+            Node::Proc(ProcId::new(i))
+        ));
+    }
+    assert!(theorem11_generator(&g, &init, &procs(6)).is_none());
+    // The canonical L-relabel splits adjacent philosophers.
+    let l = similarity(&g, Model::L);
+    for i in 0..6 {
+        let a = ProcId::new(i);
+        let b = ProcId::new((i + 1) % 6);
+        assert_ne!(
+            l.proc_label(a),
+            l.proc_label(b),
+            "adjacent {a},{b} split in L"
+        );
+    }
+}
+
+#[test]
+fn dp_behavioural_dichotomy_on_the_five_table() {
+    // Any deterministic symmetric program on the prime table: the
+    // round-robin schedule forces lockstep, so either no one eats or
+    // adjacent philosophers eat together. Check our representative
+    // program hits the starvation horn.
+    let g = Arc::new(topology::philosophers_table(5));
+    let init = SystemInit::uniform(&g);
+    let mut m = Machine::new(
+        Arc::clone(&g),
+        InstructionSet::L,
+        Arc::new(LockOrderPhilosopher::new(4, 3)),
+        &init,
+    )
+    .unwrap();
+    let mut sched = RoundRobin::new();
+    let mut excl = ExclusionMonitor::new(&g);
+    let mut meals = MealCounter::new(5);
+    let report = run(&mut m, &mut sched, 30_000, &mut [&mut excl, &mut meals]);
+    assert!(report.violation.is_none());
+    assert_eq!(meals.total(), 0, "deadlock: all hold their right fork");
+}
+
+#[test]
+fn dp_prime_solution_works_for_all_even_tables() {
+    for n in [6, 8, 12] {
+        let g = Arc::new(topology::philosophers_alternating(n));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(
+            Arc::clone(&g),
+            InstructionSet::L,
+            Arc::new(LockOrderPhilosopher::new(3, 2)),
+            &init,
+        )
+        .unwrap();
+        let mut sched = RandomFair::seeded(n as u64);
+        let mut excl = ExclusionMonitor::new(&g);
+        let mut meals = MealCounter::new(n);
+        let report = run(&mut m, &mut sched, 80_000, &mut [&mut excl, &mut meals]);
+        assert!(report.violation.is_none(), "n={n}");
+        assert!(meals.minimum() > 0, "n={n}: {:?}", meals.meals);
+    }
+}
+
+#[test]
+fn chandy_misra_solves_prime_tables_with_fairness() {
+    for n in [5, 7] {
+        let g = Arc::new(topology::philosophers_table(n));
+        let init = chandy_misra_init(&g);
+        let mut m = Machine::new(
+            Arc::clone(&g),
+            InstructionSet::L,
+            Arc::new(ChandyMisraPhilosopher::new(2, 2)),
+            &init,
+        )
+        .unwrap();
+        let mut sched = RandomFair::seeded(99 + n as u64);
+        let mut excl = ExclusionMonitor::new(&g);
+        let mut meals = MealCounter::new(n);
+        let report = run(&mut m, &mut sched, 150_000, &mut [&mut excl, &mut meals]);
+        assert!(report.violation.is_none(), "n={n}");
+        assert!(meals.minimum() > 0, "n={n}: {:?}", meals.meals);
+        assert!(
+            meals.fairness() > 0.7,
+            "n={n}: fairness {:?}",
+            meals.fairness()
+        );
+    }
+}
+
+#[test]
+fn lehmann_rabin_never_violates_and_everyone_eats() {
+    for seed in 0..4u64 {
+        let stats = measure_lehmann_rabin(5, seed, 80_000);
+        assert!(!stats.violated, "seed {seed}");
+        assert!(stats.min_meals() > 0, "seed {seed}: {:?}", stats.meals);
+    }
+}
+
+#[test]
+fn orientation_classes_have_expected_fork_structure() {
+    // Fig. 5 invariant: every fork is right-right or left-left.
+    let g = topology::philosophers_alternating(10);
+    let right = g.names().get("right").unwrap();
+    let left = g.names().get("left").unwrap();
+    let mut rr = 0;
+    let mut ll = 0;
+    for v in g.variables() {
+        let r = g.variable_n_neighbors(v, right).count();
+        let l = g.variable_n_neighbors(v, left).count();
+        match (r, l) {
+            (2, 0) => rr += 1,
+            (0, 2) => ll += 1,
+            other => panic!("fork {v} has mixed names {other:?}"),
+        }
+    }
+    assert_eq!(rr, 5);
+    assert_eq!(ll, 5);
+}

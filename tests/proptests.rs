@@ -1,0 +1,136 @@
+//! Property-based tests over randomly generated systems: the structural
+//! invariants of the similarity machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simsym::core::{
+    hopcroft_similarity, initial_partition, is_environment_consistent, orbit_labeling,
+    refinement_similarity, relabel_outcomes, relabel_round_robin, Model,
+};
+use simsym::graph::topology;
+use simsym::vm::{SystemInit, Value};
+use simsym_graph::ProcId;
+
+fn arb_system() -> impl Strategy<Value = (simsym::graph::SystemGraph, SystemInit)> {
+    (2usize..9, 1usize..6, 1usize..4, any::<u64>(), 0usize..4).prop_map(
+        |(procs, vars, names, seed, marks)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = topology::random_system(procs, vars, names, &mut rng);
+            let mut init = SystemInit::uniform(&g);
+            for i in 0..marks.min(procs) {
+                init.proc_values[i] = Value::from((i as i64 + 1) * 11);
+            }
+            (g, init)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn naive_and_hopcroft_always_agree((g, init) in arb_system()) {
+        for model in [Model::Q, Model::BoundedFairS] {
+            let a = refinement_similarity(&g, &init, model);
+            let b = hopcroft_similarity(&g, &init, model);
+            prop_assert_eq!(a, b, "model {}", model);
+        }
+    }
+
+    #[test]
+    fn similarity_refines_initial_partition((g, init) in arb_system()) {
+        let start = initial_partition(&g, &init);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        prop_assert!(theta.is_refinement_of(&start));
+    }
+
+    #[test]
+    fn similarity_is_a_fixpoint((g, init) in arb_system()) {
+        // Refining the fixpoint changes nothing.
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        let (again, changed) = simsym::core::refine_step(&g, &theta, Model::Q);
+        prop_assert!(!changed);
+        prop_assert_eq!(again, theta);
+    }
+
+    #[test]
+    fn computed_labelings_are_supersimilar((g, init) in arb_system()) {
+        for model in [Model::Q, Model::BoundedFairS] {
+            let theta = hopcroft_similarity(&g, &init, model);
+            prop_assert!(
+                is_environment_consistent(&g, &theta, model),
+                "model {}", model
+            );
+        }
+    }
+
+    #[test]
+    fn q_refines_s((g, init) in arb_system()) {
+        // The count rule splits at least as much as the set rule:
+        // Q-similarity refines S-similarity (the §9 hierarchy on
+        // labelings).
+        let q = hopcroft_similarity(&g, &init, Model::Q);
+        let s = hopcroft_similarity(&g, &init, Model::BoundedFairS);
+        prop_assert!(q.is_refinement_of(&s));
+    }
+
+    #[test]
+    fn orbits_refine_similarity((g, init) in arb_system()) {
+        // Theorem 10: symmetric ⟹ similar, so the orbit partition
+        // refines the Q-similarity partition.
+        let orbits = orbit_labeling(&g, &init);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        prop_assert!(orbits.is_refinement_of(&theta));
+    }
+
+    #[test]
+    fn round_robin_relabel_is_a_valid_outcome((g, _init) in arb_system()) {
+        // The canonical round-robin outcome appears in (or is consistent
+        // with) the enumerated outcome set.
+        let rr = relabel_round_robin(&g);
+        let set = relabel_outcomes(&g, 512);
+        if set.complete {
+            prop_assert!(
+                set.outcomes.contains(&rr),
+                "round-robin outcome missing from complete enumeration"
+            );
+        }
+        // Shape invariants either way.
+        prop_assert_eq!(rr.len(), g.processor_count());
+        for counts in &rr {
+            prop_assert_eq!(counts.len(), g.name_count());
+        }
+        // Per-variable ranks are a permutation of 0..degree.
+        let mut per_var: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for p in g.processors() {
+            for (ni, &v) in g.processor_neighbors(p).iter().enumerate() {
+                per_var.entry(v.index()).or_default().push(rr[p.index()][ni]);
+            }
+        }
+        for (v, mut ranks) in per_var {
+            ranks.sort_unstable();
+            let expect: Vec<usize> = (0..ranks.len()).collect();
+            prop_assert_eq!(ranks, expect, "variable v{} ranks", v);
+        }
+    }
+
+    #[test]
+    fn labelings_are_canonical((g, init) in arb_system()) {
+        // from_raw of a labeling's own slice is the identity.
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        let again = simsym::core::Labeling::from_raw(g.processor_count(), theta.as_slice());
+        prop_assert_eq!(again, theta);
+    }
+
+    #[test]
+    fn marked_processor_is_never_shadowed((g, mut init) in arb_system()) {
+        // Give processor 0 a globally unique initial value: it must be
+        // uniquely labeled.
+        init.proc_values[0] = Value::from(987_654_321i64);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        prop_assert!(theta
+            .uniquely_labeled_processors()
+            .contains(&ProcId::new(0)));
+    }
+}

@@ -1,0 +1,281 @@
+//! E4/E5/E6 — the selection algorithms end to end: Algorithm 2 (label
+//! learning), Algorithm 3 (families), Algorithm 4 (systems in L), across
+//! schedules and seeds, monitored for Uniqueness and Stability.
+
+use simsym::core::{
+    hopcroft_similarity, selection_program_q, Algorithm3, Algorithm4, Family, LabelLearner, Model,
+    DEFAULT_OUTCOME_BUDGET,
+};
+use simsym::graph::topology;
+use simsym::vm::{
+    run_until, BoundedFairRandom, InstructionSet, Machine, Program, RandomFair, Scheduler,
+    StabilityMonitor, SystemInit, UniquenessMonitor, Value,
+};
+use simsym_graph::ProcId;
+use std::sync::Arc;
+
+fn run_selection(
+    graph: &simsym::graph::SystemGraph,
+    isa: InstructionSet,
+    prog: Arc<dyn Program>,
+    init: &SystemInit,
+    sched: &mut dyn Scheduler,
+    max_steps: u64,
+) -> Vec<ProcId> {
+    let mut m = Machine::new(Arc::new(graph.clone()), isa, prog, init).expect("machine");
+    let mut uniq = UniquenessMonitor;
+    let mut stab = StabilityMonitor::default();
+    let report = run_until(
+        &mut m,
+        sched,
+        max_steps,
+        &mut [&mut uniq, &mut stab],
+        |mach| mach.selected_count() >= 1,
+    );
+    assert!(
+        report.violation.is_none(),
+        "violation: {:?}",
+        report.violation
+    );
+    // Run a little longer to ensure no second selection sneaks in.
+    let extra = run_until(
+        &mut m,
+        sched,
+        max_steps / 4,
+        &mut [&mut uniq, &mut stab],
+        |_| false,
+    );
+    assert!(
+        extra.violation.is_none(),
+        "late violation: {:?}",
+        extra.violation
+    );
+    m.selected()
+}
+
+#[test]
+fn algorithm2_learns_on_many_topologies_and_schedules() {
+    let cases = vec![
+        topology::figure2(),
+        topology::marked_ring(4),
+        topology::marked_ring(6),
+        topology::line(5),
+    ];
+    for g in cases {
+        let init = SystemInit::uniform(&g);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        for seed in 0..3u64 {
+            let learner = Arc::new(LabelLearner::new(&g, &init, &theta).unwrap());
+            let mut m =
+                Machine::new(Arc::new(g.clone()), InstructionSet::Q, learner, &init).unwrap();
+            let mut sched = RandomFair::seeded(seed);
+            let _ = run_until(&mut m, &mut sched, 300_000, &mut [], |mach| {
+                mach.graph()
+                    .processors()
+                    .all(|p| LabelLearner::is_done(mach.local(p)))
+            });
+            for p in g.processors() {
+                assert_eq!(
+                    LabelLearner::learned_label(m.local(p)),
+                    Some(theta.proc_label(p)),
+                    "{p} on {g:?} seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn select_elects_exactly_one_on_q_solvable_systems() {
+    for g in [topology::figure2(), topology::marked_ring(5)] {
+        let init = SystemInit::uniform(&g);
+        let prog = selection_program_q(&g, &init)
+            .expect("tables")
+            .expect("solvable in Q");
+        let prog: Arc<dyn Program> = Arc::new(prog);
+        for seed in 0..3u64 {
+            let mut sched = RandomFair::seeded(seed);
+            let selected = run_selection(
+                &g,
+                InstructionSet::Q,
+                Arc::clone(&prog),
+                &init,
+                &mut sched,
+                400_000,
+            );
+            assert_eq!(selected.len(), 1, "{g:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn algorithm3_family_selects_on_every_member() {
+    // Theorem 7: one program for a family of differently-marked rings.
+    let g = topology::uniform_ring(3);
+    let mut m0 = SystemInit::uniform(&g);
+    m0.proc_values[0] = Value::from(1);
+    let mut m1 = SystemInit::uniform(&g);
+    m1.proc_values[2] = Value::from(5);
+    let mut m2 = SystemInit::uniform(&g);
+    m2.proc_values[1] = Value::from(1);
+    let family = Family::new(g.clone(), vec![m0.clone(), m1.clone(), m2.clone()]).unwrap();
+    let prog: Arc<dyn Program> = Arc::new(
+        Algorithm3::for_family(&family)
+            .expect("tables")
+            .expect("family admits selection"),
+    );
+    for (i, member) in [m0, m1, m2].iter().enumerate() {
+        for seed in 0..2u64 {
+            let mut sched = RandomFair::seeded(seed * 7 + i as u64);
+            let selected = run_selection(
+                &g,
+                InstructionSet::Q,
+                Arc::clone(&prog),
+                member,
+                &mut sched,
+                600_000,
+            );
+            assert_eq!(selected.len(), 1, "member {i} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn algorithm4_selects_in_l_on_figure1_many_seeds() {
+    let g = topology::figure1();
+    let init = SystemInit::uniform(&g);
+    let k = 4;
+    let plan = Algorithm4::plan(&g, &init, k, false, DEFAULT_OUTCOME_BUDGET).unwrap();
+    let prog: Arc<dyn Program> = Arc::new(plan.program.expect("solvable in L"));
+    for seed in 0..8u64 {
+        let mut sched = BoundedFairRandom::new(2, k, seed);
+        let selected = run_selection(
+            &g,
+            InstructionSet::L,
+            Arc::clone(&prog),
+            &init,
+            &mut sched,
+            1_000_000,
+        );
+        assert_eq!(selected.len(), 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn algorithm4_star_scales() {
+    // A star where everyone names the hub identically: the lock race
+    // totally orders the processors, so L elects for any size.
+    for n in [3, 4] {
+        let g = topology::star(n);
+        let init = SystemInit::uniform(&g);
+        let k = n + 1;
+        let plan = Algorithm4::plan(&g, &init, k, false, 50_000).unwrap();
+        let prog: Arc<dyn Program> = Arc::new(
+            plan.program
+                .unwrap_or_else(|| panic!("star({n}) solvable in L")),
+        );
+        let mut sched = BoundedFairRandom::new(n, k, 17);
+        let selected = run_selection(
+            &g,
+            InstructionSet::L,
+            Arc::clone(&prog),
+            &init,
+            &mut sched,
+            2_000_000,
+        );
+        assert_eq!(selected.len(), 1, "star({n})");
+    }
+}
+
+#[test]
+fn lstar_selects_on_even_pair() {
+    let g = topology::uniform_ring(2);
+    let init = SystemInit::uniform(&g);
+    let plan = Algorithm4::plan(&g, &init, 2, true, 10_000).unwrap();
+    let prog: Arc<dyn Program> = Arc::new(plan.program.expect("L* solves the 2-ring"));
+    for seed in 0..4u64 {
+        let mut sched = BoundedFairRandom::new(2, 2, seed);
+        let selected = run_selection(
+            &g,
+            InstructionSet::LStar,
+            Arc::clone(&prog),
+            &init,
+            &mut sched,
+            1_000_000,
+        );
+        assert_eq!(selected.len(), 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn algorithm3_learner_only_learns_family_labels() {
+    // The bare family learner (no ELITE): every processor of each member
+    // ends with its family similarity label.
+    let g = topology::uniform_ring(3);
+    let mut a = SystemInit::uniform(&g);
+    a.proc_values[0] = Value::from(1);
+    let mut b = SystemInit::uniform(&g);
+    b.proc_values[1] = Value::from(2);
+    let family = Family::new(g.clone(), vec![a.clone(), b.clone()]).unwrap();
+    let learner = Arc::new(Algorithm3::learner_only(&family).expect("tables"));
+    // Member labels from the family analysis (phase-B label space).
+    for (mi, member) in [a, b].iter().enumerate() {
+        let mut m = Machine::new(
+            Arc::new(g.clone()),
+            InstructionSet::Q,
+            learner.clone(),
+            member,
+        )
+        .unwrap();
+        let mut sched = simsym::vm::RoundRobin::new();
+        let _ = run_until(&mut m, &mut sched, 600_000, &mut [], |mach| {
+            mach.graph()
+                .processors()
+                .all(|p| Algorithm3::is_done(mach.local(p)))
+        });
+        let labels: Vec<_> = g
+            .processors()
+            .map(|p| Algorithm3::learned_label(m.local(p)))
+            .collect();
+        assert!(
+            labels.iter().all(Option::is_some),
+            "member {mi}: all learn, got {labels:?}"
+        );
+        // Within a member, the marked processor is uniquely labeled.
+        let marked = if mi == 0 { 0 } else { 1 };
+        let marked_label = labels[marked];
+        assert!(
+            labels
+                .iter()
+                .enumerate()
+                .all(|(i, l)| i == marked || *l != marked_label),
+            "member {mi}: marked label must be unique, got {labels:?}"
+        );
+    }
+}
+
+#[test]
+fn algorithm4_on_figure2_in_l() {
+    // Figure 2 is already Q-solvable; in L the relabel family has 12
+    // members and selection still works — exercising multi-member ELITE
+    // construction end to end.
+    let g = topology::figure2();
+    let init = SystemInit::uniform(&g);
+    let k = 4;
+    let plan = Algorithm4::plan(&g, &init, k, false, DEFAULT_OUTCOME_BUDGET).unwrap();
+    assert!(plan.complete);
+    assert!(plan.member_labels.len() >= 2);
+    let prog: Arc<dyn Program> = Arc::new(plan.program.expect("solvable in L"));
+    for seed in 0..3u64 {
+        let mut sched = BoundedFairRandom::new(3, k, seed);
+        let selected = run_selection(
+            &g,
+            InstructionSet::L,
+            Arc::clone(&prog),
+            &init,
+            &mut sched,
+            3_000_000,
+        );
+        assert_eq!(selected.len(), 1, "seed {seed}");
+    }
+}

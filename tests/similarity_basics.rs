@@ -1,0 +1,163 @@
+//! E2 — Figure 1 and Theorems 2–4: the similarity relation, its
+//! operational meaning under round-robin schedules, and the labeling
+//! validators.
+
+use simsym::core::{
+    hopcroft_similarity, is_environment_consistent, refinement_similarity,
+    theorem10_orbits_are_supersimilar, Model,
+};
+use simsym::graph::topology;
+use simsym::vm::{
+    run, FnProgram, InstructionSet, Machine, RoundRobin, SimilarityObserver, SystemInit, Value,
+};
+use simsym_graph::ProcId;
+use std::sync::Arc;
+
+/// A little zoo of programs used to check the ∀-programs part of the
+/// similarity definition empirically.
+fn program_zoo() -> Vec<Arc<dyn simsym::vm::Program>> {
+    vec![
+        Arc::new(FnProgram::new("counter", |local, _ops| {
+            local.pc = local.pc.wrapping_add(1);
+        })),
+        Arc::new(FnProgram::new("poster", |local, ops| {
+            let names = ops.all_names();
+            let n = names[(local.pc as usize) % names.len()];
+            ops.post(n, Value::from(i64::from(local.pc)));
+            local.pc = local.pc.wrapping_add(1);
+        })),
+        Arc::new(FnProgram::new("peek-fold", |local, ops| {
+            let names = ops.all_names();
+            let n = names[(local.pc as usize) % names.len()];
+            let view = ops.peek(n);
+            local.set(
+                "acc",
+                Value::tuple([local.get("acc"), Value::bag(view.posted)]),
+            );
+            local.pc = local.pc.wrapping_add(1);
+        })),
+    ]
+}
+
+#[test]
+fn figure1_round_robin_coincides_for_every_program() {
+    // Theorem 2's engine: under round-robin the two processors of Fig. 1
+    // pass through identical states at every round boundary, whatever the
+    // program does.
+    let g = Arc::new(topology::figure1());
+    let init = SystemInit::uniform(&g);
+    for prog in program_zoo() {
+        let name = prog.name().to_owned();
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::Q, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let class: Vec<ProcId> = g.processors().collect();
+        let mut obs = SimilarityObserver::new(vec![class], 2);
+        let _ = run(&mut m, &mut sched, 400, &mut [&mut obs]);
+        assert_eq!(
+            obs.coincidence_rate(),
+            Some(1.0),
+            "program {name} must keep the pair in lockstep"
+        );
+    }
+}
+
+#[test]
+fn similarity_classes_coincide_under_round_robin_on_rings() {
+    let g = Arc::new(topology::uniform_ring(5));
+    let init = SystemInit::uniform(&g);
+    let theta = hopcroft_similarity(&g, &init, Model::Q);
+    let classes: Vec<Vec<ProcId>> = theta.proc_classes();
+    for prog in program_zoo() {
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::Q, prog, &init).unwrap();
+        let mut sched = RoundRobin::new();
+        let mut obs = SimilarityObserver::new(classes.clone(), 5);
+        let _ = run(&mut m, &mut sched, 1_000, &mut [&mut obs]);
+        assert_eq!(obs.coincidence_rate(), Some(1.0));
+    }
+}
+
+#[test]
+fn dissimilar_processors_diverge() {
+    // Marked ring: the similarity labeling separates everyone, and indeed
+    // a state-dependent program drives them apart.
+    let g = Arc::new(topology::uniform_ring(4));
+    let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+    let prog: Arc<dyn simsym::vm::Program> = Arc::new(FnProgram::new("spread", |local, ops| {
+        let names = ops.all_names();
+        let n = names[(local.pc as usize) % names.len()];
+        if local.pc % 2 == 0 {
+            ops.post(n, local.get("init"));
+        } else {
+            let view = ops.peek(n);
+            local.set("seen", Value::bag(view.posted));
+        }
+        local.pc = local.pc.wrapping_add(1);
+    }));
+    let mut m = Machine::new(Arc::clone(&g), InstructionSet::Q, prog, &init).unwrap();
+    let mut sched = RoundRobin::new();
+    let all: Vec<ProcId> = g.processors().collect();
+    let mut obs = SimilarityObserver::new(vec![all], 4);
+    let _ = run(&mut m, &mut sched, 400, &mut [&mut obs]);
+    assert_eq!(
+        obs.coincidence_rate(),
+        Some(0.0),
+        "marked ring must diverge"
+    );
+}
+
+#[test]
+fn naive_and_hopcroft_agree_on_every_paper_figure() {
+    for g in [
+        topology::figure1(),
+        topology::figure2(),
+        topology::figure3(),
+        topology::philosophers_table(5),
+        topology::philosophers_alternating(6),
+        topology::marked_ring(6),
+        topology::line(5),
+    ] {
+        let init = SystemInit::uniform(&g);
+        for model in [Model::Q, Model::BoundedFairS] {
+            assert_eq!(
+                refinement_similarity(&g, &init, model),
+                hopcroft_similarity(&g, &init, model),
+                "{g:?} under {model}"
+            );
+        }
+    }
+}
+
+#[test]
+fn computed_labelings_are_environment_consistent() {
+    // Theorem 4's premise holds for Algorithm 1's output: the similarity
+    // labeling is a supersimilarity labeling.
+    for g in [
+        topology::figure2(),
+        topology::marked_ring(5),
+        topology::philosophers_alternating(6),
+    ] {
+        let init = SystemInit::uniform(&g);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        assert!(is_environment_consistent(&g, &theta, Model::Q));
+        let theta_s = hopcroft_similarity(&g, &init, Model::BoundedFairS);
+        assert!(is_environment_consistent(&g, &theta_s, Model::BoundedFairS));
+    }
+}
+
+#[test]
+fn theorem10_pipeline_on_figures() {
+    for g in [
+        topology::figure1(),
+        topology::uniform_ring(6),
+        topology::philosophers_alternating(8),
+    ] {
+        let init = SystemInit::uniform(&g);
+        // Panics internally if the orbit partition violated Theorem 10.
+        let orbits = theorem10_orbits_are_supersimilar(&g, &init);
+        let theta = hopcroft_similarity(&g, &init, Model::Q);
+        assert!(
+            orbits.is_refinement_of(&theta),
+            "symmetric ⟹ similar in Q on {g:?}"
+        );
+    }
+}
