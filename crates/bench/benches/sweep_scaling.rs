@@ -1,0 +1,59 @@
+//! Parallel sweep throughput: how `engine::sweep` scales with worker
+//! threads when fanning one system over many seeds and schedule families.
+//!
+//! The workload is a uniform ring running the shared-memory mixer program —
+//! enough per-seed work that thread scaling is visible, small enough that
+//! the suite stays quick. On a multi-core host, wall-clock per sweep
+//! should drop going 1 → 2 → 4 threads (>1.5× at 4 threads on 64+ seeds);
+//! on a single-core box the threaded variants only measure overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_graph::topology;
+use simsym_vm::engine::sweep::{sweep, SweepConfig, SweepScheduler};
+use simsym_vm::{FnProgram, InstructionSet, Machine, SystemInit, Value};
+use std::sync::Arc;
+
+const RING: usize = 8;
+const SEEDS: u64 = 64;
+const MAX_STEPS: u64 = 500;
+
+fn build_ring() -> Machine {
+    let g = Arc::new(topology::uniform_ring(RING));
+    let init = SystemInit::uniform(&g);
+    let prog = Arc::new(FnProgram::new("mix", |local, ops| {
+        let names = ops.all_names();
+        let name = names[(local.pc as usize) % names.len()];
+        if local.pc % 2 == 0 {
+            ops.write(name, Value::from(i64::from(local.pc)));
+        } else {
+            let v = ops.read(name);
+            local.set("acc", Value::tuple([local.get("acc"), v]));
+        }
+        local.pc = local.pc.wrapping_add(1);
+    }));
+    Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+}
+
+fn sweep_scaling(c: &mut Criterion) {
+    let kinds = vec![
+        SweepScheduler::RoundRobin,
+        SweepScheduler::RandomFair,
+        SweepScheduler::BoundedFair { k: 2 * RING },
+    ];
+    let mut group = c.benchmark_group("sweep/uniform-ring");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &threads in &[1usize, 2, 4, 8] {
+        let config = SweepConfig::new(kinds.clone(), SEEDS, MAX_STEPS, threads);
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &config,
+            |b, config| b.iter(|| black_box(sweep(build_ring, config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scaling);
+criterion_main!(benches);

@@ -18,10 +18,10 @@ use simsym_philo::{
     chandy_misra_init, measure_lehmann_rabin, ChandyMisraPhilosopher, ExclusionMonitor,
     LehmannRabinPhilosopher, LockOrderPhilosopher, MealCounter,
 };
+use simsym_vm::engine::sweep::{sweep, SweepConfig, SweepScheduler};
 use simsym_vm::{
-    explore, find_double_selection, run, run_until, BoundedFairRandom, ExploreConfig, FnProgram,
-    InstructionSet, Machine, Program, RandomFair, RoundRobin, SimilarityObserver, SystemInit,
-    Value,
+    explore, find_double_selection, run, run_until, ExploreConfig, FnProgram, InstructionSet,
+    Machine, Program, RandomFair, RoundRobin, SimilarityObserver, SystemInit, Value,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -278,25 +278,39 @@ fn e6() {
     let k = 4;
     let plan = Algorithm4::plan(&g, &init, k, false, DEFAULT_OUTCOME_BUDGET).unwrap();
     let prog: Arc<dyn Program> = Arc::new(plan.program.expect("solvable"));
-    let mut wins = [0u32; 2];
     let trials = 20;
-    for seed in 0..trials {
-        let mut m = Machine::new(
-            Arc::new(g.clone()),
-            InstructionSet::L,
-            Arc::clone(&prog),
-            &init,
-        )
-        .unwrap();
-        let mut sched = BoundedFairRandom::new(2, k, seed);
-        let _ = run_until(&mut m, &mut sched, 2_000_000, &mut [], |mach| {
-            mach.selected_count() >= 1
-        });
-        let sel = m.selected();
-        assert_eq!(sel.len(), 1);
-        wins[sel[0].index()] += 1;
+    let graph = Arc::new(g.clone());
+    let report = sweep(
+        || {
+            Machine::new(
+                Arc::clone(&graph),
+                InstructionSet::L,
+                Arc::clone(&prog),
+                &init,
+            )
+            .unwrap()
+        },
+        &SweepConfig::new(
+            vec![SweepScheduler::BoundedFair { k }],
+            trials,
+            2_000_000,
+            4,
+        ),
+    );
+    let mut wins = [0u32; 2];
+    for o in &report.outcomes {
+        assert!(o.clean_selection, "seed {}: {:?}", o.seed, o.selected);
+        wins[o.selected[0].index()] += 1;
     }
     println!("  {trials} runs under 4-bounded-fair schedules: wins p0={} p1={} (schedule-dependent, always unique)", wins[0], wins[1]);
+    for s in report.stats() {
+        println!(
+            "  sweep[{}]: selection rate {:.2}, mean steps to selection {:.1}",
+            s.scheduler,
+            s.selection_rate,
+            s.mean_steps_to_selection.unwrap_or(f64::NAN)
+        );
+    }
     println!(
         "  uniform 3-ring in L: {}",
         decide_selection(&topology::uniform_ring(3), Model::L)

@@ -585,9 +585,9 @@ mod tests {
     use crate::hopcroft_similarity;
     use crate::Model;
     use simsym_graph::{topology, ProcId};
+    use simsym_vm::engine::{self, stop};
     use simsym_vm::{
-        run_until, BoundedFairRandom, InstructionSet, Machine, RandomFair, RoundRobin, Scheduler,
-        SystemInit,
+        BoundedFairRandom, InstructionSet, Machine, RandomFair, RoundRobin, Scheduler, SystemInit,
     };
 
     /// Runs the learner until every processor is done (or the budget runs
@@ -607,11 +607,17 @@ mod tests {
             init,
         )
         .expect("valid machine");
-        let report = run_until(&mut m, sched, max_steps, &mut [], |mach| {
-            mach.graph()
-                .processors()
-                .all(|p| LabelLearner::is_done(mach.local(p)))
-        });
+        let report = engine::run(
+            &mut m,
+            sched,
+            max_steps,
+            &mut [],
+            &mut stop::when(|mach: &Machine| {
+                mach.graph()
+                    .processors()
+                    .all(|p| LabelLearner::is_done(mach.local(p)))
+            }),
+        );
         let all_done = m
             .graph()
             .processors()

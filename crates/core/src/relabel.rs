@@ -340,10 +340,9 @@ pub fn synthesize_schedule(graph: &SystemGraph, outcome: &RelabelOutcome) -> Opt
         .variables()
         .map(|v| vec![None; graph.variable_degree(v)])
         .collect();
-    for p in 0..procs {
-        for n in 0..names {
+    for (p, ranks) in outcome.iter().enumerate() {
+        for (n, &rank) in ranks.iter().enumerate() {
             let v = graph.n_nbr(ProcId::new(p), simsym_graph::NameId::new(n));
-            let rank = outcome[p][n];
             let slot = per_var.get_mut(v.index())?.get_mut(rank)?;
             if slot.is_some() {
                 return None; // duplicate rank

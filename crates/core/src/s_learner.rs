@@ -409,9 +409,10 @@ impl SLearner {
 mod tests {
     use super::*;
     use simsym_graph::{topology, ProcId};
+    use simsym_vm::engine::{self, stop};
     use simsym_vm::{
-        run_until, BoundedFairRandom, InstructionSet, Machine, RoundRobin, Scheduler,
-        StabilityMonitor, UniquenessMonitor,
+        BoundedFairRandom, InstructionSet, Machine, RoundRobin, Scheduler, StabilityMonitor,
+        UniquenessMonitor,
     };
 
     fn learn_s(
@@ -424,11 +425,17 @@ mod tests {
         let prog = Arc::new(SLearner::new(graph, init, k).expect("tables"));
         let mut m =
             Machine::new(Arc::new(graph.clone()), InstructionSet::S, prog, init).expect("machine");
-        let _ = run_until(&mut m, sched, max_steps, &mut [], |mach| {
-            mach.graph()
-                .processors()
-                .all(|p| SLearner::is_done(mach.local(p)))
-        });
+        let _ = engine::run(
+            &mut m,
+            sched,
+            max_steps,
+            &mut [],
+            &mut stop::when(|mach: &Machine| {
+                mach.graph()
+                    .processors()
+                    .all(|p| SLearner::is_done(mach.local(p)))
+            }),
+        );
         let done = m
             .graph()
             .processors()
@@ -525,12 +532,12 @@ mod tests {
         let mut sched = BoundedFairRandom::new(5, 6, 11);
         let mut uniq = UniquenessMonitor;
         let mut stab = StabilityMonitor::default();
-        let report = run_until(
+        let report = engine::run(
             &mut m,
             &mut sched,
             3_000_000,
             &mut [&mut uniq, &mut stab],
-            |mach| mach.selected_count() >= 1,
+            &mut stop::AnySelected,
         );
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert_eq!(m.selected(), vec![ProcId::new(0)]);

@@ -667,12 +667,13 @@ impl Algorithm4 {
 mod tests {
     use super::*;
     use simsym_graph::{topology, ProcId};
+    use simsym_vm::engine::{self, stop, StopCondition};
     use simsym_vm::{
-        run_until, BoundedFairRandom, InstructionSet, Machine, RoundRobin, Scheduler,
-        StabilityMonitor, UniquenessMonitor,
+        BoundedFairRandom, InstructionSet, Machine, RoundRobin, Scheduler, StabilityMonitor,
+        UniquenessMonitor,
     };
 
-    fn run_to_selection(
+    fn selection_outcome(
         graph: &SystemGraph,
         isa: InstructionSet,
         prog: Arc<dyn Program>,
@@ -683,19 +684,19 @@ mod tests {
         let mut m = Machine::new(Arc::new(graph.clone()), isa, prog, init).expect("machine");
         let mut uniq = UniquenessMonitor;
         let mut stab = StabilityMonitor::default();
-        let report = run_until(
+        // Stop once someone selected *and* everyone has settled.
+        let settled = stop::when(|mach: &Machine| {
+            mach.graph().processors().all(|p| {
+                let l = mach.local(p);
+                l.pc == u32::MAX || l.selected
+            })
+        });
+        let report = engine::run(
             &mut m,
             sched,
             max_steps,
             &mut [&mut uniq, &mut stab],
-            |mach| {
-                mach.selected_count() >= 1
-                    && mach.graph().processors().all(|p| {
-                        // Stop when someone selected and everyone has settled.
-                        let l = mach.local(p);
-                        l.pc == u32::MAX || l.selected
-                    })
-            },
+            &mut StopCondition::<Machine>::and(stop::AnySelected, settled),
         );
         (m.selected(), report.violation)
     }
@@ -708,7 +709,7 @@ mod tests {
             .expect("tables generate")
             .expect("marked ring admits selection");
         let mut sched = RoundRobin::new();
-        let (selected, violation) = run_to_selection(
+        let (selected, violation) = selection_outcome(
             &g,
             InstructionSet::Q,
             Arc::new(prog),
@@ -744,7 +745,7 @@ mod tests {
             .expect("tables")
             .expect("p3 is uniquely labeled");
         let mut sched = RoundRobin::new();
-        let (selected, violation) = run_to_selection(
+        let (selected, violation) = selection_outcome(
             &g,
             InstructionSet::Q,
             Arc::new(prog),
@@ -773,7 +774,7 @@ mod tests {
         );
         for init in [&a, &b] {
             let mut sched = RoundRobin::new();
-            let (selected, violation) = run_to_selection(
+            let (selected, violation) = selection_outcome(
                 &g,
                 InstructionSet::Q,
                 Arc::clone(&prog),
@@ -813,7 +814,7 @@ mod tests {
         let prog: Arc<dyn Program> = Arc::new(plan.program.expect("figure 1 selects in L"));
         for seed in 0..5 {
             let mut sched = BoundedFairRandom::new(2, k, seed);
-            let (selected, violation) = run_to_selection(
+            let (selected, violation) = selection_outcome(
                 &g,
                 InstructionSet::L,
                 Arc::clone(&prog),
@@ -851,7 +852,7 @@ mod tests {
         let prog: Arc<dyn Program> = Arc::new(plan.program.expect("L* elects on the 2-ring"));
         for seed in 0..5 {
             let mut sched = BoundedFairRandom::new(2, 2, seed);
-            let (selected, violation) = run_to_selection(
+            let (selected, violation) = selection_outcome(
                 &g,
                 InstructionSet::LStar,
                 Arc::clone(&prog),

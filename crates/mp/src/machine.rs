@@ -8,9 +8,11 @@
 
 use crate::MpNetwork;
 use simsym_graph::ProcId;
-use simsym_vm::{LocalState, Value};
+use simsym_vm::{LocalState, OpKind, StepOp, System, Value};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A program for message-passing processors.
@@ -39,6 +41,7 @@ pub struct MpOps<'m> {
     queues: &'m mut [VecDeque<Value>],
     proc: ProcId,
     ops_used: u32,
+    op: Option<StepOp>,
 }
 
 impl<'m> MpOps<'m> {
@@ -52,12 +55,16 @@ impl<'m> MpOps<'m> {
         self.net.in_neighbors(self.proc).len()
     }
 
-    fn charge(&mut self) {
+    fn charge(&mut self, kind: OpKind) {
         self.ops_used += 1;
         assert!(
             self.ops_used <= 1,
             "program performed a second channel operation within one atomic step"
         );
+        self.op = Some(StepOp {
+            kind,
+            contended: false,
+        });
     }
 
     fn channel_index(&self, from: ProcId, to: ProcId) -> usize {
@@ -75,7 +82,7 @@ impl<'m> MpOps<'m> {
     /// Panics if the port is out of range or a second operation is
     /// attempted this step.
     pub fn send(&mut self, port: usize, value: Value) {
-        self.charge();
+        self.charge(OpKind::Send);
         let to = self.net.out_neighbors(self.proc)[port];
         let ci = self.channel_index(self.proc, to);
         self.queues[ci].push_back(value);
@@ -88,7 +95,7 @@ impl<'m> MpOps<'m> {
     /// Panics if the port is out of range or a second operation is
     /// attempted this step.
     pub fn recv(&mut self, port: usize) -> Option<Value> {
-        self.charge();
+        self.charge(OpKind::Recv);
         let from = self.net.in_neighbors(self.proc)[port];
         let ci = self.channel_index(from, self.proc);
         self.queues[ci].pop_front()
@@ -103,6 +110,7 @@ pub struct MpMachine {
     locals: Vec<LocalState>,
     queues: Vec<VecDeque<Value>>,
     steps: u64,
+    last_op: Option<StepOp>,
 }
 
 impl MpMachine {
@@ -121,6 +129,7 @@ impl MpMachine {
             locals,
             queues,
             steps: 0,
+            last_op: None,
         }
     }
 
@@ -150,36 +159,63 @@ impl MpMachine {
     /// Executes one step of `p`.
     pub fn step(&mut self, p: ProcId) {
         let mut local = std::mem::take(&mut self.locals[p.index()]);
-        {
+        let op = {
             let mut ops = MpOps {
                 net: &self.net,
                 queues: &mut self.queues,
                 proc: p,
                 ops_used: 0,
+                op: None,
             };
             self.program.step(&mut local, &mut ops);
-        }
+            ops.op
+        };
         self.locals[p.index()] = local;
         self.steps += 1;
+        self.last_op = Some(op.unwrap_or(StepOp {
+            kind: OpKind::Local,
+            contended: false,
+        }));
     }
 
-    /// Runs round-robin until `stop` or the step budget is exhausted;
-    /// returns the steps taken.
-    pub fn run_round_robin<F: FnMut(&MpMachine) -> bool>(
-        &mut self,
-        max_steps: u64,
-        mut stop: F,
-    ) -> u64 {
-        let n = self.net.processor_count();
-        let mut taken = 0;
-        while taken < max_steps {
-            if stop(self) {
-                break;
-            }
-            self.step(ProcId::new((taken % n as u64) as usize));
-            taken += 1;
-        }
-        taken
+    /// What the most recent step did (`None` before the first step).
+    pub fn last_op(&self) -> Option<StepOp> {
+        self.last_op
+    }
+
+    /// A 64-bit fingerprint of the global state (local states plus channel
+    /// contents).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.locals.hash(&mut h);
+        self.queues.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl System for MpMachine {
+    fn processor_count(&self) -> usize {
+        self.net.processor_count()
+    }
+
+    fn step(&mut self, p: ProcId) {
+        MpMachine::step(self, p);
+    }
+
+    fn steps(&self) -> u64 {
+        MpMachine::steps(self)
+    }
+
+    fn selected(&self) -> Vec<ProcId> {
+        MpMachine::selected(self)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        MpMachine::fingerprint(self)
+    }
+
+    fn last_op(&self) -> Option<StepOp> {
+        MpMachine::last_op(self)
     }
 }
 
@@ -339,6 +375,7 @@ impl MpProgram for ChangRoberts {
 mod tests {
     use super::*;
     use crate::similarity::{mp_similarity, MpModel};
+    use simsym_vm::{run_until, RoundRobin};
 
     fn uniform(n: usize) -> Vec<Value> {
         vec![Value::Unit; n]
@@ -358,7 +395,9 @@ mod tests {
         let net = Arc::new(MpNetwork::ring_unidirectional(5));
         let ids: Vec<Value> = [3, 1, 4, 2, 5].into_iter().map(Value::from).collect();
         let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &ids);
-        m.run_round_robin(10_000, |m| !m.selected().is_empty());
+        let _ = run_until(&mut m, &mut RoundRobin::new(), 10_000, &mut [], |m| {
+            !m.selected().is_empty()
+        });
         assert_eq!(m.selected(), vec![ProcId::new(4)], "max id wins");
     }
 
@@ -369,7 +408,9 @@ mod tests {
         let net = Arc::new(MpNetwork::ring_unidirectional(4));
         let ids = vec![Value::from(7); 4];
         let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &ids);
-        m.run_round_robin(10_000, |m| m.selected().len() >= 4);
+        let _ = run_until(&mut m, &mut RoundRobin::new(), 10_000, &mut [], |m| {
+            m.selected().len() >= 4
+        });
         assert_eq!(m.selected().len(), 4);
     }
 
@@ -380,7 +421,7 @@ mod tests {
         init[1] = Value::from(9);
         let prog = Arc::new(ViewLearner { rounds: 5 });
         let mut m = MpMachine::new(Arc::clone(&net), prog, &init);
-        m.run_round_robin(100_000, |m| {
+        let _ = run_until(&mut m, &mut RoundRobin::new(), 100_000, &mut [], |m| {
             m.net()
                 .processors()
                 .all(|p| m.local(p).get("round").as_int() == Some(5))
@@ -404,7 +445,7 @@ mod tests {
         let net = Arc::new(MpNetwork::ring_unidirectional(3));
         let prog = Arc::new(ViewLearner { rounds: 4 });
         let mut m = MpMachine::new(Arc::clone(&net), prog, &uniform(3));
-        m.run_round_robin(100_000, |m| {
+        let _ = run_until(&mut m, &mut RoundRobin::new(), 100_000, &mut [], |m| {
             m.net()
                 .processors()
                 .all(|p| m.local(p).get("round").as_int() == Some(4))
@@ -420,7 +461,7 @@ mod tests {
         let net = Arc::new(MpNetwork::chain(3));
         let prog = Arc::new(ViewLearner { rounds: 3 });
         let mut m = MpMachine::new(Arc::clone(&net), prog, &uniform(3));
-        m.run_round_robin(100_000, |m| {
+        let _ = run_until(&mut m, &mut RoundRobin::new(), 100_000, &mut [], |m| {
             m.net()
                 .processors()
                 .all(|p| m.local(p).get("round").as_int() == Some(3))

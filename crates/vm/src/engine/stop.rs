@@ -1,0 +1,155 @@
+//! Declarative stop conditions for engine runs.
+//!
+//! A [`StopCondition`] is consulted *before* every step; when it returns
+//! `true` the run ends cleanly with [`StopReason::Condition`]. Conditions
+//! compose with [`StopCondition::or`]/[`StopCondition::and`], and any
+//! `FnMut(&S) -> bool` closure is a condition, so ad-hoc predicates keep
+//! working where the named ones don't fit.
+//!
+//! [`StopReason::Condition`]: crate::StopReason::Condition
+
+use crate::engine::System;
+
+/// Decides whether an engine run should stop before the next step.
+pub trait StopCondition<S: ?Sized> {
+    /// `true` to stop the run now.
+    fn should_stop(&mut self, system: &S) -> bool;
+
+    /// Stops when either condition holds.
+    fn or<O: StopCondition<S>>(self, other: O) -> Or<Self, O>
+    where
+        Self: Sized,
+    {
+        Or(self, other)
+    }
+
+    /// Stops only when both conditions hold.
+    fn and<O: StopCondition<S>>(self, other: O) -> And<Self, O>
+    where
+        Self: Sized,
+    {
+        And(self, other)
+    }
+}
+
+impl<S: ?Sized, F: FnMut(&S) -> bool> StopCondition<S> for F {
+    fn should_stop(&mut self, system: &S) -> bool {
+        self(system)
+    }
+}
+
+/// Never stops — the run ends only on the step budget or a violation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Never;
+
+impl<S: ?Sized> StopCondition<S> for Never {
+    fn should_stop(&mut self, _system: &S) -> bool {
+        false
+    }
+}
+
+/// Stops as soon as any processor has selected itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnySelected;
+
+impl<S: System + ?Sized> StopCondition<S> for AnySelected {
+    fn should_stop(&mut self, system: &S) -> bool {
+        system.selected_count() >= 1
+    }
+}
+
+/// Stops once at least `n` processors are selected.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectedAtLeast(pub usize);
+
+impl<S: System + ?Sized> StopCondition<S> for SelectedAtLeast {
+    fn should_stop(&mut self, system: &S) -> bool {
+        system.selected_count() >= self.0
+    }
+}
+
+/// Stops when every processor is selected.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllSelected;
+
+impl<S: System + ?Sized> StopCondition<S> for AllSelected {
+    fn should_stop(&mut self, system: &S) -> bool {
+        system.selected_count() >= system.processor_count()
+    }
+}
+
+/// Disjunction of two conditions (see [`StopCondition::or`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Or<A, B>(A, B);
+
+impl<S: ?Sized, A: StopCondition<S>, B: StopCondition<S>> StopCondition<S> for Or<A, B> {
+    fn should_stop(&mut self, system: &S) -> bool {
+        // Evaluate both: conditions may carry state they update per call.
+        let a = self.0.should_stop(system);
+        let b = self.1.should_stop(system);
+        a || b
+    }
+}
+
+/// Conjunction of two conditions (see [`StopCondition::and`]).
+#[derive(Clone, Copy, Debug)]
+pub struct And<A, B>(A, B);
+
+impl<S: ?Sized, A: StopCondition<S>, B: StopCondition<S>> StopCondition<S> for And<A, B> {
+    fn should_stop(&mut self, system: &S) -> bool {
+        let a = self.0.should_stop(system);
+        let b = self.1.should_stop(system);
+        a && b
+    }
+}
+
+/// Wraps a closure as a named condition; identical to the blanket
+/// `FnMut(&S) -> bool` impl but handy when a concrete type is needed.
+pub fn when<S: ?Sized, F: FnMut(&S) -> bool>(f: F) -> F {
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnProgram, InstructionSet, Machine, SystemInit};
+    use simsym_graph::{topology, ProcId};
+    use std::sync::Arc;
+
+    fn selecting_machine(n: usize) -> Machine {
+        let g = Arc::new(topology::uniform_ring(n));
+        let prog = Arc::new(FnProgram::new("select-all", |local, _ops| {
+            local.selected = true;
+        }));
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+    }
+
+    #[test]
+    fn named_conditions_track_selection() {
+        let mut m = selecting_machine(3);
+        assert!(!AnySelected.should_stop(&m));
+        assert!(!AllSelected.should_stop(&m));
+        m.step(ProcId::new(0));
+        assert!(AnySelected.should_stop(&m));
+        assert!(!SelectedAtLeast(2).should_stop(&m));
+        m.step(ProcId::new(1));
+        m.step(ProcId::new(2));
+        assert!(SelectedAtLeast(2).should_stop(&m));
+        assert!(AllSelected.should_stop(&m));
+        assert!(!Never.should_stop(&m));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut m = selecting_machine(2);
+        m.step(ProcId::new(0));
+        let mut either = StopCondition::<Machine>::or(AnySelected, Never);
+        assert!(either.should_stop(&m));
+        let mut both = StopCondition::<Machine>::and(AnySelected, AllSelected);
+        assert!(!both.should_stop(&m));
+        let mut with_closure =
+            StopCondition::<Machine>::or(Never, when(|mach: &Machine| mach.steps() >= 1));
+        assert!(with_closure.should_stop(&m));
+    }
+}

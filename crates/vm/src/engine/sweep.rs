@@ -1,0 +1,344 @@
+//! Parallel schedule sweeps: fan one system over many seeds and schedule
+//! classes, aggregate the outcomes.
+//!
+//! The paper's positive results are statements like "under every
+//! bounded-fair schedule, the protocol selects" — empirically that is a
+//! sweep: run the same system under many sampled schedules of a class and
+//! aggregate selection rate and steps-to-convergence. [`sweep`] does this
+//! on scoped threads; the outcome list is **deterministic** — kind-major,
+//! seed-minor order, independent of the thread count — because every run
+//! is fully determined by its `(scheduler kind, seed)` pair.
+
+use crate::engine::{self, stop, System};
+use crate::{BoundedFairRandom, RandomFair, RoundRobin, ScheduleKind, Scheduler};
+use simsym_graph::ProcId;
+use std::fmt;
+
+/// A scheduler family a sweep can instantiate per seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepScheduler {
+    /// Deterministic round-robin (the seed is ignored; included so sweeps
+    /// can baseline against the paper's canonical schedule).
+    RoundRobin,
+    /// Uniformly random fair scheduling, seeded per run.
+    RandomFair,
+    /// `k`-bounded-fair random scheduling, seeded per run.
+    BoundedFair {
+        /// The fairness window (must be ≥ the processor count).
+        k: usize,
+    },
+}
+
+impl SweepScheduler {
+    /// Stable label used in outcome rows and stats tables.
+    pub fn label(&self) -> String {
+        match self {
+            SweepScheduler::RoundRobin => "round_robin".to_owned(),
+            SweepScheduler::RandomFair => "random_fair".to_owned(),
+            SweepScheduler::BoundedFair { k } => format!("bounded_fair(k={k})"),
+        }
+    }
+
+    /// The schedule class this family realizes.
+    pub fn kind(&self, procs: usize) -> ScheduleKind {
+        match self {
+            SweepScheduler::RoundRobin => ScheduleKind::BoundedFair(procs),
+            SweepScheduler::RandomFair => ScheduleKind::Fair,
+            SweepScheduler::BoundedFair { k } => ScheduleKind::BoundedFair(*k),
+        }
+    }
+
+    fn build<S: System>(&self, procs: usize, seed: u64) -> Box<dyn Scheduler<S>> {
+        match self {
+            SweepScheduler::RoundRobin => Box::new(RoundRobin::new()),
+            SweepScheduler::RandomFair => Box::new(RandomFair::seeded(seed)),
+            SweepScheduler::BoundedFair { k } => Box::new(BoundedFairRandom::new(procs, *k, seed)),
+        }
+    }
+}
+
+impl fmt::Display for SweepScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// What to sweep: scheduler families × seeds, a step budget, and a thread
+/// count.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Scheduler families to sweep (outer loop).
+    pub kinds: Vec<SweepScheduler>,
+    /// Seeds per family (inner loop).
+    pub seeds: Vec<u64>,
+    /// Step budget per run.
+    pub max_steps: u64,
+    /// Worker threads (`0` and `1` both mean serial).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// A sweep over `count` consecutive seeds starting at 0.
+    pub fn new(kinds: Vec<SweepScheduler>, count: u64, max_steps: u64, threads: usize) -> Self {
+        SweepConfig {
+            kinds,
+            seeds: (0..count).collect(),
+            max_steps,
+            threads,
+        }
+    }
+}
+
+/// The result of one run within a sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepOutcome {
+    /// Label of the scheduler family ([`SweepScheduler::label`]).
+    pub scheduler: String,
+    /// The seed this run used.
+    pub seed: u64,
+    /// Steps executed before the run stopped.
+    pub steps: u64,
+    /// Selected processors at the end.
+    pub selected: Vec<ProcId>,
+    /// Whether the run ended with exactly one selected processor and no
+    /// violation.
+    pub clean_selection: bool,
+    /// Fingerprint of the final state.
+    pub final_fingerprint: u64,
+}
+
+/// Aggregated statistics for one scheduler family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KindStats {
+    /// Label of the scheduler family.
+    pub scheduler: String,
+    /// Runs performed.
+    pub runs: usize,
+    /// Runs that ended in a clean (unique) selection.
+    pub selections: usize,
+    /// `selections / runs`.
+    pub selection_rate: f64,
+    /// Mean steps of the selecting runs (`None` if none selected).
+    pub mean_steps_to_selection: Option<f64>,
+}
+
+/// All outcomes of a sweep, in deterministic kind-major seed-minor order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// One outcome per `(kind, seed)` pair, kind-major.
+    pub outcomes: Vec<SweepOutcome>,
+}
+
+impl SweepReport {
+    /// Per-family aggregate statistics, in the configured family order.
+    pub fn stats(&self) -> Vec<KindStats> {
+        let mut order: Vec<&str> = Vec::new();
+        for o in &self.outcomes {
+            if !order.contains(&o.scheduler.as_str()) {
+                order.push(&o.scheduler);
+            }
+        }
+        order
+            .into_iter()
+            .map(|label| {
+                let rows: Vec<&SweepOutcome> = self
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.scheduler == label)
+                    .collect();
+                let selecting: Vec<u64> = rows
+                    .iter()
+                    .filter(|o| o.clean_selection)
+                    .map(|o| o.steps)
+                    .collect();
+                KindStats {
+                    scheduler: label.to_owned(),
+                    runs: rows.len(),
+                    selections: selecting.len(),
+                    selection_rate: if rows.is_empty() {
+                        0.0
+                    } else {
+                        selecting.len() as f64 / rows.len() as f64
+                    },
+                    mean_steps_to_selection: (!selecting.is_empty())
+                        .then(|| selecting.iter().sum::<u64>() as f64 / selecting.len() as f64),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs `factory()`-built systems under every `(kind, seed)` pair of the
+/// config, stopping each run at the first selection or the step budget.
+///
+/// `factory` is called once per run (possibly from worker threads) and must
+/// return the system in its initial state; runs are independent, so the
+/// report does not depend on `config.threads`.
+pub fn sweep<M, F>(factory: F, config: &SweepConfig) -> SweepReport
+where
+    M: System,
+    F: Fn() -> M + Sync,
+{
+    let jobs: Vec<(SweepScheduler, u64)> = config
+        .kinds
+        .iter()
+        .flat_map(|&kind| config.seeds.iter().map(move |&seed| (kind, seed)))
+        .collect();
+
+    let run_job = |&(kind, seed): &(SweepScheduler, u64)| -> SweepOutcome {
+        let mut system = factory();
+        let procs = system.processor_count();
+        let mut scheduler = kind.build::<M>(procs, seed);
+        let report = engine::run(
+            &mut system,
+            &mut *scheduler,
+            config.max_steps,
+            &mut [],
+            &mut stop::AnySelected,
+        );
+        SweepOutcome {
+            scheduler: kind.label(),
+            seed,
+            steps: report.steps,
+            selected: report.selected.clone(),
+            clean_selection: report.is_clean_selection(),
+            final_fingerprint: system.fingerprint(),
+        }
+    };
+
+    let threads = config.threads.max(1).min(jobs.len().max(1));
+    let outcomes = if threads <= 1 {
+        jobs.iter().map(run_job).collect()
+    } else {
+        // Strided partition: worker t takes jobs t, t+T, t+2T, … and
+        // returns them tagged with their global index, so merging restores
+        // kind-major seed-minor order exactly.
+        let mut tagged: Vec<(usize, SweepOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let jobs = &jobs;
+                    let run_job = &run_job;
+                    scope.spawn(move || {
+                        jobs.iter()
+                            .enumerate()
+                            .skip(t)
+                            .step_by(threads)
+                            .map(|(i, job)| (i, run_job(job)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        tagged.sort_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, o)| o).collect()
+    };
+
+    SweepReport { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnProgram, InstructionSet, Machine, SystemInit};
+    use simsym_graph::topology;
+    use std::sync::Arc;
+
+    // A trivial symmetric-breaking toy: the first processor to take its
+    // third step selects itself. Which one that is depends on the schedule,
+    // so different seeds select different processors.
+    fn racing_machine() -> Machine {
+        let g = Arc::new(topology::uniform_ring(4));
+        let prog = Arc::new(FnProgram::new("race-to-3", |local, _ops| {
+            local.pc += 1;
+            if local.pc >= 3 {
+                local.selected = true;
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+    }
+
+    fn config(threads: usize) -> SweepConfig {
+        SweepConfig::new(
+            vec![
+                SweepScheduler::RandomFair,
+                SweepScheduler::BoundedFair { k: 8 },
+            ],
+            64,
+            200,
+            threads,
+        )
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let serial = sweep(racing_machine, &config(1));
+        let parallel = sweep(racing_machine, &config(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.outcomes.len(), 128);
+    }
+
+    #[test]
+    fn outcomes_are_kind_major_seed_minor() {
+        let report = sweep(racing_machine, &config(2));
+        let labels: Vec<&str> = report
+            .outcomes
+            .iter()
+            .map(|o| o.scheduler.as_str())
+            .collect();
+        assert!(labels[..64].iter().all(|&l| l == "random_fair"));
+        assert!(labels[64..].iter().all(|&l| l == "bounded_fair(k=8)"));
+        let seeds: Vec<u64> = report.outcomes[..64].iter().map(|o| o.seed).collect();
+        assert_eq!(seeds, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_aggregate_selection_rate_and_steps() {
+        let report = sweep(racing_machine, &config(3));
+        let stats = report.stats();
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert_eq!(s.runs, 64);
+            // Every schedule eventually lets some processor reach pc = 3.
+            assert_eq!(s.selections, 64);
+            assert_eq!(s.selection_rate, 1.0);
+            let mean = s.mean_steps_to_selection.unwrap();
+            // At least 3 steps are needed; selection is noticed before the
+            // 200-step budget.
+            assert!((3.0..200.0).contains(&mean), "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn round_robin_family_is_seed_independent() {
+        let cfg = SweepConfig::new(vec![SweepScheduler::RoundRobin], 8, 100, 2);
+        let report = sweep(racing_machine, &cfg);
+        let first = &report.outcomes[0];
+        for o in &report.outcomes {
+            assert_eq!(o.steps, first.steps);
+            assert_eq!(o.selected, first.selected);
+            assert_eq!(o.final_fingerprint, first.final_fingerprint);
+        }
+    }
+
+    #[test]
+    fn labels_and_kinds() {
+        assert_eq!(SweepScheduler::RoundRobin.label(), "round_robin");
+        assert_eq!(
+            SweepScheduler::BoundedFair { k: 6 }.label(),
+            "bounded_fair(k=6)"
+        );
+        assert_eq!(
+            SweepScheduler::RandomFair.kind(4),
+            crate::ScheduleKind::Fair
+        );
+        assert_eq!(
+            SweepScheduler::RoundRobin.kind(4),
+            crate::ScheduleKind::BoundedFair(4)
+        );
+    }
+}

@@ -10,12 +10,18 @@
 //! [`Scheduler`]. Every processor executes the same [`Program`]; an atomic
 //! step is one instruction, and the schedule decides who steps.
 //!
-//! On top of the machine sit the tools the theory needs:
+//! On top of the machine sits the [`engine`] — the single run loop shared
+//! by every machine model in the workspace:
 //!
-//! * [`run`]/[`run_until`] with [`Monitor`]s for **Uniqueness** and
-//!   **Stability** (the two requirements of the selection problem, §3) and
-//!   a [`SimilarityObserver`] measuring state coincidence — the operational
-//!   content of the similarity relation;
+//! * [`engine::run`] drives any [`engine::System`] under a [`Scheduler`],
+//!   observed by a stack of [`Probe`]s and stopped by a declarative
+//!   [`engine::StopCondition`]; [`run`]/[`run_until`] are thin façades over
+//!   it. Built-in probes cover **Uniqueness** and **Stability** (the two
+//!   requirements of the selection problem, §3), a [`SimilarityObserver`]
+//!   measuring state coincidence, step/op/contention metrics
+//!   ([`engine::metrics`]) and replayable JSON traces ([`engine::trace`]);
+//! * [`engine::sweep`] fans a system over many seeds and schedule classes
+//!   on scoped threads and aggregates selection statistics;
 //! * schedules: [`RoundRobin`] (the proofs' workhorse), [`RandomFair`],
 //!   [`BoundedFairRandom`], [`FixedSequence`], [`Excluding`] (crashed
 //!   processors) and closure-driven [`Adversary`] schedules;
@@ -38,26 +44,30 @@
 //! # Ok::<(), simsym_vm::MachineError>(())
 //! ```
 
+pub mod engine;
 mod explore;
 mod isa;
 mod machine;
 mod program;
-mod runner;
 mod schedule;
 mod state;
 mod trace;
 mod value;
 
+pub use engine::compat::{run, run_until};
+/// Historical name for [`Probe`]: observers were called monitors before the
+/// engine unified the run loops. External impls keep compiling.
+pub use engine::probe::Probe as Monitor;
+pub use engine::probe::{
+    RunReport, SimilarityObserver, StabilityMonitor, StopReason, UniquenessMonitor, Violation,
+};
+pub use engine::{Probe, System};
 pub use explore::{
     explore, find_double_selection, is_quiescent, DoubleSelection, ExploreConfig, ExploreResult,
 };
 pub use isa::InstructionSet;
-pub use machine::{Machine, MachineError, OpEnv, PeekView};
+pub use machine::{Machine, MachineError, OpEnv, OpKind, PeekView, StepOp};
 pub use program::{FnProgram, IdleProgram, Program};
-pub use runner::{
-    run, run_until, Monitor, RunReport, SimilarityObserver, StabilityMonitor, StopReason,
-    UniquenessMonitor, Violation,
-};
 pub use schedule::{
     Adversary, BoundedFairRandom, Excluding, FixedSequence, RandomFair, RoundRobin, ScheduleKind,
     Scheduler,

@@ -37,6 +37,112 @@ impl fmt::Display for MachineError {
 
 impl Error for MachineError {}
 
+/// The kind of shared (or channel) operation a step performed, recorded by
+/// the machine for the engine's metrics and trace layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// No shared operation — purely local computation.
+    Local,
+    /// `read i from n` (S, L, L*).
+    Read,
+    /// `write i to n` (S, L, L*).
+    Write,
+    /// `lock(n)` (L, L*).
+    Lock,
+    /// `unlock(n)` (L, L*).
+    Unlock,
+    /// `lock` on a list of names (L* extended locking, §6).
+    LockMany,
+    /// `peek i from n` (Q).
+    Peek,
+    /// `post i to n` (Q).
+    Post,
+    /// `send` on a channel (message passing).
+    Send,
+    /// `receive` on a channel (message passing).
+    Recv,
+}
+
+impl OpKind {
+    /// Every operation kind, in declaration order (the histogram order used
+    /// by the engine's metrics layer).
+    pub const ALL: [OpKind; 10] = [
+        OpKind::Local,
+        OpKind::Read,
+        OpKind::Write,
+        OpKind::Lock,
+        OpKind::Unlock,
+        OpKind::LockMany,
+        OpKind::Peek,
+        OpKind::Post,
+        OpKind::Send,
+        OpKind::Recv,
+    ];
+
+    /// Index of this kind within [`OpKind::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case name, used in traces and metrics tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Local => "local",
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Lock => "lock",
+            OpKind::Unlock => "unlock",
+            OpKind::LockMany => "lock_many",
+            OpKind::Peek => "peek",
+            OpKind::Post => "post",
+            OpKind::Send => "send",
+            OpKind::Recv => "recv",
+        }
+    }
+
+    /// Inverse of [`OpKind::name`].
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        Some(match name {
+            "local" => OpKind::Local,
+            "read" => OpKind::Read,
+            "write" => OpKind::Write,
+            "lock" => OpKind::Lock,
+            "unlock" => OpKind::Unlock,
+            "lock_many" => OpKind::LockMany,
+            "peek" => OpKind::Peek,
+            "post" => OpKind::Post,
+            "send" => OpKind::Send,
+            "recv" => OpKind::Recv,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the most recent step did, as observed by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StepOp {
+    /// The operation the step performed.
+    pub kind: OpKind,
+    /// Whether a lock/lock_many attempt found its target(s) held — the
+    /// engine's lock-contention signal. Always `false` for other ops.
+    pub contended: bool,
+}
+
+impl StepOp {
+    fn local() -> StepOp {
+        StepOp {
+            kind: OpKind::Local,
+            contended: false,
+        }
+    }
+}
+
 /// What a `peek` instruction returns: the variable's initial state together
 /// with the unordered multiset of posted subvalues (canonically sorted).
 ///
@@ -85,6 +191,7 @@ pub struct Machine {
     vars: Vec<SharedVar>,
     steps: u64,
     rng: Option<StdRng>,
+    last_op: Option<StepOp>,
 }
 
 impl Machine {
@@ -129,6 +236,7 @@ impl Machine {
             vars,
             steps: 0,
             rng: None,
+            last_op: None,
         })
     }
 
@@ -202,7 +310,7 @@ impl Machine {
     /// errors in the [`Program`], not run-time conditions.
     pub fn step(&mut self, p: ProcId) {
         let mut local = std::mem::take(&mut self.locals[p.index()]);
-        {
+        let op = {
             let mut env = OpEnv {
                 graph: &self.graph,
                 isa: self.isa,
@@ -210,11 +318,20 @@ impl Machine {
                 proc: p,
                 rng: &mut self.rng,
                 shared_ops: 0,
+                op: None,
             };
             self.program.step(&mut local, &mut env);
-        }
+            env.op
+        };
         self.locals[p.index()] = local;
         self.steps += 1;
+        self.last_op = Some(op.unwrap_or_else(StepOp::local));
+    }
+
+    /// What the most recent step did (`None` before the first step). The
+    /// engine's metrics and trace probes read this after every step.
+    pub fn last_op(&self) -> Option<StepOp> {
+        self.last_op
     }
 
     /// A canonical snapshot of the global state (local states plus
@@ -255,6 +372,7 @@ pub struct OpEnv<'m> {
     proc: ProcId,
     rng: &'m mut Option<StdRng>,
     shared_ops: u32,
+    op: Option<StepOp>,
 }
 
 impl<'m> OpEnv<'m> {
@@ -280,12 +398,23 @@ impl<'m> OpEnv<'m> {
         self.graph.name_count()
     }
 
-    fn charge(&mut self, op: &str) {
+    fn charge(&mut self, op: OpKind) {
         self.shared_ops += 1;
         assert!(
             self.shared_ops <= 1,
-            "program executed a second shared operation ({op}) within one atomic step"
+            "program executed a second shared operation ({}) within one atomic step",
+            op.name()
         );
+        self.op = Some(StepOp {
+            kind: op,
+            contended: false,
+        });
+    }
+
+    fn mark_contended(&mut self) {
+        if let Some(op) = &mut self.op {
+            op.contended = true;
+        }
     }
 
     fn var_mut(&mut self, n: NameId) -> &mut SharedVar {
@@ -304,7 +433,7 @@ impl<'m> OpEnv<'m> {
             "read is not available in instruction set {}",
             self.isa
         );
-        self.charge("read");
+        self.charge(OpKind::Read);
         match self.var_mut(n) {
             SharedVar::Plain { value, .. } => value.clone(),
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
@@ -322,7 +451,7 @@ impl<'m> OpEnv<'m> {
             "write is not available in instruction set {}",
             self.isa
         );
-        self.charge("write");
+        self.charge(OpKind::Write);
         match self.var_mut(n) {
             SharedVar::Plain { value: slot, .. } => *slot = value,
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
@@ -342,8 +471,8 @@ impl<'m> OpEnv<'m> {
             "lock is not available in instruction set {}",
             self.isa
         );
-        self.charge("lock");
-        match self.var_mut(n) {
+        self.charge(OpKind::Lock);
+        let acquired = match self.var_mut(n) {
             SharedVar::Plain { locked, .. } => {
                 if *locked {
                     false
@@ -353,7 +482,11 @@ impl<'m> OpEnv<'m> {
                 }
             }
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
+        };
+        if !acquired {
+            self.mark_contended();
         }
+        acquired
     }
 
     /// `unlock(n)` — L, L*. Resets the lock bit unconditionally (the
@@ -368,7 +501,7 @@ impl<'m> OpEnv<'m> {
             "unlock is not available in instruction set {}",
             self.isa
         );
-        self.charge("unlock");
+        self.charge(OpKind::Unlock);
         match self.var_mut(n) {
             SharedVar::Plain { locked, .. } => *locked = false,
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
@@ -388,7 +521,7 @@ impl<'m> OpEnv<'m> {
             "lock_many is not available in instruction set {}",
             self.isa
         );
-        self.charge("lock_many");
+        self.charge(OpKind::LockMany);
         let vids: Vec<VarId> = names
             .iter()
             .map(|&n| self.graph.n_nbr(self.proc, n))
@@ -403,6 +536,8 @@ impl<'m> OpEnv<'m> {
                     *locked = true;
                 }
             }
+        } else {
+            self.mark_contended();
         }
         all_free
     }
@@ -419,7 +554,7 @@ impl<'m> OpEnv<'m> {
             "peek is not available in instruction set {}",
             self.isa
         );
-        self.charge("peek");
+        self.charge(OpKind::Peek);
         match self.var_mut(n) {
             SharedVar::Multi { base, .. } => {
                 let initial = base.clone();
@@ -445,7 +580,7 @@ impl<'m> OpEnv<'m> {
             "post is not available in instruction set {}",
             self.isa
         );
-        self.charge("post");
+        self.charge(OpKind::Post);
         let p = self.proc;
         match self.var_mut(n) {
             SharedVar::Multi { subvalues, .. } => {

@@ -13,6 +13,7 @@
 //! Simulated schedules are necessarily finite prefixes; each [`Scheduler`]
 //! documents which class its infinite extension belongs to.
 
+use crate::engine::System;
 use crate::Machine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,11 +43,15 @@ impl fmt::Display for ScheduleKind {
 
 /// Chooses which processor steps next.
 ///
-/// Schedulers may inspect the machine — the paper's schedules are chosen by
-/// an adversary with full knowledge of the system state.
-pub trait Scheduler {
+/// Schedulers may inspect the system — the paper's schedules are chosen by
+/// an adversary with full knowledge of the system state. The type parameter
+/// is the system being scheduled; it defaults to the shared-variable
+/// [`Machine`], and the built-in schedulers are generic over any
+/// [`System`], so the same scheduler drives shared-variable and
+/// message-passing runs.
+pub trait Scheduler<S: ?Sized = Machine> {
     /// The processor to step next.
-    fn next(&mut self, machine: &Machine) -> ProcId;
+    fn next(&mut self, system: &S) -> ProcId;
 
     /// The schedule class this scheduler realizes in the limit.
     fn kind(&self) -> ScheduleKind;
@@ -69,9 +74,9 @@ impl RoundRobin {
     }
 }
 
-impl Scheduler for RoundRobin {
-    fn next(&mut self, machine: &Machine) -> ProcId {
-        let n = machine.graph().processor_count();
+impl<S: System + ?Sized> Scheduler<S> for RoundRobin {
+    fn next(&mut self, system: &S) -> ProcId {
+        let n = system.processor_count();
         let p = ProcId::new(self.next % n);
         self.next = (self.next + 1) % n;
         p
@@ -134,8 +139,8 @@ impl FixedSequence {
     }
 }
 
-impl Scheduler for FixedSequence {
-    fn next(&mut self, _machine: &Machine) -> ProcId {
+impl<S: ?Sized> Scheduler<S> for FixedSequence {
+    fn next(&mut self, _system: &S) -> ProcId {
         let i = if self.cycle {
             self.pos % self.seq.len()
         } else {
@@ -167,9 +172,9 @@ impl RandomFair {
     }
 }
 
-impl Scheduler for RandomFair {
-    fn next(&mut self, machine: &Machine) -> ProcId {
-        let n = machine.graph().processor_count();
+impl<S: System + ?Sized> Scheduler<S> for RandomFair {
+    fn next(&mut self, system: &S) -> ProcId {
+        let n = system.processor_count();
         ProcId::new(self.rng.gen_range(0..n))
     }
 
@@ -211,9 +216,9 @@ impl BoundedFairRandom {
     }
 }
 
-impl Scheduler for BoundedFairRandom {
-    fn next(&mut self, machine: &Machine) -> ProcId {
-        let n = machine.graph().processor_count();
+impl<S: System + ?Sized> Scheduler<S> for BoundedFairRandom {
+    fn next(&mut self, system: &S) -> ProcId {
+        let n = system.processor_count();
         debug_assert_eq!(n, self.last_run.len());
         // Deadline (inclusive step index) by which processor i must run:
         // k-1 if it never ran (the first window is steps 0..k-1), else
@@ -264,25 +269,24 @@ pub struct Excluding<S> {
     excluded: Vec<ProcId>,
 }
 
-impl<S: Scheduler> Excluding<S> {
+impl<Inner> Excluding<Inner> {
     /// Excludes `excluded` from `inner`'s choices (by skipping).
-    pub fn new(inner: S, excluded: Vec<ProcId>) -> Self {
+    pub fn new(inner: Inner, excluded: Vec<ProcId>) -> Self {
         Excluding { inner, excluded }
     }
 }
 
-impl<S: Scheduler> Scheduler for Excluding<S> {
-    fn next(&mut self, machine: &Machine) -> ProcId {
+impl<S: System + ?Sized, Inner: Scheduler<S>> Scheduler<S> for Excluding<Inner> {
+    fn next(&mut self, system: &S) -> ProcId {
         // Skip excluded choices; bounded retries then fall back to scanning.
         for _ in 0..64 {
-            let p = self.inner.next(machine);
+            let p = self.inner.next(system);
             if !self.excluded.contains(&p) {
                 return p;
             }
         }
-        machine
-            .graph()
-            .processors()
+        (0..system.processor_count())
+            .map(ProcId::new)
             .find(|p| !self.excluded.contains(p))
             .expect("at least one processor must remain schedulable")
     }
@@ -298,16 +302,16 @@ pub struct Adversary<F> {
     kind: ScheduleKind,
 }
 
-impl<F: FnMut(&Machine) -> ProcId> Adversary<F> {
+impl<F> Adversary<F> {
     /// Builds an adversary with the declared schedule class.
     pub fn new(kind: ScheduleKind, choose: F) -> Self {
         Adversary { choose, kind }
     }
 }
 
-impl<F: FnMut(&Machine) -> ProcId> Scheduler for Adversary<F> {
-    fn next(&mut self, machine: &Machine) -> ProcId {
-        (self.choose)(machine)
+impl<S: ?Sized, F: FnMut(&S) -> ProcId> Scheduler<S> for Adversary<F> {
+    fn next(&mut self, system: &S) -> ProcId {
+        (self.choose)(system)
     }
 
     fn kind(&self) -> ScheduleKind {
@@ -387,7 +391,7 @@ mod tests {
                 assert!(w.contains(&p), "window {w:?} misses p{p}");
             }
         }
-        assert_eq!(s.kind(), ScheduleKind::BoundedFair(k));
+        assert_eq!(Scheduler::<Machine>::kind(&s), ScheduleKind::BoundedFair(k));
     }
 
     #[test]
@@ -403,7 +407,7 @@ mod tests {
         for _ in 0..100 {
             assert_ne!(s.next(&m).index(), 1);
         }
-        assert_eq!(s.kind(), ScheduleKind::General);
+        assert_eq!(Scheduler::<Machine>::kind(&s), ScheduleKind::General);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use simsym::mp::{
     mp_similarity, reduced_similarity, ChangRoberts, MpMachine, MpModel, MpNetwork, ViewLearner,
 };
-use simsym::vm::Value;
+use simsym::vm::{run_until, RoundRobin, Value};
 use std::sync::Arc;
 
 fn main() {
@@ -42,7 +42,9 @@ fn main() {
     let ids: Vec<Value> = [30, 10, 40, 20, 50].into_iter().map(Value::from).collect();
     let net = Arc::new(MpNetwork::ring_unidirectional(5));
     let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &ids);
-    m.run_round_robin(10_000, |m| !m.selected().is_empty());
+    let _ = run_until(&mut m, &mut RoundRobin::new(), 10_000, &mut [], |m| {
+        !m.selected().is_empty()
+    });
     println!(
         "\nChang-Roberts with ids {ids:?}: elected {:?}",
         m.selected()
@@ -52,7 +54,9 @@ fn main() {
     // message-passing clothes.
     let same = vec![Value::from(7); 5];
     let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &same);
-    m.run_round_robin(10_000, |m| m.selected().len() >= 5);
+    let _ = run_until(&mut m, &mut RoundRobin::new(), 10_000, &mut [], |m| {
+        m.selected().len() >= 5
+    });
     println!(
         "Chang-Roberts with identical ids: {} processors selected — uniqueness is hopeless",
         m.selected().len()
@@ -63,7 +67,7 @@ fn main() {
     init[2] = Value::from(9);
     let theta = mp_similarity(&net, &init, MpModel::AsyncUnidirectional);
     let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ViewLearner { rounds: 6 }), &init);
-    m.run_round_robin(200_000, |m| {
+    let _ = run_until(&mut m, &mut RoundRobin::new(), 200_000, &mut [], |m| {
         m.net()
             .processors()
             .all(|p| m.local(p).get("round").as_int() == Some(6))

@@ -11,14 +11,20 @@
 //! ```
 
 use simsym::core::{
-    decide_selection_with_init, hopcroft_similarity, markdown_report, selection_program_q, Model,
+    decide_selection_with_init, hopcroft_similarity, markdown_report, selection_program_q,
+    LabelLearner, Model,
 };
 use simsym::graph::{dot, topology, SystemGraph};
 use simsym::philo::{
     chandy_misra_init, ChandyMisraPhilosopher, ExclusionMonitor, LehmannRabinPhilosopher,
     LockOrderPhilosopher, MealCounter,
 };
-use simsym::vm::{run, run_until, InstructionSet, Machine, Program, RoundRobin, SystemInit};
+use simsym::vm::engine::metrics::MetricsProbe;
+use simsym::vm::engine::trace::{replay, TraceRecorder};
+use simsym::vm::{
+    engine, run, run_until, InstructionSet, Machine, Program, RandomFair, RoundRobin, Scheduler,
+    SystemInit,
+};
 use simsym_graph::ProcId;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -40,15 +46,19 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n\n--trace runs the Q label learner under a seeded random-fair schedule and\nemits a replayable JSON schedule trace (verified by re-execution) on\nstdout; metrics go to stderr.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
 }
 
 fn dispatch(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("list") => Ok(list()),
         Some("analyze") => {
-            let (graph, init) = parse_system_args(&args[1..])?;
-            Ok(analyze(&graph, &init))
+            let (trace, rest) = extract_trace_flags(&args[1..])?;
+            let (graph, init) = parse_system_args(&rest)?;
+            match trace {
+                Some(opts) => analyze_trace(&graph, &init, &opts),
+                None => Ok(analyze(&graph, &init)),
+            }
         }
         Some("elect") => {
             let (graph, init) = parse_system_args(&args[1..])?;
@@ -136,6 +146,99 @@ fn parse_system_args(args: &[String]) -> Result<(SystemGraph, SystemInit), Strin
         }
     }
     Ok((graph, init))
+}
+
+/// Options for `analyze --trace`.
+struct TraceOpts {
+    seed: u64,
+    max_steps: u64,
+}
+
+/// Strips `--trace` (plus optional `--seed N` / `--steps N`) out of the
+/// argument list so the remainder can go through [`parse_system_args`].
+fn extract_trace_flags(args: &[String]) -> Result<(Option<TraceOpts>, Vec<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut trace = false;
+    let mut seed = 0u64;
+    let mut max_steps = 100_000u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                trace = true;
+                i += 1;
+            }
+            "--seed" => {
+                let v = args.get(i + 1).ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                i += 2;
+            }
+            "--steps" => {
+                let v = args.get(i + 1).ok_or("--steps needs a value")?;
+                max_steps = v.parse().map_err(|_| format!("bad step count {v:?}"))?;
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if !trace && (seed != 0 || max_steps != 100_000) {
+        return Err("--seed/--steps only make sense with --trace".into());
+    }
+    Ok((trace.then_some(TraceOpts { seed, max_steps }), rest))
+}
+
+/// Runs the Q label learner under a seeded random-fair schedule, records a
+/// [`ScheduleTrace`], verifies it replays to the identical final state on a
+/// fresh machine, and returns the JSON document.
+fn analyze_trace(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    opts: &TraceOpts,
+) -> Result<String, String> {
+    let labeling = hopcroft_similarity(graph, init, Model::Q);
+    let prog = LabelLearner::new(graph, init, &labeling).map_err(|e| e.to_string())?;
+    let prog: Arc<dyn Program> = Arc::new(prog);
+    let graph = Arc::new(graph.clone());
+    let fresh = || {
+        Machine::new(
+            Arc::clone(&graph),
+            InstructionSet::Q,
+            Arc::clone(&prog),
+            init,
+        )
+        .map_err(|e| e.to_string())
+    };
+
+    let mut machine = fresh()?;
+    let mut sched = RandomFair::seeded(opts.seed);
+    let kind = Scheduler::<Machine>::kind(&sched).to_string();
+    let mut recorder = TraceRecorder::new(format!("random_fair(seed={})", opts.seed), kind);
+    let mut metrics = MetricsProbe::new();
+    let report = engine::run(
+        &mut machine,
+        &mut sched,
+        opts.max_steps,
+        &mut [&mut recorder, &mut metrics],
+        &mut engine::stop::when(|m: &Machine| {
+            m.graph()
+                .processors()
+                .all(|p| LabelLearner::is_done(m.local(p)))
+        }),
+    );
+    let trace = recorder.into_trace();
+
+    let mut replica = fresh()?;
+    replay(&mut replica, &trace).map_err(|e| format!("trace failed to replay: {e}"))?;
+
+    eprintln!(
+        "# {} steps under {} ({:?})",
+        report.steps, trace.scheduler, report.stop
+    );
+    eprint!("{}", metrics.metrics());
+    Ok(format!("{}\n", trace.to_json()))
 }
 
 fn parse_marks(list: &str, procs: usize) -> Result<Vec<ProcId>, String> {
@@ -322,6 +425,7 @@ fn dine(args: &[String]) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simsym::vm::engine::trace::ScheduleTrace;
 
     fn call(args: &[&str]) -> Result<String, String> {
         let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -344,6 +448,41 @@ mod tests {
     fn analyze_with_mark() {
         let out = call(&["analyze", "ring:4", "--mark", "p0"]).unwrap();
         assert!(out.contains("selectable"));
+    }
+
+    #[test]
+    fn analyze_trace_emits_replayable_json() {
+        let out = call(&["analyze", "ring:4", "--trace", "--seed", "7"]).unwrap();
+        let trace = ScheduleTrace::from_json(out.trim()).expect("valid trace JSON");
+        assert_eq!(trace.scheduler, "random_fair(seed=7)");
+        assert_eq!(trace.kind, "fair");
+        assert!(!trace.steps.is_empty());
+        // Round-trip: re-encoding the parsed trace is byte-identical.
+        assert_eq!(format!("{}\n", trace.to_json()), out);
+
+        // Replay against a freshly built machine reaches the same final state.
+        let (graph, init) = parse_system_args(&["ring:4".to_owned()]).unwrap();
+        let labeling = hopcroft_similarity(&graph, &init, Model::Q);
+        let prog = LabelLearner::new(&graph, &init, &labeling).unwrap();
+        let mut m =
+            Machine::new(Arc::new(graph), InstructionSet::Q, Arc::new(prog), &init).unwrap();
+        replay(&mut m, &trace).expect("trace replays to identical final state");
+        assert_eq!(m.fingerprint(), trace.final_fingerprint);
+    }
+
+    #[test]
+    fn analyze_trace_is_deterministic_per_seed() {
+        let a = call(&["analyze", "figure1", "--trace", "--seed", "3"]).unwrap();
+        let b = call(&["analyze", "figure1", "--trace", "--seed", "3"]).unwrap();
+        let c = call(&["analyze", "figure1", "--trace", "--seed", "4"]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_flags_require_trace() {
+        let err = call(&["analyze", "ring:4", "--seed", "3"]).unwrap_err();
+        assert!(err.contains("--trace"));
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal marker-trait version of serde: every type is trivially
+//! `Serialize`/`Deserialize`. The repo only uses the derives as a
+//! compile-time contract (no actual serde-based (de)serialization is on
+//! any code path — JSON emitted by the CLI is hand-rolled), so blanket
+//! implementations are sufficient and keep the public API source
+//! compatible with the real crate for the subset we use.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
