@@ -1,0 +1,193 @@
+//! Lock-discipline checks: double-lock, unlock-without-lock, locks held at
+//! termination.
+//!
+//! The paper's locks are ownerless bits, so none of these are machine
+//! errors — `unlock` on someone else's lock *works*, which is exactly why
+//! it deserves a diagnostic: it silently breaks the mutual exclusion the
+//! locking protocol was presumably providing. All findings here are
+//! warnings; they describe suspicious protocols, not model violations.
+
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use crate::locks::{render_lockset, HeldLocks};
+use simsym_graph::{ProcId, VarId};
+use simsym_vm::engine::System;
+use simsym_vm::{OpKind, Probe, Violation};
+use std::collections::BTreeSet;
+
+/// The lock-discipline checker (a [`Probe`]).
+#[derive(Clone, Debug, Default)]
+pub struct DisciplineChecker {
+    locks: HeldLocks,
+    reported_double: BTreeSet<(ProcId, VarId)>,
+    reported_unheld: BTreeSet<(ProcId, VarId)>,
+    diags: Vec<Diagnostic>,
+    finished: bool,
+}
+
+impl DisciplineChecker {
+    /// A fresh checker.
+    pub fn new() -> DisciplineChecker {
+        DisciplineChecker::default()
+    }
+
+    /// The diagnostics accumulated so far (including, after the run has
+    /// finished, locks still held at termination).
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+impl<S: System + ?Sized> Probe<S> for DisciplineChecker {
+    fn observe(&mut self, system: &S, p: ProcId) -> Option<Violation> {
+        let record = system.last_record()?;
+        let step = system.steps();
+        match record.kind {
+            OpKind::Lock | OpKind::LockMany => {
+                for &v in &record.targets {
+                    // Re-locking a variable you hold can never succeed (the
+                    // bit is set): self-deadlock unless the program backs
+                    // off.
+                    if self.locks.held(p).contains(&v) && self.reported_double.insert((p, v)) {
+                        self.diags.push(Diagnostic::new(
+                            Severity::Warning,
+                            codes::DYN_DOUBLE_LOCK,
+                            Span::proc(p).with_var(v).with_step(step),
+                            format!(
+                                "p{} attempted to lock v{} which it already holds",
+                                p.index(),
+                                v.index()
+                            ),
+                        ));
+                    }
+                }
+            }
+            OpKind::Unlock => {
+                for &v in &record.targets {
+                    if !self.locks.held(p).contains(&v) && self.reported_unheld.insert((p, v)) {
+                        self.diags.push(Diagnostic::new(
+                            Severity::Warning,
+                            codes::DYN_UNLOCK_UNHELD,
+                            Span::proc(p).with_var(v).with_step(step),
+                            format!(
+                                "p{} unlocked v{} which it does not hold (ownerless locks make this silently succeed)",
+                                p.index(),
+                                v.index()
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.locks.apply(p, &record);
+        None
+    }
+
+    fn finish(&mut self, system: &S) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let step = system.steps();
+        for (p, held) in self.locks.holders() {
+            self.diags.push(Diagnostic::new(
+                Severity::Warning,
+                codes::DYN_LOCK_LEAK,
+                Span::proc(p).with_step(step),
+                format!(
+                    "p{} still holds {} at the end of the run",
+                    p.index(),
+                    render_lockset(held)
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+    use simsym_vm::engine::{self, stop};
+    use simsym_vm::{FnProgram, InstructionSet, Machine, RoundRobin, SystemInit};
+    use std::sync::Arc;
+
+    fn run_checker(m: &mut Machine, steps: u64) -> Vec<Diagnostic> {
+        let mut checker = DisciplineChecker::new();
+        engine::run(
+            m,
+            &mut RoundRobin::new(),
+            steps,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        checker.into_diagnostics()
+    }
+
+    #[test]
+    fn double_lock_and_leak_flagged() {
+        // p0 locks n, then keeps re-locking it: double-lock, and the lock
+        // is still held at the end.
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("greedy-locker", |_local, ops| {
+            let n = ops.name("n");
+            let _ = ops.lock(n);
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::L, prog, &init).unwrap();
+        let mut sched = simsym_vm::FixedSequence::cycling(vec![ProcId::new(0)]);
+        let mut checker = DisciplineChecker::new();
+        engine::run(&mut m, &mut sched, 5, &mut [&mut checker], &mut stop::Never);
+        let diags = checker.into_diagnostics();
+        assert!(diags.iter().any(|d| d.code == codes::DYN_DOUBLE_LOCK));
+        assert!(diags.iter().any(|d| d.code == codes::DYN_LOCK_LEAK));
+        // Deduplicated: one double-lock per (proc, var).
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == codes::DYN_DOUBLE_LOCK)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn unlock_unheld_flagged() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("saboteur", |local, ops| {
+            let n = ops.name("n");
+            ops.unlock(n);
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::L, prog, &init).unwrap();
+        let diags = run_checker(&mut m, 4);
+        assert!(diags.iter().any(|d| d.code == codes::DYN_UNLOCK_UNHELD));
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn disciplined_protocol_is_clean() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("disciplined", |local, ops| {
+            let n = ops.name("n");
+            match local.pc {
+                0 => {
+                    if ops.lock(n) {
+                        local.pc = 1;
+                    }
+                }
+                _ => {
+                    ops.unlock(n);
+                    local.pc = 0;
+                }
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::L, prog, &init).unwrap();
+        // The round-robin contention pattern has period 6 (lock, fail,
+        // unlock, lock, fail, unlock); a multiple of it ends with the lock
+        // released, so no leak is reported.
+        assert_eq!(run_checker(&mut m, 36), vec![]);
+    }
+}

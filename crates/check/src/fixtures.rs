@@ -1,0 +1,139 @@
+//! Seeded-defect fixture systems: one machine per defect class the dynamic
+//! checkers detect. The CLI exposes them via `simsym lint --program …` so
+//! every checker can be demonstrated on any topology, and the test suite
+//! uses them as known-bad baselines.
+
+use simsym_graph::SystemGraph;
+use simsym_vm::{FnProgram, InstructionSet, Machine, SystemInit, Value};
+use std::sync::Arc;
+
+/// The built-in fixture programs, by CLI name.
+pub const FIXTURE_NAMES: &[&str] = &["racy", "fixed-order", "isa-cheater", "greedy"];
+
+/// Builds the fixture machine named `name` (see [`FIXTURE_NAMES`]) on
+/// `graph`, or `None` for an unknown name.
+pub fn fixture_machine(name: &str, graph: Arc<SystemGraph>, init: &SystemInit) -> Option<Machine> {
+    match name {
+        "racy" => Some(racy_machine(graph, init)),
+        "fixed-order" => Some(fixed_order_machine(graph, init)),
+        "isa-cheater" => Some(isa_cheater_machine(graph, init)),
+        "greedy" => Some(greedy_machine(graph, init)),
+        _ => None,
+    }
+}
+
+/// **Race** fixture: an L machine whose processors write all their
+/// neighbouring variables without ever locking — the lockset detector
+/// flags every multi-writer variable ([`crate::diag::codes::DYN_RACE`]).
+pub fn racy_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
+    let prog = Arc::new(FnProgram::new("fixture-racy", |local, ops| {
+        let names = ops.all_names();
+        let k = (local.pc as usize) % names.len();
+        ops.write(names[k], Value::from(local.pc as i64));
+        local.pc = local.pc.wrapping_add(1);
+    }));
+    Machine::new(graph, InstructionSet::L, prog, init).expect("fixture init")
+}
+
+/// **Deadlock** fixture: an L machine that acquires its first neighbour,
+/// then spins on its last — the canonical fixed-order philosopher. On a
+/// ring every processor holds `left` and waits on `right`, and the
+/// lock-order checker reports the cycle
+/// ([`crate::diag::codes::DYN_LOCK_CYCLE`]). On a topology with a single
+/// neighbour the second lock degenerates to a re-lock of the first, which
+/// the discipline checker flags instead.
+pub fn fixed_order_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
+    let prog = Arc::new(FnProgram::new("fixture-fixed-order", |local, ops| {
+        let names = ops.all_names();
+        let first = names[0];
+        let second = names[names.len() - 1];
+        match local.pc {
+            0 => {
+                if ops.lock(first) {
+                    local.pc = 1;
+                }
+            }
+            1 => {
+                if ops.lock(second) {
+                    local.pc = 2;
+                }
+            }
+            2 => {
+                ops.unlock(second);
+                local.pc = 3;
+            }
+            _ => {
+                ops.unlock(first);
+                local.pc = 0;
+            }
+        }
+    }));
+    Machine::new(graph, InstructionSet::L, prog, init).expect("fixture init")
+}
+
+/// **ISA violation** fixture: an S machine whose program attempts `lock`
+/// every step. The machine refuses each attempt and records it on the op
+/// stream; the ISA checker reports it
+/// ([`crate::diag::codes::DYN_ISA_OP`]).
+pub fn isa_cheater_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
+    let prog = Arc::new(FnProgram::new("fixture-isa-cheater", |local, ops| {
+        let names = ops.all_names();
+        let _ = ops.lock(names[(local.pc as usize) % names.len()]);
+        local.pc = local.pc.wrapping_add(1);
+    }));
+    Machine::new(graph, InstructionSet::S, prog, init).expect("fixture init")
+}
+
+/// **Atomicity violation** fixture: an S machine whose program issues two
+/// shared writes in one step. The second is refused and recorded; the ISA
+/// checker reports it ([`crate::diag::codes::DYN_ATOMICITY`]).
+pub fn greedy_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
+    let prog = Arc::new(FnProgram::new("fixture-greedy", |local, ops| {
+        let names = ops.all_names();
+        ops.write(names[0], Value::from(local.pc as i64));
+        ops.write(names[0], Value::from(-(local.pc as i64)));
+        local.pc = local.pc.wrapping_add(1);
+    }));
+    Machine::new(graph, InstructionSet::S, prog, init).expect("fixture init")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::codes;
+    use crate::suite::run_dynamic;
+    use simsym_graph::topology;
+    use simsym_vm::RoundRobin;
+
+    fn lint_fixture(name: &str, graph: SystemGraph, steps: u64) -> Vec<&'static str> {
+        let graph = Arc::new(graph);
+        let init = SystemInit::uniform(&graph);
+        let mut m = fixture_machine(name, graph, &init).expect("known fixture");
+        let outcome = run_dynamic(&mut m, &mut RoundRobin::new(), steps);
+        outcome.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn every_fixture_triggers_its_defect_class() {
+        assert!(lint_fixture("racy", topology::figure1(), 20).contains(&codes::DYN_RACE));
+        assert!(lint_fixture("fixed-order", topology::uniform_ring(3), 120)
+            .contains(&codes::DYN_LOCK_CYCLE));
+        assert!(lint_fixture("isa-cheater", topology::figure1(), 10).contains(&codes::DYN_ISA_OP));
+        assert!(lint_fixture("greedy", topology::figure1(), 10).contains(&codes::DYN_ATOMICITY));
+    }
+
+    #[test]
+    fn unknown_fixture_is_none() {
+        let g = Arc::new(topology::figure1());
+        let init = SystemInit::uniform(&g);
+        assert!(fixture_machine("nope", g, &init).is_none());
+        assert_eq!(FIXTURE_NAMES.len(), 4);
+    }
+
+    #[test]
+    fn fixed_order_on_single_neighbour_degenerates_to_double_lock() {
+        let codes_seen = lint_fixture("fixed-order", topology::figure1(), 30);
+        assert!(codes_seen.contains(&codes::DYN_DOUBLE_LOCK));
+        assert!(!codes_seen.contains(&codes::DYN_LOCK_CYCLE));
+    }
+}

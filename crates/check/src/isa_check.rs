@@ -1,0 +1,222 @@
+//! ISA conformance: every op a program performs must belong to the
+//! machine's declared instruction set `I`.
+//!
+//! Two sources feed this checker. Ops the *machine itself* refuses
+//! (recorded as [`ModelViolation`]s on the op stream — e.g. a `lock` on an
+//! S machine) become [`codes::DYN_ISA_OP`] / [`codes::DYN_ATOMICITY`]
+//! diagnostics. Independently, the checker compares every *executed* op
+//! against a declared instruction set of its own, which may be stricter
+//! than the machine's — the reproduction scenario where a program claims
+//! to solve selection in S but was built on an L machine and quietly
+//! locks.
+
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use simsym_graph::ProcId;
+use simsym_vm::engine::System;
+use simsym_vm::{InstructionSet, ModelViolation, OpKind, Probe, Violation};
+use std::collections::BTreeSet;
+
+/// Whether `op` belongs to instruction set `isa`. `Local` always does;
+/// `Send`/`Recv` are message-passing ops outside the shared-memory ISA
+/// lattice and are not judged here.
+pub fn op_in_isa(op: OpKind, isa: InstructionSet) -> bool {
+    match op {
+        OpKind::Local | OpKind::Send | OpKind::Recv => true,
+        OpKind::Read | OpKind::Write => isa.allows_read_write(),
+        OpKind::Lock | OpKind::Unlock => isa.allows_lock(),
+        OpKind::LockMany => isa.allows_multi_lock(),
+        OpKind::Peek | OpKind::Post => isa.allows_peek_post(),
+    }
+}
+
+/// The ISA-conformance checker (a [`Probe`]).
+#[derive(Clone, Debug)]
+pub struct IsaChecker {
+    declared: InstructionSet,
+    reported_ops: BTreeSet<(ProcId, OpKind)>,
+    reported_atomicity: BTreeSet<ProcId>,
+    diags: Vec<Diagnostic>,
+}
+
+impl IsaChecker {
+    /// A checker against `declared` — usually the machine's own
+    /// instruction set, but may be stricter to audit a program's claims.
+    pub fn new(declared: InstructionSet) -> IsaChecker {
+        IsaChecker {
+            declared,
+            reported_ops: BTreeSet::new(),
+            reported_atomicity: BTreeSet::new(),
+            diags: Vec::new(),
+        }
+    }
+
+    /// The diagnostics accumulated so far.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    fn report_op(&mut self, p: ProcId, op: OpKind, step: u64, executed: bool) {
+        if !self.reported_ops.insert((p, op)) {
+            return;
+        }
+        let verb = if executed { "executed" } else { "attempted" };
+        self.diags.push(Diagnostic::new(
+            Severity::Error,
+            codes::DYN_ISA_OP,
+            Span::proc(p).with_step(step),
+            format!(
+                "p{} {verb} {op} which is outside the declared instruction set {}",
+                p.index(),
+                self.declared
+            ),
+        ));
+    }
+}
+
+impl<S: System + ?Sized> Probe<S> for IsaChecker {
+    fn observe(&mut self, system: &S, p: ProcId) -> Option<Violation> {
+        let record = system.last_record()?;
+        let step = system.steps();
+        if !op_in_isa(record.kind, self.declared) {
+            self.report_op(p, record.kind, step, true);
+        }
+        for violation in &record.violations {
+            match *violation {
+                ModelViolation::OpNotInIsa { op, .. } => self.report_op(p, op, step, false),
+                // The guard dedupes: one atomicity diagnostic per processor.
+                ModelViolation::SecondSharedOp { first, second }
+                    if self.reported_atomicity.insert(p) =>
+                {
+                    self.diags.push(Diagnostic::new(
+                        Severity::Error,
+                        codes::DYN_ATOMICITY,
+                        Span::proc(p).with_step(step),
+                        format!(
+                            "p{} attempted a second shared operation ({second}) in one atomic step (after {first})",
+                            p.index()
+                        ),
+                    ));
+                }
+                // ModelViolation is non-exhaustive; future variants are
+                // simply not this checker's concern.
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+    use simsym_vm::engine::{self, stop};
+    use simsym_vm::{FnProgram, Machine, RoundRobin, SystemInit, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn op_isa_membership_matches_the_lattice() {
+        use InstructionSet::*;
+        assert!(op_in_isa(OpKind::Read, S));
+        assert!(!op_in_isa(OpKind::Lock, S));
+        assert!(op_in_isa(OpKind::Lock, L));
+        assert!(!op_in_isa(OpKind::LockMany, L));
+        assert!(op_in_isa(OpKind::LockMany, LStar));
+        assert!(op_in_isa(OpKind::Peek, Q));
+        assert!(!op_in_isa(OpKind::Read, Q));
+        assert!(op_in_isa(OpKind::Local, Q));
+    }
+
+    #[test]
+    fn refused_op_is_reported_from_the_violation_stream() {
+        // S machine, program tries to lock: the machine refuses and
+        // records OpNotInIsa; the checker turns it into DYN-ISA-OP.
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("cheater", |_local, ops| {
+            let n = ops.name("n");
+            let _ = ops.lock(n);
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let mut checker = IsaChecker::new(InstructionSet::S);
+        engine::run(
+            &mut m,
+            &mut RoundRobin::new(),
+            6,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        let diags = checker.into_diagnostics();
+        // Deduplicated per (proc, op): one per processor.
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == codes::DYN_ISA_OP));
+        assert!(diags[0].message.contains("attempted lock"));
+    }
+
+    #[test]
+    fn stricter_declared_isa_flags_executed_ops() {
+        // L machine, program locks legitimately — but the audit declares S.
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("locker", |_local, ops| {
+            let n = ops.name("n");
+            let _ = ops.lock(n);
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::L, prog, &init).unwrap();
+        let mut checker = IsaChecker::new(InstructionSet::S);
+        engine::run(
+            &mut m,
+            &mut RoundRobin::new(),
+            2,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        let diags = checker.into_diagnostics();
+        assert!(!diags.is_empty());
+        assert!(diags[0].message.contains("executed lock"));
+    }
+
+    #[test]
+    fn atomicity_violation_reported_once_per_processor() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("greedy", |_local, ops| {
+            let n = ops.name("n");
+            ops.write(n, Value::from(1));
+            ops.write(n, Value::from(2));
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let mut checker = IsaChecker::new(InstructionSet::S);
+        engine::run(
+            &mut m,
+            &mut RoundRobin::new(),
+            8,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        let diags = checker.into_diagnostics();
+        assert_eq!(diags.len(), 2, "one per processor despite 4 steps each");
+        assert!(diags.iter().all(|d| d.code == codes::DYN_ATOMICITY));
+    }
+
+    #[test]
+    fn conforming_program_is_clean() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("poster", |local, ops| {
+            let n = ops.name("n");
+            ops.post(n, Value::from(local.pc as i64));
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::Q, prog, &init).unwrap();
+        let mut checker = IsaChecker::new(InstructionSet::Q);
+        engine::run(
+            &mut m,
+            &mut RoundRobin::new(),
+            10,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        assert_eq!(checker.into_diagnostics(), vec![]);
+    }
+}

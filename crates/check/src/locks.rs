@@ -1,0 +1,106 @@
+//! Shared bookkeeping: inferring per-processor held-lock sets from the op
+//! stream.
+//!
+//! The paper's locks have no owner — `unlock` resets the bit
+//! unconditionally — so "which processor holds which lock" is not machine
+//! state. The checkers reconstruct it from the [`OpRecord`] stream: a
+//! successful (uncontended) `lock`/`lock_many` adds its targets to the
+//! stepping processor's held set, an `unlock` removes its target from
+//! whoever issued it.
+
+use simsym_graph::{ProcId, VarId};
+use simsym_vm::{OpKind, OpRecord};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-processor held-lock sets, reconstructed from the op stream.
+#[derive(Clone, Debug, Default)]
+pub struct HeldLocks {
+    held: BTreeMap<ProcId, BTreeSet<VarId>>,
+}
+
+impl HeldLocks {
+    /// Fresh, empty tracking.
+    pub fn new() -> HeldLocks {
+        HeldLocks::default()
+    }
+
+    /// Folds one step's record into the tracking. Call *after* any check
+    /// that needs the pre-step held sets.
+    pub fn apply(&mut self, p: ProcId, record: &OpRecord) {
+        match record.kind {
+            OpKind::Lock | OpKind::LockMany if !record.contended => {
+                let set = self.held.entry(p).or_default();
+                set.extend(record.targets.iter().copied());
+            }
+            OpKind::Unlock => {
+                if let Some(set) = self.held.get_mut(&p) {
+                    for v in &record.targets {
+                        set.remove(v);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The locks `p` currently holds (empty set if none).
+    pub fn held(&self, p: ProcId) -> &BTreeSet<VarId> {
+        static EMPTY: BTreeSet<VarId> = BTreeSet::new();
+        self.held.get(&p).unwrap_or(&EMPTY)
+    }
+
+    /// All processors with a non-empty held set, with their sets.
+    pub fn holders(&self) -> impl Iterator<Item = (ProcId, &BTreeSet<VarId>)> {
+        self.held
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&p, s)| (p, s))
+    }
+}
+
+/// Renders a held set as `{v0, v2}` for witness lines.
+pub(crate) fn render_lockset(set: &BTreeSet<VarId>) -> String {
+    let inner: Vec<String> = set.iter().map(|v| format!("v{}", v.index())).collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: OpKind, contended: bool, targets: Vec<VarId>) -> OpRecord {
+        OpRecord {
+            kind,
+            contended,
+            targets,
+            violations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn lock_unlock_round_trip() {
+        let mut h = HeldLocks::new();
+        let p = ProcId::new(0);
+        let v = VarId::new(3);
+        h.apply(p, &rec(OpKind::Lock, false, vec![v]));
+        assert!(h.held(p).contains(&v));
+        // A contended attempt changes nothing.
+        h.apply(p, &rec(OpKind::Lock, true, vec![VarId::new(4)]));
+        assert_eq!(h.held(p).len(), 1);
+        h.apply(p, &rec(OpKind::Unlock, false, vec![v]));
+        assert!(h.held(p).is_empty());
+    }
+
+    #[test]
+    fn lock_many_adds_all_targets() {
+        let mut h = HeldLocks::new();
+        let p = ProcId::new(1);
+        h.apply(
+            p,
+            &rec(OpKind::LockMany, false, vec![VarId::new(0), VarId::new(1)]),
+        );
+        assert_eq!(h.held(p).len(), 2);
+        assert_eq!(h.holders().count(), 1);
+        assert_eq!(render_lockset(h.held(p)), "{v0, v1}");
+    }
+}

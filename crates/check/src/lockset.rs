@@ -1,0 +1,258 @@
+//! Eraser-style lockset race detection for L/L*.
+//!
+//! Adapted from Savage et al.'s Eraser to the paper's machine model: every
+//! `read`/`write` to a shared variable is checked against the stepping
+//! processor's inferred held-lock set. Each variable carries an ownership
+//! state — *virgin* until first accessed, *exclusive* to its first
+//! accessor (the warm-up phase: initialization without locks is fine),
+//! *shared* once a second processor touches it. On the access that makes a
+//! variable shared, its candidate lockset `C(v)` becomes the accessor's
+//! held set; every later access by any processor refines `C(v)` by
+//! intersection. The moment `C(v)` is empty, no single lock has protected
+//! every access — a race, reported once per variable with the offending
+//! access as witness.
+//!
+//! The detector is only meaningful when the instruction set has locks; in
+//! S every multi-writer variable would trivially "race" (there is nothing
+//! to hold), so construction is gated on `isa.allows_lock()` and the
+//! checker stays inert otherwise.
+
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use crate::locks::{render_lockset, HeldLocks};
+use simsym_graph::{ProcId, VarId};
+use simsym_vm::engine::System;
+use simsym_vm::{InstructionSet, OpKind, Probe, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Ownership {
+    /// Warm-up: only `owner` has accessed the variable so far.
+    Exclusive { owner: ProcId },
+    /// Multiple accessors; `candidates` is `C(v)`.
+    Shared { candidates: BTreeSet<VarId> },
+}
+
+/// The lockset race detector (a [`Probe`]).
+///
+/// Accumulates diagnostics instead of aborting the run; collect them with
+/// [`LocksetChecker::into_diagnostics`] after the run.
+#[derive(Clone, Debug, Default)]
+pub struct LocksetChecker {
+    enabled: bool,
+    locks: HeldLocks,
+    state: BTreeMap<VarId, Ownership>,
+    reported: BTreeSet<VarId>,
+    diags: Vec<Diagnostic>,
+}
+
+impl LocksetChecker {
+    /// A detector for a machine declaring `isa`. Inert (never reports)
+    /// unless the instruction set has locks.
+    pub fn new(isa: InstructionSet) -> LocksetChecker {
+        LocksetChecker {
+            enabled: isa.allows_lock(),
+            ..LocksetChecker::default()
+        }
+    }
+
+    /// The diagnostics accumulated so far.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    fn check_access(&mut self, p: ProcId, v: VarId, kind: OpKind, step: u64) {
+        let held = self.locks.held(p).clone();
+        match self.state.get_mut(&v) {
+            None => {
+                self.state.insert(v, Ownership::Exclusive { owner: p });
+            }
+            Some(Ownership::Exclusive { owner }) if *owner == p => {}
+            Some(Ownership::Exclusive { owner }) => {
+                let first = *owner;
+                self.state.insert(
+                    v,
+                    Ownership::Shared {
+                        candidates: held.clone(),
+                    },
+                );
+                if held.is_empty() {
+                    self.report(p, v, kind, step, &held, first);
+                }
+            }
+            Some(Ownership::Shared { candidates }) => {
+                let before = candidates.clone();
+                candidates.retain(|l| held.contains(l));
+                if candidates.is_empty() && !before.is_empty() {
+                    self.report(p, v, kind, step, &held, p);
+                }
+            }
+        }
+    }
+
+    fn report(
+        &mut self,
+        p: ProcId,
+        v: VarId,
+        kind: OpKind,
+        step: u64,
+        held: &BTreeSet<VarId>,
+        first_owner: ProcId,
+    ) {
+        if !self.reported.insert(v) {
+            return;
+        }
+        self.diags.push(
+            Diagnostic::new(
+                Severity::Error,
+                codes::DYN_RACE,
+                Span::proc(p).with_var(v).with_step(step),
+                format!(
+                    "data race on v{}: no lock is held across all of its accesses",
+                    v.index()
+                ),
+            )
+            .with_witness(vec![
+                format!(
+                    "step {step}: p{} performed {kind} on v{} holding {}",
+                    p.index(),
+                    v.index(),
+                    render_lockset(held)
+                ),
+                format!("first accessor was p{}", first_owner.index()),
+            ]),
+        );
+    }
+}
+
+impl<S: System + ?Sized> Probe<S> for LocksetChecker {
+    fn observe(&mut self, system: &S, p: ProcId) -> Option<Violation> {
+        if !self.enabled {
+            return None;
+        }
+        let record = system.last_record()?;
+        let step = system.steps();
+        if matches!(record.kind, OpKind::Read | OpKind::Write) {
+            for &v in &record.targets {
+                self.check_access(p, v, record.kind, step);
+            }
+        }
+        self.locks.apply(p, &record);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+    use simsym_vm::engine::{self, stop};
+    use simsym_vm::{FnProgram, Machine, RoundRobin, SystemInit, Value};
+    use std::sync::Arc;
+
+    fn run_checker(m: &mut Machine, steps: u64) -> Vec<Diagnostic> {
+        let mut checker = LocksetChecker::new(m.isa());
+        engine::run(
+            m,
+            &mut RoundRobin::new(),
+            steps,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        checker.into_diagnostics()
+    }
+
+    #[test]
+    fn unprotected_shared_writes_race() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("racy", |local, ops| {
+            let n = ops.name("n");
+            ops.write(n, Value::from(local.pc as i64));
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::L, prog, &init).unwrap();
+        let diags = run_checker(&mut m, 10);
+        assert_eq!(diags.len(), 1, "reported once per variable");
+        assert_eq!(diags[0].code, codes::DYN_RACE);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(!diags[0].witness.is_empty());
+    }
+
+    #[test]
+    fn lock_protected_accesses_are_clean() {
+        // lock n; write n; unlock n — C(v) stays {v}.
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("disciplined", |local, ops| {
+            let n = ops.name("n");
+            match local.pc {
+                0 => {
+                    if ops.lock(n) {
+                        local.pc = 1;
+                    }
+                }
+                1 => {
+                    ops.write(n, Value::from(1));
+                    local.pc = 2;
+                }
+                _ => {
+                    ops.unlock(n);
+                    local.pc = 0;
+                }
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::L, prog, &init).unwrap();
+        assert_eq!(run_checker(&mut m, 60), vec![]);
+    }
+
+    #[test]
+    fn single_owner_warm_up_never_races() {
+        // Only p0 ever writes: stays Exclusive forever.
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("solo", |local, ops| {
+            let n = ops.name("n");
+            if local.pc == 0 {
+                local.pc = 1;
+                ops.write(n, Value::from(1));
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::L, prog, &init).unwrap();
+        // Both processors write once unprotected — second one races.
+        let diags = run_checker(&mut m, 4);
+        assert_eq!(diags.len(), 1);
+
+        // But a machine where only p0 steps (FixedSequence) stays clean.
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("solo", |local, ops| {
+            let n = ops.name("n");
+            ops.write(n, Value::from(local.pc as i64));
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::L, prog, &init).unwrap();
+        let mut checker = LocksetChecker::new(m.isa());
+        let mut sched = simsym_vm::FixedSequence::cycling(vec![ProcId::new(0)]);
+        engine::run(
+            &mut m,
+            &mut sched,
+            10,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        assert_eq!(checker.into_diagnostics(), vec![]);
+    }
+
+    #[test]
+    fn inert_outside_lock_isas() {
+        let g = Arc::new(topology::figure1());
+        let prog = Arc::new(FnProgram::new("racy", |local, ops| {
+            let n = ops.name("n");
+            ops.write(n, Value::from(local.pc as i64));
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        assert_eq!(run_checker(&mut m, 10), vec![]);
+    }
+}

@@ -1,0 +1,488 @@
+//! Static lints: findings computable from the system description alone,
+//! before any execution.
+//!
+//! Four passes, composable by the caller:
+//!
+//! * [`lint_spec`] re-scans raw `.sysg` text leniently and reports what the
+//!   strict parser either rejects opaquely or accepts silently (duplicate
+//!   edge lines, bipartiteness confusion, missing `n_nbr` entries);
+//! * [`lint_graph`] checks a built [`SystemGraph`] for unreachable
+//!   variables and disconnection;
+//! * [`lint_machine`] checks a built [`Machine`] for variable
+//!   representations inconsistent with its declared instruction set;
+//! * [`lint_labeling`] cross-validates the two Algorithm 1 implementations
+//!   (worklist vs. naive fixpoint) and the labeling's environment
+//!   consistency — the similarity output the rest of the workspace trusts.
+
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use simsym_core::{
+    hopcroft_similarity, is_environment_consistent, refinement_similarity, Model, NeighborhoodTable,
+};
+use simsym_graph::SystemGraph;
+use simsym_vm::{Machine, SharedVar, SystemInit};
+use std::collections::BTreeMap;
+
+/// Lints a built system graph: unreachable variables (warning) and
+/// disconnection (info — the paper's model permits it, but selection
+/// results are per-component).
+pub fn lint_graph(graph: &SystemGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for v in graph.variables() {
+        if graph.variable_degree(v) == 0 {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                codes::GRAPH_UNREACHABLE_VAR,
+                Span::var(v),
+                format!(
+                    "shared variable v{} has no incident edges: no processor can ever access it",
+                    v.index()
+                ),
+            ));
+        }
+    }
+    if !graph.is_connected() {
+        diags.push(Diagnostic::new(
+            Severity::Info,
+            codes::GRAPH_DISCONNECTED,
+            Span::none(),
+            "system graph is not connected; selection results apply per component",
+        ));
+    }
+    diags
+}
+
+/// Lints raw spec text (the `.sysg` format of `simsym_graph::spec`).
+///
+/// Unlike [`simsym_graph::parse_spec`], this scan is *lenient*: it keeps
+/// going past problems and reports everything it finds, including defects
+/// the strict parser silently tolerates — a duplicate `edge` line (the
+/// builder collapses it), an identifier declared as both processor and
+/// variable (legal to the parser, but the spec is no longer readable as a
+/// bipartite graph), and names or nodes that no edge ever uses.
+pub fn lint_spec(text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Declaration tables: identifier -> declaration line.
+    let mut names: BTreeMap<String, usize> = BTreeMap::new();
+    let mut procs: BTreeMap<String, usize> = BTreeMap::new();
+    let mut vars: BTreeMap<String, usize> = BTreeMap::new();
+    // (proc, name) -> (var, line) for n_nbr totality/conflicts; the full
+    // edge triple -> line for duplicates.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    let mut used_names: BTreeMap<String, usize> = BTreeMap::new();
+    let mut used_vars: BTreeMap<String, usize> = BTreeMap::new();
+
+    let syntax = |line: usize, detail: String| {
+        Diagnostic::new(Severity::Error, codes::SPEC_SYNTAX, Span::none(), detail)
+            .with_witness(vec![format!("line {line}")])
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut toks = content.split_whitespace();
+        let keyword = toks.next().expect("nonempty line");
+        let rest: Vec<&str> = toks.collect();
+        match keyword {
+            "names" => {
+                if rest.is_empty() {
+                    diags.push(syntax(line, "names needs at least one identifier".into()));
+                }
+                for n in rest {
+                    names.entry(n.to_owned()).or_insert(line);
+                }
+            }
+            "procs" | "vars" => {
+                if rest.is_empty() {
+                    diags.push(syntax(
+                        line,
+                        format!("{keyword} needs at least one identifier"),
+                    ));
+                }
+                let (table, other, other_kind) = if keyword == "procs" {
+                    (&mut procs, &vars, "variable")
+                } else {
+                    (&mut vars, &procs, "processor")
+                };
+                for ident in rest {
+                    if let Some(&prev) = table.get(ident) {
+                        diags.push(syntax(
+                            line,
+                            format!("duplicate {keyword} declaration {ident:?} (first declared on line {prev})"),
+                        ));
+                        continue;
+                    }
+                    if let Some(&prev) = other.get(ident) {
+                        diags.push(
+                            Diagnostic::new(
+                                Severity::Error,
+                                codes::SPEC_NODE_KIND,
+                                Span::none(),
+                                format!(
+                                    "identifier {ident:?} is declared both as a {other_kind} and here — the spec is not bipartite"
+                                ),
+                            )
+                            .with_witness(vec![
+                                format!("line {prev}: first declaration"),
+                                format!("line {line}: conflicting declaration"),
+                            ]),
+                        );
+                    }
+                    table.insert(ident.to_owned(), line);
+                }
+            }
+            "edge" => {
+                let [p, n, v] = rest.as_slice() else {
+                    diags.push(syntax(line, "edge needs: edge <proc> <name> <var>".into()));
+                    continue;
+                };
+                for (ident, table, kind) in [(p, &procs, "processor"), (v, &vars, "variable")] {
+                    if !table.contains_key(*ident) {
+                        diags.push(
+                            Diagnostic::new(
+                                Severity::Error,
+                                codes::SPEC_UNKNOWN_IDENT,
+                                Span::none(),
+                                format!("edge references undeclared {kind} {ident:?}"),
+                            )
+                            .with_witness(vec![format!("line {line}: edge {p} {n} {v}")]),
+                        );
+                    }
+                }
+                if !names.contains_key(*n) {
+                    diags.push(
+                        Diagnostic::new(
+                            Severity::Error,
+                            codes::SPEC_UNKNOWN_IDENT,
+                            Span::none(),
+                            format!("edge references undeclared name {n:?}"),
+                        )
+                        .with_witness(vec![format!("line {line}: edge {p} {n} {v}")]),
+                    );
+                }
+                used_names.entry((*n).to_owned()).or_insert(line);
+                used_vars.entry((*v).to_owned()).or_insert(line);
+                match edges.get(&((*p).to_owned(), (*n).to_owned())) {
+                    None => {
+                        edges.insert(((*p).to_owned(), (*n).to_owned()), ((*v).to_owned(), line));
+                    }
+                    Some((prev_v, prev_line)) if prev_v == v => {
+                        diags.push(
+                            Diagnostic::new(
+                                Severity::Warning,
+                                codes::SPEC_DUP_EDGE,
+                                Span::none(),
+                                format!("duplicate edge {p} {n} {v} (the builder silently collapses it)"),
+                            )
+                            .with_witness(vec![
+                                format!("line {prev_line}: first occurrence"),
+                                format!("line {line}: duplicate"),
+                            ]),
+                        );
+                    }
+                    Some((prev_v, prev_line)) => {
+                        diags.push(
+                            Diagnostic::new(
+                                Severity::Error,
+                                codes::SPEC_EDGE_CONFLICT,
+                                Span::none(),
+                                format!(
+                                    "processor {p} has name {n} towards both {prev_v} and {v}: n_nbr must be a function"
+                                ),
+                            )
+                            .with_witness(vec![
+                                format!("line {prev_line}: edge {p} {n} {prev_v}"),
+                                format!("line {line}: edge {p} {n} {v}"),
+                            ]),
+                        );
+                    }
+                }
+            }
+            "mark" => {
+                let [p, value] = rest.as_slice() else {
+                    diags.push(syntax(line, "mark needs: mark <proc> <integer>".into()));
+                    continue;
+                };
+                if !procs.contains_key(*p) {
+                    diags.push(
+                        Diagnostic::new(
+                            Severity::Error,
+                            codes::SPEC_UNKNOWN_IDENT,
+                            Span::none(),
+                            format!("mark references undeclared processor {p:?}"),
+                        )
+                        .with_witness(vec![format!("line {line}: mark {p} {value}")]),
+                    );
+                }
+                if value.parse::<i64>().is_err() {
+                    diags.push(syntax(line, format!("bad mark value {value:?}")));
+                }
+            }
+            other => diags.push(syntax(line, format!("unknown keyword {other:?}"))),
+        }
+    }
+
+    // Unused names would make every processor "miss" them; report once and
+    // skip the per-processor totality check for those.
+    for (n, &line) in &names {
+        if !used_names.contains_key(n) {
+            diags.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    codes::SPEC_UNUSED,
+                    Span::none(),
+                    format!("name {n:?} is declared but no edge uses it"),
+                )
+                .with_witness(vec![format!("line {line}: declaration")]),
+            );
+        }
+    }
+    for (v, &line) in &vars {
+        if !used_vars.contains_key(v) {
+            diags.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    codes::SPEC_UNUSED,
+                    Span::none(),
+                    format!("variable {v:?} is declared but no edge reaches it"),
+                )
+                .with_witness(vec![format!("line {line}: declaration")]),
+            );
+        }
+    }
+    for p in procs.keys() {
+        for n in names.keys() {
+            if !used_names.contains_key(n) {
+                continue;
+            }
+            if !edges.contains_key(&(p.clone(), n.clone())) {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    codes::SPEC_MISSING_EDGE,
+                    Span::none(),
+                    format!("processor {p} has no edge for name {n}: n_nbr must be total"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Lints a built machine: every variable's representation must match the
+/// declared instruction set (multiset variables belong to Q only, plain
+/// cells to S/L/L*), and a machine without locks must not carry set lock
+/// bits. [`Machine::new`] upholds both by construction, so findings here
+/// mean state was corrupted after the fact — defense in depth.
+pub fn lint_machine(machine: &Machine) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let isa = machine.isa();
+    for v in machine.graph().variables() {
+        match machine.var(v) {
+            SharedVar::Multi { .. } if !isa.uses_multi_vars() => {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    codes::ISA_VAR_KIND,
+                    Span::var(v),
+                    format!(
+                        "v{} is a multiset variable but instruction set {isa} has no peek/post",
+                        v.index()
+                    ),
+                ));
+            }
+            SharedVar::Plain { .. } if isa.uses_multi_vars() => {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    codes::ISA_VAR_KIND,
+                    Span::var(v),
+                    format!(
+                        "v{} is a plain cell but instruction set {isa} requires multiset variables",
+                        v.index()
+                    ),
+                ));
+            }
+            SharedVar::Plain { locked: true, .. } if !isa.allows_lock() => {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    codes::ISA_LOCK_IN_S,
+                    Span::var(v),
+                    format!(
+                        "v{} has its lock bit set but instruction set {isa} has no locks",
+                        v.index()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    diags
+}
+
+/// Cross-validates the similarity labeling (Algorithm 1): the worklist
+/// implementation and the naive fixpoint must agree on the partition, and
+/// the result must satisfy the environment-consistency condition that
+/// makes it a similarity labeling at all (Theorem 4's premise).
+pub fn lint_labeling(graph: &SystemGraph, init: &SystemInit) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let fast = hopcroft_similarity(graph, init, Model::Q);
+    let naive = refinement_similarity(graph, init, Model::Q);
+    if !fast.same_partition(&naive) {
+        let witness = graph
+            .processors()
+            .filter(|&p| fast.as_slice()[p.index()] != naive.as_slice()[p.index()])
+            .map(|p| {
+                format!(
+                    "p{}: worklist label {:?}, fixpoint label {:?}",
+                    p.index(),
+                    fast.as_slice()[p.index()],
+                    naive.as_slice()[p.index()]
+                )
+            })
+            .collect();
+        diags.push(
+            Diagnostic::new(
+                Severity::Error,
+                codes::LABEL_MISMATCH,
+                Span::none(),
+                "the two Algorithm 1 implementations disagree on the similarity partition",
+            )
+            .with_witness(witness),
+        );
+    }
+    if !is_environment_consistent(graph, &fast, Model::Q) {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            codes::LABEL_INCONSISTENT,
+            Span::none(),
+            "similarity labeling violates the Q environment-consistency condition",
+        ));
+    }
+    if let Err(e) = NeighborhoodTable::new(graph, &fast) {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            codes::LABEL_INCONSISTENT,
+            Span::none(),
+            format!("similarity labeling has no consistent neighborhood table: {e:?}"),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+
+    #[test]
+    fn shipped_topologies_lint_clean() {
+        for g in [
+            topology::figure1(),
+            topology::figure2(),
+            topology::figure3(),
+            topology::uniform_ring(5),
+            topology::line(4),
+            topology::star(4),
+            topology::shared_board(3, 2),
+        ] {
+            // figure3 is deliberately disconnected (two similar-but-separate
+            // rings), which lints as an info note; nothing warning-or-worse
+            // may appear on any shipped topology.
+            let diags = lint_graph(&g);
+            assert!(
+                diags.iter().all(|d| d.severity == Severity::Info),
+                "graph lint: {diags:?}"
+            );
+            let init = SystemInit::uniform(&g);
+            assert!(
+                lint_labeling(&g, &init).is_empty(),
+                "labeling lint failed on a shipped topology"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_variable_flagged() {
+        let mut b = SystemGraph::builder();
+        let n = b.name("n");
+        let p = b.processor();
+        let v0 = b.variable();
+        let _orphan = b.variable();
+        b.connect(p, n, v0).unwrap();
+        let g = b.build().unwrap();
+        let diags = lint_graph(&g);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::GRAPH_UNREACHABLE_VAR && d.severity == Severity::Warning));
+        // A degree-0 variable also disconnects the graph.
+        assert!(diags.iter().any(|d| d.code == codes::GRAPH_DISCONNECTED));
+    }
+
+    #[test]
+    fn spec_lints_catch_seeded_defects() {
+        let text = "\
+names a b
+procs p1 p2 shared
+vars v1 v2 shared
+edge p1 a v1
+edge p1 a v1
+edge p2 a v1
+edge p2 a v2
+edge p1 b v2
+edge p3 b v2
+bogus line here
+";
+        let diags = lint_spec(text);
+        let has = |code: &str| diags.iter().any(|d| d.code == code);
+        assert!(has(codes::SPEC_NODE_KIND), "shared is proc and var");
+        assert!(has(codes::SPEC_DUP_EDGE), "edge p1 a v1 twice");
+        assert!(has(codes::SPEC_EDGE_CONFLICT), "p2's a goes to v1 and v2");
+        assert!(has(codes::SPEC_UNKNOWN_IDENT), "p3 undeclared");
+        assert!(has(codes::SPEC_MISSING_EDGE), "p2 has no b edge");
+        assert!(has(codes::SPEC_SYNTAX), "bogus keyword");
+    }
+
+    #[test]
+    fn clean_spec_lints_clean() {
+        let text = "\
+names a
+procs p1 p2
+vars v1
+edge p1 a v1
+edge p2 a v1
+mark p1 1
+";
+        assert_eq!(lint_spec(text), vec![]);
+    }
+
+    #[test]
+    fn unused_name_and_var_are_warnings() {
+        let text = "\
+names a ghost
+procs p1
+vars v1 orphan
+edge p1 a v1
+";
+        let diags = lint_spec(text);
+        let unused: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.code == codes::SPEC_UNUSED)
+            .collect();
+        assert_eq!(unused.len(), 2);
+        assert!(unused.iter().all(|d| d.severity == Severity::Warning));
+        // The unused name must not cascade into missing-edge errors.
+        assert!(!diags.iter().any(|d| d.code == codes::SPEC_MISSING_EDGE));
+    }
+
+    #[test]
+    fn machine_lint_accepts_well_formed_machines() {
+        use simsym_vm::{IdleProgram, InstructionSet};
+        use std::sync::Arc;
+        let g = Arc::new(topology::figure1());
+        let init = SystemInit::uniform(&g);
+        for isa in InstructionSet::ALL {
+            let m = Machine::new(Arc::clone(&g), isa, Arc::new(IdleProgram), &init).unwrap();
+            assert_eq!(lint_machine(&m), vec![]);
+        }
+    }
+}

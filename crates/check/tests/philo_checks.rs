@@ -1,0 +1,109 @@
+//! Seeded regression tests for the dynamic checkers on the dining
+//! philosophers (§7–§8 of the paper).
+//!
+//! Lehmann–Rabin must come out *clean* under the race and deadlock
+//! checkers — its backoff (release the first fork after a single failed
+//! second-fork attempt) is exactly what the hold-and-wait analysis keys
+//! on, so any false positive here is a checker bug. The deterministic
+//! fixed-order philosopher on the uniform table is the known-bad twin:
+//! under round-robin it walks straight into the all-hold-right deadlock,
+//! and the checker must report the full witness cycle around the table.
+
+use simsym_check::diag::{codes, Severity};
+use simsym_check::suite::run_dynamic;
+use simsym_graph::topology;
+use simsym_philo::{LehmannRabinPhilosopher, LockOrderPhilosopher};
+use simsym_vm::{InstructionSet, Machine, RandomFair, RoundRobin, SystemInit};
+use std::sync::Arc;
+
+#[test]
+fn lehmann_rabin_is_clean_under_race_and_deadlock_checkers() {
+    for seed in [1u64, 7, 42] {
+        let g = Arc::new(topology::philosophers_table(5));
+        let prog = Arc::new(LehmannRabinPhilosopher::new(2, 2));
+        let init = SystemInit::uniform(&g);
+        let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init)
+            .expect("machine")
+            .with_randomness(seed ^ 0xD1CE);
+        let outcome = run_dynamic(&mut m, &mut RandomFair::seeded(seed), 20_000);
+        // No races (the protocol touches only lock bits) and no lock-order
+        // cycle (backoff prevents hold-and-wait); the only acceptable
+        // finding is the benign warning that someone still held a fork
+        // when the step budget expired.
+        assert!(
+            outcome
+                .diagnostics
+                .iter()
+                .all(|d| d.severity != Severity::Error),
+            "seed {seed}: {:?}",
+            outcome.diagnostics
+        );
+        assert!(outcome
+            .diagnostics
+            .iter()
+            .all(|d| d.code == codes::DYN_LOCK_LEAK));
+        assert_eq!(outcome.lock_order.edge_count(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn fixed_order_philosophers_deadlock_with_cycle_witness() {
+    let g = Arc::new(topology::philosophers_table(5));
+    let prog = Arc::new(LockOrderPhilosopher::new(1, 1));
+    let init = SystemInit::uniform(&g);
+    let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).expect("machine");
+    let outcome = run_dynamic(&mut m, &mut RoundRobin::new(), 400);
+
+    let cycles: Vec<_> = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == codes::DYN_LOCK_CYCLE)
+        .collect();
+    assert_eq!(
+        cycles.len(),
+        1,
+        "one witness cycle: {:?}",
+        outcome.diagnostics
+    );
+    let cycle = cycles[0];
+    assert_eq!(cycle.severity, Severity::Error);
+    // The witness walks all five forks around the table.
+    assert_eq!(cycle.witness.len(), 5, "witness: {:?}", cycle.witness);
+    assert!(cycle.message.contains("lock-order cycle"));
+    assert!(cycle
+        .witness
+        .iter()
+        .all(|line| line.contains("persistently waited")));
+    // The hold-and-wait graph is exportable for inspection.
+    let dot = outcome.lock_order.to_dot();
+    assert!(dot.starts_with("digraph lockorder {"));
+    assert_eq!(dot.matches(" -> ").count(), outcome.lock_order.edge_count());
+}
+
+#[test]
+fn alternating_table_fixes_the_same_program() {
+    // DP′: the identical deterministic program on the alternating table
+    // (Fig. 5) is deadlock-free — hold-and-wait chains have length <= 2
+    // and never close. The checker must agree.
+    let g = Arc::new(topology::philosophers_alternating(6));
+    let prog = Arc::new(LockOrderPhilosopher::new(1, 1));
+    let init = SystemInit::uniform(&g);
+    let mut m = Machine::new(Arc::clone(&g), InstructionSet::L, prog, &init).expect("machine");
+    let outcome = run_dynamic(&mut m, &mut RoundRobin::new(), 2_000);
+    assert!(
+        outcome
+            .diagnostics
+            .iter()
+            .all(|d| d.code != codes::DYN_LOCK_CYCLE),
+        "no deadlock on the alternating table: {:?}",
+        outcome.diagnostics
+    );
+    assert!(
+        outcome
+            .diagnostics
+            .iter()
+            .all(|d| d.severity != Severity::Error),
+        "{:?}",
+        outcome.diagnostics
+    );
+}

@@ -31,7 +31,7 @@ pub mod stop;
 pub mod sweep;
 pub mod trace;
 
-use crate::{Machine, Scheduler, StepOp};
+use crate::{Machine, OpRecord, Scheduler, StepOp};
 use simsym_graph::ProcId;
 
 pub use probe::{Probe, RunReport, StopReason, Violation};
@@ -70,6 +70,14 @@ pub trait System {
     fn last_op(&self) -> Option<StepOp> {
         None
     }
+
+    /// The full [`OpRecord`] of the most recent step: op kind plus touched
+    /// variables and attempted model violations. Systems that only track
+    /// [`StepOp`]s lift them into records with no target/violation detail;
+    /// the checker layer consumes this stream.
+    fn last_record(&self) -> Option<OpRecord> {
+        self.last_op().map(OpRecord::from_step)
+    }
 }
 
 impl System for Machine {
@@ -99,6 +107,10 @@ impl System for Machine {
 
     fn last_op(&self) -> Option<StepOp> {
         Machine::last_op(self)
+    }
+
+    fn last_record(&self) -> Option<OpRecord> {
+        Machine::last_record(self).cloned()
     }
 }
 

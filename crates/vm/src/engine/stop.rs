@@ -152,4 +152,178 @@ mod tests {
             StopCondition::<Machine>::or(Never, when(|mach: &Machine| mach.steps() >= 1));
         assert!(with_closure.should_stop(&m));
     }
+
+    #[test]
+    fn or_and_truth_tables() {
+        let m = selecting_machine(2);
+        let yes = |_: &Machine| true;
+        let no = |_: &Machine| false;
+        assert!(StopCondition::<Machine>::or(yes, no).should_stop(&m));
+        assert!(StopCondition::<Machine>::or(no, yes).should_stop(&m));
+        assert!(!StopCondition::<Machine>::or(no, no).should_stop(&m));
+        assert!(StopCondition::<Machine>::and(yes, yes).should_stop(&m));
+        assert!(!StopCondition::<Machine>::and(yes, no).should_stop(&m));
+        assert!(!StopCondition::<Machine>::and(no, yes).should_stop(&m));
+    }
+
+    #[test]
+    fn combinators_evaluate_both_sides_for_stateful_conditions() {
+        // `Or`/`And` must not short-circuit: a condition may carry state it
+        // updates on every call (the doc'd contract). Count the calls.
+        let m = selecting_machine(2);
+        let mut left_calls = 0u32;
+        let mut right_calls = 0u32;
+        {
+            let left = |_: &Machine| {
+                left_calls += 1;
+                true
+            };
+            let right = |_: &Machine| {
+                right_calls += 1;
+                false
+            };
+            let mut cond = StopCondition::<Machine>::or(left, right);
+            assert!(cond.should_stop(&m));
+            assert!(!StopCondition::<Machine>::and(
+                |_: &Machine| {
+                    left_calls += 1;
+                    false
+                },
+                |_: &Machine| {
+                    right_calls += 1;
+                    true
+                }
+            )
+            .should_stop(&m));
+        }
+        assert_eq!(left_calls, 2);
+        assert_eq!(right_calls, 2);
+    }
+
+    #[test]
+    fn nested_combinators() {
+        let mut m = selecting_machine(3);
+        m.step(ProcId::new(0));
+        // (any && all) || at-least-1  — the disjunct saves the day.
+        let mut cond = StopCondition::<Machine>::or(
+            StopCondition::<Machine>::and(AnySelected, AllSelected),
+            SelectedAtLeast(1),
+        );
+        assert!(cond.should_stop(&m));
+        // (any || all) && at-least-3  — conjunction still unsatisfied.
+        let mut cond = StopCondition::<Machine>::and(
+            StopCondition::<Machine>::or(AnySelected, AllSelected),
+            SelectedAtLeast(3),
+        );
+        assert!(!cond.should_stop(&m));
+    }
+
+    mod engine_interaction {
+        use super::*;
+        use crate::engine::probe::{Probe, StopReason, Violation};
+        use crate::engine::{self, stop};
+        use crate::RoundRobin;
+
+        /// A probe that demands an early stop at a fixed step count.
+        struct StopAt(u64);
+        impl Probe<Machine> for StopAt {
+            fn observe(&mut self, m: &Machine, _p: ProcId) -> Option<Violation> {
+                (m.steps() >= self.0).then(|| Violation::Custom {
+                    step: m.steps(),
+                    description: "probe-requested stop".to_owned(),
+                })
+            }
+        }
+
+        #[test]
+        fn initially_true_condition_yields_zero_step_run() {
+            // The condition is consulted *before* each step, so a run whose
+            // condition already holds executes nothing.
+            let mut m = selecting_machine(2);
+            let report = engine::run(
+                &mut m,
+                &mut RoundRobin::new(),
+                10,
+                &mut [],
+                &mut stop::when(|_: &Machine| true),
+            );
+            assert_eq!(report.steps, 0);
+            assert_eq!(report.stop, StopReason::Condition);
+        }
+
+        #[test]
+        fn probe_violation_wins_over_pending_condition() {
+            // After step 2 both would fire: the probe (observed right after
+            // the step) and SelectedAtLeast(2) (checked before step 3). The
+            // probe sees the state first, so the run ends with Violation.
+            let mut m = selecting_machine(3);
+            let mut probe = StopAt(2);
+            let report = engine::run(
+                &mut m,
+                &mut RoundRobin::new(),
+                10,
+                &mut [&mut probe],
+                &mut SelectedAtLeast(2),
+            );
+            assert_eq!(report.steps, 2);
+            assert_eq!(report.stop, StopReason::Violation);
+            assert!(matches!(
+                report.violation,
+                Some(Violation::Custom { step: 2, .. })
+            ));
+        }
+
+        #[test]
+        fn condition_stops_before_probe_can_fire() {
+            // SelectedAtLeast(1) holds before step 2, so the run stops
+            // cleanly before the probe's threshold is reached.
+            let mut m = selecting_machine(3);
+            let mut probe = StopAt(2);
+            let report = engine::run(
+                &mut m,
+                &mut RoundRobin::new(),
+                10,
+                &mut [&mut probe],
+                &mut SelectedAtLeast(1),
+            );
+            assert_eq!(report.steps, 1);
+            assert_eq!(report.stop, StopReason::Condition);
+            assert!(report.violation.is_none());
+        }
+
+        #[test]
+        fn finish_runs_on_probes_after_early_stop() {
+            struct SawFinal(Option<u64>);
+            impl Probe<Machine> for SawFinal {
+                fn observe(&mut self, _m: &Machine, _p: ProcId) -> Option<Violation> {
+                    None
+                }
+                fn finish(&mut self, m: &Machine) {
+                    self.0 = Some(m.steps());
+                }
+            }
+            let mut m = selecting_machine(2);
+            let mut passive = SawFinal(None);
+            let mut stopper = StopAt(1);
+            let report = engine::run(
+                &mut m,
+                &mut RoundRobin::new(),
+                10,
+                &mut [&mut passive, &mut stopper],
+                &mut stop::Never,
+            );
+            assert_eq!(report.stop, StopReason::Violation);
+            // Even though the run was aborted by a sibling probe, every
+            // probe's finish() saw the final state.
+            assert_eq!(passive.0, Some(1));
+        }
+
+        #[test]
+        fn never_runs_to_the_step_budget() {
+            let mut m = selecting_machine(2);
+            let report = engine::run(&mut m, &mut RoundRobin::new(), 7, &mut [], &mut stop::Never);
+            assert_eq!(report.steps, 7);
+            assert_eq!(report.stop, StopReason::MaxSteps);
+        }
+    }
 }

@@ -48,7 +48,11 @@ impl SweepScheduler {
         }
     }
 
-    fn build<S: System>(&self, procs: usize, seed: u64) -> Box<dyn Scheduler<S>> {
+    /// Builds the concrete scheduler for one `(family, seed)` run. Public
+    /// so sweep-shaped drivers outside this module (e.g. the checker
+    /// layer's sweep lint) can reproduce exactly the schedules [`sweep`]
+    /// would use.
+    pub fn scheduler<S: System>(&self, procs: usize, seed: u64) -> Box<dyn Scheduler<S>> {
         match self {
             SweepScheduler::RoundRobin => Box::new(RoundRobin::new()),
             SweepScheduler::RandomFair => Box::new(RandomFair::seeded(seed)),
@@ -179,16 +183,10 @@ where
     M: System,
     F: Fn() -> M + Sync,
 {
-    let jobs: Vec<(SweepScheduler, u64)> = config
-        .kinds
-        .iter()
-        .flat_map(|&kind| config.seeds.iter().map(move |&seed| (kind, seed)))
-        .collect();
-
-    let run_job = |&(kind, seed): &(SweepScheduler, u64)| -> SweepOutcome {
+    let outcomes = sweep_jobs(config, |kind, seed| {
         let mut system = factory();
         let procs = system.processor_count();
-        let mut scheduler = kind.build::<M>(procs, seed);
+        let mut scheduler = kind.scheduler::<M>(procs, seed);
         let report = engine::run(
             &mut system,
             &mut *scheduler,
@@ -204,7 +202,27 @@ where
             clean_selection: report.is_clean_selection(),
             final_fingerprint: system.fingerprint(),
         }
-    };
+    });
+    SweepReport { outcomes }
+}
+
+/// Runs `job` over every `(kind, seed)` pair of the config on scoped
+/// threads and returns the results in **deterministic** kind-major
+/// seed-minor order, independent of `config.threads`. [`sweep`] is built
+/// on this; so is the checker layer's sweep lint, which attaches dynamic
+/// checkers to every run.
+pub fn sweep_jobs<R, J>(config: &SweepConfig, job: J) -> Vec<R>
+where
+    R: Send,
+    J: Fn(SweepScheduler, u64) -> R + Sync,
+{
+    let jobs: Vec<(SweepScheduler, u64)> = config
+        .kinds
+        .iter()
+        .flat_map(|&kind| config.seeds.iter().map(move |&seed| (kind, seed)))
+        .collect();
+
+    let run_job = |&(kind, seed): &(SweepScheduler, u64)| -> R { job(kind, seed) };
 
     let threads = config.threads.max(1).min(jobs.len().max(1));
     let outcomes = if threads <= 1 {
@@ -213,7 +231,7 @@ where
         // Strided partition: worker t takes jobs t, t+T, t+2T, … and
         // returns them tagged with their global index, so merging restores
         // kind-major seed-minor order exactly.
-        let mut tagged: Vec<(usize, SweepOutcome)> = std::thread::scope(|scope| {
+        let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let jobs = &jobs;
@@ -236,8 +254,7 @@ where
         tagged.sort_by_key(|&(i, _)| i);
         tagged.into_iter().map(|(_, o)| o).collect()
     };
-
-    SweepReport { outcomes }
+    outcomes
 }
 
 #[cfg(test)]

@@ -66,7 +66,9 @@ pub use explore::{
     explore, find_double_selection, is_quiescent, DoubleSelection, ExploreConfig, ExploreResult,
 };
 pub use isa::InstructionSet;
-pub use machine::{Machine, MachineError, OpEnv, OpKind, PeekView, StepOp};
+pub use machine::{
+    Machine, MachineError, ModelViolation, OpEnv, OpKind, OpRecord, PeekView, StepOp,
+};
 pub use program::{FnProgram, IdleProgram, Program};
 pub use schedule::{
     Adversary, BoundedFairRandom, Excluding, FixedSequence, RandomFair, RoundRobin, ScheduleKind,

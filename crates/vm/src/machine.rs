@@ -134,11 +134,92 @@ pub struct StepOp {
     pub contended: bool,
 }
 
-impl StepOp {
-    fn local() -> StepOp {
-        StepOp {
+/// A machine-model violation a program attempted during a step.
+///
+/// Historically the [`OpEnv`] `panic!`ed on these; they are now *recorded*
+/// on the step's [`OpRecord`] so the checker layer (`simsym-check`) can
+/// surface them as diagnostics instead of crashing the run. The offending
+/// operation is refused: it has no effect on shared state and returns a
+/// neutral value (`Value::Unit` for reads, `false` for lock attempts, an
+/// empty [`PeekView`] for peeks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ModelViolation {
+    /// A second shared operation within one atomic step (§2 requires one
+    /// instruction per step).
+    SecondSharedOp {
+        /// The operation that legitimately charged this step.
+        first: OpKind,
+        /// The refused extra operation.
+        second: OpKind,
+    },
+    /// An operation outside the machine's declared instruction set `I`.
+    OpNotInIsa {
+        /// The refused operation.
+        op: OpKind,
+        /// The machine's instruction set.
+        isa: InstructionSet,
+    },
+}
+
+impl fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelViolation::SecondSharedOp { first, second } => write!(
+                f,
+                "second shared operation ({second}) in one atomic step (after {first})"
+            ),
+            ModelViolation::OpNotInIsa { op, isa } => {
+                write!(f, "{op} is not available in instruction set {isa}")
+            }
+        }
+    }
+}
+
+/// Everything the machine records about its most recent step: the compact
+/// [`StepOp`] fields plus which variables the operation touched and any
+/// [`ModelViolation`]s the program attempted. Traces and metrics consume
+/// the [`StepOp`] projection; the checker layer consumes the full record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The operation the step performed.
+    pub kind: OpKind,
+    /// Whether a lock/lock_many attempt found its target(s) held.
+    pub contended: bool,
+    /// The shared variables the operation addressed (resolved through the
+    /// stepping processor's `n_nbr`; empty for purely local steps).
+    pub targets: Vec<VarId>,
+    /// Model violations attempted during the step, in program order.
+    pub violations: Vec<ModelViolation>,
+}
+
+impl OpRecord {
+    /// A purely local step: no shared operation, no violations.
+    pub fn local() -> OpRecord {
+        OpRecord {
             kind: OpKind::Local,
             contended: false,
+            targets: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Lifts a compact [`StepOp`] into a record with no target or violation
+    /// detail — used by systems that only track `last_op`.
+    pub fn from_step(op: StepOp) -> OpRecord {
+        OpRecord {
+            kind: op.kind,
+            contended: op.contended,
+            targets: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The compact projection recorded by traces and metrics.
+    pub fn step_op(&self) -> StepOp {
+        StepOp {
+            kind: self.kind,
+            contended: self.contended,
         }
     }
 }
@@ -191,7 +272,7 @@ pub struct Machine {
     vars: Vec<SharedVar>,
     steps: u64,
     rng: Option<StdRng>,
-    last_op: Option<StepOp>,
+    last_record: Option<OpRecord>,
 }
 
 impl Machine {
@@ -236,7 +317,7 @@ impl Machine {
             vars,
             steps: 0,
             rng: None,
-            last_op: None,
+            last_record: None,
         })
     }
 
@@ -304,13 +385,15 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is out of range, or if the program violates the
-    /// machine model (more than one shared operation in a step, or an
-    /// operation not in the instruction set) — these are programming
-    /// errors in the [`Program`], not run-time conditions.
+    /// Panics if `p` is out of range. Programs that violate the machine
+    /// model (a second shared operation within the step, or an operation
+    /// outside the instruction set) do **not** panic: the offending
+    /// operation is refused — no shared-state effect, neutral return value
+    /// — and recorded as a [`ModelViolation`] on the step's [`OpRecord`],
+    /// where the checker layer (`simsym-check`) reports it.
     pub fn step(&mut self, p: ProcId) {
         let mut local = std::mem::take(&mut self.locals[p.index()]);
-        let op = {
+        let record = {
             let mut env = OpEnv {
                 graph: &self.graph,
                 isa: self.isa,
@@ -318,20 +401,27 @@ impl Machine {
                 proc: p,
                 rng: &mut self.rng,
                 shared_ops: 0,
-                op: None,
+                record: OpRecord::local(),
             };
             self.program.step(&mut local, &mut env);
-            env.op
+            env.record
         };
         self.locals[p.index()] = local;
         self.steps += 1;
-        self.last_op = Some(op.unwrap_or_else(StepOp::local));
+        self.last_record = Some(record);
     }
 
     /// What the most recent step did (`None` before the first step). The
     /// engine's metrics and trace probes read this after every step.
     pub fn last_op(&self) -> Option<StepOp> {
-        self.last_op
+        self.last_record.as_ref().map(OpRecord::step_op)
+    }
+
+    /// The full record of the most recent step — the [`StepOp`] fields plus
+    /// the touched variables and any attempted [`ModelViolation`]s. The
+    /// checker layer reads this after every step.
+    pub fn last_record(&self) -> Option<&OpRecord> {
+        self.last_record.as_ref()
     }
 
     /// A canonical snapshot of the global state (local states plus
@@ -364,7 +454,10 @@ impl fmt::Debug for Machine {
 /// The shared-operation environment handed to [`Program::step`].
 ///
 /// Enforces the machine model: at most one shared operation per step, and
-/// only operations belonging to the machine's instruction set.
+/// only operations belonging to the machine's instruction set. An
+/// operation that breaks either rule is *refused* — it has no effect on
+/// shared state and returns a neutral value — and a [`ModelViolation`] is
+/// recorded on the step's [`OpRecord`] for the checker layer to report.
 pub struct OpEnv<'m> {
     graph: &'m SystemGraph,
     isa: InstructionSet,
@@ -372,7 +465,7 @@ pub struct OpEnv<'m> {
     proc: ProcId,
     rng: &'m mut Option<StdRng>,
     shared_ops: u32,
-    op: Option<StepOp>,
+    record: OpRecord,
 }
 
 impl<'m> OpEnv<'m> {
@@ -398,61 +491,57 @@ impl<'m> OpEnv<'m> {
         self.graph.name_count()
     }
 
-    fn charge(&mut self, op: OpKind) {
-        self.shared_ops += 1;
-        assert!(
-            self.shared_ops <= 1,
-            "program executed a second shared operation ({}) within one atomic step",
-            op.name()
-        );
-        self.op = Some(StepOp {
-            kind: op,
-            contended: false,
-        });
-    }
-
-    fn mark_contended(&mut self) {
-        if let Some(op) = &mut self.op {
-            op.contended = true;
+    /// Charges the step with `op` on `targets`, enforcing the machine
+    /// model. Returns `false` — recording a [`ModelViolation`] and leaving
+    /// the step uncharged — when the operation must be refused: either a
+    /// shared op already charged this step, or `op` is outside the
+    /// instruction set.
+    fn permit(&mut self, op: OpKind, in_isa: bool, targets: &[VarId]) -> bool {
+        if self.shared_ops >= 1 {
+            self.record.violations.push(ModelViolation::SecondSharedOp {
+                first: self.record.kind,
+                second: op,
+            });
+            return false;
         }
+        if !in_isa {
+            self.record
+                .violations
+                .push(ModelViolation::OpNotInIsa { op, isa: self.isa });
+            return false;
+        }
+        self.shared_ops += 1;
+        self.record.kind = op;
+        self.record.targets = targets.to_vec();
+        true
     }
 
-    fn var_mut(&mut self, n: NameId) -> &mut SharedVar {
-        let v = self.graph.n_nbr(self.proc, n);
-        &mut self.vars[v.index()]
+    fn target(&self, n: NameId) -> VarId {
+        self.graph.n_nbr(self.proc, n)
     }
 
-    /// `read i from n` — S, L, L*.
-    ///
-    /// # Panics
-    ///
-    /// Panics in instruction set Q, or on a second shared op in this step.
+    /// `read i from n` — S, L, L*. Outside those instruction sets, or as a
+    /// second shared op in the step, the read is refused and returns
+    /// [`Value::Unit`].
     pub fn read(&mut self, n: NameId) -> Value {
-        assert!(
-            self.isa.allows_read_write(),
-            "read is not available in instruction set {}",
-            self.isa
-        );
-        self.charge(OpKind::Read);
-        match self.var_mut(n) {
+        let v = self.target(n);
+        if !self.permit(OpKind::Read, self.isa.allows_read_write(), &[v]) {
+            return Value::Unit;
+        }
+        match &self.vars[v.index()] {
             SharedVar::Plain { value, .. } => value.clone(),
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
         }
     }
 
-    /// `write i to n` — S, L, L*.
-    ///
-    /// # Panics
-    ///
-    /// Panics in instruction set Q, or on a second shared op in this step.
+    /// `write i to n` — S, L, L*. Outside those instruction sets, or as a
+    /// second shared op in the step, the write is refused (no effect).
     pub fn write(&mut self, n: NameId, value: Value) {
-        assert!(
-            self.isa.allows_read_write(),
-            "write is not available in instruction set {}",
-            self.isa
-        );
-        self.charge(OpKind::Write);
-        match self.var_mut(n) {
+        let v = self.target(n);
+        if !self.permit(OpKind::Write, self.isa.allows_read_write(), &[v]) {
+            return;
+        }
+        match &mut self.vars[v.index()] {
             SharedVar::Plain { value: slot, .. } => *slot = value,
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
         }
@@ -460,19 +549,14 @@ impl<'m> OpEnv<'m> {
 
     /// `lock(n, success)` — L, L*. Returns `true` when the lock bit was
     /// clear and is now set by this processor; `false` if it was already
-    /// set.
-    ///
-    /// # Panics
-    ///
-    /// Panics outside L/L*, or on a second shared op in this step.
+    /// set. Outside L/L*, or as a second shared op in the step, the
+    /// attempt is refused and returns `false` without touching the bit.
     pub fn lock(&mut self, n: NameId) -> bool {
-        assert!(
-            self.isa.allows_lock(),
-            "lock is not available in instruction set {}",
-            self.isa
-        );
-        self.charge(OpKind::Lock);
-        let acquired = match self.var_mut(n) {
+        let v = self.target(n);
+        if !self.permit(OpKind::Lock, self.isa.allows_lock(), &[v]) {
+            return false;
+        }
+        let acquired = match &mut self.vars[v.index()] {
             SharedVar::Plain { locked, .. } => {
                 if *locked {
                     false
@@ -484,25 +568,20 @@ impl<'m> OpEnv<'m> {
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
         };
         if !acquired {
-            self.mark_contended();
+            self.record.contended = true;
         }
         acquired
     }
 
     /// `unlock(n)` — L, L*. Resets the lock bit unconditionally (the
-    /// paper's locks have no owner).
-    ///
-    /// # Panics
-    ///
-    /// Panics outside L/L*, or on a second shared op in this step.
+    /// paper's locks have no owner). Outside L/L*, or as a second shared
+    /// op in the step, the unlock is refused (no effect).
     pub fn unlock(&mut self, n: NameId) {
-        assert!(
-            self.isa.allows_lock(),
-            "unlock is not available in instruction set {}",
-            self.isa
-        );
-        self.charge(OpKind::Unlock);
-        match self.var_mut(n) {
+        let v = self.target(n);
+        if !self.permit(OpKind::Unlock, self.isa.allows_lock(), &[v]) {
+            return;
+        }
+        match &mut self.vars[v.index()] {
             SharedVar::Plain { locked, .. } => *locked = false,
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
         }
@@ -510,22 +589,14 @@ impl<'m> OpEnv<'m> {
 
     /// Indivisibly locks a **list** of variables (§6 extended locking):
     /// if every named lock bit is clear, sets them all and returns `true`;
-    /// otherwise changes nothing and returns `false`.
-    ///
-    /// # Panics
-    ///
-    /// Panics outside L*, or on a second shared op in this step.
+    /// otherwise changes nothing and returns `false`. Outside L*, or as a
+    /// second shared op in the step, the attempt is refused and returns
+    /// `false`.
     pub fn lock_many(&mut self, names: &[NameId]) -> bool {
-        assert!(
-            self.isa.allows_multi_lock(),
-            "lock_many is not available in instruction set {}",
-            self.isa
-        );
-        self.charge(OpKind::LockMany);
-        let vids: Vec<VarId> = names
-            .iter()
-            .map(|&n| self.graph.n_nbr(self.proc, n))
-            .collect();
+        let vids: Vec<VarId> = names.iter().map(|&n| self.target(n)).collect();
+        if !self.permit(OpKind::LockMany, self.isa.allows_multi_lock(), &vids) {
+            return false;
+        }
         let all_free = vids.iter().all(|v| match &self.vars[v.index()] {
             SharedVar::Plain { locked, .. } => !locked,
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
@@ -537,52 +608,43 @@ impl<'m> OpEnv<'m> {
                 }
             }
         } else {
-            self.mark_contended();
+            self.record.contended = true;
         }
         all_free
     }
 
     /// `peek i from n` — Q. Returns the variable's initial state and the
-    /// unordered multiset of posted subvalues.
-    ///
-    /// # Panics
-    ///
-    /// Panics outside Q, or on a second shared op in this step.
+    /// unordered multiset of posted subvalues. Outside Q, or as a second
+    /// shared op in the step, the peek is refused and returns an empty
+    /// view.
     pub fn peek(&mut self, n: NameId) -> PeekView {
-        assert!(
-            self.isa.allows_peek_post(),
-            "peek is not available in instruction set {}",
-            self.isa
-        );
-        self.charge(OpKind::Peek);
-        match self.var_mut(n) {
-            SharedVar::Multi { base, .. } => {
-                let initial = base.clone();
-                let v = self.graph.n_nbr(self.proc, n);
-                PeekView {
-                    initial,
-                    posted: self.vars[v.index()].peek_all(),
-                }
-            }
+        let v = self.target(n);
+        if !self.permit(OpKind::Peek, self.isa.allows_peek_post(), &[v]) {
+            return PeekView {
+                initial: Value::Unit,
+                posted: Vec::new(),
+            };
+        }
+        let initial = match &self.vars[v.index()] {
+            SharedVar::Multi { base, .. } => base.clone(),
             SharedVar::Plain { .. } => unreachable!("multi ops on plain var"),
+        };
+        PeekView {
+            initial,
+            posted: self.vars[v.index()].peek_all(),
         }
     }
 
     /// `post i to n` — Q. Creates or overwrites this processor's subvalue
-    /// in the named variable.
-    ///
-    /// # Panics
-    ///
-    /// Panics outside Q, or on a second shared op in this step.
+    /// in the named variable. Outside Q, or as a second shared op in the
+    /// step, the post is refused (no effect).
     pub fn post(&mut self, n: NameId, value: Value) {
-        assert!(
-            self.isa.allows_peek_post(),
-            "post is not available in instruction set {}",
-            self.isa
-        );
-        self.charge(OpKind::Post);
+        let v = self.target(n);
+        if !self.permit(OpKind::Post, self.isa.allows_peek_post(), &[v]) {
+            return;
+        }
         let p = self.proc;
-        match self.var_mut(n) {
+        match &mut self.vars[v.index()] {
             SharedVar::Multi { subvalues, .. } => {
                 subvalues.insert(p, value);
             }
@@ -739,37 +801,108 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "second shared operation")]
-    fn two_shared_ops_in_one_step_panic() {
+    fn second_shared_op_is_refused_and_recorded() {
         let prog = Arc::new(FnProgram::new("greedy", |_local, ops| {
             let n = ops.name("n");
-            let _ = ops.read(n);
-            let _ = ops.read(n);
+            ops.write(n, Value::from(7));
+            // Refused: the step is already charged. No effect on the var.
+            ops.write(n, Value::from(9));
         }));
         let mut m = machine_with(InstructionSet::S, prog);
-        m.step(ProcId::new(0));
+        let p0 = ProcId::new(0);
+        m.step(p0);
+        let rec = m.last_record().expect("step recorded");
+        assert_eq!(rec.kind, OpKind::Write);
+        assert_eq!(
+            rec.violations,
+            vec![ModelViolation::SecondSharedOp {
+                first: OpKind::Write,
+                second: OpKind::Write,
+            }]
+        );
+        let v = m.graph().n_nbr(p0, m.graph().names().get("n").unwrap());
+        assert!(matches!(m.var(v), SharedVar::Plain { value, .. } if *value == Value::from(7)));
     }
 
     #[test]
-    #[should_panic(expected = "not available in instruction set S")]
-    fn lock_outside_l_panics() {
-        let prog = Arc::new(FnProgram::new("cheater", |_local, ops| {
+    fn lock_outside_l_is_refused_and_recorded() {
+        let prog = Arc::new(FnProgram::new("cheater", |local, ops| {
             let n = ops.name("n");
-            let _ = ops.lock(n);
+            let got = ops.lock(n);
+            local.set("got", Value::from(got));
         }));
         let mut m = machine_with(InstructionSet::S, prog);
-        m.step(ProcId::new(0));
+        let p0 = ProcId::new(0);
+        m.step(p0);
+        assert_eq!(m.local(p0).get("got"), Value::from(false));
+        let rec = m.last_record().expect("step recorded");
+        // The refused op does not charge the step: the record stays local.
+        assert_eq!(rec.kind, OpKind::Local);
+        assert!(rec.targets.is_empty());
+        assert_eq!(
+            rec.violations,
+            vec![ModelViolation::OpNotInIsa {
+                op: OpKind::Lock,
+                isa: InstructionSet::S,
+            }]
+        );
+        let v = m.graph().n_nbr(p0, m.graph().names().get("n").unwrap());
+        assert!(matches!(m.var(v), SharedVar::Plain { locked: false, .. }));
     }
 
     #[test]
-    #[should_panic(expected = "not available in instruction set Q")]
-    fn read_in_q_panics() {
-        let prog = Arc::new(FnProgram::new("cheater", |_local, ops| {
+    fn read_in_q_is_refused_and_recorded() {
+        let prog = Arc::new(FnProgram::new("cheater", |local, ops| {
             let n = ops.name("n");
-            let _ = ops.read(n);
+            let v = ops.read(n);
+            local.set("seen", v);
         }));
         let mut m = machine_with(InstructionSet::Q, prog);
-        m.step(ProcId::new(0));
+        let p0 = ProcId::new(0);
+        m.step(p0);
+        assert_eq!(m.local(p0).get("seen"), Value::Unit);
+        let rec = m.last_record().expect("step recorded");
+        assert_eq!(
+            rec.violations,
+            vec![ModelViolation::OpNotInIsa {
+                op: OpKind::Read,
+                isa: InstructionSet::Q,
+            }]
+        );
+    }
+
+    #[test]
+    fn op_record_tracks_targets() {
+        let prog = Arc::new(FnProgram::new("locker", |local, ops| {
+            let n = ops.name("n");
+            match local.pc {
+                0 => {
+                    let _ = ops.lock(n);
+                    local.pc = 1;
+                }
+                _ => {
+                    local.pc += 1;
+                }
+            }
+        }));
+        let mut m = machine_with(InstructionSet::L, prog);
+        let p0 = ProcId::new(0);
+        m.step(p0);
+        let v = m.graph().n_nbr(p0, m.graph().names().get("n").unwrap());
+        let rec = m.last_record().expect("step recorded").clone();
+        assert_eq!(rec.kind, OpKind::Lock);
+        assert_eq!(rec.targets, vec![v]);
+        assert_eq!(
+            rec.step_op(),
+            StepOp {
+                kind: OpKind::Lock,
+                contended: false
+            }
+        );
+        m.step(p0);
+        let rec = m.last_record().expect("step recorded");
+        assert_eq!(rec.kind, OpKind::Local);
+        assert!(rec.targets.is_empty());
     }
 
     #[test]

@@ -21,9 +21,11 @@ use std::sync::Arc;
 ///
 /// A schedule step corresponds to executing a *single instruction* (§2).
 /// Each call to [`Program::step`] may therefore perform **at most one**
-/// shared-memory operation through the [`OpEnv`]; the environment panics on
-/// a second operation, because that would be a bug in the program, not a
-/// run-time condition. Local computation between shared operations is
+/// shared-memory operation through the [`OpEnv`]; the environment refuses a
+/// second operation (no effect, neutral return value) and records a
+/// [`ModelViolation`](crate::ModelViolation) on the step's
+/// [`OpRecord`](crate::OpRecord), which the checker layer surfaces as a
+/// diagnostic. Local computation between shared operations is
 /// folded into the same step, which only *strengthens* impossibility
 /// results and does not affect solvability.
 pub trait Program: Send + Sync {

@@ -8,8 +8,10 @@
 //! simsym elect figure2
 //! simsym dine 6 alternating
 //! simsym dot marked-ring:5
+//! simsym lint table:5 --program fixed-order
 //! ```
 
+use simsym::check::{self, suite::lint_sweep, CheckReport, Diagnostic};
 use simsym::core::{
     decide_selection_with_init, hopcroft_similarity, markdown_report, selection_program_q,
     LabelLearner, Model,
@@ -29,12 +31,32 @@ use simsym_graph::ProcId;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+/// What a command produced: text for stdout, plus whether the process
+/// should exit nonzero *after* printing it (lint findings, not usage
+/// errors).
+struct CmdOut {
+    text: String,
+    failed: bool,
+}
+
+/// Wraps successful command text in a passing [`CmdOut`].
+fn ok(text: String) -> Result<CmdOut, String> {
+    Ok(CmdOut {
+        text,
+        failed: false,
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
-        Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -46,37 +68,215 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n\n--trace runs the Q label learner under a seeded random-fair schedule and\nemits a replayable JSON schedule trace (verified by re-execution) on\nstdout; metrics go to stderr.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--json] [--dot]\n\n--trace runs the Q label learner under a seeded random-fair schedule and\nemits a replayable JSON schedule trace (verified by re-execution) on\nstdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy); --dot prints the\nlock-order graph in Graphviz syntax. Exits nonzero on error-severity\nfindings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
 }
 
-fn dispatch(args: &[String]) -> Result<String, String> {
+fn dispatch(args: &[String]) -> Result<CmdOut, String> {
     match args.first().map(String::as_str) {
-        Some("list") => Ok(list()),
+        Some("list") => ok(list()),
         Some("analyze") => {
             let (trace, rest) = extract_trace_flags(&args[1..])?;
             let (graph, init) = parse_system_args(&rest)?;
             match trace {
-                Some(opts) => analyze_trace(&graph, &init, &opts),
-                None => Ok(analyze(&graph, &init)),
+                Some(opts) => analyze_trace(&graph, &init, &opts).and_then(ok),
+                None => ok(analyze(&graph, &init)),
             }
         }
         Some("elect") => {
             let (graph, init) = parse_system_args(&args[1..])?;
-            elect(&graph, &init)
+            elect(&graph, &init).and_then(ok)
         }
-        Some("dine") => dine(&args[1..]),
+        Some("dine") => dine(&args[1..]).and_then(ok),
         Some("report") => {
             let (graph, init) = parse_system_args(&args[1..])?;
-            Ok(markdown_report(&graph, &init))
+            ok(markdown_report(&graph, &init))
         }
         Some("dot") => {
             let (graph, init) = parse_system_args(&args[1..])?;
             let theta = hopcroft_similarity(&graph, &init, Model::Q);
-            Ok(dot::to_dot(&graph, Some(theta.as_slice())))
+            ok(dot::to_dot(&graph, Some(theta.as_slice())))
         }
+        Some("lint") => lint(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_owned()),
     }
+}
+
+/// Options for `lint`.
+struct LintOpts {
+    seed: u64,
+    steps: u64,
+    sweep: bool,
+    json: bool,
+    dot: bool,
+    program: Option<String>,
+}
+
+/// Strips lint flags out of the argument list so the remainder can go
+/// through [`parse_system_args`].
+fn extract_lint_flags(args: &[String]) -> Result<(LintOpts, Vec<String>), String> {
+    let mut opts = LintOpts {
+        seed: 0,
+        steps: 5_000,
+        sweep: false,
+        json: false,
+        dot: false,
+        program: None,
+    };
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                let v = args.get(i + 1).ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                i += 2;
+            }
+            "--steps" => {
+                let v = args.get(i + 1).ok_or("--steps needs a value")?;
+                opts.steps = v.parse().map_err(|_| format!("bad step count {v:?}"))?;
+                i += 2;
+            }
+            "--sweep" => {
+                opts.sweep = true;
+                i += 1;
+            }
+            "--json" => {
+                opts.json = true;
+                i += 1;
+            }
+            "--dot" => {
+                opts.dot = true;
+                i += 1;
+            }
+            "--program" => {
+                let v = args.get(i + 1).ok_or("--program needs a fixture name")?;
+                opts.program = Some(v.clone());
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if opts.dot && opts.sweep {
+        return Err("--dot and --sweep are mutually exclusive".into());
+    }
+    Ok((opts, rest))
+}
+
+/// `simsym lint`: static lints over the system, then the dynamic checker
+/// suite over one seeded run (or a schedule sweep). Exits nonzero when any
+/// error-severity diagnostic is found.
+fn lint(args: &[String]) -> Result<CmdOut, String> {
+    let (opts, rest) = extract_lint_flags(args)?;
+    let spec = rest.first().ok_or("missing system spec")?.clone();
+
+    // Spec files get the raw-text lint before (and regardless of) parsing.
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if let Some(path) = spec.strip_prefix('@') {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        diags.extend(check::lint_spec(&text));
+    }
+    let (graph, init) = match parse_system_args(&rest) {
+        Ok(pair) => pair,
+        // A malformed spec file is a lint finding, not a usage error: the
+        // raw-text lint above has already diagnosed it with line witnesses.
+        Err(_) if diags.iter().any(|d| d.severity == check::Severity::Error) => {
+            let report = CheckReport::new(spec, diags);
+            return lint_render(&report, &opts, None);
+        }
+        Err(e) => return Err(e),
+    };
+
+    diags.extend(check::lint_graph(&graph));
+    diags.extend(check::lint_labeling(&graph, &init));
+
+    let graph = Arc::new(graph);
+    let factory: Box<dyn Fn() -> Machine + Sync> = if let Some(name) = &opts.program {
+        // Validate the fixture name once; the factory can then unwrap.
+        check::fixture_machine(name, Arc::clone(&graph), &init).ok_or_else(|| {
+            format!(
+                "unknown fixture program {name:?} (have: {})",
+                check::FIXTURE_NAMES.join(", ")
+            )
+        })?;
+        let (name, g, init) = (name.clone(), Arc::clone(&graph), init.clone());
+        Box::new(move || {
+            check::fixture_machine(&name, Arc::clone(&g), &init).expect("validated fixture")
+        })
+    } else {
+        // Default dynamic pass: the Q label learner (Algorithm 2), a
+        // known-conforming program that exercises every processor.
+        let labeling = hopcroft_similarity(&graph, &init, Model::Q);
+        match LabelLearner::new(&graph, &init, &labeling) {
+            Ok(learner) => {
+                let prog: Arc<dyn Program> = Arc::new(learner);
+                let (g, init) = (Arc::clone(&graph), init.clone());
+                Box::new(move || {
+                    Machine::new(Arc::clone(&g), InstructionSet::Q, Arc::clone(&prog), &init)
+                        .expect("learner machine construction")
+                })
+            }
+            Err(_) => {
+                // lint_labeling has already reported the inconsistency;
+                // there is no sound machine to run, so stop at statics.
+                let report = CheckReport::new(spec, diags);
+                return lint_render(&report, &opts, None);
+            }
+        }
+    };
+
+    let machine = factory();
+    diags.extend(check::lint_machine(&machine));
+    drop(machine);
+
+    if opts.sweep {
+        use simsym::vm::engine::sweep::{SweepConfig, SweepScheduler};
+        let config = SweepConfig {
+            kinds: vec![SweepScheduler::RoundRobin, SweepScheduler::RandomFair],
+            seeds: (opts.seed..opts.seed + 8).collect(),
+            max_steps: opts.steps,
+            threads: 4,
+        };
+        let sweep = lint_sweep(spec.clone(), &factory, &config);
+        let static_report = CheckReport::new(spec, diags);
+        let failed = static_report.has_errors() || sweep.has_errors();
+        let text = if opts.json {
+            format!("{}\n{}\n", static_report.to_json(), sweep.to_json())
+        } else {
+            format!("{}{}", static_report.render_text(), sweep.render_text())
+        };
+        return Ok(CmdOut { text, failed });
+    }
+
+    let mut machine = factory();
+    let mut sched = RandomFair::seeded(opts.seed);
+    let outcome = check::run_dynamic(&mut machine, &mut sched, opts.steps);
+    diags.extend(outcome.diagnostics);
+    let report = CheckReport::new(spec, diags);
+    lint_render(&report, &opts, Some(&outcome.lock_order))
+}
+
+/// Renders a lint report per the output flags; `--dot` substitutes the
+/// lock-order graph (empty when no dynamic run happened).
+fn lint_render(
+    report: &CheckReport,
+    opts: &LintOpts,
+    lock_order: Option<&check::LockOrderGraph>,
+) -> Result<CmdOut, String> {
+    let text = if opts.dot {
+        lock_order.cloned().unwrap_or_default().to_dot()
+    } else if opts.json {
+        format!("{}\n", report.to_json())
+    } else {
+        report.render_text()
+    };
+    Ok(CmdOut {
+        text,
+        failed: report.has_errors(),
+    })
 }
 
 fn list() -> String {
@@ -427,9 +627,13 @@ mod tests {
     use super::*;
     use simsym::vm::engine::trace::ScheduleTrace;
 
-    fn call(args: &[&str]) -> Result<String, String> {
+    fn call_full(args: &[&str]) -> Result<CmdOut, String> {
         let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         dispatch(&v)
+    }
+
+    fn call(args: &[&str]) -> Result<String, String> {
+        call_full(args).map(|out| out.text)
     }
 
     #[test]
@@ -575,5 +779,95 @@ mod tests {
         let g = parse_system("board:3x2").unwrap();
         assert_eq!(g.processor_count(), 3);
         assert_eq!(g.variable_count(), 2);
+    }
+
+    #[test]
+    fn lint_clean_system_passes() {
+        let out = call_full(&["lint", "ring:5"]).unwrap();
+        assert!(!out.failed, "{}", out.text);
+        assert!(out.text.contains("0 error(s)"), "{}", out.text);
+    }
+
+    #[test]
+    fn lint_detects_all_four_seeded_defect_classes() {
+        // Race: unprotected shared writes under L.
+        let racy = call_full(&["lint", "figure1", "--program", "racy", "--json"]).unwrap();
+        assert!(racy.failed);
+        assert!(racy.text.contains("\"code\":\"DYN-RACE\""), "{}", racy.text);
+        assert!(racy.text.contains("\"witness\":["), "{}", racy.text);
+
+        // Deadlock: fixed-order philosophers on the uniform table.
+        let dead = call_full(&["lint", "table:5", "--program", "fixed-order", "--json"]).unwrap();
+        assert!(dead.failed);
+        assert!(
+            dead.text.contains("\"code\":\"DYN-LOCK-CYCLE\""),
+            "{}",
+            dead.text
+        );
+        assert!(
+            dead.text.contains("persistently waited"),
+            "witness cycle: {}",
+            dead.text
+        );
+
+        // ISA violation: lock attempts on an S machine.
+        let isa = call_full(&["lint", "figure1", "--program", "isa-cheater", "--json"]).unwrap();
+        assert!(isa.failed);
+        assert!(isa.text.contains("\"code\":\"DYN-ISA-OP\""), "{}", isa.text);
+
+        // Atomicity: two shared writes in one step.
+        let atom = call_full(&["lint", "figure1", "--program", "greedy", "--json"]).unwrap();
+        assert!(atom.failed);
+        assert!(
+            atom.text.contains("\"code\":\"DYN-ATOMICITY\""),
+            "{}",
+            atom.text
+        );
+    }
+
+    #[test]
+    fn lint_malformed_spec_reports_diagnostics_not_usage_errors() {
+        let dir = std::env::temp_dir().join("simsym-lint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.sysg");
+        std::fs::write(
+            &path,
+            "names a\nprocs p1 p2\nvars v1\nedge p1 a v1\nedge p1 a v2\nbogus line here\n",
+        )
+        .unwrap();
+        let arg = format!("@{}", path.display());
+        let out = call_full(&["lint", &arg, "--json"]).unwrap();
+        assert!(out.failed);
+        assert!(out.text.contains("SPEC-"), "{}", out.text);
+        assert!(out.text.contains("\"witness\":[\"line "), "{}", out.text);
+    }
+
+    #[test]
+    fn lint_dot_exports_lock_order_graph() {
+        let out = call_full(&["lint", "table:5", "--program", "fixed-order", "--dot"]).unwrap();
+        assert!(out.text.starts_with("digraph lockorder {"), "{}", out.text);
+        assert!(out.text.contains(" -> "), "{}", out.text);
+        // Errors were found, so the exit code still reflects them.
+        assert!(out.failed);
+    }
+
+    #[test]
+    fn lint_sweep_output_is_byte_identical_across_runs() {
+        let args = &["lint", "ring:3", "--sweep", "--steps", "200", "--json"];
+        let a = call_full(args).unwrap();
+        let b = call_full(args).unwrap();
+        assert_eq!(a.text, b.text);
+        assert!(!a.failed, "{}", a.text);
+        assert!(a.text.contains("\"runs\":["), "{}", a.text);
+    }
+
+    #[test]
+    fn lint_rejects_unknown_fixture_and_flag_combos() {
+        assert!(call(&["lint", "ring:3", "--program", "nope"])
+            .unwrap_err()
+            .contains("unknown fixture"));
+        assert!(call(&["lint", "ring:3", "--sweep", "--dot"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
     }
 }

@@ -27,6 +27,10 @@
 //!   (homogeneous families), Algorithm 4 (selection in L via `relabel`),
 //!   mimicry for fair-S systems, the model-power hierarchy, and randomized
 //!   symmetry breaking.
+//! * [`check`] — the lint subsystem: static lints over system graphs and
+//!   topology specs, plus dynamic probe-based checkers (lockset race
+//!   detection, lock-order deadlock analysis, lock discipline, ISA
+//!   conformance) with stable diagnostic codes.
 //! * [`mp`] — a message-passing substrate and its reduction to Q-systems.
 //! * [`philo`] — the Dining Philosophers case study: the impossibility for
 //!   five philosophers (DP), the six-philosopher symmetric deterministic
@@ -65,6 +69,7 @@
 //! See `examples/` for end-to-end demonstrations and `EXPERIMENTS.md` for
 //! the paper-claim vs. measured-result index.
 
+pub use simsym_check as check;
 pub use simsym_core as core;
 pub use simsym_graph as graph;
 pub use simsym_mp as mp;
