@@ -1,0 +1,79 @@
+//! Raw `Machine::step` throughput on the two hot-path workload families:
+//! the Algorithm-2 label learner on rings (instruction set **Q**) and the
+//! dining-philosopher programs (instruction set **L**).
+//!
+//! This is the bench behind the `BENCH_pr3.json` `step_throughput`
+//! entries: it runs a fixed, deterministic number of round-robin steps
+//! per family, so steps/second is directly comparable across commits on
+//! the same host. `simsym bench --json` reproduces the same measurement
+//! off-criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsym_core::{hopcroft_similarity, LabelLearner, Model};
+use simsym_graph::{topology, SystemGraph};
+use simsym_philo::{chandy_misra_init, ChandyMisraPhilosopher, LockOrderPhilosopher};
+use simsym_vm::{run, InstructionSet, Machine, Program, RoundRobin, SystemInit};
+use std::sync::Arc;
+
+/// The Algorithm-2 learner machine for a graph under its uniform init.
+fn learner_machine(graph: SystemGraph) -> Machine {
+    let init = SystemInit::uniform(&graph);
+    let labeling = hopcroft_similarity(&graph, &init, Model::Q);
+    let prog = LabelLearner::new(&graph, &init, &labeling).expect("consistent labeling");
+    Machine::new(Arc::new(graph), InstructionSet::Q, Arc::new(prog), &init).expect("machine")
+}
+
+fn philosopher_machine(graph: SystemGraph, prog: Arc<dyn Program>, init: &SystemInit) -> Machine {
+    Machine::new(Arc::new(graph), InstructionSet::L, prog, init).expect("machine")
+}
+
+fn step_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Learner families: the marked ring does real alibi propagation for
+    // ~diameter rounds; the uniform ring converges in ~4 rounds, so its
+    // budget covers the active protocol (~256 steps) plus a small tail
+    // rather than thousands of converged no-op steps.
+    for (family, graph, steps) in [
+        ("ring", topology::uniform_ring(64), 320u64),
+        ("marked-ring", topology::marked_ring(64), 10_000),
+    ] {
+        let base = learner_machine(graph);
+        group.bench_with_input(BenchmarkId::new(family, 64), &steps, |b, &steps| {
+            b.iter(|| {
+                let mut m = base.clone();
+                run(&mut m, &mut RoundRobin::new(), steps, &mut []).steps
+            })
+        });
+    }
+
+    // Philosopher families: DP′ on the alternating table, Chandy–Misra on
+    // the uniform table. Both keep doing real lock/eat work forever.
+    let g = topology::philosophers_alternating(64);
+    let init = SystemInit::uniform(&g);
+    let base = philosopher_machine(g, Arc::new(LockOrderPhilosopher::new(3, 2)), &init);
+    group.bench_with_input(BenchmarkId::new("alternating", 64), &20_000u64, |b, &s| {
+        b.iter(|| {
+            let mut m = base.clone();
+            run(&mut m, &mut RoundRobin::new(), s, &mut []).steps
+        })
+    });
+
+    let g = topology::philosophers_table(64);
+    let init = chandy_misra_init(&g);
+    let base = philosopher_machine(g, Arc::new(ChandyMisraPhilosopher::new(2, 2)), &init);
+    group.bench_with_input(BenchmarkId::new("table", 64), &20_000u64, |b, &s| {
+        b.iter(|| {
+            let mut m = base.clone();
+            run(&mut m, &mut RoundRobin::new(), s, &mut []).steps
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, step_throughput);
+criterion_main!(benches);

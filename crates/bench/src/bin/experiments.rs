@@ -279,7 +279,7 @@ fn e6() {
     let plan = Algorithm4::plan(&g, &init, k, false, DEFAULT_OUTCOME_BUDGET).unwrap();
     let prog: Arc<dyn Program> = Arc::new(plan.program.expect("solvable"));
     let trials = 20;
-    let graph = Arc::new(g.clone());
+    let graph = Arc::new(g);
     let report = sweep(
         || {
             Machine::new(
@@ -541,13 +541,7 @@ fn e11() {
     let fig2 = topology::figure2();
     let init2 = SystemInit::uniform(&fig2);
     let prog = selection_program_q(&fig2, &init2).unwrap().unwrap();
-    let mut m = Machine::new(
-        Arc::new(fig2.clone()),
-        InstructionSet::Q,
-        Arc::new(prog),
-        &init2,
-    )
-    .unwrap();
+    let mut m = Machine::new(Arc::new(fig2), InstructionSet::Q, Arc::new(prog), &init2).unwrap();
     let _ = run_until(
         &mut m,
         &mut RandomFair::seeded(3),

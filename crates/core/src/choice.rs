@@ -157,7 +157,7 @@ impl Program for ChoiceCoordination {
                 // Learn my label (Algorithm 2).
                 if local.pc < names {
                     let ni = local.pc as usize;
-                    let view = ops.peek(ops.all_names()[ni]);
+                    let view = ops.peek(ops.name_at(ni));
                     store_peek(local, ni, &view, t);
                     local.pc += 1;
                     if local.pc == names {
@@ -166,7 +166,7 @@ impl Program for ChoiceCoordination {
                 } else {
                     let ni = (local.pc - names) as usize;
                     let pec = local.get("pec");
-                    ops.post(ops.all_names()[ni], encode_post(pec, ni, 0, Value::Unit));
+                    ops.post(ops.name_at(ni), encode_post(pec, ni, 0, Value::Unit));
                     local.pc += 1;
                     if local.pc == 2 * names {
                         let pec = set_to_labels(&local.get("pec"));
@@ -192,7 +192,7 @@ impl Program for ChoiceCoordination {
                 if let Some(n) = target {
                     let prior = local.get("mylabel");
                     ops.post(
-                        ops.all_names()[n],
+                        ops.name_at(n),
                         encode_post(Value::tuple([Value::Sym(MARK_TAG)]), n, 1, prior),
                     );
                 }
@@ -261,7 +261,7 @@ impl Program for RandomizedChoice {
                 if slot < slots {
                     let draw = ops.random_below(self.domain) as i64;
                     ops.post(
-                        ops.all_names()[slot as usize],
+                        ops.name_at(slot as usize),
                         Value::tuple([Value::from(draw)]),
                     );
                     local.set("slot", Value::from(slot + 1));
@@ -285,7 +285,7 @@ impl Program for RandomizedChoice {
                 // identical data for everyone, hence identical choices.
                 let slot = local.get("slot").as_int().unwrap_or(0);
                 if slot < slots {
-                    let view = ops.peek(ops.all_names()[slot as usize]);
+                    let view = ops.peek(ops.name_at(slot as usize));
                     let slot_max = view
                         .posted
                         .iter()

@@ -111,7 +111,7 @@ impl Program for ConsensusViaSelection {
                 // Phase 0: Algorithm 2 — learn my label.
                 if local.pc < names {
                     let ni = local.pc as usize;
-                    let view = ops.peek(ops.all_names()[ni]);
+                    let view = ops.peek(ops.name_at(ni));
                     store_peek(local, ni, &view, t);
                     local.pc += 1;
                     if local.pc == names {
@@ -120,7 +120,7 @@ impl Program for ConsensusViaSelection {
                 } else {
                     let ni = (local.pc - names) as usize;
                     let pec = local.get("pec");
-                    ops.post(ops.all_names()[ni], encode_post(pec, ni, 0, Value::Unit));
+                    ops.post(ops.name_at(ni), encode_post(pec, ni, 0, Value::Unit));
                     local.pc += 1;
                     if local.pc == 2 * names {
                         let pec = set_to_labels(&local.get("pec"));
@@ -143,7 +143,7 @@ impl Program for ConsensusViaSelection {
                 // markers and posting my own (once known).
                 if local.pc < names {
                     let ni = local.pc as usize;
-                    let view = ops.peek(ops.all_names()[ni]);
+                    let view = ops.peek(ops.name_at(ni));
                     if ConsensusViaSelection::decision(local).is_none() {
                         for posted in &view.posted {
                             if let Some([payload, _, phase, _]) = posted
@@ -174,7 +174,7 @@ impl Program for ConsensusViaSelection {
                             let payload = Value::tuple([Value::Sym(u32::MAX), d]);
                             let prior = local.get("mylabel");
                             ops.post(
-                                ops.all_names()[ni],
+                                ops.name_at(ni),
                                 encode_post(payload, ni, DECIDE_PHASE, prior),
                             );
                             local.pc += 1;
@@ -403,7 +403,7 @@ mod tests {
         let g = topology::uniform_ring(3);
         let mut init = SystemInit::uniform(&g);
         init.proc_values[0] = Value::from(5);
-        let g2 = g.clone();
+        let g2 = g;
         let init2 = init.clone();
         let outcomes = crash_outcomes(move || consensus_machine(&g2, &init2), 300_000);
         // Crashing the leader (p0) blocks; crashing others may or may not

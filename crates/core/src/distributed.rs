@@ -33,13 +33,59 @@
 use crate::labeling::NeighborhoodTable;
 use crate::{InconsistentLabeling, Label, Labeling};
 use simsym_graph::SystemGraph;
-use simsym_vm::{LocalState, OpEnv, PeekView, Program, SystemInit, Value};
+use simsym_vm::{LocalState, OpEnv, PeekView, Program, RegId, SystemInit, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Sentinel program counter: the processor has learned its label and
 /// halted.
 const DONE: u32 = u32::MAX;
+
+/// Interned register ids shared by the learner programs (Algorithms 2–4),
+/// resolved once per process so the step loops never hash a register name.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LearnerRegs {
+    pub(crate) pec: RegId,
+    pub(crate) vec: RegId,
+    pub(crate) peeked: RegId,
+    pub(crate) round: RegId,
+    pub(crate) phase: RegId,
+    pub(crate) alabel: RegId,
+    pub(crate) true_init: RegId,
+    pub(crate) init: RegId,
+    pub(crate) rname: RegId,
+    pub(crate) rstage: RegId,
+    pub(crate) rbuf: RegId,
+    pub(crate) runlock: RegId,
+    pub(crate) counts: RegId,
+    pub(crate) wait: RegId,
+    pub(crate) post_ni: RegId,
+    pub(crate) pstage: RegId,
+    pub(crate) pbuf: RegId,
+}
+
+pub(crate) fn learner_regs() -> LearnerRegs {
+    static REGS: OnceLock<LearnerRegs> = OnceLock::new();
+    *REGS.get_or_init(|| LearnerRegs {
+        pec: RegId::intern("pec"),
+        vec: RegId::intern("vec"),
+        peeked: RegId::intern("peeked"),
+        round: RegId::intern("round"),
+        phase: RegId::intern("phase"),
+        alabel: RegId::intern("alabel"),
+        true_init: RegId::intern("true_init"),
+        init: RegId::intern("init"),
+        rname: RegId::intern("rname"),
+        rstage: RegId::intern("rstage"),
+        rbuf: RegId::intern("rbuf"),
+        runlock: RegId::intern("runlock"),
+        counts: RegId::intern("counts"),
+        wait: RegId::intern("wait"),
+        post_ni: RegId::intern("post_ni"),
+        pstage: RegId::intern("pstage"),
+        pbuf: RegId::intern("pbuf"),
+    })
+}
 
 /// The compiled knowledge Algorithm 2 needs about `(Σ, Θ)`.
 #[derive(Clone, Debug)]
@@ -232,8 +278,7 @@ impl LabelLearner {
 
     /// The label a processor has learned, if its `PEC` is a singleton.
     pub fn learned_label(local: &LocalState) -> Option<Label> {
-        let pec = local.get_ref("pec")?.as_set()?.to_vec();
-        match pec.as_slice() {
+        match local.reg_opt(learner_regs().pec)?.as_set()? {
             [Value::Sym(l)] => Some(*l),
             _ => None,
         }
@@ -247,7 +292,7 @@ impl LabelLearner {
     /// The current suspect set of a processor.
     pub fn suspects(local: &LocalState) -> Vec<Label> {
         local
-            .get_ref("pec")
+            .reg_opt(learner_regs().pec)
             .and_then(|v| v.as_set())
             .map(|s| s.iter().filter_map(Value::as_sym).collect())
             .unwrap_or_default()
@@ -318,6 +363,7 @@ pub(crate) fn decode_posts(bag: &Value, phase: i64) -> Vec<Posted> {
 impl Program for LabelLearner {
     fn boot(&self, initial: &Value) -> LocalState {
         let t = &self.tables;
+        let r = learner_regs();
         let mut s = LocalState::with_initial(initial.clone());
         let pec: Vec<Label> = if t.ignore_init {
             t.plabels.clone()
@@ -328,16 +374,16 @@ impl Program for LabelLearner {
                 .filter(|l| t.state0_p.get(l) == Some(initial))
                 .collect()
         };
-        s.set("pec", labels_to_set(pec.iter().copied()));
-        s.set(
-            "vec",
+        s.set_reg(r.pec, labels_to_set(pec.iter().copied()));
+        s.set_reg(
+            r.vec,
             Value::tuple(std::iter::repeat_n(Value::Unit, t.names)),
         );
-        s.set(
-            "peeked",
+        s.set_reg(
+            r.peeked,
             Value::tuple(std::iter::repeat_n(Value::Unit, t.names)),
         );
-        s.set("round", Value::from(0));
+        s.set_reg(r.round, Value::from(0));
         if t.names == 0 {
             // Degenerate: no shared variables; the initial suspects are
             // final (a single processor system).
@@ -353,6 +399,7 @@ impl Program for LabelLearner {
 
     fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
         let t = &self.tables;
+        let r = learner_regs();
         let names = t.names as u32;
         if local.pc == DONE {
             return;
@@ -360,7 +407,7 @@ impl Program for LabelLearner {
         if local.pc < names {
             // Peek phase.
             let ni = local.pc as usize;
-            let name = ops.all_names()[ni];
+            let name = ops.name_at(ni);
             let view = ops.peek(name);
             store_peek(local, ni, &view, t);
             local.pc += 1;
@@ -370,14 +417,14 @@ impl Program for LabelLearner {
         } else {
             // Post phase.
             let ni = (local.pc - names) as usize;
-            let name = ops.all_names()[ni];
-            let pec = local.get("pec");
+            let name = ops.name_at(ni);
+            let pec = local.reg(r.pec).clone();
             ops.post(name, encode_post(pec, ni, 0, Value::Unit));
             local.pc += 1;
             if local.pc == 2 * names {
-                let r = local.get("round").as_int().unwrap_or(0);
-                local.set("round", Value::from(r + 1));
-                let pec = set_to_labels(&local.get("pec"));
+                let round = local.reg(r.round).as_int().unwrap_or(0);
+                local.set_reg(r.round, Value::from(round + 1));
+                let pec = set_to_labels(local.reg(r.pec));
                 if pec.len() == 1 {
                     if let Some(elite) = &self.elite {
                         if elite.contains(&pec[0]) {
@@ -400,21 +447,17 @@ impl Program for LabelLearner {
 /// Records the peek result and (re)computes the base candidate set for the
 /// variable, minus previously accumulated alibis.
 pub(crate) fn store_peek(local: &mut LocalState, ni: usize, view: &PeekView, t: &Alg2Tables) {
-    // peeked[ni] = bag of posted records.
-    let mut peeked = local
-        .get_ref("peeked")
-        .and_then(|v| v.as_tuple())
-        .map(<[Value]>::to_vec)
-        .expect("peeked register present");
+    let r = learner_regs();
+    // peeked[ni] = bag of posted records — updated in place.
+    let Some(Value::Tuple(peeked)) = local.reg_mut(r.peeked) else {
+        panic!("peeked register present");
+    };
     peeked[ni] = Value::bag(view.posted.iter().cloned());
-    local.set("peeked", Value::Tuple(peeked));
     // Initialize VEC[ni] on first peek: labels whose state₀ matches the
     // observed initial value.
-    let mut vec = local
-        .get_ref("vec")
-        .and_then(|v| v.as_tuple())
-        .map(<[Value]>::to_vec)
-        .expect("vec register present");
+    let Some(Value::Tuple(vec)) = local.reg_mut(r.vec) else {
+        panic!("vec register present");
+    };
     if vec[ni].is_unit() {
         let base: Vec<Label> = if t.ignore_init {
             t.vlabels.clone()
@@ -426,22 +469,22 @@ pub(crate) fn store_peek(local: &mut LocalState, ni: usize, view: &PeekView, t: 
                 .collect()
         };
         vec[ni] = labels_to_set(base);
-        local.set("vec", Value::Tuple(vec));
     }
 }
 
 /// The body of Algorithm 2's loop after all peeks of a round:
 /// `VEC[n] -= v-alibi(local[n])`, then `PEC -= p-alibi(VEC, local, PEC)`.
 pub(crate) fn update_suspects_phase(local: &mut LocalState, t: &Alg2Tables, phase: i64) {
+    let r = learner_regs();
     let peeked: Vec<Vec<Posted>> = local
-        .get_ref("peeked")
+        .reg_opt(r.peeked)
         .and_then(|v| v.as_tuple())
         .expect("peeked register present")
         .iter()
         .map(|b| decode_posts(b, phase))
         .collect();
     let mut vec: Vec<Vec<Label>> = local
-        .get_ref("vec")
+        .reg_opt(r.vec)
         .and_then(|v| v.as_tuple())
         .expect("vec register present")
         .iter()
@@ -453,15 +496,15 @@ pub(crate) fn update_suspects_phase(local: &mut LocalState, t: &Alg2Tables, phas
         vec[ni].retain(|l| !alibis.contains(l));
     }
     // p-alibi.
-    let pec = set_to_labels(&local.get("pec"));
+    let pec = set_to_labels(local.reg(r.pec));
     let alibis = p_alibi(&pec, &vec, &peeked, t);
     let new_pec: Vec<Label> = pec
         .iter()
         .copied()
         .filter(|l| !alibis.contains(l))
         .collect();
-    local.set("pec", labels_to_set(new_pec));
-    local.set("vec", Value::tuple(vec.into_iter().map(labels_to_set)));
+    local.set_reg(r.pec, labels_to_set(new_pec));
+    local.set_reg(r.vec, Value::tuple(vec.into_iter().map(labels_to_set)));
 }
 
 /// `v-alibi`: variable labels ruled out by the posted suspect sets.
@@ -746,13 +789,7 @@ mod tests {
         let init = SystemInit::uniform(&g);
         let labeling = hopcroft_similarity(&g, &init, Model::Q);
         let prog = LabelLearner::new(&g, &init, &labeling).unwrap();
-        let mut m = Machine::new(
-            Arc::new(g.clone()),
-            InstructionSet::Q,
-            Arc::new(prog),
-            &init,
-        )
-        .unwrap();
+        let mut m = Machine::new(Arc::new(g), InstructionSet::Q, Arc::new(prog), &init).unwrap();
         let mut sched = RoundRobin::new();
         let mut last: Vec<usize> = vec![usize::MAX; 3];
         for _ in 0..200 {

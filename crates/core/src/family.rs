@@ -534,11 +534,7 @@ mod tests {
         b.connect(p, n, v).unwrap();
         let b_graph = b.build().unwrap();
         let b_init = SystemInit::uniform(&b_graph);
-        let fam = GeneralFamily::new(vec![
-            (a_graph.clone(), a_init.clone()),
-            (b_graph.clone(), b_init.clone()),
-        ])
-        .unwrap();
+        let fam = GeneralFamily::new(vec![(a_graph, a_init), (b_graph, b_init)]).unwrap();
         let (ug, ui) = fam.union_system();
         assert_eq!(ug.processor_count(), 3);
         assert!(ui.matches(&ug));

@@ -23,7 +23,7 @@
 
 use crate::refine::initial_partition;
 use crate::{Labeling, Model};
-use simsym_graph::{Node, ProcId, SystemGraph, VarId};
+use simsym_graph::{CsrAdjacency, Node, ProcId, SystemGraph, VarId};
 use simsym_vm::SystemInit;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -39,13 +39,14 @@ pub fn hopcroft_similarity(graph: &SystemGraph, init: &SystemInit, model: Model)
 
 /// Runs worklist refinement from an arbitrary starting partition.
 pub fn refine_worklist(graph: &SystemGraph, start: Labeling, model: Model) -> Labeling {
+    let csr = CsrAdjacency::new(graph);
     let mut p = Partition::new(graph, &start);
     // Seed: every initial class is a potential splitter.
-    let mut worklist: VecDeque<usize> = (0..p.members.len()).collect();
-    let mut queued = vec![true; p.members.len()];
+    let mut worklist: VecDeque<usize> = (0..p.class_count()).collect();
+    let mut queued = vec![true; p.class_count()];
     while let Some(b) = worklist.pop_front() {
         queued[b] = false;
-        let splits = p.split_by(graph, model, b);
+        let splits = p.split_by(&csr, model, b);
         for (_origin, mut parts) in splits {
             if model.counts_neighbors() {
                 // Hopcroft: enqueue all but the largest part — unless the
@@ -57,7 +58,7 @@ pub fn refine_worklist(graph: &SystemGraph, start: Labeling, model: Model) -> La
                     let largest = parts
                         .iter()
                         .copied()
-                        .max_by_key(|&c| p.members[c].len())
+                        .max_by_key(|&c| p.class_len(c))
                         .expect("split produces parts");
                     parts.retain(|&c| c != largest);
                 }
@@ -84,127 +85,219 @@ fn enqueue(worklist: &mut VecDeque<usize>, queued: &mut Vec<bool>, c: usize) {
     }
 }
 
-/// A node's signature relative to a splitter: per-name counts.
-type SplitSig = Vec<(u32, usize)>;
-
-/// Mutable partition state for the worklist algorithm.
+/// Mutable partition state for the worklist algorithm — true Hopcroft
+/// bookkeeping with index vectors instead of per-class `Vec`s and
+/// `BTreeMap`-keyed signatures:
+///
+/// * the member lists of all classes live in **one** contiguous `elems`
+///   array, each class owning the slice `elems[start[c]..end[c]]`; a class
+///   splits by *swapping* its members in place and carving the slice, so no
+///   member list is ever cloned or reallocated;
+/// * split signatures are **counting rows** in a flat `cnt` array (one
+///   `u32` per touched node per name), reset after each splitter by
+///   walking the touched list — allocation-free across `split_by` calls.
 struct Partition {
     /// `class_of[node_linear_index]`.
-    class_of: Vec<usize>,
-    /// `members[class_id]` — node linear indices.
-    members: Vec<Vec<usize>>,
+    class_of: Vec<u32>,
+    /// All node indices, contiguous per class.
+    elems: Vec<u32>,
+    /// `loc[node]` — the node's position in `elems`.
+    loc: Vec<u32>,
+    /// `start[class] .. end[class]` brackets the class's slice of `elems`.
+    start: Vec<u32>,
+    end: Vec<u32>,
+    /// Per-name neighbor counts relative to the current splitter, node-major
+    /// (`cnt[node * names + name]`). Zeroed outside `split_by`.
+    cnt: Vec<u32>,
+    /// Whether a node already appears in `touched`.
+    touched_mark: Vec<bool>,
+    /// Nodes with a nonzero `cnt` row for the current splitter.
+    touched: Vec<u32>,
+    /// Scratch copy of the splitter's members (the splitter's own class may
+    /// split while it is being processed).
+    splitter: Vec<u32>,
+    /// Number of processor nodes (the prefix of the linear index space).
+    procs: usize,
 }
 
 impl Partition {
     fn new(graph: &SystemGraph, start: &Labeling) -> Partition {
         let n = graph.node_count();
-        let mut members: Vec<Vec<usize>> = Vec::new();
-        let mut class_of = vec![0usize; n];
-        let mut remap: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut class_of = vec![0u32; n];
+        let mut remap: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut sizes: Vec<u32> = Vec::new();
         for (i, slot) in class_of.iter_mut().enumerate() {
             let node = Node::from_linear_index(i, graph.processor_count(), graph.variable_count());
             let l = start.of(node);
             let c = *remap.entry(l).or_insert_with(|| {
-                members.push(Vec::new());
-                members.len() - 1
+                sizes.push(0);
+                (sizes.len() - 1) as u32
             });
             *slot = c;
-            members[c].push(i);
+            sizes[c as usize] += 1;
         }
-        Partition { class_of, members }
+        // Counting sort of nodes into contiguous class slices.
+        let mut starts = Vec::with_capacity(sizes.len());
+        let mut ends = Vec::with_capacity(sizes.len());
+        let mut offset = 0u32;
+        for &s in &sizes {
+            starts.push(offset);
+            ends.push(offset + s);
+            offset += s;
+        }
+        let mut cursor = starts.clone();
+        let mut elems = vec![0u32; n];
+        let mut loc = vec![0u32; n];
+        for (i, &c) in class_of.iter().enumerate() {
+            let pos = cursor[c as usize];
+            elems[pos as usize] = i as u32;
+            loc[i] = pos;
+            cursor[c as usize] += 1;
+        }
+        Partition {
+            class_of,
+            elems,
+            loc,
+            start: starts,
+            end: ends,
+            cnt: vec![0; n * graph.name_count()],
+            touched_mark: vec![false; n],
+            touched: Vec::with_capacity(n),
+            splitter: Vec::new(),
+            procs: graph.processor_count(),
+        }
+    }
+
+    fn class_count(&self) -> usize {
+        self.start.len()
+    }
+
+    fn class_len(&self, c: usize) -> usize {
+        (self.end[c] - self.start[c]) as usize
     }
 
     /// Splits every class touched by splitter `b`. Returns, per class that
     /// actually split, the list of resulting class ids (old id first).
-    fn split_by(
-        &mut self,
-        graph: &SystemGraph,
-        model: Model,
-        b: usize,
-    ) -> Vec<(usize, Vec<usize>)> {
-        let pc = graph.processor_count();
-        // Signature of each affected node relative to B.
-        // For processors: sorted list of name-ids whose neighbor is in B.
-        // For variables: per name, count (Q) or presence (S) of B-members.
-        let mut sig: BTreeMap<usize, SplitSig> = BTreeMap::new();
-        let b_members = self.members[b].clone();
-        for &m in &b_members {
+    fn split_by(&mut self, csr: &CsrAdjacency, model: Model, b: usize) -> Vec<(usize, Vec<usize>)> {
+        let names = csr.name_count();
+        let pc = self.procs;
+        // Phase 1: accumulate per-name counts relative to B for every
+        // affected node. For processors the count row is indexed by the
+        // name whose neighbor is in B; for variables by the edge name of
+        // each B-processor.
+        self.splitter.clear();
+        self.splitter
+            .extend_from_slice(&self.elems[self.start[b] as usize..self.end[b] as usize]);
+        for i in 0..self.splitter.len() {
+            let m = self.splitter[i] as usize;
             if m < pc {
                 // Splitter member is a processor: affect its variables.
-                let p = ProcId::new(m);
-                for (ni, &v) in graph.processor_neighbors(p).iter().enumerate() {
+                for (ni, &v) in csr.proc_row(ProcId::new(m)).iter().enumerate() {
                     let node = pc + v.index();
-                    let entry = sig.entry(node).or_default();
-                    bump(entry, ni as u32);
+                    self.touch(node);
+                    self.cnt[node * names + ni] += 1;
                 }
             } else {
                 // Splitter member is a variable: affect its processors.
-                let v = VarId::new(m - pc);
-                for &(p, name) in graph.variable_edges(v) {
-                    let entry = sig.entry(p.index()).or_default();
-                    bump(entry, name.index() as u32);
+                for &(p, name) in csr.var_edges(VarId::new(m - pc)) {
+                    let node = p.index();
+                    self.touch(node);
+                    self.cnt[node * names + name.index()] += 1;
                 }
             }
         }
         if !model.counts_neighbors() {
             // Set semantics: collapse counts to presence.
-            for entry in sig.values_mut() {
-                for e in entry.iter_mut() {
-                    e.1 = 1;
+            for &node in &self.touched {
+                let row = node as usize * names;
+                for slot in &mut self.cnt[row..row + names] {
+                    *slot = (*slot).min(1);
                 }
             }
         }
-        // Group affected nodes by class and split by signature.
-        let mut by_class: BTreeMap<usize, Vec<(usize, SplitSig)>> = BTreeMap::new();
-        for (node, s) in sig {
-            by_class
-                .entry(self.class_of[node])
-                .or_default()
-                .push((node, s));
+        // Phase 2: group touched nodes by (class, count row). Untouched
+        // class members implicitly carry the all-zero row.
+        let mut touched = std::mem::take(&mut self.touched);
+        {
+            let class_of = &self.class_of;
+            let cnt = &self.cnt;
+            touched.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                class_of[a]
+                    .cmp(&class_of[b])
+                    .then_with(|| {
+                        cnt[a * names..a * names + names].cmp(&cnt[b * names..b * names + names])
+                    })
+                    .then_with(|| a.cmp(&b))
+            });
         }
+        // Phase 3: carve each class's signature groups into new classes by
+        // in-place member swaps.
         let mut result = Vec::new();
-        for (class, touched) in by_class {
-            let class_size = self.members[class].len();
-            // Signature groups among touched members; untouched members
-            // implicitly have the empty signature.
-            let mut groups: BTreeMap<SplitSig, Vec<usize>> = BTreeMap::new();
-            for (node, s) in touched {
-                groups.entry(s).or_default().push(node);
+        let mut i = 0;
+        while i < touched.len() {
+            let class = self.class_of[touched[i] as usize] as usize;
+            let mut j = i;
+            while j < touched.len() && self.class_of[touched[j] as usize] as usize == class {
+                j += 1;
             }
-            let touched_total: usize = groups.values().map(Vec::len).sum();
-            let has_untouched = touched_total < class_size;
-            let group_count = groups.len() + usize::from(has_untouched);
-            if group_count <= 1 {
-                continue; // uniform — no split
-            }
-            // Keep the untouched members (if any) in the old class id;
-            // otherwise keep the first group there.
-            let mut part_ids = vec![class];
-            let mut groups_iter = groups.into_values();
-            let keep_first_group = !has_untouched;
-            if keep_first_group {
-                // First group stays as `class`; remove the rest below.
-                let first = groups_iter.next().expect("non-empty groups");
-                // Nothing to move for the first group.
-                drop(first);
-            }
-            for group in groups_iter.by_ref() {
-                let new_id = self.members.len();
-                self.members.push(Vec::new());
-                for node in group {
-                    self.class_of[node] = new_id;
+            let touched_count = j - i;
+            let has_untouched = touched_count < self.class_len(class);
+            // Runs of equal count rows within touched[i..j].
+            let mut runs: Vec<(usize, usize)> = Vec::new();
+            let mut r = i;
+            for k in i + 1..=j {
+                if k == j || !rows_equal(&self.cnt, names, touched[k - 1], touched[k]) {
+                    runs.push((r, k));
+                    r = k;
                 }
-                part_ids.push(new_id);
             }
-            // Rebuild member lists of the old class and the new ones.
-            let old_members = std::mem::take(&mut self.members[class]);
-            for node in old_members {
-                let c = self.class_of[node];
-                self.members[c].push(node);
+            if runs.len() + usize::from(has_untouched) > 1 {
+                // Keep the untouched members (if any) in the old class id;
+                // otherwise keep the first group there.
+                let mut part_ids = vec![class];
+                let skip_first = !has_untouched;
+                for (k, &(rs, re)) in runs.iter().enumerate() {
+                    if skip_first && k == 0 {
+                        continue;
+                    }
+                    let new_id = self.start.len();
+                    let mut e = self.end[class];
+                    for &node in &touched[rs..re] {
+                        e -= 1;
+                        let pos = self.loc[node as usize];
+                        let other = self.elems[e as usize];
+                        self.elems[e as usize] = node;
+                        self.elems[pos as usize] = other;
+                        self.loc[other as usize] = pos;
+                        self.loc[node as usize] = e;
+                        self.class_of[node as usize] = new_id as u32;
+                    }
+                    self.start.push(e);
+                    self.end.push(self.end[class]);
+                    self.end[class] = e;
+                    part_ids.push(new_id);
+                }
+                result.push((class, part_ids));
             }
-            result.push((class, part_ids));
+            i = j;
         }
+        // Phase 4: reset the scratch rows of exactly the touched nodes.
+        for &node in &touched {
+            let row = node as usize * names;
+            self.cnt[row..row + names].fill(0);
+            self.touched_mark[node as usize] = false;
+        }
+        touched.clear();
+        self.touched = touched;
         result
+    }
+
+    fn touch(&mut self, node: usize) {
+        if !self.touched_mark[node] {
+            self.touched_mark[node] = true;
+            self.touched.push(node as u32);
+        }
     }
 
     fn into_labeling(self, graph: &SystemGraph) -> Labeling {
@@ -212,11 +305,9 @@ impl Partition {
     }
 }
 
-fn bump(entry: &mut Vec<(u32, usize)>, name: u32) {
-    match entry.binary_search_by_key(&name, |e| e.0) {
-        Ok(i) => entry[i].1 += 1,
-        Err(i) => entry.insert(i, (name, 1)),
-    }
+fn rows_equal(cnt: &[u32], names: usize, a: u32, b: u32) -> bool {
+    let (a, b) = (a as usize * names, b as usize * names);
+    cnt[a..a + names] == cnt[b..b + names]
 }
 
 #[cfg(test)]

@@ -623,7 +623,7 @@ mod tests {
                 if ni >= ops.name_count() {
                     return;
                 }
-                let name = ops.all_names()[ni];
+                let name = ops.name_at(ni);
                 match local.get("stage").as_int().unwrap_or(0) {
                     0 => {
                         if ops.lock(name) {

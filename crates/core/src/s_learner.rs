@@ -266,7 +266,7 @@ impl Program for SLearner {
         if local.pc < names {
             // Read phase.
             let ni = local.pc as usize;
-            let raw = ops.read(ops.all_names()[ni]);
+            let raw = ops.read(ops.name_at(ni));
             let mut cells = tuple_vec(local, "cells");
             cells[ni] = raw;
             local.set("cells", Value::Tuple(cells));
@@ -277,7 +277,7 @@ impl Program for SLearner {
         } else {
             // Merge-write phase: ensure my record is present in each cell.
             let ni = (local.pc - names) as usize;
-            let name = ops.all_names()[ni];
+            let name = ops.name_at(ni);
             let cells = tuple_vec(local, "cells");
             let (orig, mut records) = decode_cell(&cells[ni]);
             let mine = record(local.get("pec"), ni, local.get("init"));
@@ -528,7 +528,7 @@ mod tests {
                 .expect("tables")
                 .with_elite(elite),
         );
-        let mut m = Machine::new(Arc::new(g.clone()), InstructionSet::S, prog, &init).unwrap();
+        let mut m = Machine::new(Arc::new(g), InstructionSet::S, prog, &init).unwrap();
         let mut sched = BoundedFairRandom::new(5, 6, 11);
         let mut uniq = UniquenessMonitor;
         let mut stab = StabilityMonitor::default();

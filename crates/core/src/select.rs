@@ -31,8 +31,8 @@
 //! schedules, so this restriction loses no generality for solvability.
 
 use crate::distributed::{
-    encode_post, labels_to_set, set_to_labels, store_peek, update_suspects_phase, Alg2Tables,
-    LabelLearner,
+    encode_post, labels_to_set, learner_regs, set_to_labels, store_peek, update_suspects_phase,
+    Alg2Tables, LabelLearner,
 };
 use crate::family::elite_from_member_labels;
 use crate::relabel::{lstar_outcomes, outcome_init, relabel_outcomes};
@@ -124,14 +124,14 @@ impl Algorithm3 {
 
     /// The phase-B (family) label a processor has learned, if finished.
     pub fn learned_label(local: &LocalState) -> Option<Label> {
-        (local.get("phase").as_int() == Some(1) && local.pc == u32::MAX)
+        (local.reg(learner_regs().phase).as_int() == Some(1) && local.pc == u32::MAX)
             .then(|| LabelLearner::learned_label(local))
             .flatten()
     }
 
     /// Whether a processor has finished both phases.
     pub fn is_done(local: &LocalState) -> bool {
-        local.get("phase").as_int() == Some(1) && local.pc == u32::MAX
+        local.reg(learner_regs().phase).as_int() == Some(1) && local.pc == u32::MAX
     }
 }
 
@@ -161,16 +161,18 @@ const DONE: u32 = u32::MAX;
 
 impl Program for Algorithm3 {
     fn boot(&self, initial: &Value) -> LocalState {
+        let r = learner_regs();
         // Phase A boots in ignore-init mode; remember the true initial
         // value for phase B.
         let mut s = LabelLearner::from_tables(Arc::clone(&self.phase_a)).boot(initial);
-        s.set("phase", Value::from(0));
-        s.set("true_init", initial.clone());
+        s.set_reg(r.phase, Value::from(0));
+        s.set_reg(r.true_init, initial.clone());
         s
     }
 
     fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
-        match local.get("phase").as_int() {
+        let r = learner_regs();
+        match local.reg(r.phase).as_int() {
             Some(0) => {
                 let t = &self.phase_a;
                 let names = t.name_count() as u32;
@@ -181,7 +183,7 @@ impl Program for Algorithm3 {
                 }
                 if local.pc < names {
                     let ni = local.pc as usize;
-                    let name = ops.all_names()[ni];
+                    let name = ops.name_at(ni);
                     let view = ops.peek(name);
                     store_peek(local, ni, &view, t);
                     local.pc += 1;
@@ -190,12 +192,12 @@ impl Program for Algorithm3 {
                     }
                 } else {
                     let ni = (local.pc - names) as usize;
-                    let name = ops.all_names()[ni];
-                    let pec = local.get("pec");
+                    let name = ops.name_at(ni);
+                    let pec = local.reg(r.pec).clone();
                     ops.post(name, encode_post(pec, ni, 0, Value::Unit));
                     local.pc += 1;
                     if local.pc == 2 * names {
-                        let pec = set_to_labels(&local.get("pec"));
+                        let pec = set_to_labels(local.reg(r.pec));
                         if pec.len() == 1 {
                             self.enter_phase_b(local);
                         } else {
@@ -216,7 +218,7 @@ impl Program for Algorithm3 {
                 }
                 if local.pc < names {
                     let ni = local.pc as usize;
-                    let name = ops.all_names()[ni];
+                    let name = ops.name_at(ni);
                     let view = ops.peek(name);
                     // VEC was pre-seeded at the phase switch; store_peek
                     // only records the posts.
@@ -227,13 +229,13 @@ impl Program for Algorithm3 {
                     }
                 } else {
                     let ni = (local.pc - names) as usize;
-                    let name = ops.all_names()[ni];
-                    let pec = local.get("pec");
-                    let prior = local.get("alabel");
+                    let name = ops.name_at(ni);
+                    let pec = local.reg(r.pec).clone();
+                    let prior = local.reg(r.alabel).clone();
                     ops.post(name, encode_post(pec, ni, 1, prior));
                     local.pc += 1;
                     if local.pc == 2 * names {
-                        let pec = set_to_labels(&local.get("pec"));
+                        let pec = set_to_labels(local.reg(r.pec));
                         if pec.len() == 1 {
                             if let Some(elite) = &self.elite {
                                 if elite.contains(&pec[0]) {
@@ -258,19 +260,20 @@ impl Program for Algorithm3 {
 
 impl Algorithm3 {
     fn enter_phase_b(&self, local: &mut LocalState) {
+        let r = learner_regs();
         let a_label = LabelLearner::learned_label(local)
             .expect("phase A finished with a singleton suspect set");
-        local.set("alabel", Value::Sym(a_label));
-        local.set("phase", Value::from(1));
+        local.set_reg(r.alabel, Value::Sym(a_label));
+        local.set_reg(r.phase, Value::from(1));
         let tb = &self.phase_b;
-        let true_init = local.get("true_init");
+        let true_init = local.reg(r.true_init).clone();
         let pec: Vec<Label> = tb
             .proc_labels()
             .iter()
             .copied()
             .filter(|l| tb.state0_of_proc(*l) == Some(&true_init))
             .collect();
-        local.set("pec", labels_to_set(pec));
+        local.set_reg(r.pec, labels_to_set(pec));
         // VEC[n] := labels whose (phase-B) initial state is the phase-A
         // label of my n-neighbor, which I can derive from my own phase-A
         // label.
@@ -289,9 +292,9 @@ impl Algorithm3 {
                 )
             })
             .collect();
-        local.set("vec", Value::Tuple(vec));
-        local.set(
-            "peeked",
+        local.set_reg(r.vec, Value::Tuple(vec));
+        local.set_reg(
+            r.peeked,
             Value::tuple(std::iter::repeat_n(Value::Unit, tb.name_count())),
         );
         local.pc = 0;
@@ -446,12 +449,13 @@ fn encode_lvar(count: i64, entries: Vec<(i64, Value)>) -> Value {
 
 impl Program for Algorithm4 {
     fn boot(&self, initial: &Value) -> LocalState {
+        let r = learner_regs();
         let mut s = LocalState::with_initial(initial.clone());
-        s.set("phase", Value::from(0)); // 0 relabel, 1 barrier, 2 learn
-        s.set("rname", Value::from(0));
-        s.set("rstage", Value::from(0));
-        s.set(
-            "counts",
+        s.set_reg(r.phase, Value::from(0)); // 0 relabel, 1 barrier, 2 learn
+        s.set_reg(r.rname, Value::from(0));
+        s.set_reg(r.rstage, Value::from(0));
+        s.set_reg(
+            r.counts,
             Value::tuple(std::iter::repeat_n(Value::Unit, self.names)),
         );
         if self.names == 0 {
@@ -461,17 +465,18 @@ impl Program for Algorithm4 {
     }
 
     fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        let r = learner_regs();
         if local.pc == DONE {
             return;
         }
-        match local.get("phase").as_int() {
+        match local.reg(r.phase).as_int() {
             Some(0) => self.step_relabel(local, ops),
             Some(1) => {
-                let w = local.get("wait").as_int().unwrap_or(0);
+                let w = local.reg(r.wait).as_int().unwrap_or(0);
                 if w <= 1 {
                     self.enter_learn(local);
                 } else {
-                    local.set("wait", Value::from(w - 1));
+                    local.set_reg(r.wait, Value::from(w - 1));
                 }
             }
             Some(2) => self.step_learn(local, ops),
@@ -486,9 +491,10 @@ impl Program for Algorithm4 {
 
 impl Algorithm4 {
     fn step_relabel(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
-        let ni = local.get("rname").as_int().unwrap_or(0) as usize;
-        let name = ops.all_names()[ni];
-        match local.get("rstage").as_int().unwrap_or(0) {
+        let r = learner_regs();
+        let ni = local.reg(r.rname).as_int().unwrap_or(0) as usize;
+        let name = ops.name_at(ni);
+        match local.reg(r.rstage).as_int().unwrap_or(0) {
             0 => {
                 // In L*, atomically lock *all* neighbors; in L, lock the
                 // current one.
@@ -499,26 +505,23 @@ impl Algorithm4 {
                     ops.lock(name)
                 };
                 if got {
-                    local.set("rstage", Value::from(1));
+                    local.set_reg(r.rstage, Value::from(1));
                 }
             }
             1 => {
                 let v = ops.read(name);
                 let (c, entries) = decode_lvar(&v);
-                let mut counts = local
-                    .get_ref("counts")
-                    .and_then(|v| v.as_tuple())
-                    .map(<[Value]>::to_vec)
-                    .expect("counts register");
+                let Some(Value::Tuple(counts)) = local.reg_mut(r.counts) else {
+                    panic!("counts register");
+                };
                 counts[ni] = Value::from(c);
-                local.set("counts", Value::Tuple(counts));
-                local.set("rbuf", encode_lvar(c, entries));
-                local.set("rstage", Value::from(2));
+                local.set_reg(r.rbuf, encode_lvar(c, entries));
+                local.set_reg(r.rstage, Value::from(2));
             }
             2 => {
-                let (c, entries) = decode_lvar(&local.get("rbuf"));
+                let (c, entries) = decode_lvar(local.reg(r.rbuf));
                 ops.write(name, encode_lvar(c + 1, entries));
-                local.set("rstage", Value::from(3));
+                local.set_reg(r.rstage, Value::from(3));
             }
             _ => {
                 if self.extended {
@@ -529,17 +532,17 @@ impl Algorithm4 {
                     if next < self.names {
                         // Move to reading the next variable while still
                         // holding all locks; unlock at the very end.
-                        local.set("rname", Value::from(next));
-                        local.set("rstage", Value::from(1));
+                        local.set_reg(r.rname, Value::from(next));
+                        local.set_reg(r.rstage, Value::from(1));
                         return;
                     }
                     // Release in reverse order, one per step, tracked by
                     // "runlock".
-                    let r = local.get("runlock").as_int().unwrap_or(0) as usize;
-                    if r < self.names {
-                        ops.unlock(ops.all_names()[r]);
-                        local.set("runlock", Value::from(r as i64 + 1));
-                        if r + 1 < self.names {
+                    let ru = local.reg(r.runlock).as_int().unwrap_or(0) as usize;
+                    if ru < self.names {
+                        ops.unlock(ops.name_at(ru));
+                        local.set_reg(r.runlock, Value::from(ru as i64 + 1));
+                        if ru + 1 < self.names {
                             return;
                         }
                     }
@@ -548,8 +551,8 @@ impl Algorithm4 {
                     ops.unlock(name);
                     let next = ni + 1;
                     if next < self.names {
-                        local.set("rname", Value::from(next));
-                        local.set("rstage", Value::from(0));
+                        local.set_reg(r.rname, Value::from(next));
+                        local.set_reg(r.rstage, Value::from(0));
                     } else {
                         self.enter_barrier(local);
                     }
@@ -559,44 +562,47 @@ impl Algorithm4 {
     }
 
     fn enter_barrier(&self, local: &mut LocalState) {
-        local.set("phase", Value::from(1));
-        local.set("wait", Value::from(self.barrier));
+        let r = learner_regs();
+        local.set_reg(r.phase, Value::from(1));
+        local.set_reg(r.wait, Value::from(self.barrier));
     }
 
     fn enter_learn(&self, local: &mut LocalState) {
         let t = &self.tables;
-        local.set("phase", Value::from(2));
+        let r = learner_regs();
+        local.set_reg(r.phase, Value::from(2));
         // Pseudo-initial state: (true init, counts) — the family member's
         // processor state after relabel.
-        let counts = local.get("counts");
-        let pseudo = Value::tuple([local.get("init"), counts]);
+        let counts = local.reg(r.counts).clone();
+        let pseudo = Value::tuple([local.reg(r.init).clone(), counts]);
         let pec: Vec<Label> = t
             .proc_labels()
             .iter()
             .copied()
             .filter(|l| t.state0_of_proc(*l) == Some(&pseudo))
             .collect();
-        local.set("pec", labels_to_set(pec));
-        local.set(
-            "vec",
+        local.set_reg(r.pec, labels_to_set(pec));
+        local.set_reg(
+            r.vec,
             Value::tuple(std::iter::repeat_n(Value::Unit, self.names)),
         );
-        local.set(
-            "peeked",
+        local.set_reg(
+            r.peeked,
             Value::tuple(std::iter::repeat_n(Value::Unit, self.names)),
         );
         local.pc = 0;
-        local.set("post_ni", Value::from(0));
-        local.set("pstage", Value::from(0));
+        local.set_reg(r.post_ni, Value::from(0));
+        local.set_reg(r.pstage, Value::from(0));
     }
 
     fn step_learn(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
         let t = &self.tables;
+        let r = learner_regs();
         let names = self.names as u32;
         if local.pc < names {
             // Emulated peek: one atomic read.
             let ni = local.pc as usize;
-            let name = ops.all_names()[ni];
+            let name = ops.name_at(ni);
             let raw = ops.read(name);
             let (count, entries) = decode_lvar(&raw);
             let view = PeekView {
@@ -607,45 +613,46 @@ impl Algorithm4 {
             local.pc += 1;
             if local.pc == names {
                 update_suspects_phase(local, t, 0);
-                local.set("post_ni", Value::from(0));
-                local.set("pstage", Value::from(0));
+                local.set_reg(r.post_ni, Value::from(0));
+                local.set_reg(r.pstage, Value::from(0));
             }
         } else {
             // Emulated post: lock, read, write own slot, unlock.
-            let ni = local.get("post_ni").as_int().unwrap_or(0) as usize;
-            let name = ops.all_names()[ni];
-            match local.get("pstage").as_int().unwrap_or(0) {
+            let ni = local.reg(r.post_ni).as_int().unwrap_or(0) as usize;
+            let name = ops.name_at(ni);
+            match local.reg(r.pstage).as_int().unwrap_or(0) {
                 0 => {
                     if ops.lock(name) {
-                        local.set("pstage", Value::from(1));
+                        local.set_reg(r.pstage, Value::from(1));
                     }
                 }
                 1 => {
-                    local.set("pbuf", ops.read(name));
-                    local.set("pstage", Value::from(2));
+                    let v = ops.read(name);
+                    local.set_reg(r.pbuf, v);
+                    local.set_reg(r.pstage, Value::from(2));
                 }
                 2 => {
-                    let (count, mut entries) = decode_lvar(&local.get("pbuf"));
+                    let (count, mut entries) = decode_lvar(local.reg(r.pbuf));
                     let rank = local
-                        .get_ref("counts")
+                        .reg_opt(r.counts)
                         .and_then(|v| v.as_tuple())
                         .and_then(|t| t[ni].as_int())
                         .expect("rank recorded during relabel");
-                    entries.retain(|(r, _)| *r != rank);
-                    let payload = encode_post(local.get("pec"), ni, 0, Value::Unit);
+                    entries.retain(|(er, _)| *er != rank);
+                    let payload = encode_post(local.reg(r.pec).clone(), ni, 0, Value::Unit);
                     entries.push((rank, payload));
                     ops.write(name, encode_lvar(count, entries));
-                    local.set("pstage", Value::from(3));
+                    local.set_reg(r.pstage, Value::from(3));
                 }
                 _ => {
                     ops.unlock(name);
                     let next = ni + 1;
                     if next < self.names {
-                        local.set("post_ni", Value::from(next));
-                        local.set("pstage", Value::from(0));
+                        local.set_reg(r.post_ni, Value::from(next));
+                        local.set_reg(r.pstage, Value::from(0));
                     } else {
                         // Round complete.
-                        let pec = set_to_labels(&local.get("pec"));
+                        let pec = set_to_labels(local.reg(r.pec));
                         if pec.len() == 1 {
                             if let Some(elite) = &self.elite {
                                 if elite.contains(&pec[0]) {

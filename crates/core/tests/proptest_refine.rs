@@ -1,0 +1,82 @@
+//! Property tests pinning the index-vector Hopcroft refiner to the naive
+//! fixpoint refiner: on random systems with random marked inits, under
+//! both instruction-set models, the two must produce the same partition.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simsym_core::{hopcroft_similarity, refinement_similarity, Model};
+use simsym_graph::{topology, ProcId, SystemGraph};
+use simsym_vm::SystemInit;
+
+fn arb_graph() -> impl Strategy<Value = SystemGraph> {
+    (2usize..10, 1usize..6, 1usize..4, any::<u64>()).prop_map(|(p, v, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        topology::random_system(p, v, n, &mut rng)
+    })
+}
+
+/// A graph plus a random (possibly empty) set of marked processors.
+fn arb_workload() -> impl Strategy<Value = (SystemGraph, Vec<usize>)> {
+    (arb_graph(), prop::collection::vec(0usize..10, 0..4))
+}
+
+fn init_for(graph: &SystemGraph, raw_marks: &[usize]) -> SystemInit {
+    let mut marks: Vec<ProcId> = raw_marks
+        .iter()
+        .map(|&i| ProcId::new(i % graph.processor_count()))
+        .collect();
+    marks.sort_unstable();
+    marks.dedup();
+    if marks.is_empty() {
+        SystemInit::uniform(graph)
+    } else {
+        SystemInit::with_marked(graph, &marks)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hopcroft_matches_naive_on_random_workloads(
+        (graph, raw_marks) in arb_workload()
+    ) {
+        let init = init_for(&graph, &raw_marks);
+        for model in [Model::Q, Model::FairS, Model::BoundedFairS, Model::L] {
+            let naive = refinement_similarity(&graph, &init, model);
+            let fast = hopcroft_similarity(&graph, &init, model);
+            prop_assert_eq!(
+                &naive, &fast,
+                "partition mismatch under {} on {:?}", model, &graph
+            );
+        }
+    }
+
+    #[test]
+    fn hopcroft_is_stable_under_repetition(
+        (graph, raw_marks) in arb_workload()
+    ) {
+        // Interning order and worklist scheduling must not leak into the
+        // canonical labeling: two runs agree exactly.
+        let init = init_for(&graph, &raw_marks);
+        let a = hopcroft_similarity(&graph, &init, Model::Q);
+        let b = hopcroft_similarity(&graph, &init, Model::Q);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hopcroft_agrees_on_structured_families(n in 3usize..12, marked in any::<bool>()) {
+        let graph = if marked {
+            topology::marked_ring(n)
+        } else {
+            topology::uniform_ring(n)
+        };
+        let init = SystemInit::uniform(&graph);
+        for model in [Model::Q, Model::FairS, Model::BoundedFairS, Model::L] {
+            let naive = refinement_similarity(&graph, &init, model);
+            let fast = hopcroft_similarity(&graph, &init, model);
+            prop_assert_eq!(naive, fast);
+        }
+    }
+}

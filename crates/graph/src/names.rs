@@ -73,8 +73,13 @@ impl NameTable {
 
     /// Looks up an already-interned name.
     pub fn get(&self, name: &str) -> Option<NameId> {
-        // The lookup map is skipped by serde; fall back to a scan so a
-        // deserialized table still resolves correctly.
+        // Small tables (every built-in system has ≤ a handful of names)
+        // resolve faster by scanning than by hashing the key; the scan is
+        // also the fallback when the serde-skipped lookup map is empty
+        // after deserialization.
+        if self.names.len() <= 8 {
+            return self.names.iter().position(|n| n == name).map(NameId::new);
+        }
         if let Some(&id) = self.lookup.get(name) {
             return Some(id);
         }

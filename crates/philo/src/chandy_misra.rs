@@ -25,7 +25,7 @@
 
 use crate::metrics::EATING;
 use simsym_graph::SystemGraph;
-use simsym_vm::{LocalState, OpEnv, Program, SystemInit, Value};
+use simsym_vm::{LocalState, OpEnv, Program, RegId, SystemInit, Value};
 
 /// Side encoding inside a fork record: the user that calls the fork
 /// `right`.
@@ -80,6 +80,37 @@ pub fn chandy_misra_init(graph: &SystemGraph) -> SystemInit {
 pub struct ChandyMisraPhilosopher {
     think: i64,
     eat: i64,
+    regs: CmRegs,
+}
+
+/// Interned register ids, resolved once so the step loop is lookup-free.
+#[derive(Clone, Copy, Debug)]
+struct CmRegs {
+    mode: RegId,
+    t: RegId,
+    e: RegId,
+    fi: RegId,
+    stage: RegId,
+    hold_r: RegId,
+    hold_l: RegId,
+    buf: RegId,
+    eating: RegId,
+}
+
+impl CmRegs {
+    fn intern() -> Self {
+        CmRegs {
+            mode: RegId::intern("mode"),
+            t: RegId::intern("t"),
+            e: RegId::intern("e"),
+            fi: RegId::intern("fi"),
+            stage: RegId::intern("stage"),
+            hold_r: RegId::intern("hold_r"),
+            hold_l: RegId::intern("hold_l"),
+            buf: RegId::intern("buf"),
+            eating: RegId::intern(EATING),
+        }
+    }
 }
 
 impl ChandyMisraPhilosopher {
@@ -93,6 +124,7 @@ impl ChandyMisraPhilosopher {
         ChandyMisraPhilosopher {
             think: i64::from(think),
             eat: i64::from(eat),
+            regs: CmRegs::intern(),
         }
     }
 
@@ -122,54 +154,57 @@ const POST_EAT: i64 = 3;
 
 impl Program for ChandyMisraPhilosopher {
     fn boot(&self, initial: &Value) -> LocalState {
+        let r = self.regs;
         let mut s = LocalState::with_initial(initial.clone());
-        s.set("mode", Value::from(THINK));
-        s.set("t", Value::from(self.think));
-        s.set("fi", Value::from(0));
-        s.set("stage", Value::from(0));
-        s.set("hold_r", Value::from(false));
-        s.set("hold_l", Value::from(false));
-        s.set(EATING, Value::from(false));
+        s.set_reg(r.mode, Value::from(THINK));
+        s.set_reg(r.t, Value::from(self.think));
+        s.set_reg(r.fi, Value::from(0));
+        s.set_reg(r.stage, Value::from(0));
+        s.set_reg(r.hold_r, Value::from(false));
+        s.set_reg(r.hold_l, Value::from(false));
+        s.set_reg(r.eating, Value::from(false));
         s
     }
 
     fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
-        let mode = local.get("mode").as_int().unwrap_or(THINK);
+        let r = self.regs;
+        let mode = local.reg(r.mode).as_int().unwrap_or(THINK);
         if mode == EAT {
-            let e = local.get("e").as_int().unwrap_or(0);
+            let e = local.reg(r.e).as_int().unwrap_or(0);
             if e <= 1 {
-                local.set(EATING, Value::from(false));
-                local.set("mode", Value::from(POST_EAT));
-                local.set("fi", Value::from(0));
-                local.set("stage", Value::from(0));
+                local.set_reg(r.eating, Value::from(false));
+                local.set_reg(r.mode, Value::from(POST_EAT));
+                local.set_reg(r.fi, Value::from(0));
+                local.set_reg(r.stage, Value::from(0));
             } else {
-                local.set("e", Value::from(e - 1));
+                local.set_reg(r.e, Value::from(e - 1));
             }
             return;
         }
         // THINK / HUNGRY / POST_EAT all cycle through fork visits:
         // lock → read → act+write → unlock.
-        let fi = local.get("fi").as_int().unwrap_or(0);
+        let fi = local.reg(r.fi).as_int().unwrap_or(0);
         let name = ops.name(Self::fork_name(fi));
-        match local.get("stage").as_int().unwrap_or(0) {
+        match local.reg(r.stage).as_int().unwrap_or(0) {
             0 => {
                 if ops.lock(name) {
-                    local.set("stage", Value::from(1));
+                    local.set_reg(r.stage, Value::from(1));
                 }
             }
             1 => {
-                local.set("buf", ops.read(name));
-                local.set("stage", Value::from(2));
+                let v = ops.read(name);
+                local.set_reg(r.buf, v);
+                local.set_reg(r.stage, Value::from(2));
             }
             2 => {
-                let (mut holder, mut dirty, mut req_r, mut req_l) = decode_fork(&local.get("buf"));
+                let (mut holder, mut dirty, mut req_r, mut req_l) = decode_fork(local.reg(r.buf));
                 let s = Self::side(fi);
-                let hold_reg = if fi == 0 { "hold_r" } else { "hold_l" };
+                let hold_reg = if fi == 0 { r.hold_r } else { r.hold_l };
                 if mode == POST_EAT {
                     // Eating dirtied the fork.
                     dirty = true;
                 } else if holder == s {
-                    local.set(hold_reg, Value::from(true));
+                    local.set_reg(hold_reg, Value::from(true));
                     let other_requested = if s == RIGHT_USER { req_l } else { req_r };
                     if dirty && other_requested {
                         // Yield: clean the fork, hand it over, clear the
@@ -181,10 +216,10 @@ impl Program for ChandyMisraPhilosopher {
                         } else {
                             req_r = false;
                         }
-                        local.set(hold_reg, Value::from(false));
+                        local.set_reg(hold_reg, Value::from(false));
                     }
                 } else {
-                    local.set(hold_reg, Value::from(false));
+                    local.set_reg(hold_reg, Value::from(false));
                     if mode == HUNGRY {
                         if s == RIGHT_USER {
                             req_r = true;
@@ -194,34 +229,34 @@ impl Program for ChandyMisraPhilosopher {
                     }
                 }
                 ops.write(name, fork_record(holder, dirty, req_r, req_l));
-                local.set("stage", Value::from(3));
+                local.set_reg(r.stage, Value::from(3));
             }
             _ => {
                 ops.unlock(name);
-                local.set("stage", Value::from(0));
-                local.set("fi", Value::from(1 - fi));
+                local.set_reg(r.stage, Value::from(0));
+                local.set_reg(r.fi, Value::from(1 - fi));
                 let completed_pair = fi == 1;
                 match mode {
                     THINK if completed_pair => {
-                        let t = local.get("t").as_int().unwrap_or(0);
+                        let t = local.reg(r.t).as_int().unwrap_or(0);
                         if t <= 1 {
-                            local.set("mode", Value::from(HUNGRY));
+                            local.set_reg(r.mode, Value::from(HUNGRY));
                         } else {
-                            local.set("t", Value::from(t - 1));
+                            local.set_reg(r.t, Value::from(t - 1));
                         }
                     }
                     HUNGRY => {
-                        let both = local.get("hold_r").as_bool() == Some(true)
-                            && local.get("hold_l").as_bool() == Some(true);
+                        let both = local.reg(r.hold_r).as_bool() == Some(true)
+                            && local.reg(r.hold_l).as_bool() == Some(true);
                         if both {
-                            local.set("mode", Value::from(EAT));
-                            local.set("e", Value::from(self.eat));
-                            local.set(EATING, Value::from(true));
+                            local.set_reg(r.mode, Value::from(EAT));
+                            local.set_reg(r.e, Value::from(self.eat));
+                            local.set_reg(r.eating, Value::from(true));
                         }
                     }
                     POST_EAT if completed_pair => {
-                        local.set("mode", Value::from(THINK));
-                        local.set("t", Value::from(self.think));
+                        local.set_reg(r.mode, Value::from(THINK));
+                        local.set_reg(r.t, Value::from(self.think));
                     }
                     _ => {}
                 }

@@ -16,7 +16,7 @@
 //! their coins differ).
 
 use crate::metrics::EATING;
-use simsym_vm::{LocalState, OpEnv, Program, Value};
+use simsym_vm::{LocalState, OpEnv, Program, RegId, Value};
 
 /// The Lehmann–Rabin philosopher (instruction set **L**, randomized
 /// machine required).
@@ -24,6 +24,16 @@ use simsym_vm::{LocalState, OpEnv, Program, Value};
 pub struct LehmannRabinPhilosopher {
     think: i64,
     eat: i64,
+    regs: LrRegs,
+}
+
+/// Interned register ids, resolved once at construction.
+#[derive(Clone, Copy, Debug)]
+struct LrRegs {
+    t: RegId,
+    e: RegId,
+    flip: RegId,
+    eating: RegId,
 }
 
 impl LehmannRabinPhilosopher {
@@ -37,6 +47,12 @@ impl LehmannRabinPhilosopher {
         LehmannRabinPhilosopher {
             think: i64::from(think),
             eat: i64::from(eat),
+            regs: LrRegs {
+                t: RegId::intern("t"),
+                e: RegId::intern("e"),
+                flip: RegId::intern("flip"),
+                eating: RegId::intern(EATING),
+            },
         }
     }
 }
@@ -51,38 +67,40 @@ fn fork_name(first: bool, flip: bool) -> &'static str {
 
 impl Program for LehmannRabinPhilosopher {
     fn boot(&self, initial: &Value) -> LocalState {
+        let r = self.regs;
         let mut s = LocalState::with_initial(initial.clone());
-        s.set("t", Value::from(self.think));
-        s.set(EATING, Value::from(false));
+        s.set_reg(r.t, Value::from(self.think));
+        s.set_reg(r.eating, Value::from(false));
         s.pc = 0; // 0 think, 1 flip+try first, 2 try second, 3 put back first, 4 eat, 5 release second, 6 release first
         s
     }
 
     fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        let r = self.regs;
         match local.pc {
             0 => {
-                let t = local.get("t").as_int().unwrap_or(0);
+                let t = local.reg(r.t).as_int().unwrap_or(0);
                 if t <= 1 {
                     // Free choice: flip the coin for this attempt.
                     let flip = ops.coin();
-                    local.set("flip", Value::from(flip));
+                    local.set_reg(r.flip, Value::from(flip));
                     local.pc = 1;
                 } else {
-                    local.set("t", Value::from(t - 1));
+                    local.set_reg(r.t, Value::from(t - 1));
                 }
             }
             1 => {
-                let flip = local.get("flip").as_bool().unwrap_or(true);
+                let flip = local.reg(r.flip).as_bool().unwrap_or(true);
                 if ops.lock(ops.name(fork_name(true, flip))) {
                     local.pc = 2;
                 }
                 // On failure: wait (retry) — LR waits for the first fork.
             }
             2 => {
-                let flip = local.get("flip").as_bool().unwrap_or(true);
+                let flip = local.reg(r.flip).as_bool().unwrap_or(true);
                 if ops.lock(ops.name(fork_name(false, flip))) {
-                    local.set(EATING, Value::from(true));
-                    local.set("e", Value::from(self.eat));
+                    local.set_reg(r.eating, Value::from(true));
+                    local.set_reg(r.e, Value::from(self.eat));
                     local.pc = 4;
                 } else {
                     // Single attempt at the second fork: put the first
@@ -91,30 +109,30 @@ impl Program for LehmannRabinPhilosopher {
                 }
             }
             3 => {
-                let flip = local.get("flip").as_bool().unwrap_or(true);
+                let flip = local.reg(r.flip).as_bool().unwrap_or(true);
                 ops.unlock(ops.name(fork_name(true, flip)));
                 let flip = ops.coin();
-                local.set("flip", Value::from(flip));
+                local.set_reg(r.flip, Value::from(flip));
                 local.pc = 1;
             }
             4 => {
-                let e = local.get("e").as_int().unwrap_or(0);
+                let e = local.reg(r.e).as_int().unwrap_or(0);
                 if e <= 1 {
-                    local.set(EATING, Value::from(false));
+                    local.set_reg(r.eating, Value::from(false));
                     local.pc = 5;
                 } else {
-                    local.set("e", Value::from(e - 1));
+                    local.set_reg(r.e, Value::from(e - 1));
                 }
             }
             5 => {
-                let flip = local.get("flip").as_bool().unwrap_or(true);
+                let flip = local.reg(r.flip).as_bool().unwrap_or(true);
                 ops.unlock(ops.name(fork_name(false, flip)));
                 local.pc = 6;
             }
             _ => {
-                let flip = local.get("flip").as_bool().unwrap_or(true);
+                let flip = local.reg(r.flip).as_bool().unwrap_or(true);
                 ops.unlock(ops.name(fork_name(true, flip)));
-                local.set("t", Value::from(self.think));
+                local.set_reg(r.t, Value::from(self.think));
                 local.pc = 0;
             }
         }

@@ -1,14 +1,22 @@
 //! Monitors and metrics for dining-philosophers runs.
 
 use simsym_graph::{ProcId, SystemGraph};
-use simsym_vm::{Machine, Monitor, Violation};
+use simsym_vm::{Machine, Monitor, RegId, Violation};
+use std::sync::OnceLock;
 
 /// The conventional register philosophers set while eating.
 pub const EATING: &str = "eating";
 
+/// The interned id of [`EATING`], cached so per-step monitors skip the
+/// name lookup.
+pub fn eating_reg() -> RegId {
+    static R: OnceLock<RegId> = OnceLock::new();
+    *R.get_or_init(|| RegId::intern(EATING))
+}
+
 /// Whether a philosopher is currently eating.
 pub fn is_eating(machine: &Machine, p: ProcId) -> bool {
-    machine.local(p).get(EATING).as_bool() == Some(true)
+    machine.local(p).reg(eating_reg()).as_bool() == Some(true)
 }
 
 /// Pairs of philosophers that share a fork (adjacent at the table).

@@ -2,7 +2,7 @@
 //! §7 and the six-philosopher solution DP′.
 
 use crate::metrics::EATING;
-use simsym_vm::{LocalState, OpEnv, Program, Value};
+use simsym_vm::{LocalState, OpEnv, Program, RegId, Value};
 
 /// A deterministic, symmetric philosopher: think, lock the `right` fork,
 /// lock the `left` fork (holding the right), eat, release both, repeat.
@@ -20,6 +20,26 @@ use simsym_vm::{LocalState, OpEnv, Program, Value};
 pub struct LockOrderPhilosopher {
     think: i64,
     eat: i64,
+    regs: PhiloRegs,
+}
+
+/// Register ids shared by the philosopher programs, interned once at
+/// program construction so the step loop never does a name lookup.
+#[derive(Clone, Copy, Debug)]
+struct PhiloRegs {
+    t: RegId,
+    e: RegId,
+    eating: RegId,
+}
+
+impl PhiloRegs {
+    fn intern() -> Self {
+        PhiloRegs {
+            t: RegId::intern("t"),
+            e: RegId::intern("e"),
+            eating: RegId::intern(EATING),
+        }
+    }
 }
 
 impl LockOrderPhilosopher {
@@ -33,6 +53,7 @@ impl LockOrderPhilosopher {
         LockOrderPhilosopher {
             think: i64::from(think),
             eat: i64::from(eat),
+            regs: PhiloRegs::intern(),
         }
     }
 }
@@ -40,20 +61,21 @@ impl LockOrderPhilosopher {
 impl Program for LockOrderPhilosopher {
     fn boot(&self, initial: &Value) -> LocalState {
         let mut s = LocalState::with_initial(initial.clone());
-        s.set("t", Value::from(self.think));
-        s.set(EATING, Value::from(false));
+        s.set_reg(self.regs.t, Value::from(self.think));
+        s.set_reg(self.regs.eating, Value::from(false));
         s.pc = 0; // 0 think, 1 lock right, 2 lock left, 3 eat, 4 unlock left, 5 unlock right
         s
     }
 
     fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
+        let r = self.regs;
         match local.pc {
             0 => {
-                let t = local.get("t").as_int().unwrap_or(0);
+                let t = local.reg(r.t).as_int().unwrap_or(0);
                 if t <= 1 {
                     local.pc = 1;
                 } else {
-                    local.set("t", Value::from(t - 1));
+                    local.set_reg(r.t, Value::from(t - 1));
                 }
             }
             1 => {
@@ -63,18 +85,18 @@ impl Program for LockOrderPhilosopher {
             }
             2 => {
                 if ops.lock(ops.name("left")) {
-                    local.set(EATING, Value::from(true));
-                    local.set("e", Value::from(self.eat));
+                    local.set_reg(r.eating, Value::from(true));
+                    local.set_reg(r.e, Value::from(self.eat));
                     local.pc = 3;
                 }
             }
             3 => {
-                let e = local.get("e").as_int().unwrap_or(0);
+                let e = local.reg(r.e).as_int().unwrap_or(0);
                 if e <= 1 {
-                    local.set(EATING, Value::from(false));
+                    local.set_reg(r.eating, Value::from(false));
                     local.pc = 4;
                 } else {
-                    local.set("e", Value::from(e - 1));
+                    local.set_reg(r.e, Value::from(e - 1));
                 }
             }
             4 => {
@@ -83,7 +105,7 @@ impl Program for LockOrderPhilosopher {
             }
             _ => {
                 ops.unlock(ops.name("right"));
-                local.set("t", Value::from(self.think));
+                local.set_reg(r.t, Value::from(self.think));
                 local.pc = 0;
             }
         }
@@ -104,6 +126,7 @@ impl Program for LockOrderPhilosopher {
 pub struct ObliviousPhilosopher {
     think: i64,
     eat: i64,
+    regs: PhiloRegs,
 }
 
 impl ObliviousPhilosopher {
@@ -117,6 +140,7 @@ impl ObliviousPhilosopher {
         ObliviousPhilosopher {
             think: i64::from(think),
             eat: i64::from(eat),
+            regs: PhiloRegs::intern(),
         }
     }
 }
@@ -124,31 +148,32 @@ impl ObliviousPhilosopher {
 impl Program for ObliviousPhilosopher {
     fn boot(&self, initial: &Value) -> LocalState {
         let mut s = LocalState::with_initial(initial.clone());
-        s.set("t", Value::from(self.think));
-        s.set(EATING, Value::from(false));
+        s.set_reg(self.regs.t, Value::from(self.think));
+        s.set_reg(self.regs.eating, Value::from(false));
         s
     }
 
     fn step(&self, local: &mut LocalState, _ops: &mut OpEnv<'_>) {
+        let r = self.regs;
         match local.pc {
             0 => {
-                let t = local.get("t").as_int().unwrap_or(0);
+                let t = local.reg(r.t).as_int().unwrap_or(0);
                 if t <= 1 {
-                    local.set(EATING, Value::from(true));
-                    local.set("e", Value::from(self.eat));
+                    local.set_reg(r.eating, Value::from(true));
+                    local.set_reg(r.e, Value::from(self.eat));
                     local.pc = 1;
                 } else {
-                    local.set("t", Value::from(t - 1));
+                    local.set_reg(r.t, Value::from(t - 1));
                 }
             }
             _ => {
-                let e = local.get("e").as_int().unwrap_or(0);
+                let e = local.reg(r.e).as_int().unwrap_or(0);
                 if e <= 1 {
-                    local.set(EATING, Value::from(false));
-                    local.set("t", Value::from(self.think));
+                    local.set_reg(r.eating, Value::from(false));
+                    local.set_reg(r.t, Value::from(self.think));
                     local.pc = 0;
                 } else {
-                    local.set("e", Value::from(e - 1));
+                    local.set_reg(r.e, Value::from(e - 1));
                 }
             }
         }

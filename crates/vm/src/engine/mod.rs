@@ -127,7 +127,9 @@ pub fn run<S: System + ?Sized>(
     probes: &mut [&mut dyn Probe<S>],
     stop: &mut dyn StopCondition<S>,
 ) -> RunReport {
-    let mut schedule = Vec::new();
+    // Reserve the whole schedule up front (capped so absurd budgets
+    // don't pre-commit memory): no reallocation during the hot loop.
+    let mut schedule = Vec::with_capacity(max_steps.min(1 << 20) as usize);
     let mut steps = 0u64;
     let mut violation = None;
     let mut reason = StopReason::MaxSteps;

@@ -76,6 +76,14 @@ type CanonState = (Vec<LocalState>, Vec<SharedVar>);
 /// Explores all schedules of `machine` up to the configured depth,
 /// deduplicating global states.
 ///
+/// The DFS is **undo-based**: instead of cloning the whole machine per
+/// branch, it applies one step with [`Machine::step_undoable`], recurses,
+/// and reverses the delta with [`Machine::undo`]. States are deduplicated
+/// by the incrementally maintained 128-bit fingerprint. Whole-machine
+/// clones happen only at fanout frontiers (one per worker when `threads >
+/// 1`). [`explore_reference`] keeps the original clone-per-branch
+/// traversal; the two are property-tested equivalent.
+///
 /// # Panics
 ///
 /// Panics if the machine was built with randomness — exploration requires
@@ -83,10 +91,12 @@ type CanonState = (Vec<LocalState>, Vec<SharedVar>);
 pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
     let procs: Vec<ProcId> = machine.graph().processors().collect();
     if cfg.threads <= 1 || procs.len() <= 1 {
+        let mut m = machine.clone();
+        m.enable_incremental_fingerprint();
         let mut seen = HashSet::new();
         let mut result = ExploreResult::default();
         dfs(
-            machine,
+            &mut m,
             &procs,
             cfg,
             0,
@@ -96,9 +106,10 @@ pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
         );
         return result;
     }
-    // Parallel: split on the first step. Each worker explores the subtree
-    // rooted at one first move; std's scoped threads let us borrow the
-    // machine without Arc plumbing.
+    // Parallel: split on the first step — the fanout frontier, and the one
+    // place a whole-machine clone is still taken. Each worker explores the
+    // subtree rooted at one first move; std's scoped threads let us borrow
+    // the machine without Arc plumbing.
     let mut result = ExploreResult {
         states_visited: 1, // the root state itself
         ..Default::default()
@@ -111,10 +122,11 @@ pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
                 let procs = &procs;
                 scope.spawn(move || {
                     let mut m = machine.clone();
+                    m.enable_incremental_fingerprint();
                     m.step(p);
                     let mut seen = HashSet::new();
                     let mut res = ExploreResult::default();
-                    dfs(&m, procs, cfg, 1, &mut vec![p], &mut seen, &mut res);
+                    dfs(&mut m, procs, cfg, 1, &mut vec![p], &mut seen, &mut res);
                     res
                 })
             })
@@ -130,6 +142,25 @@ pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
     result
 }
 
+/// The original clone-per-branch exploration, kept as the reference
+/// implementation the undo-based [`explore`] is tested against. Visits the
+/// same states in the same order; only the bookkeeping differs.
+pub fn explore_reference(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
+    let procs: Vec<ProcId> = machine.graph().processors().collect();
+    let mut seen = HashSet::new();
+    let mut result = ExploreResult::default();
+    dfs_reference(
+        machine,
+        &procs,
+        cfg,
+        0,
+        &mut Vec::new(),
+        &mut seen,
+        &mut result,
+    );
+    result
+}
+
 fn record_outcome(machine: &Machine, result: &mut ExploreResult, schedule: &[ProcId]) {
     let selected = machine.selected();
     if selected.len() > 1 && result.uniqueness_violation.is_none() {
@@ -139,6 +170,46 @@ fn record_outcome(machine: &Machine, result: &mut ExploreResult, schedule: &[Pro
 }
 
 fn dfs(
+    machine: &mut Machine,
+    procs: &[ProcId],
+    cfg: ExploreConfig,
+    depth: usize,
+    schedule: &mut Vec<ProcId>,
+    seen: &mut HashSet<(u64, u64)>,
+    result: &mut ExploreResult,
+) {
+    let fp = machine
+        .incremental_fingerprint()
+        .expect("explore enables the incremental fingerprint");
+    if !seen.insert(fp) {
+        return;
+    }
+    result.states_visited += 1;
+    if result.states_visited > cfg.max_states {
+        result.truncated = true;
+        return;
+    }
+    record_outcome(machine, result, schedule);
+    if depth >= cfg.max_depth {
+        result.truncated = true;
+        return;
+    }
+    for &p in procs {
+        let undo = machine.step_undoable(p);
+        // Skip no-op self-loops (halted processors) to keep the frontier
+        // small; the state dedup would catch them anyway.
+        if machine.incremental_fingerprint() == Some(fp) {
+            machine.undo(undo);
+            continue;
+        }
+        schedule.push(p);
+        dfs(machine, procs, cfg, depth + 1, schedule, seen, result);
+        schedule.pop();
+        machine.undo(undo);
+    }
+}
+
+fn dfs_reference(
     machine: &Machine,
     procs: &[ProcId],
     cfg: ExploreConfig,
@@ -163,13 +234,11 @@ fn dfs(
     for &p in procs {
         let mut next = machine.clone();
         next.step(p);
-        // Skip no-op self-loops (halted processors) to keep the frontier
-        // small; the state dedup would catch them anyway.
         if next.canonical_state() == machine.canonical_state() {
             continue;
         }
         schedule.push(p);
-        dfs(&next, procs, cfg, depth + 1, schedule, seen, result);
+        dfs_reference(&next, procs, cfg, depth + 1, schedule, seen, result);
         schedule.pop();
     }
 }
@@ -178,15 +247,31 @@ fn dfs(
 /// termination) detector: stepping any processor leaves the canonical
 /// state untouched.
 ///
+/// Implemented with one step-and-undo per processor instead of one
+/// whole-machine clone per processor.
+///
 /// Used to certify the DP deadlock (all philosophers holding their right
 /// fork, spinning on the left) rather than inferring it from a silent
 /// meal counter.
 pub fn is_quiescent(machine: &Machine) -> bool {
-    let base = machine.canonical_state();
+    if machine.has_randomness() {
+        // Undo cannot rewind the RNG; probe randomized machines the old
+        // way, with one clone per processor.
+        let base = machine.canonical_state();
+        return machine.graph().processors().all(|p| {
+            let mut next = machine.clone();
+            next.step(p);
+            next.canonical_state() == base
+        });
+    }
+    let mut m = machine.clone();
+    m.enable_incremental_fingerprint();
+    let base = m.incremental_fingerprint();
     machine.graph().processors().all(|p| {
-        let mut next = machine.clone();
-        next.step(p);
-        next.canonical_state() == base
+        let undo = m.step_undoable(p);
+        let same = m.incremental_fingerprint() == base;
+        m.undo(undo);
+        same
     })
 }
 

@@ -63,17 +63,18 @@ pub use engine::probe::{
 };
 pub use engine::{Probe, System};
 pub use explore::{
-    explore, find_double_selection, is_quiescent, DoubleSelection, ExploreConfig, ExploreResult,
+    explore, explore_reference, find_double_selection, is_quiescent, DoubleSelection,
+    ExploreConfig, ExploreResult,
 };
 pub use isa::InstructionSet;
 pub use machine::{
-    Machine, MachineError, ModelViolation, OpEnv, OpKind, OpRecord, PeekView, StepOp,
+    Machine, MachineError, ModelViolation, OpEnv, OpKind, OpRecord, PeekView, StepOp, StepUndo,
 };
 pub use program::{FnProgram, IdleProgram, Program};
 pub use schedule::{
     Adversary, BoundedFairRandom, Excluding, FixedSequence, RandomFair, RoundRobin, ScheduleKind,
     Scheduler,
 };
-pub use state::{LocalState, SharedVar, SystemInit};
+pub use state::{LocalState, RegId, SharedVar, SystemInit};
 pub use trace::{StepRecord, Tracer};
 pub use value::Value;

@@ -273,6 +273,48 @@ pub struct Machine {
     steps: u64,
     rng: Option<StdRng>,
     last_record: Option<OpRecord>,
+    inc_fp: Option<IncFp>,
+}
+
+/// Incrementally maintained wide fingerprint: one salted 128-bit hash per
+/// node, XOR-combined. XOR makes the combination order-independent and
+/// lets a step that touched `k` nodes update the global fingerprint in
+/// `O(k)` instead of rehashing the whole state.
+#[derive(Clone)]
+struct IncFp {
+    lo: u64,
+    hi: u64,
+    /// Per-node hash pairs, processors first, then variables.
+    nodes: Vec<(u64, u64)>,
+}
+
+const FP_SALT_LO: u64 = 0x9E37_79B9_7F4A_7C15;
+const FP_SALT_HI: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+fn node_pair<T: Hash>(idx: usize, t: &T) -> (u64, u64) {
+    let mut lo = DefaultHasher::new();
+    FP_SALT_LO.hash(&mut lo);
+    idx.hash(&mut lo);
+    t.hash(&mut lo);
+    let mut hi = DefaultHasher::new();
+    FP_SALT_HI.hash(&mut hi);
+    idx.hash(&mut hi);
+    t.hash(&mut hi);
+    (lo.finish(), hi.finish())
+}
+
+/// Everything needed to reverse one [`Machine::step_undoable`] step: the
+/// stepping processor's previous local state, the pre-images of the shared
+/// variables the step mutated, and the previous step record and
+/// fingerprint entries.
+pub struct StepUndo {
+    proc: ProcId,
+    prev_local: LocalState,
+    prev_vars: Vec<(VarId, SharedVar)>,
+    prev_record: Option<OpRecord>,
+    /// `(node index, previous hash pair)` for incremental-fingerprint
+    /// restoration; empty when the fingerprint is not enabled.
+    prev_hashes: Vec<(usize, (u64, u64))>,
 }
 
 impl Machine {
@@ -318,6 +360,7 @@ impl Machine {
             steps: 0,
             rng: None,
             last_record: None,
+            inc_fp: None,
         })
     }
 
@@ -351,6 +394,11 @@ impl Machine {
     /// Number of steps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Whether the machine was built with [`Machine::with_randomness`].
+    pub fn has_randomness(&self) -> bool {
+        self.rng.is_some()
     }
 
     /// The local state of processor `p`.
@@ -392,8 +440,96 @@ impl Machine {
     /// — and recorded as a [`ModelViolation`] on the step's [`OpRecord`],
     /// where the checker layer (`simsym-check`) reports it.
     pub fn step(&mut self, p: ProcId) {
+        self.exec_step(p, None);
+        self.steps += 1;
+        if self.inc_fp.is_some() {
+            // Borrow dance: refresh needs `&mut self` alongside the
+            // record's target list, so lend the list out and back.
+            let rec = self.last_record.as_mut().expect("exec_step records");
+            let targets = std::mem::take(&mut rec.targets);
+            let _ = self.refresh_node_hashes(p, &targets);
+            self.last_record
+                .as_mut()
+                .expect("exec_step records")
+                .targets = targets;
+        }
+    }
+
+    /// Executes one atomic step of processor `p` and returns everything
+    /// needed to reverse it with [`Machine::undo`]. Instead of cloning the
+    /// whole machine per branch, the schedule explorer applies and undoes
+    /// step deltas along its DFS spine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range, or if the machine was built with
+    /// randomness — undo cannot rewind the RNG, so undo-based exploration
+    /// requires deterministic steps.
+    pub fn step_undoable(&mut self, p: ProcId) -> StepUndo {
+        assert!(
+            self.rng.is_none(),
+            "step_undoable requires a deterministic machine: undo cannot rewind the RNG"
+        );
+        let prev_local = self.locals[p.index()].clone();
+        // Taking the record out makes exec_step start from a fresh one,
+        // leaving this step's record in place and the previous owned here.
+        let prev_record = self.last_record.take();
+        let mut prev_vars = Vec::new();
+        self.exec_step(p, Some(&mut prev_vars));
+        self.steps += 1;
+        let prev_hashes = if self.inc_fp.is_some() {
+            let touched: Vec<VarId> = prev_vars.iter().map(|&(v, _)| v).collect();
+            self.refresh_node_hashes(p, &touched)
+        } else {
+            Vec::new()
+        };
+        StepUndo {
+            proc: p,
+            prev_local,
+            prev_vars,
+            prev_record,
+            prev_hashes,
+        }
+    }
+
+    /// Reverses one [`Machine::step_undoable`] step. Undos must be applied
+    /// in reverse order of the steps they record (LIFO, as in a DFS).
+    pub fn undo(&mut self, undo: StepUndo) {
+        let StepUndo {
+            proc,
+            prev_local,
+            prev_vars,
+            prev_record,
+            prev_hashes,
+        } = undo;
+        self.locals[proc.index()] = prev_local;
+        for (v, state) in prev_vars.into_iter().rev() {
+            self.vars[v.index()] = state;
+        }
+        self.steps -= 1;
+        self.last_record = prev_record;
+        if let Some(fp) = &mut self.inc_fp {
+            for (idx, old) in prev_hashes.into_iter().rev() {
+                let cur = fp.nodes[idx];
+                fp.lo ^= cur.0 ^ old.0;
+                fp.hi ^= cur.1 ^ old.1;
+                fp.nodes[idx] = old;
+            }
+        }
+    }
+
+    /// Runs the program step for `p`, optionally capturing shared-variable
+    /// pre-images into `undo_vars`, and returns the step's record.
+    fn exec_step(&mut self, p: ProcId, undo_vars: Option<&mut Vec<(VarId, SharedVar)>>) {
         let mut local = std::mem::take(&mut self.locals[p.index()]);
-        let record = {
+        // The step record lives in `last_record` and is recycled in
+        // place: once its vectors are warm, a step allocates nothing.
+        let record = self.last_record.get_or_insert_with(OpRecord::local);
+        record.kind = OpKind::Local;
+        record.contended = false;
+        record.targets.clear();
+        record.violations.clear();
+        {
             let mut env = OpEnv {
                 graph: &self.graph,
                 isa: self.isa,
@@ -401,14 +537,92 @@ impl Machine {
                 proc: p,
                 rng: &mut self.rng,
                 shared_ops: 0,
-                record: OpRecord::local(),
+                record,
+                undo: undo_vars,
             };
             self.program.step(&mut local, &mut env);
-            env.record
-        };
+        }
         self.locals[p.index()] = local;
-        self.steps += 1;
-        self.last_record = Some(record);
+    }
+
+    /// Recomputes the incremental-fingerprint entries of processor `p` and
+    /// the given variables, returning the previous `(node, hash)` pairs.
+    fn refresh_node_hashes(&mut self, p: ProcId, vars: &[VarId]) -> Vec<(usize, (u64, u64))> {
+        let Some(mut fp) = self.inc_fp.take() else {
+            return Vec::new();
+        };
+        let pc = self.locals.len();
+        let mut prev = Vec::with_capacity(1 + vars.len());
+        let mut touch = |idx: usize, pair: (u64, u64)| {
+            if prev.iter().any(|&(i, _)| i == idx) {
+                // A step touches a variable at most once per op, but
+                // lock_many may list duplicates; keep the oldest pre-image.
+                let old = fp.nodes[idx];
+                fp.lo ^= old.0 ^ pair.0;
+                fp.hi ^= old.1 ^ pair.1;
+                fp.nodes[idx] = pair;
+                return;
+            }
+            let old = fp.nodes[idx];
+            prev.push((idx, old));
+            fp.lo ^= old.0 ^ pair.0;
+            fp.hi ^= old.1 ^ pair.1;
+            fp.nodes[idx] = pair;
+        };
+        touch(p.index(), node_pair(p.index(), &self.locals[p.index()]));
+        for &v in vars {
+            let idx = pc + v.index();
+            touch(idx, node_pair(idx, &self.vars[v.index()]));
+        }
+        self.inc_fp = Some(fp);
+        prev
+    }
+
+    /// Switches on the incrementally maintained wide fingerprint:
+    /// recomputes every node hash once (`O(N)`), after which each step
+    /// updates the fingerprint from its delta in `O(1)` node hashes.
+    pub fn enable_incremental_fingerprint(&mut self) {
+        let pc = self.locals.len();
+        let mut nodes = Vec::with_capacity(pc + self.vars.len());
+        let (mut lo, mut hi) = (0u64, 0u64);
+        for (i, l) in self.locals.iter().enumerate() {
+            let pair = node_pair(i, l);
+            lo ^= pair.0;
+            hi ^= pair.1;
+            nodes.push(pair);
+        }
+        for (j, v) in self.vars.iter().enumerate() {
+            let pair = node_pair(pc + j, v);
+            lo ^= pair.0;
+            hi ^= pair.1;
+            nodes.push(pair);
+        }
+        self.inc_fp = Some(IncFp { lo, hi, nodes });
+    }
+
+    /// The incrementally maintained 128-bit fingerprint, if enabled.
+    /// Always equal to [`Machine::wide_fingerprint`] — property-tested in
+    /// the vm test suite.
+    pub fn incremental_fingerprint(&self) -> Option<(u64, u64)> {
+        self.inc_fp.as_ref().map(|fp| (fp.lo, fp.hi))
+    }
+
+    /// The wide (128-bit) fingerprint recomputed from scratch — the
+    /// reference value the incremental fingerprint must always match.
+    pub fn wide_fingerprint(&self) -> (u64, u64) {
+        let pc = self.locals.len();
+        let (mut lo, mut hi) = (0u64, 0u64);
+        for (i, l) in self.locals.iter().enumerate() {
+            let pair = node_pair(i, l);
+            lo ^= pair.0;
+            hi ^= pair.1;
+        }
+        for (j, v) in self.vars.iter().enumerate() {
+            let pair = node_pair(pc + j, v);
+            lo ^= pair.0;
+            hi ^= pair.1;
+        }
+        (lo, hi)
     }
 
     /// What the most recent step did (`None` before the first step). The
@@ -465,7 +679,10 @@ pub struct OpEnv<'m> {
     proc: ProcId,
     rng: &'m mut Option<StdRng>,
     shared_ops: u32,
-    record: OpRecord,
+    record: &'m mut OpRecord,
+    /// When the step runs under [`Machine::step_undoable`], mutating ops
+    /// push `(variable, pre-image)` here before touching shared state.
+    undo: Option<&'m mut Vec<(VarId, SharedVar)>>,
 }
 
 impl<'m> OpEnv<'m> {
@@ -484,6 +701,17 @@ impl<'m> OpEnv<'m> {
     /// All edge names of the system, in dense order.
     pub fn all_names(&self) -> Vec<NameId> {
         self.graph.names().ids().collect()
+    }
+
+    /// The `i`-th edge name in dense order — `all_names()[i]` without
+    /// the allocation, for per-step name indexing on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= name_count()`.
+    pub fn name_at(&self, i: usize) -> NameId {
+        assert!(i < self.graph.name_count(), "name index {i} out of range");
+        NameId::new(i)
     }
 
     /// Number of edge names (`|NAMES|`).
@@ -512,12 +740,21 @@ impl<'m> OpEnv<'m> {
         }
         self.shared_ops += 1;
         self.record.kind = op;
-        self.record.targets = targets.to_vec();
+        self.record.targets.clear();
+        self.record.targets.extend_from_slice(targets);
         true
     }
 
     fn target(&self, n: NameId) -> VarId {
         self.graph.n_nbr(self.proc, n)
+    }
+
+    /// Records the pre-image of `v` for undo, if this step is undoable.
+    /// Must be called before the op mutates the variable.
+    fn capture(&mut self, v: VarId) {
+        if let Some(buf) = self.undo.as_deref_mut() {
+            buf.push((v, self.vars[v.index()].clone()));
+        }
     }
 
     /// `read i from n` — S, L, L*. Outside those instruction sets, or as a
@@ -541,6 +778,7 @@ impl<'m> OpEnv<'m> {
         if !self.permit(OpKind::Write, self.isa.allows_read_write(), &[v]) {
             return;
         }
+        self.capture(v);
         match &mut self.vars[v.index()] {
             SharedVar::Plain { value: slot, .. } => *slot = value,
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
@@ -556,6 +794,7 @@ impl<'m> OpEnv<'m> {
         if !self.permit(OpKind::Lock, self.isa.allows_lock(), &[v]) {
             return false;
         }
+        self.capture(v);
         let acquired = match &mut self.vars[v.index()] {
             SharedVar::Plain { locked, .. } => {
                 if *locked {
@@ -581,6 +820,7 @@ impl<'m> OpEnv<'m> {
         if !self.permit(OpKind::Unlock, self.isa.allows_lock(), &[v]) {
             return;
         }
+        self.capture(v);
         match &mut self.vars[v.index()] {
             SharedVar::Plain { locked, .. } => *locked = false,
             SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
@@ -603,6 +843,7 @@ impl<'m> OpEnv<'m> {
         });
         if all_free {
             for v in vids {
+                self.capture(v);
                 if let SharedVar::Plain { locked, .. } = &mut self.vars[v.index()] {
                     *locked = true;
                 }
@@ -643,6 +884,7 @@ impl<'m> OpEnv<'m> {
         if !self.permit(OpKind::Post, self.isa.allows_peek_post(), &[v]) {
             return;
         }
+        self.capture(v);
         let p = self.proc;
         match &mut self.vars[v.index()] {
             SharedVar::Multi { subvalues, .. } => {

@@ -1,10 +1,108 @@
 //! Processor-local state, shared-variable state, and system initial states.
+//!
+//! Registers are **interned**: every register name is mapped once to a
+//! dense [`RegId`] by a process-global interner, and [`LocalState`] stores
+//! register values in a flat `Vec` indexed by `RegId` instead of a
+//! `BTreeMap<String, Value>`. Hot programs resolve their `RegId`s once and
+//! read through [`LocalState::reg`] without hashing, allocation, or
+//! cloning; the legacy string-named API ([`LocalState::get`] /
+//! [`LocalState::set`]) is a thin shim over the interner, so existing
+//! programs, fixtures and diagnostics are unaffected.
+//!
+//! Equality, ordering, hashing and display remain **name-based**: they
+//! iterate the set registers in lexicographic name order, exactly as the
+//! old `BTreeMap` representation did, so state fingerprints and trace JSON
+//! are byte-identical to the previous layout and independent of interning
+//! order.
 
 use crate::Value;
 use serde::{Deserialize, Serialize};
 use simsym_graph::{ProcId, SystemGraph};
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard};
+
+/// Dense id of an interned register name.
+///
+/// Ids are assigned by a process-global, append-only interner: the same
+/// name always yields the same id within a process. Programs on a hot path
+/// resolve their register names once (at construction, or in a
+/// `OnceLock`) and then access registers by id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(u32);
+
+impl RegId {
+    /// Interns `name`, returning its dense id (allocating one on first
+    /// use).
+    pub fn intern(name: &str) -> RegId {
+        let interner = interner();
+        if let Some(&id) = interner.read().expect("interner lock").by_name.get(name) {
+            return RegId(id);
+        }
+        let mut w = interner.write().expect("interner lock");
+        if let Some(&id) = w.by_name.get(name) {
+            return RegId(id);
+        }
+        let id = w.names.len() as u32;
+        // Register names are a small, program-defined vocabulary; leaking
+        // each distinct name once buys `&'static str` access everywhere.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        w.names.push(leaked);
+        w.by_name.insert(leaked, id);
+        RegId(id)
+    }
+
+    /// The id of `name` if it has been interned.
+    pub fn lookup(name: &str) -> Option<RegId> {
+        interner()
+            .read()
+            .expect("interner lock")
+            .by_name
+            .get(name)
+            .map(|&id| RegId(id))
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        interner().read().expect("interner lock").names[self.0 as usize]
+    }
+
+    /// The dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+struct RegInterner {
+    names: Vec<&'static str>,
+    by_name: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<RegInterner> {
+    static INTERNER: OnceLock<RwLock<RegInterner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(RegInterner {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        })
+    })
+}
+
+/// Snapshot of the interner's name table for bulk id→name resolution
+/// (one lock acquisition instead of one per register).
+fn interned_names() -> RwLockReadGuard<'static, RegInterner> {
+    interner().read().expect("interner lock")
+}
+
+static UNIT: Value = Value::Unit;
 
 /// The complete local state of a processor.
 ///
@@ -13,7 +111,11 @@ use std::fmt;
 /// equal, which is what the similarity relation compares. Every field —
 /// including `selected` and the program counter — therefore participates in
 /// equality.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// A register holding [`Value::Unit`] *explicitly set* is distinct from an
+/// unset register, exactly as the old map representation distinguished a
+/// present `Unit` entry from an absent key.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LocalState {
     /// The program counter (which instruction the program will execute
     /// next). Programs are free to interpret this as a phase id.
@@ -22,8 +124,8 @@ pub struct LocalState {
     /// `false`; setting it selects the processor. The Stability monitor
     /// checks it is never reset.
     pub selected: bool,
-    /// Named registers holding arbitrary [`Value`]s.
-    regs: BTreeMap<String, Value>,
+    /// Register values indexed by [`RegId`]; `None` = never set.
+    regs: Vec<Option<Value>>,
 }
 
 impl LocalState {
@@ -32,7 +134,7 @@ impl LocalState {
         LocalState {
             pc: 0,
             selected: false,
-            regs: BTreeMap::new(),
+            regs: Vec::new(),
         }
     }
 
@@ -44,29 +146,128 @@ impl LocalState {
         s
     }
 
-    /// Reads register `name`, returning [`Value::Unit`] if it was never set.
+    /// Borrows register `r`, yielding [`Value::Unit`] if it was never set.
+    /// The allocation-free read path for interned programs.
+    pub fn reg(&self, r: RegId) -> &Value {
+        self.reg_opt(r).unwrap_or(&UNIT)
+    }
+
+    /// Borrows register `r` if set.
+    pub fn reg_opt(&self, r: RegId) -> Option<&Value> {
+        self.regs.get(r.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutably borrows register `r` if set — lets programs update compound
+    /// registers (tuples, sets) in place without a clone-and-rewrite.
+    pub fn reg_mut(&mut self, r: RegId) -> Option<&mut Value> {
+        self.regs.get_mut(r.index()).and_then(Option::as_mut)
+    }
+
+    /// Writes register `r`.
+    pub fn set_reg(&mut self, r: RegId, value: Value) {
+        let i = r.index();
+        if self.regs.len() <= i {
+            self.regs.resize(i + 1, None);
+        }
+        self.regs[i] = Some(value);
+    }
+
+    /// Removes register `r`, returning its prior value.
+    pub fn unset_reg(&mut self, r: RegId) -> Option<Value> {
+        self.regs.get_mut(r.index()).and_then(Option::take)
+    }
+
+    /// Reads register `name`, returning [`Value::Unit`] if it was never
+    /// set. Clones; hot paths should intern a [`RegId`] and use
+    /// [`LocalState::reg`].
     pub fn get(&self, name: &str) -> Value {
-        self.regs.get(name).cloned().unwrap_or(Value::Unit)
+        self.get_ref(name).cloned().unwrap_or(Value::Unit)
     }
 
     /// Borrows register `name` if set.
     pub fn get_ref(&self, name: &str) -> Option<&Value> {
-        self.regs.get(name)
+        RegId::lookup(name).and_then(|r| self.reg_opt(r))
     }
 
     /// Writes register `name`.
     pub fn set(&mut self, name: &str, value: Value) {
-        self.regs.insert(name.to_owned(), value);
+        self.set_reg(RegId::intern(name), value);
     }
 
     /// Removes register `name`, returning its prior value.
     pub fn unset(&mut self, name: &str) -> Option<Value> {
-        self.regs.remove(name)
+        RegId::lookup(name).and_then(|r| self.unset_reg(r))
     }
 
     /// Iterates over `(register, value)` pairs in name order.
-    pub fn registers(&self) -> impl Iterator<Item = (&str, &Value)> + '_ {
-        self.regs.iter().map(|(k, v)| (k.as_str(), v))
+    pub fn registers(&self) -> impl Iterator<Item = (&'static str, &Value)> + '_ {
+        let mut entries = self.sorted_entries();
+        entries.reverse();
+        std::iter::from_fn(move || entries.pop())
+    }
+
+    /// The set registers as `(name, value)` pairs sorted by name — the
+    /// iteration order of the old `BTreeMap` representation, on which
+    /// equality, ordering, hashing and display are all defined.
+    fn sorted_entries(&self) -> Vec<(&'static str, &Value)> {
+        let names = interned_names();
+        let mut entries: Vec<(&'static str, &Value)> = self
+            .regs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (names.names[i], v)))
+            .collect();
+        entries.sort_unstable_by_key(|&(name, _)| name);
+        entries
+    }
+}
+
+impl PartialEq for LocalState {
+    fn eq(&self, other: &Self) -> bool {
+        if self.pc != other.pc || self.selected != other.selected {
+            return false;
+        }
+        // Slotwise comparison with trailing-`None` padding: ids are
+        // process-global, so equal register maps mean equal slots.
+        let (a, b) = (&self.regs, &other.regs);
+        let common = a.len().min(b.len());
+        a[..common] == b[..common]
+            && a[common..].iter().all(Option::is_none)
+            && b[common..].iter().all(Option::is_none)
+    }
+}
+
+impl Eq for LocalState {}
+
+impl PartialOrd for LocalState {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LocalState {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.pc
+            .cmp(&other.pc)
+            .then_with(|| self.selected.cmp(&other.selected))
+            .then_with(|| self.sorted_entries().cmp(&other.sorted_entries()))
+    }
+}
+
+impl Hash for LocalState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Field-for-field reproduction of the old derived implementation
+        // over `(pc, selected, BTreeMap<String, Value>)`: the map hashed a
+        // length prefix and then each `(name, value)` pair in name order.
+        // State fingerprints (and thus trace JSON) depend on this.
+        self.pc.hash(state);
+        self.selected.hash(state);
+        let entries = self.sorted_entries();
+        state.write_usize(entries.len());
+        for (name, value) in entries {
+            name.hash(state);
+            value.hash(state);
+        }
     }
 }
 
@@ -79,7 +280,7 @@ impl Default for LocalState {
 impl fmt::Display for LocalState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "pc={} selected={}", self.pc, self.selected)?;
-        for (k, v) in &self.regs {
+        for (k, v) in self.sorted_entries() {
             write!(f, " {k}={v}")?;
         }
         Ok(())

@@ -25,7 +25,6 @@ fn main() {
     // decision will be p0's input, 7.
     init.proc_values[0] = Value::from(7);
     let build = {
-        let g = g.clone();
         let init = init.clone();
         move || {
             let prog = ConsensusViaSelection::new(&g, &init)

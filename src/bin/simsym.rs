@@ -13,8 +13,8 @@
 
 use simsym::check::{self, suite::lint_sweep, CheckReport, Diagnostic};
 use simsym::core::{
-    decide_selection_with_init, hopcroft_similarity, markdown_report, selection_program_q,
-    LabelLearner, Model,
+    decide_selection_with_init, hopcroft_similarity, markdown_report, refinement_similarity,
+    selection_program_q, LabelLearner, Model,
 };
 use simsym::graph::{dot, topology, SystemGraph};
 use simsym::philo::{
@@ -68,7 +68,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--json] [--dot]\n\n--trace runs the Q label learner under a seeded random-fair schedule and\nemits a replayable JSON schedule trace (verified by re-execution) on\nstdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy); --dot prints the\nlock-order graph in Graphviz syntax. Exits nonzero on error-severity\nfindings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--json] [--dot]\n  simsym bench [--json] [--quick] [--against FILE]\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family and naive-vs-hopcroft labeling time on marked rings.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace runs the Q label learner under a seeded random-fair schedule and\nemits a replayable JSON schedule trace (verified by re-execution) on\nstdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy); --dot prints the\nlock-order graph in Graphviz syntax. Exits nonzero on error-severity\nfindings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
 }
 
 fn dispatch(args: &[String]) -> Result<CmdOut, String> {
@@ -97,6 +97,7 @@ fn dispatch(args: &[String]) -> Result<CmdOut, String> {
             ok(dot::to_dot(&graph, Some(theta.as_slice())))
         }
         Some("lint") => lint(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_owned()),
     }
@@ -202,7 +203,7 @@ fn lint(args: &[String]) -> Result<CmdOut, String> {
                 check::FIXTURE_NAMES.join(", ")
             )
         })?;
-        let (name, g, init) = (name.clone(), Arc::clone(&graph), init.clone());
+        let (name, g, init) = (name.clone(), Arc::clone(&graph), init);
         Box::new(move || {
             check::fixture_machine(&name, Arc::clone(&g), &init).expect("validated fixture")
         })
@@ -622,6 +623,282 @@ fn dine(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options for `bench`.
+struct BenchOpts {
+    json: bool,
+    quick: bool,
+    against: Option<String>,
+}
+
+fn extract_bench_flags(args: &[String]) -> Result<BenchOpts, String> {
+    let mut opts = BenchOpts {
+        json: false,
+        quick: false,
+        against: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                opts.json = true;
+                i += 1;
+            }
+            "--quick" => {
+                opts.quick = true;
+                i += 1;
+            }
+            "--against" => {
+                let path = args.get(i + 1).ok_or("--against needs a file")?;
+                opts.against = Some(path.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown bench flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One steps/second measurement: a fixed round-robin step budget on a
+/// fixed machine, mirroring `benches/step_throughput.rs`.
+struct ThroughputRow {
+    family: &'static str,
+    n: usize,
+    isa: &'static str,
+    steps: u64,
+    nanos: u128,
+}
+
+/// One labeling-time measurement on a marked ring.
+struct LabelingRow {
+    n: usize,
+    algorithm: &'static str,
+    nanos: u128,
+}
+
+/// Best-of-`reps` wall-clock nanos for one closure call (min suppresses
+/// scheduler noise; clamped to 1 so steps/sec never divides by zero).
+fn time_min<R, F: FnMut() -> R>(mut f: F, reps: u32) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_nanos());
+        std::hint::black_box(&out);
+    }
+    best.max(1)
+}
+
+/// Best-of-`reps` nanos to run `steps` round-robin steps from `base`.
+/// The per-rep machine clone happens *outside* the timed window — the
+/// number is steps/second of the VM, not of `Machine::clone`.
+fn time_steps(base: &Machine, steps: u64, reps: u32) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let mut m = base.clone();
+        let mut sched = RoundRobin::new();
+        let t = std::time::Instant::now();
+        let report = run(&mut m, &mut sched, steps, &mut []);
+        best = best.min(t.elapsed().as_nanos());
+        std::hint::black_box(report.steps);
+    }
+    best.max(1)
+}
+
+fn bench(args: &[String]) -> Result<CmdOut, String> {
+    let opts = extract_bench_flags(args)?;
+    // --quick shrinks budgets and repetitions, never the entry list: the
+    // emitted schema must match full mode so CI can diff against the
+    // committed BENCH_pr3.json.
+    let div = if opts.quick { 10 } else { 1 };
+    let reps = if opts.quick { 1 } else { 3 };
+
+    let mut throughput = Vec::new();
+    for (family, graph, steps) in [
+        ("ring", topology::uniform_ring(64), 320u64),
+        ("marked-ring", topology::marked_ring(64), 10_000),
+    ] {
+        let init = SystemInit::uniform(&graph);
+        let labeling = hopcroft_similarity(&graph, &init, Model::Q);
+        let learner = LabelLearner::new(&graph, &init, &labeling).map_err(|e| e.to_string())?;
+        let m = Machine::new(Arc::new(graph), InstructionSet::Q, Arc::new(learner), &init)
+            .map_err(|e| e.to_string())?;
+        let steps = steps / div;
+        throughput.push(ThroughputRow {
+            family,
+            n: 64,
+            isa: "Q",
+            steps,
+            nanos: time_steps(&m, steps, reps),
+        });
+    }
+
+    let graph = topology::philosophers_alternating(64);
+    let init = SystemInit::uniform(&graph);
+    let prog: Arc<dyn Program> = Arc::new(LockOrderPhilosopher::new(3, 2));
+    let m =
+        Machine::new(Arc::new(graph), InstructionSet::L, prog, &init).map_err(|e| e.to_string())?;
+    let steps = 20_000 / div;
+    throughput.push(ThroughputRow {
+        family: "alternating",
+        n: 64,
+        isa: "L",
+        steps,
+        nanos: time_steps(&m, steps, reps),
+    });
+
+    let graph = topology::philosophers_table(64);
+    let init = chandy_misra_init(&graph);
+    let prog: Arc<dyn Program> = Arc::new(ChandyMisraPhilosopher::new(2, 2));
+    let m =
+        Machine::new(Arc::new(graph), InstructionSet::L, prog, &init).map_err(|e| e.to_string())?;
+    throughput.push(ThroughputRow {
+        family: "table",
+        n: 64,
+        isa: "L",
+        steps,
+        nanos: time_steps(&m, steps, reps),
+    });
+
+    let mut labeling = Vec::new();
+    let lreps = if opts.quick { 1 } else { 2 };
+    for n in [64usize, 256, 1024] {
+        let graph = topology::marked_ring(n);
+        let init = SystemInit::uniform(&graph);
+        labeling.push(LabelingRow {
+            n,
+            algorithm: "naive",
+            nanos: time_min(|| refinement_similarity(&graph, &init, Model::Q), lreps),
+        });
+        labeling.push(LabelingRow {
+            n,
+            algorithm: "hopcroft",
+            nanos: time_min(|| hopcroft_similarity(&graph, &init, Model::Q), lreps),
+        });
+    }
+    // The naive refiner is quadratic-plus on a fully-splitting ring, so
+    // 4096 is hopcroft-only — the point of the entry is that the
+    // index-vector refiner still finishes comfortably there.
+    let graph = topology::marked_ring(4096);
+    let init = SystemInit::uniform(&graph);
+    labeling.push(LabelingRow {
+        n: 4096,
+        algorithm: "hopcroft",
+        nanos: time_min(|| hopcroft_similarity(&graph, &init, Model::Q), 1),
+    });
+
+    let json = bench_render_json(&throughput, &labeling);
+    if let Some(path) = &opts.against {
+        let expected =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (want, got) = (
+            bench_schema_skeleton(&expected),
+            bench_schema_skeleton(&json),
+        );
+        if want != got {
+            return Ok(CmdOut {
+                text: format!(
+                    "bench schema drift against {path}\n  expected skeleton: {want}\n  emitted skeleton:  {got}\n"
+                ),
+                failed: true,
+            });
+        }
+    }
+    if opts.json {
+        ok(json)
+    } else {
+        ok(bench_render_text(&throughput, &labeling, &opts))
+    }
+}
+
+/// Renders the BENCH_pr3.json document. All numbers are integers so the
+/// schema skeleton (everything but digit runs) is byte-stable across
+/// hosts and runs.
+fn bench_render_json(throughput: &[ThroughputRow], labeling: &[LabelingRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"simsym-bench/v1\",\n  \"step_throughput\": [\n");
+    for (i, r) in throughput.iter().enumerate() {
+        let sps = (r.steps as u128) * 1_000_000_000 / r.nanos;
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"isa\": \"{}\", \"steps\": {}, \"nanos\": {}, \"steps_per_sec\": {}}}{}\n",
+            r.family,
+            r.n,
+            r.isa,
+            r.steps,
+            r.nanos,
+            sps,
+            if i + 1 < throughput.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"labeling\": [\n");
+    for (i, r) in labeling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"marked-ring\", \"n\": {}, \"algorithm\": \"{}\", \"nanos\": {}}}{}\n",
+            r.n,
+            r.algorithm,
+            r.nanos,
+            if i + 1 < labeling.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn bench_render_text(
+    throughput: &[ThroughputRow],
+    labeling: &[LabelingRow],
+    opts: &BenchOpts,
+) -> String {
+    let mut out = format!(
+        "step throughput (round-robin{}):\n",
+        if opts.quick { ", quick" } else { "" }
+    );
+    for r in throughput {
+        let sps = (r.steps as u128) * 1_000_000_000 / r.nanos;
+        out.push_str(&format!(
+            "  {:<12} n={:<5} {}  {:>7} steps in {:>12} ns  ({} steps/s)\n",
+            r.family, r.n, r.isa, r.steps, r.nanos, sps
+        ));
+    }
+    out.push_str("labeling time (marked-ring):\n");
+    for r in labeling {
+        out.push_str(&format!(
+            "  n={:<5} {:<9} {:>12} ns\n",
+            r.n, r.algorithm, r.nanos
+        ));
+    }
+    if opts.against.is_some() {
+        out.push_str("schema matches baseline\n");
+    }
+    out
+}
+
+/// Collapses a bench JSON document to its schema skeleton: digits and
+/// whitespace outside string literals are dropped, so two documents
+/// compare equal iff they share keys, labels, and shape — numbers are
+/// ignored, which is exactly the CI smoke contract.
+fn bench_schema_skeleton(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else if c == '"' {
+            in_string = true;
+            out.push(c);
+        } else if !c.is_ascii_digit() && !c.is_whitespace() {
+            out.push(c);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -869,5 +1146,67 @@ mod tests {
         assert!(call(&["lint", "ring:3", "--sweep", "--dot"])
             .unwrap_err()
             .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn bench_rejects_bad_flags() {
+        assert!(call(&["bench", "--frobnicate"])
+            .unwrap_err()
+            .contains("unknown bench flag"));
+        assert!(call(&["bench", "--against"])
+            .unwrap_err()
+            .contains("--against needs a file"));
+    }
+
+    /// Synthetic rows so the test exercises rendering, not timing.
+    fn fake_rows() -> (Vec<ThroughputRow>, Vec<LabelingRow>) {
+        let t = vec![ThroughputRow {
+            family: "ring",
+            n: 64,
+            isa: "Q",
+            steps: 2_000,
+            nanos: 1_000_000,
+        }];
+        let l = vec![
+            LabelingRow {
+                n: 64,
+                algorithm: "naive",
+                nanos: 500,
+            },
+            LabelingRow {
+                n: 64,
+                algorithm: "hopcroft",
+                nanos: 100,
+            },
+        ];
+        (t, l)
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_schema_ignores_numbers() {
+        let (t, l) = fake_rows();
+        let a = bench_render_json(&t, &l);
+        assert!(a.contains("\"schema\": \"simsym-bench/v1\""));
+        assert!(a.contains("\"steps_per_sec\": 2000000"));
+        // Same rows with different timings: schema skeleton is identical.
+        let mut t2 = fake_rows().0;
+        t2[0].nanos = 77;
+        let b = bench_render_json(&t2, &l);
+        assert_ne!(a, b);
+        assert_eq!(bench_schema_skeleton(&a), bench_schema_skeleton(&b));
+        // A renamed label is schema drift.
+        let mut t3 = fake_rows().0;
+        t3[0].family = "torus";
+        let c = bench_render_json(&t3, &l);
+        assert_ne!(bench_schema_skeleton(&a), bench_schema_skeleton(&c));
+    }
+
+    #[test]
+    fn bench_schema_skeleton_keeps_digits_inside_strings() {
+        assert_eq!(
+            bench_schema_skeleton("{\"v1 x\": 23, \"n\": 4}"),
+            "{\"v1 x\":,\"n\":}"
+        );
+        assert_eq!(bench_schema_skeleton("\"esc\\\"2\" 9"), "\"esc\\\"2\"");
     }
 }
