@@ -60,6 +60,18 @@ pub mod codes {
     pub const DYN_ISA_OP: &str = "DYN-ISA-OP";
     /// A second shared operation within one atomic step.
     pub const DYN_ATOMICITY: &str = "DYN-ATOMICITY";
+    /// A local register expected to hold an integer was missing or
+    /// garbled; the program refused to act on it.
+    pub const DYN_GARBLED_REG: &str = "DYN-GARBLED-REG";
+    /// Uniqueness under faults: two processors selected even though the
+    /// fault plan only crashed losers.
+    pub const DYN_FAULT_UNIQ: &str = "DYN-FAULT-UNIQ";
+    /// Stability under faults: a live (non-crashed) processor lost its
+    /// selected flag.
+    pub const DYN_FAULT_STAB: &str = "DYN-FAULT-STAB";
+    /// A crash-recovery reset wiped a selected processor's state — the
+    /// documented place where Stability cannot survive volatile memory.
+    pub const DYN_FAULT_RESET: &str = "DYN-FAULT-RESET";
 }
 
 /// How bad a finding is. `Error` fails `simsym lint` (and the CI smoke

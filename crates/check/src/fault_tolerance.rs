@@ -1,0 +1,258 @@
+//! Fault-tolerance checking: Uniqueness and Stability under injected
+//! faults.
+//!
+//! The paper's selection requirement has two halves — at most one
+//! processor ever selects (*Uniqueness*), and a selected processor stays
+//! selected (*Stability*). Crash faults stress both: Uniqueness must hold
+//! even when every loser crashes (a dead loser cannot "un-compete"), and
+//! Stability must survive crash-recovery cycles. This probe watches a run
+//! through the fault layer's [`FaultView`] and reports violations as
+//! [`Diagnostic`]s:
+//!
+//! * [`codes::DYN_FAULT_UNIQ`] (error) — two processors selected at once;
+//! * [`codes::DYN_FAULT_STAB`] (error) — a live processor lost its
+//!   selected flag;
+//! * [`codes::DYN_FAULT_RESET`] (info) — a *reset* recovery wiped a
+//!   selected processor's state. This is not a bug in the algorithm: with
+//!   volatile memory, Stability is unsatisfiable by construction, so the
+//!   checker documents the wipe instead of blaming the program.
+
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use simsym_graph::ProcId;
+use simsym_vm::engine::System;
+use simsym_vm::faults::{FaultEvent, FaultView};
+use simsym_vm::{Probe, Violation};
+use std::collections::BTreeSet;
+
+/// The fault-tolerance checker (a [`Probe`] over systems that expose a
+/// [`FaultView`], i.e. [`Faulty`] wrappers or the message-passing machine
+/// under channel faults).
+///
+/// [`Faulty`]: simsym_vm::faults::Faulty
+#[derive(Clone, Debug, Default)]
+pub struct FaultToleranceChecker {
+    prev_selected: Vec<bool>,
+    reported_uniq: bool,
+    reported_stab: BTreeSet<ProcId>,
+    events_seen: usize,
+    diags: Vec<Diagnostic>,
+}
+
+impl FaultToleranceChecker {
+    /// A fresh checker.
+    pub fn new() -> FaultToleranceChecker {
+        FaultToleranceChecker::default()
+    }
+
+    /// The diagnostics accumulated so far.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+impl<S: System + FaultView + ?Sized> Probe<S> for FaultToleranceChecker {
+    fn observe(&mut self, system: &S, _p: ProcId) -> Option<Violation> {
+        let step = system.steps();
+        let n = system.processor_count();
+        if self.prev_selected.len() != n {
+            self.prev_selected = vec![false; n];
+        }
+
+        // Fault events since the last observation: which processors came
+        // back from a *reset* recovery just now? Losing the selected flag
+        // to a state wipe is documented, not blamed.
+        let mut reset_now: Vec<ProcId> = Vec::new();
+        for ev in &system.fault_events()[self.events_seen..] {
+            if let FaultEvent::Recovered {
+                proc, reset: true, ..
+            } = *ev
+            {
+                reset_now.push(proc);
+            }
+        }
+        self.events_seen = system.fault_events().len();
+
+        let selected = system.selected();
+        if selected.len() > 1 && !self.reported_uniq {
+            self.reported_uniq = true;
+            let crashed: Vec<String> = (0..n)
+                .map(ProcId::new)
+                .filter(|&q| system.is_crashed(q))
+                .map(|q| format!("p{} crashed", q.index()))
+                .collect();
+            let names: Vec<String> = selected.iter().map(|q| format!("p{}", q.index())).collect();
+            self.diags.push(
+                Diagnostic::new(
+                    Severity::Error,
+                    codes::DYN_FAULT_UNIQ,
+                    Span::none().with_step(step),
+                    format!(
+                        "Uniqueness violated under faults: {} selected simultaneously ({})",
+                        selected.len(),
+                        names.join(", ")
+                    ),
+                )
+                .with_witness(crashed),
+            );
+        }
+
+        for q in (0..n).map(ProcId::new) {
+            let now = selected.contains(&q);
+            let before = self.prev_selected[q.index()];
+            if before && !now {
+                if reset_now.contains(&q) {
+                    self.diags.push(Diagnostic::new(
+                        Severity::Info,
+                        codes::DYN_FAULT_RESET,
+                        Span::proc(q).with_step(step),
+                        format!(
+                            "p{} lost its selection to a crash-recovery state reset; \
+                             Stability cannot survive volatile memory",
+                            q.index()
+                        ),
+                    ));
+                } else if !system.is_crashed(q) && self.reported_stab.insert(q) {
+                    self.diags.push(Diagnostic::new(
+                        Severity::Error,
+                        codes::DYN_FAULT_STAB,
+                        Span::proc(q).with_step(step),
+                        format!(
+                            "Stability violated under faults: p{} was selected and is live \
+                             but no longer selected",
+                            q.index()
+                        ),
+                    ));
+                }
+            }
+            self.prev_selected[q.index()] = now;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+    use simsym_vm::engine::{self, stop};
+    use simsym_vm::faults::{CrashFault, FaultPlan, FaultSched, Faulty, Recovery};
+    use simsym_vm::{FnProgram, InstructionSet, Machine, RoundRobin, SystemInit, Value};
+    use std::sync::Arc;
+
+    fn machine<F: Fn(&mut simsym_vm::LocalState, &mut simsym_vm::OpEnv) + Send + Sync + 'static>(
+        n: usize,
+        prog: FnProgram<F>,
+        marked: &[ProcId],
+    ) -> Machine {
+        let g = Arc::new(topology::uniform_ring(n));
+        let init = if marked.is_empty() {
+            SystemInit::uniform(&g)
+        } else {
+            SystemInit::with_marked(&g, marked)
+        };
+        Machine::new(g, InstructionSet::S, Arc::new(prog), &init).unwrap()
+    }
+
+    fn run_checked(f: &mut Faulty<Machine>, max_steps: u64) -> Vec<Diagnostic> {
+        let mut sched = FaultSched::new(RoundRobin::new());
+        let mut checker = FaultToleranceChecker::new();
+        engine::run(
+            f,
+            &mut sched,
+            max_steps,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        checker.into_diagnostics()
+    }
+
+    #[test]
+    fn unique_selection_with_crashed_losers_is_clean() {
+        let prog = FnProgram::new("mark-wins", |local, _ops| {
+            if local.get("init") == Value::from(1) {
+                local.selected = true;
+            }
+            local.pc += 1;
+        });
+        let m = machine(3, prog, &[ProcId::new(0)]);
+        let plan = FaultPlan::crashes(vec![
+            CrashFault {
+                proc: ProcId::new(1),
+                at_step: 2,
+                recovery: None,
+            },
+            CrashFault {
+                proc: ProcId::new(2),
+                at_step: 5,
+                recovery: Some(Recovery {
+                    at_step: 12,
+                    reset: true,
+                }),
+            },
+        ]);
+        let mut f = Faulty::new(m, plan);
+        assert_eq!(run_checked(&mut f, 40), vec![]);
+    }
+
+    #[test]
+    fn double_selection_trips_uniqueness() {
+        let prog = FnProgram::new("select-all", |local, _ops| {
+            local.selected = true;
+        });
+        let m = machine(3, prog, &[]);
+        let mut f = Faulty::new(m, FaultPlan::none());
+        let diags = run_checked(&mut f, 10);
+        assert_eq!(diags.len(), 1, "uniqueness reported once: {diags:?}");
+        assert_eq!(diags[0].code, codes::DYN_FAULT_UNIQ);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn live_deselection_trips_stability() {
+        // Selects on its first step, un-selects on its second.
+        let prog = FnProgram::new("flapper", |local, _ops| {
+            local.selected = local.pc == 0;
+            local.pc += 1;
+        });
+        let m = machine(2, prog, &[]);
+        let mut f = Faulty::new(m, FaultPlan::none());
+        let diags = run_checked(&mut f, 8);
+        let stab: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == codes::DYN_FAULT_STAB)
+            .collect();
+        assert_eq!(stab.len(), 2, "one per flapping processor: {diags:?}");
+        assert!(stab.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn reset_recovery_of_a_winner_is_informational() {
+        // p0 selects immediately; it crashes and recovers with a reset,
+        // wiping the flag. That must be an info note, not an error.
+        let prog = FnProgram::new("sticky", |local, _ops| {
+            if local.get("init") == Value::from(1) && local.pc >= 1 {
+                local.selected = true;
+            }
+            local.pc += 1;
+        });
+        let m = machine(2, prog, &[ProcId::new(0)]);
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(0),
+            at_step: 4,
+            recovery: Some(Recovery {
+                at_step: 7,
+                reset: true,
+            }),
+        }]);
+        let mut f = Faulty::new(m, plan);
+        let diags = run_checked(&mut f, 7);
+        assert!(
+            diags.iter().any(|d| d.code == codes::DYN_FAULT_RESET),
+            "missing reset note: {diags:?}"
+        );
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Info),
+            "reset must not be an error: {diags:?}"
+        );
+    }
+}

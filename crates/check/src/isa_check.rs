@@ -35,6 +35,7 @@ pub struct IsaChecker {
     declared: InstructionSet,
     reported_ops: BTreeSet<(ProcId, OpKind)>,
     reported_atomicity: BTreeSet<ProcId>,
+    reported_garbled: BTreeSet<(ProcId, &'static str)>,
     diags: Vec<Diagnostic>,
 }
 
@@ -46,6 +47,7 @@ impl IsaChecker {
             declared,
             reported_ops: BTreeSet::new(),
             reported_atomicity: BTreeSet::new(),
+            reported_garbled: BTreeSet::new(),
             diags: Vec::new(),
         }
     }
@@ -93,6 +95,19 @@ impl<S: System + ?Sized> Probe<S> for IsaChecker {
                         Span::proc(p).with_step(step),
                         format!(
                             "p{} attempted a second shared operation ({second}) in one atomic step (after {first})",
+                            p.index()
+                        ),
+                    ));
+                }
+                ModelViolation::GarbledRegister { register }
+                    if self.reported_garbled.insert((p, register)) =>
+                {
+                    self.diags.push(Diagnostic::new(
+                        Severity::Error,
+                        codes::DYN_GARBLED_REG,
+                        Span::proc(p).with_step(step),
+                        format!(
+                            "p{} read register {register:?} expecting an integer but found it missing or garbled; the processor halted instead of acting on index 0",
                             p.index()
                         ),
                     ));

@@ -9,7 +9,7 @@
 //! the similarity labeling against Algorithm 1.
 //!
 //! **Dynamic checkers** ([`lockset`], [`lock_order`], [`discipline`],
-//! [`isa_check`]) are engine [`Probe`]s consuming the per-step op stream
+//! [`isa_check`], [`fault_tolerance`]) are engine [`Probe`]s consuming the per-step op stream
 //! ([`OpRecord`]): an Eraser-style lockset race detector for L/L*, lock
 //! discipline checks, a hold-and-wait lock-order graph with deadlock cycle
 //! detection (and DOT export), and ISA conformance against the declared
@@ -27,6 +27,7 @@
 
 pub mod diag;
 pub mod discipline;
+pub mod fault_tolerance;
 pub mod fixtures;
 pub mod isa_check;
 pub mod lock_order;
@@ -37,6 +38,7 @@ pub mod suite;
 
 pub use diag::{CheckReport, Diagnostic, Severity, Span};
 pub use discipline::DisciplineChecker;
+pub use fault_tolerance::FaultToleranceChecker;
 pub use fixtures::{fixture_machine, FIXTURE_NAMES};
 pub use isa_check::IsaChecker;
 pub use lock_order::{LockOrderChecker, LockOrderGraph};

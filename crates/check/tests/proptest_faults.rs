@@ -1,0 +1,90 @@
+//! Property tests: the fault-tolerance checker's verdicts are a pure
+//! function of the `(FaultPlan, seed)` pair. Replaying a recorded faulted
+//! trace step-for-step reproduces the selection outcome and every
+//! diagnostic the live run produced.
+
+use proptest::prelude::*;
+use simsym_check::FaultToleranceChecker;
+use simsym_graph::{topology, ProcId};
+use simsym_vm::engine::trace::TraceRecorder;
+use simsym_vm::engine::{self, stop, System};
+use simsym_vm::faults::{FaultPlan, FaultSched, Faulty};
+use simsym_vm::{
+    FnProgram, InstructionSet, Machine, Probe, RandomFair, Scheduler, SystemInit, Value,
+};
+use std::sync::Arc;
+
+/// A deliberately ill-behaved workload: every processor flaps its
+/// `selected` flag, so runs produce Uniqueness *and* Stability findings
+/// for the replay to reproduce — a clean program would make verdict
+/// equality vacuous.
+fn build_machine(n: usize) -> Machine {
+    let g = Arc::new(topology::uniform_ring(n));
+    let init = SystemInit::uniform(&g);
+    let prog = Arc::new(FnProgram::new("flapper", |local, ops| {
+        let names = ops.all_names();
+        let name = names[(local.pc as usize) % names.len()];
+        ops.write(name, Value::from(i64::from(local.pc)));
+        local.selected = local.pc % 3 == 1;
+        local.pc += 1;
+    }));
+    Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn replaying_a_faulted_trace_reproduces_checker_verdicts(
+        plan_seed in any::<u64>(), sched_seed in any::<u64>(),
+        n in 2usize..5, steps in 1u64..100
+    ) {
+        let plan = FaultPlan::seeded_crashes(n, &[ProcId::new(0)], plan_seed, steps.max(2));
+
+        // Live run: record the trace and collect verdicts.
+        let mut live = Faulty::new(build_machine(n), plan.clone());
+        let mut sched = FaultSched::new(RandomFair::seeded(sched_seed));
+        let kind = Scheduler::<Faulty<Machine>>::kind(&sched).to_string();
+        let mut rec = TraceRecorder::new("prop-check", kind);
+        let mut checker = FaultToleranceChecker::new();
+        let _ = engine::run(
+            &mut live,
+            &mut sched,
+            steps,
+            &mut [&mut rec, &mut checker],
+            &mut stop::Never,
+        );
+        let trace = rec.into_trace();
+        let live_diags = checker.into_diagnostics();
+
+        // Replay: drive the recorded schedule by hand, observing after
+        // each step exactly as the engine does.
+        let mut again = Faulty::new(build_machine(n), plan);
+        let mut checker = FaultToleranceChecker::new();
+        for step in &trace.steps {
+            again.step(step.proc);
+            let _ = checker.observe(&again, step.proc);
+            prop_assert_eq!(again.fingerprint(), step.fingerprint);
+        }
+        prop_assert_eq!(again.fingerprint(), trace.final_fingerprint);
+        prop_assert_eq!(again.selected(), live.selected());
+        prop_assert_eq!(checker.into_diagnostics(), live_diags);
+    }
+
+    #[test]
+    fn checker_verdicts_are_deterministic_per_plan_and_seed(
+        plan_seed in any::<u64>(), sched_seed in any::<u64>(),
+        n in 2usize..5, steps in 1u64..100
+    ) {
+        let run = || {
+            let plan =
+                FaultPlan::seeded_crashes(n, &[ProcId::new(0)], plan_seed, steps.max(2));
+            let mut f = Faulty::new(build_machine(n), plan);
+            let mut sched = FaultSched::new(RandomFair::seeded(sched_seed));
+            let mut checker = FaultToleranceChecker::new();
+            let _ = engine::run(&mut f, &mut sched, steps, &mut [&mut checker], &mut stop::Never);
+            checker.into_diagnostics()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

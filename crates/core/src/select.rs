@@ -38,7 +38,7 @@ use crate::family::elite_from_member_labels;
 use crate::relabel::{lstar_outcomes, outcome_init, relabel_outcomes};
 use crate::{hopcroft_similarity, Family, InconsistentLabeling, Label, Model};
 use simsym_graph::SystemGraph;
-use simsym_vm::{LocalState, OpEnv, PeekView, Program, SystemInit, Value};
+use simsym_vm::{LocalState, OpEnv, PeekView, Program, RegId, SystemInit, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -124,14 +124,14 @@ impl Algorithm3 {
 
     /// The phase-B (family) label a processor has learned, if finished.
     pub fn learned_label(local: &LocalState) -> Option<Label> {
-        (local.reg(learner_regs().phase).as_int() == Some(1) && local.pc == u32::MAX)
+        Self::is_done(local)
             .then(|| LabelLearner::learned_label(local))
             .flatten()
     }
 
     /// Whether a processor has finished both phases.
     pub fn is_done(local: &LocalState) -> bool {
-        local.reg(learner_regs().phase).as_int() == Some(1) && local.pc == u32::MAX
+        local.reg(learner_regs().phase).as_int() == Some(A3_DONE)
     }
 }
 
@@ -157,7 +157,21 @@ fn family_phase_b(family: &Family) -> (Family, (crate::Labeling, Vec<Vec<Label>>
     (family_b, sim)
 }
 
-const DONE: u32 = u32::MAX;
+// Explicit phase values for the two selection programs. Completion is a
+// *dedicated phase*, never a program-counter sentinel: `pc` stays an
+// honest instruction pointer, so a long-running learner whose counter
+// climbs toward `u32::MAX` can never spuriously read as converged.
+const A3_PHASE_A: i64 = 0;
+const A3_PHASE_B: i64 = 1;
+const A3_DONE: i64 = 2;
+
+const A4_RELABEL: i64 = 0;
+const A4_BARRIER: i64 = 1;
+const A4_LEARN: i64 = 2;
+const A4_DONE: i64 = 3;
+/// A processor that read a garbled register parks here: it never
+/// converges and never selects; the violation is on its op record.
+const A4_HALTED: i64 = 4;
 
 impl Program for Algorithm3 {
     fn boot(&self, initial: &Value) -> LocalState {
@@ -165,7 +179,8 @@ impl Program for Algorithm3 {
         // Phase A boots in ignore-init mode; remember the true initial
         // value for phase B.
         let mut s = LabelLearner::from_tables(Arc::clone(&self.phase_a)).boot(initial);
-        s.set_reg(r.phase, Value::from(0));
+        s.pc = 0;
+        s.set_reg(r.phase, Value::from(A3_PHASE_A));
         s.set_reg(r.true_init, initial.clone());
         s
     }
@@ -173,10 +188,10 @@ impl Program for Algorithm3 {
     fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
         let r = learner_regs();
         match local.reg(r.phase).as_int() {
-            Some(0) => {
+            Some(A3_PHASE_A) => {
                 let t = &self.phase_a;
                 let names = t.name_count() as u32;
-                if local.pc == DONE || names == 0 {
+                if names == 0 {
                     // Degenerate: straight to phase B.
                     self.enter_phase_b(local);
                     return;
@@ -206,14 +221,11 @@ impl Program for Algorithm3 {
                     }
                 }
             }
-            Some(1) => {
+            Some(A3_PHASE_B) => {
                 let t = &self.phase_b;
                 let names = t.name_count() as u32;
-                if local.pc == DONE {
-                    return;
-                }
                 if names == 0 {
-                    local.pc = DONE;
+                    local.set_reg(r.phase, Value::from(A3_DONE));
                     return;
                 }
                 if local.pc < names {
@@ -242,13 +254,14 @@ impl Program for Algorithm3 {
                                     local.selected = true;
                                 }
                             }
-                            local.pc = DONE;
+                            local.set_reg(r.phase, Value::from(A3_DONE));
                         } else {
                             local.pc = 0;
                         }
                     }
                 }
             }
+            Some(A3_DONE) => {}
             other => panic!("algorithm 3 in invalid phase {other:?}"),
         }
     }
@@ -264,7 +277,7 @@ impl Algorithm3 {
         let a_label = LabelLearner::learned_label(local)
             .expect("phase A finished with a singleton suspect set");
         local.set_reg(r.alabel, Value::Sym(a_label));
-        local.set_reg(r.phase, Value::from(1));
+        local.set_reg(r.phase, Value::from(A3_PHASE_B));
         let tb = &self.phase_b;
         let true_init = local.reg(r.true_init).clone();
         let pec: Vec<Label> = tb
@@ -407,12 +420,12 @@ impl Algorithm4 {
 
     /// Whether a processor has selected or definitively lost.
     pub fn is_done(local: &LocalState) -> bool {
-        local.pc == DONE
+        local.reg(learner_regs().phase).as_int() == Some(A4_DONE)
     }
 
     /// The family label a processor learned, if done.
     pub fn learned_label(local: &LocalState) -> Option<Label> {
-        (local.pc == DONE)
+        Self::is_done(local)
             .then(|| LabelLearner::learned_label(local))
             .flatten()
     }
@@ -451,36 +464,39 @@ impl Program for Algorithm4 {
     fn boot(&self, initial: &Value) -> LocalState {
         let r = learner_regs();
         let mut s = LocalState::with_initial(initial.clone());
-        s.set_reg(r.phase, Value::from(0)); // 0 relabel, 1 barrier, 2 learn
+        s.set_reg(r.phase, Value::from(A4_RELABEL));
         s.set_reg(r.rname, Value::from(0));
         s.set_reg(r.rstage, Value::from(0));
+        s.set_reg(r.runlock, Value::from(0));
         s.set_reg(
             r.counts,
             Value::tuple(std::iter::repeat_n(Value::Unit, self.names)),
         );
         if self.names == 0 {
-            s.pc = DONE;
+            s.set_reg(r.phase, Value::from(A4_DONE));
         }
         s
     }
 
     fn step(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
         let r = learner_regs();
-        if local.pc == DONE {
-            return;
-        }
         match local.reg(r.phase).as_int() {
-            Some(0) => self.step_relabel(local, ops),
-            Some(1) => {
-                let w = local.reg(r.wait).as_int().unwrap_or(0);
+            Some(A4_RELABEL) => self.step_relabel(local, ops),
+            Some(A4_BARRIER) => {
+                let Some(w) = int_reg_or_halt(local, ops, r.wait, "wait") else {
+                    return;
+                };
                 if w <= 1 {
                     self.enter_learn(local);
                 } else {
                     local.set_reg(r.wait, Value::from(w - 1));
                 }
             }
-            Some(2) => self.step_learn(local, ops),
-            other => panic!("algorithm 4 in invalid phase {other:?}"),
+            Some(A4_LEARN) => self.step_learn(local, ops),
+            Some(A4_DONE) | Some(A4_HALTED) => {}
+            // An unknown phase is corrupted state, not a programming error
+            // here: record it and park the processor.
+            _ => halt_garbled(local, ops, "phase"),
         }
     }
 
@@ -489,12 +505,60 @@ impl Program for Algorithm4 {
     }
 }
 
+/// Records a garbled-register violation and parks the processor in
+/// [`A4_HALTED`] — it will never converge or select, and the run goes on.
+fn halt_garbled(local: &mut LocalState, ops: &mut OpEnv<'_>, register: &'static str) {
+    ops.record_garbled_register(register);
+    local.set_reg(learner_regs().phase, Value::from(A4_HALTED));
+}
+
+/// Reads a register that must hold an integer. A missing or non-integer
+/// value used to default to 0 silently — which aims lock/unlock at
+/// variable 0 or skips the barrier; instead the violation is recorded and
+/// the processor halts.
+fn int_reg_or_halt(
+    local: &mut LocalState,
+    ops: &mut OpEnv<'_>,
+    reg: RegId,
+    register: &'static str,
+) -> Option<i64> {
+    match local.reg(reg).as_int() {
+        Some(v) => Some(v),
+        None => {
+            halt_garbled(local, ops, register);
+            None
+        }
+    }
+}
+
+/// Like [`int_reg_or_halt`] for registers holding a name index: the value
+/// must also lie in `0..bound`.
+fn index_reg_or_halt(
+    local: &mut LocalState,
+    ops: &mut OpEnv<'_>,
+    reg: RegId,
+    register: &'static str,
+    bound: usize,
+) -> Option<usize> {
+    let v = int_reg_or_halt(local, ops, reg, register)?;
+    if v < 0 || v as usize >= bound {
+        halt_garbled(local, ops, register);
+        return None;
+    }
+    Some(v as usize)
+}
+
 impl Algorithm4 {
     fn step_relabel(&self, local: &mut LocalState, ops: &mut OpEnv<'_>) {
         let r = learner_regs();
-        let ni = local.reg(r.rname).as_int().unwrap_or(0) as usize;
+        let Some(ni) = index_reg_or_halt(local, ops, r.rname, "rname", self.names) else {
+            return;
+        };
         let name = ops.name_at(ni);
-        match local.reg(r.rstage).as_int().unwrap_or(0) {
+        let Some(stage) = int_reg_or_halt(local, ops, r.rstage, "rstage") else {
+            return;
+        };
+        match stage {
             0 => {
                 // In L*, atomically lock *all* neighbors; in L, lock the
                 // current one.
@@ -538,7 +602,10 @@ impl Algorithm4 {
                     }
                     // Release in reverse order, one per step, tracked by
                     // "runlock".
-                    let ru = local.reg(r.runlock).as_int().unwrap_or(0) as usize;
+                    let Some(ru) = index_reg_or_halt(local, ops, r.runlock, "runlock", self.names)
+                    else {
+                        return;
+                    };
                     if ru < self.names {
                         ops.unlock(ops.name_at(ru));
                         local.set_reg(r.runlock, Value::from(ru as i64 + 1));
@@ -563,14 +630,14 @@ impl Algorithm4 {
 
     fn enter_barrier(&self, local: &mut LocalState) {
         let r = learner_regs();
-        local.set_reg(r.phase, Value::from(1));
+        local.set_reg(r.phase, Value::from(A4_BARRIER));
         local.set_reg(r.wait, Value::from(self.barrier));
     }
 
     fn enter_learn(&self, local: &mut LocalState) {
         let t = &self.tables;
         let r = learner_regs();
-        local.set_reg(r.phase, Value::from(2));
+        local.set_reg(r.phase, Value::from(A4_LEARN));
         // Pseudo-initial state: (true init, counts) — the family member's
         // processor state after relabel.
         let counts = local.reg(r.counts).clone();
@@ -618,9 +685,14 @@ impl Algorithm4 {
             }
         } else {
             // Emulated post: lock, read, write own slot, unlock.
-            let ni = local.reg(r.post_ni).as_int().unwrap_or(0) as usize;
+            let Some(ni) = index_reg_or_halt(local, ops, r.post_ni, "post_ni", self.names) else {
+                return;
+            };
             let name = ops.name_at(ni);
-            match local.reg(r.pstage).as_int().unwrap_or(0) {
+            let Some(pstage) = int_reg_or_halt(local, ops, r.pstage, "pstage") else {
+                return;
+            };
+            match pstage {
                 0 => {
                     if ops.lock(name) {
                         local.set_reg(r.pstage, Value::from(1));
@@ -659,7 +731,7 @@ impl Algorithm4 {
                                     local.selected = true;
                                 }
                             }
-                            local.pc = DONE;
+                            local.set_reg(r.phase, Value::from(A4_DONE));
                         } else {
                             local.pc = 0;
                         }
@@ -695,7 +767,10 @@ mod tests {
         let settled = stop::when(|mach: &Machine| {
             mach.graph().processors().all(|p| {
                 let l = mach.local(p);
-                l.pc == u32::MAX || l.selected
+                LabelLearner::is_done(l)
+                    || Algorithm3::is_done(l)
+                    || Algorithm4::is_done(l)
+                    || l.selected
             })
         });
         let report = engine::run(
@@ -870,6 +945,63 @@ mod tests {
             assert!(violation.is_none(), "violation: {violation:?}");
             assert_eq!(selected.len(), 1, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn runaway_counter_is_not_convergence() {
+        // Regression: `pc == u32::MAX` used to *be* the done sentinel, so
+        // a long-running learner whose counter ever reached it read as
+        // converged. Done is now a dedicated phase value.
+        let r = learner_regs();
+        let mut local = LocalState::with_initial(Value::Unit);
+        local.pc = u32::MAX;
+        local.set_reg(r.phase, Value::from(A3_PHASE_B));
+        local.set_reg(r.pec, labels_to_set([7]));
+        assert!(!Algorithm3::is_done(&local));
+        assert_eq!(Algorithm3::learned_label(&local), None);
+        local.set_reg(r.phase, Value::from(A4_LEARN));
+        assert!(!Algorithm4::is_done(&local));
+        assert_eq!(Algorithm4::learned_label(&local), None);
+        // The dedicated phases do read as done.
+        local.set_reg(r.phase, Value::from(A3_DONE));
+        assert!(Algorithm3::is_done(&local));
+        assert_eq!(Algorithm3::learned_label(&local), Some(7));
+        local.set_reg(r.phase, Value::from(A4_DONE));
+        assert!(Algorithm4::is_done(&local));
+    }
+
+    #[test]
+    fn garbled_relabel_register_records_and_halts() {
+        // Regression: a missing/garbled "rname" register used to default
+        // to index 0 silently, aiming lock operations at the wrong
+        // variable. It must be recorded and park the processor instead.
+        let g = topology::figure1();
+        let init = SystemInit::uniform(&g);
+        let plan = Algorithm4::plan(&g, &init, 4, false, DEFAULT_OUTCOME_BUDGET).expect("tables");
+        let prog: Arc<dyn Program> = Arc::new(plan.program.expect("figure 1 selects in L"));
+        let mut m =
+            Machine::new(Arc::new(g), InstructionSet::L, prog, &init).expect("machine");
+        let p = ProcId::new(0);
+        let mut garbled = m.local(p).clone();
+        garbled.set_reg(learner_regs().rname, Value::Unit);
+        m.restore_local(p, garbled);
+        m.step(p);
+        let record = m.last_record().expect("a step was taken");
+        assert!(
+            record.violations.iter().any(|v| matches!(
+                v,
+                simsym_vm::ModelViolation::GarbledRegister { register: "rname" }
+            )),
+            "expected a garbled-register violation, got {:?}",
+            record.violations
+        );
+        // The processor is parked: further steps change nothing and it
+        // never converges or selects.
+        let before = m.local(p).clone();
+        m.step(p);
+        assert_eq!(*m.local(p), before);
+        assert!(!Algorithm4::is_done(m.local(p)));
+        assert!(!m.local(p).selected);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod similarity;
 
 pub use csp::{CspEvent, CspMachine, CspMode, CspOffer, CspProgram, Enabled, PairElection};
 pub use machine::{ChangRoberts, MpMachine, MpOps, MpProgram, ViewLearner};
-pub use net::{MpError, MpNetwork};
+pub use net::{ChannelFaults, MpError, MpNetwork};
 pub use similarity::{
     extended_csp_consistent, mp_similarity, reduced_similarity, same_partition, to_system_graph,
     MpModel,

@@ -6,8 +6,11 @@
 //! processors run the same [`MpProgram`]; asymmetry can enter only through
 //! initial values, exactly as in the shared-variable model.
 
-use crate::MpNetwork;
+use crate::{ChannelFaults, MpNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use simsym_graph::ProcId;
+use simsym_vm::faults::{FaultEvent, FaultView, FaultableSystem};
 use simsym_vm::{LocalState, OpKind, StepOp, System, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
@@ -42,6 +45,17 @@ pub struct MpOps<'m> {
     proc: ProcId,
     ops_used: u32,
     op: Option<StepOp>,
+    faults: Option<&'m mut ChannelFaultState>,
+    step: u64,
+}
+
+/// Seeded channel-fault injection state: the policy, the RNG that decides
+/// each injection, and the audit log of everything injected so far.
+#[derive(Clone, Debug)]
+struct ChannelFaultState {
+    policy: ChannelFaults,
+    rng: StdRng,
+    events: Vec<FaultEvent>,
 }
 
 impl<'m> MpOps<'m> {
@@ -75,7 +89,9 @@ impl<'m> MpOps<'m> {
             .expect("channel exists")
     }
 
-    /// Sends `value` on out-port `port`.
+    /// Sends `value` on out-port `port`. Under a [`ChannelFaults`] policy
+    /// the message may be dropped (never enqueued) or duplicated (enqueued
+    /// twice); either injection is logged as a [`FaultEvent`].
     ///
     /// # Panics
     ///
@@ -85,10 +101,35 @@ impl<'m> MpOps<'m> {
         self.charge(OpKind::Send);
         let to = self.net.out_neighbors(self.proc)[port];
         let ci = self.channel_index(self.proc, to);
+        if let Some(f) = self.faults.as_deref_mut() {
+            // Fixed draw order (drop, then duplicate) keeps the RNG
+            // stream — and so the whole run — a function of the schedule.
+            let dropped = f.rng.gen_range(0..100u32) < u32::from(f.policy.drop_percent);
+            let duplicated = f.rng.gen_range(0..100u32) < u32::from(f.policy.duplicate_percent);
+            if dropped {
+                f.events.push(FaultEvent::MessageDropped {
+                    step: self.step,
+                    channel: ci,
+                });
+                return;
+            }
+            self.queues[ci].push_back(value.clone());
+            if duplicated {
+                f.events.push(FaultEvent::MessageDuplicated {
+                    step: self.step,
+                    channel: ci,
+                });
+                self.queues[ci].push_back(value);
+            }
+            return;
+        }
         self.queues[ci].push_back(value);
     }
 
     /// Receives the oldest pending message on in-port `port`, if any.
+    /// Under a [`ChannelFaults`] policy with reordering, the delivery may
+    /// instead be served from a random position inside the queue, logged
+    /// as a [`FaultEvent`].
     ///
     /// # Panics
     ///
@@ -98,6 +139,19 @@ impl<'m> MpOps<'m> {
         self.charge(OpKind::Recv);
         let from = self.net.in_neighbors(self.proc)[port];
         let ci = self.channel_index(from, self.proc);
+        if let Some(f) = self.faults.as_deref_mut() {
+            if self.queues[ci].len() > 1
+                && f.rng.gen_range(0..100u32) < u32::from(f.policy.reorder_percent)
+            {
+                let depth = f.rng.gen_range(1..self.queues[ci].len());
+                f.events.push(FaultEvent::DeliveryReordered {
+                    step: self.step,
+                    channel: ci,
+                    depth,
+                });
+                return self.queues[ci].remove(depth);
+            }
+        }
         self.queues[ci].pop_front()
     }
 }
@@ -111,6 +165,7 @@ pub struct MpMachine {
     queues: Vec<VecDeque<Value>>,
     steps: u64,
     last_op: Option<StepOp>,
+    faults: Option<ChannelFaultState>,
 }
 
 impl MpMachine {
@@ -130,7 +185,25 @@ impl MpMachine {
             queues,
             steps: 0,
             last_op: None,
+            faults: None,
         }
+    }
+
+    /// Enables seeded channel-fault injection under `policy`. Every drop,
+    /// duplication, and reordering decision is drawn from a deterministic
+    /// RNG, so a `(policy, seed, schedule)` triple fixes the entire run.
+    pub fn with_channel_faults(mut self, policy: ChannelFaults, seed: u64) -> MpMachine {
+        self.faults = Some(ChannelFaultState {
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            events: Vec::new(),
+        });
+        self
+    }
+
+    /// The channel-fault events injected so far (empty without a policy).
+    pub fn channel_fault_events(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map_or(&[], |f| &f.events)
     }
 
     /// The network.
@@ -166,6 +239,8 @@ impl MpMachine {
                 proc: p,
                 ops_used: 0,
                 op: None,
+                faults: self.faults.as_mut(),
+                step: self.steps,
             };
             self.program.step(&mut local, &mut ops);
             ops.op
@@ -216,6 +291,29 @@ impl System for MpMachine {
 
     fn last_op(&self) -> Option<StepOp> {
         MpMachine::last_op(self)
+    }
+}
+
+impl FaultableSystem for MpMachine {
+    fn local_snapshot(&self, p: ProcId) -> LocalState {
+        self.locals[p.index()].clone()
+    }
+
+    fn restore_local(&mut self, p: ProcId, state: LocalState) {
+        self.locals[p.index()] = state;
+    }
+}
+
+/// Channel faults never crash processors, so the crash set is empty; the
+/// view exists so the fault-tolerance checkers can consume shared-variable
+/// and message-passing runs uniformly.
+impl FaultView for MpMachine {
+    fn is_crashed(&self, _p: ProcId) -> bool {
+        false
+    }
+
+    fn fault_events(&self) -> &[FaultEvent] {
+        self.channel_fault_events()
     }
 }
 
@@ -469,6 +567,67 @@ mod tests {
         let views: Vec<Value> = net.processors().map(|p| m.local(p).get("view")).collect();
         assert_ne!(views[0], views[1]);
         assert_ne!(views[1], views[2]);
+    }
+
+    #[test]
+    fn channel_faults_are_deterministic_per_seed() {
+        let net = Arc::new(MpNetwork::ring_unidirectional(5));
+        let ids: Vec<Value> = [3, 1, 4, 2, 5].into_iter().map(Value::from).collect();
+        let policy = ChannelFaults::new(30, 20, 25);
+        let run = |seed: u64| {
+            let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &ids)
+                .with_channel_faults(policy, seed);
+            let _ = run_until(&mut m, &mut RoundRobin::new(), 2_000, &mut [], |m| {
+                !m.selected().is_empty()
+            });
+            (m.fingerprint(), m.channel_fault_events().to_vec())
+        };
+        let (fp_a, ev_a) = run(11);
+        let (fp_b, ev_b) = run(11);
+        let (fp_c, ev_c) = run(12);
+        assert_eq!(fp_a, fp_b);
+        assert_eq!(ev_a, ev_b);
+        assert!(!ev_a.is_empty(), "a 30%-lossy run injects something");
+        assert!(fp_a != fp_c || ev_a != ev_c, "seeds diverge");
+    }
+
+    #[test]
+    fn dropped_messages_never_enqueue() {
+        // 100% drop: the ring stays silent, nobody can ever elect.
+        let net = Arc::new(MpNetwork::ring_unidirectional(3));
+        let ids: Vec<Value> = [1, 2, 3].into_iter().map(Value::from).collect();
+        let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &ids)
+            .with_channel_faults(ChannelFaults::new(100, 0, 0), 0);
+        let _ = run_until(&mut m, &mut RoundRobin::new(), 500, &mut [], |m| {
+            !m.selected().is_empty()
+        });
+        assert!(m.selected().is_empty());
+        assert!(m
+            .channel_fault_events()
+            .iter()
+            .all(|e| matches!(e, simsym_vm::FaultEvent::MessageDropped { .. })));
+        assert!(!m.channel_fault_events().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_absorbed_by_chang_roberts() {
+        // 100% duplication: every send enqueues twice, yet the max id
+        // still wins uniquely — duplicate ids are swallowed or re-forwarded
+        // but a processor only selects on seeing its own id again.
+        let net = Arc::new(MpNetwork::ring_unidirectional(5));
+        let ids: Vec<Value> = [3, 1, 4, 2, 5].into_iter().map(Value::from).collect();
+        let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &ids)
+            .with_channel_faults(ChannelFaults::new(0, 100, 0), 0);
+        let _ = run_until(&mut m, &mut RoundRobin::new(), 20_000, &mut [], |m| {
+            !m.selected().is_empty()
+        });
+        assert_eq!(m.selected(), vec![ProcId::new(4)], "max id still wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 100")]
+    fn channel_fault_percentages_validated() {
+        let _ = ChannelFaults::new(101, 0, 0);
     }
 
     #[test]

@@ -51,6 +51,56 @@ impl fmt::Display for MpError {
 
 impl Error for MpError {}
 
+/// A channel fault policy: per-operation percentages for message loss,
+/// duplication, and out-of-order delivery, applied at the send/receive
+/// boundaries of the message-passing machine.
+///
+/// The policy is pure data; the machine draws from its own seeded RNG, so
+/// a `(policy, seed, schedule)` triple determines every injected fault —
+/// lossy runs replay exactly like fault-free ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelFaults {
+    /// Percent (0–100) of sends whose message is silently dropped.
+    pub drop_percent: u8,
+    /// Percent (0–100) of delivered sends that are enqueued twice.
+    pub duplicate_percent: u8,
+    /// Percent (0–100) of receives served from a random queue position
+    /// instead of the head (only when more than one message is pending).
+    pub reorder_percent: u8,
+}
+
+impl ChannelFaults {
+    /// The fault-free policy.
+    pub fn none() -> ChannelFaults {
+        ChannelFaults::default()
+    }
+
+    /// A policy from explicit percentages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any percentage exceeds 100.
+    pub fn new(drop_percent: u8, duplicate_percent: u8, reorder_percent: u8) -> ChannelFaults {
+        for (name, p) in [
+            ("drop", drop_percent),
+            ("duplicate", duplicate_percent),
+            ("reorder", reorder_percent),
+        ] {
+            assert!(p <= 100, "{name} percentage {p} exceeds 100");
+        }
+        ChannelFaults {
+            drop_percent,
+            duplicate_percent,
+            reorder_percent,
+        }
+    }
+
+    /// Whether the policy injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.drop_percent == 0 && self.duplicate_percent == 0 && self.reorder_percent == 0
+    }
+}
+
 impl MpNetwork {
     /// A network over `procs` processors with no channels yet.
     ///

@@ -39,10 +39,12 @@ impl SweepScheduler {
         }
     }
 
-    /// The schedule class this family realizes.
-    pub fn kind(&self, procs: usize) -> ScheduleKind {
+    /// The schedule kind this family realizes, as the built scheduler
+    /// itself reports it — round-robin is labeled round-robin, not the
+    /// `n`-bounded-fair class it happens to satisfy.
+    pub fn kind(&self, _procs: usize) -> ScheduleKind {
         match self {
-            SweepScheduler::RoundRobin => ScheduleKind::BoundedFair(procs),
+            SweepScheduler::RoundRobin => ScheduleKind::RoundRobin,
             SweepScheduler::RandomFair => ScheduleKind::Fair,
             SweepScheduler::BoundedFair { k } => ScheduleKind::BoundedFair(*k),
         }
@@ -355,7 +357,41 @@ mod tests {
         );
         assert_eq!(
             SweepScheduler::RoundRobin.kind(4),
-            crate::ScheduleKind::BoundedFair(4)
+            crate::ScheduleKind::RoundRobin
         );
+        // The family kind agrees with the kind the built scheduler reports.
+        for family in [
+            SweepScheduler::RoundRobin,
+            SweepScheduler::RandomFair,
+            SweepScheduler::BoundedFair { k: 6 },
+        ] {
+            let sched = family.scheduler::<Machine>(4, 0);
+            assert_eq!(sched.kind(), family.kind(4), "{family}");
+        }
+    }
+
+    /// Regression: round-robin runs used to be recorded as `n`-bounded
+    /// fair, so a replayed trace header claimed a schedule class the run
+    /// never declared. The header must round-trip the real kind.
+    #[test]
+    fn trace_header_round_trips_round_robin_kind() {
+        use crate::engine::trace::{ScheduleTrace, TraceRecorder};
+
+        let family = SweepScheduler::RoundRobin;
+        let mut machine = racing_machine();
+        let mut sched = family.scheduler::<Machine>(4, 0);
+        let mut recorder = TraceRecorder::new(family.label(), sched.kind().to_string());
+        engine::run(
+            &mut machine,
+            &mut *sched,
+            50,
+            &mut [&mut recorder],
+            &mut stop::AnySelected,
+        );
+        let trace = recorder.into_trace();
+        assert_eq!(trace.kind, "round-robin");
+        let parsed = ScheduleTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(parsed.kind, "round-robin");
+        assert_eq!(parsed.scheduler, "round_robin");
     }
 }

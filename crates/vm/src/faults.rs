@@ -1,0 +1,743 @@
+//! Deterministic fault injection: crash-stop, crash-recovery, and
+//! adversarial starvation schedules.
+//!
+//! The paper's schedule classes already *contain* the crash-fault model:
+//! a processor that crashes and never recovers simply appears finitely
+//! often, which makes the schedule **general** (§2) — exactly the class
+//! Theorem 1 uses to bridge to FLP. This module makes that connection
+//! executable: a seeded [`FaultPlan`] is woven around any
+//! [`System`] by the [`Faulty`] wrapper, crashed processors are skipped
+//! by the [`FaultSched`] scheduler adapter, and every injected fault is
+//! emitted as a [`FaultEvent`] so runs remain fully deterministic and
+//! replayable — the fault timeline is a pure function of the step index,
+//! so replaying a recorded schedule through a fresh wrapper with the same
+//! plan reproduces every fingerprint byte-for-byte.
+//!
+//! The third instrument, [`StarveAdversary`], stays *inside* a schedule
+//! class: it is a legal `k`-bounded-fair schedule that starves one target
+//! processor to the very edge of every `k`-window, probing how tight the
+//! bound of Theorem 1 really is.
+
+use crate::engine::System;
+use crate::{LocalState, Machine, OpRecord, ScheduleKind, Scheduler, StepOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simsym_graph::ProcId;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// How a crashed processor comes back, if it does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Recovery {
+    /// Step index (of the wrapped run) at which the processor becomes
+    /// schedulable again.
+    pub at_step: u64,
+    /// Whether recovery resets the local state to its boot snapshot
+    /// (crash-recovery with volatile memory) or resumes where the
+    /// processor stopped (crash-recovery with stable memory).
+    pub reset: bool,
+}
+
+/// One processor's crash, with an optional recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashFault {
+    /// The processor that crashes.
+    pub proc: ProcId,
+    /// Step index (of the wrapped run) at which it stops being scheduled.
+    pub at_step: u64,
+    /// `None` = crash-stop; `Some` = crash-recovery.
+    pub recovery: Option<Recovery>,
+}
+
+/// A deterministic fault timeline: which processors crash when, and
+/// whether/how they recover. Plans are data — two runs under the same
+/// plan and schedule are identical, which is what makes faulted traces
+/// replayable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crash faults, at most one per processor.
+    pub crashes: Vec<CrashFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults. [`Faulty`] under this plan behaves
+    /// exactly like the wrapped system (the zero-fault overhead the bench
+    /// measures).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit crash faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a processor appears twice, or if a recovery does not
+    /// strictly follow its crash.
+    pub fn crashes(crashes: Vec<CrashFault>) -> FaultPlan {
+        for (i, c) in crashes.iter().enumerate() {
+            assert!(
+                crashes[..i].iter().all(|d| d.proc != c.proc),
+                "processor {:?} has two crash faults",
+                c.proc
+            );
+            if let Some(r) = c.recovery {
+                assert!(
+                    r.at_step > c.at_step,
+                    "recovery at step {} does not follow crash at step {}",
+                    r.at_step,
+                    c.at_step
+                );
+            }
+        }
+        FaultPlan { crashes }
+    }
+
+    /// A seeded crash plan over `procs` processors: every processor not in
+    /// `protect` may crash at a pseudorandom step below `horizon`, and
+    /// roughly half of the crashed recover later (half of those with a
+    /// state reset). When `protect` is empty, processor 0 is implicitly
+    /// protected so at least one processor always survives — a schedule
+    /// needs someone to run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0` or `horizon == 0`.
+    pub fn seeded_crashes(procs: usize, protect: &[ProcId], seed: u64, horizon: u64) -> FaultPlan {
+        assert!(procs > 0, "a plan needs at least one processor");
+        assert!(horizon > 0, "crash horizon must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let implicit = [ProcId::new(0)];
+        let protect: &[ProcId] = if protect.is_empty() {
+            &implicit
+        } else {
+            protect
+        };
+        let mut crashes = Vec::new();
+        for p in (0..procs).map(ProcId::new) {
+            if protect.contains(&p) {
+                continue;
+            }
+            // Two in three victims actually crash; the rest run clean.
+            if rng.gen_range(0..3u32) == 0 {
+                continue;
+            }
+            let at_step = rng.gen_range(0..horizon);
+            let recovery = if rng.gen() {
+                Some(Recovery {
+                    at_step: at_step + 1 + rng.gen_range(0..horizon),
+                    reset: rng.gen(),
+                })
+            } else {
+                None
+            };
+            crashes.push(CrashFault {
+                proc: p,
+                at_step,
+                recovery,
+            });
+        }
+        FaultPlan { crashes }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+}
+
+/// One injected fault, stamped with the step index it took effect at.
+/// The event stream is what checkers and the CLI report; it is also the
+/// audit trail proving a faulted trace replayed the same timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultEvent {
+    /// A processor crashed (stopped being scheduled).
+    Crashed {
+        /// Step index the crash took effect before.
+        step: u64,
+        /// The crashed processor.
+        proc: ProcId,
+    },
+    /// A crashed processor recovered.
+    Recovered {
+        /// Step index the recovery took effect before.
+        step: u64,
+        /// The recovered processor.
+        proc: ProcId,
+        /// Whether its local state was reset to the boot snapshot.
+        reset: bool,
+    },
+    /// A channel message was dropped at its send boundary.
+    MessageDropped {
+        /// Machine step count when the send was attempted.
+        step: u64,
+        /// Index of the channel in the network's channel list.
+        channel: usize,
+    },
+    /// A channel message was enqueued twice at its send boundary.
+    MessageDuplicated {
+        /// Machine step count when the send happened.
+        step: u64,
+        /// Index of the channel in the network's channel list.
+        channel: usize,
+    },
+    /// A receive was served from inside the queue instead of its head.
+    DeliveryReordered {
+        /// Machine step count when the receive happened.
+        step: u64,
+        /// Index of the channel in the network's channel list.
+        channel: usize,
+        /// Queue position the delivered message came from (0 = head, i.e.
+        /// no visible reordering).
+        depth: usize,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::Crashed { step, proc } => write!(f, "step {step}: {proc:?} crashed"),
+            FaultEvent::Recovered { step, proc, reset } => write!(
+                f,
+                "step {step}: {proc:?} recovered{}",
+                if *reset { " (state reset)" } else { "" }
+            ),
+            FaultEvent::MessageDropped { step, channel } => {
+                write!(f, "step {step}: dropped message on channel {channel}")
+            }
+            FaultEvent::MessageDuplicated { step, channel } => {
+                write!(f, "step {step}: duplicated message on channel {channel}")
+            }
+            FaultEvent::DeliveryReordered {
+                step,
+                channel,
+                depth,
+            } => write!(
+                f,
+                "step {step}: reordered delivery on channel {channel} (depth {depth})"
+            ),
+        }
+    }
+}
+
+/// What the fault layer exposes to schedulers and checkers: the current
+/// crash set and the event log. Implemented by [`Faulty`] (crash faults)
+/// and by the message-passing machine (channel faults, empty crash set).
+pub trait FaultView {
+    /// Whether processor `p` is currently crashed.
+    fn is_crashed(&self, p: ProcId) -> bool;
+
+    /// Every fault injected so far, in injection order.
+    fn fault_events(&self) -> &[FaultEvent];
+}
+
+/// A [`System`] whose per-processor local state can be snapshotted and
+/// restored — what [`Faulty`] needs to implement crash-recovery resets.
+pub trait FaultableSystem: System {
+    /// A copy of processor `p`'s local state.
+    fn local_snapshot(&self, p: ProcId) -> LocalState;
+
+    /// Replaces processor `p`'s local state.
+    fn restore_local(&mut self, p: ProcId, state: LocalState);
+}
+
+impl FaultableSystem for Machine {
+    fn local_snapshot(&self, p: ProcId) -> LocalState {
+        self.local(p).clone()
+    }
+
+    fn restore_local(&mut self, p: ProcId, state: LocalState) {
+        Machine::restore_local(self, p, state);
+    }
+}
+
+/// Wraps a system with a [`FaultPlan`]: crashed processors no-op when
+/// stepped (schedulers built with [`FaultSched`] never pick them), and
+/// recoveries optionally reset local state to the boot snapshot captured
+/// at construction.
+///
+/// The fault timeline is keyed to the wrapper's own step counter, so the
+/// crash set before step `t` is a pure function of `t` — the property the
+/// trace-replay guarantee rests on. The fingerprint mixes the crash set
+/// into the inner fingerprint so a replay diverging on fault state is
+/// caught by the per-step fingerprint check.
+pub struct Faulty<S> {
+    inner: S,
+    plan: FaultPlan,
+    crashed: Vec<bool>,
+    boot: Vec<LocalState>,
+    events: Vec<FaultEvent>,
+    t: u64,
+}
+
+impl<S: FaultableSystem> Faulty<S> {
+    /// Wraps `inner` (in its initial state) under `plan`. Boot snapshots
+    /// for recovery resets are captured here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a processor outside the system, or if the
+    /// plan would crash every processor at step 0 — a schedule needs at
+    /// least one live processor to pick.
+    pub fn new(inner: S, plan: FaultPlan) -> Faulty<S> {
+        let n = inner.processor_count();
+        for c in &plan.crashes {
+            assert!(
+                c.proc.index() < n,
+                "fault plan names {:?} but the system has {n} processors",
+                c.proc
+            );
+        }
+        let boot = (0..n)
+            .map(|p| inner.local_snapshot(ProcId::new(p)))
+            .collect();
+        let mut faulty = Faulty {
+            inner,
+            plan,
+            crashed: vec![false; n],
+            boot,
+            events: Vec::new(),
+            t: 0,
+        };
+        faulty.apply_due();
+        assert!(
+            faulty.crashed.iter().any(|&c| !c),
+            "fault plan crashes every processor at step 0"
+        );
+        faulty
+    }
+
+    /// The wrapped system.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped system, mutably.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the system, discarding the fault state.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The plan this wrapper runs under.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Applies every crash/recovery transition due at the current step
+    /// counter. Called after each step (and once at construction), so
+    /// schedulers always see the crash set of the *upcoming* step.
+    fn apply_due(&mut self) {
+        for c in &self.plan.crashes {
+            let i = c.proc.index();
+            if c.at_step == self.t && !self.crashed[i] {
+                self.crashed[i] = true;
+                self.events.push(FaultEvent::Crashed {
+                    step: self.t,
+                    proc: c.proc,
+                });
+            }
+            if let Some(r) = c.recovery {
+                if r.at_step == self.t && self.crashed[i] {
+                    self.crashed[i] = false;
+                    if r.reset {
+                        self.inner.restore_local(c.proc, self.boot[i].clone());
+                    }
+                    self.events.push(FaultEvent::Recovered {
+                        step: self.t,
+                        proc: c.proc,
+                        reset: r.reset,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl<S: FaultableSystem> System for Faulty<S> {
+    fn processor_count(&self) -> usize {
+        self.inner.processor_count()
+    }
+
+    fn step(&mut self, p: ProcId) {
+        // A crashed processor's step is a no-op (defensive: FaultSched
+        // never schedules one), but it still advances the fault clock so
+        // the timeline stays a function of the step index alone.
+        if !self.crashed[p.index()] {
+            self.inner.step(p);
+        }
+        self.t += 1;
+        self.apply_due();
+    }
+
+    fn steps(&self) -> u64 {
+        self.t
+    }
+
+    fn selected(&self) -> Vec<ProcId> {
+        self.inner.selected()
+    }
+
+    fn selected_count(&self) -> usize {
+        self.inner.selected_count()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.inner.fingerprint().hash(&mut h);
+        self.crashed.hash(&mut h);
+        h.finish()
+    }
+
+    fn last_op(&self) -> Option<StepOp> {
+        self.inner.last_op()
+    }
+
+    fn last_record(&self) -> Option<OpRecord> {
+        self.inner.last_record()
+    }
+}
+
+impl<S: FaultableSystem> FaultView for Faulty<S> {
+    fn is_crashed(&self, p: ProcId) -> bool {
+        self.crashed[p.index()]
+    }
+
+    fn fault_events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// Scheduler adapter that skips currently-crashed processors. Unlike
+/// [`crate::Excluding`] the exclusion set is *time-varying*: it is read
+/// off the system's [`FaultView`] at every choice, so recoveries put a
+/// processor back into rotation automatically.
+///
+/// A schedule with crashes is **general** — the crashed processor appears
+/// only finitely often — regardless of the inner scheduler's class.
+pub struct FaultSched<Inner> {
+    inner: Inner,
+}
+
+impl<Inner> FaultSched<Inner> {
+    /// Wraps `inner`, skipping crashed processors.
+    pub fn new(inner: Inner) -> FaultSched<Inner> {
+        FaultSched { inner }
+    }
+}
+
+impl<S, Inner> Scheduler<S> for FaultSched<Inner>
+where
+    S: System + FaultView + ?Sized,
+    Inner: Scheduler<S>,
+{
+    fn next(&mut self, system: &S) -> ProcId {
+        // Skip crashed choices; bounded retries then fall back to scanning.
+        for _ in 0..64 {
+            let p = self.inner.next(system);
+            if !system.is_crashed(p) {
+                return p;
+            }
+        }
+        (0..system.processor_count())
+            .map(ProcId::new)
+            .find(|&p| !system.is_crashed(p))
+            .expect("at least one processor must remain alive")
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::General
+    }
+}
+
+/// A legal `k`-bounded-fair schedule that starves one target processor to
+/// the edge of every window: the target runs exactly at steps
+/// `k-1, 2k-1, 3k-1, …` — once per window, always at the last admissible
+/// moment — while the remaining processors round-robin through the other
+/// slots.
+///
+/// This is the adversary Theorem 1's bound is about: bounded fairness
+/// caps how much knowledge the target can be denied, and this schedule
+/// denies exactly that maximum.
+#[derive(Clone, Debug)]
+pub struct StarveAdversary {
+    target: ProcId,
+    k: usize,
+    step: u64,
+    rr: usize,
+}
+
+impl StarveAdversary {
+    /// A `k`-bounded-fair starvation schedule over `procs` processors
+    /// against `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < procs` (no bounded-fair schedule fits all
+    /// processors in a smaller window), if `procs < 2` (starvation needs
+    /// someone else to run), or if `target` is out of range.
+    pub fn new(procs: usize, target: ProcId, k: usize) -> StarveAdversary {
+        assert!(
+            k >= procs,
+            "k-bounded fairness requires k >= processor count"
+        );
+        assert!(procs >= 2, "starvation needs at least two processors");
+        assert!(target.index() < procs, "starvation target out of range");
+        StarveAdversary {
+            target,
+            k,
+            step: 0,
+            rr: 0,
+        }
+    }
+
+    /// The starved processor.
+    pub fn target(&self) -> ProcId {
+        self.target
+    }
+}
+
+impl<S: System + ?Sized> Scheduler<S> for StarveAdversary {
+    fn next(&mut self, system: &S) -> ProcId {
+        let n = system.processor_count();
+        let choice = if self.step % self.k as u64 == (self.k - 1) as u64 {
+            self.target
+        } else {
+            // Round-robin over the n-1 non-targets: each appears exactly
+            // once per n-1 non-target slots, and with k >= n at most one
+            // target edge falls between two runs of the same processor,
+            // so every processor's gap is <= k — the whole schedule is
+            // k-bounded fair, not just the target.
+            let slot = self.rr % (n - 1);
+            self.rr += 1;
+            (0..n)
+                .map(ProcId::new)
+                .filter(|&q| q != self.target)
+                .nth(slot)
+                .expect("n - 1 non-targets exist")
+        };
+        self.step += 1;
+        choice
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::BoundedFair(self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{self, stop};
+    use crate::{FnProgram, InstructionSet, RoundRobin, SystemInit, Value};
+    use simsym_graph::topology;
+    use std::sync::Arc;
+
+    fn counting_machine(n: usize) -> Machine {
+        let g = Arc::new(topology::uniform_ring(n));
+        let prog = Arc::new(FnProgram::new("count", |local, _ops| {
+            local.pc += 1;
+        }));
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+    }
+
+    #[test]
+    fn crash_stop_freezes_the_victim() {
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(1),
+            at_step: 4,
+            recovery: None,
+        }]);
+        let mut f = Faulty::new(counting_machine(3), plan);
+        let mut sched = FaultSched::new(RoundRobin::new());
+        engine::run(&mut f, &mut sched, 30, &mut [], &mut stop::Never);
+        // p1 ran only before its crash; the survivors kept stepping.
+        let pc1 = f.inner().local(ProcId::new(1)).pc;
+        assert!(pc1 <= 2, "crashed processor kept running: pc {pc1}");
+        assert!(f.inner().local(ProcId::new(0)).pc > pc1);
+        assert!(f.is_crashed(ProcId::new(1)));
+        assert_eq!(
+            f.fault_events(),
+            &[FaultEvent::Crashed {
+                step: 4,
+                proc: ProcId::new(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn recovery_with_reset_restores_boot_state() {
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(1),
+            at_step: 3,
+            recovery: Some(Recovery {
+                at_step: 9,
+                reset: true,
+            }),
+        }]);
+        let mut f = Faulty::new(counting_machine(3), plan);
+        let mut sched = FaultSched::new(RoundRobin::new());
+        engine::run(&mut f, &mut sched, 9, &mut [], &mut stop::Never);
+        // Recovery fires after step 9: state is back at boot.
+        assert!(!f.is_crashed(ProcId::new(1)));
+        assert_eq!(f.inner().local(ProcId::new(1)).pc, 0);
+        assert!(matches!(
+            f.fault_events(),
+            [
+                FaultEvent::Crashed { .. },
+                FaultEvent::Recovered { reset: true, .. }
+            ]
+        ));
+        // And it runs again afterwards.
+        engine::run(&mut f, &mut sched, 12, &mut [], &mut stop::Never);
+        assert!(f.inner().local(ProcId::new(1)).pc > 0);
+    }
+
+    #[test]
+    fn recovery_without_reset_resumes_in_place() {
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(1),
+            at_step: 3,
+            recovery: Some(Recovery {
+                at_step: 6,
+                reset: false,
+            }),
+        }]);
+        let mut f = Faulty::new(counting_machine(2), plan);
+        let mut sched = FaultSched::new(RoundRobin::new());
+        engine::run(&mut f, &mut sched, 6, &mut [], &mut stop::Never);
+        let pc_at_crash = f.inner().local(ProcId::new(1)).pc;
+        assert!(pc_at_crash > 0);
+        engine::run(&mut f, &mut sched, 10, &mut [], &mut stop::Never);
+        assert!(f.inner().local(ProcId::new(1)).pc > pc_at_crash);
+    }
+
+    #[test]
+    fn fault_sched_never_schedules_crashed() {
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(0),
+            at_step: 0,
+            recovery: None,
+        }]);
+        let mut f = Faulty::new(counting_machine(3), plan);
+        let mut sched = FaultSched::new(RoundRobin::new());
+        for _ in 0..50 {
+            let p = sched.next(&f);
+            assert_ne!(p, ProcId::new(0));
+            f.step(p);
+        }
+        assert_eq!(f.inner().local(ProcId::new(0)).pc, 0);
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut plain = counting_machine(3);
+        let mut f = Faulty::new(counting_machine(3), FaultPlan::none());
+        let mut s1 = RoundRobin::new();
+        let mut s2 = FaultSched::new(RoundRobin::new());
+        engine::run(&mut plain, &mut s1, 20, &mut [], &mut stop::Never);
+        engine::run(&mut f, &mut s2, 20, &mut [], &mut stop::Never);
+        assert_eq!(plain.fingerprint(), f.inner().fingerprint());
+        assert!(f.fault_events().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_reflects_crash_state() {
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(1),
+            at_step: 0,
+            recovery: None,
+        }]);
+        let f = Faulty::new(counting_machine(2), plan);
+        let g = Faulty::new(counting_machine(2), FaultPlan::none());
+        // Same inner state, different crash sets: different fingerprints.
+        assert_eq!(f.inner().fingerprint(), g.inner().fingerprint());
+        assert_ne!(System::fingerprint(&f), System::fingerprint(&g));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_spare_protected() {
+        let leader = ProcId::new(2);
+        let a = FaultPlan::seeded_crashes(5, &[leader], 7, 100);
+        let b = FaultPlan::seeded_crashes(5, &[leader], 7, 100);
+        let c = FaultPlan::seeded_crashes(5, &[leader], 8, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.crashes.iter().all(|f| f.proc != leader));
+        for f in &a.crashes {
+            if let Some(r) = f.recovery {
+                assert!(r.at_step > f.at_step);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crashes every processor")]
+    fn all_crashed_at_boot_rejected() {
+        let plan = FaultPlan::crashes(
+            (0..2)
+                .map(|i| CrashFault {
+                    proc: ProcId::new(i),
+                    at_step: 0,
+                    recovery: None,
+                })
+                .collect(),
+        );
+        let _ = Faulty::new(counting_machine(2), plan);
+    }
+
+    #[test]
+    fn starve_adversary_is_bounded_fair_and_starves_to_the_edge() {
+        let n = 4;
+        let k = 6;
+        let target = ProcId::new(2);
+        let m = counting_machine(n);
+        let mut s = StarveAdversary::new(n, target, k);
+        let picks: Vec<usize> = (0..240).map(|_| s.next(&m).index()).collect();
+        // The target runs exactly at the window edges k-1, 2k-1, ...
+        for (i, &p) in picks.iter().enumerate() {
+            assert_eq!(
+                p == target.index(),
+                (i + 1) % k == 0,
+                "step {i} picked p{p}"
+            );
+        }
+        // The schedule is k-bounded fair for *every* processor.
+        for w in picks.windows(k) {
+            for p in 0..n {
+                assert!(w.contains(&p), "window {w:?} misses p{p}");
+            }
+        }
+        assert_eq!(Scheduler::<Machine>::kind(&s), ScheduleKind::BoundedFair(k));
+    }
+
+    #[test]
+    fn selection_survives_loser_crashes() {
+        // The acceptance shape in miniature: select on a marked two-ring,
+        // crash a loser mid-run, selection still lands uniquely on the
+        // marked processor. The full cross-family sweep lives in the CLI.
+        let g = Arc::new(topology::uniform_ring(3));
+        let prog = Arc::new(FnProgram::new("mark-wins", |local, _ops| {
+            if local.get("init") == Value::from(1) {
+                local.selected = true;
+            }
+            local.pc += 1;
+        }));
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        let m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(1),
+            at_step: 2,
+            recovery: None,
+        }]);
+        let mut f = Faulty::new(m, plan);
+        let mut sched = FaultSched::new(RoundRobin::new());
+        let report = engine::run(&mut f, &mut sched, 50, &mut [], &mut stop::AnySelected);
+        assert_eq!(report.selected, vec![ProcId::new(0)]);
+    }
+}

@@ -46,6 +46,7 @@
 
 pub mod engine;
 mod explore;
+pub mod faults;
 mod isa;
 mod machine;
 mod program;
@@ -62,6 +63,11 @@ pub use engine::probe::{
     RunReport, SimilarityObserver, StabilityMonitor, StopReason, UniquenessMonitor, Violation,
 };
 pub use engine::{Probe, System};
+pub use faults::{
+    CrashFault, FaultEvent, FaultPlan, FaultSched, FaultView, FaultableSystem, Faulty, Recovery,
+    StarveAdversary,
+};
+
 pub use explore::{
     explore, explore_reference, find_double_selection, is_quiescent, DoubleSelection,
     ExploreConfig, ExploreResult,

@@ -160,6 +160,13 @@ pub enum ModelViolation {
         /// The machine's instruction set.
         isa: InstructionSet,
     },
+    /// A local register the program expected to hold an integer was
+    /// missing or held a non-integer value — the processor's state is
+    /// garbled and the program refused to act on it.
+    GarbledRegister {
+        /// Static name of the register, as the program interned it.
+        register: &'static str,
+    },
 }
 
 impl fmt::Display for ModelViolation {
@@ -171,6 +178,9 @@ impl fmt::Display for ModelViolation {
             ),
             ModelViolation::OpNotInIsa { op, isa } => {
                 write!(f, "{op} is not available in instruction set {isa}")
+            }
+            ModelViolation::GarbledRegister { register } => {
+                write!(f, "register {register:?} is missing or non-integer")
             }
         }
     }
@@ -638,6 +648,14 @@ impl Machine {
         self.last_record.as_ref()
     }
 
+    /// Replaces the local state of processor `p` wholesale — the fault
+    /// layer's crash-recovery reset. Keeps the incremental fingerprint
+    /// coherent when it is enabled.
+    pub fn restore_local(&mut self, p: ProcId, state: LocalState) {
+        self.locals[p.index()] = state;
+        let _ = self.refresh_node_hashes(p, &[]);
+    }
+
     /// A canonical snapshot of the global state (local states plus
     /// variable states), used by the schedule explorer to deduplicate.
     pub fn canonical_state(&self) -> (Vec<LocalState>, Vec<SharedVar>) {
@@ -717,6 +735,17 @@ impl<'m> OpEnv<'m> {
     /// Number of edge names (`|NAMES|`).
     pub fn name_count(&self) -> usize {
         self.graph.name_count()
+    }
+
+    /// Records that a local register the program expected to hold an
+    /// integer was missing or garbled. The program should refuse to act on
+    /// the bad value (typically by halting the processor) rather than
+    /// defaulting it — this is the "record, don't panic" channel for local
+    /// state corruption, mirroring how refused shared ops are reported.
+    pub fn record_garbled_register(&mut self, register: &'static str) {
+        self.record
+            .violations
+            .push(ModelViolation::GarbledRegister { register });
     }
 
     /// Charges the step with `op` on `targets`, enforcing the machine

@@ -29,6 +29,11 @@ pub enum ScheduleKind {
     Fair,
     /// Every processor appears in every window of `k` steps.
     BoundedFair(usize),
+    /// The cyclic schedule `p₀ p₁ … pₙ₋₁ p₀ …`. Over `n` processors this
+    /// is `n`-bounded fair, but it is its own kind so traces and metrics
+    /// name the schedule that actually ran instead of the weaker class it
+    /// happens to realize.
+    RoundRobin,
 }
 
 impl fmt::Display for ScheduleKind {
@@ -37,6 +42,7 @@ impl fmt::Display for ScheduleKind {
             ScheduleKind::General => write!(f, "general"),
             ScheduleKind::Fair => write!(f, "fair"),
             ScheduleKind::BoundedFair(k) => write!(f, "{k}-bounded fair"),
+            ScheduleKind::RoundRobin => write!(f, "round-robin"),
         }
     }
 }
@@ -55,6 +61,19 @@ pub trait Scheduler<S: ?Sized = Machine> {
 
     /// The schedule class this scheduler realizes in the limit.
     fn kind(&self) -> ScheduleKind;
+}
+
+/// Boxed schedulers schedule too — so adapters like
+/// [`crate::faults::FaultSched`] can wrap a scheduler picked at runtime
+/// (e.g. one built by a sweep family).
+impl<S: ?Sized> Scheduler<S> for Box<dyn Scheduler<S> + '_> {
+    fn next(&mut self, system: &S) -> ProcId {
+        (**self).next(system)
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        (**self).kind()
+    }
 }
 
 /// The round-robin schedule `p₀ p₁ … pₙ₋₁ p₀ …` — the workhorse of the
@@ -83,7 +102,7 @@ impl<S: System + ?Sized> Scheduler<S> for RoundRobin {
     }
 
     fn kind(&self) -> ScheduleKind {
-        ScheduleKind::BoundedFair(0) // refined by callers with proc count
+        ScheduleKind::RoundRobin
     }
 }
 
@@ -425,5 +444,12 @@ mod tests {
         assert_eq!(ScheduleKind::General.to_string(), "general");
         assert_eq!(ScheduleKind::Fair.to_string(), "fair");
         assert_eq!(ScheduleKind::BoundedFair(5).to_string(), "5-bounded fair");
+        assert_eq!(ScheduleKind::RoundRobin.to_string(), "round-robin");
+    }
+
+    #[test]
+    fn round_robin_reports_its_own_kind() {
+        let s = RoundRobin::new();
+        assert_eq!(Scheduler::<Machine>::kind(&s), ScheduleKind::RoundRobin);
     }
 }

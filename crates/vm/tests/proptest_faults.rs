@@ -1,0 +1,109 @@
+//! Property tests for the fault-injection layer: an identical
+//! `(FaultPlan, seed)` pair yields a byte-identical [`ScheduleTrace`],
+//! faulted traces replay on a fresh machine (reproducing the selection
+//! outcome and the full fault-event timeline), and the empty plan is
+//! transparent.
+
+use proptest::prelude::*;
+use simsym_graph::{topology, ProcId};
+use simsym_vm::engine::trace::{replay, ScheduleTrace, TraceRecorder};
+use simsym_vm::engine::{self, stop, System};
+use simsym_vm::faults::{FaultEvent, FaultPlan, FaultSched, FaultView, Faulty};
+use simsym_vm::{FnProgram, InstructionSet, Machine, RandomFair, Scheduler, SystemInit, Value};
+use std::sync::Arc;
+
+/// A shared-memory workload with state that actually evolves (so
+/// fingerprints discriminate) and a marked processor that eventually
+/// selects (so traces carry a selection outcome worth reproducing).
+fn build_machine(n: usize) -> Machine {
+    let g = Arc::new(topology::uniform_ring(n));
+    let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+    let prog = Arc::new(FnProgram::new("faulted-mix", |local, ops| {
+        let names = ops.all_names();
+        let name = names[(local.pc as usize) % names.len()];
+        if local.pc % 2 == 0 {
+            ops.write(name, Value::from(i64::from(local.pc)));
+        } else {
+            let v = ops.read(name);
+            local.set("acc", Value::tuple([local.get("acc"), v]));
+        }
+        if local.get("init") == Value::from(1) && local.pc >= 3 {
+            local.selected = true;
+        }
+        local.pc += 1;
+    }));
+    Machine::new(g, InstructionSet::S, prog, &init).unwrap()
+}
+
+/// Runs `steps` steps of the workload under `plan` and a seeded fair
+/// schedule, returning the recorded trace plus the final fault timeline
+/// and selection outcome.
+fn record(
+    n: usize,
+    plan: &FaultPlan,
+    sched_seed: u64,
+    steps: u64,
+) -> (ScheduleTrace, Vec<FaultEvent>, Vec<ProcId>) {
+    let mut f = Faulty::new(build_machine(n), plan.clone());
+    let mut sched = FaultSched::new(RandomFair::seeded(sched_seed));
+    let kind = Scheduler::<Faulty<Machine>>::kind(&sched).to_string();
+    let mut rec = TraceRecorder::new("prop-faults", kind);
+    let _ = engine::run(&mut f, &mut sched, steps, &mut [&mut rec], &mut stop::Never);
+    let events = f.fault_events().to_vec();
+    let selected = f.selected();
+    (rec.into_trace(), events, selected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn faulted_trace_is_byte_identical_per_plan_and_seed(
+        plan_seed in any::<u64>(), sched_seed in any::<u64>(),
+        n in 3usize..6, steps in 1u64..120
+    ) {
+        let plan = FaultPlan::seeded_crashes(n, &[ProcId::new(0)], plan_seed, steps.max(2));
+        let (ta, ea, sa) = record(n, &plan, sched_seed, steps);
+        let (tb, eb, sb) = record(n, &plan, sched_seed, steps);
+        prop_assert_eq!(ta.to_json(), tb.to_json());
+        prop_assert_eq!(ea, eb);
+        prop_assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn faulted_trace_replays_with_selection_and_fault_timeline(
+        plan_seed in any::<u64>(), sched_seed in any::<u64>(),
+        n in 3usize..6, steps in 1u64..120
+    ) {
+        let plan = FaultPlan::seeded_crashes(n, &[ProcId::new(0)], plan_seed, steps.max(2));
+        let (trace, events, selected) = record(n, &plan, sched_seed, steps);
+        // Replay re-applies the fault timeline purely from step indices:
+        // every per-step fingerprint (which mixes the crash bitmap) must
+        // match, and the final events and selection must be reproduced.
+        let mut f = Faulty::new(build_machine(n), plan);
+        prop_assert!(replay(&mut f, &trace).is_ok());
+        prop_assert_eq!(f.fault_events(), events.as_slice());
+        prop_assert_eq!(f.selected(), selected);
+        prop_assert_eq!(trace.selected, f.selected());
+    }
+
+    #[test]
+    fn empty_plan_is_transparent(
+        sched_seed in any::<u64>(), n in 2usize..6, steps in 1u64..120
+    ) {
+        let mut f = Faulty::new(build_machine(n), FaultPlan::none());
+        let mut fsched = FaultSched::new(RandomFair::seeded(sched_seed));
+        let _ = engine::run(&mut f, &mut fsched, steps, &mut [], &mut stop::Never);
+
+        let mut m = build_machine(n);
+        let mut sched = RandomFair::seeded(sched_seed);
+        let _ = engine::run(&mut m, &mut sched, steps, &mut [], &mut stop::Never);
+
+        // Same schedule, same inner evolution: no fault events, no
+        // crashed set, identical inner fingerprint and selection.
+        prop_assert!(f.fault_events().is_empty());
+        prop_assert!((0..n).all(|i| !f.is_crashed(ProcId::new(i))));
+        prop_assert_eq!(f.inner().fingerprint(), m.fingerprint());
+        prop_assert_eq!(f.selected(), m.selected());
+    }
+}

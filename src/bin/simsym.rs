@@ -11,21 +11,24 @@
 //! simsym lint table:5 --program fixed-order
 //! ```
 
-use simsym::check::{self, suite::lint_sweep, CheckReport, Diagnostic};
+use simsym::check::{self, suite::lint_sweep, CheckReport, Diagnostic, FaultToleranceChecker};
 use simsym::core::{
     decide_selection_with_init, hopcroft_similarity, markdown_report, refinement_similarity,
     selection_program_q, LabelLearner, Model,
 };
 use simsym::graph::{dot, topology, SystemGraph};
+use simsym::mp::{ChangRoberts, ChannelFaults, MpMachine, MpNetwork};
 use simsym::philo::{
     chandy_misra_init, ChandyMisraPhilosopher, ExclusionMonitor, LehmannRabinPhilosopher,
     LockOrderPhilosopher, MealCounter,
 };
 use simsym::vm::engine::metrics::MetricsProbe;
+use simsym::vm::engine::sweep::{sweep_jobs, SweepConfig, SweepScheduler};
 use simsym::vm::engine::trace::{replay, TraceRecorder};
+use simsym::vm::faults::{FaultEvent, FaultPlan, FaultSched, FaultView, Faulty, StarveAdversary};
 use simsym::vm::{
     engine, run, run_until, InstructionSet, Machine, Program, RandomFair, RoundRobin, Scheduler,
-    SystemInit,
+    SystemInit, Value,
 };
 use simsym_graph::ProcId;
 use std::process::ExitCode;
@@ -68,7 +71,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--json] [--dot]\n  simsym bench [--json] [--quick] [--against FILE]\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family and naive-vs-hopcroft labeling time on marked rings.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace runs the Q label learner under a seeded random-fair schedule and\nemits a replayable JSON schedule trace (verified by re-execution) on\nstdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy); --dot prints the\nlock-order graph in Graphviz syntax. Exits nonzero on error-severity\nfindings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--json] [--dot]\n  simsym faults --family <ring|table|alternating> --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical.\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family and naive-vs-hopcroft labeling time on marked rings.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace runs the Q label learner under a seeded random-fair schedule and\nemits a replayable JSON schedule trace (verified by re-execution) on\nstdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy); --dot prints the\nlock-order graph in Graphviz syntax. Exits nonzero on error-severity\nfindings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
 }
 
 fn dispatch(args: &[String]) -> Result<CmdOut, String> {
@@ -97,6 +100,7 @@ fn dispatch(args: &[String]) -> Result<CmdOut, String> {
             ok(dot::to_dot(&graph, Some(theta.as_slice())))
         }
         Some("lint") => lint(&args[1..]),
+        Some("faults") => faults(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_owned()),
@@ -234,7 +238,6 @@ fn lint(args: &[String]) -> Result<CmdOut, String> {
     drop(machine);
 
     if opts.sweep {
-        use simsym::vm::engine::sweep::{SweepConfig, SweepScheduler};
         let config = SweepConfig {
             kinds: vec![SweepScheduler::RoundRobin, SweepScheduler::RandomFair],
             seeds: (opts.seed..opts.seed + 8).collect(),
@@ -623,6 +626,423 @@ fn dine(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options for `faults`.
+struct FaultsOpts {
+    family: String,
+    plan: String,
+    seed: u64,
+    sweep: u64,
+    steps: Option<u64>,
+    json: bool,
+}
+
+fn extract_faults_flags(args: &[String]) -> Result<FaultsOpts, String> {
+    let mut family = None;
+    let mut plan = None;
+    let mut opts = FaultsOpts {
+        family: String::new(),
+        plan: String::new(),
+        seed: 0,
+        sweep: 1,
+        steps: None,
+        json: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--family" => {
+                family = Some(args.get(i + 1).ok_or("--family needs a value")?.clone());
+                i += 2;
+            }
+            "--plan" => {
+                plan = Some(args.get(i + 1).ok_or("--plan needs a value")?.clone());
+                i += 2;
+            }
+            "--seed" => {
+                let v = args.get(i + 1).ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                i += 2;
+            }
+            "--sweep" => {
+                let v = args.get(i + 1).ok_or("--sweep needs a seed count")?;
+                opts.sweep = v.parse().map_err(|_| format!("bad sweep count {v:?}"))?;
+                if opts.sweep == 0 {
+                    return Err("--sweep needs at least one seed".into());
+                }
+                i += 2;
+            }
+            "--steps" => {
+                let v = args.get(i + 1).ok_or("--steps needs a value")?;
+                opts.steps = Some(v.parse().map_err(|_| format!("bad step count {v:?}"))?);
+                i += 2;
+            }
+            "--json" => {
+                opts.json = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown faults flag {other:?}")),
+        }
+    }
+    opts.family = family.ok_or("faults needs --family <ring|table|alternating>")?;
+    opts.plan = plan.ok_or("faults needs --plan <crash|lossy|starve>")?;
+    Ok(opts)
+}
+
+/// One faulted run in a `faults` sweep: what happened, what was injected,
+/// and what the fault-tolerance checker concluded.
+struct FaultRunRow {
+    scheduler: String,
+    seed: u64,
+    steps: u64,
+    selected: Vec<ProcId>,
+    crashed: Vec<ProcId>,
+    crashes: usize,
+    recoveries: usize,
+    dropped: usize,
+    duplicated: usize,
+    reordered: usize,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl FaultRunRow {
+    fn new(scheduler: String, seed: u64, steps: u64) -> FaultRunRow {
+        FaultRunRow {
+            scheduler,
+            seed,
+            steps,
+            selected: Vec::new(),
+            crashed: Vec::new(),
+            crashes: 0,
+            recoveries: 0,
+            dropped: 0,
+            duplicated: 0,
+            reordered: 0,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    fn count_events(&mut self, events: &[FaultEvent]) {
+        for ev in events {
+            match ev {
+                FaultEvent::Crashed { .. } => self.crashes += 1,
+                FaultEvent::Recovered { .. } => self.recoveries += 1,
+                FaultEvent::MessageDropped { .. } => self.dropped += 1,
+                FaultEvent::MessageDuplicated { .. } => self.duplicated += 1,
+                FaultEvent::DeliveryReordered { .. } => self.reordered += 1,
+                // FaultEvent is non-exhaustive; unknown kinds simply are
+                // not tallied.
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The shared-memory system families the fault sweeps run on, each with
+/// p0 structurally marked so a Q selection algorithm exists.
+fn faults_family(family: &str) -> Result<(SystemGraph, SystemInit), String> {
+    let graph = match family {
+        "ring" => topology::uniform_ring(5),
+        "table" => topology::philosophers_table(6),
+        "alternating" => topology::philosophers_alternating(6),
+        other => {
+            return Err(format!(
+                "unknown family {other:?} (have: ring | table | alternating)"
+            ))
+        }
+    };
+    let init = SystemInit::with_marked(&graph, &[ProcId::new(0)]);
+    Ok((graph, init))
+}
+
+/// The ingredients every shared-memory fault plan needs: the marked
+/// family, its Q selection program, and the unique leader the labeling
+/// designates.
+#[allow(clippy::type_complexity)]
+fn faults_selection(
+    family: &str,
+) -> Result<(Arc<SystemGraph>, SystemInit, Arc<dyn Program>, ProcId), String> {
+    let (graph, init) = faults_family(family)?;
+    let leader = *hopcroft_similarity(&graph, &init, Model::Q)
+        .uniquely_labeled_processors()
+        .first()
+        .ok_or("marked family has no uniquely labeled processor")?;
+    let prog = selection_program_q(&graph, &init)
+        .map_err(|e| e.to_string())?
+        .ok_or("marked family admits no selection algorithm in Q")?;
+    Ok((Arc::new(graph), init, Arc::new(prog), leader))
+}
+
+fn faults_sweep_config(opts: &FaultsOpts, kinds: &[SweepScheduler], max_steps: u64) -> SweepConfig {
+    SweepConfig {
+        kinds: kinds.to_vec(),
+        seeds: (opts.seed..opts.seed + opts.sweep).collect(),
+        max_steps,
+        threads: 4,
+    }
+}
+
+/// `simsym faults`: a seeded fault-injection sweep. Exits nonzero when the
+/// fault-tolerance checker reports any error-severity finding.
+fn faults(args: &[String]) -> Result<CmdOut, String> {
+    let opts = extract_faults_flags(args)?;
+    let rows = match opts.plan.as_str() {
+        "crash" => faults_crash(&opts)?,
+        "lossy" => faults_lossy(&opts)?,
+        "starve" => faults_starve(&opts)?,
+        other => {
+            return Err(format!(
+                "unknown fault plan {other:?} (have: crash | lossy | starve)"
+            ))
+        }
+    };
+    let failed = rows
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .any(|d| d.severity == check::Severity::Error);
+    let text = if opts.json {
+        faults_render_json(&opts, &rows)
+    } else {
+        faults_render_text(&opts, &rows)
+    };
+    Ok(CmdOut { text, failed })
+}
+
+/// Crash/recovery plan: the Q selection program under seeded crash-stop
+/// and crash-recovery faults. The leader is protected; everyone else may
+/// crash, and may come back with or without a state reset. Uniqueness
+/// must survive (a dead loser cannot un-compete); selection itself need
+/// not — crashes make the schedule General, which is the paper's
+/// impossibility regime, so `selected` may honestly stay empty.
+fn faults_crash(opts: &FaultsOpts) -> Result<Vec<FaultRunRow>, String> {
+    let (graph, init, prog, leader) = faults_selection(&opts.family)?;
+    let procs = graph.processor_count();
+    let max_steps = opts.steps.unwrap_or(4_000);
+    // Crashes land in the first quarter so recoveries (at most one more
+    // horizon later) still play out inside the run.
+    let horizon = (max_steps / 4).max(1);
+    let config = faults_sweep_config(
+        opts,
+        &[SweepScheduler::RoundRobin, SweepScheduler::RandomFair],
+        max_steps,
+    );
+    Ok(sweep_jobs(&config, |kind, seed| {
+        let m = Machine::new(
+            Arc::clone(&graph),
+            InstructionSet::Q,
+            Arc::clone(&prog),
+            &init,
+        )
+        .expect("validated selection machine");
+        let mut f = Faulty::new(
+            m,
+            FaultPlan::seeded_crashes(procs, &[leader], seed, horizon),
+        );
+        let mut sched = FaultSched::new(kind.scheduler::<Faulty<Machine>>(procs, seed));
+        let mut checker = FaultToleranceChecker::new();
+        let report = engine::run(
+            &mut f,
+            &mut sched,
+            max_steps,
+            &mut [&mut checker],
+            &mut engine::stop::Never,
+        );
+        let mut row = FaultRunRow::new(kind.label(), seed, report.steps);
+        row.selected = report.selected;
+        row.crashed = (0..procs)
+            .map(ProcId::new)
+            .filter(|&p| f.is_crashed(p))
+            .collect();
+        row.count_events(f.fault_events());
+        row.diagnostics = checker.into_diagnostics();
+        row
+    }))
+}
+
+/// Lossy-channel plan: Chang-Roberts election on a unidirectional message
+/// ring whose channels drop, duplicate, and reorder under a seeded policy.
+/// Uniqueness must survive; the election token may legitimately be lost,
+/// in which case nobody is elected.
+fn faults_lossy(opts: &FaultsOpts) -> Result<Vec<FaultRunRow>, String> {
+    let n = match opts.family.as_str() {
+        "ring" => 5,
+        "table" | "alternating" => 6,
+        other => {
+            return Err(format!(
+                "unknown family {other:?} (have: ring | table | alternating)"
+            ))
+        }
+    };
+    let net = Arc::new(MpNetwork::ring_unidirectional(n));
+    // Distinct ids with the maximum away from p0, so the winning token
+    // has to travel through faulty channels.
+    let ids: Vec<Value> = (0..n)
+        .map(|i| Value::from(((i + 2) % n + 1) as i64))
+        .collect();
+    let policy = ChannelFaults::new(10, 15, 20);
+    let max_steps = opts.steps.unwrap_or(20_000);
+    let config = faults_sweep_config(
+        opts,
+        &[SweepScheduler::RoundRobin, SweepScheduler::RandomFair],
+        max_steps,
+    );
+    Ok(sweep_jobs(&config, |kind, seed| {
+        let mut m = MpMachine::new(Arc::clone(&net), Arc::new(ChangRoberts), &ids)
+            .with_channel_faults(policy, seed);
+        let mut sched = kind.scheduler::<MpMachine>(n, seed);
+        let mut checker = FaultToleranceChecker::new();
+        let report = engine::run(
+            &mut m,
+            &mut sched,
+            max_steps,
+            &mut [&mut checker],
+            &mut engine::stop::AnySelected,
+        );
+        let mut row = FaultRunRow::new(kind.label(), seed, report.steps);
+        row.selected = report.selected;
+        row.count_events(m.channel_fault_events());
+        row.diagnostics = checker.into_diagnostics();
+        row
+    }))
+}
+
+/// Starvation plan: the k-bounded-fair adversary denies the leader every
+/// step it legally can. Because the schedule stays inside the
+/// k-bounded-fair class, selection must still complete — this is the
+/// boundary Theorem 1's bound draws, probed from the inside.
+fn faults_starve(opts: &FaultsOpts) -> Result<Vec<FaultRunRow>, String> {
+    let (graph, init, prog, leader) = faults_selection(&opts.family)?;
+    let procs = graph.processor_count();
+    let max_steps = opts.steps.unwrap_or(20_000);
+    let config = faults_sweep_config(opts, &[SweepScheduler::RoundRobin], max_steps);
+    Ok(sweep_jobs(&config, |_kind, seed| {
+        // k grows with the seed: seed 0 probes the tightest legal window
+        // (k = n, the target runs exactly once per n steps).
+        let k = procs + seed as usize;
+        let m = Machine::new(
+            Arc::clone(&graph),
+            InstructionSet::Q,
+            Arc::clone(&prog),
+            &init,
+        )
+        .expect("validated selection machine");
+        let mut f = Faulty::new(m, FaultPlan::none());
+        let mut sched = StarveAdversary::new(procs, leader, k);
+        let mut checker = FaultToleranceChecker::new();
+        let report = engine::run(
+            &mut f,
+            &mut sched,
+            max_steps,
+            &mut [&mut checker],
+            &mut engine::stop::AnySelected,
+        );
+        let mut row = FaultRunRow::new(format!("starve(k={k})"), seed, report.steps);
+        row.selected = report.selected;
+        row.count_events(f.fault_events());
+        row.diagnostics = checker.into_diagnostics();
+        row
+    }))
+}
+
+fn faults_violation_counts(rows: &[FaultRunRow]) -> (usize, usize) {
+    let count = |code: &str| {
+        rows.iter()
+            .flat_map(|r| &r.diagnostics)
+            .filter(|d| d.code == code)
+            .count()
+    };
+    (
+        count(check::diag::codes::DYN_FAULT_UNIQ),
+        count(check::diag::codes::DYN_FAULT_STAB),
+    )
+}
+
+/// Renders the `simsym-faults/v1` JSON document. Deterministic: identical
+/// invocations are byte-identical.
+fn faults_render_json(opts: &FaultsOpts, rows: &[FaultRunRow]) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"simsym-faults/v1\",\n  \"family\": \"{}\",\n  \"plan\": \"{}\",\n  \"runs\": [\n",
+        opts.family, opts.plan
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sel: Vec<String> = r.selected.iter().map(|p| p.index().to_string()).collect();
+        let cra: Vec<String> = r.crashed.iter().map(|p| p.index().to_string()).collect();
+        let diags: Vec<String> = r.diagnostics.iter().map(|d| d.to_json()).collect();
+        out.push_str(&format!(
+            "    {{\"scheduler\": \"{}\", \"seed\": {}, \"steps\": {}, \"selected\": [{}], \"crashed\": [{}], \"events\": {{\"crashes\": {}, \"recoveries\": {}, \"dropped\": {}, \"duplicated\": {}, \"reordered\": {}}}, \"diagnostics\": [{}]}}{}\n",
+            r.scheduler,
+            r.seed,
+            r.steps,
+            sel.join(", "),
+            cra.join(", "),
+            r.crashes,
+            r.recoveries,
+            r.dropped,
+            r.duplicated,
+            r.reordered,
+            diags.join(","),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let (uniq, stab) = faults_violation_counts(rows);
+    let elections = rows.iter().filter(|r| !r.selected.is_empty()).count();
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\"runs\": {}, \"elections\": {}, \"uniqueness_violations\": {}, \"stability_violations\": {}}}\n}}\n",
+        rows.len(),
+        elections,
+        uniq,
+        stab
+    ));
+    out
+}
+
+fn faults_render_text(opts: &FaultsOpts, rows: &[FaultRunRow]) -> String {
+    let mut out = format!(
+        "fault sweep: family={} plan={} seeds {}..{}\n",
+        opts.family,
+        opts.plan,
+        opts.seed,
+        opts.seed + opts.sweep
+    );
+    for r in rows {
+        let sel: Vec<String> = r
+            .selected
+            .iter()
+            .map(|p| format!("p{}", p.index()))
+            .collect();
+        let cra: Vec<String> = r
+            .crashed
+            .iter()
+            .map(|p| format!("p{}", p.index()))
+            .collect();
+        out.push_str(&format!(
+            "  {:<20} seed={:<4} {:>6} steps  selected [{}]  crashed [{}]  crashes={} recoveries={} dropped={} duplicated={} reordered={}\n",
+            r.scheduler,
+            r.seed,
+            r.steps,
+            sel.join(" "),
+            cra.join(" "),
+            r.crashes,
+            r.recoveries,
+            r.dropped,
+            r.duplicated,
+            r.reordered
+        ));
+        for d in &r.diagnostics {
+            out.push_str(&format!("    {d}\n"));
+        }
+    }
+    let (uniq, stab) = faults_violation_counts(rows);
+    let elections = rows.iter().filter(|r| !r.selected.is_empty()).count();
+    out.push_str(&format!(
+        "summary: {} runs, {} elections, {} uniqueness violation(s), {} stability violation(s)\n",
+        rows.len(),
+        elections,
+        uniq,
+        stab
+    ));
+    out
+}
+
 /// Options for `bench`.
 struct BenchOpts {
     json: bool,
@@ -675,6 +1095,23 @@ struct LabelingRow {
     nanos: u128,
 }
 
+/// The zero-fault overhead measurement: the same machine and step budget
+/// timed bare and through the fault layer with an empty plan.
+struct OverheadRow {
+    steps: u64,
+    plain_nanos: u128,
+    faulted_nanos: u128,
+}
+
+impl OverheadRow {
+    /// Integer overhead percent, clamped at zero — the schema skeleton
+    /// drops digits but keeps `-`, so a (noise-induced) negative delta
+    /// must never reach the JSON.
+    fn percent(&self) -> u128 {
+        self.faulted_nanos.saturating_sub(self.plain_nanos) * 100 / self.plain_nanos
+    }
+}
+
 /// Best-of-`reps` wall-clock nanos for one closure call (min suppresses
 /// scheduler noise; clamped to 1 so steps/sec never divides by zero).
 fn time_min<R, F: FnMut() -> R>(mut f: F, reps: u32) -> u128 {
@@ -698,6 +1135,23 @@ fn time_steps(base: &Machine, steps: u64, reps: u32) -> u128 {
         let mut sched = RoundRobin::new();
         let t = std::time::Instant::now();
         let report = run(&mut m, &mut sched, steps, &mut []);
+        best = best.min(t.elapsed().as_nanos());
+        std::hint::black_box(report.steps);
+    }
+    best.max(1)
+}
+
+/// Like [`time_steps`], but driven through the fault layer with an empty
+/// plan: `Faulty` wraps the machine, `FaultSched` wraps the scheduler.
+/// The delta against [`time_steps`] is what fault injection costs a run
+/// that injects nothing.
+fn time_steps_faulted(base: &Machine, steps: u64, reps: u32) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let mut f = Faulty::new(base.clone(), FaultPlan::none());
+        let mut sched = FaultSched::new(RoundRobin::new());
+        let t = std::time::Instant::now();
+        let report = run(&mut f, &mut sched, steps, &mut []);
         best = best.min(t.elapsed().as_nanos());
         std::hint::black_box(report.steps);
     }
@@ -786,7 +1240,24 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
         nanos: time_min(|| hopcroft_similarity(&graph, &init, Model::Q), 1),
     });
 
-    let json = bench_render_json(&throughput, &labeling);
+    // Zero-fault overhead: the marked-ring learner again, bare vs driven
+    // through `Faulty` + `FaultSched` with an empty plan. The fault layer
+    // must be (near) free when it injects nothing.
+    let graph = topology::marked_ring(64);
+    let init = SystemInit::uniform(&graph);
+    let labeling_q = hopcroft_similarity(&graph, &init, Model::Q);
+    let learner = LabelLearner::new(&graph, &init, &labeling_q).map_err(|e| e.to_string())?;
+    let m = Machine::new(Arc::new(graph), InstructionSet::Q, Arc::new(learner), &init)
+        .map_err(|e| e.to_string())?;
+    let osteps = 10_000 / div;
+    let oreps = if opts.quick { 1 } else { 5 };
+    let overhead = OverheadRow {
+        steps: osteps,
+        plain_nanos: time_steps(&m, osteps, oreps),
+        faulted_nanos: time_steps_faulted(&m, osteps, oreps),
+    };
+
+    let json = bench_render_json(&throughput, &labeling, &overhead);
     if let Some(path) = &opts.against {
         let expected =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -806,14 +1277,18 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
     if opts.json {
         ok(json)
     } else {
-        ok(bench_render_text(&throughput, &labeling, &opts))
+        ok(bench_render_text(&throughput, &labeling, &overhead, &opts))
     }
 }
 
 /// Renders the BENCH_pr3.json document. All numbers are integers so the
 /// schema skeleton (everything but digit runs) is byte-stable across
 /// hosts and runs.
-fn bench_render_json(throughput: &[ThroughputRow], labeling: &[LabelingRow]) -> String {
+fn bench_render_json(
+    throughput: &[ThroughputRow],
+    labeling: &[LabelingRow],
+    overhead: &OverheadRow,
+) -> String {
     let mut out = String::from("{\n  \"schema\": \"simsym-bench/v1\",\n  \"step_throughput\": [\n");
     for (i, r) in throughput.iter().enumerate() {
         let sps = (r.steps as u128) * 1_000_000_000 / r.nanos;
@@ -838,13 +1313,20 @@ fn bench_render_json(throughput: &[ThroughputRow], labeling: &[LabelingRow]) -> 
             if i + 1 < labeling.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str(&format!(
+        "  ],\n  \"faults_overhead\": {{\"family\": \"marked-ring\", \"n\": 64, \"isa\": \"Q\", \"steps\": {}, \"plain_nanos\": {}, \"faulted_nanos\": {}, \"overhead_percent\": {}}}\n}}\n",
+        overhead.steps,
+        overhead.plain_nanos,
+        overhead.faulted_nanos,
+        overhead.percent()
+    ));
     out
 }
 
 fn bench_render_text(
     throughput: &[ThroughputRow],
     labeling: &[LabelingRow],
+    overhead: &OverheadRow,
     opts: &BenchOpts,
 ) -> String {
     let mut out = format!(
@@ -865,6 +1347,13 @@ fn bench_render_text(
             r.n, r.algorithm, r.nanos
         ));
     }
+    out.push_str(&format!(
+        "zero-fault overhead (marked-ring n=64, {} steps, empty plan):\n  plain   {:>12} ns\n  faulted {:>12} ns  (+{}%)\n",
+        overhead.steps,
+        overhead.plain_nanos,
+        overhead.faulted_nanos,
+        overhead.percent()
+    ));
     if opts.against.is_some() {
         out.push_str("schema matches baseline\n");
     }
@@ -1149,6 +1638,106 @@ mod tests {
     }
 
     #[test]
+    fn faults_crash_sweep_is_clean_on_every_family() {
+        for family in ["ring", "table", "alternating"] {
+            let out = call_full(&[
+                "faults", "--family", family, "--plan", "crash", "--sweep", "2", "--steps", "2000",
+                "--json",
+            ])
+            .unwrap();
+            assert!(!out.failed, "{family}: {}", out.text);
+            assert!(out.text.contains("\"schema\": \"simsym-faults/v1\""));
+            assert!(
+                out.text.contains("\"uniqueness_violations\": 0"),
+                "{family}: {}",
+                out.text
+            );
+            assert!(
+                out.text.contains("\"stability_violations\": 0"),
+                "{family}: {}",
+                out.text
+            );
+        }
+    }
+
+    #[test]
+    fn faults_lossy_injects_channel_events() {
+        let rows = faults_lossy(&FaultsOpts {
+            family: "ring".into(),
+            plan: "lossy".into(),
+            seed: 0,
+            sweep: 4,
+            steps: Some(5_000),
+            json: false,
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 8, "two schedulers x four seeds");
+        let injected: usize = rows
+            .iter()
+            .map(|r| r.dropped + r.duplicated + r.reordered)
+            .sum();
+        assert!(injected > 0, "lossy policy injected nothing");
+        assert!(rows.iter().all(|r| r.crashes == 0 && r.recoveries == 0));
+        // Uniqueness holds even under message loss: nobody double-selects.
+        assert!(rows.iter().all(|r| r.selected.len() <= 1));
+        assert!(rows.iter().all(|r| r.diagnostics.is_empty()));
+    }
+
+    #[test]
+    fn faults_starve_still_elects_within_the_bounded_fair_window() {
+        // The adversary stays inside the k-bounded-fair class, so the
+        // marked leader must still be elected — Theorem 1's boundary,
+        // probed from the inside.
+        let rows = faults_starve(&FaultsOpts {
+            family: "ring".into(),
+            plan: "starve".into(),
+            seed: 0,
+            sweep: 3,
+            steps: Some(20_000),
+            json: false,
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.selected, vec![ProcId::new(0)], "{}", r.scheduler);
+            assert!(r.steps < 20_000, "election never completed");
+            assert!(r.diagnostics.is_empty());
+        }
+    }
+
+    #[test]
+    fn faults_output_is_byte_identical_across_runs() {
+        let args = &[
+            "faults", "--family", "table", "--plan", "crash", "--seed", "5", "--sweep", "2",
+            "--steps", "1000", "--json",
+        ];
+        let a = call(args).unwrap();
+        let b = call(args).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faults_rejects_bad_flags() {
+        assert!(call(&["faults", "--plan", "crash"])
+            .unwrap_err()
+            .contains("--family"));
+        assert!(call(&["faults", "--family", "ring"])
+            .unwrap_err()
+            .contains("--plan"));
+        assert!(call(&["faults", "--family", "torus", "--plan", "crash"])
+            .unwrap_err()
+            .contains("unknown family"));
+        assert!(call(&["faults", "--family", "ring", "--plan", "melt"])
+            .unwrap_err()
+            .contains("unknown fault plan"));
+        assert!(
+            call(&["faults", "--family", "ring", "--plan", "crash", "--sweep", "0"])
+                .unwrap_err()
+                .contains("at least one seed")
+        );
+    }
+
+    #[test]
     fn bench_rejects_bad_flags() {
         assert!(call(&["bench", "--frobnicate"])
             .unwrap_err()
@@ -1159,7 +1748,7 @@ mod tests {
     }
 
     /// Synthetic rows so the test exercises rendering, not timing.
-    fn fake_rows() -> (Vec<ThroughputRow>, Vec<LabelingRow>) {
+    fn fake_rows() -> (Vec<ThroughputRow>, Vec<LabelingRow>, OverheadRow) {
         let t = vec![ThroughputRow {
             family: "ring",
             n: 64,
@@ -1179,26 +1768,55 @@ mod tests {
                 nanos: 100,
             },
         ];
-        (t, l)
+        let o = OverheadRow {
+            steps: 2_000,
+            plain_nanos: 1_000_000,
+            faulted_nanos: 1_010_000,
+        };
+        (t, l, o)
     }
 
     #[test]
     fn bench_json_is_valid_and_schema_ignores_numbers() {
-        let (t, l) = fake_rows();
-        let a = bench_render_json(&t, &l);
+        let (t, l, o) = fake_rows();
+        let a = bench_render_json(&t, &l, &o);
         assert!(a.contains("\"schema\": \"simsym-bench/v1\""));
         assert!(a.contains("\"steps_per_sec\": 2000000"));
+        assert!(a.contains("\"faults_overhead\""));
+        assert!(a.contains("\"overhead_percent\": 1"));
         // Same rows with different timings: schema skeleton is identical.
         let mut t2 = fake_rows().0;
         t2[0].nanos = 77;
-        let b = bench_render_json(&t2, &l);
+        let b = bench_render_json(&t2, &l, &o);
         assert_ne!(a, b);
         assert_eq!(bench_schema_skeleton(&a), bench_schema_skeleton(&b));
         // A renamed label is schema drift.
         let mut t3 = fake_rows().0;
         t3[0].family = "torus";
-        let c = bench_render_json(&t3, &l);
+        let c = bench_render_json(&t3, &l, &o);
         assert_ne!(bench_schema_skeleton(&a), bench_schema_skeleton(&c));
+    }
+
+    #[test]
+    fn bench_overhead_percent_clamps_at_zero() {
+        // A faster faulted run (timer noise) must render as 0, never as a
+        // negative number — the schema skeleton keeps '-', so a sign flip
+        // would read as schema drift in CI.
+        let o = OverheadRow {
+            steps: 100,
+            plain_nanos: 1_000,
+            faulted_nanos: 900,
+        };
+        assert_eq!(o.percent(), 0);
+        let (t, l, positive) = fake_rows();
+        let json = bench_render_json(&t, &l, &o);
+        assert!(json.contains("\"overhead_percent\": 0"), "{json}");
+        // Clamped and positive overheads share one schema skeleton: no
+        // sign character ever leaks outside a string literal.
+        assert_eq!(
+            bench_schema_skeleton(&json),
+            bench_schema_skeleton(&bench_render_json(&t, &l, &positive))
+        );
     }
 
     #[test]
