@@ -72,6 +72,20 @@ pub mod codes {
     /// A crash-recovery reset wiped a selected processor's state — the
     /// documented place where Stability cannot survive volatile memory.
     pub const DYN_FAULT_RESET: &str = "DYN-FAULT-RESET";
+    /// Stability under recovery: a processor lost its selected flag
+    /// across a reboot even though stable storage was available (or
+    /// strict checking was requested). With a journal this is a real
+    /// pass/fail check, not an unavoidable note.
+    pub const DYN_RECOV_STAB: &str = "DYN-RECOV-STAB";
+    /// A soak fault plan is degenerate: the implicit "protect processor
+    /// 0" rule leaves no processor to crash, so every seeded plan is
+    /// empty and the budget would be wasted on fault-free runs.
+    pub const SOAK_DEGENERATE: &str = "SOAK-DEGENERATE";
+    /// A fault plan (CLI argument or repro artifact) failed validation —
+    /// duplicate processor, or a recovery not strictly after its crash.
+    pub const SOAK_PLAN: &str = "SOAK-PLAN";
+    /// A repro artifact did not replay to its recorded verdict.
+    pub const SOAK_REPLAY_DIVERGED: &str = "SOAK-REPLAY-DIVERGED";
 }
 
 /// How bad a finding is. `Error` fails `simsym lint` (and the CI smoke

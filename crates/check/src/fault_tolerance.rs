@@ -13,9 +13,16 @@
 //! * [`codes::DYN_FAULT_STAB`] (error) — a live processor lost its
 //!   selected flag;
 //! * [`codes::DYN_FAULT_RESET`] (info) — a *reset* recovery wiped a
-//!   selected processor's state. This is not a bug in the algorithm: with
-//!   volatile memory, Stability is unsatisfiable by construction, so the
-//!   checker documents the wipe instead of blaming the program.
+//!   selected processor's state. In the default (lenient) mode this is
+//!   not a bug in the algorithm: with volatile memory, Stability is
+//!   unsatisfiable by construction, so the checker documents the wipe
+//!   instead of blaming the program;
+//! * [`codes::DYN_RECOV_STAB`] (error) — a selection lost across a
+//!   reboot when it should have survived: always for journal-*replay*
+//!   recoveries (the stable store held the flag, so losing it is a real
+//!   defect), and also for reset recoveries when the checker runs in
+//!   [`strict`](FaultToleranceChecker::strict) mode — the pass/fail form
+//!   `simsym soak` uses to hunt Stability counterexamples.
 
 use crate::diag::{codes, Diagnostic, Severity, Span};
 use simsym_graph::ProcId;
@@ -34,14 +41,29 @@ pub struct FaultToleranceChecker {
     prev_selected: Vec<bool>,
     reported_uniq: bool,
     reported_stab: BTreeSet<ProcId>,
+    reported_recov: BTreeSet<ProcId>,
     events_seen: usize,
+    strict: bool,
     diags: Vec<Diagnostic>,
 }
 
 impl FaultToleranceChecker {
-    /// A fresh checker.
+    /// A fresh checker in the default lenient mode: reset-recovery wipes
+    /// of a selection are documented as [`codes::DYN_FAULT_RESET`] infos.
     pub fn new() -> FaultToleranceChecker {
         FaultToleranceChecker::default()
+    }
+
+    /// A strict checker: *any* selection lost across a reboot — reset or
+    /// journal replay — is a [`codes::DYN_RECOV_STAB`] error. This is
+    /// the mode that makes recovery-Stability a real pass/fail check:
+    /// with a journal the check is satisfiable (and must pass), without
+    /// one it fails by construction (the counterexample soak hunts).
+    pub fn strict() -> FaultToleranceChecker {
+        FaultToleranceChecker {
+            strict: true,
+            ..FaultToleranceChecker::default()
+        }
     }
 
     /// The diagnostics accumulated so far.
@@ -59,15 +81,19 @@ impl<S: System + FaultView + ?Sized> Probe<S> for FaultToleranceChecker {
         }
 
         // Fault events since the last observation: which processors came
-        // back from a *reset* recovery just now? Losing the selected flag
-        // to a state wipe is documented, not blamed.
+        // back from a *reset* recovery just now (losing the selected
+        // flag to a state wipe is documented, not blamed — unless
+        // strict), and which replayed their journal (losing the flag
+        // then is always a defect: the stable store held it).
         let mut reset_now: Vec<ProcId> = Vec::new();
+        let mut replayed_now: Vec<ProcId> = Vec::new();
         for ev in &system.fault_events()[self.events_seen..] {
-            if let FaultEvent::Recovered {
-                proc, reset: true, ..
-            } = *ev
-            {
-                reset_now.push(proc);
+            match *ev {
+                FaultEvent::Recovered {
+                    proc, reset: true, ..
+                } => reset_now.push(proc),
+                FaultEvent::Replayed { proc, .. } => replayed_now.push(proc),
+                _ => {}
             }
         }
         self.events_seen = system.fault_events().len();
@@ -100,17 +126,45 @@ impl<S: System + FaultView + ?Sized> Probe<S> for FaultToleranceChecker {
             let now = selected.contains(&q);
             let before = self.prev_selected[q.index()];
             if before && !now {
-                if reset_now.contains(&q) {
-                    self.diags.push(Diagnostic::new(
-                        Severity::Info,
-                        codes::DYN_FAULT_RESET,
-                        Span::proc(q).with_step(step),
-                        format!(
-                            "p{} lost its selection to a crash-recovery state reset; \
-                             Stability cannot survive volatile memory",
-                            q.index()
-                        ),
-                    ));
+                if replayed_now.contains(&q) {
+                    if self.reported_recov.insert(q) {
+                        self.diags.push(Diagnostic::new(
+                            Severity::Error,
+                            codes::DYN_RECOV_STAB,
+                            Span::proc(q).with_step(step),
+                            format!(
+                                "p{} was selected, rebooted from its journal, and came back \
+                                 unselected: the stable store lost the decision",
+                                q.index()
+                            ),
+                        ));
+                    }
+                } else if reset_now.contains(&q) {
+                    if self.strict {
+                        if self.reported_recov.insert(q) {
+                            self.diags.push(Diagnostic::new(
+                                Severity::Error,
+                                codes::DYN_RECOV_STAB,
+                                Span::proc(q).with_step(step),
+                                format!(
+                                    "p{} lost its selection to a crash-recovery state reset; \
+                                     enable journaling to make the decision durable",
+                                    q.index()
+                                ),
+                            ));
+                        }
+                    } else {
+                        self.diags.push(Diagnostic::new(
+                            Severity::Info,
+                            codes::DYN_FAULT_RESET,
+                            Span::proc(q).with_step(step),
+                            format!(
+                                "p{} lost its selection to a crash-recovery state reset; \
+                                 Stability cannot survive volatile memory",
+                                q.index()
+                            ),
+                        ));
+                    }
                 } else if !system.is_crashed(q) && self.reported_stab.insert(q) {
                     self.diags.push(Diagnostic::new(
                         Severity::Error,
@@ -184,10 +238,7 @@ mod tests {
             CrashFault {
                 proc: ProcId::new(2),
                 at_step: 5,
-                recovery: Some(Recovery {
-                    at_step: 12,
-                    reset: true,
-                }),
+                recovery: Some(Recovery::reset(12)),
             },
         ]);
         let mut f = Faulty::new(m, plan);
@@ -239,10 +290,7 @@ mod tests {
         let plan = FaultPlan::crashes(vec![CrashFault {
             proc: ProcId::new(0),
             at_step: 4,
-            recovery: Some(Recovery {
-                at_step: 7,
-                reset: true,
-            }),
+            recovery: Some(Recovery::reset(7)),
         }]);
         let mut f = Faulty::new(m, plan);
         let diags = run_checked(&mut f, 7);
@@ -254,5 +302,146 @@ mod tests {
             diags.iter().all(|d| d.severity == Severity::Info),
             "reset must not be an error: {diags:?}"
         );
+    }
+
+    fn run_strict(f: &mut Faulty<Machine>, max_steps: u64) -> Vec<Diagnostic> {
+        let mut sched = FaultSched::new(RoundRobin::new());
+        let mut checker = FaultToleranceChecker::strict();
+        engine::run(
+            f,
+            &mut sched,
+            max_steps,
+            &mut [&mut checker],
+            &mut stop::Never,
+        );
+        checker.into_diagnostics()
+    }
+
+    /// The "sticky" winner machine of the reset test: p0 selects from its
+    /// second step on (so a reset wipes, then it re-selects).
+    fn sticky_machine() -> Machine {
+        let prog = FnProgram::new(
+            "sticky",
+            |local: &mut simsym_vm::LocalState, _ops: &mut _| {
+                if local.get("init") == Value::from(1) && local.pc >= 1 {
+                    local.selected = true;
+                }
+                local.pc += 1;
+            },
+        );
+        machine(2, prog, &[ProcId::new(0)])
+    }
+
+    #[test]
+    fn strict_mode_turns_reset_wipes_into_recov_stab_errors() {
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(0),
+            at_step: 4,
+            recovery: Some(Recovery::reset(7)),
+        }]);
+        let mut f = Faulty::new(sticky_machine(), plan);
+        let diags = run_strict(&mut f, 7);
+        let recov: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == codes::DYN_RECOV_STAB)
+            .collect();
+        assert_eq!(recov.len(), 1, "one strict error: {diags:?}");
+        assert_eq!(recov[0].severity, Severity::Error);
+        assert!(!diags.iter().any(|d| d.code == codes::DYN_FAULT_RESET));
+    }
+
+    #[test]
+    fn journaled_replay_recovery_passes_the_strict_check() {
+        use simsym_vm::JournalSpec;
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(0),
+            at_step: 4,
+            recovery: Some(Recovery::replay(7)),
+        }]);
+        let mut f = Faulty::with_journal(sticky_machine(), plan, JournalSpec::selected_only());
+        let diags = run_strict(&mut f, 12);
+        assert_eq!(diags, vec![], "journaled reboot must keep the selection");
+        assert!(f
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Replayed { .. })));
+        assert!(f.inner().local(ProcId::new(0)).selected);
+    }
+
+    /// A scripted [`System`]+[`FaultView`]: replays a fixed timeline of
+    /// (selected set, fault events) so checker paths unreachable through
+    /// a well-behaved [`Faulty`] wrapper can still be exercised.
+    struct Scripted {
+        t: u64,
+        selected: Vec<Vec<ProcId>>,
+        events: Vec<FaultEvent>,
+        events_at: Vec<usize>,
+    }
+
+    impl System for Scripted {
+        fn processor_count(&self) -> usize {
+            2
+        }
+        fn step(&mut self, _p: ProcId) {
+            self.t += 1;
+        }
+        fn steps(&self) -> u64 {
+            self.t
+        }
+        fn selected(&self) -> Vec<ProcId> {
+            self.selected[(self.t as usize).min(self.selected.len() - 1)].clone()
+        }
+        fn selected_count(&self) -> usize {
+            self.selected().len()
+        }
+        fn fingerprint(&self) -> u64 {
+            self.t
+        }
+    }
+
+    impl FaultView for Scripted {
+        fn is_crashed(&self, _p: ProcId) -> bool {
+            false
+        }
+        fn fault_events(&self) -> &[FaultEvent] {
+            let upto = self.events_at[(self.t as usize).min(self.events_at.len() - 1)];
+            &self.events[..upto]
+        }
+    }
+
+    #[test]
+    fn journal_losing_the_decision_is_an_error_even_in_lenient_mode() {
+        // Step 1: p0 is selected. Step 2: a journal-replay recovery of
+        // p0 comes back unselected. A well-behaved journal always
+        // restores the flag, so this can only mean the stable store lost
+        // the decision — an error regardless of strictness.
+        let mut sys = Scripted {
+            t: 0,
+            selected: vec![vec![], vec![ProcId::new(0)], vec![]],
+            events: vec![
+                FaultEvent::Crashed {
+                    step: 1,
+                    proc: ProcId::new(0),
+                },
+                FaultEvent::Replayed {
+                    step: 2,
+                    proc: ProcId::new(0),
+                    entries: 0,
+                },
+            ],
+            events_at: vec![0, 1, 2],
+        };
+        let mut checker = FaultToleranceChecker::new();
+        for _ in 0..2 {
+            sys.step(ProcId::new(0));
+            let _ = Probe::observe(&mut checker, &sys, ProcId::new(0));
+        }
+        let diags = checker.into_diagnostics();
+        let recov: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == codes::DYN_RECOV_STAB)
+            .collect();
+        assert_eq!(recov.len(), 1, "lost journal decision: {diags:?}");
+        assert_eq!(recov[0].severity, Severity::Error);
     }
 }

@@ -33,7 +33,7 @@
 use crate::labeling::NeighborhoodTable;
 use crate::{InconsistentLabeling, Label, Labeling};
 use simsym_graph::SystemGraph;
-use simsym_vm::{LocalState, OpEnv, PeekView, Program, RegId, SystemInit, Value};
+use simsym_vm::{JournalSpec, LocalState, OpEnv, PeekView, Program, RegId, SystemInit, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
 
@@ -274,6 +274,22 @@ impl LabelLearner {
         self.elite = Some(elite);
         self.name = "select".to_owned();
         self
+    }
+
+    /// The stable-storage journal spec for crash–replay recovery of the
+    /// learner (and of `SELECT(Σ)` built on it).
+    ///
+    /// `pec`, `vec` and `round` are the commit-point registers: they only
+    /// change at round boundaries (`update_suspects_phase` after the last
+    /// peek, the round counter after the last post), so journaling them —
+    /// plus the always-journaled `pc` and `selected` flag — is enough to
+    /// resume mid-protocol. `peeked` is deliberately *not* tracked: it is
+    /// scratch that a resumed round re-fills before anything reads it, and
+    /// an entry lost to the fsync boundary merely costs the alibis of one
+    /// round (the suspect sets shrink monotonically, so a replayed
+    /// processor re-peeks and converges to the same label).
+    pub fn journal_spec() -> JournalSpec {
+        JournalSpec::registers(["pec", "vec", "round"])
     }
 
     /// The label a processor has learned, if its `PEC` is a singleton.
@@ -805,6 +821,62 @@ mod tests {
                     last[q.index()] = now;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn crashed_learner_replays_from_journal_and_still_converges() {
+        use simsym_vm::{
+            CrashFault, FaultEvent, FaultPlan, FaultSched, FaultView, Faulty, Recovery,
+        };
+        // Crash p1 mid-protocol and reboot it from the journal: the
+        // replayed processor re-peeks, re-announces its (journaled)
+        // suspect set idempotently, and every processor still learns its
+        // correct label.
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        let labeling = hopcroft_similarity(&g, &init, Model::Q);
+        let prog = LabelLearner::new(&g, &init, &labeling).expect("consistent labeling");
+        let m = Machine::new(
+            Arc::new(g.clone()),
+            InstructionSet::Q,
+            Arc::new(prog),
+            &init,
+        )
+        .expect("machine");
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(1),
+            at_step: 7,
+            recovery: Some(Recovery::replay(19)),
+        }]);
+        let mut f = Faulty::with_journal(m, plan, LabelLearner::journal_spec());
+        let mut fsched = FaultSched::new(RoundRobin::new());
+        engine::run(
+            &mut f,
+            &mut fsched,
+            50_000,
+            &mut [],
+            &mut stop::when(|sys: &Faulty<Machine>| {
+                sys.inner()
+                    .graph()
+                    .processors()
+                    .all(|p| LabelLearner::is_done(sys.inner().local(p)))
+            }),
+        );
+        assert!(f
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Replayed { proc, .. } if proc.index() == 1)));
+        for p in f.inner().graph().processors() {
+            assert!(
+                LabelLearner::is_done(f.inner().local(p)),
+                "{p} did not converge after the replay recovery"
+            );
+            assert_eq!(
+                LabelLearner::learned_label(f.inner().local(p)),
+                Some(labeling.proc_label(p)),
+                "{p} learned the wrong label after the replay recovery"
+            );
         }
     }
 

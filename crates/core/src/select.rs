@@ -38,7 +38,7 @@ use crate::family::elite_from_member_labels;
 use crate::relabel::{lstar_outcomes, outcome_init, relabel_outcomes};
 use crate::{hopcroft_similarity, Family, InconsistentLabeling, Label, Model};
 use simsym_graph::SystemGraph;
-use simsym_vm::{LocalState, OpEnv, PeekView, Program, RegId, SystemInit, Value};
+use simsym_vm::{JournalSpec, LocalState, OpEnv, PeekView, Program, RegId, SystemInit, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -428,6 +428,19 @@ impl Algorithm4 {
         Self::is_done(local)
             .then(|| LabelLearner::learned_label(local))
             .flatten()
+    }
+
+    /// The stable-storage journal spec for crash–replay recovery.
+    ///
+    /// Unlike the label learner ([`LabelLearner::journal_spec`]), Algorithm
+    /// 4 has no idempotent re-entry point: the relabel and emulated-post
+    /// stages drive lock/read-increment/write side effects from scratch
+    /// registers (`rstage`, `rbuf`, `pstage`, `pbuf`, …), so replaying onto
+    /// a partial snapshot would re-issue writes that shared state already
+    /// absorbed. The journal therefore tracks the *full* register file and
+    /// replay restores the exact local state of the last committed step.
+    pub fn journal_spec() -> JournalSpec {
+        JournalSpec::all()
     }
 }
 
@@ -979,8 +992,7 @@ mod tests {
         let init = SystemInit::uniform(&g);
         let plan = Algorithm4::plan(&g, &init, 4, false, DEFAULT_OUTCOME_BUDGET).expect("tables");
         let prog: Arc<dyn Program> = Arc::new(plan.program.expect("figure 1 selects in L"));
-        let mut m =
-            Machine::new(Arc::new(g), InstructionSet::L, prog, &init).expect("machine");
+        let mut m = Machine::new(Arc::new(g), InstructionSet::L, prog, &init).expect("machine");
         let p = ProcId::new(0);
         let mut garbled = m.local(p).clone();
         garbled.set_reg(learner_regs().rname, Value::Unit);
@@ -1002,6 +1014,119 @@ mod tests {
         assert_eq!(*m.local(p), before);
         assert!(!Algorithm4::is_done(m.local(p)));
         assert!(!m.local(p).selected);
+    }
+
+    #[test]
+    fn q_selection_survives_crash_replay_recovery() {
+        use simsym_vm::{
+            CrashFault, FaultEvent, FaultPlan, FaultSched, FaultView, Faulty, Recovery,
+        };
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(2)]);
+        let prog: Arc<dyn Program> = Arc::new(
+            selection_program_q(&g, &init)
+                .expect("tables generate")
+                .expect("marked ring admits selection"),
+        );
+        // Fault-free run: when does the winner decide?
+        let mut m0 = Machine::new(
+            Arc::new(g.clone()),
+            InstructionSet::Q,
+            Arc::clone(&prog),
+            &init,
+        )
+        .expect("machine");
+        let mut sched = RoundRobin::new();
+        engine::run(
+            &mut m0,
+            &mut sched,
+            100_000,
+            &mut [],
+            &mut stop::AnySelected,
+        );
+        let winner = *m0.selected().first().expect("someone selected");
+        let t = m0.steps();
+        // Faulted run with the same schedule: crash the winner *after* the
+        // decision committed, then reboot it from the journal.
+        let m = Machine::new(Arc::new(g.clone()), InstructionSet::Q, prog, &init).expect("machine");
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: winner,
+            at_step: t + 4,
+            recovery: Some(Recovery::replay(t + 12)),
+        }]);
+        let mut f = Faulty::with_journal(m, plan, LabelLearner::journal_spec());
+        let mut stab = StabilityMonitor::default();
+        let mut fsched = FaultSched::new(RoundRobin::new());
+        let report = engine::run(
+            &mut f,
+            &mut fsched,
+            t + 64,
+            &mut [&mut stab],
+            &mut stop::Never,
+        );
+        assert!(report.violation.is_none(), "violation: {report:?}");
+        assert!(
+            simsym_vm::System::selected(&f).contains(&winner),
+            "the decision survived the reboot"
+        );
+        assert!(f
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Replayed { proc, entries, .. }
+                if *proc == winner && *entries > 0)));
+    }
+
+    #[test]
+    fn algorithm4_selection_survives_crash_replay_recovery() {
+        use simsym_vm::{
+            CrashFault, FaultEvent, FaultPlan, FaultSched, FaultView, Faulty, Recovery,
+        };
+        let g = topology::figure1();
+        let init = SystemInit::uniform(&g);
+        let k = 4;
+        let plan4 = Algorithm4::plan(&g, &init, k, false, DEFAULT_OUTCOME_BUDGET).expect("tables");
+        let prog: Arc<dyn Program> = Arc::new(plan4.program.expect("figure 1 selects in L"));
+        let mut m0 = Machine::new(
+            Arc::new(g.clone()),
+            InstructionSet::L,
+            Arc::clone(&prog),
+            &init,
+        )
+        .expect("machine");
+        let mut sched = BoundedFairRandom::new(2, k, 0);
+        engine::run(
+            &mut m0,
+            &mut sched,
+            500_000,
+            &mut [],
+            &mut stop::AnySelected,
+        );
+        let winner = *m0.selected().first().expect("someone selected");
+        let t = m0.steps();
+        // Same seed: the faulted schedule is identical up to the crash.
+        let m = Machine::new(Arc::new(g.clone()), InstructionSet::L, prog, &init).expect("machine");
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: winner,
+            at_step: t + 2,
+            recovery: Some(Recovery::replay(t + 10)),
+        }]);
+        let mut f = Faulty::with_journal(m, plan, Algorithm4::journal_spec());
+        let mut stab = StabilityMonitor::default();
+        let mut fsched = FaultSched::new(BoundedFairRandom::new(2, k, 0));
+        let report = engine::run(
+            &mut f,
+            &mut fsched,
+            t + 64,
+            &mut [&mut stab],
+            &mut stop::Never,
+        );
+        assert!(report.violation.is_none(), "violation: {report:?}");
+        assert!(simsym_vm::System::selected(&f).contains(&winner));
+        assert!(Algorithm4::is_done(f.inner().local(winner)));
+        assert!(f
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Replayed { proc, .. } if *proc == winner)));
     }
 
     #[test]

@@ -38,11 +38,13 @@
 mod csp;
 mod machine;
 mod net;
+mod reliable;
 mod similarity;
 
 pub use csp::{CspEvent, CspMachine, CspMode, CspOffer, CspProgram, Enabled, PairElection};
 pub use machine::{ChangRoberts, MpMachine, MpOps, MpProgram, ViewLearner};
 pub use net::{ChannelFaults, MpError, MpNetwork};
+pub use reliable::ReliableViewLearner;
 pub use similarity::{
     extended_csp_consistent, mp_similarity, reduced_similarity, same_partition, to_system_graph,
     MpModel,

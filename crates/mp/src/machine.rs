@@ -69,6 +69,17 @@ impl<'m> MpOps<'m> {
         self.net.in_neighbors(self.proc).len()
     }
 
+    /// The out-port that sends to the processor behind in-port `port`, or
+    /// `None` when the network has no back-channel — the path
+    /// acknowledgements take in [`crate::ReliableViewLearner`].
+    pub fn reverse_port(&self, port: usize) -> Option<usize> {
+        let from = self.net.in_neighbors(self.proc)[port];
+        self.net
+            .out_neighbors(self.proc)
+            .iter()
+            .position(|&q| q == from)
+    }
+
     fn charge(&mut self, kind: OpKind) {
         self.ops_used += 1;
         assert!(

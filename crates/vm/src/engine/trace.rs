@@ -287,9 +287,10 @@ fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// A minimal JSON reader — just enough for trace documents. The workspace
-/// is built offline (see the workspace `Cargo.toml`), so no serde_json.
-mod json {
+/// A minimal JSON reader — just enough for trace documents (and, within
+/// the crate, the repro artifacts of [`crate::repro`]). The workspace is
+/// built offline (see the workspace `Cargo.toml`), so no serde_json.
+pub(crate) mod json {
     /// A parsed JSON value. Numbers are kept as `u64`: trace documents
     /// contain only unsigned integers.
     #[derive(Clone, Debug, PartialEq)]

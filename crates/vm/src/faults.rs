@@ -19,6 +19,7 @@
 //! bound of Theorem 1 really is.
 
 use crate::engine::System;
+use crate::journal::{JournalSpec, StableStore};
 use crate::{LocalState, Machine, OpRecord, ScheduleKind, Scheduler, StepOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,16 +28,77 @@ use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+/// What a recovering processor's memory looks like after the reboot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryMode {
+    /// Stable memory: the processor resumes exactly where it stopped.
+    Resume,
+    /// Volatile memory: local state resets to the boot snapshot — the
+    /// mode under which Stability is violated by construction.
+    Reset,
+    /// Volatile memory over a stable store: boot snapshot, then the
+    /// journal's durable entries are replayed onto it. Requires the
+    /// wrapper to carry a journal ([`Faulty::with_journal`]).
+    Replay,
+}
+
+impl RecoveryMode {
+    /// Stable lower-case name used in JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryMode::Resume => "resume",
+            RecoveryMode::Reset => "reset",
+            RecoveryMode::Replay => "replay",
+        }
+    }
+
+    /// Parses [`RecoveryMode::name`] output.
+    pub fn from_name(name: &str) -> Option<RecoveryMode> {
+        match name {
+            "resume" => Some(RecoveryMode::Resume),
+            "reset" => Some(RecoveryMode::Reset),
+            "replay" => Some(RecoveryMode::Replay),
+            _ => None,
+        }
+    }
+}
+
 /// How a crashed processor comes back, if it does.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Recovery {
     /// Step index (of the wrapped run) at which the processor becomes
     /// schedulable again.
     pub at_step: u64,
-    /// Whether recovery resets the local state to its boot snapshot
-    /// (crash-recovery with volatile memory) or resumes where the
-    /// processor stopped (crash-recovery with stable memory).
-    pub reset: bool,
+    /// What state the processor reboots with.
+    pub mode: RecoveryMode,
+}
+
+impl Recovery {
+    /// A stable-memory recovery: resume in place at `at_step`.
+    pub fn resume(at_step: u64) -> Recovery {
+        Recovery {
+            at_step,
+            mode: RecoveryMode::Resume,
+        }
+    }
+
+    /// A volatile-memory recovery: reset to the boot snapshot at
+    /// `at_step`.
+    pub fn reset(at_step: u64) -> Recovery {
+        Recovery {
+            at_step,
+            mode: RecoveryMode::Reset,
+        }
+    }
+
+    /// A journaled recovery: boot snapshot plus journal replay at
+    /// `at_step`.
+    pub fn replay(at_step: u64) -> Recovery {
+        Recovery {
+            at_step,
+            mode: RecoveryMode::Replay,
+        }
+    }
 }
 
 /// One processor's crash, with an optional recovery.
@@ -70,27 +132,51 @@ impl FaultPlan {
 
     /// A plan from explicit crash faults.
     ///
-    /// # Panics
-    ///
-    /// Panics if a processor appears twice, or if a recovery does not
-    /// strictly follow its crash.
+    /// In debug builds this asserts the plan is well-formed; release
+    /// builds accept it unchecked. Callers handling untrusted input (CLI
+    /// arguments, repro artifacts) should use [`FaultPlan::try_crashes`]
+    /// and surface the [`FaultPlanError`] instead.
     pub fn crashes(crashes: Vec<CrashFault>) -> FaultPlan {
-        for (i, c) in crashes.iter().enumerate() {
-            assert!(
-                crashes[..i].iter().all(|d| d.proc != c.proc),
-                "processor {:?} has two crash faults",
-                c.proc
-            );
+        let plan = FaultPlan { crashes };
+        debug_assert!(
+            plan.validate().is_ok(),
+            "invalid fault plan: {}",
+            plan.validate().unwrap_err()
+        );
+        plan
+    }
+
+    /// A validated plan from explicit crash faults: rejects a processor
+    /// with two crash faults and a recovery that does not strictly
+    /// follow its crash.
+    pub fn try_crashes(crashes: Vec<CrashFault>) -> Result<FaultPlan, FaultPlanError> {
+        let plan = FaultPlan { crashes };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Checks plan well-formedness (the [`FaultPlan::try_crashes`]
+    /// rules).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (i, c) in self.crashes.iter().enumerate() {
+            if let Some(d) = self.crashes[..i].iter().find(|d| d.proc == c.proc) {
+                return Err(FaultPlanError::DuplicateProcessor {
+                    proc: d.proc,
+                    first: d.at_step,
+                    second: c.at_step,
+                });
+            }
             if let Some(r) = c.recovery {
-                assert!(
-                    r.at_step > c.at_step,
-                    "recovery at step {} does not follow crash at step {}",
-                    r.at_step,
-                    c.at_step
-                );
+                if r.at_step <= c.at_step {
+                    return Err(FaultPlanError::RecoveryBeforeCrash {
+                        proc: c.proc,
+                        crash: c.at_step,
+                        recovery: r.at_step,
+                    });
+                }
             }
         }
-        FaultPlan { crashes }
+        Ok(())
     }
 
     /// A seeded crash plan over `procs` processors: every processor not in
@@ -126,7 +212,11 @@ impl FaultPlan {
             let recovery = if rng.gen() {
                 Some(Recovery {
                     at_step: at_step + 1 + rng.gen_range(0..horizon),
-                    reset: rng.gen(),
+                    mode: if rng.gen() {
+                        RecoveryMode::Reset
+                    } else {
+                        RecoveryMode::Resume
+                    },
                 })
             } else {
                 None
@@ -140,11 +230,120 @@ impl FaultPlan {
         FaultPlan { crashes }
     }
 
+    /// A crash-recovery-reset variant of [`FaultPlan::seeded_crashes`]:
+    /// every victim crashes **and** recovers with a state reset — the
+    /// adversary Stability cannot survive without a journal. Crash and
+    /// recovery steps come from the same seeded stream.
+    pub fn seeded_crash_resets(
+        procs: usize,
+        protect: &[ProcId],
+        seed: u64,
+        horizon: u64,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::seeded_crashes(procs, protect, seed, horizon);
+        for c in &mut plan.crashes {
+            let at_step = c
+                .recovery
+                .map(|r| r.at_step)
+                .unwrap_or(c.at_step + 1 + horizon / 2);
+            c.recovery = Some(Recovery::reset(at_step));
+        }
+        plan
+    }
+
+    /// The number of processors a seeded plan may actually crash, after
+    /// the implicit "protect processor 0" rule. Zero means every seeded
+    /// plan is empty — the degenerate case the CLI flags as
+    /// `SOAK-DEGENERATE` instead of silently burning budget.
+    pub fn victim_count(procs: usize, protect: &[ProcId]) -> usize {
+        let implicit = [ProcId::new(0)];
+        let protect: &[ProcId] = if protect.is_empty() {
+            &implicit
+        } else {
+            protect
+        };
+        (0..procs)
+            .map(ProcId::new)
+            .filter(|p| !protect.contains(p))
+            .count()
+    }
+
+    /// Converts every [`RecoveryMode::Reset`] recovery into
+    /// [`RecoveryMode::Replay`] — the `--journal` switch: the same fault
+    /// timeline, but reboots restore from the stable store.
+    pub fn with_replay_recoveries(mut self) -> FaultPlan {
+        for c in &mut self.crashes {
+            if let Some(r) = &mut c.recovery {
+                if r.mode == RecoveryMode::Reset {
+                    r.mode = RecoveryMode::Replay;
+                }
+            }
+        }
+        self
+    }
+
+    /// Whether any recovery in the plan replays from a journal.
+    pub fn needs_journal(&self) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| matches!(c.recovery, Some(r) if r.mode == RecoveryMode::Replay))
+    }
+
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.crashes.is_empty()
     }
 }
+
+/// Why a [`FaultPlan`] is ill-formed (see [`FaultPlan::try_crashes`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A processor has two crash faults.
+    DuplicateProcessor {
+        /// The doubly-faulted processor.
+        proc: ProcId,
+        /// Step of its first crash fault.
+        first: u64,
+        /// Step of the conflicting second fault.
+        second: u64,
+    },
+    /// A recovery does not strictly follow its crash.
+    RecoveryBeforeCrash {
+        /// The processor whose fault is inconsistent.
+        proc: ProcId,
+        /// The crash step.
+        crash: u64,
+        /// The offending recovery step (`<=` the crash step).
+        recovery: u64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::DuplicateProcessor {
+                proc,
+                first,
+                second,
+            } => write!(
+                f,
+                "processor p{} has two crash faults (steps {first} and {second})",
+                proc.index()
+            ),
+            FaultPlanError::RecoveryBeforeCrash {
+                proc,
+                crash,
+                recovery,
+            } => write!(
+                f,
+                "p{} recovery at step {recovery} does not strictly follow its crash at step {crash}",
+                proc.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// One injected fault, stamped with the step index it took effect at.
 /// The event stream is what checkers and the CLI report; it is also the
@@ -159,7 +358,7 @@ pub enum FaultEvent {
         /// The crashed processor.
         proc: ProcId,
     },
-    /// A crashed processor recovered.
+    /// A crashed processor recovered (resume or boot-snapshot reset).
     Recovered {
         /// Step index the recovery took effect before.
         step: u64,
@@ -167,6 +366,16 @@ pub enum FaultEvent {
         proc: ProcId,
         /// Whether its local state was reset to the boot snapshot.
         reset: bool,
+    },
+    /// A crashed processor recovered by replaying its journal onto the
+    /// boot snapshot.
+    Replayed {
+        /// Step index the recovery took effect before.
+        step: u64,
+        /// The recovered processor.
+        proc: ProcId,
+        /// Durable journal entries replayed.
+        entries: usize,
     },
     /// A channel message was dropped at its send boundary.
     MessageDropped {
@@ -202,6 +411,14 @@ impl fmt::Display for FaultEvent {
                 f,
                 "step {step}: {proc:?} recovered{}",
                 if *reset { " (state reset)" } else { "" }
+            ),
+            FaultEvent::Replayed {
+                step,
+                proc,
+                entries,
+            } => write!(
+                f,
+                "step {step}: {proc:?} recovered (journal replay, {entries} entries)"
             ),
             FaultEvent::MessageDropped { step, channel } => {
                 write!(f, "step {step}: dropped message on channel {channel}")
@@ -267,6 +484,7 @@ pub struct Faulty<S> {
     plan: FaultPlan,
     crashed: Vec<bool>,
     boot: Vec<LocalState>,
+    journal: Option<StableStore>,
     events: Vec<FaultEvent>,
     t: u64,
 }
@@ -277,10 +495,36 @@ impl<S: FaultableSystem> Faulty<S> {
     ///
     /// # Panics
     ///
-    /// Panics if the plan names a processor outside the system, or if the
+    /// Panics if the plan names a processor outside the system, if the
     /// plan would crash every processor at step 0 — a schedule needs at
-    /// least one live processor to pick.
+    /// least one live processor to pick — or if the plan contains a
+    /// [`RecoveryMode::Replay`] recovery (those need
+    /// [`Faulty::with_journal`]).
     pub fn new(inner: S, plan: FaultPlan) -> Faulty<S> {
+        assert!(
+            !plan.needs_journal(),
+            "plan has replay recoveries; use Faulty::with_journal"
+        );
+        Faulty::build(inner, plan, None)
+    }
+
+    /// Wraps `inner` under `plan` with a stable-storage journal: every
+    /// commit point (per `spec`) is journaled and fsynced atomically with
+    /// the committing step, and [`RecoveryMode::Replay`] recoveries
+    /// rebuild local state from the surviving log.
+    ///
+    /// # Panics
+    ///
+    /// As [`Faulty::new`], except replay recoveries are allowed.
+    pub fn with_journal(inner: S, plan: FaultPlan, spec: JournalSpec) -> Faulty<S> {
+        let boot: Vec<LocalState> = (0..inner.processor_count())
+            .map(|p| inner.local_snapshot(ProcId::new(p)))
+            .collect();
+        let store = StableStore::new(spec, &boot);
+        Faulty::build(inner, plan, Some(store))
+    }
+
+    fn build(inner: S, plan: FaultPlan, journal: Option<StableStore>) -> Faulty<S> {
         let n = inner.processor_count();
         for c in &plan.crashes {
             assert!(
@@ -297,6 +541,7 @@ impl<S: FaultableSystem> Faulty<S> {
             plan,
             crashed: vec![false; n],
             boot,
+            journal,
             events: Vec::new(),
             t: 0,
         };
@@ -306,6 +551,11 @@ impl<S: FaultableSystem> Faulty<S> {
             "fault plan crashes every processor at step 0"
         );
         faulty
+    }
+
+    /// The journal, if this wrapper carries one.
+    pub fn journal(&self) -> Option<&StableStore> {
+        self.journal.as_ref()
     }
 
     /// The wrapped system.
@@ -336,6 +586,12 @@ impl<S: FaultableSystem> Faulty<S> {
             let i = c.proc.index();
             if c.at_step == self.t && !self.crashed[i] {
                 self.crashed[i] = true;
+                if let Some(journal) = &mut self.journal {
+                    // The fsync boundary: entries journaled strictly
+                    // before the crash step survive, everything later —
+                    // including any unsynced tail — is lost.
+                    journal.crash_at(i, self.t);
+                }
                 self.events.push(FaultEvent::Crashed {
                     step: self.t,
                     proc: c.proc,
@@ -344,14 +600,36 @@ impl<S: FaultableSystem> Faulty<S> {
             if let Some(r) = c.recovery {
                 if r.at_step == self.t && self.crashed[i] {
                     self.crashed[i] = false;
-                    if r.reset {
-                        self.inner.restore_local(c.proc, self.boot[i].clone());
+                    match r.mode {
+                        RecoveryMode::Resume => {
+                            self.events.push(FaultEvent::Recovered {
+                                step: self.t,
+                                proc: c.proc,
+                                reset: false,
+                            });
+                        }
+                        RecoveryMode::Reset => {
+                            self.inner.restore_local(c.proc, self.boot[i].clone());
+                            self.events.push(FaultEvent::Recovered {
+                                step: self.t,
+                                proc: c.proc,
+                                reset: true,
+                            });
+                        }
+                        RecoveryMode::Replay => {
+                            let journal = self
+                                .journal
+                                .as_ref()
+                                .expect("replay recovery requires a journal");
+                            let (state, entries) = journal.replay_onto(i, &self.boot[i]);
+                            self.inner.restore_local(c.proc, state);
+                            self.events.push(FaultEvent::Replayed {
+                                step: self.t,
+                                proc: c.proc,
+                                entries,
+                            });
+                        }
                     }
-                    self.events.push(FaultEvent::Recovered {
-                        step: self.t,
-                        proc: c.proc,
-                        reset: r.reset,
-                    });
                 }
             }
         }
@@ -369,6 +647,13 @@ impl<S: FaultableSystem> System for Faulty<S> {
         // the timeline stays a function of the step index alone.
         if !self.crashed[p.index()] {
             self.inner.step(p);
+            if let Some(journal) = &mut self.journal {
+                // Commit detection: if a tracked register or the
+                // `selected` flag changed this step, the journal appends
+                // and syncs the entry atomically with the step.
+                let state = self.inner.local_snapshot(p);
+                journal.observe(p.index(), &state, self.t);
+            }
         }
         self.t += 1;
         self.apply_due();
@@ -390,6 +675,9 @@ impl<S: FaultableSystem> System for Faulty<S> {
         let mut h = DefaultHasher::new();
         self.inner.fingerprint().hash(&mut h);
         self.crashed.hash(&mut h);
+        if let Some(journal) = &self.journal {
+            journal.fingerprint().hash(&mut h);
+        }
         h.finish()
     }
 
@@ -575,10 +863,7 @@ mod tests {
         let plan = FaultPlan::crashes(vec![CrashFault {
             proc: ProcId::new(1),
             at_step: 3,
-            recovery: Some(Recovery {
-                at_step: 9,
-                reset: true,
-            }),
+            recovery: Some(Recovery::reset(9)),
         }]);
         let mut f = Faulty::new(counting_machine(3), plan);
         let mut sched = FaultSched::new(RoundRobin::new());
@@ -603,10 +888,7 @@ mod tests {
         let plan = FaultPlan::crashes(vec![CrashFault {
             proc: ProcId::new(1),
             at_step: 3,
-            recovery: Some(Recovery {
-                at_step: 6,
-                reset: false,
-            }),
+            recovery: Some(Recovery::resume(6)),
         }]);
         let mut f = Faulty::new(counting_machine(2), plan);
         let mut sched = FaultSched::new(RoundRobin::new());
@@ -714,6 +996,208 @@ mod tests {
             }
         }
         assert_eq!(Scheduler::<Machine>::kind(&s), ScheduleKind::BoundedFair(k));
+    }
+
+    #[test]
+    fn try_crashes_rejects_duplicates_and_bad_recoveries() {
+        let dup = FaultPlan::try_crashes(vec![
+            CrashFault {
+                proc: ProcId::new(1),
+                at_step: 2,
+                recovery: None,
+            },
+            CrashFault {
+                proc: ProcId::new(1),
+                at_step: 5,
+                recovery: None,
+            },
+        ]);
+        assert!(matches!(
+            dup,
+            Err(FaultPlanError::DuplicateProcessor {
+                first: 2,
+                second: 5,
+                ..
+            })
+        ));
+        let bad = FaultPlan::try_crashes(vec![CrashFault {
+            proc: ProcId::new(0),
+            at_step: 4,
+            recovery: Some(Recovery::reset(4)),
+        }]);
+        assert!(matches!(
+            bad,
+            Err(FaultPlanError::RecoveryBeforeCrash {
+                crash: 4,
+                recovery: 4,
+                ..
+            })
+        ));
+        assert!(bad.unwrap_err().to_string().contains("strictly follow"));
+        let ok = FaultPlan::try_crashes(vec![CrashFault {
+            proc: ProcId::new(0),
+            at_step: 4,
+            recovery: Some(Recovery::resume(5)),
+        }]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn with_replay_recoveries_converts_only_resets() {
+        let plan = FaultPlan::crashes(vec![
+            CrashFault {
+                proc: ProcId::new(1),
+                at_step: 1,
+                recovery: Some(Recovery::reset(5)),
+            },
+            CrashFault {
+                proc: ProcId::new(2),
+                at_step: 2,
+                recovery: Some(Recovery::resume(6)),
+            },
+            CrashFault {
+                proc: ProcId::new(3),
+                at_step: 3,
+                recovery: None,
+            },
+        ]);
+        let replayed = plan.with_replay_recoveries();
+        let modes: Vec<Option<RecoveryMode>> = replayed
+            .crashes
+            .iter()
+            .map(|c| c.recovery.map(|r| r.mode))
+            .collect();
+        assert_eq!(
+            modes,
+            vec![Some(RecoveryMode::Replay), Some(RecoveryMode::Resume), None]
+        );
+        assert!(replayed.needs_journal());
+    }
+
+    #[test]
+    fn victim_count_flags_degenerate_single_processor_plans() {
+        assert_eq!(FaultPlan::victim_count(1, &[]), 0);
+        assert_eq!(FaultPlan::victim_count(5, &[]), 4);
+        assert_eq!(FaultPlan::victim_count(5, &[ProcId::new(2)]), 4);
+        assert_eq!(
+            FaultPlan::victim_count(2, &[ProcId::new(0), ProcId::new(1)]),
+            0
+        );
+        // The degenerate case: a seeded plan over one processor is empty.
+        assert!(FaultPlan::seeded_crashes(1, &[], 7, 100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "use Faulty::with_journal")]
+    fn replay_plan_without_journal_is_rejected() {
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(1),
+            at_step: 1,
+            recovery: Some(Recovery::replay(5)),
+        }]);
+        let _ = Faulty::new(counting_machine(2), plan);
+    }
+
+    #[test]
+    fn replay_recovery_restores_journaled_state() {
+        // A program whose committed register is its step parity and whose
+        // scratch register is never journaled.
+        let g = Arc::new(topology::uniform_ring(2));
+        let prog = Arc::new(FnProgram::new("journal-toy", |local, _ops| {
+            local.pc += 1;
+            local.set("scratch", Value::from(local.pc as i64));
+            if local.pc % 3 == 0 {
+                local.set("committed", Value::from(local.pc as i64));
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        let m = Machine::new(g, InstructionSet::S, prog, &init).unwrap();
+        let plan = FaultPlan::crashes(vec![CrashFault {
+            proc: ProcId::new(1),
+            at_step: 9,
+            recovery: Some(Recovery::replay(13)),
+        }]);
+        let mut f = Faulty::with_journal(m, plan, JournalSpec::registers(["committed"]));
+        let mut sched = FaultSched::new(RoundRobin::new());
+        engine::run(&mut f, &mut sched, 13, &mut [], &mut stop::Never);
+        assert!(!f.is_crashed(ProcId::new(1)));
+        let local = f.inner().local(ProcId::new(1)).clone();
+        // p1 stepped at global steps 1,3,5,7 before crashing at 9, so its
+        // pc reached 4 and "committed" last changed at pc 3: the journal
+        // replay restores committed=3 and the pc recorded with it, while
+        // the unjournaled scratch register is lost (back to boot: unset).
+        assert_eq!(local.get("committed"), Value::from(3));
+        assert_eq!(local.pc, 3);
+        assert_eq!(local.get("scratch"), Value::Unit);
+        assert!(matches!(
+            f.fault_events(),
+            [
+                FaultEvent::Crashed { .. },
+                FaultEvent::Replayed { entries: 1, .. }
+            ]
+        ));
+        // And the processor keeps running from the replayed state.
+        engine::run(&mut f, &mut sched, 6, &mut [], &mut stop::Never);
+        assert!(f.inner().local(ProcId::new(1)).pc > 3);
+    }
+
+    #[test]
+    fn replay_recovery_preserves_selected_flag() {
+        // Select at pc 2, then crash with a reset-style reboot: without a
+        // journal the flag is wiped; with replay it survives.
+        let g = Arc::new(topology::uniform_ring(2));
+        let init = SystemInit::uniform(&g);
+        let make = |recovery: Recovery| {
+            let m = Machine::new(
+                Arc::clone(&g),
+                InstructionSet::S,
+                Arc::new(FnProgram::new("select-at-2", |local, _ops| {
+                    local.pc += 1;
+                    if local.pc == 2 {
+                        local.selected = true;
+                    }
+                })),
+                &init,
+            )
+            .unwrap();
+            let plan = FaultPlan::crashes(vec![CrashFault {
+                proc: ProcId::new(1),
+                at_step: 6,
+                recovery: Some(recovery),
+            }]);
+            (m, plan)
+        };
+        let (m, plan) = make(Recovery::reset(10));
+        let mut wiped = Faulty::new(m, plan);
+        let mut sched = FaultSched::new(RoundRobin::new());
+        engine::run(&mut wiped, &mut sched, 12, &mut [], &mut stop::Never);
+        assert!(!wiped.inner().local(ProcId::new(1)).selected);
+
+        let (m, plan) = make(Recovery::replay(10));
+        let mut journaled = Faulty::with_journal(m, plan, JournalSpec::selected_only());
+        let mut sched = FaultSched::new(RoundRobin::new());
+        engine::run(&mut journaled, &mut sched, 12, &mut [], &mut stop::Never);
+        assert!(journaled.inner().local(ProcId::new(1)).selected);
+    }
+
+    #[test]
+    fn journaled_faulted_runs_replay_byte_identically() {
+        let build = || {
+            let plan = FaultPlan::crashes(vec![CrashFault {
+                proc: ProcId::new(1),
+                at_step: 5,
+                recovery: Some(Recovery::replay(11)),
+            }]);
+            Faulty::with_journal(counting_machine(3), plan, JournalSpec::selected_only())
+        };
+        let mut a = build();
+        let mut sched = FaultSched::new(RoundRobin::new());
+        let mut rec = crate::engine::trace::TraceRecorder::new("rr", "round-robin");
+        engine::run(&mut a, &mut sched, 20, &mut [&mut rec], &mut stop::Never);
+        let trace = rec.into_trace();
+        let mut b = build();
+        crate::engine::trace::replay(&mut b, &trace).unwrap();
+        assert_eq!(System::fingerprint(&a), System::fingerprint(&b));
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Stable-storage write-ahead journaling for crash recovery.
+//!
+//! The paper's selection problem demands **Stability** — a selected
+//! processor stays selected (§3) — and crash-recovery with volatile
+//! memory violates it by construction: a boot-snapshot reset wipes the
+//! `selected` flag along with every phase register. The classical fix is
+//! the one real consensus implementations use (and Rabin's
+//! choice-coordination assumes): a **stable store** that survives the
+//! crash, to which the protocol journals its commit-point writes, and
+//! from which recovery replays them.
+//!
+//! This module models that store deterministically:
+//!
+//! * a [`StableStore`] keeps, per processor, an ordered log of
+//!   [`JournalEntry`] records — the tracked register values, program
+//!   counter and `selected` flag captured at each *commit point* (a step
+//!   after which a tracked register or the `selected` flag changed);
+//! * the log is split into a **durable** prefix and a **pending** tail,
+//!   with an explicit [`StableStore::sync`] marking the modeled *fsync
+//!   boundary*: on a crash at step `t`, pending entries are lost and only
+//!   durable entries journaled **strictly before** step `t` survive
+//!   ([`StableStore::crash_at`]);
+//! * recovery rebuilds the local state by replaying the surviving log
+//!   onto the boot snapshot ([`StableStore::replay_onto`]).
+//!
+//! Which registers constitute the commit-point state is protocol
+//! knowledge, supplied as a [`JournalSpec`]: the distributed label
+//! learner's cross-round state is just `{pec, vec, round}` (everything
+//! else is per-round scratch, safely re-derived after a reboot at a round
+//! boundary), whereas the lock-protected Algorithm 4 has no idempotent
+//! re-entry point between steps and must track every register
+//! ([`JournalSpec::all`]).
+//!
+//! Everything here is plain data — no I/O, no clocks — so a faulted run
+//! with journaling replays byte-identically: the journal state is mixed
+//! into the wrapper fingerprint by
+//! [`Faulty`](crate::faults::Faulty).
+
+use crate::{LocalState, RegId, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Which part of a processor's local state the journal tracks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tracked {
+    /// An explicit register set (plus, always, `pc` and `selected`).
+    Registers(Vec<RegId>),
+    /// Every register the program ever sets.
+    All,
+}
+
+/// A protocol's declaration of its commit-point state: which registers
+/// must survive a crash for a reboot to be safe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalSpec {
+    tracked: Tracked,
+}
+
+impl JournalSpec {
+    /// Tracks the named registers (interning them), plus `pc` and
+    /// `selected`, which are always journaled.
+    pub fn registers<I, S>(names: I) -> JournalSpec
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut tracked: Vec<RegId> = names
+            .into_iter()
+            .map(|n| RegId::intern(n.as_ref()))
+            .collect();
+        tracked.sort_unstable();
+        tracked.dedup();
+        JournalSpec {
+            tracked: Tracked::Registers(tracked),
+        }
+    }
+
+    /// Tracks every register — full-state journaling, for protocols with
+    /// no idempotent re-entry point (Algorithm 4's lock-protected
+    /// read-modify-write sections).
+    pub fn all() -> JournalSpec {
+        JournalSpec {
+            tracked: Tracked::All,
+        }
+    }
+
+    /// Tracks no registers — only `pc` and `selected` are journaled, the
+    /// minimum that makes a selection decision durable.
+    pub fn selected_only() -> JournalSpec {
+        JournalSpec {
+            tracked: Tracked::Registers(Vec::new()),
+        }
+    }
+
+    /// The registers of `state` this spec tracks, as sorted
+    /// `(register, value)` pairs.
+    fn project(&self, state: &LocalState) -> Vec<(RegId, Value)> {
+        match &self.tracked {
+            Tracked::Registers(regs) => regs
+                .iter()
+                .filter_map(|&r| state.reg_opt(r).map(|v| (r, v.clone())))
+                .collect(),
+            Tracked::All => {
+                let mut out: Vec<(RegId, Value)> = state
+                    .registers()
+                    .map(|(name, v)| (RegId::intern(name), v.clone()))
+                    .collect();
+                out.sort_unstable_by_key(|&(r, _)| r);
+                out
+            }
+        }
+    }
+}
+
+/// One committed write set: the tracked state of a processor as of the
+/// end of step `step`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The step (of the faulted run's clock) whose execution produced
+    /// this commit.
+    pub step: u64,
+    /// Program counter after the step.
+    pub pc: u32,
+    /// `selected` flag after the step.
+    pub selected: bool,
+    /// Tracked registers that changed, with their new values.
+    pub writes: Vec<(RegId, Value)>,
+}
+
+/// A deterministic per-processor write-ahead journal with a modeled
+/// fsync boundary.
+#[derive(Clone, Debug)]
+pub struct StableStore {
+    spec: JournalSpec,
+    /// Entries that survived their fsync: these outlive a crash.
+    durable: Vec<Vec<JournalEntry>>,
+    /// Appended but not yet synced: lost at a crash.
+    pending: Vec<Vec<JournalEntry>>,
+    /// The last journaled tracked projection per processor, for commit
+    /// detection by diffing.
+    shadow: Vec<Vec<(RegId, Value)>>,
+    shadow_selected: Vec<bool>,
+}
+
+impl StableStore {
+    /// A store over `boot` snapshots (one per processor): the shadow
+    /// starts at the boot projection, so the first commit records only
+    /// what changed since boot.
+    pub fn new(spec: JournalSpec, boot: &[LocalState]) -> StableStore {
+        let shadow = boot.iter().map(|s| spec.project(s)).collect();
+        StableStore {
+            spec,
+            durable: vec![Vec::new(); boot.len()],
+            pending: vec![Vec::new(); boot.len()],
+            shadow,
+            shadow_selected: boot.iter().map(|s| s.selected).collect(),
+        }
+    }
+
+    /// The spec this store journals under.
+    pub fn spec(&self) -> &JournalSpec {
+        &self.spec
+    }
+
+    /// Diffs processor `p`'s state against the last journaled projection;
+    /// if a tracked register or the `selected` flag changed, appends a
+    /// commit entry **and syncs it** (the commit is atomic with the step,
+    /// the discipline that makes Stability satisfiable). Returns whether
+    /// a commit was journaled.
+    ///
+    /// A bare `pc` move does not commit: the program counter is recorded
+    /// *in* each entry but does not by itself constitute protocol
+    /// progress worth an fsync.
+    pub fn observe(&mut self, p: usize, state: &LocalState, step: u64) -> bool {
+        let projection = self.spec.project(state);
+        let changed: Vec<(RegId, Value)> = projection
+            .iter()
+            .filter(|(r, v)| {
+                self.shadow[p]
+                    .iter()
+                    .find(|(sr, _)| sr == r)
+                    .is_none_or(|(_, sv)| sv != v)
+            })
+            .cloned()
+            .collect();
+        if changed.is_empty() && state.selected == self.shadow_selected[p] {
+            return false;
+        }
+        self.append(
+            p,
+            JournalEntry {
+                step,
+                pc: state.pc,
+                selected: state.selected,
+                writes: changed,
+            },
+        );
+        self.sync(p);
+        self.shadow[p] = projection;
+        self.shadow_selected[p] = state.selected;
+        true
+    }
+
+    /// Appends an entry to processor `p`'s **pending** tail. It is lost
+    /// by a crash until [`StableStore::sync`] moves it past the fsync
+    /// boundary.
+    pub fn append(&mut self, p: usize, entry: JournalEntry) {
+        self.pending[p].push(entry);
+    }
+
+    /// The modeled fsync: moves processor `p`'s pending entries into the
+    /// durable log.
+    pub fn sync(&mut self, p: usize) {
+        self.durable[p].append(&mut self.pending[p]);
+    }
+
+    /// A crash of processor `p` at step `step`: the pending tail is lost,
+    /// and — the fsync boundary — only durable entries journaled
+    /// **strictly before** `step` survive.
+    pub fn crash_at(&mut self, p: usize, step: u64) {
+        self.pending[p].clear();
+        self.durable[p].retain(|e| e.step < step);
+    }
+
+    /// Rebuilds processor `p`'s post-recovery state: the boot snapshot
+    /// with every surviving durable entry applied in order. Returns the
+    /// state and the number of entries replayed.
+    pub fn replay_onto(&self, p: usize, boot: &LocalState) -> (LocalState, usize) {
+        let mut state = boot.clone();
+        for entry in &self.durable[p] {
+            for (r, v) in &entry.writes {
+                state.set_reg(*r, v.clone());
+            }
+            state.pc = entry.pc;
+            state.selected = entry.selected;
+        }
+        (state, self.durable[p].len())
+    }
+
+    /// Durable entries journaled so far for processor `p`.
+    pub fn durable_len(&self, p: usize) -> usize {
+        self.durable[p].len()
+    }
+
+    /// Pending (unsynced) entries for processor `p`.
+    pub fn pending_len(&self, p: usize) -> usize {
+        self.pending[p].len()
+    }
+
+    /// Total durable entries across all processors — the journal traffic
+    /// the bench's `journal_overhead` row prices.
+    pub fn total_durable(&self) -> usize {
+        self.durable.iter().map(Vec::len).sum()
+    }
+
+    /// A deterministic digest of the whole store (durable and pending),
+    /// mixed into the [`Faulty`](crate::faults::Faulty) fingerprint so a
+    /// replay diverging on journal state fails the per-step fingerprint
+    /// check.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for logs in [&self.durable, &self.pending] {
+            for per_proc in logs {
+                per_proc.len().hash(&mut h);
+                for e in per_proc {
+                    e.step.hash(&mut h);
+                    e.pc.hash(&mut h);
+                    e.selected.hash(&mut h);
+                    for (r, v) in &e.writes {
+                        r.name().hash(&mut h);
+                        v.hash(&mut h);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot_states(n: usize) -> Vec<LocalState> {
+        (0..n)
+            .map(|i| {
+                let mut s = LocalState::new();
+                s.set("init", Value::from(i as i64));
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn observe_commits_only_tracked_changes() {
+        let boot = boot_states(2);
+        let mut store = StableStore::new(JournalSpec::registers(["x"]), &boot);
+        let mut s = boot[0].clone();
+
+        // A bare pc move is not a commit.
+        s.pc = 1;
+        assert!(!store.observe(0, &s, 0));
+        assert_eq!(store.durable_len(0), 0);
+
+        // An untracked register is not a commit either.
+        s.set("scratch", Value::from(9));
+        assert!(!store.observe(0, &s, 1));
+
+        // A tracked write commits (and records the pc it happened at).
+        s.set("x", Value::from(7));
+        s.pc = 2;
+        assert!(store.observe(0, &s, 2));
+        assert_eq!(store.durable_len(0), 1);
+
+        // No change, no commit.
+        assert!(!store.observe(0, &s, 3));
+
+        // Selecting commits even with no register change.
+        s.selected = true;
+        assert!(store.observe(0, &s, 4));
+        assert_eq!(store.durable_len(0), 2);
+    }
+
+    #[test]
+    fn replay_restores_tracked_state_onto_boot() {
+        let boot = boot_states(1);
+        let mut store = StableStore::new(JournalSpec::registers(["x", "y"]), &boot);
+        let mut s = boot[0].clone();
+        s.set("x", Value::from(1));
+        s.pc = 3;
+        store.observe(0, &s, 0);
+        s.set("y", Value::from(2));
+        s.set("scratch", Value::from(99));
+        s.selected = true;
+        s.pc = 5;
+        store.observe(0, &s, 1);
+
+        let (recovered, replayed) = store.replay_onto(0, &boot[0]);
+        assert_eq!(replayed, 2);
+        assert_eq!(recovered.get("x"), Value::from(1));
+        assert_eq!(recovered.get("y"), Value::from(2));
+        assert_eq!(recovered.pc, 5);
+        assert!(recovered.selected);
+        // Untracked scratch did not survive; boot registers did.
+        assert_eq!(recovered.get("scratch"), Value::Unit);
+        assert_eq!(recovered.get("init"), Value::from(0));
+    }
+
+    #[test]
+    fn fsync_boundary_loses_pending_and_later_entries() {
+        let boot = boot_states(1);
+        let mut store = StableStore::new(JournalSpec::registers(["x"]), &boot);
+        let entry = |step: u64, val: i64| JournalEntry {
+            step,
+            pc: 0,
+            selected: false,
+            writes: vec![(RegId::intern("x"), Value::from(val))],
+        };
+        store.append(0, entry(1, 1));
+        store.sync(0);
+        store.append(0, entry(3, 3));
+        store.sync(0);
+        store.append(0, entry(5, 5));
+        assert_eq!(store.durable_len(0), 2);
+        assert_eq!(store.pending_len(0), 1);
+
+        // Crash at step 3: the pending tail and every durable entry not
+        // journaled strictly before step 3 are gone.
+        store.crash_at(0, 3);
+        assert_eq!(store.pending_len(0), 0);
+        assert_eq!(store.durable_len(0), 1);
+        let (recovered, _) = store.replay_onto(0, &boot[0]);
+        assert_eq!(recovered.get("x"), Value::from(1));
+    }
+
+    #[test]
+    fn spec_all_tracks_every_register() {
+        let boot = boot_states(1);
+        let mut store = StableStore::new(JournalSpec::all(), &boot);
+        let mut s = boot[0].clone();
+        s.set("anything", Value::from(4));
+        assert!(store.observe(0, &s, 0));
+        let (recovered, _) = store.replay_onto(0, &boot[0]);
+        assert_eq!(recovered.get("anything"), Value::from(4));
+    }
+
+    #[test]
+    fn fingerprint_tracks_journal_state() {
+        let boot = boot_states(1);
+        let mut a = StableStore::new(JournalSpec::registers(["x"]), &boot);
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut s = boot[0].clone();
+        s.set("x", Value::from(1));
+        a.observe(0, &s, 0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Pending vs durable is also distinguished.
+        let mut c = b.clone();
+        c.append(
+            0,
+            JournalEntry {
+                step: 0,
+                pc: 0,
+                selected: false,
+                writes: vec![],
+            },
+        );
+        let mut d = c.clone();
+        d.sync(0);
+        assert_ne!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn per_processor_logs_are_independent() {
+        let boot = boot_states(3);
+        let mut store = StableStore::new(JournalSpec::registers(["x"]), &boot);
+        let mut s = boot[1].clone();
+        s.set("x", Value::from(1));
+        store.observe(1, &s, 0);
+        store.crash_at(2, 5);
+        assert_eq!(store.durable_len(0), 0);
+        assert_eq!(store.durable_len(1), 1);
+        assert_eq!(store.durable_len(2), 0);
+        assert_eq!(store.total_durable(), 1);
+    }
+}

@@ -48,8 +48,10 @@ pub mod engine;
 mod explore;
 pub mod faults;
 mod isa;
+pub mod journal;
 mod machine;
 mod program;
+pub mod repro;
 mod schedule;
 mod state;
 mod trace;
@@ -64,9 +66,11 @@ pub use engine::probe::{
 };
 pub use engine::{Probe, System};
 pub use faults::{
-    CrashFault, FaultEvent, FaultPlan, FaultSched, FaultView, FaultableSystem, Faulty, Recovery,
-    StarveAdversary,
+    CrashFault, FaultEvent, FaultPlan, FaultPlanError, FaultSched, FaultView, FaultableSystem,
+    Faulty, Recovery, RecoveryMode, StarveAdversary,
 };
+pub use journal::{JournalEntry, JournalSpec, StableStore};
+pub use repro::{shrink_counterexample, ReproArtifact, ReproError, ShrinkStats, Shrunk};
 
 pub use explore::{
     explore, explore_reference, find_double_selection, is_quiescent, DoubleSelection,
