@@ -77,6 +77,20 @@ pub mod codes {
     /// strict checking was requested). With a journal this is a real
     /// pass/fail check, not an unavoidable note.
     pub const DYN_RECOV_STAB: &str = "DYN-RECOV-STAB";
+    /// Exhaustive exploration reached a state with two or more selected
+    /// processors — a Uniqueness violation, with the witness schedule
+    /// attached.
+    pub const DYN_EXPLORE_UNIQ: &str = "DYN-EXPLORE-UNIQ";
+    /// Exploration hit its depth or state budget: results are a lower
+    /// bound, not a certificate.
+    pub const DYN_EXPLORE_TRUNCATED: &str = "DYN-EXPLORE-TRUNCATED";
+    /// Exploration exhausted the reachable space within the budget —
+    /// the properties checked hold "up to depth d modulo Aut(N)".
+    pub const DYN_EXPLORE_CERTIFIED: &str = "DYN-EXPLORE-CERTIFIED";
+    /// A reduced exploration (similarity quotient or partial-order)
+    /// disagreed with the identity-reduction oracle on outcomes or
+    /// violations — a bug in the reducer, not in the explored program.
+    pub const DYN_EXPLORE_DIVERGED: &str = "DYN-EXPLORE-DIVERGED";
     /// A soak fault plan is degenerate: the implicit "protect processor
     /// 0" rule leaves no processor to crash, so every seeded plan is
     /// empty and the budget would be wasted on fault-free runs.

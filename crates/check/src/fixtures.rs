@@ -8,7 +8,7 @@ use simsym_vm::{FnProgram, InstructionSet, Machine, SystemInit, Value};
 use std::sync::Arc;
 
 /// The built-in fixture programs, by CLI name.
-pub const FIXTURE_NAMES: &[&str] = &["racy", "fixed-order", "isa-cheater", "greedy"];
+pub const FIXTURE_NAMES: &[&str] = &["racy", "fixed-order", "isa-cheater", "greedy", "grab"];
 
 /// Builds the fixture machine named `name` (see [`FIXTURE_NAMES`]) on
 /// `graph`, or `None` for an unknown name.
@@ -18,6 +18,7 @@ pub fn fixture_machine(name: &str, graph: Arc<SystemGraph>, init: &SystemInit) -
         "fixed-order" => Some(fixed_order_machine(graph, init)),
         "isa-cheater" => Some(isa_cheater_machine(graph, init)),
         "greedy" => Some(greedy_machine(graph, init)),
+        "grab" => Some(grab_machine(graph, init)),
         _ => None,
     }
 }
@@ -97,6 +98,39 @@ pub fn greedy_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
     Machine::new(graph, InstructionSet::S, prog, init).expect("fixture init")
 }
 
+/// **Double selection** fixture: the Theorem-1 strawman in S — read your
+/// first-named neighbour; if it is still `Unit`, write 1 to it and select
+/// yourself. On a ring every processor grabs a *different* variable (its
+/// own `left`), so nothing arbitrates and every processor selects: the
+/// exhaustive explorer reports Uniqueness violations
+/// ([`crate::diag::codes::DYN_EXPLORE_UNIQ`]) under every reduction mode.
+pub fn grab_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
+    let prog = Arc::new(FnProgram::new("fixture-grab", |local, ops| {
+        let names = ops.all_names();
+        match local.pc {
+            0 => {
+                let v = ops.read(names[0]);
+                local.set("saw", v);
+                local.pc = 1;
+            }
+            1 => {
+                if local.get("saw") == Value::Unit {
+                    ops.write(names[0], Value::from(1));
+                    local.pc = 2;
+                } else {
+                    local.pc = 3; // lost the grab
+                }
+            }
+            2 => {
+                local.selected = true; // selecting step is local-only
+                local.pc = 3;
+            }
+            _ => {}
+        }
+    }));
+    Machine::new(graph, InstructionSet::S, prog, init).expect("fixture init")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,7 +161,16 @@ mod tests {
         let g = Arc::new(topology::figure1());
         let init = SystemInit::uniform(&g);
         assert!(fixture_machine("nope", g, &init).is_none());
-        assert_eq!(FIXTURE_NAMES.len(), 4);
+        assert_eq!(FIXTURE_NAMES.len(), 5);
+    }
+
+    #[test]
+    fn grab_fixture_double_selects_on_a_ring() {
+        let g = Arc::new(topology::uniform_ring(3));
+        let init = SystemInit::uniform(&g);
+        let m = grab_machine(g, &init);
+        let res = simsym_vm::explore(&m, simsym_vm::ExploreConfig::default());
+        assert!(res.has_double_selection());
     }
 
     #[test]

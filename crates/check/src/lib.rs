@@ -27,6 +27,7 @@
 
 pub mod diag;
 pub mod discipline;
+pub mod explore_check;
 pub mod fault_tolerance;
 pub mod fixtures;
 pub mod isa_check;
@@ -38,6 +39,10 @@ pub mod suite;
 
 pub use diag::{CheckReport, Diagnostic, Severity, Span};
 pub use discipline::DisciplineChecker;
+pub use explore_check::{
+    check_exploration, cross_check_reducers, diverged_diagnostics, explore_diagnostics, Reduction,
+    REDUCTION_NAMES,
+};
 pub use fault_tolerance::FaultToleranceChecker;
 pub use fixtures::{fixture_machine, FIXTURE_NAMES};
 pub use isa_check::IsaChecker;

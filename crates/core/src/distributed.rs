@@ -837,13 +837,8 @@ mod tests {
         let init = SystemInit::uniform(&g);
         let labeling = hopcroft_similarity(&g, &init, Model::Q);
         let prog = LabelLearner::new(&g, &init, &labeling).expect("consistent labeling");
-        let m = Machine::new(
-            Arc::new(g.clone()),
-            InstructionSet::Q,
-            Arc::new(prog),
-            &init,
-        )
-        .expect("machine");
+        let m =
+            Machine::new(Arc::new(g), InstructionSet::Q, Arc::new(prog), &init).expect("machine");
         let plan = FaultPlan::crashes(vec![CrashFault {
             proc: ProcId::new(1),
             at_step: 7,

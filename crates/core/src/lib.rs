@@ -77,7 +77,7 @@ pub use hopcroft::{hopcroft_similarity, refine_worklist};
 pub use labeling::{InconsistentLabeling, Label, Labeling, NeighborhoodTable};
 pub use mimic::{fair_s_selection_possible, mimicry_matrix, mimics, unmimicking_processors};
 pub use model::Model;
-pub use quotient::{quotient, Quotient};
+pub use quotient::{quotient, similarity_group, similarity_reducer, Quotient};
 pub use randomized::{measure_randomized_selection, RandomizedSelect, RandomizedStats};
 pub use refine::{initial_partition, refine_fixpoint, refine_step, refinement_similarity};
 pub use relabel::{
@@ -87,12 +87,13 @@ pub use relabel::{
 pub use report::{analyze_system, markdown_report, render_markdown, SystemReport};
 pub use s_learner::{SLearnTables, SLearner};
 pub use select::{
-    selection_program_q, Algorithm3, Algorithm4, LSelectionPlan, DEFAULT_OUTCOME_BUDGET,
+    explore_selection_q, selection_program_q, Algorithm3, Algorithm4, LSelectionPlan,
+    DEFAULT_OUTCOME_BUDGET,
 };
 pub use simulate::{coincidence_rate, probe_programs, validate_operationally};
 pub use symmetry::{
-    can_break_symmetry, is_symmetric_class, orbit_labeling, theorem10_orbits_are_supersimilar,
-    theorem11_generator, theorem11_l_supersimilarity,
+    can_break_symmetry, is_symmetric_class, orbit_labeling, theorem10_exploration_certificate,
+    theorem10_orbits_are_supersimilar, theorem11_generator, theorem11_l_supersimilarity,
 };
 
 use simsym_graph::SystemGraph;

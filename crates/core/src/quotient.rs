@@ -9,8 +9,13 @@
 //! (`n-nbr` on labels, `neighborhood_size`) are the quotient's adjacency
 //! structure.
 
-use crate::{is_environment_consistent, InconsistentLabeling, Label, Labeling, Model};
+use crate::{
+    hopcroft_similarity, is_environment_consistent, InconsistentLabeling, Label, Labeling, Model,
+};
+use simsym_graph::automorphism::{automorphism_group, Automorphism};
 use simsym_graph::{ProcId, SystemGraph, VarId};
+use simsym_vm::reduce::{init_colors, SimilarityQuotient, GROUP_CAP};
+use simsym_vm::SystemInit;
 use std::collections::BTreeMap;
 
 /// The quotient of a system by a labeling.
@@ -86,6 +91,44 @@ pub fn quotient(
     })
 }
 
+/// The similarity group `Aut(N, state₀)`: every automorphism of the
+/// system graph that fixes the initial state, enumerated explicitly
+/// (falling back to the identity-only group past
+/// [`GROUP_CAP`]).
+///
+/// Each element is cross-checked against the Hopcroft similarity
+/// partition: automorphism orbits refine similarity (Theorem 10's
+/// supersimilarity direction), so a group element that moved a processor
+/// across label classes would witness a bug in either enumeration — the
+/// check is a hard assertion, not a filter, because dropping elements
+/// would break the group closure the quotient reducer's soundness rests
+/// on.
+pub fn similarity_group(graph: &SystemGraph, init: &SystemInit) -> Vec<Automorphism> {
+    let colors = init_colors(graph, init);
+    let group = match automorphism_group(graph, Some(&colors), GROUP_CAP) {
+        Some(group) => group,
+        None => vec![Automorphism::identity(graph)],
+    };
+    let theta = hopcroft_similarity(graph, init, Model::Q);
+    for a in &group {
+        for p in graph.processors() {
+            assert_eq!(
+                theta.proc_label(a.apply_proc(p)),
+                theta.proc_label(p),
+                "automorphism moved {p:?} across similarity classes"
+            );
+        }
+    }
+    group
+}
+
+/// The similarity-quotient reducer of `(graph, init)`: canonicalizes
+/// explorer states modulo [`similarity_group`], ready for
+/// [`simsym_vm::explore_with`].
+pub fn similarity_reducer(graph: &SystemGraph, init: &SystemInit) -> SimilarityQuotient {
+    SimilarityQuotient::from_automorphisms(graph, &similarity_group(graph, init))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +180,34 @@ mod tests {
         assert_eq!(q.graph.processor_count(), g.processor_count());
         assert_eq!(q.graph.variable_count(), g.variable_count());
         assert_eq!(q.graph.degree_sequence(), g.degree_sequence());
+    }
+
+    #[test]
+    fn similarity_group_of_uniform_ring_is_the_rotations() {
+        let g = topology::uniform_ring(6);
+        let init = SystemInit::uniform(&g);
+        let group = similarity_group(&g, &init);
+        assert_eq!(group.len(), 6);
+        let q = similarity_reducer(&g, &init);
+        assert_eq!(q.automorphism_count(), 6);
+    }
+
+    #[test]
+    fn similarity_group_respects_marked_init() {
+        let g = topology::uniform_ring(6);
+        let marked = SystemInit::with_marked(&g, &[simsym_graph::ProcId::new(0)]);
+        let group = similarity_group(&g, &marked);
+        assert_eq!(group.len(), 1, "a marked processor pins every rotation");
+        assert!(group[0].is_identity());
+    }
+
+    #[test]
+    fn similarity_group_on_asymmetric_system_is_trivial() {
+        let g = topology::figure2();
+        let init = SystemInit::uniform(&g);
+        // figure2's only nontrivial symmetry swaps p1 and p2.
+        let group = similarity_group(&g, &init);
+        assert_eq!(group.len(), 2);
     }
 
     #[test]

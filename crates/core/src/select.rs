@@ -35,10 +35,14 @@ use crate::distributed::{
     Alg2Tables, LabelLearner,
 };
 use crate::family::elite_from_member_labels;
+use crate::quotient::similarity_reducer;
 use crate::relabel::{lstar_outcomes, outcome_init, relabel_outcomes};
 use crate::{hopcroft_similarity, Family, InconsistentLabeling, Label, Model};
 use simsym_graph::SystemGraph;
-use simsym_vm::{JournalSpec, LocalState, OpEnv, PeekView, Program, RegId, SystemInit, Value};
+use simsym_vm::{
+    explore_with, ExploreConfig, ExploreResult, InstructionSet, JournalSpec, LocalState, Machine,
+    OpEnv, PeekView, Program, RegId, SystemInit, Value,
+};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -65,6 +69,42 @@ pub fn selection_program_q(
     let designated = theta.proc_label(leader);
     let learner = LabelLearner::new(graph, init, &theta)?;
     Ok(Some(learner.with_elite(BTreeSet::from([designated]))))
+}
+
+/// Exhaustively explores Algorithm 2 on `(graph, init)` in **Q** under the
+/// similarity-quotient reduction, certifying its selection behavior up to
+/// the configured depth **modulo `Aut(N, state₀)`**:
+///
+/// * on a selectable system, the explored program is `SELECT(Σ)` and every
+///   reachable selected-set has at most one member (Uniqueness);
+/// * on a shadowed system ([`selection_program_q`] returns `None`), the
+///   bare learner is explored and no reachable state selects anyone —
+///   the dynamic face of Theorem 3.
+///
+/// The returned [`ExploreResult`]'s outcome set is closed over the
+/// similarity group, so it equals what an unreduced exploration would
+/// report; `truncated` downgrades the certificate to a lower bound.
+///
+/// # Errors
+///
+/// Propagates [`InconsistentLabeling`] from table generation (cannot
+/// happen for labelings produced by Algorithm 1).
+pub fn explore_selection_q(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    cfg: ExploreConfig,
+) -> Result<ExploreResult, InconsistentLabeling> {
+    let program: Arc<dyn Program> = match selection_program_q(graph, init)? {
+        Some(select) => Arc::new(select),
+        None => {
+            let theta = hopcroft_similarity(graph, init, Model::Q);
+            Arc::new(LabelLearner::new(graph, init, &theta)?)
+        }
+    };
+    let machine = Machine::new(Arc::new(graph.clone()), InstructionSet::Q, program, init)
+        .expect("learner machine construction is infallible on its own graph");
+    let mut reducer = similarity_reducer(graph, init);
+    Ok(explore_with(&machine, cfg, &mut reducer))
 }
 
 /// The two-phase family learner/selector of §5.
@@ -765,6 +805,46 @@ mod tests {
         UniquenessMonitor,
     };
 
+    #[test]
+    fn explore_selection_q_certifies_shadowed_ring() {
+        // Uniform ring: no selection algorithm exists; the learner must
+        // never select anywhere in the (quotiented) reachable space.
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::uniform(&g);
+        let cfg = ExploreConfig {
+            max_depth: 12,
+            max_states: 50_000,
+            threads: 1,
+        };
+        let result = explore_selection_q(&g, &init, cfg).unwrap();
+        assert!(result.outcomes.iter().all(|sel| sel.is_empty()));
+        assert!(!result.has_double_selection());
+        assert_eq!(result.group_order, 3);
+        assert!(result.violation_kinds.is_empty());
+    }
+
+    #[test]
+    fn explore_selection_q_certifies_unique_selection_on_marked_ring() {
+        // Marking one processor makes selection possible; the explored
+        // program is SELECT(Σ) and every reachable selected-set has at
+        // most one member.
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        let cfg = ExploreConfig {
+            max_depth: 16,
+            max_states: 100_000,
+            threads: 1,
+        };
+        let result = explore_selection_q(&g, &init, cfg).unwrap();
+        assert!(!result.has_double_selection());
+        assert!(
+            result.outcomes.iter().any(|sel| sel.len() == 1),
+            "SELECT must reach a selecting state: {:?}",
+            result.outcomes
+        );
+        assert_eq!(result.group_order, 1, "marked ring is rigid");
+    }
+
     fn selection_outcome(
         graph: &SystemGraph,
         isa: InstructionSet,
@@ -1048,7 +1128,7 @@ mod tests {
         let t = m0.steps();
         // Faulted run with the same schedule: crash the winner *after* the
         // decision committed, then reboot it from the journal.
-        let m = Machine::new(Arc::new(g.clone()), InstructionSet::Q, prog, &init).expect("machine");
+        let m = Machine::new(Arc::new(g), InstructionSet::Q, prog, &init).expect("machine");
         let plan = FaultPlan::crashes(vec![CrashFault {
             proc: winner,
             at_step: t + 4,
@@ -1104,7 +1184,7 @@ mod tests {
         let winner = *m0.selected().first().expect("someone selected");
         let t = m0.steps();
         // Same seed: the faulted schedule is identical up to the crash.
-        let m = Machine::new(Arc::new(g.clone()), InstructionSet::L, prog, &init).expect("machine");
+        let m = Machine::new(Arc::new(g), InstructionSet::L, prog, &init).expect("machine");
         let plan = FaultPlan::crashes(vec![CrashFault {
             proc: winner,
             at_step: t + 2,

@@ -66,6 +66,43 @@ pub fn theorem10_orbits_are_supersimilar(graph: &SystemGraph, init: &SystemInit)
     orbits
 }
 
+/// The dynamic face of Theorem 10, checked by exhaustive exploration: on
+/// a system whose processors are all symmetric (a single orbit), runs
+/// Algorithm 2 through the reduction-aware explorer — states canonicalized
+/// modulo `Aut(N, state₀)` — and asserts that **no reachable state selects
+/// any processor** up to the configured depth. Symmetric processors are
+/// similar (Theorem 10), similar processors cannot be separated
+/// (Theorem 2), so a selection reached within the budget would contradict
+/// the theory. Returns the exploration result, whose `group_order` and
+/// `truncated` fields phrase the certificate: "no selection up to depth
+/// `d`, modulo `|Aut(N)|` symmetries" (a lower bound when truncated).
+///
+/// # Panics
+///
+/// Panics if the system is *not* fully symmetric (the certificate is
+/// about symmetric systems), or if a selection is reached — either would
+/// indicate a bug in the learner, the reducer, or the theory's
+/// implementation.
+pub fn theorem10_exploration_certificate(
+    graph: &SystemGraph,
+    init: &SystemInit,
+    cfg: simsym_vm::ExploreConfig,
+) -> simsym_vm::ExploreResult {
+    let orbits = orbit_labeling(graph, init);
+    assert!(
+        !orbits.has_uniquely_labeled_processor() || graph.processor_count() == 1,
+        "theorem10_exploration_certificate expects a fully symmetric system"
+    );
+    let result = crate::select::explore_selection_q(graph, init, cfg)
+        .expect("Algorithm 1 labelings always generate tables");
+    assert!(
+        result.outcomes.iter().all(|sel| sel.is_empty()),
+        "Theorem 10/2 violated: the learner selected {:?} on a symmetric system",
+        result.outcomes
+    );
+    result
+}
+
 /// Whether all processors in `class` are symmetric to each other
 /// (pairwise related by initial-state-preserving automorphisms).
 pub fn is_symmetric_class(graph: &SystemGraph, init: &SystemInit, class: &[ProcId]) -> bool {
@@ -302,6 +339,36 @@ mod tests {
         let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
         let orbits = orbit_labeling(&g, &init);
         assert!(orbits.has_uniquely_labeled_processor());
+    }
+
+    #[test]
+    fn theorem10_certificate_on_a_small_ring() {
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::uniform(&g);
+        let cfg = simsym_vm::ExploreConfig {
+            max_depth: 12,
+            max_states: 50_000,
+            threads: 1,
+        };
+        let result = theorem10_exploration_certificate(&g, &init, cfg);
+        // Nobody selects, the whole rotation group was quotiented out.
+        assert_eq!(result.outcomes.len(), 1);
+        assert!(result.outcomes.contains(&Vec::new()));
+        assert_eq!(result.group_order, 3);
+        assert!(result.states_visited > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully symmetric")]
+    fn theorem10_certificate_rejects_asymmetric_systems() {
+        let g = topology::uniform_ring(3);
+        let init = SystemInit::with_marked(&g, &[ProcId::new(0)]);
+        let cfg = simsym_vm::ExploreConfig {
+            max_depth: 4,
+            max_states: 1_000,
+            threads: 1,
+        };
+        theorem10_exploration_certificate(&g, &init, cfg);
     }
 
     #[test]

@@ -86,6 +86,18 @@ impl Automorphism {
         }
         k
     }
+
+    /// The underlying permutation over the linear node index space
+    /// (processors first, then variables): `node_map()[i]` is the image of
+    /// linear node `i`. State-space reducers consume this directly.
+    pub fn node_map(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// Number of processor nodes (the prefix of the linear index space).
+    pub fn processor_count(&self) -> usize {
+        self.proc_count
+    }
 }
 
 /// Stable coloring of the nodes by iterated refinement (1-WL on the labeled
@@ -291,6 +303,49 @@ pub fn enumerate_automorphisms(g: &SystemGraph, limit: usize) -> Vec<Automorphis
     found
 }
 
+/// Enumerates the **complete** automorphism group of `g`, optionally
+/// restricted to automorphisms preserving the given initial node colors —
+/// the group `Aut(N)` (or `Aut(N, state₀)`) that symmetry reduction
+/// quotients the reachable state space by.
+///
+/// Unlike [`enumerate_automorphisms`], which greedily finds *one*
+/// automorphism per image of node 0, this walks the whole backtracking
+/// tree and returns every name-preserving bijection. The result always
+/// contains the identity, is sorted by permutation for determinism, and —
+/// being the full group — is closed under composition and inverse, which
+/// is what makes min-over-group state canonicalization sound.
+///
+/// Returns `None` if more than `cap` automorphisms exist (a safety valve:
+/// callers fall back to no reduction rather than enumerating a huge
+/// group).
+pub fn automorphism_group(
+    g: &SystemGraph,
+    init: Option<&[u64]>,
+    cap: usize,
+) -> Option<Vec<Automorphism>> {
+    let colors = color_refinement(g, init);
+    let pc = g.processor_count();
+    let vc = g.variable_count();
+    if g.node_count() == 0 {
+        return Some(vec![Automorphism::identity(g)]);
+    }
+    let mut search = Search::new(g, &colors);
+    let mut maps: Vec<Vec<usize>> = Vec::new();
+    if !search.solve_all(&mut maps, cap) {
+        return None;
+    }
+    maps.sort_unstable();
+    Some(
+        maps.into_iter()
+            .map(|map| Automorphism {
+                proc_count: pc,
+                var_count: vc,
+                map,
+            })
+            .collect(),
+    )
+}
+
 /// Propagating backtracking search for a single automorphism.
 struct Search<'g> {
     g: &'g SystemGraph,
@@ -445,6 +500,25 @@ impl<'g> Search<'g> {
             self.rewind(checkpoint);
         }
         false
+    }
+
+    /// Walks the whole branch tree, collecting **every** complete
+    /// assignment (the full automorphism group under the current color
+    /// constraints). Returns `false` as soon as more than `cap` solutions
+    /// have been collected.
+    fn solve_all(&mut self, out: &mut Vec<Vec<usize>>, cap: usize) -> bool {
+        let Some(i) = self.pick_branch() else {
+            out.push(self.map.iter().map(|m| m.expect("complete")).collect());
+            return out.len() <= cap;
+        };
+        let checkpoint = self.trail.len();
+        for j in self.candidates(i) {
+            if self.assign(i, j) && !self.solve_all(out, cap) {
+                return false;
+            }
+            self.rewind(checkpoint);
+        }
+        true
     }
 
     fn rewind(&mut self, checkpoint: usize) {
@@ -660,5 +734,78 @@ mod tests {
     fn symmetric_is_reflexive() {
         let g = topology::figure1();
         assert!(are_symmetric(&g, proc(0), proc(0)));
+    }
+
+    #[test]
+    fn group_of_uniform_ring_is_the_rotations() {
+        // Left/right edge names rule out reflections, so Aut is the cyclic
+        // group of rotations: exactly n elements.
+        for n in [3, 4, 5, 6] {
+            let g = topology::uniform_ring(n);
+            let group = automorphism_group(&g, None, 64).expect("small group");
+            assert_eq!(group.len(), n, "ring {n}");
+            assert!(group.iter().any(Automorphism::is_identity));
+            // Closed under composition.
+            for a in &group {
+                for b in &group {
+                    assert!(group.contains(&a.compose(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_of_marked_ring_is_trivial() {
+        let g = topology::marked_ring(5);
+        let group = automorphism_group(&g, None, 64).expect("small group");
+        assert_eq!(group.len(), 1);
+        assert!(group[0].is_identity());
+    }
+
+    #[test]
+    fn group_respects_init_colors() {
+        let g = topology::uniform_ring(4);
+        let mut init = vec![0u64; g.node_count()];
+        init[0] = 1; // mark p0: no nontrivial rotation survives
+        let group = automorphism_group(&g, Some(&init), 64).expect("small group");
+        assert_eq!(group.len(), 1);
+        let free = automorphism_group(&g, None, 64).expect("small group");
+        assert_eq!(free.len(), 4);
+    }
+
+    #[test]
+    fn group_cap_is_a_safety_valve() {
+        let g = topology::uniform_ring(6);
+        assert!(automorphism_group(&g, None, 3).is_none());
+        assert_eq!(automorphism_group(&g, None, 6).map(|g| g.len()), Some(6));
+    }
+
+    #[test]
+    fn group_node_map_accessor_matches_apply() {
+        let g = topology::uniform_ring(4);
+        let group = automorphism_group(&g, None, 64).expect("small group");
+        for a in &group {
+            assert_eq!(a.processor_count(), 4);
+            for p in g.processors() {
+                assert_eq!(a.node_map()[p.index()], a.apply_proc(p).index());
+            }
+            for v in g.variables() {
+                assert_eq!(a.node_map()[4 + v.index()], 4 + a.apply_var(v).index(),);
+            }
+        }
+    }
+
+    #[test]
+    fn alternating_group_contains_reflections() {
+        // Fig. 5: orientation alternation makes rotations by odd offsets
+        // impossible but keeps a transitive group (rotations by 2 plus
+        // reflections) — all philosophers stay in one orbit.
+        let g = topology::philosophers_alternating(6);
+        let group = automorphism_group(&g, None, 64).expect("small group");
+        assert!(group.len() >= 6, "found {}", group.len());
+        let images: Vec<usize> = group.iter().map(|a| a.node_map()[0]).collect();
+        for i in 0..6 {
+            assert!(images.contains(&i), "p0 must reach p{i}");
+        }
     }
 }

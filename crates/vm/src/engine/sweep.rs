@@ -223,10 +223,22 @@ where
         .iter()
         .flat_map(|&kind| config.seeds.iter().map(move |&seed| (kind, seed)))
         .collect();
+    run_jobs(config.threads, &jobs, |&(kind, seed)| job(kind, seed))
+}
 
-    let run_job = |&(kind, seed): &(SweepScheduler, u64)| -> R { job(kind, seed) };
+/// Runs `job` over an arbitrary job list on scoped threads, returning the
+/// results in **input order** regardless of `threads`. [`sweep_jobs`] is
+/// the `(kind, seed)` instantiation; the CLI's `verify` fan-out uses it
+/// directly with reduction-mode jobs.
+pub fn run_jobs<T, R, J>(threads: usize, jobs: &[T], job: J) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    J: Fn(&T) -> R + Sync,
+{
+    let run_job = |item: &T| -> R { job(item) };
 
-    let threads = config.threads.max(1).min(jobs.len().max(1));
+    let threads = threads.max(1).min(jobs.len().max(1));
     let outcomes = if threads <= 1 {
         jobs.iter().map(run_job).collect()
     } else {
@@ -368,6 +380,18 @@ mod tests {
             let sched = family.scheduler::<Machine>(4, 0);
             assert_eq!(sched.kind(), family.kind(4), "{family}");
         }
+    }
+
+    #[test]
+    fn run_jobs_preserves_input_order_across_thread_counts() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let serial = run_jobs(1, &jobs, |&x| x * x);
+        let parallel = run_jobs(4, &jobs, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, jobs.iter().map(|&x| x * x).collect::<Vec<_>>());
+        // More threads than jobs degrades gracefully.
+        assert_eq!(run_jobs(16, &jobs[..3], |&x| x + 1), vec![1, 2, 3]);
+        assert_eq!(run_jobs(4, &[] as &[u64], |&x| x), Vec::<u64>::new());
     }
 
     /// Regression: round-robin runs used to be recorded as `n`-bounded

@@ -12,10 +12,30 @@
 //!   explicit double-selection schedule exactly as the proof does.
 //! * Candidate algorithms can be exhaustively certified over bounded
 //!   horizons (`explore` reports every distinct selected-set ever reached).
+//!
+//! The traversal is one generic core, [`Explorer`], parameterized three
+//! ways:
+//!
+//! * **state keys** — either 128-bit fingerprints or full
+//!   [`Machine::canonical_state`] snapshots (the reference oracle);
+//! * **branching** — undo-based ([`Machine::step_undoable`] +
+//!   [`Machine::undo`], no clone per branch) or clone-per-branch (the
+//!   reference);
+//! * **reduction** — a [`Reducer`] supplies the canonicalization
+//!   (similarity-quotient collapses `Aut(N, state₀)`-orbits) and, for
+//!   partial-order reduction, ample subsets of the enabled steps.
+//!
+//! [`explore`] is the historical entry point (identity reduction, parallel
+//! first-level fanout); [`explore_with`] runs any reducer sequentially;
+//! [`explore_reference`] is the clone-per-branch oracle the others are
+//! property-tested against.
 
+use crate::reduce::{Identity, ProbedStep, Reducer, VisitedSet};
 use crate::{LocalState, Machine, SharedVar};
 use simsym_graph::ProcId;
 use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::marker::PhantomData;
 
 /// Limits for [`explore`].
 #[derive(Clone, Copy, Debug)]
@@ -40,19 +60,49 @@ impl Default for ExploreConfig {
 }
 
 /// The result of an exhaustive exploration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ExploreResult {
     /// Every distinct set of selected processors observed in any reachable
-    /// state (sorted vectors).
+    /// state (sorted vectors). Under a symmetry-quotient reduction the set
+    /// is closed over the automorphism group, so it equals the unreduced
+    /// outcome set.
     pub outcomes: BTreeSet<Vec<ProcId>>,
-    /// Number of distinct states visited.
+    /// Number of distinct (canonical) states visited.
     pub states_visited: usize,
+    /// Number of state arrivals, *including* ones deduplicated against the
+    /// visited store. `states_seen / states_visited` measures how much
+    /// re-convergence the dedup absorbed.
+    pub states_seen: usize,
     /// Whether limits truncated the search (results are then a lower
     /// bound, not a certificate).
     pub truncated: bool,
     /// A schedule reaching a state with more than one selected processor,
     /// if one was found.
     pub uniqueness_violation: Option<Vec<ProcId>>,
+    /// Machine-model violations observed on any explored step
+    /// ([`crate::ModelViolation::kind_name`] labels).
+    pub violation_kinds: BTreeSet<&'static str>,
+    /// Peak bytes held by the visited store (canonical keys only).
+    pub peak_visited_bytes: usize,
+    /// `|Aut(N, state₀)|` quotiented by the reducer (1 when unreduced), so
+    /// reports can phrase the certificate as "up to depth d modulo
+    /// Aut(N)".
+    pub group_order: usize,
+}
+
+impl Default for ExploreResult {
+    fn default() -> Self {
+        ExploreResult {
+            outcomes: BTreeSet::new(),
+            states_visited: 0,
+            states_seen: 0,
+            truncated: false,
+            uniqueness_violation: None,
+            violation_kinds: BTreeSet::new(),
+            peak_visited_bytes: 0,
+            group_order: 1,
+        }
+    }
 }
 
 impl ExploreResult {
@@ -64,14 +114,201 @@ impl ExploreResult {
     fn merge(&mut self, other: ExploreResult) {
         self.outcomes.extend(other.outcomes);
         self.states_visited += other.states_visited;
+        self.states_seen += other.states_seen;
         self.truncated |= other.truncated;
         if self.uniqueness_violation.is_none() {
             self.uniqueness_violation = other.uniqueness_violation;
         }
+        self.violation_kinds.extend(other.violation_kinds);
+        self.peak_visited_bytes += other.peak_visited_bytes;
+        self.group_order = self.group_order.max(other.group_order);
     }
 }
 
 type CanonState = (Vec<LocalState>, Vec<SharedVar>);
+
+/// A dedup key for visited states.
+trait StateKey: Eq + Hash + Clone {
+    fn of<R: Reducer + ?Sized>(m: &Machine, reducer: &mut R) -> Self;
+}
+
+impl StateKey for (u64, u64) {
+    fn of<R: Reducer + ?Sized>(m: &Machine, reducer: &mut R) -> Self {
+        reducer.canonical_fingerprint(m)
+    }
+}
+
+impl StateKey for CanonState {
+    fn of<R: Reducer + ?Sized>(m: &Machine, _reducer: &mut R) -> Self {
+        m.canonical_state()
+    }
+}
+
+/// How to take (and take back) one branch of the schedule tree.
+trait Stepper {
+    fn branch<T>(m: &mut Machine, p: ProcId, f: impl FnOnce(&mut Machine) -> T) -> T;
+}
+
+/// Apply one step with [`Machine::step_undoable`], run the continuation,
+/// reverse the delta — no clone per branch.
+struct UndoStepper;
+
+impl Stepper for UndoStepper {
+    fn branch<T>(m: &mut Machine, p: ProcId, f: impl FnOnce(&mut Machine) -> T) -> T {
+        let undo = m.step_undoable(p);
+        let out = f(m);
+        m.undo(undo);
+        out
+    }
+}
+
+/// Clone the whole machine per branch — the reference bookkeeping.
+struct CloneStepper;
+
+impl Stepper for CloneStepper {
+    fn branch<T>(m: &mut Machine, p: ProcId, f: impl FnOnce(&mut Machine) -> T) -> T {
+        let mut next = m.clone();
+        next.step(p);
+        f(&mut next)
+    }
+}
+
+/// The one DFS all exploration entry points share. `K` picks the dedup
+/// key, `S` the branching discipline, `R` the reduction.
+struct Explorer<'a, K: StateKey, S: Stepper, R: Reducer + ?Sized> {
+    procs: &'a [ProcId],
+    cfg: ExploreConfig,
+    reducer: &'a mut R,
+    seen: VisitedSet<K>,
+    /// Canonical keys on the current DFS path — the ingredient of the POR
+    /// cycle proviso.
+    on_stack: HashSet<K>,
+    schedule: Vec<ProcId>,
+    result: ExploreResult,
+    _stepper: PhantomData<S>,
+}
+
+fn record_outcome<R: Reducer + ?Sized>(
+    machine: &Machine,
+    reducer: &R,
+    result: &mut ExploreResult,
+    schedule: &[ProcId],
+) {
+    let selected = machine.selected();
+    if selected.len() > 1 && result.uniqueness_violation.is_none() {
+        result.uniqueness_violation = Some(schedule.to_vec());
+    }
+    reducer.expand_outcome(&selected, &mut result.outcomes);
+}
+
+impl<'a, K: StateKey, S: Stepper, R: Reducer + ?Sized> Explorer<'a, K, S, R> {
+    fn new(procs: &'a [ProcId], cfg: ExploreConfig, reducer: &'a mut R) -> Self {
+        Explorer {
+            procs,
+            cfg,
+            reducer,
+            seen: VisitedSet::new(),
+            on_stack: HashSet::new(),
+            schedule: Vec::new(),
+            result: ExploreResult::default(),
+            _stepper: PhantomData,
+        }
+    }
+
+    fn dfs(&mut self, m: &mut Machine, key: K, depth: usize) {
+        self.result.states_seen += 1;
+        if !self.seen.insert(key.clone()) {
+            return;
+        }
+        self.result.states_visited += 1;
+        if self.result.states_visited > self.cfg.max_states {
+            self.result.truncated = true;
+            return;
+        }
+        record_outcome(m, &*self.reducer, &mut self.result, &self.schedule);
+        if depth >= self.cfg.max_depth {
+            self.result.truncated = true;
+            return;
+        }
+        self.on_stack.insert(key.clone());
+        if self.reducer.uses_por() {
+            self.expand_por(m, &key, depth);
+        } else {
+            for i in 0..self.procs.len() {
+                self.branch_into(m, self.procs[i], &key, depth);
+            }
+        }
+        self.on_stack.remove(&key);
+    }
+
+    /// Takes the branch stepping `p`, recursing unless the step is a
+    /// (canonical) no-op self-loop — halted processors are skipped to keep
+    /// the frontier small; the state dedup would catch them anyway.
+    fn branch_into(&mut self, m: &mut Machine, p: ProcId, parent: &K, depth: usize) {
+        let this = &mut *self;
+        S::branch(m, p, |child| {
+            this.note_violations(child);
+            let key = K::of(child, this.reducer);
+            if key == *parent {
+                return;
+            }
+            this.schedule.push(p);
+            this.dfs(child, key, depth + 1);
+            this.schedule.pop();
+        });
+    }
+
+    /// Partial-order-reduced expansion: probe every processor's next step
+    /// once, ask the reducer for an ample subset, expand only that (or
+    /// every enabled step if no valid ample set exists).
+    fn expand_por(&mut self, m: &mut Machine, key: &K, depth: usize) {
+        let mut probes: Vec<ProbedStep> = Vec::with_capacity(self.procs.len());
+        for &p in self.procs {
+            let was_selected = m.local(p).selected;
+            let this = &mut *self;
+            let probe = S::branch(m, p, |child| {
+                this.note_violations(child);
+                let child_key = K::of(child, this.reducer);
+                let record = child.last_record();
+                ProbedStep {
+                    proc: p,
+                    changed: child_key != *key,
+                    visible: child.local(p).selected != was_selected
+                        || record.is_some_and(|r| !r.violations.is_empty()),
+                    targets: record.map(|r| r.targets.clone()).unwrap_or_default(),
+                    succ_on_stack: this.on_stack.contains(&child_key),
+                }
+            });
+            probes.push(probe);
+        }
+        let chosen: Vec<ProcId> = match self.reducer.ample(&probes) {
+            Some(ample) => ample.iter().map(|&i| probes[i].proc).collect(),
+            None => probes
+                .iter()
+                .filter(|pr| pr.changed)
+                .map(|pr| pr.proc)
+                .collect(),
+        };
+        for p in chosen {
+            self.branch_into(m, p, key, depth);
+        }
+    }
+
+    fn note_violations(&mut self, child: &Machine) {
+        if let Some(record) = child.last_record() {
+            for v in &record.violations {
+                self.result.violation_kinds.insert(v.kind_name());
+            }
+        }
+    }
+
+    fn finish(self) -> ExploreResult {
+        let mut result = self.result;
+        result.peak_visited_bytes = self.seen.peak_bytes();
+        result.group_order = self.reducer.group_order();
+        result
+    }
+}
 
 /// Explores all schedules of `machine` up to the configured depth,
 /// deduplicating global states.
@@ -91,20 +328,7 @@ type CanonState = (Vec<LocalState>, Vec<SharedVar>);
 pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
     let procs: Vec<ProcId> = machine.graph().processors().collect();
     if cfg.threads <= 1 || procs.len() <= 1 {
-        let mut m = machine.clone();
-        m.enable_incremental_fingerprint();
-        let mut seen = HashSet::new();
-        let mut result = ExploreResult::default();
-        dfs(
-            &mut m,
-            &procs,
-            cfg,
-            0,
-            &mut Vec::new(),
-            &mut seen,
-            &mut result,
-        );
-        return result;
+        return explore_with(machine, cfg, &mut Identity);
     }
     // Parallel: split on the first step — the fanout frontier, and the one
     // place a whole-machine clone is still taken. Each worker explores the
@@ -112,9 +336,10 @@ pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
     // the machine without Arc plumbing.
     let mut result = ExploreResult {
         states_visited: 1, // the root state itself
+        states_seen: 1,
         ..Default::default()
     };
-    record_outcome(machine, &mut result, &[]);
+    record_outcome(machine, &Identity, &mut result, &[]);
     let sub: Vec<ExploreResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = procs
             .iter()
@@ -124,10 +349,14 @@ pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
                     let mut m = machine.clone();
                     m.enable_incremental_fingerprint();
                     m.step(p);
-                    let mut seen = HashSet::new();
-                    let mut res = ExploreResult::default();
-                    dfs(&mut m, procs, cfg, 1, &mut vec![p], &mut seen, &mut res);
-                    res
+                    let mut reducer = Identity;
+                    let mut ex: Explorer<'_, (u64, u64), UndoStepper, Identity> =
+                        Explorer::new(procs, cfg, &mut reducer);
+                    ex.note_violations(&m);
+                    ex.schedule.push(p);
+                    let key = <(u64, u64)>::of(&m, ex.reducer);
+                    ex.dfs(&mut m, key, 1);
+                    ex.finish()
                 })
             })
             .collect();
@@ -142,105 +371,41 @@ pub fn explore(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
     result
 }
 
+/// Explores all schedules of `machine` under a pluggable [`Reducer`] —
+/// identity, similarity-quotient, partial-order, or their composition.
+/// Sequential; the undo-based traversal and visited store are shared with
+/// [`explore`].
+///
+/// # Panics
+///
+/// Panics if the machine was built with randomness (see [`explore`]).
+pub fn explore_with<R: Reducer + ?Sized>(
+    machine: &Machine,
+    cfg: ExploreConfig,
+    reducer: &mut R,
+) -> ExploreResult {
+    let procs: Vec<ProcId> = machine.graph().processors().collect();
+    let mut m = machine.clone();
+    m.enable_incremental_fingerprint();
+    let mut ex: Explorer<'_, (u64, u64), UndoStepper, R> = Explorer::new(&procs, cfg, reducer);
+    let key = <(u64, u64)>::of(&m, ex.reducer);
+    ex.dfs(&mut m, key, 0);
+    ex.finish()
+}
+
 /// The original clone-per-branch exploration, kept as the reference
 /// implementation the undo-based [`explore`] is tested against. Visits the
-/// same states in the same order; only the bookkeeping differs.
+/// same states in the same order; only the bookkeeping differs (full
+/// canonical-state snapshots as dedup keys, a clone per branch).
 pub fn explore_reference(machine: &Machine, cfg: ExploreConfig) -> ExploreResult {
     let procs: Vec<ProcId> = machine.graph().processors().collect();
-    let mut seen = HashSet::new();
-    let mut result = ExploreResult::default();
-    dfs_reference(
-        machine,
-        &procs,
-        cfg,
-        0,
-        &mut Vec::new(),
-        &mut seen,
-        &mut result,
-    );
-    result
-}
-
-fn record_outcome(machine: &Machine, result: &mut ExploreResult, schedule: &[ProcId]) {
-    let selected = machine.selected();
-    if selected.len() > 1 && result.uniqueness_violation.is_none() {
-        result.uniqueness_violation = Some(schedule.to_vec());
-    }
-    result.outcomes.insert(selected);
-}
-
-fn dfs(
-    machine: &mut Machine,
-    procs: &[ProcId],
-    cfg: ExploreConfig,
-    depth: usize,
-    schedule: &mut Vec<ProcId>,
-    seen: &mut HashSet<(u64, u64)>,
-    result: &mut ExploreResult,
-) {
-    let fp = machine
-        .incremental_fingerprint()
-        .expect("explore enables the incremental fingerprint");
-    if !seen.insert(fp) {
-        return;
-    }
-    result.states_visited += 1;
-    if result.states_visited > cfg.max_states {
-        result.truncated = true;
-        return;
-    }
-    record_outcome(machine, result, schedule);
-    if depth >= cfg.max_depth {
-        result.truncated = true;
-        return;
-    }
-    for &p in procs {
-        let undo = machine.step_undoable(p);
-        // Skip no-op self-loops (halted processors) to keep the frontier
-        // small; the state dedup would catch them anyway.
-        if machine.incremental_fingerprint() == Some(fp) {
-            machine.undo(undo);
-            continue;
-        }
-        schedule.push(p);
-        dfs(machine, procs, cfg, depth + 1, schedule, seen, result);
-        schedule.pop();
-        machine.undo(undo);
-    }
-}
-
-fn dfs_reference(
-    machine: &Machine,
-    procs: &[ProcId],
-    cfg: ExploreConfig,
-    depth: usize,
-    schedule: &mut Vec<ProcId>,
-    seen: &mut HashSet<CanonState>,
-    result: &mut ExploreResult,
-) {
-    if !seen.insert(machine.canonical_state()) {
-        return;
-    }
-    result.states_visited += 1;
-    if result.states_visited > cfg.max_states {
-        result.truncated = true;
-        return;
-    }
-    record_outcome(machine, result, schedule);
-    if depth >= cfg.max_depth {
-        result.truncated = true;
-        return;
-    }
-    for &p in procs {
-        let mut next = machine.clone();
-        next.step(p);
-        if next.canonical_state() == machine.canonical_state() {
-            continue;
-        }
-        schedule.push(p);
-        dfs_reference(&next, procs, cfg, depth + 1, schedule, seen, result);
-        schedule.pop();
-    }
+    let mut reducer = Identity;
+    let mut ex: Explorer<'_, CanonState, CloneStepper, Identity> =
+        Explorer::new(&procs, cfg, &mut reducer);
+    let mut m = machine.clone();
+    let key = CanonState::of(&m, ex.reducer);
+    ex.dfs(&mut m, key, 0);
+    ex.finish()
 }
 
 /// Whether no processor can change the global state — a deadlock (or
@@ -393,6 +558,7 @@ fn try_double_selection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reduce::{Por, SimilarityQuotient};
     use crate::{FnProgram, InstructionSet, SystemInit, Value};
     use simsym_graph::topology;
     use std::sync::Arc;
@@ -460,6 +626,10 @@ mod tests {
         assert_eq!(res.states_visited, 9);
         assert_eq!(res.outcomes.len(), 1); // nobody ever selects
         assert!(!res.has_double_selection());
+        assert!(res.states_seen >= res.states_visited);
+        assert!(res.peak_visited_bytes > 0);
+        assert_eq!(res.group_order, 1);
+        assert!(res.violation_kinds.is_empty());
     }
 
     #[test]
@@ -497,6 +667,92 @@ mod tests {
             },
         );
         assert!(res.truncated);
+    }
+
+    #[test]
+    fn reference_explorer_agrees_with_undo_explorer() {
+        let m = figure1_machine(naive_grab());
+        let undo = explore(&m, ExploreConfig::default());
+        let reference = explore_reference(&m, ExploreConfig::default());
+        assert_eq!(undo.outcomes, reference.outcomes);
+        assert_eq!(undo.states_visited, reference.states_visited);
+        assert_eq!(
+            undo.has_double_selection(),
+            reference.has_double_selection()
+        );
+    }
+
+    fn ring_machine(n: usize) -> Machine {
+        let g = Arc::new(topology::uniform_ring(n));
+        let prog = Arc::new(FnProgram::new("wave", |local, ops| {
+            if local.pc == 0 {
+                let left = ops.name("left");
+                ops.post(left, Value::from(1));
+                local.pc = 1;
+            }
+        }));
+        let init = SystemInit::uniform(&g);
+        Machine::new(g, InstructionSet::Q, prog, &init).unwrap()
+    }
+
+    #[test]
+    fn quotient_exploration_matches_identity_outcomes_and_shrinks_states() {
+        let m = ring_machine(5);
+        let base = explore(&m, ExploreConfig::default());
+        let mut q = SimilarityQuotient::new(m.graph(), &SystemInit::uniform(m.graph()));
+        let reduced = explore_with(&m, ExploreConfig::default(), &mut q);
+        assert_eq!(reduced.outcomes, base.outcomes);
+        assert_eq!(reduced.group_order, 5);
+        assert!(
+            reduced.states_visited < base.states_visited,
+            "quotient {} vs identity {}",
+            reduced.states_visited,
+            base.states_visited
+        );
+        assert!(!reduced.truncated);
+    }
+
+    #[test]
+    fn por_exploration_matches_identity_outcomes() {
+        let m = ring_machine(4);
+        let base = explore(&m, ExploreConfig::default());
+        let mut por = Por::new(m.graph());
+        let reduced = explore_with(&m, ExploreConfig::default(), &mut por);
+        assert_eq!(reduced.outcomes, base.outcomes);
+        assert!(
+            reduced.states_visited <= base.states_visited,
+            "por must never expand the state count"
+        );
+        assert!(!reduced.truncated);
+    }
+
+    #[test]
+    fn boxed_reducer_composes_quotient_and_por() {
+        let m = ring_machine(4);
+        let base = explore(&m, ExploreConfig::default());
+        let inner = SimilarityQuotient::new(m.graph(), &SystemInit::uniform(m.graph()));
+        let mut both: Box<dyn Reducer> = Box::new(Por::over(m.graph(), inner));
+        let reduced = explore_with(&m, ExploreConfig::default(), &mut both);
+        assert_eq!(reduced.outcomes, base.outcomes);
+        assert_eq!(reduced.group_order, 4);
+        assert!(reduced.states_visited <= base.states_visited);
+    }
+
+    #[test]
+    fn explore_surfaces_model_violation_kinds() {
+        // A program that performs two shared ops in one step: the machine
+        // refuses the second and records a violation the explorer surfaces.
+        let prog: Arc<dyn crate::Program> = Arc::new(FnProgram::new("greedy", |local, ops| {
+            if local.pc == 0 {
+                let n = ops.name("n");
+                ops.write(n, Value::from(1));
+                ops.write(n, Value::from(2));
+                local.pc = 1;
+            }
+        }));
+        let m = figure1_machine(prog);
+        let res = explore(&m, ExploreConfig::default());
+        assert!(res.violation_kinds.contains("second-shared-op"));
     }
 
     #[test]

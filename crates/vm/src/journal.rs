@@ -395,7 +395,7 @@ mod tests {
         a.observe(0, &s, 0);
         assert_ne!(a.fingerprint(), b.fingerprint());
         // Pending vs durable is also distinguished.
-        let mut c = b.clone();
+        let mut c = b;
         c.append(
             0,
             JournalEntry {

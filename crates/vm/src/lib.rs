@@ -51,6 +51,7 @@ mod isa;
 pub mod journal;
 mod machine;
 mod program;
+pub mod reduce;
 pub mod repro;
 mod schedule;
 mod state;
@@ -73,7 +74,7 @@ pub use journal::{JournalEntry, JournalSpec, StableStore};
 pub use repro::{shrink_counterexample, ReproArtifact, ReproError, ShrinkStats, Shrunk};
 
 pub use explore::{
-    explore, explore_reference, find_double_selection, is_quiescent, DoubleSelection,
+    explore, explore_reference, explore_with, find_double_selection, is_quiescent, DoubleSelection,
     ExploreConfig, ExploreResult,
 };
 pub use isa::InstructionSet;
@@ -81,6 +82,7 @@ pub use machine::{
     Machine, MachineError, ModelViolation, OpEnv, OpKind, OpRecord, PeekView, StepOp, StepUndo,
 };
 pub use program::{FnProgram, IdleProgram, Program};
+pub use reduce::{Identity, Por, ProbedStep, Reducer, SimilarityQuotient, VisitedSet};
 pub use schedule::{
     Adversary, BoundedFairRandom, Excluding, FixedSequence, RandomFair, RoundRobin, ScheduleKind,
     Scheduler,

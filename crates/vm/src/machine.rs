@@ -169,6 +169,19 @@ pub enum ModelViolation {
     },
 }
 
+impl ModelViolation {
+    /// Stable short name of the violation class, independent of the
+    /// offending operands — what the explorer aggregates when comparing
+    /// reduced searches against the identity oracle.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ModelViolation::SecondSharedOp { .. } => "second-shared-op",
+            ModelViolation::OpNotInIsa { .. } => "op-not-in-isa",
+            ModelViolation::GarbledRegister { .. } => "garbled-register",
+        }
+    }
+}
+
 impl fmt::Display for ModelViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -424,6 +437,11 @@ impl Machine {
     /// The state of variable `v`.
     pub fn var(&self, v: VarId) -> &SharedVar {
         &self.vars[v.index()]
+    }
+
+    /// All shared-variable states, indexed by variable.
+    pub fn shared_vars(&self) -> &[SharedVar] {
+        &self.vars
     }
 
     /// Processors whose `selected` flag is set.

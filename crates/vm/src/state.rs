@@ -348,6 +348,54 @@ impl SharedVar {
         }
     }
 
+    /// Whether the variable's content hash depends on processor
+    /// identities: only a Q variable holding at least one subvalue does
+    /// (subvalues are keyed by owner). Plain variables and empty Q
+    /// variables hash the same under every processor permutation.
+    pub fn hash_depends_on_owners(&self) -> bool {
+        match self {
+            SharedVar::Plain { .. } => false,
+            SharedVar::Multi { subvalues, .. } => !subvalues.is_empty(),
+        }
+    }
+
+    /// A 64-bit content hash of the variable as it would read **after**
+    /// renaming every owning processor through `perm` (`perm[p]` = image
+    /// of processor `p`). For plain variables this is independent of
+    /// `perm`; for Q variables the owner keys are remapped and re-sorted,
+    /// which is exactly how an automorphism acts on a `Multi` state.
+    ///
+    /// The hash deliberately does **not** reproduce the variable's
+    /// `Hash` impl byte-for-byte — it only has to be deterministic and
+    /// permutation-equivariant: `v.permuted_content_hash(π)` equals the
+    /// plain content hash of `π · v`.
+    pub fn permuted_content_hash(&self, perm: &[usize]) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        let mut h = DefaultHasher::new();
+        match self {
+            SharedVar::Plain { value, locked } => {
+                0u8.hash(&mut h);
+                value.hash(&mut h);
+                locked.hash(&mut h);
+            }
+            SharedVar::Multi { base, subvalues } => {
+                1u8.hash(&mut h);
+                base.hash(&mut h);
+                let mut entries: Vec<(usize, &Value)> = subvalues
+                    .iter()
+                    .map(|(p, v)| (perm[p.index()], v))
+                    .collect();
+                entries.sort_unstable_by_key(|e| e.0);
+                h.write_usize(entries.len());
+                for (owner, value) in entries {
+                    owner.hash(&mut h);
+                    value.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// An *anonymized* snapshot of the variable state, for similarity
     /// checking: two Q variables with the same multiset of subvalues are in
     /// the same state even if the posting processors differ.
@@ -507,6 +555,37 @@ mod tests {
     #[test]
     fn plain_var_peek_is_empty() {
         assert!(SharedVar::plain(Value::from(1)).peek_all().is_empty());
+    }
+
+    #[test]
+    fn permuted_hash_is_equivariant_for_multi_vars() {
+        // v with subvalues {p0→2, p1→5}, permuted by the swap (0 1), must
+        // hash exactly like w with subvalues {p1→2, p0→5} unpermuted.
+        let mut v = SharedVar::multi(Value::Unit);
+        if let SharedVar::Multi { subvalues, .. } = &mut v {
+            subvalues.insert(ProcId::new(0), Value::from(2));
+            subvalues.insert(ProcId::new(1), Value::from(5));
+        }
+        let mut w = SharedVar::multi(Value::Unit);
+        if let SharedVar::Multi { subvalues, .. } = &mut w {
+            subvalues.insert(ProcId::new(1), Value::from(2));
+            subvalues.insert(ProcId::new(0), Value::from(5));
+        }
+        let id = [0usize, 1];
+        let swap = [1usize, 0];
+        assert!(v.hash_depends_on_owners());
+        assert_ne!(v.permuted_content_hash(&id), w.permuted_content_hash(&id));
+        assert_eq!(v.permuted_content_hash(&swap), w.permuted_content_hash(&id));
+        // Plain variables and empty Q variables are permutation-blind.
+        let p = SharedVar::plain(Value::from(3));
+        assert!(!p.hash_depends_on_owners());
+        assert_eq!(p.permuted_content_hash(&id), p.permuted_content_hash(&swap));
+        let empty = SharedVar::multi(Value::from(1));
+        assert!(!empty.hash_depends_on_owners());
+        assert_eq!(
+            empty.permuted_content_hash(&id),
+            empty.permuted_content_hash(&swap)
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! simsym lint table:5 --program fixed-order
 //! ```
 
+use simsym::check::explore_check::{check_exploration, diverged_diagnostics, Reduction};
 use simsym::check::{self, suite::lint_sweep, CheckReport, Diagnostic, FaultToleranceChecker};
 use simsym::core::{
     decide_selection_with_init, hopcroft_similarity, markdown_report, refinement_similarity,
@@ -23,12 +24,13 @@ use simsym::philo::{
     LockOrderPhilosopher, MealCounter,
 };
 use simsym::vm::engine::metrics::MetricsProbe;
-use simsym::vm::engine::sweep::{sweep_jobs, SweepConfig, SweepScheduler};
+use simsym::vm::engine::sweep::{run_jobs, sweep_jobs, SweepConfig, SweepScheduler};
 use simsym::vm::engine::trace::{replay, TraceRecorder};
 use simsym::vm::faults::{FaultEvent, FaultPlan, FaultSched, FaultView, Faulty, StarveAdversary};
 use simsym::vm::{
-    engine, run, run_until, shrink_counterexample, FixedSequence, InstructionSet, Machine, Program,
-    RandomFair, ReproArtifact, ReproError, RoundRobin, Scheduler, Shrunk, SystemInit, Value,
+    engine, run, run_until, shrink_counterexample, ExploreConfig, FixedSequence, InstructionSet,
+    Machine, Program, RandomFair, ReproArtifact, ReproError, RoundRobin, Scheduler, Shrunk,
+    SystemInit, Value,
 };
 use simsym_graph::ProcId;
 use std::process::ExitCode;
@@ -71,7 +73,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym analyze --trace FILE\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--json] [--dot]\n  simsym faults --family <ring|table|alternating> --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--journal] [--json]\n  simsym soak --family <ring|table|alternating> [--budget N] [--seed N]\n              [--steps N] [--procs N] [--journal] [--repro-out FILE] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical. With --journal\n(crash plan only) every processor — the leader included — crashes and\nreboots from a stable-storage journal, and the checker runs strict:\nany selection lost across a reboot is a DYN-RECOV-STAB error.\n\nsoak is the budgeted chaos loop: it fans randomized crash-reset plans\nacross schedules and seeds (strict checker) until the budget is spent\nor a violation is found. A violation is delta-debug shrunk — crash\nevents dropped, the schedule truncated and minimized, the processor\ncount reduced — while replaying to the identical verdict, and emitted\nas a replayable simsym-repro/v1 JSON artifact (--repro-out FILE).\nWithout --journal the selection decision lives in volatile memory and\nsoak finds the Stability violation by construction; with --journal the\nsame chaos stays clean. The exit code stays zero either way (the JSON\nreports \"violation_found\"); only replay divergence exits nonzero.\n\nanalyze --trace FILE replays a simsym-repro/v1 artifact verbatim (the\nschedule runs through a fixed-sequence scheduler) and exits nonzero if\nthe recorded verdict does not reproduce (SOAK-REPLAY-DIVERGED) or the\nembedded fault plan is ill-formed (SOAK-PLAN).\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family, naive-vs-hopcroft labeling time on marked rings,\nand the fault-layer and journal overhead rows.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace (with a system) runs the Q label learner under a seeded\nrandom-fair schedule and emits a replayable JSON schedule trace\n(verified by re-execution) on stdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy); --dot prints the\nlock-order graph in Graphviz syntax. Exits nonzero on error-severity\nfindings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym analyze --trace FILE\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--json] [--dot]\n  simsym verify --family <ring|table|alternating> [--procs N] [--program NAME]\n              [--reduce none|quotient|por|both] [--depth N] [--states N] [--json]\n  simsym faults --family <ring|table|alternating> --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--journal] [--json]\n  simsym soak --family <ring|table|alternating> [--budget N] [--seed N]\n              [--steps N] [--procs N] [--journal] [--repro-out FILE] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n\nverify explores the family's selection machine exhaustively (depth-\nand state-bounded DFS over undoable steps) under a pluggable\nstate-space reduction: quotient canonicalizes states modulo the\nautomorphism group Aut(N, state0), por prunes commuting interleavings\nwith persistent sets, both composes the two, none is the identity\noracle. The requested mode and the identity baseline run under the\nsame budgets and are cross-checked; the report carries canonical state\ncounts, peak visited-store bytes, and the reduction factor (x100 in\nJSON). A reachable double selection (DYN-EXPLORE-UNIQ), a surfaced\nmachine-model violation, or a reducer that diverges from the oracle\n(DYN-EXPLORE-DIVERGED) exits nonzero; an exhausted search is certified\nup to depth d modulo Aut(N) (DYN-EXPLORE-CERTIFIED). --program swaps\nthe generated selection program for a seeded-defect fixture (grab is\nthe naive grab-your-fork strawman that double-selects).\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical. With --journal\n(crash plan only) every processor — the leader included — crashes and\nreboots from a stable-storage journal, and the checker runs strict:\nany selection lost across a reboot is a DYN-RECOV-STAB error.\n\nsoak is the budgeted chaos loop: it fans randomized crash-reset plans\nacross schedules and seeds (strict checker) until the budget is spent\nor a violation is found. A violation is delta-debug shrunk — crash\nevents dropped, the schedule truncated and minimized, the processor\ncount reduced — while replaying to the identical verdict, and emitted\nas a replayable simsym-repro/v1 JSON artifact (--repro-out FILE).\nWithout --journal the selection decision lives in volatile memory and\nsoak finds the Stability violation by construction; with --journal the\nsame chaos stays clean. The exit code stays zero either way (the JSON\nreports \"violation_found\"); only replay divergence exits nonzero.\n\nanalyze --trace FILE replays a simsym-repro/v1 artifact verbatim (the\nschedule runs through a fixed-sequence scheduler) and exits nonzero if\nthe recorded verdict does not reproduce (SOAK-REPLAY-DIVERGED) or the\nembedded fault plan is ill-formed (SOAK-PLAN).\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family, naive-vs-hopcroft labeling time on marked rings,\nand the fault-layer and journal overhead rows.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace (with a system) runs the Q label learner under a seeded\nrandom-fair schedule and emits a replayable JSON schedule trace\n(verified by re-execution) on stdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy); --dot prints the\nlock-order graph in Graphviz syntax. Exits nonzero on error-severity\nfindings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
 }
 
 fn dispatch(args: &[String]) -> Result<CmdOut, String> {
@@ -109,6 +111,7 @@ fn dispatch(args: &[String]) -> Result<CmdOut, String> {
             ok(dot::to_dot(&graph, Some(theta.as_slice())))
         }
         Some("lint") => lint(&args[1..]),
+        Some("verify") => verify(&args[1..]),
         Some("faults") => faults(&args[1..]),
         Some("soak") => soak(&args[1..]),
         Some("bench") => bench(&args[1..]),
@@ -291,6 +294,281 @@ fn lint_render(
         text,
         failed: report.has_errors(),
     })
+}
+
+/// Options for `verify`.
+struct VerifyOpts {
+    family: String,
+    procs: Option<usize>,
+    program: Option<String>,
+    reduce: Reduction,
+    depth: usize,
+    states: usize,
+    json: bool,
+}
+
+fn extract_verify_flags(args: &[String]) -> Result<VerifyOpts, String> {
+    let mut family = None;
+    let mut opts = VerifyOpts {
+        family: String::new(),
+        procs: None,
+        program: None,
+        reduce: Reduction::Both,
+        depth: 12,
+        states: 200_000,
+        json: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--family" => {
+                family = Some(args.get(i + 1).ok_or("--family needs a value")?.clone());
+                i += 2;
+            }
+            "--procs" => {
+                let v = args.get(i + 1).ok_or("--procs needs a value")?;
+                opts.procs = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad processor count {v:?}"))?,
+                );
+                i += 2;
+            }
+            "--program" => {
+                let v = args.get(i + 1).ok_or("--program needs a fixture name")?;
+                opts.program = Some(v.clone());
+                i += 2;
+            }
+            "--reduce" => {
+                let v = args.get(i + 1).ok_or("--reduce needs a mode")?;
+                opts.reduce = Reduction::parse(v).ok_or_else(|| {
+                    format!(
+                        "unknown reduction {v:?} (have: {})",
+                        check::REDUCTION_NAMES.join(" | ")
+                    )
+                })?;
+                i += 2;
+            }
+            "--depth" => {
+                let v = args.get(i + 1).ok_or("--depth needs a value")?;
+                opts.depth = v.parse().map_err(|_| format!("bad depth {v:?}"))?;
+                i += 2;
+            }
+            "--states" => {
+                let v = args.get(i + 1).ok_or("--states needs a value")?;
+                opts.states = v.parse().map_err(|_| format!("bad state budget {v:?}"))?;
+                i += 2;
+            }
+            "--json" => {
+                opts.json = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown verify flag {other:?}")),
+        }
+    }
+    opts.family = family.ok_or("verify needs --family <ring|table|alternating>")?;
+    if opts.depth == 0 || opts.states == 0 {
+        return Err("--depth and --states need to be positive".into());
+    }
+    Ok(opts)
+}
+
+/// The *uniform* (unmarked) verify families: symmetric systems, so the
+/// similarity quotient has a nontrivial `Aut(N)` to divide by.
+fn verify_family(family: &str, procs: Option<usize>) -> Result<(SystemGraph, SystemInit), String> {
+    let graph = match family {
+        "ring" => topology::uniform_ring(procs.unwrap_or(4)),
+        "table" => topology::philosophers_table(procs.unwrap_or(4)),
+        "alternating" => {
+            let n = procs.unwrap_or(4);
+            if !n.is_multiple_of(2) {
+                return Err("alternating needs an even --procs".into());
+            }
+            topology::philosophers_alternating(n)
+        }
+        other => {
+            return Err(format!(
+                "unknown family {other:?} (have: ring | table | alternating)"
+            ))
+        }
+    };
+    let init = SystemInit::uniform(&graph);
+    Ok((graph, init))
+}
+
+/// One verify run: the mode it explored under and what it found.
+struct VerifyRow {
+    reduce: Reduction,
+    result: simsym::vm::ExploreResult,
+}
+
+/// `simsym verify`: reduction-aware exhaustive exploration of one family
+/// (or a seeded-defect fixture on it). Runs the requested reduction *and*
+/// the identity baseline under the same budgets, cross-checks them, and
+/// exits nonzero on any error-severity finding — a reachable double
+/// selection, a surfaced machine-model violation, or a reducer that
+/// diverged from the oracle.
+fn verify(args: &[String]) -> Result<CmdOut, String> {
+    let opts = extract_verify_flags(args)?;
+    let (graph, init) = verify_family(&opts.family, opts.procs)?;
+    let graph = Arc::new(graph);
+
+    let (machine, program_label) = match &opts.program {
+        Some(name) => {
+            let m = check::fixture_machine(name, Arc::clone(&graph), &init).ok_or_else(|| {
+                format!(
+                    "unknown fixture program {name:?} (have: {})",
+                    check::FIXTURE_NAMES.join(", ")
+                )
+            })?;
+            (m, name.clone())
+        }
+        None => {
+            // The same machinery `elect` runs: the generated Q selection
+            // program when one exists, else the label learner itself.
+            let program: Arc<dyn Program> = match selection_program_q(&graph, &init)
+                .map_err(|e| e.to_string())?
+            {
+                Some(select) => Arc::new(select),
+                None => {
+                    let theta = hopcroft_similarity(&graph, &init, Model::Q);
+                    Arc::new(LabelLearner::new(&graph, &init, &theta).map_err(|e| e.to_string())?)
+                }
+            };
+            let m = Machine::new(Arc::clone(&graph), InstructionSet::Q, program, &init)
+                .map_err(|e| e.to_string())?;
+            (m, "learner".to_owned())
+        }
+    };
+
+    let cfg = ExploreConfig {
+        max_depth: opts.depth,
+        max_states: opts.states,
+        threads: 1,
+    };
+    // The requested mode plus the identity baseline, fanned across the
+    // generic job runner (order-preserving, so row 0 is the request).
+    let modes: Vec<Reduction> = if opts.reduce == Reduction::None {
+        vec![Reduction::None]
+    } else {
+        vec![opts.reduce, Reduction::None]
+    };
+    let mut runs = run_jobs(modes.len(), &modes, |&mode| {
+        check_exploration(&machine, &init, cfg, mode)
+    });
+
+    let mut rows = Vec::new();
+    let mut diags = Vec::new();
+    for ((result, run_diags), mode) in runs.drain(..).zip(modes) {
+        if mode == opts.reduce {
+            diags.extend(run_diags);
+        }
+        rows.push(VerifyRow {
+            reduce: mode,
+            result,
+        });
+    }
+    if rows.len() > 1 {
+        diags.extend(diverged_diagnostics(
+            &rows[1].result,
+            &rows[0].result,
+            opts.reduce,
+        ));
+    }
+    let factor_x100 = rows.last().expect("at least one run").result.states_visited * 100
+        / rows[0].result.states_visited.max(1);
+    let system = format!("{}:{}", opts.family, graph.processor_count());
+    let report = CheckReport::new(system.clone(), diags);
+    let text = if opts.json {
+        verify_render_json(&opts, &system, &program_label, &rows, factor_x100, &report)
+    } else {
+        verify_render_text(&opts, &system, &program_label, &rows, factor_x100, &report)
+    };
+    Ok(CmdOut {
+        text,
+        failed: report.has_errors(),
+    })
+}
+
+/// Renders the `simsym-verify/v1` JSON document. All numbers are
+/// integers (the reduction factor ships ×100), so the schema skeleton is
+/// byte-stable across hosts.
+fn verify_render_json(
+    opts: &VerifyOpts,
+    system: &str,
+    program: &str,
+    rows: &[VerifyRow],
+    factor_x100: usize,
+    report: &CheckReport,
+) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"simsym-verify/v1\",\n  \"system\": \"{system}\",\n  \"program\": \"{program}\",\n  \"depth\": {},\n  \"max_states\": {},\n  \"runs\": [\n",
+        opts.depth, opts.states
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"reduce\": \"{}\", \"states_canonical\": {}, \"states_seen\": {}, \"outcomes\": {}, \"group_order\": {}, \"peak_visited_bytes\": {}, \"truncated\": {}, \"double_selection\": {}}}{}\n",
+            r.reduce.label(),
+            r.result.states_visited,
+            r.result.states_seen,
+            r.result.outcomes.len(),
+            r.result.group_order,
+            r.result.peak_visited_bytes,
+            u8::from(r.result.truncated),
+            u8::from(r.result.has_double_selection()),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let diags: Vec<String> = report.diagnostics.iter().map(|d| d.to_json()).collect();
+    out.push_str(&format!(
+        "  ],\n  \"reduction_factor_x100\": {factor_x100},\n  \"diagnostics\": [{}]\n}}\n",
+        diags.join(",")
+    ));
+    out
+}
+
+fn verify_render_text(
+    opts: &VerifyOpts,
+    system: &str,
+    program: &str,
+    rows: &[VerifyRow],
+    factor_x100: usize,
+    report: &CheckReport,
+) -> String {
+    let mut out = format!(
+        "verify {system} program={program} depth={} states<={}\n",
+        opts.depth, opts.states
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "  reduce={:<9} {:>8} canonical states ({:>9} arrivals)  |Aut| {}  peak {} B  outcomes {}{}{}\n",
+            r.reduce.label(),
+            r.result.states_visited,
+            r.result.states_seen,
+            r.result.group_order,
+            r.result.peak_visited_bytes,
+            r.result.outcomes.len(),
+            if r.result.truncated {
+                "  [truncated]"
+            } else {
+                ""
+            },
+            if r.result.has_double_selection() {
+                "  [DOUBLE SELECTION]"
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str(&format!(
+        "reduction factor: {}.{:02}x (reduce={} vs none)\n",
+        factor_x100 / 100,
+        factor_x100 % 100,
+        rows[0].reduce.label()
+    ));
+    for d in &report.diagnostics {
+        out.push_str(&format!("    {d}\n"));
+    }
+    out
 }
 
 fn list() -> String {
@@ -1698,6 +1976,17 @@ struct LabelingRow {
     nanos: u128,
 }
 
+/// One reduction-aware exploration measurement: states visited and
+/// wall-clock for one `(family, reduce)` pair under a fixed budget.
+struct ExploreRow {
+    family: &'static str,
+    n: usize,
+    reduce: &'static str,
+    states_canonical: usize,
+    states_seen: usize,
+    nanos: u128,
+}
+
 /// The zero-fault overhead measurement: the same machine and step budget
 /// timed bare, through the fault layer with an empty plan, and through
 /// the fault layer with an empty plan *plus* an active journal.
@@ -1873,6 +2162,51 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
         nanos: time_min(|| hopcroft_similarity(&graph, &init, Model::Q), 1),
     });
 
+    // Reduction-aware exploration: states visited and wall-clock for each
+    // reduce mode on the marked ring (rigid, so POR does the work) and the
+    // uniform table (|Aut| = n, so the quotient does). The timed window
+    // includes building the reducer — the automorphism search is part of
+    // what a verify run costs.
+    let mut explore_rows = Vec::new();
+    let ecfg = ExploreConfig {
+        max_depth: if opts.quick { 8 } else { 12 },
+        max_states: 30_000 / div as usize,
+        threads: 1,
+    };
+    for (family, graph) in [
+        ("marked-ring", topology::marked_ring(4)),
+        ("table", topology::philosophers_table(4)),
+    ] {
+        let init = SystemInit::uniform(&graph);
+        let graph = Arc::new(graph);
+        let program: Arc<dyn Program> =
+            match selection_program_q(&graph, &init).map_err(|e| e.to_string())? {
+                Some(select) => Arc::new(select),
+                None => {
+                    let theta = hopcroft_similarity(&graph, &init, Model::Q);
+                    Arc::new(LabelLearner::new(&graph, &init, &theta).map_err(|e| e.to_string())?)
+                }
+            };
+        let machine = Machine::new(Arc::clone(&graph), InstructionSet::Q, program, &init)
+            .map_err(|e| e.to_string())?;
+        for mode in Reduction::ALL {
+            let mut result = None;
+            let nanos = time_min(
+                || result = Some(check_exploration(&machine, &init, ecfg, mode).0),
+                reps,
+            );
+            let result = result.expect("timed at least once");
+            explore_rows.push(ExploreRow {
+                family,
+                n: graph.processor_count(),
+                reduce: mode.label(),
+                states_canonical: result.states_visited,
+                states_seen: result.states_seen,
+                nanos,
+            });
+        }
+    }
+
     // Zero-fault overhead: the marked-ring learner again, bare vs driven
     // through `Faulty` + `FaultSched` with an empty plan. The fault layer
     // must be (near) free when it injects nothing.
@@ -1891,7 +2225,7 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
         journaled_nanos: time_steps_journaled(&m, osteps, oreps),
     };
 
-    let json = bench_render_json(&throughput, &labeling, &overhead);
+    let json = bench_render_json(&throughput, &labeling, &explore_rows, &overhead);
     if let Some(path) = &opts.against {
         let expected =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -1911,7 +2245,13 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
     if opts.json {
         ok(json)
     } else {
-        ok(bench_render_text(&throughput, &labeling, &overhead, &opts))
+        ok(bench_render_text(
+            &throughput,
+            &labeling,
+            &explore_rows,
+            &overhead,
+            &opts,
+        ))
     }
 }
 
@@ -1921,6 +2261,7 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
 fn bench_render_json(
     throughput: &[ThroughputRow],
     labeling: &[LabelingRow],
+    explore: &[ExploreRow],
     overhead: &OverheadRow,
 ) -> String {
     let mut out = String::from("{\n  \"schema\": \"simsym-bench/v1\",\n  \"step_throughput\": [\n");
@@ -1947,6 +2288,19 @@ fn bench_render_json(
             if i + 1 < labeling.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"explore_reduction\": [\n");
+    for (i, r) in explore.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"reduce\": \"{}\", \"states_canonical\": {}, \"states_seen\": {}, \"nanos\": {}}}{}\n",
+            r.family,
+            r.n,
+            r.reduce,
+            r.states_canonical,
+            r.states_seen,
+            r.nanos,
+            if i + 1 < explore.len() { "," } else { "" }
+        ));
+    }
     out.push_str(&format!(
         "  ],\n  \"faults_overhead\": {{\"family\": \"marked-ring\", \"n\": 64, \"isa\": \"Q\", \"steps\": {}, \"plain_nanos\": {}, \"faulted_nanos\": {}, \"overhead_percent\": {}}},\n",
         overhead.steps,
@@ -1967,6 +2321,7 @@ fn bench_render_json(
 fn bench_render_text(
     throughput: &[ThroughputRow],
     labeling: &[LabelingRow],
+    explore: &[ExploreRow],
     overhead: &OverheadRow,
     opts: &BenchOpts,
 ) -> String {
@@ -1987,6 +2342,30 @@ fn bench_render_text(
             "  n={:<5} {:<9} {:>12} ns\n",
             r.n, r.algorithm, r.nanos
         ));
+    }
+    out.push_str("reduction-aware exploration (selection programs, bounded DFS):\n");
+    for r in explore {
+        out.push_str(&format!(
+            "  {:<12} n={:<3} reduce={:<9} {:>7} canonical states ({:>8} arrivals) in {:>12} ns\n",
+            r.family, r.n, r.reduce, r.states_canonical, r.states_seen, r.nanos
+        ));
+    }
+    for family in ["marked-ring", "table"] {
+        let states = |mode: &str| {
+            explore
+                .iter()
+                .find(|r| r.family == family && r.reduce == mode)
+                .map(|r| r.states_canonical)
+        };
+        if let (Some(none), Some(both)) = (states("none"), states("both")) {
+            let x100 = none * 100 / both.max(1);
+            out.push_str(&format!(
+                "  {:<12} reduction factor {}.{:02}x (none vs both)\n",
+                family,
+                x100 / 100,
+                x100 % 100
+            ));
+        }
     }
     out.push_str(&format!(
         "zero-fault overhead (marked-ring n=64, {} steps, empty plan):\n  plain     {:>12} ns\n  faulted   {:>12} ns  (+{}%)\n  journaled {:>12} ns  (+{}% over faulted)\n",
@@ -2582,6 +2961,57 @@ mod tests {
     }
 
     #[test]
+    fn verify_certifies_a_clean_ring_and_reports_the_reduction() {
+        let out = call_full(&[
+            "verify", "--family", "ring", "--reduce", "both", "--depth", "24",
+        ])
+        .unwrap();
+        assert!(!out.failed);
+        assert!(out.text.contains("DYN-EXPLORE-CERTIFIED"), "{}", out.text);
+        assert!(
+            out.text.contains("modulo Aut(N) of order 4"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("reduction factor"), "{}", out.text);
+    }
+
+    #[test]
+    fn verify_grab_regression_exits_nonzero_with_a_witness() {
+        let out = call_full(&["verify", "--family", "ring", "--program", "grab"]).unwrap();
+        assert!(out.failed);
+        assert!(out.text.contains("DYN-EXPLORE-UNIQ"), "{}", out.text);
+    }
+
+    #[test]
+    fn verify_json_carries_schema_runs_and_factor() {
+        let out = call(&[
+            "verify", "--family", "table", "--reduce", "quotient", "--json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"schema\": \"simsym-verify/v1\""));
+        assert!(out.contains("\"reduce\": \"quotient\""));
+        assert!(out.contains("\"reduce\": \"none\""));
+        assert!(out.contains("\"reduction_factor_x100\""));
+        assert!(out.contains("\"states_canonical\""));
+        assert!(out.contains("\"peak_visited_bytes\""));
+    }
+
+    #[test]
+    fn verify_rejects_bad_flags() {
+        assert!(call(&["verify", "--family", "ring", "--reduce", "bogus"])
+            .unwrap_err()
+            .contains("unknown reduction"));
+        assert!(call(&["verify"]).unwrap_err().contains("needs --family"));
+        assert!(call(&["verify", "--family", "nope"])
+            .unwrap_err()
+            .contains("unknown family"));
+        assert!(call(&["verify", "--family", "alternating", "--procs", "5"])
+            .unwrap_err()
+            .contains("even"));
+    }
+
+    #[test]
     fn bench_rejects_bad_flags() {
         assert!(call(&["bench", "--frobnicate"])
             .unwrap_err()
@@ -2592,7 +3022,12 @@ mod tests {
     }
 
     /// Synthetic rows so the test exercises rendering, not timing.
-    fn fake_rows() -> (Vec<ThroughputRow>, Vec<LabelingRow>, OverheadRow) {
+    fn fake_rows() -> (
+        Vec<ThroughputRow>,
+        Vec<LabelingRow>,
+        Vec<ExploreRow>,
+        OverheadRow,
+    ) {
         let t = vec![ThroughputRow {
             family: "ring",
             n: 64,
@@ -2612,19 +3047,29 @@ mod tests {
                 nanos: 100,
             },
         ];
+        let e = vec![ExploreRow {
+            family: "table",
+            n: 4,
+            reduce: "both",
+            states_canonical: 250,
+            states_seen: 900,
+            nanos: 2_000,
+        }];
         let o = OverheadRow {
             steps: 2_000,
             plain_nanos: 1_000_000,
             faulted_nanos: 1_010_000,
             journaled_nanos: 1_111_000,
         };
-        (t, l, o)
+        (t, l, e, o)
     }
 
     #[test]
     fn bench_json_is_valid_and_schema_ignores_numbers() {
-        let (t, l, o) = fake_rows();
-        let a = bench_render_json(&t, &l, &o);
+        let (t, l, e, o) = fake_rows();
+        let a = bench_render_json(&t, &l, &e, &o);
+        assert!(a.contains("\"explore_reduction\""));
+        assert!(a.contains("\"states_canonical\": 250"));
         assert!(a.contains("\"schema\": \"simsym-bench/v1\""));
         assert!(a.contains("\"steps_per_sec\": 2000000"));
         assert!(a.contains("\"faults_overhead\""));
@@ -2636,13 +3081,13 @@ mod tests {
         // Same rows with different timings: schema skeleton is identical.
         let mut t2 = fake_rows().0;
         t2[0].nanos = 77;
-        let b = bench_render_json(&t2, &l, &o);
+        let b = bench_render_json(&t2, &l, &e, &o);
         assert_ne!(a, b);
         assert_eq!(bench_schema_skeleton(&a), bench_schema_skeleton(&b));
         // A renamed label is schema drift.
         let mut t3 = fake_rows().0;
         t3[0].family = "torus";
-        let c = bench_render_json(&t3, &l, &o);
+        let c = bench_render_json(&t3, &l, &e, &o);
         assert_ne!(bench_schema_skeleton(&a), bench_schema_skeleton(&c));
     }
 
@@ -2659,14 +3104,14 @@ mod tests {
         };
         assert_eq!(o.percent(), 0);
         assert_eq!(o.journal_percent(), 0);
-        let (t, l, positive) = fake_rows();
-        let json = bench_render_json(&t, &l, &o);
+        let (t, l, e, positive) = fake_rows();
+        let json = bench_render_json(&t, &l, &e, &o);
         assert!(json.contains("\"overhead_percent\": 0"), "{json}");
         // Clamped and positive overheads share one schema skeleton: no
         // sign character ever leaks outside a string literal.
         assert_eq!(
             bench_schema_skeleton(&json),
-            bench_schema_skeleton(&bench_render_json(&t, &l, &positive))
+            bench_schema_skeleton(&bench_render_json(&t, &l, &e, &positive))
         );
     }
 
