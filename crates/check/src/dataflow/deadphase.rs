@@ -1,0 +1,54 @@
+//! Dead-phase detection: program phases no execution can reach.
+//!
+//! Plain reachability over the spec CFG from the entry phase. A dead
+//! phase is not itself a defect — but it usually marks one: recovery code
+//! that can never trigger, or (as in the `uninit` fixture) the write that
+//! was supposed to initialize a register, parked where control never
+//! goes.
+
+use super::cfg::SpecCfg;
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use simsym_vm::ProgramSpec;
+
+/// Flags every phase unreachable from the entry.
+pub fn dead_phases(spec: &ProgramSpec, cfg: &SpecCfg) -> Vec<Diagnostic> {
+    cfg.reachable()
+        .iter()
+        .enumerate()
+        .filter(|(_, reached)| !**reached)
+        .map(|(n, _)| {
+            let node = &cfg.nodes[n];
+            Diagnostic::new(
+                Severity::Warning,
+                codes::STAT_DEAD_PHASE,
+                Span::none(),
+                format!(
+                    "program {:?}: phase {} ({:?}) is unreachable from entry phase {}",
+                    spec.name, node.pc, node.label, spec.entry,
+                ),
+            )
+            .with_witness(vec![format!("phase: {} ({})", node.pc, node.label)])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cfg::RegUniverse;
+    use super::*;
+    use simsym_vm::PhaseSpec;
+
+    #[test]
+    fn orphan_phases_are_flagged_and_loops_are_not() {
+        let spec = ProgramSpec::new("t", 0)
+            .phase(PhaseSpec::new(0, "a").succs(&[1]))
+            .phase(PhaseSpec::new(1, "b").succs(&[0]))
+            .phase(PhaseSpec::new(2, "orphan").succs(&[0]));
+        let regs = RegUniverse::from_spec(&spec);
+        let cfg = SpecCfg::build(&spec, &regs).unwrap();
+        let diags = dead_phases(&spec, &cfg);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::STAT_DEAD_PHASE);
+        assert!(diags[0].message.contains("orphan"));
+    }
+}

@@ -1,0 +1,207 @@
+//! A small monotone dataflow framework: a forward worklist solver over
+//! finite powerset lattices represented as bitsets.
+//!
+//! The framework is deliberately minimal — every analysis in this module
+//! tree is a forward problem over a powerset of registers or variables,
+//! so one solver parameterized by the meet operator (union for *may*
+//! facts, intersection for *must* facts) and a transfer function covers
+//! all of them. Termination is the textbook argument: the lattice is
+//! finite, meets move facts monotonically towards the meet's fixpoint
+//! direction, and a node re-enters the worklist only when its input fact
+//! changed.
+
+use std::collections::VecDeque;
+
+/// A fixed-width bitset — the powerset lattice element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    bits: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `bits` elements.
+    pub fn empty(bits: usize) -> BitSet {
+        BitSet {
+            bits,
+            words: vec![0; bits.div_ceil(64).max(1)],
+        }
+    }
+
+    /// The full universe of `bits` elements.
+    pub fn full(bits: usize) -> BitSet {
+        let mut s = BitSet::empty(bits);
+        for i in 0..bits {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Adds element `i`.
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes element `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether element `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`; reports whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; reports whether `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Iterates over the elements present, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.bits).filter(|&i| self.contains(i))
+    }
+}
+
+/// The meet operator joining facts where control-flow paths merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Meet {
+    /// May-analysis: a fact holds if it holds on *some* incoming path.
+    Union,
+    /// Must-analysis: a fact holds only if it holds on *every* path.
+    Intersect,
+}
+
+/// Solves a forward dataflow instance over the graph `succs` (successor
+/// node indices per node) and returns the IN fact of every node; `None`
+/// marks nodes unreachable from `entry`, whose facts never left ⊤.
+///
+/// `transfer(n, in)` computes node `n`'s OUT fact from its IN fact and
+/// must be monotone. Representing ⊤ as "no fact yet" makes both meets
+/// uniform: the first fact to arrive replaces ⊤, later ones meet into it.
+pub fn solve_forward(
+    succs: &[Vec<usize>],
+    entry: usize,
+    entry_fact: BitSet,
+    meet: Meet,
+    transfer: &dyn Fn(usize, &BitSet) -> BitSet,
+) -> Vec<Option<BitSet>> {
+    let n = succs.len();
+    let mut facts: Vec<Option<BitSet>> = vec![None; n];
+    let mut queued = vec![false; n];
+    let mut worklist = VecDeque::new();
+    facts[entry] = Some(entry_fact);
+    worklist.push_back(entry);
+    queued[entry] = true;
+    while let Some(node) = worklist.pop_front() {
+        queued[node] = false;
+        let out = transfer(node, facts[node].as_ref().expect("queued ⇒ has fact"));
+        for &s in &succs[node] {
+            let changed = match &mut facts[s] {
+                Some(fact) => match meet {
+                    Meet::Union => fact.union_with(&out),
+                    Meet::Intersect => fact.intersect_with(&out),
+                },
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+            };
+            if changed && !queued[s] {
+                queued[s] = true;
+                worklist.push_back(s);
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A diamond with a write on only one arm distinguishes must from may.
+    //
+    //        0
+    //       / \
+    //      1   2     (1 writes bit 0; 2 does not)
+    //       \ /
+    //        3
+    fn diamond() -> Vec<Vec<usize>> {
+        vec![vec![1, 2], vec![3], vec![3], vec![]]
+    }
+
+    #[test]
+    fn must_meet_drops_one_armed_facts_and_may_keeps_them() {
+        let gen_on_node_1 = |n: usize, fact: &BitSet| {
+            let mut out = fact.clone();
+            if n == 1 {
+                out.insert(0);
+            }
+            out
+        };
+        let must = solve_forward(
+            &diamond(),
+            0,
+            BitSet::empty(1),
+            Meet::Intersect,
+            &gen_on_node_1,
+        );
+        assert!(!must[3].as_ref().unwrap().contains(0));
+        let may = solve_forward(&diamond(), 0, BitSet::empty(1), Meet::Union, &gen_on_node_1);
+        assert!(may[3].as_ref().unwrap().contains(0));
+    }
+
+    #[test]
+    fn unreachable_nodes_keep_top() {
+        let succs = vec![vec![0], vec![0]]; // node 1 never reached from 0
+        let facts = solve_forward(&succs, 0, BitSet::empty(2), Meet::Intersect, &|_, f| {
+            f.clone()
+        });
+        assert!(facts[0].is_some());
+        assert!(facts[1].is_none());
+    }
+
+    #[test]
+    fn loops_converge() {
+        // 0 → 1 → 2 → 1 (loop), 2 → 3; node 2 kills bit 0 set at entry.
+        let succs = vec![vec![1], vec![2], vec![1, 3], vec![]];
+        let mut entry = BitSet::empty(2);
+        entry.insert(0);
+        let facts = solve_forward(&succs, 0, entry, Meet::Intersect, &|n, f| {
+            let mut out = f.clone();
+            if n == 2 {
+                out.remove(0);
+                out.insert(1);
+            }
+            out
+        });
+        // After the loop stabilizes, bit 0 no longer survives at node 1
+        // (the back-edge meet removed it) and bit 1 flows to node 3.
+        assert!(!facts[1].as_ref().unwrap().contains(0));
+        assert!(facts[3].as_ref().unwrap().contains(1));
+        assert_eq!(facts[3].as_ref().unwrap().ones().collect::<Vec<_>>(), [1]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Symmetry-break lint: the static counterpart of Theorem 1's
+//! precondition.
+//!
+//! Theorem 1 needs two ingredients to force similar processors into
+//! lock-step: the program text must be identical for all processors
+//! (anonymity — no processor-id dependence) and the initial assignment
+//! must not already distinguish them. This lint checks both on the
+//! *specification*, before anything runs:
+//!
+//! * a spec marked processor-id-dependent violates the machine model
+//!   itself (a [`Program`](simsym_vm::Program) observes only its local
+//!   state and shared operations) — an **error**;
+//! * asymmetric initial values across the family are legitimate — they
+//!   are precisely how the paper's marked systems escape the
+//!   impossibility — but they void the Theorem 1 argument, so the lint
+//!   reports the symmetry classes as **info**.
+
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use simsym_vm::{ProgramSpec, SystemInit, Value};
+
+/// Checks `spec` against the family `(graph, init)` for text- and
+/// init-level symmetry breaks.
+pub fn symmetry_breaks(spec: &ProgramSpec, init: &SystemInit) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if spec.id_dependent {
+        diags.push(
+            Diagnostic::new(
+                Severity::Error,
+                codes::STAT_SYM_BREAK,
+                Span::none(),
+                format!(
+                    "program {:?} declares processor-id-dependent text: similar processors \
+                     would execute different instructions, outside the paper's common-program \
+                     model (§2) and Theorem 1's precondition",
+                    spec.name,
+                ),
+            )
+            .with_witness(vec!["id-dependent: true".to_owned()]),
+        );
+    }
+    if let Some(classes) = value_classes(&init.proc_values) {
+        diags.push(
+            Diagnostic::new(
+                Severity::Info,
+                codes::STAT_SYM_BREAK,
+                Span::none(),
+                format!(
+                    "initial processor states split the family into {} classes: Theorem 1's \
+                     similarity argument does not bind processors with distinct `state₀`",
+                    classes.len(),
+                ),
+            )
+            .with_witness(
+                classes
+                    .iter()
+                    .map(|(v, procs)| format!("state₀ {v:?}: processors {procs:?}"))
+                    .collect(),
+            ),
+        );
+    }
+    if let Some(classes) = value_classes(&init.var_values) {
+        diags.push(
+            Diagnostic::new(
+                Severity::Info,
+                codes::STAT_SYM_BREAK,
+                Span::none(),
+                format!(
+                    "initial variable values split the system into {} classes (a marked \
+                     system): automorphisms must preserve the marks",
+                    classes.len(),
+                ),
+            )
+            .with_witness(
+                classes
+                    .iter()
+                    .map(|(v, vars)| format!("mark {v:?}: variables {vars:?}"))
+                    .collect(),
+            ),
+        );
+    }
+    diags
+}
+
+/// Partitions indices by value; `None` when all values are equal (or
+/// there is at most one), i.e. no symmetry break.
+fn value_classes(values: &[Value]) -> Option<Vec<(Value, Vec<usize>)>> {
+    let mut classes: Vec<(Value, Vec<usize>)> = Vec::new();
+    for (i, v) in values.iter().enumerate() {
+        match classes.iter_mut().find(|(c, _)| c == v) {
+            Some((_, members)) => members.push(i),
+            None => classes.push((v.clone(), vec![i])),
+        }
+    }
+    (classes.len() > 1).then_some(classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_graph::topology;
+    use simsym_vm::PhaseSpec;
+
+    fn looping_spec(id_dependent: bool) -> ProgramSpec {
+        let spec = ProgramSpec::new("t", 0).phase(PhaseSpec::new(0, "loop").succs(&[0]));
+        if id_dependent {
+            spec.id_dependent()
+        } else {
+            spec
+        }
+    }
+
+    #[test]
+    fn uniform_family_with_anonymous_text_is_silent() {
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::uniform(&g);
+        assert!(symmetry_breaks(&looping_spec(false), &init).is_empty());
+    }
+
+    #[test]
+    fn id_dependent_text_is_an_error_even_on_uniform_families() {
+        let g = topology::uniform_ring(4);
+        let init = SystemInit::uniform(&g);
+        let diags = symmetry_breaks(&looping_spec(true), &init);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::STAT_SYM_BREAK);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn asymmetric_initial_states_are_reported_as_info_classes() {
+        let g = topology::uniform_ring(4);
+        let mut init = SystemInit::uniform(&g);
+        init.proc_values[0] = Value::from(1);
+        let diags = symmetry_breaks(&looping_spec(false), &init);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Info);
+        assert!(diags[0].message.contains("2 classes"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Must-initialize analysis: registers readable before any write.
+//!
+//! A forward must-analysis over the register powerset — the IN fact of a
+//! phase is the set of registers *every* path from boot has written. A
+//! read of a register outside that set means some execution may observe
+//! the register unset, which is exactly the situation the dynamic
+//! [`DYN-GARBLED-REG`](crate::diag::codes::DYN_GARBLED_REG) checker
+//! reports after the fact: here it is caught before step 0.
+
+use super::cfg::{RegUniverse, SpecCfg};
+use super::solver::{solve_forward, BitSet, Meet};
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use simsym_vm::ProgramSpec;
+
+/// Flags every `(phase, register)` pair where the register may be read
+/// before any write reaches it.
+pub fn uninit_reads(spec: &ProgramSpec, regs: &RegUniverse, cfg: &SpecCfg) -> Vec<Diagnostic> {
+    let mut boot = BitSet::empty(regs.len());
+    for r in &spec.boot_writes {
+        boot.insert(regs.index_of(r).expect("interned from spec"));
+    }
+    let succs = cfg.succs();
+    let facts = solve_forward(&succs, cfg.entry, boot, Meet::Intersect, &|n, fact| {
+        let mut out = fact.clone();
+        for &w in &cfg.nodes[n].writes {
+            out.insert(w);
+        }
+        out
+    });
+    let mut diags = Vec::new();
+    for (n, fact) in facts.iter().enumerate() {
+        let Some(fact) = fact else { continue }; // unreachable: dead-phase's concern
+        for &r in &cfg.nodes[n].reads {
+            if !fact.contains(r) {
+                let node = &cfg.nodes[n];
+                diags.push(
+                    Diagnostic::new(
+                        Severity::Error,
+                        codes::STAT_UNINIT_READ,
+                        Span::none(),
+                        format!(
+                            "program {:?}: phase {} ({:?}) may read register {:?} before any write reaches it",
+                            spec.name,
+                            node.pc,
+                            node.label,
+                            regs.name(r),
+                        ),
+                    )
+                    .with_witness(vec![
+                        format!("register: {}", regs.name(r)),
+                        format!("phase: {} ({})", node.pc, node.label),
+                        format!(
+                            "boot initializes only: {}",
+                            spec.boot_writes.join(", ")
+                        ),
+                    ]),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsym_vm::PhaseSpec;
+
+    fn analyze(spec: &ProgramSpec) -> Vec<Diagnostic> {
+        let regs = RegUniverse::from_spec(spec);
+        let cfg = SpecCfg::build(spec, &regs).unwrap();
+        uninit_reads(spec, &regs, &cfg)
+    }
+
+    #[test]
+    fn read_of_boot_written_register_is_clean() {
+        let spec = ProgramSpec::new("t", 0)
+            .boot_writes(&["a"])
+            .phase(PhaseSpec::new(0, "go").reads(&["a", "init"]).succs(&[0]));
+        assert!(analyze(&spec).is_empty());
+    }
+
+    #[test]
+    fn one_armed_write_still_flags_the_other_path() {
+        // 0 branches to 1 (writes x) or 2 (skips); 3 reads x. The path
+        // through 2 reaches the read unwritten, so must-init drops x.
+        let spec = ProgramSpec::new("t", 0)
+            .phase(PhaseSpec::new(0, "branch").succs(&[1, 2]))
+            .phase(PhaseSpec::new(1, "write").writes(&["x"]).succs(&[3]))
+            .phase(PhaseSpec::new(2, "skip").succs(&[3]))
+            .phase(PhaseSpec::new(3, "read").reads(&["x"]).succs(&[3]));
+        let diags = analyze(&spec);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::STAT_UNINIT_READ);
+        assert!(diags[0].witness.iter().any(|w| w == "register: x"));
+    }
+
+    #[test]
+    fn write_on_every_path_is_clean_and_dead_reads_are_ignored() {
+        let spec = ProgramSpec::new("t", 0)
+            .phase(PhaseSpec::new(0, "write").writes(&["x"]).succs(&[1]))
+            .phase(PhaseSpec::new(1, "read").reads(&["x"]).succs(&[1]))
+            // Unreachable phase reading y: dead-phase lint's territory.
+            .phase(PhaseSpec::new(2, "dead").reads(&["y"]).succs(&[1]));
+        assert!(analyze(&spec).is_empty());
+    }
+}

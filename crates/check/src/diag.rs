@@ -100,6 +100,61 @@ pub mod codes {
     pub const SOAK_PLAN: &str = "SOAK-PLAN";
     /// A repro artifact did not replay to its recorded verdict.
     pub const SOAK_REPLAY_DIVERGED: &str = "SOAK-REPLAY-DIVERGED";
+    /// Static dataflow: a register may be read before any write reaches
+    /// it on some path — the lint-time face of [`DYN_GARBLED_REG`].
+    pub const STAT_UNINIT_READ: &str = "STAT-UNINIT-READ";
+    /// Static dataflow: a phase no execution can reach from the entry.
+    pub const STAT_DEAD_PHASE: &str = "STAT-DEAD-PHASE";
+    /// Static dataflow: program text or initial values distinguish
+    /// processors the similarity argument would otherwise treat as
+    /// interchangeable — the static counterpart of Theorem 1's
+    /// precondition.
+    pub const STAT_SYM_BREAK: &str = "STAT-SYM-BREAK";
+    /// Static dataflow: a cycle in the potential lock-acquisition order —
+    /// the sound over-approximation of [`DYN_LOCK_CYCLE`].
+    pub const STAT_LOCK_CYCLE: &str = "STAT-LOCK-CYCLE";
+
+    /// Every diagnostic code, in declaration order. The registry-hygiene
+    /// test pins this list against DESIGN.md's §5d table in both
+    /// directions, so neither can drift.
+    pub const ALL: &[&str] = &[
+        SPEC_SYNTAX,
+        SPEC_DUP_EDGE,
+        SPEC_EDGE_CONFLICT,
+        SPEC_NODE_KIND,
+        SPEC_MISSING_EDGE,
+        SPEC_UNKNOWN_IDENT,
+        SPEC_UNUSED,
+        GRAPH_UNREACHABLE_VAR,
+        GRAPH_DISCONNECTED,
+        ISA_VAR_KIND,
+        ISA_LOCK_IN_S,
+        LABEL_MISMATCH,
+        LABEL_INCONSISTENT,
+        DYN_RACE,
+        DYN_DOUBLE_LOCK,
+        DYN_UNLOCK_UNHELD,
+        DYN_LOCK_LEAK,
+        DYN_LOCK_CYCLE,
+        DYN_ISA_OP,
+        DYN_ATOMICITY,
+        DYN_GARBLED_REG,
+        DYN_FAULT_UNIQ,
+        DYN_FAULT_STAB,
+        DYN_FAULT_RESET,
+        DYN_RECOV_STAB,
+        DYN_EXPLORE_UNIQ,
+        DYN_EXPLORE_TRUNCATED,
+        DYN_EXPLORE_CERTIFIED,
+        DYN_EXPLORE_DIVERGED,
+        SOAK_DEGENERATE,
+        SOAK_PLAN,
+        SOAK_REPLAY_DIVERGED,
+        STAT_UNINIT_READ,
+        STAT_DEAD_PHASE,
+        STAT_SYM_BREAK,
+        STAT_LOCK_CYCLE,
+    ];
 }
 
 /// How bad a finding is. `Error` fails `simsym lint` (and the CI smoke

@@ -25,13 +25,49 @@
 
 use crate::diag::{codes, Diagnostic, Severity, Span};
 use simsym_core::similarity_reducer;
-use simsym_graph::SystemGraph;
+use simsym_graph::{SystemGraph, VarId};
 use simsym_vm::{
     explore_with, ExploreConfig, ExploreResult, Identity, Machine, Por, Reducer, SystemInit,
 };
 
 /// The reduction modes `simsym verify --reduce` accepts, in CLI order.
 pub const REDUCTION_NAMES: &[&str] = &["none", "quotient", "por", "both"];
+
+/// The interference modes `simsym verify --interference` accepts, in CLI
+/// order. `probe` and `static` select an [`Interference`]; `both` runs
+/// the exploration once per mode and cross-checks the verdicts.
+pub const INTERFERENCE_NAMES: &[&str] = &["probe", "static", "both"];
+
+/// How the POR reductions decide which processors may interfere.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Interference {
+    /// One-step probes: the full neighbourhood row of each processor.
+    #[default]
+    Probe,
+    /// Static may-touch footprints derived from the program's
+    /// [`ProgramSpec`](simsym_vm::ProgramSpec) via
+    /// [`machine_footprints`](crate::dataflow::machine_footprints).
+    Static,
+}
+
+impl Interference {
+    /// Parses a CLI name (`both` is a CLI-level composite, not a mode).
+    pub fn parse(name: &str) -> Option<Interference> {
+        match name {
+            "probe" => Some(Interference::Probe),
+            "static" => Some(Interference::Static),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            Interference::Probe => "probe",
+            Interference::Static => "static",
+        }
+    }
+}
 
 /// Which state-space reduction an exploration composes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -88,6 +124,28 @@ impl Reduction {
             Reduction::Both => Box::new(Por::over(graph, similarity_reducer(graph, init))),
         }
     }
+
+    /// Like [`Reduction::build`], but the POR modes use the statically
+    /// derived per-processor `footprints` instead of one-step probe rows
+    /// (see [`Por::with_static_interference`]). The non-POR modes ignore
+    /// the footprints — there is nothing for them to refine.
+    pub fn build_static(
+        self,
+        graph: &SystemGraph,
+        init: &SystemInit,
+        footprints: &[Vec<VarId>],
+    ) -> Box<dyn Reducer> {
+        match self {
+            Reduction::None => Box::new(Identity),
+            Reduction::Quotient => Box::new(similarity_reducer(graph, init)),
+            Reduction::Por => Box::new(Por::with_static_interference(graph, footprints, Identity)),
+            Reduction::Both => Box::new(Por::with_static_interference(
+                graph,
+                footprints,
+                similarity_reducer(graph, init),
+            )),
+        }
+    }
 }
 
 /// Explores `machine` exhaustively under `reduction` and reports the
@@ -100,6 +158,23 @@ pub fn check_exploration(
     reduction: Reduction,
 ) -> (ExploreResult, Vec<Diagnostic>) {
     let mut reducer = reduction.build(machine.graph(), init);
+    let result = explore_with(machine, cfg, reducer.as_mut());
+    let diags = explore_diagnostics(&result, cfg, reduction);
+    (result, diags)
+}
+
+/// [`check_exploration`] with the POR reductions driven by static
+/// may-touch `footprints` (one per processor) instead of one-step probes.
+/// Derive the footprints with
+/// [`machine_footprints`](crate::dataflow::machine_footprints).
+pub fn check_exploration_static(
+    machine: &Machine,
+    init: &SystemInit,
+    cfg: ExploreConfig,
+    reduction: Reduction,
+    footprints: &[Vec<VarId>],
+) -> (ExploreResult, Vec<Diagnostic>) {
+    let mut reducer = reduction.build_static(machine.graph(), init, footprints);
     let result = explore_with(machine, cfg, reducer.as_mut());
     let diags = explore_diagnostics(&result, cfg, reduction);
     (result, diags)
@@ -366,6 +441,35 @@ mod tests {
             .iter()
             .any(|d| d.code == codes::DYN_EXPLORE_TRUNCATED && d.severity == Severity::Warning));
         assert!(!diags.iter().any(|d| d.code == codes::DYN_EXPLORE_CERTIFIED));
+    }
+
+    #[test]
+    fn interference_names_cover_the_modes_plus_both() {
+        assert_eq!(Interference::parse("probe"), Some(Interference::Probe));
+        assert_eq!(Interference::parse("static"), Some(Interference::Static));
+        assert_eq!(Interference::parse("both"), None);
+        assert_eq!(Interference::parse("bogus"), None);
+        for mode in [Interference::Probe, Interference::Static] {
+            assert!(INTERFERENCE_NAMES.contains(&mode.label()));
+        }
+        assert!(INTERFERENCE_NAMES.contains(&"both"));
+        assert_eq!(Interference::default(), Interference::Probe);
+    }
+
+    #[test]
+    fn static_interference_agrees_with_the_probe_oracle_on_grab() {
+        let g = Arc::new(topology::uniform_ring(3));
+        let init = SystemInit::uniform(&g);
+        let cfg = ExploreConfig::default();
+        let m = grab_machine(g.clone(), &init);
+        let footprints = crate::dataflow::machine_footprints(&m).expect("grab ships a spec");
+        let (baseline, _) = check_exploration(&m, &init, cfg, Reduction::None);
+        for mode in [Reduction::Por, Reduction::Both] {
+            let m = grab_machine(g.clone(), &init);
+            let (reduced, _) = check_exploration_static(&m, &init, cfg, mode, &footprints);
+            let diags = diverged_diagnostics(&baseline, &reduced, mode);
+            assert!(diags.is_empty(), "mode {}: {diags:?}", mode.label());
+        }
     }
 
     #[test]

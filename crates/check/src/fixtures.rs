@@ -4,11 +4,20 @@
 //! uses them as known-bad baselines.
 
 use simsym_graph::SystemGraph;
-use simsym_vm::{FnProgram, InstructionSet, Machine, SystemInit, Value};
+use simsym_vm::{
+    FnProgram, InstructionSet, Machine, OpKind, PhaseSpec, PortSet, ProgramSpec, SystemInit, Value,
+};
 use std::sync::Arc;
 
 /// The built-in fixture programs, by CLI name.
-pub const FIXTURE_NAMES: &[&str] = &["racy", "fixed-order", "isa-cheater", "greedy", "grab"];
+pub const FIXTURE_NAMES: &[&str] = &[
+    "racy",
+    "fixed-order",
+    "isa-cheater",
+    "greedy",
+    "grab",
+    "uninit",
+];
 
 /// Builds the fixture machine named `name` (see [`FIXTURE_NAMES`]) on
 /// `graph`, or `None` for an unknown name.
@@ -19,6 +28,7 @@ pub fn fixture_machine(name: &str, graph: Arc<SystemGraph>, init: &SystemInit) -
         "isa-cheater" => Some(isa_cheater_machine(graph, init)),
         "greedy" => Some(greedy_machine(graph, init)),
         "grab" => Some(grab_machine(graph, init)),
+        "uninit" => Some(uninit_machine(graph, init)),
         _ => None,
     }
 }
@@ -27,12 +37,22 @@ pub fn fixture_machine(name: &str, graph: Arc<SystemGraph>, init: &SystemInit) -
 /// neighbouring variables without ever locking — the lockset detector
 /// flags every multi-writer variable ([`crate::diag::codes::DYN_RACE`]).
 pub fn racy_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
-    let prog = Arc::new(FnProgram::new("fixture-racy", |local, ops| {
-        let names = ops.all_names();
-        let k = (local.pc as usize) % names.len();
-        ops.write(names[k], Value::from(local.pc as i64));
-        local.pc = local.pc.wrapping_add(1);
-    }));
+    let prog = Arc::new(
+        FnProgram::new("fixture-racy", |local, ops| {
+            let names = ops.all_names();
+            let k = (local.pc as usize) % names.len();
+            ops.write(names[k], Value::from(local.pc as i64));
+            local.pc = local.pc.wrapping_add(1);
+        })
+        // The wrapping pc is one self-looping phase that may write any name.
+        .with_spec(
+            ProgramSpec::new("fixture-racy", 0).phase(
+                PhaseSpec::new(0, "write-round-robin")
+                    .op(OpKind::Write, PortSet::All)
+                    .succs(&[0]),
+            ),
+        ),
+    );
     Machine::new(graph, InstructionSet::L, prog, init).expect("fixture init")
 }
 
@@ -44,31 +64,56 @@ pub fn racy_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
 /// neighbour the second lock degenerates to a re-lock of the first, which
 /// the discipline checker flags instead.
 pub fn fixed_order_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
-    let prog = Arc::new(FnProgram::new("fixture-fixed-order", |local, ops| {
-        let names = ops.all_names();
-        let first = names[0];
-        let second = names[names.len() - 1];
-        match local.pc {
-            0 => {
-                if ops.lock(first) {
-                    local.pc = 1;
+    let prog = Arc::new(
+        FnProgram::new("fixture-fixed-order", |local, ops| {
+            let names = ops.all_names();
+            let first = names[0];
+            let second = names[names.len() - 1];
+            match local.pc {
+                0 => {
+                    if ops.lock(first) {
+                        local.pc = 1;
+                    }
+                }
+                1 => {
+                    if ops.lock(second) {
+                        local.pc = 2;
+                    }
+                }
+                2 => {
+                    ops.unlock(second);
+                    local.pc = 3;
+                }
+                _ => {
+                    ops.unlock(first);
+                    local.pc = 0;
                 }
             }
-            1 => {
-                if ops.lock(second) {
-                    local.pc = 2;
-                }
-            }
-            2 => {
-                ops.unlock(second);
-                local.pc = 3;
-            }
-            _ => {
-                ops.unlock(first);
-                local.pc = 0;
-            }
-        }
-    }));
+        })
+        .with_spec(
+            ProgramSpec::new("fixture-fixed-order", 0)
+                .phase(
+                    PhaseSpec::new(0, "lock-first")
+                        .op(OpKind::Lock, PortSet::First)
+                        .succs(&[0, 1]),
+                )
+                .phase(
+                    PhaseSpec::new(1, "lock-last")
+                        .op(OpKind::Lock, PortSet::Last)
+                        .succs(&[1, 2]),
+                )
+                .phase(
+                    PhaseSpec::new(2, "unlock-last")
+                        .op(OpKind::Unlock, PortSet::Last)
+                        .succs(&[3]),
+                )
+                .phase(
+                    PhaseSpec::new(3, "unlock-first")
+                        .op(OpKind::Unlock, PortSet::First)
+                        .succs(&[0]),
+                ),
+        ),
+    );
     Machine::new(graph, InstructionSet::L, prog, init).expect("fixture init")
 }
 
@@ -77,11 +122,20 @@ pub fn fixed_order_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machin
 /// stream; the ISA checker reports it
 /// ([`crate::diag::codes::DYN_ISA_OP`]).
 pub fn isa_cheater_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
-    let prog = Arc::new(FnProgram::new("fixture-isa-cheater", |local, ops| {
-        let names = ops.all_names();
-        let _ = ops.lock(names[(local.pc as usize) % names.len()]);
-        local.pc = local.pc.wrapping_add(1);
-    }));
+    let prog = Arc::new(
+        FnProgram::new("fixture-isa-cheater", |local, ops| {
+            let names = ops.all_names();
+            let _ = ops.lock(names[(local.pc as usize) % names.len()]);
+            local.pc = local.pc.wrapping_add(1);
+        })
+        .with_spec(
+            ProgramSpec::new("fixture-isa-cheater", 0).phase(
+                PhaseSpec::new(0, "lock-round-robin")
+                    .op(OpKind::Lock, PortSet::All)
+                    .succs(&[0]),
+            ),
+        ),
+    );
     Machine::new(graph, InstructionSet::S, prog, init).expect("fixture init")
 }
 
@@ -89,12 +143,22 @@ pub fn isa_cheater_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machin
 /// shared writes in one step. The second is refused and recorded; the ISA
 /// checker reports it ([`crate::diag::codes::DYN_ATOMICITY`]).
 pub fn greedy_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
-    let prog = Arc::new(FnProgram::new("fixture-greedy", |local, ops| {
-        let names = ops.all_names();
-        ops.write(names[0], Value::from(local.pc as i64));
-        ops.write(names[0], Value::from(-(local.pc as i64)));
-        local.pc = local.pc.wrapping_add(1);
-    }));
+    let prog = Arc::new(
+        FnProgram::new("fixture-greedy", |local, ops| {
+            let names = ops.all_names();
+            ops.write(names[0], Value::from(local.pc as i64));
+            ops.write(names[0], Value::from(-(local.pc as i64)));
+            local.pc = local.pc.wrapping_add(1);
+        })
+        .with_spec(
+            ProgramSpec::new("fixture-greedy", 0).phase(
+                PhaseSpec::new(0, "double-write")
+                    .op(OpKind::Write, PortSet::First)
+                    .op(OpKind::Write, PortSet::First)
+                    .succs(&[0]),
+            ),
+        ),
+    );
     Machine::new(graph, InstructionSet::S, prog, init).expect("fixture init")
 }
 
@@ -105,29 +169,112 @@ pub fn greedy_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
 /// exhaustive explorer reports Uniqueness violations
 /// ([`crate::diag::codes::DYN_EXPLORE_UNIQ`]) under every reduction mode.
 pub fn grab_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
-    let prog = Arc::new(FnProgram::new("fixture-grab", |local, ops| {
-        let names = ops.all_names();
-        match local.pc {
-            0 => {
-                let v = ops.read(names[0]);
-                local.set("saw", v);
-                local.pc = 1;
-            }
-            1 => {
-                if local.get("saw") == Value::Unit {
-                    ops.write(names[0], Value::from(1));
-                    local.pc = 2;
-                } else {
-                    local.pc = 3; // lost the grab
+    let prog = Arc::new(
+        FnProgram::new("fixture-grab", |local, ops| {
+            let names = ops.all_names();
+            match local.pc {
+                0 => {
+                    let v = ops.read(names[0]);
+                    local.set("saw", v);
+                    local.pc = 1;
                 }
+                1 => {
+                    if local.get("saw") == Value::Unit {
+                        ops.write(names[0], Value::from(1));
+                        local.pc = 2;
+                    } else {
+                        local.pc = 3; // lost the grab
+                    }
+                }
+                2 => {
+                    local.selected = true; // selecting step is local-only
+                    local.pc = 3;
+                }
+                _ => {}
             }
-            2 => {
-                local.selected = true; // selecting step is local-only
-                local.pc = 3;
+        })
+        // The program only ever touches its first-named neighbour — the
+        // static interference footprint POR exploits on rings.
+        .with_spec(
+            ProgramSpec::new("fixture-grab", 0)
+                .phase(
+                    PhaseSpec::new(0, "read-first")
+                        .writes(&["saw"])
+                        .op(OpKind::Read, PortSet::First)
+                        .succs(&[1]),
+                )
+                .phase(
+                    PhaseSpec::new(1, "grab-if-unit")
+                        .reads(&["saw"])
+                        .op(OpKind::Write, PortSet::First)
+                        .succs(&[2, 3]),
+                )
+                .phase(PhaseSpec::new(2, "select").succs(&[3]))
+                .phase(PhaseSpec::new(3, "halt").succs(&[3])),
+        ),
+    );
+    Machine::new(graph, InstructionSet::S, prog, init).expect("fixture init")
+}
+
+/// **Uninitialized read** fixture: phase 0 acts on a `counter` register
+/// that no reachable code ever writes — the initializing write sits in an
+/// unreachable phase. Statically, must-initialize analysis flags the read
+/// ([`crate::diag::codes::STAT_UNINIT_READ`]) and reachability flags the
+/// orphaned writer ([`crate::diag::codes::STAT_DEAD_PHASE`]), with zero VM
+/// steps executed. Dynamically, the very first step finds `counter`
+/// garbled and the processor halts, which the ISA checker reports as
+/// [`crate::diag::codes::DYN_GARBLED_REG`] naming the same register.
+pub fn uninit_machine(graph: Arc<SystemGraph>, init: &SystemInit) -> Machine {
+    let prog = Arc::new(
+        FnProgram::new("fixture-uninit", |local, ops| {
+            let names = ops.all_names();
+            match local.pc {
+                0 => match local.get("counter").as_int() {
+                    Some(k) => {
+                        ops.write(names[0], Value::from(k));
+                        local.pc = 1;
+                    }
+                    None => {
+                        ops.record_garbled_register("counter");
+                        local.pc = 3;
+                    }
+                },
+                1 => {
+                    let v = ops.read(names[0]);
+                    local.set("saw", v);
+                    local.pc = 0;
+                }
+                2 => {
+                    // The write that was supposed to seed `counter` —
+                    // nothing ever jumps here.
+                    local.set("counter", Value::from(0));
+                    local.pc = 0;
+                }
+                _ => {}
             }
-            _ => {}
-        }
-    }));
+        })
+        .with_spec(
+            ProgramSpec::new("fixture-uninit", 0)
+                .phase(
+                    PhaseSpec::new(0, "publish-counter")
+                        .reads(&["counter"])
+                        .op(OpKind::Write, PortSet::First)
+                        .succs(&[1, 3]),
+                )
+                .phase(
+                    PhaseSpec::new(1, "read-back")
+                        .writes(&["saw"])
+                        .op(OpKind::Read, PortSet::First)
+                        .succs(&[0]),
+                )
+                .phase(
+                    PhaseSpec::new(2, "seed-counter")
+                        .writes(&["counter"])
+                        .succs(&[0]),
+                )
+                .phase(PhaseSpec::new(3, "halt").succs(&[3])),
+        ),
+    );
     Machine::new(graph, InstructionSet::S, prog, init).expect("fixture init")
 }
 
@@ -154,6 +301,7 @@ mod tests {
             .contains(&codes::DYN_LOCK_CYCLE));
         assert!(lint_fixture("isa-cheater", topology::figure1(), 10).contains(&codes::DYN_ISA_OP));
         assert!(lint_fixture("greedy", topology::figure1(), 10).contains(&codes::DYN_ATOMICITY));
+        assert!(lint_fixture("uninit", topology::figure1(), 10).contains(&codes::DYN_GARBLED_REG));
     }
 
     #[test]
@@ -161,7 +309,22 @@ mod tests {
         let g = Arc::new(topology::figure1());
         let init = SystemInit::uniform(&g);
         assert!(fixture_machine("nope", g, &init).is_none());
-        assert_eq!(FIXTURE_NAMES.len(), 5);
+        assert_eq!(FIXTURE_NAMES.len(), 6);
+    }
+
+    #[test]
+    fn every_fixture_ships_a_valid_spec() {
+        let g = Arc::new(topology::uniform_ring(3));
+        let init = SystemInit::uniform(&g);
+        for name in FIXTURE_NAMES {
+            let m = fixture_machine(name, Arc::clone(&g), &init).expect("known fixture");
+            let spec = m
+                .program()
+                .static_spec()
+                .unwrap_or_else(|| panic!("fixture {name} lacks a static spec"));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! [`Probe`]: simsym_vm::Probe
 //! [`OpRecord`]: simsym_vm::OpRecord
 
+pub mod dataflow;
 pub mod diag;
 pub mod discipline;
 pub mod explore_check;
@@ -37,11 +38,14 @@ pub mod lockset;
 pub mod static_check;
 pub mod suite;
 
+pub use dataflow::{
+    analyze_machine, analyze_spec, machine_footprints, static_footprints, StaticLockGraph,
+};
 pub use diag::{CheckReport, Diagnostic, Severity, Span};
 pub use discipline::DisciplineChecker;
 pub use explore_check::{
-    check_exploration, cross_check_reducers, diverged_diagnostics, explore_diagnostics, Reduction,
-    REDUCTION_NAMES,
+    check_exploration, check_exploration_static, cross_check_reducers, diverged_diagnostics,
+    explore_diagnostics, Interference, Reduction, INTERFERENCE_NAMES, REDUCTION_NAMES,
 };
 pub use fault_tolerance::FaultToleranceChecker;
 pub use fixtures::{fixture_machine, FIXTURE_NAMES};

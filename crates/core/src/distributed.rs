@@ -33,7 +33,10 @@
 use crate::labeling::NeighborhoodTable;
 use crate::{InconsistentLabeling, Label, Labeling};
 use simsym_graph::SystemGraph;
-use simsym_vm::{JournalSpec, LocalState, OpEnv, PeekView, Program, RegId, SystemInit, Value};
+use simsym_vm::{
+    JournalSpec, LocalState, OpEnv, OpKind, PeekView, PhaseSpec, PortSet, Program, ProgramSpec,
+    RegId, SystemInit, Value,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
 
@@ -457,6 +460,32 @@ impl Program for LabelLearner {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    // Algorithm 2's text: alternate a peek sweep and a post sweep over all
+    // names until the suspect set is a singleton. The peek/post `pc`
+    // ranges are two phases; every register the sweeps consult is seeded
+    // at boot, and every shared op may address any name.
+    fn static_spec(&self) -> Option<ProgramSpec> {
+        Some(
+            ProgramSpec::new(&self.name, 0)
+                .boot_writes(&["pec", "vec", "peeked", "round"])
+                .phase(
+                    PhaseSpec::new(0, "peek-sweep")
+                        .reads(&["pec", "vec", "peeked"])
+                        .writes(&["pec", "vec", "peeked"])
+                        .op(OpKind::Peek, PortSet::All)
+                        .succs(&[0, 1]),
+                )
+                .phase(
+                    PhaseSpec::new(1, "post-sweep")
+                        .reads(&["pec", "round"])
+                        .writes(&["round"])
+                        .op(OpKind::Post, PortSet::All)
+                        .succs(&[0, 1, 2]),
+                )
+                .phase(PhaseSpec::new(2, "done").succs(&[2])),
+        )
     }
 }
 

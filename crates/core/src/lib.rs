@@ -87,8 +87,8 @@ pub use relabel::{
 pub use report::{analyze_system, markdown_report, render_markdown, SystemReport};
 pub use s_learner::{SLearnTables, SLearner};
 pub use select::{
-    explore_selection_q, selection_program_q, Algorithm3, Algorithm4, LSelectionPlan,
-    DEFAULT_OUTCOME_BUDGET,
+    algorithm4_spec, explore_selection_q, selection_program_q, Algorithm3, Algorithm4,
+    LSelectionPlan, DEFAULT_OUTCOME_BUDGET,
 };
 pub use simulate::{coincidence_rate, probe_programs, validate_operationally};
 pub use symmetry::{

@@ -41,7 +41,7 @@ use crate::{hopcroft_similarity, Family, InconsistentLabeling, Label, Model};
 use simsym_graph::SystemGraph;
 use simsym_vm::{
     explore_with, ExploreConfig, ExploreResult, InstructionSet, JournalSpec, LocalState, Machine,
-    OpEnv, PeekView, Program, RegId, SystemInit, Value,
+    OpEnv, OpKind, PeekView, PhaseSpec, PortSet, Program, ProgramSpec, RegId, SystemInit, Value,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -309,6 +309,34 @@ impl Program for Algorithm3 {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn static_spec(&self) -> Option<ProgramSpec> {
+        Some(
+            ProgramSpec::new(&self.name, A3_PHASE_A as u32)
+                .boot_writes(&["pec", "vec", "peeked", "round", "phase", "true_init"])
+                .phase(
+                    PhaseSpec::new(A3_PHASE_A as u32, "phase-a")
+                        .reads(&["phase", "pec", "vec", "peeked", "true_init"])
+                        .writes(&["pec", "vec", "peeked", "alabel", "phase"])
+                        .op(OpKind::Peek, PortSet::All)
+                        .op(OpKind::Post, PortSet::All)
+                        .succs(&[A3_PHASE_A as u32, A3_PHASE_B as u32]),
+                )
+                .phase(
+                    PhaseSpec::new(A3_PHASE_B as u32, "phase-b")
+                        .reads(&["phase", "pec", "vec", "peeked", "alabel"])
+                        .writes(&["pec", "vec", "peeked", "phase"])
+                        .op(OpKind::Peek, PortSet::All)
+                        .op(OpKind::Post, PortSet::All)
+                        .succs(&[A3_PHASE_B as u32, A3_DONE as u32]),
+                )
+                .phase(
+                    PhaseSpec::new(A3_DONE as u32, "done")
+                        .reads(&["phase"])
+                        .succs(&[A3_DONE as u32]),
+                ),
+        )
+    }
 }
 
 impl Algorithm3 {
@@ -556,6 +584,81 @@ impl Program for Algorithm4 {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn static_spec(&self) -> Option<ProgramSpec> {
+        let mut spec = algorithm4_spec(self.extended, true);
+        spec.name = self.name.clone();
+        Some(spec)
+    }
+}
+
+/// The static spec of [`Algorithm4`]'s program text.
+///
+/// `boot_runlock` controls whether boot seeds the `runlock` unlock cursor.
+/// The shipped program passes `true`; passing `false` with
+/// `extended = true` reproduces the PR 4 defect where the L* unlock path
+/// read `runlock` before any write had reached it — regression tests run
+/// the must-initialize analysis on that variant and expect
+/// [`STAT-UNINIT-READ`](simsym_check) with **zero** VM steps executed.
+pub fn algorithm4_spec(extended: bool, boot_runlock: bool) -> ProgramSpec {
+    let relabel = A4_RELABEL as u32;
+    let barrier = A4_BARRIER as u32;
+    let learn = A4_LEARN as u32;
+    let done = A4_DONE as u32;
+    let halted = A4_HALTED as u32;
+    let mut spec = ProgramSpec::new("algorithm4", relabel)
+        .boot_writes(&["phase", "rname", "rstage", "counts"]);
+    if boot_runlock {
+        spec = spec.boot_writes(&["runlock"]);
+    }
+    let mut relabel_phase = PhaseSpec::new(relabel, "relabel")
+        .reads(&["phase", "rname", "rstage", "counts"])
+        // `rbuf` is always written (stage 1) before the stage-2 read, so
+        // it belongs in writes only; `wait` seeds the barrier.
+        .writes(&["rname", "rstage", "rbuf", "counts", "phase", "wait"])
+        .op(OpKind::Read, PortSet::All)
+        .op(OpKind::Write, PortSet::All)
+        .op(OpKind::Unlock, PortSet::All)
+        .succs(&[relabel, barrier, halted]);
+    relabel_phase = if extended {
+        // The L* release loop walks `runlock` over the name row — the
+        // one register boot must seed for the path to be well-defined.
+        relabel_phase
+            .reads(&["runlock"])
+            .writes(&["runlock"])
+            .op(OpKind::LockMany, PortSet::All)
+    } else {
+        relabel_phase.op(OpKind::Lock, PortSet::All)
+    };
+    spec.phase(relabel_phase)
+        .phase(
+            PhaseSpec::new(barrier, "barrier")
+                .reads(&["phase", "wait", "init", "counts"])
+                .writes(&["wait", "phase", "pec", "vec", "peeked", "post_ni", "pstage"])
+                .succs(&[barrier, learn, halted]),
+        )
+        .phase(
+            PhaseSpec::new(learn, "learn")
+                .reads(&[
+                    "phase", "pec", "vec", "peeked", "post_ni", "pstage", "counts",
+                ])
+                .writes(&["pec", "vec", "peeked", "post_ni", "pstage", "pbuf", "phase"])
+                .op(OpKind::Lock, PortSet::All)
+                .op(OpKind::Read, PortSet::All)
+                .op(OpKind::Write, PortSet::All)
+                .op(OpKind::Unlock, PortSet::All)
+                .succs(&[learn, done, halted]),
+        )
+        .phase(
+            PhaseSpec::new(done, "done")
+                .reads(&["phase"])
+                .succs(&[done]),
+        )
+        .phase(
+            PhaseSpec::new(halted, "halted")
+                .reads(&["phase"])
+                .succs(&[halted]),
+        )
 }
 
 /// Records a garbled-register violation and parks the processor in

@@ -81,7 +81,7 @@ pub use isa::InstructionSet;
 pub use machine::{
     Machine, MachineError, ModelViolation, OpEnv, OpKind, OpRecord, PeekView, StepOp, StepUndo,
 };
-pub use program::{FnProgram, IdleProgram, Program};
+pub use program::{FnProgram, IdleProgram, OpFootprint, PhaseSpec, PortSet, Program, ProgramSpec};
 pub use reduce::{Identity, Por, ProbedStep, Reducer, SimilarityQuotient, VisitedSet};
 pub use schedule::{
     Adversary, BoundedFairRandom, Excluding, FixedSequence, RandomFair, RoundRobin, ScheduleKind,

@@ -414,6 +414,11 @@ impl Machine {
         self.program.name()
     }
 
+    /// The loaded program.
+    pub fn program(&self) -> &Arc<dyn Program> {
+        &self.program
+    }
+
     /// Number of steps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps

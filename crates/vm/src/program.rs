@@ -7,9 +7,222 @@
 //! processor's behaviour may depend only on its [`LocalState`] and on what
 //! it observes through shared operations — never on its processor id.
 
-use crate::machine::OpEnv;
+use crate::machine::{OpEnv, OpKind};
 use crate::{LocalState, Value};
+use simsym_graph::{ProcId, SystemGraph, VarId};
 use std::sync::Arc;
+
+/// Which of a processor's edge names a shared operation may address.
+///
+/// Programs address shared variables only through names (`n-nbr`), so a
+/// port set resolves to concrete [`VarId`]s per processor per graph. The
+/// variants mirror how the built-in programs actually pick names: the whole
+/// dense row, its first or last entry, or an explicit list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PortSet {
+    /// Any of the processor's names (the whole `n-nbr` row).
+    All,
+    /// The first name in dense order.
+    First,
+    /// The last name in dense order.
+    Last,
+    /// An explicit list of edge names. Names absent from a graph's name
+    /// table resolve to nothing there — a program cannot address a name
+    /// the graph does not intern, so dropping it loses no behaviour.
+    Named(Vec<String>),
+}
+
+impl PortSet {
+    /// The concrete variables processor `p` may address through this port
+    /// set on `graph`, sorted and deduplicated.
+    pub fn resolve(&self, graph: &SystemGraph, p: ProcId) -> Vec<VarId> {
+        let row = graph.processor_neighbors(p);
+        let mut vars: Vec<VarId> = match self {
+            PortSet::All => row.to_vec(),
+            PortSet::First => row.first().copied().into_iter().collect(),
+            PortSet::Last => row.last().copied().into_iter().collect(),
+            PortSet::Named(names) => names
+                .iter()
+                .filter_map(|n| graph.names().get(n))
+                .map(|n| graph.n_nbr(p, n))
+                .collect(),
+        };
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+}
+
+/// One shared operation a phase *may* perform: the kind plus the ports it
+/// may address. Footprints form a may-set — a sound over-approximation of
+/// what any single visit to the phase actually does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpFootprint {
+    /// The operation kind.
+    pub op: OpKind,
+    /// The names it may address.
+    pub ports: PortSet,
+}
+
+/// One abstract phase of a [`ProgramSpec`].
+///
+/// A phase is an author-chosen abstraction of the program's control state —
+/// usually a contiguous range of `pc` values that behave alike (a program
+/// whose `pc` wraps freely is a single self-looping phase). The lists are
+/// may-sets with one soundness obligation on `reads`: a register belongs in
+/// `reads` iff some execution may read it **before this phase has written
+/// it** since the phase was entered; registers a phase always writes before
+/// reading belong in `writes` only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// The phase id — conventionally the (first) `pc` value it covers.
+    pub pc: u32,
+    /// A short human-readable label for diagnostics.
+    pub label: String,
+    /// Registers the phase may read before writing them (see type docs).
+    pub reads: Vec<String>,
+    /// Registers the phase may write.
+    pub writes: Vec<String>,
+    /// Shared operations the phase may perform.
+    pub ops: Vec<OpFootprint>,
+    /// Phase ids any step of this phase may transfer control to.
+    pub succs: Vec<u32>,
+}
+
+impl PhaseSpec {
+    /// A phase with empty footprints; extend with the builder methods.
+    pub fn new(pc: u32, label: &str) -> PhaseSpec {
+        PhaseSpec {
+            pc,
+            label: label.to_owned(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            ops: Vec::new(),
+            succs: Vec::new(),
+        }
+    }
+
+    /// Adds registers the phase may read before writing them.
+    pub fn reads(mut self, regs: &[&str]) -> PhaseSpec {
+        self.reads.extend(regs.iter().map(|r| (*r).to_owned()));
+        self
+    }
+
+    /// Adds registers the phase may write.
+    pub fn writes(mut self, regs: &[&str]) -> PhaseSpec {
+        self.writes.extend(regs.iter().map(|r| (*r).to_owned()));
+        self
+    }
+
+    /// Adds a shared-operation footprint.
+    pub fn op(mut self, op: OpKind, ports: PortSet) -> PhaseSpec {
+        self.ops.push(OpFootprint { op, ports });
+        self
+    }
+
+    /// Adds successor phase ids.
+    pub fn succs(mut self, succs: &[u32]) -> PhaseSpec {
+        self.succs.extend_from_slice(succs);
+        self
+    }
+}
+
+/// A declarative, statically analyzable over-approximation of a program's
+/// text: its boot-initialized registers and a phase graph of per-phase
+/// register/shared-op footprints.
+///
+/// Programs are opaque step functions; a spec is the optional companion the
+/// author supplies through [`Program::static_spec`] so the checker layer's
+/// dataflow analyses (uninit reads, dead phases, symmetry breaks, static
+/// lock order, static interference for partial-order reduction) can run
+/// without executing a single VM step. Soundness of those analyses is
+/// relative to the spec: every runtime behaviour of the program must be
+/// covered by some path through the spec's phases and footprints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// The program name the spec describes.
+    pub name: String,
+    /// The phase every processor boots into.
+    pub entry: u32,
+    /// Registers `boot` seeds before the first step. Starts as `["init"]`
+    /// (the default boot seeds register `init`; see
+    /// [`LocalState::with_initial`]).
+    pub boot_writes: Vec<String>,
+    /// Whether program text distinguishes processors by identity (not via
+    /// `init` or shared observations) — impossible for programs written
+    /// against [`OpEnv`], but expressible so the symmetry lint can police
+    /// the model boundary on externally supplied specs.
+    pub id_dependent: bool,
+    /// The phases, in any order; `pc` values must be unique.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl ProgramSpec {
+    /// An empty spec booting into `entry`, with `boot_writes = ["init"]`.
+    pub fn new(name: &str, entry: u32) -> ProgramSpec {
+        ProgramSpec {
+            name: name.to_owned(),
+            entry,
+            boot_writes: vec!["init".to_owned()],
+            id_dependent: false,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Adds registers `boot` seeds beyond the default `init`.
+    pub fn boot_writes(mut self, regs: &[&str]) -> ProgramSpec {
+        self.boot_writes
+            .extend(regs.iter().map(|r| (*r).to_owned()));
+        self
+    }
+
+    /// Marks the program text as processor-id-dependent.
+    pub fn id_dependent(mut self) -> ProgramSpec {
+        self.id_dependent = true;
+        self
+    }
+
+    /// Adds a phase.
+    pub fn phase(mut self, phase: PhaseSpec) -> ProgramSpec {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Index into `phases` of the phase with id `pc`.
+    pub fn phase_index(&self, pc: u32) -> Option<usize> {
+        self.phases.iter().position(|p| p.pc == pc)
+    }
+
+    /// Checks structural well-formedness: at least one phase, unique phase
+    /// ids, and `entry`/every successor resolving to a declared phase.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err(format!("spec {:?} declares no phases", self.name));
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            if self.phases[..i].iter().any(|q| q.pc == p.pc) {
+                return Err(format!("spec {:?}: duplicate phase id {}", self.name, p.pc));
+            }
+        }
+        if self.phase_index(self.entry).is_none() {
+            return Err(format!(
+                "spec {:?}: entry {} is not a declared phase",
+                self.name, self.entry
+            ));
+        }
+        for p in &self.phases {
+            for s in &p.succs {
+                if self.phase_index(*s).is_none() {
+                    return Err(format!(
+                        "spec {:?}: phase {} names undeclared successor {}",
+                        self.name, p.pc, s
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
 
 /// A program executed by every processor of a system.
 ///
@@ -45,6 +258,14 @@ pub trait Program: Send + Sync {
     fn name(&self) -> &str {
         "anonymous"
     }
+
+    /// A static over-approximation of the program text, if the author
+    /// supplies one (see [`ProgramSpec`]). `None` — the default — means
+    /// the program is opaque to static analysis, which then falls back to
+    /// dynamic checking and full-adjacency interference.
+    fn static_spec(&self) -> Option<ProgramSpec> {
+        None
+    }
 }
 
 impl<P: Program + ?Sized> Program for &P {
@@ -57,6 +278,9 @@ impl<P: Program + ?Sized> Program for &P {
     fn name(&self) -> &str {
         (**self).name()
     }
+    fn static_spec(&self) -> Option<ProgramSpec> {
+        (**self).static_spec()
+    }
 }
 
 impl<P: Program + ?Sized> Program for Arc<P> {
@@ -68,6 +292,9 @@ impl<P: Program + ?Sized> Program for Arc<P> {
     }
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn static_spec(&self) -> Option<ProgramSpec> {
+        (**self).static_spec()
     }
 }
 
@@ -86,6 +313,7 @@ impl<P: Program + ?Sized> Program for Arc<P> {
 pub struct FnProgram<F> {
     name: String,
     step: F,
+    spec: Option<ProgramSpec>,
 }
 
 impl<F> FnProgram<F>
@@ -97,7 +325,16 @@ where
         FnProgram {
             name: name.to_owned(),
             step,
+            spec: None,
         }
+    }
+
+    /// Attaches a static spec describing the closure's text. The caller
+    /// vouches that `spec` over-approximates every behaviour of the
+    /// closure (see [`ProgramSpec`]).
+    pub fn with_spec(mut self, spec: ProgramSpec) -> Self {
+        self.spec = Some(spec);
+        self
     }
 }
 
@@ -112,6 +349,10 @@ where
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn static_spec(&self) -> Option<ProgramSpec> {
+        self.spec.clone()
+    }
 }
 
 /// The do-nothing program: every step is a no-op. Useful as a placeholder
@@ -124,6 +365,10 @@ impl Program for IdleProgram {
 
     fn name(&self) -> &str {
         "idle"
+    }
+
+    fn static_spec(&self) -> Option<ProgramSpec> {
+        Some(ProgramSpec::new("idle", 0).phase(PhaseSpec::new(0, "idle").succs(&[0])))
     }
 }
 
@@ -150,5 +395,50 @@ mod tests {
         let arc: Arc<dyn Program> = Arc::new(prog);
         assert_eq!(arc.name(), "t");
         assert_eq!(IdleProgram.name(), "idle");
+    }
+
+    #[test]
+    fn static_spec_defaults_to_none_and_forwards() {
+        let prog = FnProgram::new("t", |_: &mut LocalState, _: &mut OpEnv<'_>| {});
+        assert!(prog.static_spec().is_none());
+        let spec = ProgramSpec::new("t", 0).phase(PhaseSpec::new(0, "loop").succs(&[0]));
+        let prog = prog.with_spec(spec.clone());
+        let arc: Arc<dyn Program> = Arc::new(prog);
+        assert_eq!(arc.static_spec(), Some(spec));
+        let idle = IdleProgram.static_spec().expect("idle has a spec");
+        idle.validate().expect("idle spec is well-formed");
+    }
+
+    #[test]
+    fn spec_validation_rejects_dangling_references() {
+        let empty = ProgramSpec::new("e", 0);
+        assert!(empty.validate().unwrap_err().contains("no phases"));
+        let bad_entry = ProgramSpec::new("e", 7).phase(PhaseSpec::new(0, "a"));
+        assert!(bad_entry.validate().unwrap_err().contains("entry"));
+        let dup = ProgramSpec::new("e", 0)
+            .phase(PhaseSpec::new(0, "a"))
+            .phase(PhaseSpec::new(0, "b"));
+        assert!(dup.validate().unwrap_err().contains("duplicate"));
+        let dangling = ProgramSpec::new("e", 0).phase(PhaseSpec::new(0, "a").succs(&[3]));
+        assert!(dangling.validate().unwrap_err().contains("successor"));
+    }
+
+    #[test]
+    fn port_sets_resolve_against_the_dense_name_row() {
+        use simsym_graph::topology;
+        let g = topology::uniform_ring(4);
+        let p = simsym_graph::ProcId::new(0);
+        let row = g.processor_neighbors(p).to_vec();
+        let mut all = row.clone();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(PortSet::All.resolve(&g, p), all);
+        assert_eq!(PortSet::First.resolve(&g, p), vec![row[0]]);
+        assert_eq!(PortSet::Last.resolve(&g, p), vec![row[row.len() - 1]]);
+        // Unknown names resolve to nothing: the graph interns no such name,
+        // so no runtime op can address it either.
+        assert!(PortSet::Named(vec!["no-such-name".into()])
+            .resolve(&g, p)
+            .is_empty());
     }
 }

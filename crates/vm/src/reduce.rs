@@ -365,6 +365,47 @@ impl<R: Reducer> Por<R> {
         Por { inner, words, adj }
     }
 
+    /// Stacks POR on top of `inner`, with the interference relation taken
+    /// from statically derived per-processor footprints instead of the
+    /// full `n-nbr` adjacency rows.
+    ///
+    /// `footprints[p]` must over-approximate every shared variable
+    /// processor `p`'s program can ever address (the checker layer derives
+    /// it from the reachable phases of a
+    /// [`ProgramSpec`](crate::ProgramSpec)). The closure argument of
+    /// [`Reducer::ample`] is unchanged — a processor stays outside an
+    /// ample set only if *nothing it can ever do* touches a member's
+    /// current targets — so soundness is preserved while ample sets can
+    /// only shrink. Defensively, each footprint is clamped to the
+    /// processor's adjacency row: programs address variables only through
+    /// names, so the clamp never drops a reachable target, and the
+    /// relation can never be *wider* than [`Por::over`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprints.len()` differs from the processor count.
+    pub fn with_static_interference(
+        graph: &SystemGraph,
+        footprints: &[Vec<VarId>],
+        inner: R,
+    ) -> Por<R> {
+        let pc = graph.processor_count();
+        assert_eq!(footprints.len(), pc, "one footprint per processor required");
+        let words = graph.variable_count().div_ceil(64).max(1);
+        let csr = CsrAdjacency::new(graph);
+        let mut adj = vec![0u64; pc * words];
+        for p in graph.processors() {
+            let row = &mut adj[p.index() * words..(p.index() + 1) * words];
+            let nbrs: HashSet<VarId> = csr.proc_row(p).iter().copied().collect();
+            for &v in &footprints[p.index()] {
+                if nbrs.contains(&v) {
+                    mask_set(row, v.index());
+                }
+            }
+        }
+        Por { inner, words, adj }
+    }
+
     fn static_row(&self, p: ProcId) -> &[u64] {
         &self.adj[p.index() * self.words..(p.index() + 1) * self.words]
     }
@@ -687,6 +728,51 @@ mod tests {
         assert!(por.ample(&mk(true, false)).is_none());
         // …and so do all-on-stack successors (the cycle proviso, C3).
         assert!(por.ample(&mk(false, true)).is_none());
+    }
+
+    #[test]
+    fn static_interference_full_footprints_match_probe_rows() {
+        let g = topology::uniform_ring(4);
+        let full: Vec<Vec<VarId>> = g
+            .processors()
+            .map(|p| g.processor_neighbors(p).to_vec())
+            .collect();
+        let probe = Por::new(&g);
+        let stat = Por::with_static_interference(&g, &full, Identity);
+        assert_eq!(probe.adj, stat.adj);
+        assert_eq!(probe.words, stat.words);
+    }
+
+    #[test]
+    fn static_interference_restricts_and_clamps_rows() {
+        let g = topology::uniform_ring(4);
+        let p0 = ProcId::new(0);
+        let left = g.n_nbr(p0, g.names().get("left").unwrap());
+        let foreign = g
+            .variables()
+            .find(|v| !g.processor_neighbors(p0).contains(v))
+            .unwrap();
+        // p0 may only ever touch `left`; a variable outside its name row is
+        // clamped away rather than widening the relation.
+        let mut fp: Vec<Vec<VarId>> = g
+            .processors()
+            .map(|p| g.processor_neighbors(p).to_vec())
+            .collect();
+        fp[0] = vec![left, foreign];
+        let por = Por::with_static_interference(&g, &fp, Identity);
+        let row = por.static_row(p0);
+        assert!(masks_intersect(row, &{
+            let mut m = vec![0u64; por.words];
+            mask_set(&mut m, left.index());
+            m
+        }));
+        let mut other = vec![0u64; por.words];
+        for v in g.variables() {
+            if v != left {
+                mask_set(&mut other, v.index());
+            }
+        }
+        assert!(!masks_intersect(row, &other));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! simsym lint table:5 --program fixed-order
 //! ```
 
-use simsym::check::explore_check::{check_exploration, diverged_diagnostics, Reduction};
+use simsym::check::explore_check::{
+    check_exploration, check_exploration_static, diverged_diagnostics, Interference, Reduction,
+};
 use simsym::check::{self, suite::lint_sweep, CheckReport, Diagnostic, FaultToleranceChecker};
 use simsym::core::{
     decide_selection_with_init, hopcroft_similarity, markdown_report, refinement_similarity,
@@ -73,7 +75,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym analyze --trace FILE\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--json] [--dot]\n  simsym verify --family <ring|table|alternating> [--procs N] [--program NAME]\n              [--reduce none|quotient|por|both] [--depth N] [--states N] [--json]\n  simsym faults --family <ring|table|alternating> --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--journal] [--json]\n  simsym soak --family <ring|table|alternating> [--budget N] [--seed N]\n              [--steps N] [--procs N] [--journal] [--repro-out FILE] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n\nverify explores the family's selection machine exhaustively (depth-\nand state-bounded DFS over undoable steps) under a pluggable\nstate-space reduction: quotient canonicalizes states modulo the\nautomorphism group Aut(N, state0), por prunes commuting interleavings\nwith persistent sets, both composes the two, none is the identity\noracle. The requested mode and the identity baseline run under the\nsame budgets and are cross-checked; the report carries canonical state\ncounts, peak visited-store bytes, and the reduction factor (x100 in\nJSON). A reachable double selection (DYN-EXPLORE-UNIQ), a surfaced\nmachine-model violation, or a reducer that diverges from the oracle\n(DYN-EXPLORE-DIVERGED) exits nonzero; an exhausted search is certified\nup to depth d modulo Aut(N) (DYN-EXPLORE-CERTIFIED). --program swaps\nthe generated selection program for a seeded-defect fixture (grab is\nthe naive grab-your-fork strawman that double-selects).\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical. With --journal\n(crash plan only) every processor — the leader included — crashes and\nreboots from a stable-storage journal, and the checker runs strict:\nany selection lost across a reboot is a DYN-RECOV-STAB error.\n\nsoak is the budgeted chaos loop: it fans randomized crash-reset plans\nacross schedules and seeds (strict checker) until the budget is spent\nor a violation is found. A violation is delta-debug shrunk — crash\nevents dropped, the schedule truncated and minimized, the processor\ncount reduced — while replaying to the identical verdict, and emitted\nas a replayable simsym-repro/v1 JSON artifact (--repro-out FILE).\nWithout --journal the selection decision lives in volatile memory and\nsoak finds the Stability violation by construction; with --journal the\nsame chaos stays clean. The exit code stays zero either way (the JSON\nreports \"violation_found\"); only replay divergence exits nonzero.\n\nanalyze --trace FILE replays a simsym-repro/v1 artifact verbatim (the\nschedule runs through a fixed-sequence scheduler) and exits nonzero if\nthe recorded verdict does not reproduce (SOAK-REPLAY-DIVERGED) or the\nembedded fault plan is ill-formed (SOAK-PLAN).\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family, naive-vs-hopcroft labeling time on marked rings,\nand the fault-layer and journal overhead rows.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace (with a system) runs the Q label learner under a seeded\nrandom-fair schedule and emits a replayable JSON schedule trace\n(verified by re-execution) on stdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy); --dot prints the\nlock-order graph in Graphviz syntax. Exits nonzero on error-severity\nfindings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym analyze --trace FILE\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--static] [--json] [--dot]\n  simsym verify --family <ring|table|alternating> [--procs N] [--program NAME]\n              [--reduce none|quotient|por|both] [--depth N] [--states N] [--json]\n              [--interference probe|static|both]\n  simsym faults --family <ring|table|alternating> --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--journal] [--json]\n  simsym soak --family <ring|table|alternating> [--budget N] [--seed N]\n              [--steps N] [--procs N] [--journal] [--repro-out FILE] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n\nverify explores the family's selection machine exhaustively (depth-\nand state-bounded DFS over undoable steps) under a pluggable\nstate-space reduction: quotient canonicalizes states modulo the\nautomorphism group Aut(N, state0), por prunes commuting interleavings\nwith persistent sets, both composes the two, none is the identity\noracle. The requested mode and the identity baseline run under the\nsame budgets and are cross-checked; the report carries canonical state\ncounts, peak visited-store bytes, and the reduction factor (x100 in\nJSON). A reachable double selection (DYN-EXPLORE-UNIQ), a surfaced\nmachine-model violation, or a reducer that diverges from the oracle\n(DYN-EXPLORE-DIVERGED) exits nonzero; an exhausted search is certified\nup to depth d modulo Aut(N) (DYN-EXPLORE-CERTIFIED). --program swaps\nthe generated selection program for a seeded-defect fixture (grab is\nthe naive grab-your-fork strawman that double-selects).\n--interference static drives the POR modes from the program's declared\nstatic footprints (may-touch sets from its ProgramSpec) instead of\none-step probes; both runs the exploration once per source and\ncross-checks every reduced run against the identity oracle.\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical. With --journal\n(crash plan only) every processor — the leader included — crashes and\nreboots from a stable-storage journal, and the checker runs strict:\nany selection lost across a reboot is a DYN-RECOV-STAB error.\n\nsoak is the budgeted chaos loop: it fans randomized crash-reset plans\nacross schedules and seeds (strict checker) until the budget is spent\nor a violation is found. A violation is delta-debug shrunk — crash\nevents dropped, the schedule truncated and minimized, the processor\ncount reduced — while replaying to the identical verdict, and emitted\nas a replayable simsym-repro/v1 JSON artifact (--repro-out FILE).\nWithout --journal the selection decision lives in volatile memory and\nsoak finds the Stability violation by construction; with --journal the\nsame chaos stays clean. The exit code stays zero either way (the JSON\nreports \"violation_found\"); only replay divergence exits nonzero.\n\nanalyze --trace FILE replays a simsym-repro/v1 artifact verbatim (the\nschedule runs through a fixed-sequence scheduler) and exits nonzero if\nthe recorded verdict does not reproduce (SOAK-REPLAY-DIVERGED) or the\nembedded fault plan is ill-formed (SOAK-PLAN).\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family, naive-vs-hopcroft labeling time on marked rings,\nand the fault-layer and journal overhead rows.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace (with a system) runs the Q label learner under a seeded\nrandom-fair schedule and emits a replayable JSON schedule trace\n(verified by re-execution) on stdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy | grab | uninit);\n--dot prints the lock-order graph in Graphviz syntax. --static skips\nthe dynamic pass entirely and instead runs the dataflow analyses over\nthe program's declared spec (uninit reads, dead phases, symmetry\nbreaks, static lock-order cycles) with zero VM steps executed. Exits\nnonzero on error-severity findings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
 }
 
 fn dispatch(args: &[String]) -> Result<CmdOut, String> {
@@ -127,6 +129,7 @@ struct LintOpts {
     sweep: bool,
     json: bool,
     dot: bool,
+    static_only: bool,
     program: Option<String>,
 }
 
@@ -139,6 +142,7 @@ fn extract_lint_flags(args: &[String]) -> Result<(LintOpts, Vec<String>), String
         sweep: false,
         json: false,
         dot: false,
+        static_only: false,
         program: None,
     };
     let mut rest = Vec::with_capacity(args.len());
@@ -167,6 +171,10 @@ fn extract_lint_flags(args: &[String]) -> Result<(LintOpts, Vec<String>), String
                 opts.dot = true;
                 i += 1;
             }
+            "--static" => {
+                opts.static_only = true;
+                i += 1;
+            }
             "--program" => {
                 let v = args.get(i + 1).ok_or("--program needs a fixture name")?;
                 opts.program = Some(v.clone());
@@ -180,6 +188,9 @@ fn extract_lint_flags(args: &[String]) -> Result<(LintOpts, Vec<String>), String
     }
     if opts.dot && opts.sweep {
         return Err("--dot and --sweep are mutually exclusive".into());
+    }
+    if opts.static_only && (opts.dot || opts.sweep) {
+        return Err("--static runs no dynamic pass; it excludes --dot and --sweep".into());
     }
     Ok((opts, rest))
 }
@@ -220,7 +231,7 @@ fn lint(args: &[String]) -> Result<CmdOut, String> {
                 check::FIXTURE_NAMES.join(", ")
             )
         })?;
-        let (name, g, init) = (name.clone(), Arc::clone(&graph), init);
+        let (name, g, init) = (name.clone(), Arc::clone(&graph), init.clone());
         Box::new(move || {
             check::fixture_machine(&name, Arc::clone(&g), &init).expect("validated fixture")
         })
@@ -248,6 +259,13 @@ fn lint(args: &[String]) -> Result<CmdOut, String> {
 
     let machine = factory();
     diags.extend(check::lint_machine(&machine));
+    if opts.static_only {
+        // Statics only — the dataflow analyses over the program's spec
+        // replace the dynamic pass; zero VM steps are executed.
+        diags.extend(check::analyze_machine(&machine, &init)?);
+        let report = CheckReport::new(spec, diags);
+        return lint_render(&report, &opts, None);
+    }
     drop(machine);
 
     if opts.sweep {
@@ -302,6 +320,7 @@ struct VerifyOpts {
     procs: Option<usize>,
     program: Option<String>,
     reduce: Reduction,
+    interference: String,
     depth: usize,
     states: usize,
     json: bool,
@@ -314,6 +333,7 @@ fn extract_verify_flags(args: &[String]) -> Result<VerifyOpts, String> {
         procs: None,
         program: None,
         reduce: Reduction::Both,
+        interference: "probe".to_owned(),
         depth: 12,
         states: 200_000,
         json: false,
@@ -348,6 +368,17 @@ fn extract_verify_flags(args: &[String]) -> Result<VerifyOpts, String> {
                 })?;
                 i += 2;
             }
+            "--interference" => {
+                let v = args.get(i + 1).ok_or("--interference needs a mode")?;
+                if !check::INTERFERENCE_NAMES.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown interference {v:?} (have: {})",
+                        check::INTERFERENCE_NAMES.join(" | ")
+                    ));
+                }
+                opts.interference = v.clone();
+                i += 2;
+            }
             "--depth" => {
                 let v = args.get(i + 1).ok_or("--depth needs a value")?;
                 opts.depth = v.parse().map_err(|_| format!("bad depth {v:?}"))?;
@@ -368,6 +399,12 @@ fn extract_verify_flags(args: &[String]) -> Result<VerifyOpts, String> {
     opts.family = family.ok_or("verify needs --family <ring|table|alternating>")?;
     if opts.depth == 0 || opts.states == 0 {
         return Err("--depth and --states need to be positive".into());
+    }
+    if opts.interference != "probe" && !matches!(opts.reduce, Reduction::Por | Reduction::Both) {
+        return Err(format!(
+            "--interference {} only affects the POR reductions; use --reduce por or both",
+            opts.interference
+        ));
     }
     Ok(opts)
 }
@@ -398,6 +435,7 @@ fn verify_family(family: &str, procs: Option<usize>) -> Result<(SystemGraph, Sys
 /// One verify run: the mode it explored under and what it found.
 struct VerifyRow {
     reduce: Reduction,
+    interference: Interference,
     result: simsym::vm::ExploreResult,
 }
 
@@ -446,33 +484,61 @@ fn verify(args: &[String]) -> Result<CmdOut, String> {
         threads: 1,
     };
     // The requested mode plus the identity baseline, fanned across the
-    // generic job runner (order-preserving, so row 0 is the request).
-    let modes: Vec<Reduction> = if opts.reduce == Reduction::None {
-        vec![Reduction::None]
-    } else {
-        vec![opts.reduce, Reduction::None]
+    // generic job runner (order-preserving, so row 0 is the request and
+    // the identity oracle is always last). --interference both inserts a
+    // probe-driven twin of the request between the two.
+    let primary = match opts.interference.as_str() {
+        "static" | "both" => Interference::Static,
+        _ => Interference::Probe,
     };
-    let mut runs = run_jobs(modes.len(), &modes, |&mode| {
-        check_exploration(&machine, &init, cfg, mode)
-    });
+    let mut modes: Vec<(Reduction, Interference)> = vec![(opts.reduce, primary)];
+    if opts.interference == "both" {
+        modes.push((opts.reduce, Interference::Probe));
+    }
+    if opts.reduce != Reduction::None {
+        modes.push((Reduction::None, Interference::Probe));
+    }
+    let footprints = if primary == Interference::Static {
+        Some(check::machine_footprints(&machine)?)
+    } else {
+        None
+    };
+    let mut runs = run_jobs(
+        modes.len(),
+        &modes,
+        |&(mode, interference)| match interference {
+            Interference::Probe => check_exploration(&machine, &init, cfg, mode),
+            Interference::Static => check_exploration_static(
+                &machine,
+                &init,
+                cfg,
+                mode,
+                footprints.as_ref().expect("footprints derived above"),
+            ),
+        },
+    );
 
     let mut rows = Vec::new();
     let mut diags = Vec::new();
-    for ((result, run_diags), mode) in runs.drain(..).zip(modes) {
-        if mode == opts.reduce {
+    for (i, ((result, run_diags), (mode, interference))) in runs.drain(..).zip(modes).enumerate() {
+        if i == 0 {
             diags.extend(run_diags);
         }
         rows.push(VerifyRow {
             reduce: mode,
+            interference,
             result,
         });
     }
     if rows.len() > 1 {
-        diags.extend(diverged_diagnostics(
-            &rows[1].result,
-            &rows[0].result,
-            opts.reduce,
-        ));
+        let baseline = rows.last().expect("identity baseline");
+        for row in &rows[..rows.len() - 1] {
+            diags.extend(diverged_diagnostics(
+                &baseline.result,
+                &row.result,
+                row.reduce,
+            ));
+        }
     }
     let factor_x100 = rows.last().expect("at least one run").result.states_visited * 100
         / rows[0].result.states_visited.max(1);
@@ -501,13 +567,14 @@ fn verify_render_json(
     report: &CheckReport,
 ) -> String {
     let mut out = format!(
-        "{{\n  \"schema\": \"simsym-verify/v1\",\n  \"system\": \"{system}\",\n  \"program\": \"{program}\",\n  \"depth\": {},\n  \"max_states\": {},\n  \"runs\": [\n",
-        opts.depth, opts.states
+        "{{\n  \"schema\": \"simsym-verify/v1\",\n  \"system\": \"{system}\",\n  \"program\": \"{program}\",\n  \"interference\": \"{}\",\n  \"depth\": {},\n  \"max_states\": {},\n  \"runs\": [\n",
+        opts.interference, opts.depth, opts.states
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"reduce\": \"{}\", \"states_canonical\": {}, \"states_seen\": {}, \"outcomes\": {}, \"group_order\": {}, \"peak_visited_bytes\": {}, \"truncated\": {}, \"double_selection\": {}}}{}\n",
+            "    {{\"reduce\": \"{}\", \"interference\": \"{}\", \"states_canonical\": {}, \"states_seen\": {}, \"outcomes\": {}, \"group_order\": {}, \"peak_visited_bytes\": {}, \"truncated\": {}, \"double_selection\": {}}}{}\n",
             r.reduce.label(),
+            r.interference.label(),
             r.result.states_visited,
             r.result.states_seen,
             r.result.outcomes.len(),
@@ -540,8 +607,9 @@ fn verify_render_text(
     );
     for r in rows {
         out.push_str(&format!(
-            "  reduce={:<9} {:>8} canonical states ({:>9} arrivals)  |Aut| {}  peak {} B  outcomes {}{}{}\n",
+            "  reduce={:<9} intf={:<7} {:>8} canonical states ({:>9} arrivals)  |Aut| {}  peak {} B  outcomes {}{}{}\n",
             r.reduce.label(),
+            r.interference.label(),
             r.result.states_visited,
             r.result.states_seen,
             r.result.group_order,
@@ -1987,6 +2055,25 @@ struct ExploreRow {
     nanos: u128,
 }
 
+/// One static-lint measurement: wall-clock for the full dataflow
+/// analysis suite over one family's learner machine — zero VM steps.
+struct StaticLintRow {
+    family: &'static str,
+    n: usize,
+    nanos: u128,
+}
+
+/// One static-vs-probe interference measurement: the POR exploration of
+/// one family under each interference source.
+struct StaticInterferenceRow {
+    family: &'static str,
+    n: usize,
+    interference: &'static str,
+    states_canonical: usize,
+    states_seen: usize,
+    nanos: u128,
+}
+
 /// The zero-fault overhead measurement: the same machine and step budget
 /// timed bare, through the fault layer with an empty plan, and through
 /// the fault layer with an empty plan *plus* an active journal.
@@ -2168,6 +2255,7 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
     // includes building the reducer — the automorphism search is part of
     // what a verify run costs.
     let mut explore_rows = Vec::new();
+    let mut interference_rows = Vec::new();
     let ecfg = ExploreConfig {
         max_depth: if opts.quick { 8 } else { 12 },
         max_states: 30_000 / div as usize,
@@ -2205,6 +2293,65 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
                 nanos,
             });
         }
+
+        // Static vs probe interference under plain POR on the same
+        // machine — what `verify --interference` trades.
+        let footprints = check::machine_footprints(&machine)?;
+        for interference in [Interference::Probe, Interference::Static] {
+            let mut result = None;
+            let nanos = time_min(
+                || {
+                    result = Some(match interference {
+                        Interference::Probe => {
+                            check_exploration(&machine, &init, ecfg, Reduction::Por).0
+                        }
+                        Interference::Static => {
+                            check_exploration_static(
+                                &machine,
+                                &init,
+                                ecfg,
+                                Reduction::Por,
+                                &footprints,
+                            )
+                            .0
+                        }
+                    })
+                },
+                reps,
+            );
+            let result = result.expect("timed at least once");
+            interference_rows.push(StaticInterferenceRow {
+                family,
+                n: graph.processor_count(),
+                interference: interference.label(),
+                states_canonical: result.states_visited,
+                states_seen: result.states_seen,
+                nanos,
+            });
+        }
+    }
+
+    // Static lint wall-clock per family: the full dataflow suite over
+    // the learner machine, zero VM steps. The contract is "cheap" —
+    // well under the 100ms/family budget the docs promise.
+    let mut static_lint_rows = Vec::new();
+    for (family, graph) in [
+        ("ring", topology::uniform_ring(64)),
+        ("marked-ring", topology::marked_ring(64)),
+        ("table", topology::philosophers_table(64)),
+        ("alternating", topology::philosophers_alternating(64)),
+    ] {
+        let init = SystemInit::uniform(&graph);
+        let theta = hopcroft_similarity(&graph, &init, Model::Q);
+        let learner = LabelLearner::new(&graph, &init, &theta).map_err(|e| e.to_string())?;
+        let m = Machine::new(Arc::new(graph), InstructionSet::Q, Arc::new(learner), &init)
+            .map_err(|e| e.to_string())?;
+        let nanos = time_min(|| check::analyze_machine(&m, &init), reps);
+        static_lint_rows.push(StaticLintRow {
+            family,
+            n: 64,
+            nanos,
+        });
     }
 
     // Zero-fault overhead: the marked-ring learner again, bare vs driven
@@ -2225,7 +2372,14 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
         journaled_nanos: time_steps_journaled(&m, osteps, oreps),
     };
 
-    let json = bench_render_json(&throughput, &labeling, &explore_rows, &overhead);
+    let json = bench_render_json(
+        &throughput,
+        &labeling,
+        &explore_rows,
+        &static_lint_rows,
+        &interference_rows,
+        &overhead,
+    );
     if let Some(path) = &opts.against {
         let expected =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -2249,6 +2403,8 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
             &throughput,
             &labeling,
             &explore_rows,
+            &static_lint_rows,
+            &interference_rows,
             &overhead,
             &opts,
         ))
@@ -2262,6 +2418,8 @@ fn bench_render_json(
     throughput: &[ThroughputRow],
     labeling: &[LabelingRow],
     explore: &[ExploreRow],
+    static_lint: &[StaticLintRow],
+    interference: &[StaticInterferenceRow],
     overhead: &OverheadRow,
 ) -> String {
     let mut out = String::from("{\n  \"schema\": \"simsym-bench/v1\",\n  \"step_throughput\": [\n");
@@ -2301,6 +2459,29 @@ fn bench_render_json(
             if i + 1 < explore.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"static_lint\": [\n");
+    for (i, r) in static_lint.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"nanos\": {}}}{}\n",
+            r.family,
+            r.n,
+            r.nanos,
+            if i + 1 < static_lint.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"verify_static_interference\": [\n");
+    for (i, r) in interference.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"interference\": \"{}\", \"states_canonical\": {}, \"states_seen\": {}, \"nanos\": {}}}{}\n",
+            r.family,
+            r.n,
+            r.interference,
+            r.states_canonical,
+            r.states_seen,
+            r.nanos,
+            if i + 1 < interference.len() { "," } else { "" }
+        ));
+    }
     out.push_str(&format!(
         "  ],\n  \"faults_overhead\": {{\"family\": \"marked-ring\", \"n\": 64, \"isa\": \"Q\", \"steps\": {}, \"plain_nanos\": {}, \"faulted_nanos\": {}, \"overhead_percent\": {}}},\n",
         overhead.steps,
@@ -2322,6 +2503,8 @@ fn bench_render_text(
     throughput: &[ThroughputRow],
     labeling: &[LabelingRow],
     explore: &[ExploreRow],
+    static_lint: &[StaticLintRow],
+    interference: &[StaticInterferenceRow],
     overhead: &OverheadRow,
     opts: &BenchOpts,
 ) -> String {
@@ -2366,6 +2549,21 @@ fn bench_render_text(
                 x100 % 100
             ));
         }
+    }
+    out.push_str("static lint (dataflow suite over the learner spec, zero VM steps):\n");
+    for r in static_lint {
+        out.push_str(&format!(
+            "  {:<12} n={:<3} {:>12} ns\n",
+            r.family, r.n, r.nanos
+        ));
+    }
+    out.push_str("static vs probe interference (reduce=por, bounded DFS):\n");
+    for r in interference {
+        let sps = (r.states_canonical as u128) * 1_000_000_000 / r.nanos;
+        out.push_str(&format!(
+            "  {:<12} n={:<3} intf={:<7} {:>7} canonical states ({:>8} arrivals) in {:>12} ns  ({} states/s)\n",
+            r.family, r.n, r.interference, r.states_canonical, r.states_seen, r.nanos, sps
+        ));
     }
     out.push_str(&format!(
         "zero-fault overhead (marked-ring n=64, {} steps, empty plan):\n  plain     {:>12} ns\n  faulted   {:>12} ns  (+{}%)\n  journaled {:>12} ns  (+{}% over faulted)\n",
@@ -3022,10 +3220,13 @@ mod tests {
     }
 
     /// Synthetic rows so the test exercises rendering, not timing.
+    #[allow(clippy::type_complexity)]
     fn fake_rows() -> (
         Vec<ThroughputRow>,
         Vec<LabelingRow>,
         Vec<ExploreRow>,
+        Vec<StaticLintRow>,
+        Vec<StaticInterferenceRow>,
         OverheadRow,
     ) {
         let t = vec![ThroughputRow {
@@ -3055,20 +3256,35 @@ mod tests {
             states_seen: 900,
             nanos: 2_000,
         }];
+        let s = vec![StaticLintRow {
+            family: "ring",
+            n: 64,
+            nanos: 4_000,
+        }];
+        let i = vec![StaticInterferenceRow {
+            family: "table",
+            n: 4,
+            interference: "static",
+            states_canonical: 250,
+            states_seen: 900,
+            nanos: 2_000,
+        }];
         let o = OverheadRow {
             steps: 2_000,
             plain_nanos: 1_000_000,
             faulted_nanos: 1_010_000,
             journaled_nanos: 1_111_000,
         };
-        (t, l, e, o)
+        (t, l, e, s, i, o)
     }
 
     #[test]
     fn bench_json_is_valid_and_schema_ignores_numbers() {
-        let (t, l, e, o) = fake_rows();
-        let a = bench_render_json(&t, &l, &e, &o);
+        let (t, l, e, s, i, o) = fake_rows();
+        let a = bench_render_json(&t, &l, &e, &s, &i, &o);
         assert!(a.contains("\"explore_reduction\""));
+        assert!(a.contains("\"static_lint\""));
+        assert!(a.contains("\"verify_static_interference\""));
         assert!(a.contains("\"states_canonical\": 250"));
         assert!(a.contains("\"schema\": \"simsym-bench/v1\""));
         assert!(a.contains("\"steps_per_sec\": 2000000"));
@@ -3081,13 +3297,13 @@ mod tests {
         // Same rows with different timings: schema skeleton is identical.
         let mut t2 = fake_rows().0;
         t2[0].nanos = 77;
-        let b = bench_render_json(&t2, &l, &e, &o);
+        let b = bench_render_json(&t2, &l, &e, &s, &i, &o);
         assert_ne!(a, b);
         assert_eq!(bench_schema_skeleton(&a), bench_schema_skeleton(&b));
         // A renamed label is schema drift.
         let mut t3 = fake_rows().0;
         t3[0].family = "torus";
-        let c = bench_render_json(&t3, &l, &e, &o);
+        let c = bench_render_json(&t3, &l, &e, &s, &i, &o);
         assert_ne!(bench_schema_skeleton(&a), bench_schema_skeleton(&c));
     }
 
@@ -3104,14 +3320,14 @@ mod tests {
         };
         assert_eq!(o.percent(), 0);
         assert_eq!(o.journal_percent(), 0);
-        let (t, l, e, positive) = fake_rows();
-        let json = bench_render_json(&t, &l, &e, &o);
+        let (t, l, e, s, i, positive) = fake_rows();
+        let json = bench_render_json(&t, &l, &e, &s, &i, &o);
         assert!(json.contains("\"overhead_percent\": 0"), "{json}");
         // Clamped and positive overheads share one schema skeleton: no
         // sign character ever leaks outside a string literal.
         assert_eq!(
             bench_schema_skeleton(&json),
-            bench_schema_skeleton(&bench_render_json(&t, &l, &e, &positive))
+            bench_schema_skeleton(&bench_render_json(&t, &l, &e, &s, &i, &positive))
         );
     }
 

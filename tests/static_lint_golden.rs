@@ -1,0 +1,82 @@
+//! Golden-output smoke for `simsym lint --static --json`: the set of
+//! diagnostic codes the static dataflow pass emits over every built-in
+//! family (default learner program) and every seeded-defect fixture is
+//! pinned in `ci/static_lint_expected.txt`. Any drift — a new finding, a
+//! lost finding, a renamed code — fails here (and in the CI shell twin)
+//! until the expected file is regenerated deliberately.
+
+use std::collections::BTreeSet;
+use std::process::Command;
+
+/// Runs `simsym lint … --static --json` and returns the sorted
+/// comma-joined code set (`-` when clean) plus whether it exited nonzero.
+fn static_lint_codes(system: &str, program: Option<&str>) -> (String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_simsym"));
+    cmd.args(["lint", system, "--static", "--json"]);
+    if let Some(p) = program {
+        cmd.args(["--program", p]);
+    }
+    let out = cmd.output().expect("run simsym");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    let mut codes = BTreeSet::new();
+    let mut rest = stdout.as_str();
+    while let Some(at) = rest.find("\"code\":\"") {
+        rest = &rest[at + 8..];
+        let end = rest.find('"').expect("closing quote");
+        codes.insert(rest[..end].to_owned());
+        rest = &rest[end..];
+    }
+    let joined = if codes.is_empty() {
+        "-".to_owned()
+    } else {
+        codes.into_iter().collect::<Vec<_>>().join(",")
+    };
+    (joined, !out.status.success())
+}
+
+#[test]
+fn static_lint_codes_match_the_expected_file() {
+    let expected = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/ci/static_lint_expected.txt"
+    ))
+    .expect("ci/static_lint_expected.txt");
+
+    let mut actual = String::new();
+    for sys in [
+        "figure1",
+        "figure2",
+        "figure3",
+        "ring:5",
+        "marked-ring:5",
+        "line:4",
+        "star:4",
+        "table:5",
+        "alternating:6",
+        "board:3x2",
+    ] {
+        let (codes, _) = static_lint_codes(sys, None);
+        actual.push_str(&format!("{sys} - {codes}\n"));
+    }
+    for fixture in [
+        "racy",
+        "fixed-order",
+        "isa-cheater",
+        "greedy",
+        "grab",
+        "uninit",
+    ] {
+        let (codes, failed) = static_lint_codes("ring:5", Some(fixture));
+        actual.push_str(&format!("ring:5 {fixture} {codes}\n"));
+        // Error-severity static findings must drive a nonzero exit.
+        let has_errors = codes.contains("STAT-UNINIT-READ") || codes.contains("STAT-LOCK-CYCLE");
+        assert_eq!(
+            failed, has_errors,
+            "{fixture}: exit status disagrees with findings {codes}"
+        );
+    }
+    assert_eq!(
+        actual, expected,
+        "static lint codes drifted; regenerate ci/static_lint_expected.txt if intended"
+    );
+}
