@@ -1,0 +1,37 @@
+//! Profiling driver: runs the Algorithm-2 learner on marked-ring:N under
+//! a round-robin schedule, mirroring `simsym bench`'s step-throughput
+//! loop. Exists so a sampling profiler can watch the hot path for seconds
+//! instead of the milliseconds the bench budget allows.
+//!
+//! Usage: `prof_learner [n] [steps] [reps]`
+
+use simsym_core::{hopcroft_similarity, LabelLearner, Model};
+use simsym_graph::topology;
+use simsym_vm::{run, InstructionSet, Machine, RoundRobin, SystemInit};
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let steps: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let reps: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let graph = topology::marked_ring(n);
+    let init = SystemInit::uniform(&graph);
+    let labeling = hopcroft_similarity(&graph, &init, Model::Q);
+    let learner = LabelLearner::new(&graph, &init, &labeling).expect("consistent labeling");
+    let base = Machine::new(Arc::new(graph), InstructionSet::Q, Arc::new(learner), &init)
+        .expect("valid machine");
+
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let mut m = base.clone();
+        let mut sched = RoundRobin::new();
+        let t = std::time::Instant::now();
+        let report = run(&mut m, &mut sched, steps, &mut []);
+        best = best.min(t.elapsed().as_nanos());
+        std::hint::black_box(report.steps);
+    }
+    let rate = steps as f64 / (best as f64 / 1e9);
+    println!("marked-ring n={n}: {steps} steps in {best} ns ({rate:.0} steps/s)");
+}

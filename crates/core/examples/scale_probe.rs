@@ -1,0 +1,40 @@
+//! Scale-tier probe: times each construction stage of the 10^6 ring
+//! separately (graph, init, machine) and prints bytes/processor, so
+//! regressions in any one stage are visible without a profiler.
+//!
+//! Usage: `scale_probe [n]`
+
+use simsym_core::{scale_ring, ScaleWorkload};
+use simsym_vm::{InstructionSet, Machine};
+use std::sync::Arc;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let t = std::time::Instant::now();
+    let sys = scale_ring(n);
+    let t_graph = t.elapsed();
+
+    let t = std::time::Instant::now();
+    let m = Machine::new(
+        Arc::new(sys.graph),
+        InstructionSet::Q,
+        Arc::new(ScaleWorkload::new(2)),
+        &sys.init,
+    )
+    .expect("valid machine");
+    let t_machine = t.elapsed();
+
+    let bytes = m.graph().approx_bytes() + m.approx_state_bytes();
+    println!(
+        "n={n}: graph+init {t_graph:?}, machine {t_machine:?}, {} bytes/processor",
+        bytes / n
+    );
+
+    let t = std::time::Instant::now();
+    drop(m);
+    println!("drop {:?}", t.elapsed());
+}

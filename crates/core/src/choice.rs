@@ -287,8 +287,7 @@ impl Program for RandomizedChoice {
                 if slot < slots {
                     let view = ops.peek(ops.name_at(slot as usize));
                     let slot_max = view
-                        .posted
-                        .iter()
+                        .posted()
                         .filter_map(|v| v.as_tuple()?.first()?.as_int())
                         .max();
                     if let Some(m) = slot_max {

@@ -145,7 +145,7 @@ impl Program for ConsensusViaSelection {
                     let ni = local.pc as usize;
                     let view = ops.peek(ops.name_at(ni));
                     if ConsensusViaSelection::decision(local).is_none() {
-                        for posted in &view.posted {
+                        for posted in view.posted() {
                             if let Some([payload, _, phase, _]) = posted
                                 .as_tuple()
                                 .and_then(|tu| <&[Value; 4]>::try_from(tu).ok())

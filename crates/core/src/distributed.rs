@@ -35,8 +35,9 @@ use crate::{InconsistentLabeling, Label, Labeling};
 use simsym_graph::SystemGraph;
 use simsym_vm::{
     JournalSpec, LocalState, OpEnv, OpKind, PeekView, PhaseSpec, PortSet, Program, ProgramSpec,
-    RegId, SystemInit, Value,
+    RegId, SystemInit, Value, ValueId,
 };
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
 
@@ -100,16 +101,36 @@ pub struct Alg2Tables {
     state0_p: BTreeMap<Label, Value>,
     /// `state₀` of each variable label.
     state0_v: BTreeMap<Label, Value>,
-    /// `n-nbr` lifted to labels: the label of the `n`-neighbor of an
-    /// `α`-labeled processor.
-    nbr: BTreeMap<(Label, usize), Label>,
-    /// `neighborhood_size(name, α, β)`.
-    nsize: BTreeMap<(usize, Label, Label), usize>,
+    /// Processor labels, sorted — the dense index space for the flat
+    /// tables below (`plabel_sorted[ai]` ↔ index `ai`).
+    plabel_sorted: Vec<Label>,
+    /// Variable labels, sorted (index space `bi`).
+    vlabel_sorted: Vec<Label>,
+    /// `n-nbr` lifted to label indices: `nbr_dense[ai * names + n]` is the
+    /// vlabel index of the `n`-neighbor of an `α`-labeled processor, or
+    /// `u32::MAX` when the labeling has no entry. Replaces a
+    /// `BTreeMap<(Label, usize), Label>` — the learner's alibi kernel
+    /// probes this table in its innermost loops.
+    nbr_dense: Vec<u32>,
+    /// `neighborhood_size(name, α, β)` as a flat row-major array:
+    /// `nsize_dense[(n * np + ai) * nv + bi]`, zeros included. The v-alibi
+    /// capacity sums walk whole `(n, α)` rows with dense adds instead of
+    /// one `BTreeMap` lookup per `(α, β)` pair.
+    nsize_dense: Vec<u32>,
+    /// Direct label → plabel-index map (`u32::MAX` = not a plabel), built
+    /// when the label values are small enough to index an array. Turns the
+    /// alibi kernels' label resolution into one load instead of a binary
+    /// search; `None` falls back to searching `plabel_sorted`.
+    plabel_map: Option<Vec<u32>>,
     /// Algorithm 3 phase-1 mode: ignore all initial states, so every
     /// processor suspects every processor label and every variable every
     /// variable label (§5: a run that ignores initial states has the same
     /// effect on each member of a homogeneous family).
     ignore_init: bool,
+    /// Process-unique id assigned at generation; keys the thread-local
+    /// alibi memo so entries can never be confused across table sets
+    /// (addresses can be reused, epochs cannot).
+    epoch: u64,
 }
 
 impl Alg2Tables {
@@ -167,26 +188,54 @@ impl Alg2Tables {
                 }
             }
         }
-        let mut nsize = BTreeMap::new();
+        let mut plabel_sorted = labeling.proc_labels();
+        plabel_sorted.sort_unstable();
+        plabel_sorted.dedup();
+        let mut vlabel_sorted = labeling.var_labels();
+        vlabel_sorted.sort_unstable();
+        vlabel_sorted.dedup();
+        let (np, nv) = (plabel_sorted.len(), vlabel_sorted.len());
+        let mut nbr_dense = vec![u32::MAX; np * names];
+        for ((alpha, ni), beta) in &nbr {
+            let ai = plabel_sorted.binary_search(alpha).expect("known plabel");
+            let bi = vlabel_sorted.binary_search(beta).expect("known vlabel");
+            nbr_dense[ai * names + ni] = bi as u32;
+        }
+        let mut nsize_dense = vec![0u32; names * np * nv];
         for name in graph.names().ids() {
-            for &alpha in &labeling.proc_labels() {
-                for &beta in &labeling.var_labels() {
-                    let c = table.size(name, alpha, beta);
-                    if c > 0 {
-                        nsize.insert((name.index(), alpha, beta), c);
-                    }
+            for (ai, &alpha) in plabel_sorted.iter().enumerate() {
+                let row = (name.index() * np + ai) * nv;
+                for (bi, &beta) in vlabel_sorted.iter().enumerate() {
+                    nsize_dense[row + bi] = table.size(name, alpha, beta) as u32;
                 }
             }
         }
+        let plabel_map = match plabel_sorted.last() {
+            Some(&max) if (max as usize) < (1 << 16) => {
+                let mut map = vec![u32::MAX; max as usize + 1];
+                for (ai, &l) in plabel_sorted.iter().enumerate() {
+                    map[l as usize] = ai as u32;
+                }
+                Some(map)
+            }
+            _ => None,
+        };
         Ok(Alg2Tables {
             names,
             plabels: labeling.proc_labels(),
             vlabels: labeling.var_labels(),
             state0_p,
             state0_v,
-            nbr,
-            nsize,
+            plabel_sorted,
+            vlabel_sorted,
+            nbr_dense,
+            nsize_dense,
+            plabel_map,
             ignore_init: false,
+            epoch: {
+                static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            },
         })
     }
 
@@ -214,7 +263,39 @@ impl Alg2Tables {
 
     /// The label of the `n`-neighbor of an `α`-labeled processor.
     pub fn neighbor_label(&self, alpha: Label, name: usize) -> Option<Label> {
-        self.nbr.get(&(alpha, name)).copied()
+        let bi = self.nbr_index(self.plabel_index(alpha)?, name)?;
+        Some(self.vlabel_sorted[bi])
+    }
+
+    /// Dense index of a processor label, if it is a genuine `PLABEL`.
+    fn plabel_index(&self, alpha: Label) -> Option<usize> {
+        match &self.plabel_map {
+            Some(map) => match map.get(alpha as usize) {
+                Some(&ai) if ai != u32::MAX => Some(ai as usize),
+                _ => None,
+            },
+            None => self.plabel_sorted.binary_search(&alpha).ok(),
+        }
+    }
+
+    /// Dense index of a variable label, if it is a genuine `VLABEL`.
+    fn vlabel_index(&self, beta: Label) -> Option<usize> {
+        self.vlabel_sorted.binary_search(&beta).ok()
+    }
+
+    /// Dense vlabel index of the `n`-neighbor of plabel index `ai`.
+    fn nbr_index(&self, ai: usize, name: usize) -> Option<usize> {
+        match self.nbr_dense[ai * self.names + name] {
+            u32::MAX => None,
+            bi => Some(bi as usize),
+        }
+    }
+
+    /// The `(name, α)` row of `neighborhood_size`, indexed by vlabel index.
+    fn nsize_row(&self, name: usize, ai: usize) -> &[u32] {
+        let nv = self.vlabel_sorted.len();
+        let start = (name * self.plabel_sorted.len() + ai) * nv;
+        &self.nsize_dense[start..start + nv]
     }
 
     /// `state₀` of a processor label, if known.
@@ -227,8 +308,13 @@ impl Alg2Tables {
         self.state0_v.get(&label)
     }
 
-    fn nsize(&self, name: usize, alpha: Label, beta: Label) -> usize {
-        self.nsize.get(&(name, alpha, beta)).copied().unwrap_or(0)
+    /// `neighborhood_size(name, α, β)`: how many `α`-labeled processors
+    /// have a `β`-labeled `name`-neighbor (0 for unknown labels).
+    pub fn nsize(&self, name: usize, alpha: Label, beta: Label) -> usize {
+        match (self.plabel_index(alpha), self.vlabel_index(beta)) {
+            (Some(ai), Some(bi)) => self.nsize_row(name, ai)[bi] as usize,
+            _ => 0,
+        }
     }
 }
 
@@ -328,10 +414,13 @@ pub(crate) fn set_to_labels(v: &Value) -> Vec<Label> {
         .unwrap_or_default()
 }
 
-/// A decoded posted record: `(suspects, name)`.
+/// A decoded posted record: `(suspects, name)`, with the bag multiplicity
+/// carried as a count instead of expanded into copies — the alibi kernels
+/// are weighted by it.
 pub(crate) struct Posted {
     pub(crate) suspects: Vec<Label>,
     pub(crate) name: usize,
+    pub(crate) count: u64,
 }
 
 /// Encodes a posted record. Multi-phase algorithms (Algorithm 3/4) tag
@@ -342,15 +431,40 @@ pub(crate) fn encode_post(suspects: Value, name: usize, phase: i64, prior: Value
     Value::tuple([suspects, Value::from(name), Value::from(phase), prior])
 }
 
-/// Decodes the posts relevant to `phase`: same-phase posts verbatim, and
-/// posts from *later* phases reinterpreted as final singleton posts of this
-/// phase (via their `prior` label).
-pub(crate) fn decode_posts(bag: &Value, phase: i64) -> Vec<Posted> {
+/// A decoded post with its suspect set held as a bitset over plabel
+/// indices — the alibi kernels then run on word operations end to end.
+pub(crate) struct DensePost {
+    pub(crate) bits: u64,
+    pub(crate) name: usize,
+    pub(crate) count: u64,
+}
+
+/// The decoded contents of one peeked bag: dense when every posted
+/// suspect label is a genuine `PLABEL` and the label space fits one word,
+/// sparse otherwise (garbled posts, foreign labels, > 64 plabels).
+pub(crate) enum DecodedPosts {
+    Dense(Vec<DensePost>),
+    Sparse(Vec<Posted>),
+}
+
+/// Decodes a peeked bag for `phase`, preferring the dense representation.
+pub(crate) fn decode_posts_for(t: &Alg2Tables, bag: &Value, phase: i64) -> DecodedPosts {
+    if t.plabel_sorted.len() <= 64 {
+        if let Some(dense) = decode_posts_dense(t, bag, phase) {
+            return DecodedPosts::Dense(dense);
+        }
+    }
+    DecodedPosts::Sparse(decode_posts(bag, phase))
+}
+
+/// Dense decoding: `None` when some suspect label is not a known plabel
+/// (the caller then re-decodes sparsely — exactness over speed).
+fn decode_posts_dense(t: &Alg2Tables, bag: &Value, phase: i64) -> Option<Vec<DensePost>> {
     let Value::Bag(m) = bag else {
-        return Vec::new();
+        return Some(Vec::new());
     };
-    let mut out = Vec::new();
-    for (item, &count) in m {
+    let mut out = Vec::with_capacity(m.len());
+    for (item, &count) in m.iter() {
         let Some([suspects, name, post_phase, prior]) = item
             .as_tuple()
             .and_then(|t| <&[Value; 4]>::try_from(t).ok())
@@ -360,19 +474,66 @@ pub(crate) fn decode_posts(bag: &Value, phase: i64) -> Vec<Posted> {
         let (Some(n), Some(pp)) = (name.as_int(), post_phase.as_int()) else {
             continue;
         };
-        for _ in 0..count {
-            if pp == phase {
-                out.push(Posted {
-                    suspects: set_to_labels(suspects),
-                    name: n as usize,
-                });
-            } else if pp == phase + 1 {
-                if let Some(l) = prior.as_sym() {
-                    out.push(Posted {
-                        suspects: vec![l],
-                        name: n as usize,
-                    });
+        if pp == phase {
+            // Mirrors `set_to_labels`: a non-set decodes as the empty
+            // suspect set, and non-symbol items are skipped.
+            let mut bits = 0u64;
+            if let Some(items) = suspects.as_set() {
+                for it in items {
+                    if let Some(l) = it.as_sym() {
+                        bits |= 1u64 << t.plabel_index(l)?;
+                    }
                 }
+            }
+            out.push(DensePost {
+                bits,
+                name: n as usize,
+                count: count as u64,
+            });
+        } else if pp == phase + 1 {
+            if let Some(l) = prior.as_sym() {
+                out.push(DensePost {
+                    bits: 1u64 << t.plabel_index(l)?,
+                    name: n as usize,
+                    count: count as u64,
+                });
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Decodes the posts relevant to `phase`: same-phase posts verbatim, and
+/// posts from *later* phases reinterpreted as final singleton posts of this
+/// phase (via their `prior` label).
+pub(crate) fn decode_posts(bag: &Value, phase: i64) -> Vec<Posted> {
+    let Value::Bag(m) = bag else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (item, &count) in m.iter() {
+        let Some([suspects, name, post_phase, prior]) = item
+            .as_tuple()
+            .and_then(|t| <&[Value; 4]>::try_from(t).ok())
+        else {
+            continue;
+        };
+        let (Some(n), Some(pp)) = (name.as_int(), post_phase.as_int()) else {
+            continue;
+        };
+        if pp == phase {
+            out.push(Posted {
+                suspects: set_to_labels(suspects),
+                name: n as usize,
+                count: count as u64,
+            });
+        } else if pp == phase + 1 {
+            if let Some(l) = prior.as_sym() {
+                out.push(Posted {
+                    suspects: vec![l],
+                    name: n as usize,
+                    count: count as u64,
+                });
             }
         }
     }
@@ -489,6 +650,44 @@ impl Program for LabelLearner {
     }
 }
 
+/// One [`BAG_CACHE`] entry: the canonical `(ValueId, count)` multiset key
+/// and the materialized bag it produced.
+type CachedBag = (Vec<(ValueId, u32)>, Value);
+
+thread_local! {
+    /// Content-addressed cache of recently materialized peek bags, keyed
+    /// by the canonical `(ValueId, count)` multiset. Interning makes the
+    /// key exact (equal slices ⇔ equal bags), so a hit skips rebuilding an
+    /// identical `Value::Bag` — which every processor in a round-robin
+    /// sweep would otherwise do for the same shared variable.
+    static BAG_CACHE: RefCell<Vec<CachedBag>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Materializes the peeked bag, consulting [`BAG_CACHE`] when the view
+/// exposes its canonical counts and the bag is big enough for a rebuild
+/// to cost more than the lookup.
+fn bag_of(view: &PeekView) -> Value {
+    match view.posted_counts() {
+        Some(counts) if counts.len() >= 16 => BAG_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if let Some(i) = cache.iter().position(|(k, _)| k == counts) {
+                let hit = cache.remove(i);
+                let v = hit.1.clone();
+                cache.push(hit);
+                v
+            } else {
+                let v = view.to_bag();
+                if cache.len() >= 8 {
+                    cache.remove(0);
+                }
+                cache.push((counts.to_vec(), v.clone()));
+                v
+            }
+        }),
+        _ => view.to_bag(),
+    }
+}
+
 /// Records the peek result and (re)computes the base candidate set for the
 /// variable, minus previously accumulated alibis.
 pub(crate) fn store_peek(local: &mut LocalState, ni: usize, view: &PeekView, t: &Alg2Tables) {
@@ -497,7 +696,7 @@ pub(crate) fn store_peek(local: &mut LocalState, ni: usize, view: &PeekView, t: 
     let Some(Value::Tuple(peeked)) = local.reg_mut(r.peeked) else {
         panic!("peeked register present");
     };
-    peeked[ni] = Value::bag(view.posted.iter().cloned());
+    peeked[ni] = bag_of(view);
     // Initialize VEC[ni] on first peek: labels whose state₀ matches the
     // observed initial value.
     let Some(Value::Tuple(vec)) = local.reg_mut(r.vec) else {
@@ -510,7 +709,7 @@ pub(crate) fn store_peek(local: &mut LocalState, ni: usize, view: &PeekView, t: 
             t.vlabels
                 .iter()
                 .copied()
-                .filter(|l| t.state0_v.get(l) == Some(&view.initial))
+                .filter(|l| t.state0_v.get(l) == Some(view.initial()))
                 .collect()
         };
         vec[ni] = labels_to_set(base);
@@ -521,12 +720,12 @@ pub(crate) fn store_peek(local: &mut LocalState, ni: usize, view: &PeekView, t: 
 /// `VEC[n] -= v-alibi(local[n])`, then `PEC -= p-alibi(VEC, local, PEC)`.
 pub(crate) fn update_suspects_phase(local: &mut LocalState, t: &Alg2Tables, phase: i64) {
     let r = learner_regs();
-    let peeked: Vec<Vec<Posted>> = local
+    let peeked: Vec<DecodedPosts> = local
         .reg_opt(r.peeked)
         .and_then(|v| v.as_tuple())
         .expect("peeked register present")
         .iter()
-        .map(|b| decode_posts(b, phase))
+        .map(|b| decode_posts_for(t, b, phase))
         .collect();
     let mut vec: Vec<Vec<Label>> = local
         .reg_opt(r.vec)
@@ -537,7 +736,10 @@ pub(crate) fn update_suspects_phase(local: &mut LocalState, t: &Alg2Tables, phas
         .collect();
     // v-alibi per name.
     for (ni, posts) in peeked.iter().enumerate() {
-        let alibis = v_alibi(posts, &vec[ni], t);
+        let alibis = match posts {
+            DecodedPosts::Dense(posts) => v_alibi_dense(posts, &vec[ni], t),
+            DecodedPosts::Sparse(posts) => v_alibi(posts, &vec[ni], t),
+        };
         vec[ni].retain(|l| !alibis.contains(l));
     }
     // p-alibi.
@@ -560,82 +762,420 @@ pub(crate) fn update_suspects_phase(local: &mut LocalState, t: &Alg2Tables, phas
 /// has such a union as a tighter witness).
 pub(crate) fn v_alibi(posts: &[Posted], candidates: &[Label], t: &Alg2Tables) -> BTreeSet<Label> {
     let mut out = BTreeSet::new();
-    if posts.is_empty() {
+    if posts.is_empty() || candidates.is_empty() {
         return out;
     }
-    // Distinct posted suspect sets per name.
-    let mut names: BTreeSet<usize> = BTreeSet::new();
-    for p in posts {
-        names.insert(p.name);
-    }
-    for &n in &names {
-        let mut distinct: Vec<BTreeSet<Label>> = Vec::new();
-        for p in posts.iter().filter(|p| p.name == n) {
-            let s: BTreeSet<Label> = p.suspects.iter().copied().collect();
-            if !distinct.contains(&s) {
-                distinct.push(s);
-            }
+    let cand_idx: Vec<Option<usize>> = candidates.iter().map(|&b| t.vlabel_index(b)).collect();
+    let mut ruled = vec![false; candidates.len()];
+    let mut names: Vec<usize> = posts.iter().map(|p| p.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    for n in names {
+        if ruled.iter().all(|r| *r) {
+            break;
         }
-        // Unions of subsets of the distinct sets (capped).
-        let labs = unions_of(&distinct, 12);
-        for lab in labs {
-            let posted_within = posts
-                .iter()
-                .filter(|p| p.name == n && p.suspects.iter().all(|l| lab.contains(l)))
-                .count();
-            for &beta in candidates {
-                let capacity: usize = lab.iter().map(|&alpha| t.nsize(n, alpha, beta)).sum();
-                if posted_within > capacity {
-                    out.insert(beta);
+        // The label universe actually posted for this name, sorted. It may
+        // contain labels outside PLABELS: those still participate in the
+        // subset tests but contribute zero capacity, exactly as a missing
+        // `neighborhood_size` entry would.
+        let mut universe: Vec<Label> = Vec::new();
+        for p in posts.iter().filter(|p| p.name == n) {
+            for &l in &p.suspects {
+                if let Err(i) = universe.binary_search(&l) {
+                    universe.insert(i, l);
                 }
             }
+        }
+        if universe.len() <= 64 {
+            v_alibi_narrow(
+                posts, candidates, &cand_idx, &mut ruled, &mut out, t, n, &universe,
+            );
+        } else {
+            v_alibi_wide(
+                posts, candidates, &cand_idx, &mut ruled, &mut out, t, n, &universe,
+            );
         }
     }
     out
 }
 
-/// All unions of the given sets (up to `cap` base sets; beyond that, a
-/// chain of prefix unions is used to stay polynomial).
-fn unions_of(sets: &[BTreeSet<Label>], cap: usize) -> Vec<BTreeSet<Label>> {
-    let mut out: Vec<BTreeSet<Label>> = Vec::new();
-    if sets.len() <= cap {
-        let n = sets.len();
-        for mask in 1u32..(1 << n) {
-            let mut u = BTreeSet::new();
-            for (i, s) in sets.iter().enumerate() {
-                if mask & (1 << i) != 0 {
-                    u.extend(s.iter().copied());
+/// Per-candidate capacity as bit machinery: capacity(lab, β) is a
+/// popcount over the index bits whose `neighborhood_size(n, α, β)` is 1,
+/// plus a (rarely populated) overflow list for larger entries. This reads
+/// exactly the candidates the caller asked about instead of accumulating
+/// whole dense rows per lab.
+struct CapMask {
+    ones: u64,
+    overflow: Vec<(u64, u64)>,
+}
+
+/// Unions of subsets of the distinct sets; beyond the cap, a chain of
+/// prefix unions keeps the enumeration polynomial. The alibi set is a
+/// union over the result, so order and duplicates are irrelevant — only
+/// the cap threshold must match the spec.
+fn labs_u64(distinct: &[(u64, u64)]) -> Vec<u64> {
+    let k = distinct.len();
+    let mut labs: Vec<u64> = if k <= UNION_CAP {
+        (1u32..(1u32 << k))
+            .map(|mask| {
+                let mut u = 0u64;
+                for (i, &(b, _)) in distinct.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        u |= b;
+                    }
+                }
+                u
+            })
+            .collect()
+    } else {
+        let mut chain = Vec::with_capacity(2 * k);
+        let mut acc = 0u64;
+        for &(b, _) in distinct {
+            chain.push(b);
+            acc |= b;
+            chain.push(acc);
+        }
+        chain
+    };
+    labs.sort_unstable();
+    labs.dedup();
+    labs
+}
+
+/// The shared v-alibi verdict loop over single-word bitsets:
+/// `posted_within(lab) > capacity(lab, β)` rules β out.
+fn rule_candidates_u64(
+    labs: &[u64],
+    distinct: &[(u64, u64)],
+    masks: &[CapMask],
+    candidates: &[Label],
+    ruled: &mut [bool],
+    out: &mut BTreeSet<Label>,
+) {
+    for &lab in labs {
+        if ruled.iter().all(|r| *r) {
+            return;
+        }
+        let posted_within: u64 = distinct
+            .iter()
+            .filter(|&&(b, _)| b & !lab == 0)
+            .map(|&(_, c)| c)
+            .sum();
+        for (ci, &beta) in candidates.iter().enumerate() {
+            if ruled[ci] {
+                continue;
+            }
+            let m = &masks[ci];
+            let capacity = u64::from((lab & m.ones).count_ones())
+                + m.overflow
+                    .iter()
+                    .filter(|&&(bit, _)| lab & bit != 0)
+                    .map(|&(_, v)| v)
+                    .sum::<u64>();
+            if posted_within > capacity {
+                ruled[ci] = true;
+                out.insert(beta);
+            }
+        }
+    }
+}
+
+/// One memo entry of [`VALIBI_CACHE`]: the table epoch, name, distinct
+/// posted bitsets, and candidate list fully determine the per-name ruled
+/// set (sorted).
+type ValibiKey = (u64, usize, Vec<(u64, u64)>, Vec<Label>);
+
+thread_local! {
+    /// Memo for the per-name dense v-alibi verdict. Under a round-robin
+    /// sweep every processor peeks the same shared bag and (early on)
+    /// holds the same candidate set, so the expensive lab enumeration
+    /// repeats `n`-fold per round with identical inputs.
+    static VALIBI_CACHE: RefCell<Vec<(ValibiKey, Vec<Label>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The labels ruled out by name `n` alone, over dense posts. Pure in
+/// `(t.epoch, n, distinct, candidates)` — which is what the memo keys on.
+fn v_alibi_name_dense(
+    t: &Alg2Tables,
+    n: usize,
+    distinct: &[(u64, u64)],
+    candidates: &[Label],
+) -> Vec<Label> {
+    let labs = labs_u64(distinct);
+    let np = t.plabel_sorted.len();
+    let masks: Vec<CapMask> = candidates
+        .iter()
+        .map(|&b| {
+            let mut m = CapMask {
+                ones: 0,
+                overflow: Vec::new(),
+            };
+            if let Some(bi) = t.vlabel_index(b) {
+                for ai in 0..np {
+                    match u64::from(t.nsize_row(n, ai)[bi]) {
+                        0 => {}
+                        1 => m.ones |= 1 << ai,
+                        v => m.overflow.push((1 << ai, v)),
+                    }
                 }
             }
-            if !out.contains(&u) {
-                out.push(u);
+            m
+        })
+        .collect();
+    let mut ruled = vec![false; candidates.len()];
+    let mut out = BTreeSet::new();
+    rule_candidates_u64(&labs, distinct, &masks, candidates, &mut ruled, &mut out);
+    out.into_iter().collect()
+}
+
+/// `v_alibi` over dense posts: suspect sets are already bitsets over the
+/// plabel index space, so the whole kernel is word operations plus one
+/// `nsize` column read per candidate — and the per-name verdict is
+/// memoized across the (typically identical) peeks of one round.
+pub(crate) fn v_alibi_dense(
+    posts: &[DensePost],
+    candidates: &[Label],
+    t: &Alg2Tables,
+) -> BTreeSet<Label> {
+    let mut out = BTreeSet::new();
+    if posts.is_empty() || candidates.is_empty() {
+        return out;
+    }
+    let mut names: Vec<usize> = posts.iter().map(|p| p.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    for n in names {
+        let mut distinct: Vec<(u64, u64)> = Vec::new();
+        for p in posts.iter().filter(|p| p.name == n) {
+            match distinct.iter_mut().find(|(b, _)| *b == p.bits) {
+                Some(entry) => entry.1 += p.count,
+                None => distinct.push((p.bits, p.count)),
             }
         }
-    } else {
-        let mut acc = BTreeSet::new();
-        for s in sets {
-            out.push(s.clone());
-            acc.extend(s.iter().copied());
-            out.push(acc.clone());
+        let ruled = VALIBI_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            let pos = cache.iter().position(|((e, cn, d, cand), _)| {
+                *e == t.epoch && *cn == n && d == &distinct && cand == candidates
+            });
+            if let Some(i) = pos {
+                let hit = cache.remove(i);
+                let ruled = hit.1.clone();
+                cache.push(hit);
+                ruled
+            } else {
+                let ruled = v_alibi_name_dense(t, n, &distinct, candidates);
+                if cache.len() >= 8 {
+                    cache.remove(0);
+                }
+                cache.push((
+                    (t.epoch, n, distinct.clone(), candidates.to_vec()),
+                    ruled.clone(),
+                ));
+                ruled
+            }
+        });
+        out.extend(ruled);
+        if out.len() == candidates.len() {
+            break;
         }
-        out.sort();
-        out.dedup();
     }
     out
 }
+
+/// The sparse narrow case: the posted label universe still fits one
+/// machine word, so the same u64 kernel applies after indexing the
+/// universe.
+#[allow(clippy::too_many_arguments)]
+fn v_alibi_narrow(
+    posts: &[Posted],
+    candidates: &[Label],
+    cand_idx: &[Option<usize>],
+    ruled: &mut [bool],
+    out: &mut BTreeSet<Label>,
+    t: &Alg2Tables,
+    n: usize,
+    universe: &[Label],
+) {
+    // Distinct suspect sets as bitsets over the universe, with their
+    // multiplicities — posted_within is then a handful of word-wise
+    // subset tests instead of a scan over every post.
+    let mut distinct: Vec<(u64, u64)> = Vec::new();
+    for p in posts.iter().filter(|p| p.name == n) {
+        let mut bits = 0u64;
+        for &l in &p.suspects {
+            bits |= 1 << universe.binary_search(&l).expect("label in universe");
+        }
+        match distinct.iter_mut().find(|(b, _)| *b == bits) {
+            Some(entry) => entry.1 += p.count,
+            None => distinct.push((bits, p.count)),
+        }
+    }
+    let labs = labs_u64(&distinct);
+    let masks: Vec<CapMask> = cand_idx
+        .iter()
+        .map(|bi| {
+            let mut m = CapMask {
+                ones: 0,
+                overflow: Vec::new(),
+            };
+            if let Some(bi) = bi {
+                for (i, &alpha) in universe.iter().enumerate() {
+                    if let Some(ai) = t.plabel_index(alpha) {
+                        match u64::from(t.nsize_row(n, ai)[*bi]) {
+                            0 => {}
+                            1 => m.ones |= 1 << i,
+                            v => m.overflow.push((1 << i, v)),
+                        }
+                    }
+                }
+            }
+            m
+        })
+        .collect();
+    rule_candidates_u64(&labs, &distinct, &masks, candidates, ruled, out);
+}
+
+/// Fallback for universes past 64 labels: the same enumeration over
+/// multi-word bitsets, with capacities from dense `nsize` row sums.
+#[allow(clippy::too_many_arguments)]
+fn v_alibi_wide(
+    posts: &[Posted],
+    candidates: &[Label],
+    cand_idx: &[Option<usize>],
+    ruled: &mut [bool],
+    out: &mut BTreeSet<Label>,
+    t: &Alg2Tables,
+    n: usize,
+    universe: &[Label],
+) {
+    let nv = t.vlabel_sorted.len();
+    let words = universe.len().div_ceil(64).max(1);
+    let mut distinct: Vec<(Vec<u64>, u64)> = Vec::new();
+    for p in posts.iter().filter(|p| p.name == n) {
+        let mut bits = vec![0u64; words];
+        for &l in &p.suspects {
+            let i = universe.binary_search(&l).expect("label in universe");
+            bits[i / 64] |= 1 << (i % 64);
+        }
+        match distinct.iter_mut().find(|(b, _)| *b == bits) {
+            Some(entry) => entry.1 += p.count,
+            None => distinct.push((bits, p.count)),
+        }
+    }
+    let k = distinct.len();
+    let mut labs: Vec<Vec<u64>> = if k <= UNION_CAP {
+        (1u32..(1u32 << k))
+            .map(|mask| {
+                let mut u = vec![0u64; words];
+                for (i, (b, _)) in distinct.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        for (uw, bw) in u.iter_mut().zip(b) {
+                            *uw |= bw;
+                        }
+                    }
+                }
+                u
+            })
+            .collect()
+    } else {
+        let mut chain = Vec::with_capacity(2 * k);
+        let mut acc = vec![0u64; words];
+        for (b, _) in &distinct {
+            chain.push(b.clone());
+            for (aw, bw) in acc.iter_mut().zip(b) {
+                *aw |= bw;
+            }
+            chain.push(acc.clone());
+        }
+        chain
+    };
+    labs.sort_unstable();
+    labs.dedup();
+    // Capacity row per universe label (unknown labels have none).
+    let rows: Vec<Option<&[u32]>> = universe
+        .iter()
+        .map(|&l| t.plabel_index(l).map(|ai| t.nsize_row(n, ai)))
+        .collect();
+    let mut cap_row = vec![0u64; nv];
+    for lab in &labs {
+        if ruled.iter().all(|r| *r) {
+            return;
+        }
+        let posted_within: u64 = distinct
+            .iter()
+            .filter(|(b, _)| b.iter().zip(lab).all(|(bw, lw)| bw & !lw == 0))
+            .map(|&(_, c)| c)
+            .sum();
+        if posted_within == 0 {
+            continue;
+        }
+        cap_row.iter_mut().for_each(|c| *c = 0);
+        for (i, row) in rows.iter().enumerate() {
+            if lab[i / 64] & (1 << (i % 64)) != 0 {
+                if let Some(row) = row {
+                    for (c, &r) in cap_row.iter_mut().zip(*row) {
+                        *c += u64::from(r);
+                    }
+                }
+            }
+        }
+        for (ci, &beta) in candidates.iter().enumerate() {
+            if !ruled[ci] && posted_within > cand_idx[ci].map_or(0, |bi| cap_row[bi]) {
+                ruled[ci] = true;
+                out.insert(beta);
+            }
+        }
+    }
+}
+
+/// Beyond this many distinct suspect sets, `v_alibi` switches from the
+/// full subset-union enumeration to the linear prefix-union chain.
+const UNION_CAP: usize = 12;
 
 /// `p-alibi`: processor labels ruled out for *me*.
 pub(crate) fn p_alibi(
     pec: &[Label],
     vec: &[Vec<Label>],
-    peeked: &[Vec<Posted>],
+    peeked: &[DecodedPosts],
     t: &Alg2Tables,
 ) -> BTreeSet<Label> {
     let mut out = BTreeSet::new();
+    let np = t.plabel_sorted.len();
+    // Per name, how many posts are the singleton `{α}`, dense over plabel
+    // indices — condition 2's "knowers" counted once, not per PEC member.
+    let singles: Vec<Vec<u64>> = if pec.len() > 1 {
+        (0..t.names)
+            .map(|n| {
+                let mut counts = vec![0u64; np];
+                match &peeked[n] {
+                    DecodedPosts::Dense(posts) => {
+                        for p in posts.iter().filter(|p| p.name == n) {
+                            if p.bits.count_ones() == 1 {
+                                counts[p.bits.trailing_zeros() as usize] += p.count;
+                            }
+                        }
+                    }
+                    DecodedPosts::Sparse(posts) => {
+                        for p in posts.iter().filter(|p| p.name == n) {
+                            if let [alpha] = p.suspects[..] {
+                                if let Some(ai) = t.plabel_index(alpha) {
+                                    counts[ai] += p.count;
+                                }
+                            }
+                        }
+                    }
+                }
+                counts
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     for &alpha in pec {
+        let ai = t.plabel_index(alpha);
         let mut alibi = false;
         for n in 0..t.names {
-            let Some(&beta) = t.nbr.get(&(alpha, n)) else {
+            let Some(bi) = ai.and_then(|ai| t.nbr_index(ai, n)) else {
                 // α-processors have no neighbor table entry for n — since
                 // every processor has one neighbor per name this cannot
                 // happen for genuine labels; treat as an alibi.
@@ -643,6 +1183,7 @@ pub(crate) fn p_alibi(
                 break;
             };
             // Condition 1: my n-neighbor cannot be labeled n-nbr(α).
+            let beta = t.vlabel_sorted[bi];
             if !vec[n].contains(&beta) {
                 alibi = true;
                 break;
@@ -650,11 +1191,9 @@ pub(crate) fn p_alibi(
             // Condition 2: all α-processors around my n-neighbor already
             // know they are α, and I still don't know who I am.
             if pec.len() > 1 {
-                let knowers = peeked[n]
-                    .iter()
-                    .filter(|p| p.name == n && p.suspects == [alpha])
-                    .count();
-                if knowers == t.nsize(n, alpha, beta) && knowers > 0 {
+                let ai = ai.expect("nbr entry implies known plabel");
+                let knowers = singles[n][ai];
+                if knowers == u64::from(t.nsize_row(n, ai)[bi]) && knowers > 0 {
                     alibi = true;
                     break;
                 }

@@ -395,6 +395,140 @@ fn exact_elite(counts: &[BTreeMap<Label, usize>]) -> Option<BTreeSet<Label>> {
     dfs(counts, &usable, &mut chosen, &mut covered).then_some(chosen)
 }
 
+// ---------------------------------------------------------------------------
+// Scale tier: 10^5–10^6-processor homogeneous families.
+//
+// Everything below exists so the 100k–1M tier is constructible on a small
+// container: the topologies build through `SystemGraph::from_fn` (three flat
+// allocations, no per-node maps), the initial states are uniform `Vec`s of
+// `Value::Unit`, and the workload program touches O(1) state per step with a
+// hard post budget, so shared-memory footprint stays bounded by the edge
+// count no matter how long the schedule runs.
+// ---------------------------------------------------------------------------
+
+/// A scale-tier system: a CSR-backed graph plus its uniform initial state.
+/// The pair is exactly what [`simsym_vm::Machine::new`] wants; the struct
+/// exists so constructors can also report their memory footprint.
+pub struct ScaleSystem {
+    /// The network, CSR-backed.
+    pub graph: SystemGraph,
+    /// The fully symmetric initial state.
+    pub init: SystemInit,
+}
+
+impl ScaleSystem {
+    fn uniform(graph: SystemGraph) -> ScaleSystem {
+        let init = SystemInit::uniform(&graph);
+        ScaleSystem { graph, init }
+    }
+
+    /// Approximate bytes the *adjacency* costs, before any machine state.
+    pub fn graph_bytes(&self) -> usize {
+        self.graph.approx_bytes()
+    }
+}
+
+/// A scale-tier uniform ring of `n` processors (Figure 4 topology).
+pub fn scale_ring(n: usize) -> ScaleSystem {
+    ScaleSystem::uniform(simsym_graph::topology::uniform_ring(n))
+}
+
+/// A scale-tier alternating table of `n` philosophers (even `n`,
+/// Figure 5 topology).
+pub fn scale_table(n: usize) -> ScaleSystem {
+    ScaleSystem::uniform(simsym_graph::topology::philosophers_alternating(n))
+}
+
+/// A scale-tier `dim`-dimensional hypercube: `2^dim` processors
+/// (`dim = 17` ≈ 10^5, `dim = 20` ≈ 10^6).
+pub fn scale_hypercube(dim: usize) -> ScaleSystem {
+    ScaleSystem::uniform(simsym_graph::topology::hypercube(dim))
+}
+
+/// The budgeted Q workload for the scale tier: round `r` posts
+/// `Int(r)` to the processor's name `r mod |NAMES|` while `r` is under the
+/// post budget, then peeks that name and accumulates the observed multiset
+/// size into `seen`. Every step performs exactly one shared operation and
+/// touches O(1) local state, and because a Q `post` *replaces* the poster's
+/// subvalue, shared memory is bounded by the edge count — the program can
+/// run forever on a 10^6-processor system without growing.
+///
+/// The program is processor-id-independent (it depends only on the local
+/// round counter), so it is a legal §2 program and runs identically on
+/// every member of a homogeneous family.
+pub struct ScaleWorkload {
+    /// How many leading rounds post before the program settles into
+    /// peek-only steady state.
+    pub post_budget: u32,
+}
+
+impl ScaleWorkload {
+    /// A workload posting for `post_budget` rounds, then peeking forever.
+    pub fn new(post_budget: u32) -> ScaleWorkload {
+        ScaleWorkload { post_budget }
+    }
+
+    fn regs() -> (simsym_vm::RegId, simsym_vm::RegId) {
+        static REGS: std::sync::OnceLock<(simsym_vm::RegId, simsym_vm::RegId)> =
+            std::sync::OnceLock::new();
+        *REGS.get_or_init(|| {
+            (
+                simsym_vm::RegId::intern("round"),
+                simsym_vm::RegId::intern("seen"),
+            )
+        })
+    }
+}
+
+impl simsym_vm::Program for ScaleWorkload {
+    /// Boots with **no registers at all** — the workload never reads
+    /// `init`, and at 10^6 processors skipping the per-processor register
+    /// vector turns boot into two flat allocations for the whole machine.
+    /// (The default boot's one-tiny-alloc-per-processor pattern is also
+    /// what drives glibc's heap-trim pathology on small containers.)
+    fn boot(&self, _initial: &simsym_vm::Value) -> simsym_vm::LocalState {
+        simsym_vm::LocalState::new()
+    }
+
+    fn step(&self, local: &mut simsym_vm::LocalState, ops: &mut simsym_vm::OpEnv<'_>) {
+        let (r_round, r_seen) = Self::regs();
+        let round = local
+            .reg_opt(r_round)
+            .and_then(simsym_vm::Value::as_int)
+            .unwrap_or(0);
+        let name = ops.name_at(round as usize % ops.name_count());
+        if (round as u64) < u64::from(self.post_budget) {
+            ops.post(name, simsym_vm::Value::from(round));
+        } else {
+            let observed = ops.peek(name).posted_len() as i64;
+            let seen = local
+                .reg_opt(r_seen)
+                .and_then(simsym_vm::Value::as_int)
+                .unwrap_or(0);
+            local.set_reg(r_seen, simsym_vm::Value::from(seen + observed));
+        }
+        local.set_reg(r_round, simsym_vm::Value::from(round + 1));
+    }
+
+    fn name(&self) -> &str {
+        "scale-diffusion"
+    }
+
+    fn static_spec(&self) -> Option<simsym_vm::ProgramSpec> {
+        use simsym_vm::{OpKind, PhaseSpec, PortSet, ProgramSpec};
+        Some(
+            ProgramSpec::new("scale-diffusion", 0).phase(
+                PhaseSpec::new(0, "diffuse")
+                    .reads(&["round", "seen"])
+                    .writes(&["round", "seen"])
+                    .op(OpKind::Post, PortSet::All)
+                    .op(OpKind::Peek, PortSet::All)
+                    .succs(&[0]),
+            ),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,5 +706,74 @@ mod tests {
     #[test]
     fn family_error_display() {
         assert!(FamilyError::Empty.to_string().contains("no members"));
+    }
+
+    #[test]
+    fn scale_constructors_build_100k_tier_quickly() {
+        let t = std::time::Instant::now();
+        let ring = scale_ring(100_000);
+        let cube = scale_hypercube(17); // 131,072 processors
+        let table = scale_table(100_000);
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(5),
+            "scale construction took {:?}",
+            t.elapsed()
+        );
+        assert_eq!(ring.graph.processor_count(), 100_000);
+        assert_eq!(cube.graph.processor_count(), 1 << 17);
+        assert_eq!(table.graph.processor_count(), 100_000);
+        assert!(ring.init.matches(&ring.graph));
+        // The CSR adjacency must stay lean: well under 100 bytes per
+        // processor for a degree-2 ring.
+        assert!(
+            ring.graph_bytes() / 100_000 < 100,
+            "ring adjacency is {} bytes/processor",
+            ring.graph_bytes() / 100_000
+        );
+    }
+
+    #[test]
+    fn scale_workload_runs_budgeted_on_100k_ring() {
+        use simsym_vm::{run, InstructionSet, Machine, Program, RoundRobin};
+        use std::sync::Arc;
+        let n = 100_000;
+        let sys = scale_ring(n);
+        let workload = ScaleWorkload::new(2);
+        workload
+            .static_spec()
+            .expect("workload declares a spec")
+            .validate()
+            .expect("spec is well-formed");
+        let mut m = Machine::new(
+            Arc::new(sys.graph),
+            InstructionSet::Q,
+            Arc::new(workload),
+            &sys.init,
+        )
+        .unwrap();
+        // Four round-robin passes: two posting rounds, two peeking rounds.
+        let mut sched = RoundRobin::new();
+        let report = run(&mut m, &mut sched, 4 * n as u64, &mut []);
+        assert_eq!(report.steps, 4 * n as u64);
+        // After every processor posted to both its names, each ring
+        // variable holds exactly its two neighbors' subvalues, so each
+        // processor's final peek observed 2 and `seen` sums to 2 per
+        // peeking round.
+        let r_seen = simsym_vm::RegId::intern("seen");
+        for p in m.graph().processors().take(16) {
+            assert_eq!(
+                m.local(p).reg(r_seen).as_int(),
+                Some(4),
+                "processor {p:?} saw a wrong multiset size"
+            );
+        }
+        // Shared state is bounded: two subvalues per ring variable, three
+        // registers per processor — a few hundred bytes each, not kilobytes.
+        let bytes = m.approx_state_bytes();
+        assert!(
+            bytes / n < 512,
+            "machine state is {} bytes/processor",
+            bytes / n
+        );
     }
 }

@@ -68,7 +68,10 @@ pub use consensus::{
 };
 pub use distributed::{Alg2Tables, LabelLearner};
 pub use environment::{env_key, is_environment_consistent, same_environment, EnvKey};
-pub use family::{elite_from_member_labels, EliteSet, Family, FamilyError, GeneralFamily};
+pub use family::{
+    elite_from_member_labels, scale_hypercube, scale_ring, scale_table, EliteSet, Family,
+    FamilyError, GeneralFamily, ScaleSystem, ScaleWorkload,
+};
 pub use hierarchy::{
     decide_selection, decide_selection_with_init, decide_with_budget, power_table,
     render_power_table, separation_witnesses, Decision, DecisionBudget, PowerRow, Witness,

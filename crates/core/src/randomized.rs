@@ -124,7 +124,7 @@ impl Program for RandomizedSelect {
             2 => {
                 // Learn the participant count.
                 let view = ops.peek(arena);
-                local.set("m", Value::from(view.posted.len()));
+                local.set("m", Value::from(view.posted_len()));
                 local.set("stage", Value::from(3));
             }
             _ => {
@@ -133,8 +133,7 @@ impl Program for RandomizedSelect {
                 let round = local.get("round").as_int().unwrap_or(0);
                 let expected = local.get("m").as_int().unwrap_or(0);
                 let mut draws: Vec<i64> = view
-                    .posted
-                    .iter()
+                    .posted()
                     .filter_map(|v| {
                         let [r, d, prev] = <&[Value; 3]>::try_from(v.as_tuple()?).ok()?;
                         let r = r.as_int()?;

@@ -828,10 +828,10 @@ impl Algorithm4 {
             let name = ops.name_at(ni);
             let raw = ops.read(name);
             let (count, entries) = decode_lvar(&raw);
-            let view = PeekView {
-                initial: Value::from(count),
-                posted: entries.into_iter().map(|(_, p)| p).collect(),
-            };
+            let view = PeekView::owned(
+                Value::from(count),
+                entries.into_iter().map(|(_, p)| p).collect(),
+            );
             store_peek(local, ni, &view, t);
             local.pc += 1;
             if local.pc == names {

@@ -84,7 +84,7 @@ pub fn probe_programs(isa: InstructionSet) -> Vec<Arc<dyn Program>> {
                 }
                 let n = names[(local.pc as usize) % names.len()];
                 let view = ops.peek(n);
-                let obs = Value::tuple([view.initial, Value::bag(view.posted)]);
+                let obs = Value::tuple([view.initial().clone(), view.to_bag()]);
                 digest(local, &obs);
                 local.pc = local.pc.wrapping_add(1);
             })));
@@ -101,7 +101,7 @@ pub fn probe_programs(isa: InstructionSet) -> Vec<Arc<dyn Program>> {
                     ops.post(n, local.get("acc"));
                 } else {
                     let view = ops.peek(n);
-                    let obs = Value::bag(view.posted);
+                    let obs = view.to_bag();
                     digest(local, &obs);
                 }
                 local.pc = local.pc.wrapping_add(1);

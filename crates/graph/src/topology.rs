@@ -111,17 +111,17 @@ pub fn figure3() -> SystemGraph {
 /// [`figure1`] for the 2-node case with one name).
 pub fn uniform_ring(n: usize) -> SystemGraph {
     assert!(n >= 2, "ring needs at least 2 processors");
-    let mut b = SystemGraph::builder();
-    let left = b.name(LEFT);
-    let right = b.name(RIGHT);
-    let ps = b.processors(n);
-    let vs = b.variables(n);
-    for i in 0..n {
-        b.connect(ps[i], right, vs[i]).expect("ring wiring");
-        b.connect(ps[i], left, vs[(i + n - 1) % n])
-            .expect("ring wiring");
-    }
-    b.build().expect("ring is well formed")
+    // Bulk construction: identical graph to the builder version (same name
+    // interning order, same ids), but O(n) flat arrays instead of n hash
+    // maps — this is what lets 10^5–10^6-processor rings build instantly.
+    SystemGraph::from_fn(&[LEFT, RIGHT], n, n, |p, name| {
+        if name == 0 {
+            (p + n - 1) % n // left
+        } else {
+            p // right
+        }
+    })
+    .expect("ring is well formed")
 }
 
 /// Figure 4 of the paper: `n` philosophers facing the table (the classical
@@ -151,23 +151,18 @@ pub fn philosophers_alternating(n: usize) -> SystemGraph {
         n >= 2 && n.is_multiple_of(2),
         "alternating table requires even n >= 2"
     );
-    let mut b = SystemGraph::builder();
-    let left = b.name(LEFT);
-    let right = b.name(RIGHT);
-    let ps = b.processors(n);
-    let vs = b.variables(n);
-    for i in 0..n {
-        let fwd = vs[i];
-        let back = vs[(i + n - 1) % n];
-        if i % 2 == 0 {
-            b.connect(ps[i], right, fwd).expect("table wiring");
-            b.connect(ps[i], left, back).expect("table wiring");
+    // Flat construction (see `uniform_ring`): even philosophers face the
+    // table (right = fwd), odd ones sit turned away (right = back).
+    SystemGraph::from_fn(&[LEFT, RIGHT], n, n, |p, name| {
+        let fwd = p;
+        let back = (p + n - 1) % n;
+        if (p % 2 == 0) == (name == 1) {
+            fwd
         } else {
-            b.connect(ps[i], right, back).expect("table wiring");
-            b.connect(ps[i], left, fwd).expect("table wiring");
+            back
         }
-    }
-    b.build().expect("alternating table is well formed")
+    })
+    .expect("alternating table is well formed")
 }
 
 /// A [`uniform_ring`] of `n` processors where processor `0` is *marked*:
@@ -185,22 +180,14 @@ pub fn philosophers_alternating(n: usize) -> SystemGraph {
 /// would not distinguish anything).
 pub fn marked_ring(n: usize) -> SystemGraph {
     assert!(n >= 3, "marked ring needs at least 3 processors");
-    let mut b = SystemGraph::builder();
-    let left = b.name(LEFT);
-    let right = b.name(RIGHT);
-    let token = b.name("token");
-    let ps = b.processors(n);
-    let vs = b.variables(n);
-    let private = b.variable();
-    let shared = b.variable();
-    for i in 0..n {
-        b.connect(ps[i], right, vs[i]).expect("ring wiring");
-        b.connect(ps[i], left, vs[(i + n - 1) % n])
-            .expect("ring wiring");
-        let tok = if i == 0 { private } else { shared };
-        b.connect(ps[i], token, tok).expect("token wiring");
-    }
-    b.build().expect("marked ring is well formed")
+    // Variables 0..n are the ring, n is p0's private token, n+1 the shared
+    // token. Same layout the builder version produced, built flat.
+    SystemGraph::from_fn(&[LEFT, RIGHT, "token"], n, n + 2, |p, name| match name {
+        0 => (p + n - 1) % n,         // left
+        1 => p,                       // right
+        _ => n + usize::from(p != 0), // token: private for p0
+    })
+    .expect("marked ring is well formed")
 }
 
 /// An open line of `n` processors: like [`uniform_ring`] but the ends are
@@ -387,6 +374,37 @@ pub fn torus(w: usize, h: usize) -> SystemGraph {
     b.build().expect("torus is well formed")
 }
 
+/// A `dim`-dimensional hypercube: `2^dim` processors, one shared variable
+/// per cube edge (`dim · 2^(dim−1)` of them), names `dim0..dim{d−1}` — each
+/// processor calls the edge along axis `d` its `dim{d}` neighbor. Fully
+/// vertex-transitive, so every processor is graph-symmetric to every other;
+/// the canonical "large regular topology" for the 10^5–10^6 scale tier
+/// (`dim = 17` is 131,072 processors, `dim = 20` is 1,048,576).
+///
+/// Edge along axis `d` incident to nodes `u` and `u | (1 << d)` (where `u`
+/// has bit `d` clear) gets variable index `d · 2^(dim−1) + rank(u)`, with
+/// `rank(u)` = `u` with bit `d` deleted — a bijection onto
+/// `0..dim·2^(dim−1)`.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `dim > 26` (2^26 processors ≈ the point where
+/// the adjacency alone outgrows a small container).
+pub fn hypercube(dim: usize) -> SystemGraph {
+    assert!((1..=26).contains(&dim), "hypercube needs 1 <= dim <= 26");
+    let names: Vec<String> = (0..dim).map(|d| format!("dim{d}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let procs = 1usize << dim;
+    let half = procs >> 1;
+    SystemGraph::from_fn(&name_refs, procs, dim * half, |p, d| {
+        let u = p & !(1 << d); // lower endpoint of the edge along axis d
+        let low = u & ((1 << d) - 1);
+        let high = (u >> (d + 1)) << d;
+        d * half + (high | low)
+    })
+    .expect("hypercube is well formed")
+}
+
 /// The processor ids `p0..pn` of a graph, as a convenience for tests.
 pub fn proc_ids(g: &SystemGraph) -> Vec<ProcId> {
     g.processors().collect()
@@ -397,6 +415,47 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn ring_from_fn_matches_builder() {
+        // The flat construction must produce the *identical* graph the
+        // builder produced before the CSR rewrite: same ids, same edges.
+        for n in [2, 3, 7, 16] {
+            let fast = uniform_ring(n);
+            let mut b = SystemGraph::builder();
+            let left = b.name(LEFT);
+            let right = b.name(RIGHT);
+            let ps = b.processors(n);
+            let vs = b.variables(n);
+            for i in 0..n {
+                b.connect(ps[i], right, vs[i]).unwrap();
+                b.connect(ps[i], left, vs[(i + n - 1) % n]).unwrap();
+            }
+            assert_eq!(fast, b.build().unwrap(), "ring n={n}");
+        }
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        for dim in 1..=6 {
+            let g = hypercube(dim);
+            assert_eq!(g.processor_count(), 1 << dim);
+            assert_eq!(g.variable_count(), dim << (dim - 1));
+            assert!(g.is_connected(), "dim={dim}");
+            // dim 1 is two processors around one variable — not distributed.
+            assert_eq!(g.is_distributed(), dim >= 2, "dim={dim}");
+            // Every edge variable joins exactly two processors, and the two
+            // endpoints differ in exactly the bit matching the name's axis.
+            for v in g.variables() {
+                let edges = g.variable_edges(v);
+                assert_eq!(edges.len(), 2, "dim={dim} v={v:?}");
+                let (p, n) = edges[0];
+                let (q, m) = edges[1];
+                assert_eq!(n, m);
+                assert_eq!(p.index() ^ q.index(), 1 << n.index());
+            }
+        }
+    }
 
     #[test]
     fn figure1_shape() {

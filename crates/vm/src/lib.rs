@@ -89,4 +89,4 @@ pub use schedule::{
 };
 pub use state::{LocalState, RegId, SharedVar, SystemInit};
 pub use trace::{StepRecord, Tracer};
-pub use value::Value;
+pub use value::{Value, ValueId};

@@ -1,6 +1,6 @@
 //! The executable system: graph + instruction set + program + state.
 
-use crate::{InstructionSet, LocalState, Program, SharedVar, SystemInit, Value};
+use crate::{InstructionSet, LocalState, Program, SharedVar, SystemInit, Value, ValueId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simsym_graph::{NameId, ProcId, SystemGraph, VarId};
@@ -253,12 +253,115 @@ impl OpRecord {
 /// The number of subvalues is a *lower bound* on the number of neighbors of
 /// the variable — a processor cannot directly observe the neighbor count
 /// (§2), which is exactly why bounded-fair knowledge matters in §5.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct PeekView {
+///
+/// The view **borrows** the variable's cached canonical multiset: a peek
+/// clones nothing and sorts nothing. The refusal path ([`OpEnv::peek`]
+/// outside Q, or as a second shared op) returns [`PeekView::empty`], which
+/// allocates nothing either. Emulation layers that reconstruct a view from
+/// plain-variable state use [`PeekView::owned`].
+#[derive(Clone, Debug)]
+pub struct PeekView<'a> {
+    init: PeekInit<'a>,
+    posted: PeekPosted<'a>,
+}
+
+#[derive(Clone, Debug)]
+enum PeekInit<'a> {
+    Borrowed(&'a Value),
+    Owned(Value),
+}
+
+#[derive(Clone, Debug)]
+enum PeekPosted<'a> {
+    /// Distinct subvalues with multiplicities, sorted by value — borrowed
+    /// straight from [`SharedVar::multi_counts`].
+    Counts {
+        counts: &'a [(ValueId, u32)],
+        total: usize,
+    },
+    /// An owned, canonically sorted expansion (emulation and tests).
+    Owned(Vec<Value>),
+}
+
+impl<'a> PeekView<'a> {
+    /// The empty view returned by a refused peek: unit initial state, no
+    /// subvalues. Allocation-free.
+    pub fn empty() -> PeekView<'static> {
+        PeekView {
+            init: PeekInit::Owned(Value::Unit),
+            posted: PeekPosted::Owned(Vec::new()),
+        }
+    }
+
+    /// An owned view from explicit parts; `posted` must already be in
+    /// canonical (sorted) order. Used by emulation layers that rebuild the
+    /// Q observation from plain-variable contents, and by tests.
+    pub fn owned(initial: Value, posted: Vec<Value>) -> PeekView<'static> {
+        PeekView {
+            init: PeekInit::Owned(initial),
+            posted: PeekPosted::Owned(posted),
+        }
+    }
+
     /// The variable's `state₀` component.
-    pub initial: Value,
-    /// Sorted multiset of subvalues posted so far.
-    pub posted: Vec<Value>,
+    pub fn initial(&self) -> &Value {
+        match &self.init {
+            PeekInit::Borrowed(v) => v,
+            PeekInit::Owned(v) => v,
+        }
+    }
+
+    /// Number of posted subvalues (with multiplicity).
+    pub fn posted_len(&self) -> usize {
+        match &self.posted {
+            PeekPosted::Counts { total, .. } => *total,
+            PeekPosted::Owned(vs) => vs.len(),
+        }
+    }
+
+    /// Whether no subvalue has been posted.
+    pub fn posted_is_empty(&self) -> bool {
+        self.posted_len() == 0
+    }
+
+    /// The posted subvalues in canonical (sorted) order, with
+    /// multiplicity — exactly the old `Vec<Value>` iteration order.
+    pub fn posted(&self) -> impl Iterator<Item = &Value> + '_ {
+        let (counts, owned): (&[(ValueId, u32)], &[Value]) = match &self.posted {
+            PeekPosted::Counts { counts, .. } => (counts, &[]),
+            PeekPosted::Owned(vs) => (&[], vs.as_slice()),
+        };
+        counts
+            .iter()
+            .flat_map(|&(vid, n)| std::iter::repeat_n(vid.resolve(), n as usize))
+            .chain(owned.iter())
+    }
+
+    /// The distinct posted subvalues as interned `(id, multiplicity)`
+    /// pairs in canonical order, when this view borrows a live multiset
+    /// (`None` for owned/emulated views). Because [`ValueId`] interning is
+    /// canonical, two views with equal count slices hold equal multisets —
+    /// a cheap content key for callers that memoize per-peek work.
+    pub fn posted_counts(&self) -> Option<&[(ValueId, u32)]> {
+        match &self.posted {
+            PeekPosted::Counts { counts, .. } => Some(counts),
+            PeekPosted::Owned(_) => None,
+        }
+    }
+
+    /// The posted multiset as a [`Value::Bag`] — built directly from the
+    /// cached counts, without expanding duplicates.
+    pub fn to_bag(&self) -> Value {
+        match &self.posted {
+            PeekPosted::Counts { counts, .. } => Value::Bag(std::sync::Arc::new(
+                counts
+                    .iter()
+                    .map(|&(vid, n)| (vid.resolve().clone(), n as usize))
+                    .collect(),
+            )),
+            PeekPosted::Owned(vs) => Value::bag(vs.iter().cloned()),
+        }
+    }
 }
 
 /// A running system `Σ`: the network, an instruction set, the common
@@ -297,6 +400,23 @@ pub struct Machine {
     rng: Option<StdRng>,
     last_record: Option<OpRecord>,
     inc_fp: Option<IncFp>,
+    /// The `post` performed by the in-flight step, if any — lets the
+    /// incremental fingerprint patch the posted variable's node hash in
+    /// O(1) from the (owner, old id, new id) delta instead of rehashing
+    /// the whole multiset. Reset at the start of every step.
+    last_post_delta: Option<PostDelta>,
+    /// Recycled id buffer for `lock_many` target resolution.
+    scratch_vids: Vec<VarId>,
+}
+
+/// The shared-state delta of one `post`: which variable, which owner, and
+/// the owner's previous and new interned subvalues.
+#[derive(Clone, Copy)]
+struct PostDelta {
+    var: VarId,
+    owner: ProcId,
+    prev: Option<ValueId>,
+    new: ValueId,
 }
 
 /// Incrementally maintained wide fingerprint: one salted 128-bit hash per
@@ -326,6 +446,62 @@ fn node_pair<T: Hash>(idx: usize, t: &T) -> (u64, u64) {
     (lo.finish(), hi.finish())
 }
 
+/// The base component of a Multi variable's node hash: salted hash of the
+/// variable's `state₀`, tagged `0u8` to separate it from subvalue terms.
+fn multi_base_pair(idx: usize, base: &Value) -> (u64, u64) {
+    node_pair(idx, &(0u8, base))
+}
+
+/// One subvalue's term in a Multi variable's node hash. The node hash is
+/// the XOR of the base pair and one term per `(owner, subvalue id)` — a
+/// `post` replaces exactly one term, so the incremental fingerprint
+/// updates in O(1) regardless of how many subvalues the variable holds.
+fn multi_term(idx: usize, owner: ProcId, vid: ValueId) -> (u64, u64) {
+    node_pair(idx, &(1u8, owner, vid.raw()))
+}
+
+/// The per-node hash pair of one shared variable. Plain variables hash
+/// their whole state; Multi variables compose XOR terms (see
+/// [`multi_term`]) so steps can patch them incrementally.
+fn var_node_pair(idx: usize, var: &SharedVar) -> (u64, u64) {
+    match var {
+        SharedVar::Plain { .. } => node_pair(idx, var),
+        SharedVar::Multi { base, .. } => {
+            let (mut lo, mut hi) = multi_base_pair(idx, base);
+            for &(p, vid) in var.sub_owners() {
+                let t = multi_term(idx, p, vid);
+                lo ^= t.0;
+                hi ^= t.1;
+            }
+            (lo, hi)
+        }
+    }
+}
+
+/// The pre-image of one shared variable mutated by an undoable step.
+///
+/// `post` records only the posting owner's previous subvalue id — undoing
+/// a Q step never clones or stores the whole multiset. Every other
+/// mutation (writes, lock-bit changes) snapshots the variable wholesale,
+/// which for a Plain variable is one small value.
+enum VarUndo {
+    Whole(VarId, SharedVar),
+    Post {
+        var: VarId,
+        owner: ProcId,
+        prev: Option<ValueId>,
+    },
+}
+
+impl VarUndo {
+    fn var(&self) -> VarId {
+        match self {
+            VarUndo::Whole(v, _) => *v,
+            VarUndo::Post { var, .. } => *var,
+        }
+    }
+}
+
 /// Everything needed to reverse one [`Machine::step_undoable`] step: the
 /// stepping processor's previous local state, the pre-images of the shared
 /// variables the step mutated, and the previous step record and
@@ -333,7 +509,7 @@ fn node_pair<T: Hash>(idx: usize, t: &T) -> (u64, u64) {
 pub struct StepUndo {
     proc: ProcId,
     prev_local: LocalState,
-    prev_vars: Vec<(VarId, SharedVar)>,
+    prev_vars: Vec<VarUndo>,
     prev_record: Option<OpRecord>,
     /// `(node index, previous hash pair)` for incremental-fingerprint
     /// restoration; empty when the fingerprint is not enabled.
@@ -384,6 +560,8 @@ impl Machine {
             rng: None,
             last_record: None,
             inc_fp: None,
+            last_post_delta: None,
+            scratch_vids: Vec::new(),
         })
     }
 
@@ -511,7 +689,7 @@ impl Machine {
         self.exec_step(p, Some(&mut prev_vars));
         self.steps += 1;
         let prev_hashes = if self.inc_fp.is_some() {
-            let touched: Vec<VarId> = prev_vars.iter().map(|&(v, _)| v).collect();
+            let touched: Vec<VarId> = prev_vars.iter().map(VarUndo::var).collect();
             self.refresh_node_hashes(p, &touched)
         } else {
             Vec::new()
@@ -536,8 +714,13 @@ impl Machine {
             prev_hashes,
         } = undo;
         self.locals[proc.index()] = prev_local;
-        for (v, state) in prev_vars.into_iter().rev() {
-            self.vars[v.index()] = state;
+        for u in prev_vars.into_iter().rev() {
+            match u {
+                VarUndo::Whole(v, state) => self.vars[v.index()] = state,
+                VarUndo::Post { var, owner, prev } => {
+                    self.vars[var.index()].unpost_sub(owner, prev);
+                }
+            }
         }
         self.steps -= 1;
         self.last_record = prev_record;
@@ -553,7 +736,7 @@ impl Machine {
 
     /// Runs the program step for `p`, optionally capturing shared-variable
     /// pre-images into `undo_vars`, and returns the step's record.
-    fn exec_step(&mut self, p: ProcId, undo_vars: Option<&mut Vec<(VarId, SharedVar)>>) {
+    fn exec_step(&mut self, p: ProcId, undo_vars: Option<&mut Vec<VarUndo>>) {
         let mut local = std::mem::take(&mut self.locals[p.index()]);
         // The step record lives in `last_record` and is recycled in
         // place: once its vectors are warm, a step allocates nothing.
@@ -562,6 +745,7 @@ impl Machine {
         record.contended = false;
         record.targets.clear();
         record.violations.clear();
+        self.last_post_delta = None;
         {
             let mut env = OpEnv {
                 graph: &self.graph,
@@ -572,6 +756,8 @@ impl Machine {
                 shared_ops: 0,
                 record,
                 undo: undo_vars,
+                post_delta: &mut self.last_post_delta,
+                scratch: &mut self.scratch_vids,
             };
             self.program.step(&mut local, &mut env);
         }
@@ -580,32 +766,58 @@ impl Machine {
 
     /// Recomputes the incremental-fingerprint entries of processor `p` and
     /// the given variables, returning the previous `(node, hash)` pairs.
+    ///
+    /// A `post` step skips rehashing the posted multiset: its node hash is
+    /// patched from the step's [`PostDelta`] by XOR-ing out the owner's
+    /// old subvalue term and XOR-ing in the new one — O(1) regardless of
+    /// how many processors have posted.
     fn refresh_node_hashes(&mut self, p: ProcId, vars: &[VarId]) -> Vec<(usize, (u64, u64))> {
         let Some(mut fp) = self.inc_fp.take() else {
             return Vec::new();
         };
         let pc = self.locals.len();
-        let mut prev = Vec::with_capacity(1 + vars.len());
-        let mut touch = |idx: usize, pair: (u64, u64)| {
-            if prev.iter().any(|&(i, _)| i == idx) {
+        let delta = self.last_post_delta;
+        let mut prev: Vec<(usize, (u64, u64))> = Vec::with_capacity(1 + vars.len());
+        fn touch(
+            fp: &mut IncFp,
+            prev: &mut Vec<(usize, (u64, u64))>,
+            idx: usize,
+            pair: (u64, u64),
+        ) {
+            let old = fp.nodes[idx];
+            if !prev.iter().any(|&(i, _)| i == idx) {
                 // A step touches a variable at most once per op, but
                 // lock_many may list duplicates; keep the oldest pre-image.
-                let old = fp.nodes[idx];
-                fp.lo ^= old.0 ^ pair.0;
-                fp.hi ^= old.1 ^ pair.1;
-                fp.nodes[idx] = pair;
-                return;
+                prev.push((idx, old));
             }
-            let old = fp.nodes[idx];
-            prev.push((idx, old));
             fp.lo ^= old.0 ^ pair.0;
             fp.hi ^= old.1 ^ pair.1;
             fp.nodes[idx] = pair;
-        };
-        touch(p.index(), node_pair(p.index(), &self.locals[p.index()]));
+        }
+        touch(
+            &mut fp,
+            &mut prev,
+            p.index(),
+            node_pair(p.index(), &self.locals[p.index()]),
+        );
         for &v in vars {
             let idx = pc + v.index();
-            touch(idx, node_pair(idx, &self.vars[v.index()]));
+            let pair = match delta {
+                Some(d) if d.var == v => {
+                    let (mut lo, mut hi) = fp.nodes[idx];
+                    if let Some(pv) = d.prev {
+                        let t = multi_term(idx, d.owner, pv);
+                        lo ^= t.0;
+                        hi ^= t.1;
+                    }
+                    let t = multi_term(idx, d.owner, d.new);
+                    lo ^= t.0;
+                    hi ^= t.1;
+                    (lo, hi)
+                }
+                _ => var_node_pair(idx, &self.vars[v.index()]),
+            };
+            touch(&mut fp, &mut prev, idx, pair);
         }
         self.inc_fp = Some(fp);
         prev
@@ -625,7 +837,7 @@ impl Machine {
             nodes.push(pair);
         }
         for (j, v) in self.vars.iter().enumerate() {
-            let pair = node_pair(pc + j, v);
+            let pair = var_node_pair(pc + j, v);
             lo ^= pair.0;
             hi ^= pair.1;
             nodes.push(pair);
@@ -651,11 +863,24 @@ impl Machine {
             hi ^= pair.1;
         }
         for (j, v) in self.vars.iter().enumerate() {
-            let pair = node_pair(pc + j, v);
+            let pair = var_node_pair(pc + j, v);
             lo ^= pair.0;
             hi ^= pair.1;
         }
         (lo, hi)
+    }
+
+    /// Approximate resident bytes of the machine's mutable state (local
+    /// states plus shared variables, inline and heap) — the numerator of
+    /// the scale-tier bytes/processor bench rows. Excludes the shared
+    /// graph and program, which [`SystemGraph::approx_bytes`] reports
+    /// separately.
+    pub fn approx_state_bytes(&self) -> usize {
+        let locals_inline = self.locals.len() * std::mem::size_of::<LocalState>();
+        let locals_heap: usize = self.locals.iter().map(LocalState::approx_heap_bytes).sum();
+        let vars_inline = self.vars.len() * std::mem::size_of::<SharedVar>();
+        let vars_heap: usize = self.vars.iter().map(SharedVar::approx_heap_bytes).sum();
+        locals_inline + locals_heap + vars_inline + vars_heap
     }
 
     /// What the most recent step did (`None` before the first step). The
@@ -722,8 +947,13 @@ pub struct OpEnv<'m> {
     shared_ops: u32,
     record: &'m mut OpRecord,
     /// When the step runs under [`Machine::step_undoable`], mutating ops
-    /// push `(variable, pre-image)` here before touching shared state.
-    undo: Option<&'m mut Vec<(VarId, SharedVar)>>,
+    /// push pre-images here before touching shared state.
+    undo: Option<&'m mut Vec<VarUndo>>,
+    /// Slot for this step's `post` delta, read by the incremental
+    /// fingerprint to patch the posted node hash in O(1).
+    post_delta: &'m mut Option<PostDelta>,
+    /// Machine-owned scratch for `lock_many` target ids.
+    scratch: &'m mut Vec<VarId>,
 }
 
 impl<'m> OpEnv<'m> {
@@ -801,11 +1031,13 @@ impl<'m> OpEnv<'m> {
         self.graph.n_nbr(self.proc, n)
     }
 
-    /// Records the pre-image of `v` for undo, if this step is undoable.
-    /// Must be called before the op mutates the variable.
+    /// Records the whole pre-image of `v` for undo, if this step is
+    /// undoable. Must be called before the op mutates the variable. `post`
+    /// does not use this — it records only the owner's previous subvalue
+    /// id ([`VarUndo::Post`]).
     fn capture(&mut self, v: VarId) {
         if let Some(buf) = self.undo.as_deref_mut() {
-            buf.push((v, self.vars[v.index()].clone()));
+            buf.push(VarUndo::Whole(v, self.vars[v.index()].clone()));
         }
     }
 
@@ -885,46 +1117,54 @@ impl<'m> OpEnv<'m> {
     /// second shared op in the step, the attempt is refused and returns
     /// `false`.
     pub fn lock_many(&mut self, names: &[NameId]) -> bool {
-        let vids: Vec<VarId> = names.iter().map(|&n| self.target(n)).collect();
-        if !self.permit(OpKind::LockMany, self.isa.allows_multi_lock(), &vids) {
-            return false;
-        }
-        let all_free = vids.iter().all(|v| match &self.vars[v.index()] {
-            SharedVar::Plain { locked, .. } => !locked,
-            SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
-        });
-        if all_free {
-            for v in vids {
-                self.capture(v);
-                if let SharedVar::Plain { locked, .. } = &mut self.vars[v.index()] {
-                    *locked = true;
+        // Target ids go through a machine-owned scratch buffer (the
+        // OpRecord recycling pattern): once warm, lock_many allocates
+        // nothing per call.
+        let mut vids = std::mem::take(self.scratch);
+        vids.clear();
+        vids.extend(names.iter().map(|&n| self.target(n)));
+        let mut all_free = false;
+        if self.permit(OpKind::LockMany, self.isa.allows_multi_lock(), &vids) {
+            all_free = vids.iter().all(|v| match &self.vars[v.index()] {
+                SharedVar::Plain { locked, .. } => !locked,
+                SharedVar::Multi { .. } => unreachable!("plain ops on multi var"),
+            });
+            if all_free {
+                for &v in &vids {
+                    self.capture(v);
+                    if let SharedVar::Plain { locked, .. } = &mut self.vars[v.index()] {
+                        *locked = true;
+                    }
                 }
+            } else {
+                self.record.contended = true;
             }
-        } else {
-            self.record.contended = true;
         }
+        *self.scratch = vids;
         all_free
     }
 
     /// `peek i from n` — Q. Returns the variable's initial state and the
-    /// unordered multiset of posted subvalues. Outside Q, or as a second
-    /// shared op in the step, the peek is refused and returns an empty
-    /// view.
-    pub fn peek(&mut self, n: NameId) -> PeekView {
+    /// unordered multiset of posted subvalues, **borrowed** from the
+    /// variable's cached canonical view: no clone, no sort. Outside Q, or
+    /// as a second shared op in the step, the peek is refused and returns
+    /// an empty view (also allocation-free).
+    pub fn peek(&mut self, n: NameId) -> PeekView<'_> {
         let v = self.target(n);
         if !self.permit(OpKind::Peek, self.isa.allows_peek_post(), &[v]) {
-            return PeekView {
-                initial: Value::Unit,
-                posted: Vec::new(),
-            };
+            return PeekView::empty();
         }
-        let initial = match &self.vars[v.index()] {
-            SharedVar::Multi { base, .. } => base.clone(),
+        match &self.vars[v.index()] {
+            SharedVar::Multi { .. } => {
+                let (base, counts, total) = self.vars[v.index()]
+                    .multi_counts()
+                    .expect("multi var has counts");
+                PeekView {
+                    init: PeekInit::Borrowed(base),
+                    posted: PeekPosted::Counts { counts, total },
+                }
+            }
             SharedVar::Plain { .. } => unreachable!("multi ops on plain var"),
-        };
-        PeekView {
-            initial,
-            posted: self.vars[v.index()].peek_all(),
         }
     }
 
@@ -936,13 +1176,20 @@ impl<'m> OpEnv<'m> {
         if !self.permit(OpKind::Post, self.isa.allows_peek_post(), &[v]) {
             return;
         }
-        self.capture(v);
         let p = self.proc;
-        match &mut self.vars[v.index()] {
-            SharedVar::Multi { subvalues, .. } => {
-                subvalues.insert(p, value);
-            }
-            SharedVar::Plain { .. } => unreachable!("multi ops on plain var"),
+        let (new, prev) = self.vars[v.index()].post_sub(p, value);
+        *self.post_delta = Some(PostDelta {
+            var: v,
+            owner: p,
+            prev,
+            new,
+        });
+        if let Some(buf) = self.undo.as_deref_mut() {
+            buf.push(VarUndo::Post {
+                var: v,
+                owner: p,
+                prev,
+            });
         }
     }
 
@@ -1063,8 +1310,8 @@ mod tests {
                 local.pc = 1;
             } else {
                 let view = ops.peek(n);
-                local.set("count", Value::from(view.posted.len()));
-                local.set("initial", view.initial);
+                local.set("count", Value::from(view.posted_len()));
+                local.set("initial", view.initial().clone());
             }
         }));
         let mut m = machine_with(InstructionSet::Q, prog);

@@ -15,7 +15,7 @@
 //! are byte-identical to the previous layout and independent of interning
 //! order.
 
-use crate::Value;
+use crate::{Value, ValueId};
 use serde::{Deserialize, Serialize};
 use simsym_graph::{ProcId, SystemGraph};
 use std::cmp::Ordering;
@@ -124,8 +124,11 @@ pub struct LocalState {
     /// `false`; setting it selects the processor. The Stability monitor
     /// checks it is never reset.
     pub selected: bool,
-    /// Register values indexed by [`RegId`]; `None` = never set.
-    regs: Vec<Option<Value>>,
+    /// Set registers as `(id, value)` pairs sorted by [`RegId`]. Sparse:
+    /// memory scales with the registers a processor actually uses, not
+    /// with the process-global interner — at the 100k–1M scale tier this
+    /// is the difference between ~100 B and several KB per processor.
+    regs: Vec<(RegId, Value)>,
 }
 
 impl LocalState {
@@ -154,27 +157,46 @@ impl LocalState {
 
     /// Borrows register `r` if set.
     pub fn reg_opt(&self, r: RegId) -> Option<&Value> {
-        self.regs.get(r.index()).and_then(Option::as_ref)
+        self.regs
+            .binary_search_by_key(&r, |e| e.0)
+            .ok()
+            .map(|i| &self.regs[i].1)
     }
 
     /// Mutably borrows register `r` if set — lets programs update compound
     /// registers (tuples, sets) in place without a clone-and-rewrite.
     pub fn reg_mut(&mut self, r: RegId) -> Option<&mut Value> {
-        self.regs.get_mut(r.index()).and_then(Option::as_mut)
+        self.regs
+            .binary_search_by_key(&r, |e| e.0)
+            .ok()
+            .map(|i| &mut self.regs[i].1)
     }
 
     /// Writes register `r`.
     pub fn set_reg(&mut self, r: RegId, value: Value) {
-        let i = r.index();
-        if self.regs.len() <= i {
-            self.regs.resize(i + 1, None);
+        match self.regs.binary_search_by_key(&r, |e| e.0) {
+            Ok(i) => self.regs[i].1 = value,
+            Err(i) => self.regs.insert(i, (r, value)),
         }
-        self.regs[i] = Some(value);
     }
 
     /// Removes register `r`, returning its prior value.
     pub fn unset_reg(&mut self, r: RegId) -> Option<Value> {
-        self.regs.get_mut(r.index()).and_then(Option::take)
+        match self.regs.binary_search_by_key(&r, |e| e.0) {
+            Ok(i) => Some(self.regs.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Approximate heap footprint in bytes, excluding the inline struct
+    /// size — the per-processor figure the scale bench rows report.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.regs.len() * std::mem::size_of::<(RegId, Value)>()
+            + self
+                .regs
+                .iter()
+                .map(|(_, v)| v.approx_heap_bytes())
+                .sum::<usize>()
     }
 
     /// Reads register `name`, returning [`Value::Unit`] if it was never
@@ -214,8 +236,7 @@ impl LocalState {
         let mut entries: Vec<(&'static str, &Value)> = self
             .regs
             .iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.as_ref().map(|v| (names.names[i], v)))
+            .map(|(r, v)| (names.names[r.index()], v))
             .collect();
         entries.sort_unstable_by_key(|&(name, _)| name);
         entries
@@ -224,16 +245,9 @@ impl LocalState {
 
 impl PartialEq for LocalState {
     fn eq(&self, other: &Self) -> bool {
-        if self.pc != other.pc || self.selected != other.selected {
-            return false;
-        }
-        // Slotwise comparison with trailing-`None` padding: ids are
-        // process-global, so equal register maps mean equal slots.
-        let (a, b) = (&self.regs, &other.regs);
-        let common = a.len().min(b.len());
-        a[..common] == b[..common]
-            && a[common..].iter().all(Option::is_none)
-            && b[common..].iter().all(Option::is_none)
+        // Entries are sorted by process-global RegId, so equal register
+        // maps mean structurally equal vectors.
+        self.pc == other.pc && self.selected == other.selected && self.regs == other.regs
     }
 }
 
@@ -296,7 +310,15 @@ impl fmt::Display for LocalState {
 ///   one *subvalue per posting processor*, where `peek` returns the
 ///   unordered multiset of subvalues (deliberately hiding who posted what,
 ///   and how many processors have not yet posted).
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// `Multi` subvalues are **interned** ([`ValueId`]) and held two ways at
+/// once: an `owner → ValueId` association (the paper's per-processor
+/// subvalue), plus a cached canonical `(ValueId, count)` multiset kept
+/// sorted by *value* order. `post` patches both incrementally, so `peek`
+/// never clones or sorts. Equality, ordering and hashing are defined over
+/// the resolved values in owner order, byte-identical to the previous
+/// `BTreeMap<ProcId, Value>` representation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum SharedVar {
     /// A single-celled variable with a lock bit (S and L).
     Plain {
@@ -311,11 +333,20 @@ pub enum SharedVar {
         /// into generated-program knowledge; we expose it through `peek` so
         /// family algorithms (§5) can discover it at run time.
         base: Value,
-        /// Subvalues keyed by owner. The key is *not* observable by
-        /// programs: `peek` strips it.
-        subvalues: BTreeMap<ProcId, Value>,
+        /// Interned subvalues keyed by owner, sorted by [`ProcId`]. The
+        /// key is *not* observable by programs: `peek` strips it.
+        owners: Vec<(ProcId, ValueId)>,
+        /// The cached canonical multiset: distinct subvalues with
+        /// multiplicities, sorted by resolved [`Value`] order. This is the
+        /// view `peek` exposes, patched in O(log k) per `post`.
+        counts: Vec<(ValueId, u32)>,
     },
 }
+
+/// Borrowed view of a Q variable's canonical multiset, as returned by
+/// [`SharedVar::multi_counts`]: `(base, sorted distinct (id, count)
+/// pairs, total subvalue count)`.
+pub type MultiCounts<'a> = (&'a Value, &'a [(ValueId, u32)], usize);
 
 impl SharedVar {
     /// A plain variable holding `value`, unlocked.
@@ -331,18 +362,129 @@ impl SharedVar {
     pub fn multi(base: Value) -> Self {
         SharedVar::Multi {
             base,
-            subvalues: BTreeMap::new(),
+            owners: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Posts `value` as `owner`'s subvalue, replacing any prior one.
+    /// Returns `(new, previous)` interned ids — exactly the undo and
+    /// fingerprint delta. No-op (and `unreachable`) on plain variables.
+    pub fn post_sub(&mut self, owner: ProcId, value: Value) -> (ValueId, Option<ValueId>) {
+        let vid = ValueId::intern(&value);
+        match self {
+            SharedVar::Multi { owners, counts, .. } => {
+                let prev = match owners.binary_search_by_key(&owner, |e| e.0) {
+                    Ok(i) => Some(std::mem::replace(&mut owners[i].1, vid)),
+                    Err(i) => {
+                        owners.insert(i, (owner, vid));
+                        None
+                    }
+                };
+                if prev != Some(vid) {
+                    if let Some(pv) = prev {
+                        Self::counts_remove(counts, pv);
+                    }
+                    Self::counts_insert(counts, vid);
+                }
+                (vid, prev)
+            }
+            SharedVar::Plain { .. } => unreachable!("post on plain var"),
+        }
+    }
+
+    /// Reverts a [`SharedVar::post_sub`] by `owner` whose result carried
+    /// `prev` as the previous id: restores the prior subvalue, or removes
+    /// the owner's entry entirely if there was none.
+    pub fn unpost_sub(&mut self, owner: ProcId, prev: Option<ValueId>) {
+        match self {
+            SharedVar::Multi { owners, counts, .. } => {
+                let i = owners
+                    .binary_search_by_key(&owner, |e| e.0)
+                    .expect("unpost of never-posted owner");
+                let cur = match prev {
+                    Some(pv) => std::mem::replace(&mut owners[i].1, pv),
+                    None => owners.remove(i).1,
+                };
+                if prev != Some(cur) {
+                    Self::counts_remove(counts, cur);
+                    if let Some(pv) = prev {
+                        Self::counts_insert(counts, pv);
+                    }
+                }
+            }
+            SharedVar::Plain { .. } => unreachable!("unpost on plain var"),
+        }
+    }
+
+    fn counts_insert(counts: &mut Vec<(ValueId, u32)>, vid: ValueId) {
+        let v = vid.resolve();
+        match counts.binary_search_by(|&(c, _)| c.resolve().cmp(v)) {
+            Ok(i) => counts[i].1 += 1,
+            Err(i) => counts.insert(i, (vid, 1)),
+        }
+    }
+
+    fn counts_remove(counts: &mut Vec<(ValueId, u32)>, vid: ValueId) {
+        let v = vid.resolve();
+        let i = counts
+            .binary_search_by(|&(c, _)| c.resolve().cmp(v))
+            .expect("count underflow: removing absent subvalue");
+        if counts[i].1 == 1 {
+            counts.remove(i);
+        } else {
+            counts[i].1 -= 1;
+        }
+    }
+
+    /// The cached canonical multiset of a Q variable: `(base, distinct
+    /// (ValueId, count) pairs in value order, total subvalue count)`.
+    /// `None` for plain variables. This is the zero-copy `peek` source.
+    pub fn multi_counts(&self) -> Option<MultiCounts<'_>> {
+        match self {
+            SharedVar::Plain { .. } => None,
+            SharedVar::Multi {
+                base,
+                owners,
+                counts,
+            } => Some((base, counts.as_slice(), owners.len())),
+        }
+    }
+
+    /// The interned subvalue posted by `owner`, if any.
+    pub fn sub_of(&self, owner: ProcId) -> Option<ValueId> {
+        match self {
+            SharedVar::Plain { .. } => None,
+            SharedVar::Multi { owners, .. } => owners
+                .binary_search_by_key(&owner, |e| e.0)
+                .ok()
+                .map(|i| owners[i].1),
+        }
+    }
+
+    /// The `(owner, subvalue)` association of a Q variable, sorted by
+    /// owner. Empty for plain variables.
+    pub fn sub_owners(&self) -> &[(ProcId, ValueId)] {
+        match self {
+            SharedVar::Plain { .. } => &[],
+            SharedVar::Multi { owners, .. } => owners,
         }
     }
 
     /// The multiset of subvalues as a canonically sorted vector (what
-    /// `peek` returns). Empty for plain variables.
+    /// `peek` returns). Empty for plain variables. Clones; hot paths use
+    /// [`SharedVar::multi_counts`] through the borrowed
+    /// [`PeekView`](crate::PeekView).
     pub fn peek_all(&self) -> Vec<Value> {
         match self {
             SharedVar::Plain { .. } => Vec::new(),
-            SharedVar::Multi { subvalues, .. } => {
-                let mut vs: Vec<Value> = subvalues.values().cloned().collect();
-                vs.sort();
+            SharedVar::Multi { owners, counts, .. } => {
+                let mut vs = Vec::with_capacity(owners.len());
+                for &(vid, n) in counts {
+                    for _ in 0..n {
+                        vs.push(vid.resolve().clone());
+                    }
+                }
                 vs
             }
         }
@@ -355,7 +497,7 @@ impl SharedVar {
     pub fn hash_depends_on_owners(&self) -> bool {
         match self {
             SharedVar::Plain { .. } => false,
-            SharedVar::Multi { subvalues, .. } => !subvalues.is_empty(),
+            SharedVar::Multi { owners, .. } => !owners.is_empty(),
         }
     }
 
@@ -378,12 +520,12 @@ impl SharedVar {
                 value.hash(&mut h);
                 locked.hash(&mut h);
             }
-            SharedVar::Multi { base, subvalues } => {
+            SharedVar::Multi { base, owners, .. } => {
                 1u8.hash(&mut h);
                 base.hash(&mut h);
-                let mut entries: Vec<(usize, &Value)> = subvalues
+                let mut entries: Vec<(usize, &Value)> = owners
                     .iter()
-                    .map(|(p, v)| (perm[p.index()], v))
+                    .map(|&(p, vid)| (perm[p.index()], vid.resolve()))
                     .collect();
                 entries.sort_unstable_by_key(|e| e.0);
                 h.write_usize(entries.len());
@@ -404,8 +546,134 @@ impl SharedVar {
             SharedVar::Plain { value, locked } => {
                 Value::tuple([value.clone(), Value::from(*locked)])
             }
-            SharedVar::Multi { base, .. } => {
-                Value::tuple([base.clone(), Value::bag(self.peek_all())])
+            SharedVar::Multi { base, counts, .. } => {
+                let bag: BTreeMap<Value, usize> = counts
+                    .iter()
+                    .map(|&(vid, n)| (vid.resolve().clone(), n as usize))
+                    .collect();
+                Value::tuple([base.clone(), Value::Bag(std::sync::Arc::new(bag))])
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes, excluding the inline enum
+    /// size. Interned subvalues are charged at id size — the leaked value
+    /// itself is shared process-wide.
+    pub fn approx_heap_bytes(&self) -> usize {
+        match self {
+            SharedVar::Plain { value, .. } => value.approx_heap_bytes(),
+            SharedVar::Multi {
+                base,
+                owners,
+                counts,
+            } => {
+                base.approx_heap_bytes()
+                    + owners.len() * std::mem::size_of::<(ProcId, ValueId)>()
+                    + counts.len() * std::mem::size_of::<(ValueId, u32)>()
+            }
+        }
+    }
+}
+
+impl PartialEq for SharedVar {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                SharedVar::Plain {
+                    value: a,
+                    locked: la,
+                },
+                SharedVar::Plain {
+                    value: b,
+                    locked: lb,
+                },
+            ) => a == b && la == lb,
+            (
+                SharedVar::Multi {
+                    base: a,
+                    owners: oa,
+                    ..
+                },
+                SharedVar::Multi {
+                    base: b,
+                    owners: ob,
+                    ..
+                },
+            ) => {
+                // ValueIds are canonical (equal values intern to equal
+                // ids), so the owner association compares directly.
+                a == b && oa == ob
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SharedVar {}
+
+impl PartialOrd for SharedVar {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SharedVar {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reproduces the derived ordering over the old representation:
+        // Plain < Multi, then fieldwise with `BTreeMap<ProcId, Value>`
+        // comparing (owner, value) pairs lexicographically in owner order.
+        match (self, other) {
+            (
+                SharedVar::Plain {
+                    value: a,
+                    locked: la,
+                },
+                SharedVar::Plain {
+                    value: b,
+                    locked: lb,
+                },
+            ) => a.cmp(b).then_with(|| la.cmp(lb)),
+            (SharedVar::Plain { .. }, SharedVar::Multi { .. }) => Ordering::Less,
+            (SharedVar::Multi { .. }, SharedVar::Plain { .. }) => Ordering::Greater,
+            (
+                SharedVar::Multi {
+                    base: a,
+                    owners: oa,
+                    ..
+                },
+                SharedVar::Multi {
+                    base: b,
+                    owners: ob,
+                    ..
+                },
+            ) => a.cmp(b).then_with(|| {
+                oa.iter()
+                    .map(|&(p, vid)| (p, vid.resolve()))
+                    .cmp(ob.iter().map(|&(p, vid)| (p, vid.resolve())))
+            }),
+        }
+    }
+}
+
+impl Hash for SharedVar {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Byte-identical to the derived impl over the old representation:
+        // discriminant, then fields, with `BTreeMap<ProcId, Value>`
+        // hashing a length prefix and each (owner, value) pair in owner
+        // order. Machine fingerprints (and thus trace JSON) depend on it.
+        std::mem::discriminant(self).hash(state);
+        match self {
+            SharedVar::Plain { value, locked } => {
+                value.hash(state);
+                locked.hash(state);
+            }
+            SharedVar::Multi { base, owners, .. } => {
+                base.hash(state);
+                state.write_usize(owners.len());
+                for &(p, vid) in owners {
+                    p.hash(state);
+                    vid.resolve().hash(state);
+                }
             }
         }
     }
@@ -532,11 +800,9 @@ mod tests {
     #[test]
     fn multi_var_peek_is_sorted_and_anonymous() {
         let mut v = SharedVar::multi(Value::Unit);
-        if let SharedVar::Multi { subvalues, .. } = &mut v {
-            subvalues.insert(ProcId::new(3), Value::from(2));
-            subvalues.insert(ProcId::new(1), Value::from(5));
-            subvalues.insert(ProcId::new(2), Value::from(2));
-        }
+        v.post_sub(ProcId::new(3), Value::from(2));
+        v.post_sub(ProcId::new(1), Value::from(5));
+        v.post_sub(ProcId::new(2), Value::from(2));
         assert_eq!(
             v.peek_all(),
             vec![Value::from(2), Value::from(2), Value::from(5)]
@@ -544,12 +810,66 @@ mod tests {
         // Same multiset posted by different processors is the same
         // observable state.
         let mut w = SharedVar::multi(Value::Unit);
-        if let SharedVar::Multi { subvalues, .. } = &mut w {
-            subvalues.insert(ProcId::new(7), Value::from(5));
-            subvalues.insert(ProcId::new(8), Value::from(2));
-            subvalues.insert(ProcId::new(9), Value::from(2));
-        }
+        w.post_sub(ProcId::new(7), Value::from(5));
+        w.post_sub(ProcId::new(8), Value::from(2));
+        w.post_sub(ProcId::new(9), Value::from(2));
         assert_eq!(v.observable_state(), w.observable_state());
+    }
+
+    #[test]
+    fn post_sub_replaces_and_unpost_restores() {
+        let mut v = SharedVar::multi(Value::Unit);
+        let p = ProcId::new(4);
+        let (a, prev) = v.post_sub(p, Value::from(10));
+        assert_eq!(prev, None);
+        assert_eq!(v.sub_of(p), Some(a));
+        let snapshot = v.clone();
+        let (b, prev) = v.post_sub(p, Value::from(11));
+        assert_eq!(prev, Some(a));
+        assert_ne!(a, b);
+        assert_eq!(v.peek_all(), vec![Value::from(11)]);
+        // Undo the second post: byte-identical to the snapshot.
+        v.unpost_sub(p, Some(a));
+        assert_eq!(v, snapshot);
+        assert_eq!(v.peek_all(), vec![Value::from(10)]);
+        // Undo the first post: back to empty.
+        v.unpost_sub(p, None);
+        assert_eq!(v, SharedVar::multi(Value::Unit));
+        assert!(v.sub_owners().is_empty());
+    }
+
+    #[test]
+    fn multi_counts_track_multiplicity() {
+        let mut v = SharedVar::multi(Value::Unit);
+        v.post_sub(ProcId::new(0), Value::from(2));
+        v.post_sub(ProcId::new(1), Value::from(2));
+        v.post_sub(ProcId::new(2), Value::from(1));
+        let (base, counts, total) = v.multi_counts().unwrap();
+        assert_eq!(base, &Value::Unit);
+        assert_eq!(total, 3);
+        assert_eq!(counts.len(), 2);
+        // Counts are sorted by resolved value, not interning order.
+        assert_eq!(counts[0].0.resolve(), &Value::from(1));
+        assert_eq!(counts[1].0.resolve(), &Value::from(2));
+        assert_eq!(counts[1].1, 2);
+        // Re-posting the same value is id-stable and count-neutral.
+        let (vid, prev) = v.post_sub(ProcId::new(0), Value::from(2));
+        assert_eq!(prev, Some(vid));
+        assert_eq!(v.multi_counts().unwrap().2, 3);
+        assert!(SharedVar::plain(Value::Unit).multi_counts().is_none());
+    }
+
+    #[test]
+    fn shared_var_ordering_matches_value_order() {
+        // Ordering goes through resolved values (not interning-order ids):
+        // intern 9000 before 8999 and check Multi ordering still follows
+        // value order.
+        let mut hi = SharedVar::multi(Value::Unit);
+        hi.post_sub(ProcId::new(0), Value::from(9000));
+        let mut lo = SharedVar::multi(Value::Unit);
+        lo.post_sub(ProcId::new(0), Value::from(8999));
+        assert!(lo < hi);
+        assert!(SharedVar::plain(Value::from(999_999)) < lo);
     }
 
     #[test]
@@ -562,15 +882,11 @@ mod tests {
         // v with subvalues {p0→2, p1→5}, permuted by the swap (0 1), must
         // hash exactly like w with subvalues {p1→2, p0→5} unpermuted.
         let mut v = SharedVar::multi(Value::Unit);
-        if let SharedVar::Multi { subvalues, .. } = &mut v {
-            subvalues.insert(ProcId::new(0), Value::from(2));
-            subvalues.insert(ProcId::new(1), Value::from(5));
-        }
+        v.post_sub(ProcId::new(0), Value::from(2));
+        v.post_sub(ProcId::new(1), Value::from(5));
         let mut w = SharedVar::multi(Value::Unit);
-        if let SharedVar::Multi { subvalues, .. } = &mut w {
-            subvalues.insert(ProcId::new(1), Value::from(2));
-            subvalues.insert(ProcId::new(0), Value::from(5));
-        }
+        w.post_sub(ProcId::new(1), Value::from(2));
+        w.post_sub(ProcId::new(0), Value::from(5));
         let id = [0usize, 1];
         let swap = [1usize, 0];
         assert!(v.hash_depends_on_owners());

@@ -8,8 +8,9 @@
 //! every container deterministic.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A dynamic value: the contents of a register, a shared variable, or a
 /// posted subvalue.
@@ -38,8 +39,11 @@ pub enum Value {
     Tuple(Vec<Value>),
     /// A set (no duplicates, canonically ordered).
     Set(Vec<Value>),
-    /// A multiset (bag), canonically ordered with multiplicities.
-    Bag(BTreeMap<Value, usize>),
+    /// A multiset (bag), canonically ordered with multiplicities. The map
+    /// is behind an [`Arc`] so cloning a bag-holding register is a
+    /// refcount bump, not a deep map copy — `Arc`'s `Eq`/`Ord`/`Hash` all
+    /// delegate to the map, so observable semantics are unchanged.
+    Bag(Arc<BTreeMap<Value, usize>>),
 }
 
 impl Value {
@@ -62,7 +66,7 @@ impl Value {
         for item in items {
             *m.entry(item).or_insert(0) += 1;
         }
-        Value::Bag(m)
+        Value::Bag(Arc::new(m))
     }
 
     /// A symbol value.
@@ -139,6 +143,107 @@ impl Value {
     pub fn is_empty(&self) -> Option<bool> {
         self.len().map(|n| n == 0)
     }
+
+    /// Approximate heap footprint of this value in bytes, excluding the
+    /// inline `size_of::<Value>()` of `self` itself. Used by the scale-tier
+    /// bench rows to report bytes/processor analytically.
+    pub fn approx_heap_bytes(&self) -> usize {
+        match self {
+            Value::Unit | Value::Bool(_) | Value::Int(_) | Value::Sym(_) => 0,
+            Value::Tuple(items) | Value::Set(items) => {
+                items.len() * std::mem::size_of::<Value>()
+                    + items.iter().map(Value::approx_heap_bytes).sum::<usize>()
+            }
+            Value::Bag(m) => m
+                .keys()
+                .map(|v| {
+                    // BTreeMap node overhead is amortised to roughly one
+                    // (key, value) pair plus a pointer per entry.
+                    std::mem::size_of::<Value>()
+                        + std::mem::size_of::<usize>()
+                        + std::mem::size_of::<usize>()
+                        + v.approx_heap_bytes()
+                })
+                .sum(),
+        }
+    }
+}
+
+/// A dense process-global id for an interned [`Value`].
+///
+/// Q-ISA multiset variables store one subvalue per posting processor. In
+/// practice programs circulate a small alphabet of distinct values (labels,
+/// suspect sets, phase tuples), so [`SharedVar::Multi`] stores subvalues as
+/// `ValueId`s and keeps a `(ValueId, count)` multiset — `post` becomes two
+/// counter updates instead of a `BTreeMap` clone, and the canonical peek
+/// view is patched incrementally. This mirrors the global [`RegId`] name
+/// interner from the register file.
+///
+/// Interned ids are ordered by *interning time*, not value order; resolve
+/// to [`Value`] before any ordering-sensitive comparison.
+///
+/// [`SharedVar::Multi`]: crate::SharedVar::Multi
+/// [`RegId`]: crate::RegId
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ValueId(u32);
+
+struct ValueInterner {
+    values: Vec<&'static Value>,
+    by_value: HashMap<&'static Value, u32>,
+}
+
+fn value_interner() -> &'static RwLock<ValueInterner> {
+    static INTERNER: OnceLock<RwLock<ValueInterner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(ValueInterner {
+            values: Vec::new(),
+            by_value: HashMap::new(),
+        })
+    })
+}
+
+impl ValueId {
+    /// Interns `value`, returning its dense id. Cheap (a read-locked hash
+    /// lookup) when the value has been seen before.
+    pub fn intern(value: &Value) -> ValueId {
+        let interner = value_interner();
+        if let Some(&id) = interner
+            .read()
+            .expect("value interner poisoned")
+            .by_value
+            .get(value)
+        {
+            return ValueId(id);
+        }
+        let mut w = interner.write().expect("value interner poisoned");
+        // Double-checked: another thread may have interned it meanwhile.
+        if let Some(&id) = w.by_value.get(value) {
+            return ValueId(id);
+        }
+        let id = u32::try_from(w.values.len()).expect("value intern table overflow");
+        let leaked: &'static Value = Box::leak(Box::new(value.clone()));
+        w.values.push(leaked);
+        w.by_value.insert(leaked, id);
+        ValueId(id)
+    }
+
+    /// The interned value.
+    pub fn resolve(self) -> &'static Value {
+        value_interner()
+            .read()
+            .expect("value interner poisoned")
+            .values[self.0 as usize]
+    }
+
+    /// The dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw u32 payload (stable within a process run only).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 impl From<bool> for Value {
@@ -201,7 +306,7 @@ impl fmt::Display for Value {
             Value::Bag(m) => {
                 write!(f, "⟅")?;
                 let mut first = true;
-                for (item, &count) in m {
+                for (item, &count) in m.iter() {
                     for _ in 0..count {
                         if !first {
                             write!(f, ", ")?;
@@ -304,5 +409,30 @@ mod tests {
     #[test]
     fn usize_conversion() {
         assert_eq!(Value::from(7usize), Value::Int(7));
+    }
+
+    #[test]
+    fn value_interning_is_stable_and_canonical() {
+        let a = ValueId::intern(&Value::from(41_017));
+        let b = ValueId::intern(&Value::from(41_017));
+        assert_eq!(a, b);
+        assert_eq!(a.resolve(), &Value::from(41_017));
+        let c = ValueId::intern(&Value::set([Value::from(1), Value::from(2)]));
+        assert_ne!(a, c);
+        assert_eq!(c.resolve().len(), Some(2));
+        assert_eq!(c.index(), c.raw() as usize);
+    }
+
+    #[test]
+    fn approx_heap_bytes_counts_nested_payloads() {
+        assert_eq!(Value::from(3).approx_heap_bytes(), 0);
+        let t = Value::tuple([Value::from(1), Value::from(2)]);
+        assert_eq!(t.approx_heap_bytes(), 2 * std::mem::size_of::<Value>());
+        let nested = Value::tuple([t.clone()]);
+        assert_eq!(
+            nested.approx_heap_bytes(),
+            std::mem::size_of::<Value>() + t.approx_heap_bytes()
+        );
+        assert!(Value::bag([Value::from(1)]).approx_heap_bytes() > 0);
     }
 }

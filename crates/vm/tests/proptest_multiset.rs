@@ -1,0 +1,241 @@
+//! Property tests for the interned, count-based Q multiset: the new
+//! representation must be **observationally identical** to the old
+//! `BTreeMap<ProcId, Value>` one. Each test drives a machine with
+//! proptest-generated post scripts while mirroring every `post` into a
+//! literal owner-map reference model, then checks that peek expansion
+//! order, observable bags, and fingerprints agree — and that undoable
+//! steps round-trip exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simsym_graph::{topology, ProcId, SystemGraph};
+use simsym_vm::{FnProgram, InstructionSet, Machine, Program, SystemInit, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Small-system strategy: enough processors sharing enough variables that
+/// multisets actually accumulate multiplicity.
+fn arb_graph() -> impl Strategy<Value = SystemGraph> {
+    (2usize..6, 1usize..4, 1usize..3, any::<u64>()).prop_map(|(p, v, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        topology::random_system(p, v, n, &mut rng)
+    })
+}
+
+/// A pool of distinct post payloads, including structured ones, so the
+/// interner sees collisions (same value posted by several owners) and
+/// replacements (one owner changing its subvalue).
+fn payload(i: u8) -> Value {
+    match i % 5 {
+        0 => Value::Unit,
+        1 => Value::from(i64::from(i % 3)),
+        2 => Value::sym(u32::from(i % 2)),
+        3 => Value::tuple([Value::from(i64::from(i % 2)), Value::Unit]),
+        _ => Value::bag([Value::from(1), Value::from(1)]),
+    }
+}
+
+/// The Q exercise program: even `pc` posts `script[pc/2 mod |script|]` to
+/// the name `pc mod |NAMES|`; odd `pc` peeks that name and stores the
+/// expanded view in register `peeked`. The script rides in through `init`
+/// as a tuple, so the program stays processor-id-independent.
+fn post_peek_program() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("post-peek", |local, ops| {
+        let name = ops.name_at(local.pc as usize % ops.name_count());
+        let script = local.get("init");
+        let script = script.as_tuple().expect("script tuple");
+        if local.pc % 2 == 0 {
+            let i = (local.pc / 2) as usize % script.len().max(1);
+            ops.post(name, script.get(i).cloned().unwrap_or(Value::Unit));
+        } else {
+            let view = ops.peek(name);
+            let expanded: Vec<Value> = view.posted().cloned().collect();
+            local.set("peeked", Value::tuple(expanded));
+        }
+        local.pc = local.pc.wrapping_add(1);
+    }))
+}
+
+/// The old representation, verbatim: one subvalue per posting owner.
+type RefVar = BTreeMap<ProcId, Value>;
+
+/// What the old code produced for a `peek`: the owners' subvalues as a
+/// canonically sorted expansion with multiplicity.
+fn ref_expansion(m: &RefVar) -> Vec<Value> {
+    let mut vs: Vec<Value> = m.values().cloned().collect();
+    vs.sort();
+    vs
+}
+
+/// What the old code exposed as the observable multiset.
+fn ref_bag(m: &RefVar) -> Value {
+    Value::bag(ref_expansion(m))
+}
+
+/// Mirrors one machine step into the reference model: if processor `p` is
+/// about to execute an even `pc`, its post replaces its subvalue in the
+/// addressed variable's owner map.
+fn mirror_step(graph: &SystemGraph, machine: &Machine, p: ProcId, refs: &mut [RefVar]) {
+    let local = machine.local(p);
+    if !local.pc.is_multiple_of(2) {
+        return;
+    }
+    let script = local.get("init");
+    let script = script.as_tuple().expect("script tuple");
+    let names = graph.names();
+    let name = names.ids().nth(local.pc as usize % names.len()).unwrap();
+    let var = graph.n_nbr(p, name);
+    let i = (local.pc / 2) as usize % script.len().max(1);
+    let value = script.get(i).cloned().unwrap_or(Value::Unit);
+    refs[var.index()].insert(p, value);
+}
+
+fn build(graph: &SystemGraph, scripts: &[Vec<u8>]) -> Machine {
+    let init = SystemInit {
+        proc_values: scripts
+            .iter()
+            .map(|s| Value::tuple(s.iter().map(|&i| payload(i))))
+            .collect(),
+        var_values: vec![Value::Unit; graph.variable_count()],
+    };
+    Machine::new(
+        Arc::new(graph.clone()),
+        InstructionSet::Q,
+        post_peek_program(),
+        &init,
+    )
+    .expect("valid machine")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Peek expansion order and observable bags match the owner-map
+    /// reference after every step, and the incremental fingerprint never
+    /// drifts from the from-scratch one.
+    #[test]
+    fn multiset_matches_owner_map_reference(
+        graph in arb_graph(),
+        script in prop::collection::vec(any::<u8>(), 1..5),
+        steps in prop::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let scripts: Vec<Vec<u8>> = (0..graph.processor_count())
+            .map(|p| {
+                // Rotate the shared script so owners post differing values.
+                let mut s = script.clone();
+                s.rotate_left(p % script.len());
+                s
+            })
+            .collect();
+        let mut m = build(&graph, &scripts);
+        m.enable_incremental_fingerprint();
+        let mut refs: Vec<RefVar> = vec![RefVar::new(); graph.variable_count()];
+        for pick in steps {
+            let p = ProcId::new(pick as usize % graph.processor_count());
+            let was_peek = !m.local(p).pc.is_multiple_of(2);
+            let peeked_name = graph
+                .names()
+                .ids()
+                .nth(m.local(p).pc as usize % graph.names().len())
+                .unwrap();
+            let peeked_var = graph.n_nbr(p, peeked_name);
+            mirror_step(&graph, &m, p, &mut refs);
+            m.step(p);
+            // Shared-state equivalence on every variable, every step.
+            for (vi, rv) in refs.iter().enumerate() {
+                let var = &m.shared_vars()[vi];
+                prop_assert_eq!(
+                    var.peek_all(),
+                    ref_expansion(rv),
+                    "expansion order diverged on v{}",
+                    vi
+                );
+                prop_assert_eq!(
+                    var.observable_state(),
+                    Value::tuple([Value::Unit, ref_bag(rv)]),
+                    "observable state diverged on v{}",
+                    vi
+                );
+            }
+            // In-step peek view: the register holds exactly the old
+            // sorted expansion of the addressed variable.
+            if was_peek {
+                prop_assert_eq!(
+                    m.local(p).get("peeked"),
+                    Value::tuple(ref_expansion(&refs[peeked_var.index()])),
+                    "peek view diverged"
+                );
+            }
+            // Fingerprint equivalence: incremental == from-scratch.
+            prop_assert_eq!(
+                m.incremental_fingerprint(),
+                Some(m.wide_fingerprint()),
+                "incremental fingerprint drifted"
+            );
+        }
+    }
+
+    /// Every undoable step round-trips: taking it and undoing it restores
+    /// the fingerprint, every variable's observable state, and the
+    /// stepping processor's local state, byte for byte.
+    #[test]
+    fn undo_round_trips_posts_exactly(
+        graph in arb_graph(),
+        script in prop::collection::vec(any::<u8>(), 1..5),
+        steps in prop::collection::vec(any::<u8>(), 1..30),
+    ) {
+        let scripts: Vec<Vec<u8>> =
+            vec![script.clone(); graph.processor_count()];
+        let mut m = build(&graph, &scripts);
+        m.enable_incremental_fingerprint();
+        for pick in steps {
+            let p = ProcId::new(pick as usize % graph.processor_count());
+            let fp = m.wide_fingerprint();
+            let vars_before: Vec<Value> = m
+                .shared_vars()
+                .iter()
+                .map(|v| v.observable_state())
+                .collect();
+            let local_before = m.local(p).clone();
+            let undo = m.step_undoable(p);
+            m.undo(undo);
+            prop_assert_eq!(m.wide_fingerprint(), fp, "fingerprint not restored");
+            prop_assert_eq!(m.incremental_fingerprint(), Some(fp));
+            let vars_after: Vec<Value> = m
+                .shared_vars()
+                .iter()
+                .map(|v| v.observable_state())
+                .collect();
+            prop_assert_eq!(vars_before, vars_after, "shared state not restored");
+            prop_assert_eq!(&local_before, m.local(p), "local state not restored");
+            // Then take the step for real and keep going.
+            m.step(p);
+        }
+    }
+
+    /// Identical seeds produce identical machines: running the same script
+    /// twice (fresh machines, same step sequence) lands on equal
+    /// fingerprints and equal observable states — the determinism the
+    /// byte-identical trace contract rests on.
+    #[test]
+    fn replays_are_byte_identical(
+        graph in arb_graph(),
+        script in prop::collection::vec(any::<u8>(), 1..5),
+        steps in prop::collection::vec(any::<u8>(), 1..30),
+    ) {
+        let scripts: Vec<Vec<u8>> =
+            vec![script.clone(); graph.processor_count()];
+        let mut a = build(&graph, &scripts);
+        let mut b = build(&graph, &scripts);
+        for pick in &steps {
+            let p = ProcId::new(*pick as usize % graph.processor_count());
+            a.step(p);
+            b.step(p);
+        }
+        prop_assert_eq!(a.wide_fingerprint(), b.wide_fingerprint());
+        let sa: Vec<Value> = a.shared_vars().iter().map(|v| v.observable_state()).collect();
+        let sb: Vec<Value> = b.shared_vars().iter().map(|v| v.observable_state()).collect();
+        prop_assert_eq!(sa, sb);
+    }
+}

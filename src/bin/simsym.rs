@@ -2037,6 +2037,58 @@ struct ThroughputRow {
     nanos: u128,
 }
 
+/// One scale-tier measurement: a CSR-backed ring built through
+/// `SystemGraph::from_fn`, timed for construction, run under the budgeted
+/// Q diffusion workload, and costed in bytes per processor (adjacency plus
+/// machine state). The 10^6 tier constructs and reports memory only —
+/// `steps == 0` — so the suite stays inside a CI wall-clock budget.
+struct ScaleRow {
+    family: &'static str,
+    n: usize,
+    construct_nanos: u128,
+    steps: u64,
+    nanos: u128,
+    bytes_per_processor: usize,
+}
+
+/// Builds the `n`-processor scale ring, runs `steps` round-robin steps of
+/// the budgeted Q workload (skipped when `steps == 0`), and reports the
+/// row. Construction is timed separately from stepping so the row shows
+/// both "how fast does the 10^5 tier build" and "how fast does it run".
+fn scale_row(family: &'static str, n: usize, steps: u64, reps: u32) -> Result<ScaleRow, String> {
+    let mut built = None;
+    let construct_nanos = time_min(
+        || {
+            let sys = simsym::core::scale_ring(n);
+            let m = Machine::new(
+                Arc::new(sys.graph),
+                InstructionSet::Q,
+                Arc::new(simsym::core::ScaleWorkload::new(2)),
+                &sys.init,
+            );
+            built = Some(m);
+        },
+        1,
+    );
+    let m = built
+        .expect("timed at least once")
+        .map_err(|e| e.to_string())?;
+    let nanos = if steps == 0 {
+        1
+    } else {
+        time_steps(&m, steps, reps)
+    };
+    let bytes = m.graph().approx_bytes() + m.approx_state_bytes();
+    Ok(ScaleRow {
+        family,
+        n,
+        construct_nanos,
+        steps,
+        nanos,
+        bytes_per_processor: bytes / n,
+    })
+}
+
 /// One labeling-time measurement on a marked ring.
 struct LabelingRow {
     n: usize,
@@ -2222,6 +2274,20 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
         nanos: time_steps(&m, steps, reps),
     });
 
+    // Scale tier: CSR construction plus the budgeted Q diffusion workload
+    // at 10^2–10^6 processors. The 10^6 row constructs and reports bytes
+    // per processor only (steps = 0) — what a 1-CPU CI container can
+    // afford — while 10^5 actually runs.
+    let mut scale_rows = Vec::new();
+    for (n, steps) in [
+        (64usize, 20_000u64),
+        (4096, 20_000),
+        (100_000, 300_000),
+        (1_000_000, 0),
+    ] {
+        scale_rows.push(scale_row("scale-ring", n, steps / div, reps)?);
+    }
+
     let mut labeling = Vec::new();
     let lreps = if opts.quick { 1 } else { 2 };
     for n in [64usize, 256, 1024] {
@@ -2374,6 +2440,7 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
 
     let json = bench_render_json(
         &throughput,
+        &scale_rows,
         &labeling,
         &explore_rows,
         &static_lint_rows,
@@ -2401,6 +2468,7 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
     } else {
         ok(bench_render_text(
             &throughput,
+            &scale_rows,
             &labeling,
             &explore_rows,
             &static_lint_rows,
@@ -2414,8 +2482,10 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
 /// Renders the BENCH_pr3.json document. All numbers are integers so the
 /// schema skeleton (everything but digit runs) is byte-stable across
 /// hosts and runs.
+#[allow(clippy::too_many_arguments)]
 fn bench_render_json(
     throughput: &[ThroughputRow],
+    scale: &[ScaleRow],
     labeling: &[LabelingRow],
     explore: &[ExploreRow],
     static_lint: &[StaticLintRow],
@@ -2434,6 +2504,25 @@ fn bench_render_json(
             r.nanos,
             sps,
             if i + 1 < throughput.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"scale_tier\": [\n");
+    for (i, r) in scale.iter().enumerate() {
+        let sps = if r.steps == 0 {
+            0
+        } else {
+            (r.steps as u128) * 1_000_000_000 / r.nanos
+        };
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"isa\": \"Q\", \"construct_nanos\": {}, \"steps\": {}, \"nanos\": {}, \"steps_per_sec\": {}, \"bytes_per_processor\": {}}}{}\n",
+            r.family,
+            r.n,
+            r.construct_nanos,
+            r.steps,
+            r.nanos,
+            sps,
+            r.bytes_per_processor,
+            if i + 1 < scale.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n  \"labeling\": [\n");
@@ -2499,8 +2588,10 @@ fn bench_render_json(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench_render_text(
     throughput: &[ThroughputRow],
+    scale: &[ScaleRow],
     labeling: &[LabelingRow],
     explore: &[ExploreRow],
     static_lint: &[StaticLintRow],
@@ -2517,6 +2608,18 @@ fn bench_render_text(
         out.push_str(&format!(
             "  {:<12} n={:<5} {}  {:>7} steps in {:>12} ns  ({} steps/s)\n",
             r.family, r.n, r.isa, r.steps, r.nanos, sps
+        ));
+    }
+    out.push_str("scale tier (CSR from_fn construction + budgeted Q diffusion):\n");
+    for r in scale {
+        let rate = if r.steps == 0 {
+            "construct-only".to_owned()
+        } else {
+            format!("{} steps/s", (r.steps as u128) * 1_000_000_000 / r.nanos)
+        };
+        out.push_str(&format!(
+            "  {:<12} n={:<8} built in {:>12} ns  {:<16} {:>5} bytes/processor\n",
+            r.family, r.n, r.construct_nanos, rate, r.bytes_per_processor
         ));
     }
     out.push_str("labeling time (marked-ring):\n");
@@ -2625,6 +2728,84 @@ mod tests {
     #[test]
     fn list_runs() {
         assert!(call(&["list"]).unwrap().contains("figure1"));
+    }
+
+    /// FNV-1a 64 over the emitted trace JSON. A tiny, dependency-free
+    /// content hash: the goldens below pin the *bytes* of every trace, not
+    /// just their shape.
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Byte-identity regression net for the Q-multiset representation:
+    /// `analyze --trace` output (schedule, ops, per-step fingerprints) must
+    /// stay byte-for-byte what the pre-interning `BTreeMap<ProcId, Value>`
+    /// representation produced, across 20 seeds on ring and marked-ring.
+    /// The hashes were captured from the old representation's output (the
+    /// interned rewrite was verified byte-identical against it before
+    /// these goldens were committed). Any observable drift — value
+    /// ordering, peek expansion, fingerprinting, scheduling — fails here.
+    #[test]
+    fn trace_bytes_are_stable_across_20_seeds() {
+        const GOLDEN: &[(&str, u64, u64)] = &[
+            ("ring:8", 1, 0xa99b6bb609668503),
+            ("ring:8", 2, 0xf01859141abd9b9a),
+            ("ring:8", 3, 0x3129136d520a0db0),
+            ("ring:8", 4, 0xb68e3911e22c8b88),
+            ("ring:8", 5, 0x5ef5a0d230681dd6),
+            ("ring:8", 6, 0x456d12fa9c866feb),
+            ("ring:8", 7, 0x8847cb335b305b09),
+            ("ring:8", 8, 0x709836498be9801f),
+            ("ring:8", 9, 0x32dc53593bb4fa72),
+            ("ring:8", 10, 0x129f65a6b835ed44),
+            ("ring:8", 11, 0xb4e1521e6f431aec),
+            ("ring:8", 12, 0xd39b302b5ce3f541),
+            ("ring:8", 13, 0x4a4538524c38281e),
+            ("ring:8", 14, 0x8b83227c5e38a6d7),
+            ("ring:8", 15, 0x2158ad24ca62aee0),
+            ("ring:8", 16, 0xf52f0c14ace2b21b),
+            ("ring:8", 17, 0x721e78480c6240e6),
+            ("ring:8", 18, 0x8d8ae58164ef9779),
+            ("ring:8", 19, 0x6e83c42a72d7e67a),
+            ("ring:8", 20, 0xa4ec88e54c314153),
+            ("marked-ring:8", 1, 0x0de6055790e78f42),
+            ("marked-ring:8", 2, 0x3a20739ce54339c6),
+            ("marked-ring:8", 3, 0x5a7e5e32efeb5960),
+            ("marked-ring:8", 4, 0x4a0ae38d4d5e30f5),
+            ("marked-ring:8", 5, 0x37bdd75c8251d193),
+            ("marked-ring:8", 6, 0x1345ffca0961d833),
+            ("marked-ring:8", 7, 0x68e4067a9389475f),
+            ("marked-ring:8", 8, 0x3bba6476bea74694),
+            ("marked-ring:8", 9, 0xc436941a9fc9ea6a),
+            ("marked-ring:8", 10, 0x72c51bca7a6eb013),
+            ("marked-ring:8", 11, 0xffa1719cf9e49180),
+            ("marked-ring:8", 12, 0x70bd2afb757a898b),
+            ("marked-ring:8", 13, 0x27b9b46fa09e8bc5),
+            ("marked-ring:8", 14, 0x414e7cbb74bf2b2b),
+            ("marked-ring:8", 15, 0x98df42b89fa86c27),
+            ("marked-ring:8", 16, 0x3331ee76d8d6fdbd),
+            ("marked-ring:8", 17, 0xca09505106d57fee),
+            ("marked-ring:8", 18, 0x0e2ff33d70a96791),
+            ("marked-ring:8", 19, 0xbfebfb4a9beba0e8),
+            ("marked-ring:8", 20, 0x2311996986e76bff),
+        ];
+        for &(system, seed, want) in GOLDEN {
+            let seed = seed.to_string();
+            let out = call(&[
+                "analyze", system, "--trace", "--seed", &seed, "--steps", "400",
+            ])
+            .expect("trace runs");
+            assert_eq!(
+                fnv1a64(out.as_bytes()),
+                want,
+                "trace bytes drifted for {system} seed {seed}"
+            );
+        }
     }
 
     #[test]
@@ -3223,6 +3404,7 @@ mod tests {
     #[allow(clippy::type_complexity)]
     fn fake_rows() -> (
         Vec<ThroughputRow>,
+        Vec<ScaleRow>,
         Vec<LabelingRow>,
         Vec<ExploreRow>,
         Vec<StaticLintRow>,
@@ -3235,6 +3417,14 @@ mod tests {
             isa: "Q",
             steps: 2_000,
             nanos: 1_000_000,
+        }];
+        let sc = vec![ScaleRow {
+            family: "scale-ring",
+            n: 100_000,
+            construct_nanos: 5_000_000,
+            steps: 300_000,
+            nanos: 100_000_000,
+            bytes_per_processor: 140,
         }];
         let l = vec![
             LabelingRow {
@@ -3275,14 +3465,17 @@ mod tests {
             faulted_nanos: 1_010_000,
             journaled_nanos: 1_111_000,
         };
-        (t, l, e, s, i, o)
+        (t, sc, l, e, s, i, o)
     }
 
     #[test]
     fn bench_json_is_valid_and_schema_ignores_numbers() {
-        let (t, l, e, s, i, o) = fake_rows();
-        let a = bench_render_json(&t, &l, &e, &s, &i, &o);
+        let (t, sc, l, e, s, i, o) = fake_rows();
+        let a = bench_render_json(&t, &sc, &l, &e, &s, &i, &o);
         assert!(a.contains("\"explore_reduction\""));
+        assert!(a.contains("\"scale_tier\""));
+        assert!(a.contains("\"bytes_per_processor\": 140"));
+        assert!(a.contains("\"construct_nanos\": 5000000"));
         assert!(a.contains("\"static_lint\""));
         assert!(a.contains("\"verify_static_interference\""));
         assert!(a.contains("\"states_canonical\": 250"));
@@ -3297,13 +3490,13 @@ mod tests {
         // Same rows with different timings: schema skeleton is identical.
         let mut t2 = fake_rows().0;
         t2[0].nanos = 77;
-        let b = bench_render_json(&t2, &l, &e, &s, &i, &o);
+        let b = bench_render_json(&t2, &sc, &l, &e, &s, &i, &o);
         assert_ne!(a, b);
         assert_eq!(bench_schema_skeleton(&a), bench_schema_skeleton(&b));
         // A renamed label is schema drift.
         let mut t3 = fake_rows().0;
         t3[0].family = "torus";
-        let c = bench_render_json(&t3, &l, &e, &s, &i, &o);
+        let c = bench_render_json(&t3, &sc, &l, &e, &s, &i, &o);
         assert_ne!(bench_schema_skeleton(&a), bench_schema_skeleton(&c));
     }
 
@@ -3320,14 +3513,14 @@ mod tests {
         };
         assert_eq!(o.percent(), 0);
         assert_eq!(o.journal_percent(), 0);
-        let (t, l, e, s, i, positive) = fake_rows();
-        let json = bench_render_json(&t, &l, &e, &s, &i, &o);
+        let (t, sc, l, e, s, i, positive) = fake_rows();
+        let json = bench_render_json(&t, &sc, &l, &e, &s, &i, &o);
         assert!(json.contains("\"overhead_percent\": 0"), "{json}");
         // Clamped and positive overheads share one schema skeleton: no
         // sign character ever leaks outside a string literal.
         assert_eq!(
             bench_schema_skeleton(&json),
-            bench_schema_skeleton(&bench_render_json(&t, &l, &e, &s, &i, &positive))
+            bench_schema_skeleton(&bench_render_json(&t, &sc, &l, &e, &s, &i, &positive))
         );
     }
 

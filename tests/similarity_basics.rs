@@ -30,10 +30,7 @@ fn program_zoo() -> Vec<Arc<dyn simsym::vm::Program>> {
             let names = ops.all_names();
             let n = names[(local.pc as usize) % names.len()];
             let view = ops.peek(n);
-            local.set(
-                "acc",
-                Value::tuple([local.get("acc"), Value::bag(view.posted)]),
-            );
+            local.set("acc", Value::tuple([local.get("acc"), view.to_bag()]));
             local.pc = local.pc.wrapping_add(1);
         })),
     ]
@@ -89,7 +86,7 @@ fn dissimilar_processors_diverge() {
             ops.post(n, local.get("init"));
         } else {
             let view = ops.peek(n);
-            local.set("seen", Value::bag(view.posted));
+            local.set("seen", view.to_bag());
         }
         local.pc = local.pc.wrapping_add(1);
     }));
