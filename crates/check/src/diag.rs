@@ -91,6 +91,11 @@ pub mod codes {
     /// disagreed with the identity-reduction oracle on outcomes or
     /// violations — a bug in the reducer, not in the explored program.
     pub const DYN_EXPLORE_DIVERGED: &str = "DYN-EXPLORE-DIVERGED";
+    /// The automorphism-group enumeration hit the reducer's cap and fell
+    /// back to the identity-only group: `group_order = 1` in this report
+    /// means "group too large to enumerate", not "the system is
+    /// asymmetric", and the quotient performed no reduction.
+    pub const DYN_EXPLORE_GROUP_CAPPED: &str = "DYN-EXPLORE-GROUP-CAPPED";
     /// A soak fault plan is degenerate: the implicit "protect processor
     /// 0" rule leaves no processor to crash, so every seeded plan is
     /// empty and the budget would be wasted on fault-free runs.
@@ -113,6 +118,18 @@ pub mod codes {
     /// Static dataflow: a cycle in the potential lock-acquisition order —
     /// the sound over-approximation of [`DYN_LOCK_CYCLE`].
     pub const STAT_LOCK_CYCLE: &str = "STAT-LOCK-CYCLE";
+    /// A submitted job spec failed validation (unknown kind, bad field,
+    /// malformed JSON) and was rejected before entering the queue.
+    pub const SERVE_JOB_SPEC: &str = "SERVE-JOB-SPEC";
+    /// The server's bounded job queue was full; the submission was
+    /// rejected, not silently dropped.
+    pub const SERVE_QUEUE_FULL: &str = "SERVE-QUEUE-FULL";
+    /// The server is draining (graceful shutdown): new submissions are
+    /// rejected while queued and in-flight jobs run to completion.
+    pub const SERVE_DRAINING: &str = "SERVE-DRAINING";
+    /// A job id referenced by a status/result/cancel request does not
+    /// exist on this server.
+    pub const SERVE_UNKNOWN_JOB: &str = "SERVE-UNKNOWN-JOB";
 
     /// Every diagnostic code, in declaration order. The registry-hygiene
     /// test pins this list against DESIGN.md's §5d table in both
@@ -147,6 +164,7 @@ pub mod codes {
         DYN_EXPLORE_TRUNCATED,
         DYN_EXPLORE_CERTIFIED,
         DYN_EXPLORE_DIVERGED,
+        DYN_EXPLORE_GROUP_CAPPED,
         SOAK_DEGENERATE,
         SOAK_PLAN,
         SOAK_REPLAY_DIVERGED,
@@ -154,6 +172,10 @@ pub mod codes {
         STAT_DEAD_PHASE,
         STAT_SYM_BREAK,
         STAT_LOCK_CYCLE,
+        SERVE_JOB_SPEC,
+        SERVE_QUEUE_FULL,
+        SERVE_DRAINING,
+        SERVE_UNKNOWN_JOB,
     ];
 }
 

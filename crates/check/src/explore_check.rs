@@ -221,6 +221,20 @@ pub fn explore_diagnostics(
         ));
     }
 
+    if result.group_capped {
+        out.push(Diagnostic::new(
+            Severity::Info,
+            codes::DYN_EXPLORE_GROUP_CAPPED,
+            Span::none(),
+            format!(
+                "|Aut(N, state₀)| exceeds the enumeration cap ({}); the quotient fell back \
+                 to the identity-only group — group order 1 here means \"unenumerable\", \
+                 not \"asymmetric\", and reduce={mode} performed no symmetry reduction",
+                simsym_vm::reduce::GROUP_CAP
+            ),
+        ));
+    }
+
     if result.truncated {
         out.push(Diagnostic::new(
             Severity::Warning,
@@ -424,6 +438,41 @@ mod tests {
             .expect("certified");
         assert_eq!(cert.severity, Severity::Info);
         assert!(cert.message.contains("modulo Aut(N) of order 3"));
+    }
+
+    #[test]
+    fn capped_group_surfaces_an_info_diagnostic_instead_of_feigning_asymmetry() {
+        // star(8) under a uniform init has |Aut(N, state₀)| = 8! = 40320 >
+        // GROUP_CAP, so the quotient silently used to degrade to the
+        // identity group and certify "modulo Aut(N) of order 1". The cap
+        // must now be reported.
+        let g = Arc::new(topology::star(8));
+        let init = SystemInit::uniform(&g);
+        let prog: Arc<dyn simsym_vm::Program> = Arc::new(simsym_vm::IdleProgram);
+        let m = simsym_vm::Machine::new(g, simsym_vm::InstructionSet::Q, prog, &init)
+            .expect("idle machine");
+        let (result, diags) =
+            check_exploration(&m, &init, ExploreConfig::default(), Reduction::Quotient);
+        assert!(result.group_capped, "8! exceeds GROUP_CAP");
+        assert_eq!(result.group_order, 1, "identity fallback");
+        let capped = diags
+            .iter()
+            .find(|d| d.code == codes::DYN_EXPLORE_GROUP_CAPPED)
+            .expect("cap diagnostic");
+        assert_eq!(capped.severity, Severity::Info);
+        assert!(capped.message.contains("unenumerable"));
+        // An under-cap group stays silent.
+        let g = Arc::new(topology::uniform_ring(3));
+        let init = SystemInit::uniform(&g);
+        let prog: Arc<dyn simsym_vm::Program> = Arc::new(simsym_vm::IdleProgram);
+        let m = simsym_vm::Machine::new(g, simsym_vm::InstructionSet::Q, prog, &init)
+            .expect("idle machine");
+        let (result, diags) =
+            check_exploration(&m, &init, ExploreConfig::default(), Reduction::Quotient);
+        assert!(!result.group_capped);
+        assert!(!diags
+            .iter()
+            .any(|d| d.code == codes::DYN_EXPLORE_GROUP_CAPPED));
     }
 
     #[test]

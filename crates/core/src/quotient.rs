@@ -104,10 +104,21 @@ pub fn quotient(
 /// would break the group closure the quotient reducer's soundness rests
 /// on.
 pub fn similarity_group(graph: &SystemGraph, init: &SystemInit) -> Vec<Automorphism> {
+    similarity_group_capped(graph, init).0
+}
+
+/// [`similarity_group`] plus whether the enumeration hit [`GROUP_CAP`]
+/// and the returned group is the identity-only fallback rather than the
+/// true `Aut(N, state₀)` — callers building reports must surface that
+/// instead of presenting "group of order 1" as asymmetry.
+pub fn similarity_group_capped(
+    graph: &SystemGraph,
+    init: &SystemInit,
+) -> (Vec<Automorphism>, bool) {
     let colors = init_colors(graph, init);
-    let group = match automorphism_group(graph, Some(&colors), GROUP_CAP) {
-        Some(group) => group,
-        None => vec![Automorphism::identity(graph)],
+    let (group, capped) = match automorphism_group(graph, Some(&colors), GROUP_CAP) {
+        Some(group) => (group, false),
+        None => (vec![Automorphism::identity(graph)], true),
     };
     let theta = hopcroft_similarity(graph, init, Model::Q);
     for a in &group {
@@ -119,14 +130,21 @@ pub fn similarity_group(graph: &SystemGraph, init: &SystemInit) -> Vec<Automorph
             );
         }
     }
-    group
+    (group, capped)
 }
 
 /// The similarity-quotient reducer of `(graph, init)`: canonicalizes
 /// explorer states modulo [`similarity_group`], ready for
-/// [`simsym_vm::explore_with`].
+/// [`simsym_vm::explore_with`]. Carries the cap flag through so explorer
+/// reports can tell "asymmetric" from "group too large to enumerate".
 pub fn similarity_reducer(graph: &SystemGraph, init: &SystemInit) -> SimilarityQuotient {
-    SimilarityQuotient::from_automorphisms(graph, &similarity_group(graph, init))
+    let (group, capped) = similarity_group_capped(graph, init);
+    let reducer = SimilarityQuotient::from_automorphisms(graph, &group);
+    if capped {
+        reducer.mark_capped()
+    } else {
+        reducer
+    }
 }
 
 #[cfg(test)]

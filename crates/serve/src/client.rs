@@ -1,0 +1,248 @@
+//! Minimal farm client: one TCP connection per request, full-read
+//! responses, and a line-streaming watcher for NDJSON events. Used by
+//! `simsym submit` / `simsym shutdown` and by the serve tests.
+
+use crate::spec::{self, SpecValue};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-read socket timeout. Generous because `/result` blocks server-side
+/// until the job finishes; exploration jobs on a loaded 1-CPU host can
+/// take a while.
+const READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Outcome of a `POST /jobs` submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Submitted {
+    /// Farm-assigned job id.
+    pub job: u64,
+    /// `"hit"` when the artifact came from the content-addressed store,
+    /// `"miss"` when the job was queued for a worker.
+    pub cache: String,
+}
+
+/// A fetched job result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobResult {
+    /// The final document, byte-identical to batch CLI output.
+    pub document: String,
+    /// Whether the underlying run failed (from `X-Simsym-Failed`).
+    pub failed: bool,
+}
+
+/// One parsed HTTP response.
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(), String> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: simsym\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(body.as_bytes())
+        .map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())
+}
+
+fn read_head(reader: &mut BufReader<TcpStream>) -> Result<(u16, Vec<(String, String)>), String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| e.to_string())?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+    }
+    Ok((status, headers))
+}
+
+/// Sends one request and reads the whole response (close-delimited or
+/// Content-Length framed).
+fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<Response, String> {
+    let mut stream = connect(addr)?;
+    send_request(&mut stream, method, path, body)?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader)?;
+    let mut body = String::new();
+    reader
+        .read_to_string(&mut body)
+        .map_err(|e| e.to_string())?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn error_from(resp: &Response) -> String {
+    let code = spec::flat_field(&resp.body, "code")
+        .and_then(|v| match v {
+            SpecValue::Str(s) => Some(s),
+            _ => None,
+        })
+        .unwrap_or_else(|| format!("HTTP-{}", resp.status));
+    let message = spec::flat_field(&resp.body, "error")
+        .and_then(|v| match v {
+            SpecValue::Str(s) => Some(s),
+            _ => None,
+        })
+        .unwrap_or_else(|| resp.body.trim().to_owned());
+    format!("{code}: {message}")
+}
+
+/// Submits a job spec; returns the assigned id and cache disposition.
+///
+/// # Errors
+///
+/// Connection failures and farm rejections (`SERVE-JOB-SPEC`,
+/// `SERVE-QUEUE-FULL`, `SERVE-DRAINING`), with the diagnostic code
+/// prefixed to the message.
+pub fn submit_job(addr: &str, job_spec: &str) -> Result<Submitted, String> {
+    let resp = request(addr, "POST", "/jobs", job_spec)?;
+    if resp.status != 200 {
+        return Err(error_from(&resp));
+    }
+    let job = match spec::flat_field(&resp.body, "job") {
+        Some(SpecValue::Int(n)) if n >= 0 => u64::try_from(n).expect("non-negative"),
+        _ => {
+            return Err(format!(
+                "submit response has no job id: {}",
+                resp.body.trim()
+            ))
+        }
+    };
+    let cache = match spec::flat_field(&resp.body, "cache") {
+        Some(SpecValue::Str(s)) => s,
+        _ => {
+            return Err(format!(
+                "submit response has no cache field: {}",
+                resp.body.trim()
+            ))
+        }
+    };
+    Ok(Submitted { job, cache })
+}
+
+/// Streams a job's NDJSON events, invoking `sink` per line, until the
+/// farm closes the stream at the terminal event.
+///
+/// # Errors
+///
+/// Connection failures and `SERVE-UNKNOWN-JOB`.
+pub fn watch_events(addr: &str, job: u64, mut sink: impl FnMut(&str)) -> Result<(), String> {
+    let mut stream = connect(addr)?;
+    send_request(&mut stream, "GET", &format!("/jobs/{job}/events"), "")?;
+    let mut reader = BufReader::new(stream);
+    let (status, _headers) = read_head(&mut reader)?;
+    if status != 200 {
+        let mut body = String::new();
+        reader
+            .read_to_string(&mut body)
+            .map_err(|e| e.to_string())?;
+        return Err(error_from(&Response {
+            status,
+            headers: Vec::new(),
+            body,
+        }));
+    }
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Ok(());
+        }
+        let line = line.trim_end();
+        if !line.is_empty() {
+            sink(line);
+        }
+    }
+}
+
+/// Fetches a job's final document, blocking until the job completes.
+///
+/// # Errors
+///
+/// Connection failures, `SERVE-UNKNOWN-JOB`, and cancelled jobs.
+pub fn fetch_result(addr: &str, job: u64) -> Result<JobResult, String> {
+    let resp = request(addr, "GET", &format!("/jobs/{job}/result"), "")?;
+    if resp.status != 200 {
+        return Err(error_from(&resp));
+    }
+    let failed = resp.header("X-Simsym-Failed") == Some("1");
+    Ok(JobResult {
+        document: resp.body,
+        failed,
+    })
+}
+
+/// Asks the farm to drain: finish queued and in-flight work, reject new
+/// submissions, then exit. Returns the raw acknowledgement document.
+///
+/// # Errors
+///
+/// Connection failures.
+pub fn shutdown(addr: &str) -> Result<String, String> {
+    let resp = request(addr, "POST", "/shutdown", "")?;
+    if resp.status == 200 {
+        Ok(resp.body)
+    } else {
+        Err(error_from(&resp))
+    }
+}
+
+/// Liveness probe; returns the raw health document.
+///
+/// # Errors
+///
+/// Connection failures.
+pub fn healthz(addr: &str) -> Result<String, String> {
+    let resp = request(addr, "GET", "/healthz", "")?;
+    if resp.status == 200 {
+        Ok(resp.body)
+    } else {
+        Err(error_from(&resp))
+    }
+}

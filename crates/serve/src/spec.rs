@@ -1,0 +1,435 @@
+//! Job specifications: the flat JSON documents clients POST to the farm,
+//! and their deterministic mapping onto batch-CLI argument vectors.
+//!
+//! A job spec is a single flat JSON object of scalars — no nesting, no
+//! arrays — with a required `"kind"` discriminator:
+//!
+//! ```json
+//! {"kind": "verify", "family": "ring", "reduce": "both", "depth": 12}
+//! ```
+//!
+//! [`job_argv`] maps a spec to the argv of the equivalent batch CLI
+//! invocation in a **fixed field order** (and always appends `--json`),
+//! so two specs describing the same work produce the same argv — which
+//! is what the content-addressed store keys on. Unknown kinds, unknown
+//! fields, and type mismatches are rejected with a message suitable for
+//! a `SERVE-JOB-SPEC` diagnostic; value-level validation (family names,
+//! flag ranges) is left to the runner, exactly as the shell leaves it to
+//! the CLI.
+
+/// A scalar value in a job spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON integer (floats are rejected — every CLI flag is integral).
+    Int(i64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl SpecValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            SpecValue::Str(_) => "string",
+            SpecValue::Int(_) => "integer",
+            SpecValue::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// Parses a flat JSON object of scalars into `(key, value)` pairs in
+/// document order. Duplicate keys, nested containers, floats, and nulls
+/// are errors — a job spec has no use for any of them, and rejecting
+/// them keeps the argv mapping (and therefore the cache key) total.
+pub fn parse_flat_object(text: &str) -> Result<Vec<(String, SpecValue)>, String> {
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut pairs: Vec<(String, SpecValue)> = Vec::new();
+    p.skip_ws();
+    if p.eat('}') {
+        p.skip_ws();
+        return p.finish(pairs);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        if pairs.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        pairs.push((key, value));
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect('}')?;
+        p.skip_ws();
+        return p.finish(pairs);
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.chars.next_if(|&(_, c)| c.is_whitespace()).is_some() {}
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        self.chars.next_if(|&(_, c)| c == want).is_some()
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
+            None => Err(format!("expected {want:?}, found end of input")),
+        }
+    }
+
+    fn finish<T>(&mut self, out: T) -> Result<T, String> {
+        match self.chars.next() {
+            None => Ok(out),
+            Some((i, c)) => Err(format!("trailing {c:?} at byte {i} after the object")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((i, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    other => {
+                        return Err(format!(
+                            "unsupported escape at byte {i}: \\{}",
+                            other.map_or_else(|| "<eof>".to_owned(), |(_, c)| c.to_string())
+                        ))
+                    }
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<SpecValue, String> {
+        match self.chars.peek().copied() {
+            Some((_, '"')) => self.string().map(SpecValue::Str),
+            Some((start, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = start + c.len_utf8();
+                self.chars.next();
+                while let Some(&(i, d)) = self.chars.peek() {
+                    if d.is_ascii_digit() {
+                        end = i + d.len_utf8();
+                        self.chars.next();
+                    } else if d == '.' || d == 'e' || d == 'E' {
+                        return Err(format!("non-integer number at byte {start}"));
+                    } else {
+                        break;
+                    }
+                }
+                self.text[start..end]
+                    .parse::<i64>()
+                    .map(SpecValue::Int)
+                    .map_err(|_| format!("bad integer {:?}", &self.text[start..end]))
+            }
+            Some((start, 't' | 'f' | 'n')) => {
+                for want in ["true", "false", "null"] {
+                    if self.text[start..].starts_with(want) {
+                        for _ in 0..want.len() {
+                            self.chars.next();
+                        }
+                        return match want {
+                            "true" => Ok(SpecValue::Bool(true)),
+                            "false" => Ok(SpecValue::Bool(false)),
+                            _ => Err("null is not a job-spec value".to_owned()),
+                        };
+                    }
+                }
+                Err(format!("bad literal at byte {start}"))
+            }
+            Some((i, '{' | '[')) => Err(format!(
+                "nested containers are not allowed in a job spec (byte {i})"
+            )),
+            Some((i, c)) => Err(format!("unexpected {c:?} at byte {i}")),
+            None => Err("expected a value, found end of input".to_owned()),
+        }
+    }
+}
+
+/// A parsed spec with typed field accessors that consume fields as they
+/// are read, so [`job_argv`] can reject leftovers as unknown.
+struct Fields(Vec<(String, SpecValue)>);
+
+impl Fields {
+    fn take(&mut self, key: &str) -> Option<SpecValue> {
+        let i = self.0.iter().position(|(k, _)| k == key)?;
+        Some(self.0.remove(i).1)
+    }
+
+    fn str_req(&mut self, key: &str) -> Result<String, String> {
+        match self.take(key) {
+            Some(SpecValue::Str(s)) => Ok(s),
+            Some(v) => Err(format!("{key} must be a string, got {}", v.type_name())),
+            None => Err(format!("missing required field {key:?}")),
+        }
+    }
+
+    fn str_opt(&mut self, key: &str) -> Result<Option<String>, String> {
+        match self.take(key) {
+            Some(SpecValue::Str(s)) => Ok(Some(s)),
+            Some(v) => Err(format!("{key} must be a string, got {}", v.type_name())),
+            None => Ok(None),
+        }
+    }
+
+    fn uint_opt(&mut self, key: &str) -> Result<Option<u64>, String> {
+        match self.take(key) {
+            Some(SpecValue::Int(n)) if n >= 0 => Ok(Some(n as u64)),
+            Some(SpecValue::Int(n)) => Err(format!("{key} must be non-negative, got {n}")),
+            Some(v) => Err(format!("{key} must be an integer, got {}", v.type_name())),
+            None => Ok(None),
+        }
+    }
+
+    fn bool_flag(&mut self, key: &str) -> Result<bool, String> {
+        match self.take(key) {
+            Some(SpecValue::Bool(b)) => Ok(b),
+            Some(v) => Err(format!("{key} must be a boolean, got {}", v.type_name())),
+            None => Ok(false),
+        }
+    }
+
+    fn reject_leftovers(self, kind: &str) -> Result<(), String> {
+        if let Some((key, _)) = self.0.first() {
+            return Err(format!("unknown field {key:?} for kind {kind:?}"));
+        }
+        Ok(())
+    }
+}
+
+/// The job kinds the farm accepts, in the order the docs list them.
+pub const JOB_KINDS: &[&str] = &["sweep", "lint", "faults", "soak", "verify"];
+
+/// Maps a job-spec JSON document to the canonical argv of the equivalent
+/// batch CLI invocation. Field emission order is fixed per kind and
+/// `--json` is always appended, so equal work means equal argv — the
+/// content-addressed store keys on exactly this vector.
+///
+/// # Errors
+///
+/// Malformed JSON, an unknown `kind`, an unknown field, or a type
+/// mismatch — all surfaced to the client as `SERVE-JOB-SPEC`.
+pub fn job_argv(spec_json: &str) -> Result<Vec<String>, String> {
+    let mut f = Fields(parse_flat_object(spec_json)?);
+    let kind = f.str_req("kind")?;
+    let mut argv: Vec<String> = Vec::new();
+    let push_opt_u = |argv: &mut Vec<String>, flag: &str, v: Option<u64>| {
+        if let Some(n) = v {
+            argv.push(flag.to_owned());
+            argv.push(n.to_string());
+        }
+    };
+    match kind.as_str() {
+        // A deterministic schedule sweep: lint's --sweep mode, which fans
+        // the system across the strided-partition (scheduler, seed) grid.
+        "sweep" => {
+            argv.push("lint".into());
+            argv.push(f.str_req("system")?);
+            argv.push("--sweep".into());
+            push_opt_u(&mut argv, "--seed", f.uint_opt("seed")?);
+            push_opt_u(&mut argv, "--steps", f.uint_opt("steps")?);
+        }
+        "lint" => {
+            argv.push("lint".into());
+            argv.push(f.str_req("system")?);
+            if let Some(p) = f.str_opt("program")? {
+                argv.push("--program".into());
+                argv.push(p);
+            }
+            push_opt_u(&mut argv, "--seed", f.uint_opt("seed")?);
+            push_opt_u(&mut argv, "--steps", f.uint_opt("steps")?);
+            if f.bool_flag("static")? {
+                argv.push("--static".into());
+            }
+        }
+        "faults" => {
+            argv.push("faults".into());
+            argv.push("--family".into());
+            argv.push(f.str_req("family")?);
+            argv.push("--plan".into());
+            argv.push(f.str_req("plan")?);
+            push_opt_u(&mut argv, "--seed", f.uint_opt("seed")?);
+            push_opt_u(&mut argv, "--sweep", f.uint_opt("sweep")?);
+            push_opt_u(&mut argv, "--steps", f.uint_opt("steps")?);
+            if f.bool_flag("journal")? {
+                argv.push("--journal".into());
+            }
+        }
+        "soak" => {
+            argv.push("soak".into());
+            argv.push("--family".into());
+            argv.push(f.str_req("family")?);
+            push_opt_u(&mut argv, "--budget", f.uint_opt("budget")?);
+            push_opt_u(&mut argv, "--seed", f.uint_opt("seed")?);
+            push_opt_u(&mut argv, "--steps", f.uint_opt("steps")?);
+            push_opt_u(&mut argv, "--procs", f.uint_opt("procs")?);
+            if f.bool_flag("journal")? {
+                argv.push("--journal".into());
+            }
+        }
+        "verify" => {
+            argv.push("verify".into());
+            argv.push("--family".into());
+            argv.push(f.str_req("family")?);
+            push_opt_u(&mut argv, "--procs", f.uint_opt("procs")?);
+            if let Some(p) = f.str_opt("program")? {
+                argv.push("--program".into());
+                argv.push(p);
+            }
+            if let Some(r) = f.str_opt("reduce")? {
+                argv.push("--reduce".into());
+                argv.push(r);
+            }
+            push_opt_u(&mut argv, "--depth", f.uint_opt("depth")?);
+            push_opt_u(&mut argv, "--states", f.uint_opt("states")?);
+            if let Some(i) = f.str_opt("interference")? {
+                argv.push("--interference".into());
+                argv.push(i);
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown kind {other:?} (have: {})",
+                JOB_KINDS.join(" | ")
+            ))
+        }
+    }
+    f.reject_leftovers(&kind)?;
+    argv.push("--json".into());
+    Ok(argv)
+}
+
+/// Extracts a field from a flat JSON object, for clients picking a job id
+/// or cache verdict out of a farm response without a JSON library.
+pub fn flat_field(json: &str, key: &str) -> Option<SpecValue> {
+    let mut pairs = parse_flat_object(json).ok()?;
+    let i = pairs.iter().position(|(k, _)| k == key)?;
+    Some(pairs.remove(i).1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_scalars_and_rejects_structure() {
+        let pairs =
+            parse_flat_object("{\"kind\": \"lint\", \"seed\": 3, \"static\": true}").unwrap();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[1], ("seed".into(), SpecValue::Int(3)));
+        assert_eq!(pairs[2], ("static".into(), SpecValue::Bool(true)));
+        assert!(parse_flat_object("{\"a\": {}}")
+            .unwrap_err()
+            .contains("nested"));
+        assert!(parse_flat_object("{\"a\": [1]}")
+            .unwrap_err()
+            .contains("nested"));
+        assert!(parse_flat_object("{\"a\": 1.5}")
+            .unwrap_err()
+            .contains("non-integer"));
+        assert!(parse_flat_object("{\"a\": null}")
+            .unwrap_err()
+            .contains("null"));
+        assert!(parse_flat_object("{\"a\": 1, \"a\": 2}")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(parse_flat_object("{\"a\": 1} x")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn argv_mapping_is_canonical_per_kind() {
+        let a = job_argv("{\"kind\":\"verify\",\"family\":\"ring\",\"depth\":8}").unwrap();
+        assert_eq!(a, ["verify", "--family", "ring", "--depth", "8", "--json"]);
+        // Field order in the document does not change the argv.
+        let b = job_argv("{\"depth\":8,\"kind\":\"verify\",\"family\":\"ring\"}").unwrap();
+        assert_eq!(a, b);
+
+        let s = job_argv("{\"kind\":\"sweep\",\"system\":\"ring:3\",\"steps\":200}").unwrap();
+        assert_eq!(s, ["lint", "ring:3", "--sweep", "--steps", "200", "--json"]);
+
+        let f = job_argv(
+            "{\"kind\":\"faults\",\"family\":\"hypercube\",\"plan\":\"crash\",\"journal\":true}",
+        )
+        .unwrap();
+        assert_eq!(
+            f,
+            [
+                "faults",
+                "--family",
+                "hypercube",
+                "--plan",
+                "crash",
+                "--journal",
+                "--json"
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_field_level_messages() {
+        assert!(job_argv("{\"kind\":\"melt\"}")
+            .unwrap_err()
+            .contains("unknown kind"));
+        assert!(job_argv("{\"kind\":\"lint\"}")
+            .unwrap_err()
+            .contains("missing required field \"system\""));
+        assert!(
+            job_argv("{\"kind\":\"lint\",\"system\":\"ring:3\",\"bogus\":1}")
+                .unwrap_err()
+                .contains("unknown field \"bogus\"")
+        );
+        assert!(job_argv("{\"kind\":\"lint\",\"system\":3}")
+            .unwrap_err()
+            .contains("must be a string"));
+        assert!(
+            job_argv("{\"kind\":\"soak\",\"family\":\"ring\",\"seed\":-1}")
+                .unwrap_err()
+                .contains("non-negative")
+        );
+        assert!(job_argv("not json").is_err());
+    }
+
+    #[test]
+    fn flat_field_extracts_scalars() {
+        let json = "{\"job\": 7, \"cache\": \"hit\"}";
+        assert_eq!(flat_field(json, "job"), Some(SpecValue::Int(7)));
+        assert_eq!(
+            flat_field(json, "cache"),
+            Some(SpecValue::Str("hit".into()))
+        );
+        assert_eq!(flat_field(json, "nope"), None);
+    }
+}

@@ -238,7 +238,7 @@ where
 {
     let run_job = |item: &T| -> R { job(item) };
 
-    let threads = threads.max(1).min(jobs.len().max(1));
+    let threads = effective_threads(threads).min(jobs.len().max(1));
     let outcomes = if threads <= 1 {
         jobs.iter().map(run_job).collect()
     } else {
@@ -271,12 +271,44 @@ where
     outcomes
 }
 
+/// The worker count [`run_jobs`] actually uses for a requested thread
+/// count: `requested` (floored at 1), clamped by the
+/// `SIMSYM_SWEEP_THREADS` environment variable when it is set to a
+/// positive integer. The clamp exists for constrained hosts (1-CPU CI
+/// containers, a simulation farm stacking its own worker pool on top of
+/// per-job sweeps) — it never changes *results*, because [`run_jobs`]
+/// returns input-order results for every thread count. The variable is
+/// read once per process.
+pub fn effective_threads(requested: usize) -> usize {
+    static CLAMP: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let clamp = CLAMP.get_or_init(|| {
+        std::env::var("SIMSYM_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
+    let requested = requested.max(1);
+    match clamp {
+        Some(cap) => requested.min(*cap),
+        None => requested,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{FnProgram, InstructionSet, Machine, SystemInit};
     use simsym_graph::topology;
     use std::sync::Arc;
+
+    #[test]
+    fn effective_threads_floors_at_one_and_honors_the_request() {
+        // The test environment does not set SIMSYM_SWEEP_THREADS, so the
+        // request passes through, floored at one worker.
+        assert_eq!(effective_threads(0), 1);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(4), 4);
+    }
 
     // A trivial symmetric-breaking toy: the first processor to take its
     // third step selects itself. Which one that is depends on the schedule,

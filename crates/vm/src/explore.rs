@@ -88,6 +88,11 @@ pub struct ExploreResult {
     /// reports can phrase the certificate as "up to depth d modulo
     /// Aut(N)".
     pub group_order: usize,
+    /// Whether the reducer's group enumeration hit
+    /// [`crate::reduce::GROUP_CAP`] and fell back to the identity-only
+    /// group — `group_order == 1` then means "unenumerable", not
+    /// "asymmetric".
+    pub group_capped: bool,
 }
 
 impl Default for ExploreResult {
@@ -101,6 +106,7 @@ impl Default for ExploreResult {
             violation_kinds: BTreeSet::new(),
             peak_visited_bytes: 0,
             group_order: 1,
+            group_capped: false,
         }
     }
 }
@@ -122,6 +128,7 @@ impl ExploreResult {
         self.violation_kinds.extend(other.violation_kinds);
         self.peak_visited_bytes += other.peak_visited_bytes;
         self.group_order = self.group_order.max(other.group_order);
+        self.group_capped |= other.group_capped;
     }
 }
 
@@ -306,6 +313,7 @@ impl<'a, K: StateKey, S: Stepper, R: Reducer + ?Sized> Explorer<'a, K, S, R> {
         let mut result = self.result;
         result.peak_visited_bytes = self.seen.peak_bytes();
         result.group_order = self.reducer.group_order();
+        result.group_capped = self.reducer.group_capped();
         result
     }
 }

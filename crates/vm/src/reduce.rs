@@ -89,6 +89,13 @@ pub trait Reducer {
         1
     }
 
+    /// Whether the group enumeration hit [`GROUP_CAP`] and fell back to
+    /// the identity-only group — reports must then not read
+    /// `group_order() == 1` as "the system is asymmetric".
+    fn group_capped(&self) -> bool {
+        false
+    }
+
     /// Inserts `selected` *and its closure under the reducer's symmetry
     /// group* into `out`, so a quotient search reports the same outcome
     /// set the unreduced search would.
@@ -137,6 +144,9 @@ impl<R: Reducer + ?Sized> Reducer for Box<R> {
     }
     fn group_order(&self) -> usize {
         (**self).group_order()
+    }
+    fn group_capped(&self) -> bool {
+        (**self).group_capped()
     }
     fn expand_outcome(&self, selected: &[ProcId], out: &mut BTreeSet<Vec<ProcId>>) {
         (**self).expand_outcome(selected, out)
@@ -187,6 +197,9 @@ pub struct SimilarityQuotient {
     /// Node permutations over the linear index space, identity included;
     /// always a full group (closed under composition and inverse).
     perms: Vec<Vec<usize>>,
+    /// Whether the group enumeration bailed at [`GROUP_CAP`] and `perms`
+    /// is the identity-only fallback rather than the true `Aut(N, state₀)`.
+    capped: bool,
 }
 
 impl SimilarityQuotient {
@@ -198,7 +211,7 @@ impl SimilarityQuotient {
         let colors = init_colors(graph, init);
         match automorphism_group(graph, Some(&colors), GROUP_CAP) {
             Some(group) => Self::from_automorphisms(graph, &group),
-            None => Self::from_automorphisms(graph, &[Automorphism::identity(graph)]),
+            None => Self::from_automorphisms(graph, &[Automorphism::identity(graph)]).mark_capped(),
         }
     }
 
@@ -215,12 +228,28 @@ impl SimilarityQuotient {
         SimilarityQuotient {
             proc_count: graph.processor_count(),
             perms,
+            capped: false,
         }
+    }
+
+    /// Records that the group enumeration hit [`GROUP_CAP`], so this
+    /// reducer's identity-only group is a *fallback*, not the true
+    /// `Aut(N, state₀)`. Builders that enumerate the group themselves
+    /// (e.g. `simsym_core::similarity_group`) call this when their
+    /// enumeration bailed.
+    pub fn mark_capped(mut self) -> SimilarityQuotient {
+        self.capped = true;
+        self
     }
 
     /// The size of the group being quotiented by.
     pub fn automorphism_count(&self) -> usize {
         self.perms.len()
+    }
+
+    /// Whether [`GROUP_CAP`] fired and the group is the identity fallback.
+    pub fn is_group_capped(&self) -> bool {
+        self.capped
     }
 }
 
@@ -300,6 +329,10 @@ impl Reducer for SimilarityQuotient {
 
     fn group_order(&self) -> usize {
         self.perms.len()
+    }
+
+    fn group_capped(&self) -> bool {
+        self.capped
     }
 
     fn expand_outcome(&self, selected: &[ProcId], out: &mut BTreeSet<Vec<ProcId>>) {
@@ -422,6 +455,10 @@ impl<R: Reducer> Reducer for Por<R> {
 
     fn group_order(&self) -> usize {
         self.inner.group_order()
+    }
+
+    fn group_capped(&self) -> bool {
+        self.inner.group_capped()
     }
 
     fn expand_outcome(&self, selected: &[ProcId], out: &mut BTreeSet<Vec<ProcId>>) {

@@ -25,6 +25,7 @@ use simsym::philo::{
     chandy_misra_init, ChandyMisraPhilosopher, ExclusionMonitor, LehmannRabinPhilosopher,
     LockOrderPhilosopher, MealCounter,
 };
+use simsym::serve::{client as serve_client, JobOutput, JobRunner, ServeConfig, Server};
 use simsym::vm::engine::metrics::MetricsProbe;
 use simsym::vm::engine::sweep::{run_jobs, sweep_jobs, SweepConfig, SweepScheduler};
 use simsym::vm::engine::trace::{replay, TraceRecorder};
@@ -41,6 +42,7 @@ use std::sync::Arc;
 /// What a command produced: text for stdout, plus whether the process
 /// should exit nonzero *after* printing it (lint findings, not usage
 /// errors).
+#[derive(Debug)]
 struct CmdOut {
     text: String,
     failed: bool,
@@ -75,7 +77,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym analyze --trace FILE\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--static] [--json] [--dot]\n  simsym verify --family <ring|table|alternating> [--procs N] [--program NAME]\n              [--reduce none|quotient|por|both] [--depth N] [--states N] [--json]\n              [--interference probe|static|both]\n  simsym faults --family <ring|table|alternating> --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--journal] [--json]\n  simsym soak --family <ring|table|alternating> [--budget N] [--seed N]\n              [--steps N] [--procs N] [--journal] [--repro-out FILE] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n\nverify explores the family's selection machine exhaustively (depth-\nand state-bounded DFS over undoable steps) under a pluggable\nstate-space reduction: quotient canonicalizes states modulo the\nautomorphism group Aut(N, state0), por prunes commuting interleavings\nwith persistent sets, both composes the two, none is the identity\noracle. The requested mode and the identity baseline run under the\nsame budgets and are cross-checked; the report carries canonical state\ncounts, peak visited-store bytes, and the reduction factor (x100 in\nJSON). A reachable double selection (DYN-EXPLORE-UNIQ), a surfaced\nmachine-model violation, or a reducer that diverges from the oracle\n(DYN-EXPLORE-DIVERGED) exits nonzero; an exhausted search is certified\nup to depth d modulo Aut(N) (DYN-EXPLORE-CERTIFIED). --program swaps\nthe generated selection program for a seeded-defect fixture (grab is\nthe naive grab-your-fork strawman that double-selects).\n--interference static drives the POR modes from the program's declared\nstatic footprints (may-touch sets from its ProgramSpec) instead of\none-step probes; both runs the exploration once per source and\ncross-checks every reduced run against the identity oracle.\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical. With --journal\n(crash plan only) every processor — the leader included — crashes and\nreboots from a stable-storage journal, and the checker runs strict:\nany selection lost across a reboot is a DYN-RECOV-STAB error.\n\nsoak is the budgeted chaos loop: it fans randomized crash-reset plans\nacross schedules and seeds (strict checker) until the budget is spent\nor a violation is found. A violation is delta-debug shrunk — crash\nevents dropped, the schedule truncated and minimized, the processor\ncount reduced — while replaying to the identical verdict, and emitted\nas a replayable simsym-repro/v1 JSON artifact (--repro-out FILE).\nWithout --journal the selection decision lives in volatile memory and\nsoak finds the Stability violation by construction; with --journal the\nsame chaos stays clean. The exit code stays zero either way (the JSON\nreports \"violation_found\"); only replay divergence exits nonzero.\n\nanalyze --trace FILE replays a simsym-repro/v1 artifact verbatim (the\nschedule runs through a fixed-sequence scheduler) and exits nonzero if\nthe recorded verdict does not reproduce (SOAK-REPLAY-DIVERGED) or the\nembedded fault plan is ill-formed (SOAK-PLAN).\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family, naive-vs-hopcroft labeling time on marked rings,\nand the fault-layer and journal overhead rows.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace (with a system) runs the Q label learner under a seeded\nrandom-fair schedule and emits a replayable JSON schedule trace\n(verified by re-execution) on stdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy | grab | uninit);\n--dot prints the lock-order graph in Graphviz syntax. --static skips\nthe dynamic pass entirely and instead runs the dataflow analyses over\nthe program's declared spec (uninit reads, dead phases, symmetry\nbreaks, static lock-order cycles) with zero VM steps executed. Exits\nnonzero on error-severity findings.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | board:PxV | @spec-file.sysg".to_owned()
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym analyze --trace FILE\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--static] [--json] [--dot]\n  simsym verify --family <ring|table|alternating|hypercube> [--procs N]\n              [--program NAME] [--reduce none|quotient|por|both] [--depth N]\n              [--states N] [--json] [--interference probe|static|both]\n  simsym faults --family <ring|table|alternating|hypercube>\n                --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--journal] [--json]\n  simsym soak --family <ring|table|alternating|hypercube> [--budget N] [--seed N]\n              [--steps N] [--procs N] [--journal] [--repro-out FILE] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n  simsym serve [--addr HOST:PORT] [--workers N] [--queue N]\n  simsym submit [--addr HOST:PORT] [--watch] <job.json | ->\n  simsym shutdown [--addr HOST:PORT]\n\nverify explores the family's selection machine exhaustively (depth-\nand state-bounded DFS over undoable steps) under a pluggable\nstate-space reduction: quotient canonicalizes states modulo the\nautomorphism group Aut(N, state0), por prunes commuting interleavings\nwith persistent sets, both composes the two, none is the identity\noracle. The requested mode and the identity baseline run under the\nsame budgets and are cross-checked; the report carries canonical state\ncounts, peak visited-store bytes, and the reduction factor (x100 in\nJSON). A reachable double selection (DYN-EXPLORE-UNIQ), a surfaced\nmachine-model violation, or a reducer that diverges from the oracle\n(DYN-EXPLORE-DIVERGED) exits nonzero; an exhausted search is certified\nup to depth d modulo Aut(N) (DYN-EXPLORE-CERTIFIED). --program swaps\nthe generated selection program for a seeded-defect fixture (grab is\nthe naive grab-your-fork strawman that double-selects).\n--interference static drives the POR modes from the program's declared\nstatic footprints (may-touch sets from its ProgramSpec) instead of\none-step probes; both runs the exploration once per source and\ncross-checks every reduced run against the identity oracle.\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical. With --journal\n(crash plan only) every processor — the leader included — crashes and\nreboots from a stable-storage journal, and the checker runs strict:\nany selection lost across a reboot is a DYN-RECOV-STAB error.\n\nsoak is the budgeted chaos loop: it fans randomized crash-reset plans\nacross schedules and seeds (strict checker) until the budget is spent\nor a violation is found. A violation is delta-debug shrunk — crash\nevents dropped, the schedule truncated and minimized, the processor\ncount reduced — while replaying to the identical verdict, and emitted\nas a replayable simsym-repro/v1 JSON artifact (--repro-out FILE).\nWithout --journal the selection decision lives in volatile memory and\nsoak finds the Stability violation by construction; with --journal the\nsame chaos stays clean. The exit code stays zero either way (the JSON\nreports \"violation_found\"); only replay divergence exits nonzero.\n\nanalyze --trace FILE replays a simsym-repro/v1 artifact verbatim (the\nschedule runs through a fixed-sequence scheduler) and exits nonzero if\nthe recorded verdict does not reproduce (SOAK-REPLAY-DIVERGED) or the\nembedded fault plan is ill-formed (SOAK-PLAN).\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family, naive-vs-hopcroft labeling time on marked rings,\nand the fault-layer and journal overhead rows.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace (with a system) runs the Q label learner under a seeded\nrandom-fair schedule and emits a replayable JSON schedule trace\n(verified by re-execution) on stdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy | grab | uninit);\n--dot prints the lock-order graph in Graphviz syntax. --static skips\nthe dynamic pass entirely and instead runs the dataflow analyses over\nthe program's declared spec (uninit reads, dead phases, symmetry\nbreaks, static lock-order cycles) with zero VM steps executed. Exits\nnonzero on error-severity findings.\n\nserve runs the multi-tenant simulation farm: a bounded job queue over\nTCP (HTTP/1.1, newline-delimited JSON events) accepting sweep, lint,\nfaults, soak, and verify job specs. Jobs are sharded across a worker\npool by the deterministic strided-partition sweep, so results are\nbyte-identical for any --workers count and identical to the batch CLI.\nCompleted artifacts land in a content-addressed store keyed by the\njob's canonical argv; resubmitting the same job reports a cache hit\nand returns the stored document without recomputation. POST /shutdown\ndrains gracefully: queued and in-flight jobs finish, new submissions\nare rejected with SERVE-DRAINING. submit posts one job spec (a JSON\nobject, e.g. {\"kind\":\"verify\",\"family\":\"ring\"}) and prints the\nresult document; --watch streams the job's progress events first.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | hypercube:D | board:PxV |\n         @spec-file.sysg".to_owned()
 }
 
 fn dispatch(args: &[String]) -> Result<CmdOut, String> {
@@ -117,6 +119,9 @@ fn dispatch(args: &[String]) -> Result<CmdOut, String> {
         Some("faults") => faults(&args[1..]),
         Some("soak") => soak(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("submit") => submit(&args[1..]),
+        Some("shutdown") => shutdown(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_owned()),
     }
@@ -396,7 +401,7 @@ fn extract_verify_flags(args: &[String]) -> Result<VerifyOpts, String> {
             other => return Err(format!("unknown verify flag {other:?}")),
         }
     }
-    opts.family = family.ok_or("verify needs --family <ring|table|alternating>")?;
+    opts.family = family.ok_or("verify needs --family <ring|table|alternating|hypercube>")?;
     if opts.depth == 0 || opts.states == 0 {
         return Err("--depth and --states need to be positive".into());
     }
@@ -422,14 +427,27 @@ fn verify_family(family: &str, procs: Option<usize>) -> Result<(SystemGraph, Sys
             }
             topology::philosophers_alternating(n)
         }
+        "hypercube" => topology::hypercube(hypercube_dim(procs.unwrap_or(8))?),
         other => {
             return Err(format!(
-                "unknown family {other:?} (have: ring | table | alternating)"
+                "unknown family {other:?} (have: ring | table | alternating | hypercube)"
             ))
         }
     };
     let init = SystemInit::uniform(&graph);
     Ok((graph, init))
+}
+
+/// Maps a hypercube `--procs` count to its dimension: the count must be a
+/// power of two between 2 and 2^26 (the same ceiling
+/// [`topology::hypercube`] enforces on the dimension).
+fn hypercube_dim(procs: usize) -> Result<usize, String> {
+    if !(2..=(1 << 26)).contains(&procs) || !procs.is_power_of_two() {
+        return Err(format!(
+            "hypercube needs a power-of-two --procs between 2 and 2^26 (got {procs})"
+        ));
+    }
+    Ok(procs.trailing_zeros() as usize)
 }
 
 /// One verify run: the mode it explored under and what it found.
@@ -572,13 +590,14 @@ fn verify_render_json(
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"reduce\": \"{}\", \"interference\": \"{}\", \"states_canonical\": {}, \"states_seen\": {}, \"outcomes\": {}, \"group_order\": {}, \"peak_visited_bytes\": {}, \"truncated\": {}, \"double_selection\": {}}}{}\n",
+            "    {{\"reduce\": \"{}\", \"interference\": \"{}\", \"states_canonical\": {}, \"states_seen\": {}, \"outcomes\": {}, \"group_order\": {}, \"group_capped\": {}, \"peak_visited_bytes\": {}, \"truncated\": {}, \"double_selection\": {}}}{}\n",
             r.reduce.label(),
             r.interference.label(),
             r.result.states_visited,
             r.result.states_seen,
             r.result.outcomes.len(),
             r.result.group_order,
+            u8::from(r.result.group_capped),
             r.result.peak_visited_bytes,
             u8::from(r.result.truncated),
             u8::from(r.result.has_double_selection()),
@@ -607,12 +626,17 @@ fn verify_render_text(
     );
     for r in rows {
         out.push_str(&format!(
-            "  reduce={:<9} intf={:<7} {:>8} canonical states ({:>9} arrivals)  |Aut| {}  peak {} B  outcomes {}{}{}\n",
+            "  reduce={:<9} intf={:<7} {:>8} canonical states ({:>9} arrivals)  |Aut| {}{}  peak {} B  outcomes {}{}{}\n",
             r.reduce.label(),
             r.interference.label(),
             r.result.states_visited,
             r.result.states_seen,
             r.result.group_order,
+            if r.result.group_capped {
+                " (capped)"
+            } else {
+                ""
+            },
             r.result.peak_visited_bytes,
             r.result.outcomes.len(),
             if r.result.truncated {
@@ -662,6 +686,10 @@ fn list() -> String {
         (
             "alternating:N",
             "even-N table with alternating orientation (Fig. 5 for N=6)",
+        ),
+        (
+            "hypercube:D",
+            "D-dimensional hypercube: 2^D processors, one variable per edge",
         ),
         (
             "board:PxV",
@@ -919,6 +947,13 @@ fn parse_system(spec: &str) -> Result<SystemGraph, String> {
         "marked-ring" => Ok(topology::marked_ring(n(param, 3)?)),
         "line" => Ok(topology::line(n(param, 2)?)),
         "star" => Ok(topology::star(n(param, 1)?)),
+        "hypercube" => {
+            let d = n(param, 1)?;
+            if d > 26 {
+                return Err("hypercube dimension must be at most 26".to_owned());
+            }
+            Ok(topology::hypercube(d))
+        }
         "alternating" => {
             let v = n(param, 2)?;
             if v % 2 != 0 {
@@ -1128,7 +1163,7 @@ fn extract_faults_flags(args: &[String]) -> Result<FaultsOpts, String> {
             other => return Err(format!("unknown faults flag {other:?}")),
         }
     }
-    opts.family = family.ok_or("faults needs --family <ring|table|alternating>")?;
+    opts.family = family.ok_or("faults needs --family <ring|table|alternating|hypercube>")?;
     opts.plan = plan.ok_or("faults needs --plan <crash|lossy|starve>")?;
     if opts.journal && opts.plan != "crash" {
         return Err("--journal only applies to --plan crash".into());
@@ -1195,9 +1230,10 @@ fn faults_family(family: &str) -> Result<(SystemGraph, SystemInit), String> {
         "ring" => topology::uniform_ring(5),
         "table" => topology::philosophers_table(6),
         "alternating" => topology::philosophers_alternating(6),
+        "hypercube" => topology::hypercube(3),
         other => {
             return Err(format!(
-                "unknown family {other:?} (have: ring | table | alternating)"
+                "unknown family {other:?} (have: ring | table | alternating | hypercube)"
             ))
         }
     };
@@ -1336,9 +1372,10 @@ fn faults_lossy(opts: &FaultsOpts) -> Result<Vec<FaultRunRow>, String> {
     let n = match opts.family.as_str() {
         "ring" => 5,
         "table" | "alternating" => 6,
+        "hypercube" => 8,
         other => {
             return Err(format!(
-                "unknown family {other:?} (have: ring | table | alternating)"
+                "unknown family {other:?} (have: ring | table | alternating | hypercube)"
             ))
         }
     };
@@ -1589,7 +1626,7 @@ fn extract_soak_flags(args: &[String]) -> Result<SoakOpts, String> {
             other => return Err(format!("unknown soak flag {other:?}")),
         }
     }
-    opts.family = family.ok_or("soak needs --family <ring|table|alternating>")?;
+    opts.family = family.ok_or("soak needs --family <ring|table|alternating|hypercube>")?;
     Ok(opts)
 }
 
@@ -1599,8 +1636,9 @@ fn soak_default_procs(family: &str) -> Result<usize, String> {
     match family {
         "ring" => Ok(5),
         "table" | "alternating" => Ok(6),
+        "hypercube" => Ok(8),
         other => Err(format!(
-            "unknown family {other:?} (have: ring | table | alternating)"
+            "unknown family {other:?} (have: ring | table | alternating | hypercube)"
         )),
     }
 }
@@ -1632,9 +1670,10 @@ fn soak_family(family: &str, procs: usize) -> Result<(SystemGraph, SystemInit), 
             }
             topology::philosophers_alternating(procs)
         }
+        "hypercube" => topology::hypercube(hypercube_dim(procs)?),
         other => {
             return Err(format!(
-                "unknown family {other:?} (have: ring | table | alternating)"
+                "unknown family {other:?} (have: ring | table | alternating | hypercube)"
             ))
         }
     };
@@ -2137,18 +2176,20 @@ struct OverheadRow {
 }
 
 impl OverheadRow {
-    /// Integer overhead percent, clamped at zero — the schema skeleton
-    /// drops digits but keeps `-`, so a (noise-induced) negative delta
-    /// must never reach the JSON.
-    fn percent(&self) -> u128 {
-        self.faulted_nanos.saturating_sub(self.plain_nanos) * 100 / self.plain_nanos
+    /// Signed integer overhead percent. A (noise-induced) faster faulted
+    /// run renders as a negative percent instead of silently clamping to
+    /// zero; [`bench_schema_skeleton`] strips a numeric `-` along with
+    /// the digits it signs, so the sign never reads as schema drift.
+    fn percent(&self) -> i128 {
+        (self.faulted_nanos as i128 - self.plain_nanos as i128) * 100 / self.plain_nanos as i128
     }
 
     /// What journaling costs on top of the fault layer itself: journaled
     /// vs faulted, so the number isolates the write-ahead log from the
     /// `Faulty`/`FaultSched` wrapping already priced by [`Self::percent`].
-    fn journal_percent(&self) -> u128 {
-        self.journaled_nanos.saturating_sub(self.faulted_nanos) * 100 / self.faulted_nanos
+    fn journal_percent(&self) -> i128 {
+        (self.journaled_nanos as i128 - self.faulted_nanos as i128) * 100
+            / self.faulted_nanos as i128
     }
 }
 
@@ -2231,6 +2272,7 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
     for (family, graph, steps) in [
         ("ring", topology::uniform_ring(64), 320u64),
         ("marked-ring", topology::marked_ring(64), 10_000),
+        ("hypercube", topology::hypercube(6), 320),
     ] {
         let init = SystemInit::uniform(&graph);
         let labeling = hopcroft_similarity(&graph, &init, Model::Q);
@@ -2406,6 +2448,7 @@ fn bench(args: &[String]) -> Result<CmdOut, String> {
         ("marked-ring", topology::marked_ring(64)),
         ("table", topology::philosophers_table(64)),
         ("alternating", topology::philosophers_alternating(64)),
+        ("hypercube", topology::hypercube(6)),
     ] {
         let init = SystemInit::uniform(&graph);
         let theta = hopcroft_similarity(&graph, &init, Model::Q);
@@ -2669,7 +2712,7 @@ fn bench_render_text(
         ));
     }
     out.push_str(&format!(
-        "zero-fault overhead (marked-ring n=64, {} steps, empty plan):\n  plain     {:>12} ns\n  faulted   {:>12} ns  (+{}%)\n  journaled {:>12} ns  (+{}% over faulted)\n",
+        "zero-fault overhead (marked-ring n=64, {} steps, empty plan):\n  plain     {:>12} ns\n  faulted   {:>12} ns  ({:+}%)\n  journaled {:>12} ns  ({:+}% over faulted)\n",
         overhead.steps,
         overhead.plain_nanos,
         overhead.faulted_nanos,
@@ -2683,15 +2726,18 @@ fn bench_render_text(
     out
 }
 
-/// Collapses a bench JSON document to its schema skeleton: digits and
-/// whitespace outside string literals are dropped, so two documents
-/// compare equal iff they share keys, labels, and shape — numbers are
-/// ignored, which is exactly the CI smoke contract.
+/// Collapses a bench JSON document to its schema skeleton: digits,
+/// numeric minus signs, and whitespace outside string literals are
+/// dropped, so two documents compare equal iff they share keys, labels,
+/// and shape — numbers (including their sign, so an overhead percent can
+/// flip negative under timer noise) are ignored, which is exactly the CI
+/// smoke contract.
 fn bench_schema_skeleton(json: &str) -> String {
     let mut out = String::with_capacity(json.len());
     let mut in_string = false;
     let mut escaped = false;
-    for c in json.chars() {
+    let mut chars = json.chars().peekable();
+    while let Some(c) = chars.next() {
         if in_string {
             out.push(c);
             if escaped {
@@ -2704,11 +2750,151 @@ fn bench_schema_skeleton(json: &str) -> String {
         } else if c == '"' {
             in_string = true;
             out.push(c);
+        } else if c == '-' && chars.peek().is_some_and(char::is_ascii_digit) {
+            // The sign of a number: dropped with the digits it signs.
         } else if !c.is_ascii_digit() && !c.is_whitespace() {
             out.push(c);
         }
     }
     out
+}
+
+/// The farm's [`JobRunner`]: routes job argv straight back through
+/// [`dispatch`], so a served artifact is byte-identical to what the
+/// batch CLI prints for the same arguments — by construction, not by
+/// parallel maintenance of two render paths.
+struct DispatchRunner;
+
+impl JobRunner for DispatchRunner {
+    fn run(&self, argv: &[String]) -> Result<JobOutput, String> {
+        dispatch(argv).map(|out| JobOutput {
+            document: out.text,
+            failed: out.failed,
+        })
+    }
+}
+
+/// Pulls one `--flag VALUE` pair out of `args`, returning the value and
+/// the remaining arguments.
+fn extract_flag_value(
+    args: &[String],
+    flag: &str,
+) -> Result<(Option<String>, Vec<String>), String> {
+    let mut value = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            if value.is_some() {
+                return Err(format!("{flag} given twice"));
+            }
+            value = Some(v.clone());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((value, rest))
+}
+
+fn parse_count(flag: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer (got {value:?})"))
+}
+
+/// `simsym serve [--addr HOST:PORT] [--workers N] [--queue N]` — runs
+/// the farm until a client posts `/shutdown`, then prints the lifetime
+/// summary. The banner goes to stderr so stdout stays a clean document
+/// channel.
+fn serve(args: &[String]) -> Result<CmdOut, String> {
+    let (addr, rest) = extract_flag_value(args, "--addr")?;
+    let (workers, rest) = extract_flag_value(&rest, "--workers")?;
+    let (queue, rest) = extract_flag_value(&rest, "--queue")?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("serve does not take {extra:?}"));
+    }
+    let mut config = ServeConfig::default();
+    if let Some(addr) = addr {
+        config.addr = addr;
+    }
+    if let Some(w) = workers {
+        config.workers = parse_count("--workers", &w)?;
+    }
+    if let Some(q) = queue {
+        config.queue_capacity = parse_count("--queue", &q)?;
+    }
+    let workers = config.workers;
+    let server = Server::bind(config, Arc::new(DispatchRunner))?;
+    eprintln!(
+        "simsym serve: listening on {} ({} worker{}); POST /shutdown to drain",
+        server.local_addr(),
+        workers,
+        if workers == 1 { "" } else { "s" }
+    );
+    let summary = server.run()?;
+    ok(format!(
+        "{{\"schema\": \"simsym-serve/v1\", \"completed\": {}, \"cache_hits\": {}, \"rejected\": {}}}\n",
+        summary.completed, summary.cache_hits, summary.rejected
+    ))
+}
+
+/// `simsym submit [--addr HOST:PORT] [--watch] <job.json | - | {...}>` —
+/// posts one job spec, optionally streams its NDJSON events, and prints
+/// the final document. Exits nonzero when the job's run failed.
+fn submit(args: &[String]) -> Result<CmdOut, String> {
+    let (addr, rest) = extract_flag_value(args, "--addr")?;
+    let addr = addr.unwrap_or_else(|| ServeConfig::default().addr);
+    let mut watch = false;
+    let mut source = None;
+    for a in &rest {
+        match a.as_str() {
+            "--watch" => watch = true,
+            _ if source.is_none() => source = Some(a.clone()),
+            _ => return Err(format!("submit takes one job spec (extra: {a:?})")),
+        }
+    }
+    let source = source.ok_or("submit needs a job spec: a file, '-' for stdin, or inline JSON")?;
+    let spec_text = if source == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+            .map_err(|e| format!("cannot read job spec from stdin: {e}"))?;
+        buf
+    } else if source.trim_start().starts_with('{') {
+        source
+    } else {
+        std::fs::read_to_string(&source)
+            .map_err(|e| format!("cannot read job spec {source:?}: {e}"))?
+    };
+    let submitted = serve_client::submit_job(&addr, &spec_text)?;
+    let mut text = format!(
+        "{{\"schema\": \"simsym-serve/v1\", \"job\": {}, \"cache\": \"{}\"}}\n",
+        submitted.job, submitted.cache
+    );
+    if watch {
+        serve_client::watch_events(&addr, submitted.job, |line| {
+            text.push_str(line);
+            text.push('\n');
+        })?;
+    }
+    let result = serve_client::fetch_result(&addr, submitted.job)?;
+    text.push_str(&result.document);
+    Ok(CmdOut {
+        text,
+        failed: result.failed,
+    })
+}
+
+/// `simsym shutdown [--addr HOST:PORT]` — asks the farm to drain.
+fn shutdown(args: &[String]) -> Result<CmdOut, String> {
+    let (addr, rest) = extract_flag_value(args, "--addr")?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("shutdown does not take {extra:?}"));
+    }
+    let addr = addr.unwrap_or_else(|| ServeConfig::default().addr);
+    serve_client::shutdown(&addr).and_then(ok)
 }
 
 #[cfg(test)]
@@ -3040,7 +3226,7 @@ mod tests {
 
     #[test]
     fn faults_crash_sweep_is_clean_on_every_family() {
-        for family in ["ring", "table", "alternating"] {
+        for family in ["ring", "table", "alternating", "hypercube"] {
             let out = call_full(&[
                 "faults", "--family", family, "--plan", "crash", "--sweep", "2", "--steps", "2000",
                 "--json",
@@ -3142,7 +3328,7 @@ mod tests {
 
     #[test]
     fn faults_journal_crash_sweep_is_clean_on_every_family() {
-        for family in ["ring", "table", "alternating"] {
+        for family in ["ring", "table", "alternating", "hypercube"] {
             let rows = faults_crash(&FaultsOpts {
                 family: family.into(),
                 plan: "crash".into(),
@@ -3374,6 +3560,51 @@ mod tests {
         assert!(out.contains("\"reduction_factor_x100\""));
         assert!(out.contains("\"states_canonical\""));
         assert!(out.contains("\"peak_visited_bytes\""));
+        // Nothing here exceeds GROUP_CAP, so every run reports an
+        // uncapped, fully enumerated group.
+        assert!(out.contains("\"group_capped\": 0"));
+        assert!(!out.contains("\"group_capped\": 1"));
+    }
+
+    #[test]
+    fn hypercube_parses_and_verifies_from_the_cli() {
+        // The family was only reachable through the library before: no
+        // CLI path spelled "hypercube". Every entry point takes it now.
+        let g = parse_system("hypercube:3").unwrap();
+        assert_eq!(g.processor_count(), 8);
+        assert_eq!(g.variable_count(), 12);
+        assert!(call(&["analyze", "hypercube:3"])
+            .unwrap()
+            .contains("8 processors"));
+        assert!(call(&["list"]).unwrap().contains("hypercube:D"));
+
+        let out = call_full(&[
+            "verify",
+            "--family",
+            "hypercube",
+            "--reduce",
+            "quotient",
+            "--depth",
+            "8",
+            "--json",
+        ])
+        .unwrap();
+        assert!(!out.failed, "{}", out.text);
+        // Edge names are colors (dim0..dim2 must map to themselves), so
+        // Aut is exactly the 2^3 XOR-translations, not the full 2^3·3!
+        // hypercube group.
+        assert!(out.text.contains("\"group_order\": 8"), "{}", out.text);
+        assert!(out.text.contains("\"group_capped\": 0"), "{}", out.text);
+
+        assert!(call(&["verify", "--family", "hypercube", "--procs", "6"])
+            .unwrap_err()
+            .contains("power-of-two"));
+        assert!(call(&["analyze", "hypercube:0"])
+            .unwrap_err()
+            .contains("size >= 1"));
+        assert!(call(&["analyze", "hypercube:27"])
+            .unwrap_err()
+            .contains("at most 26"));
     }
 
     #[test]
@@ -3501,27 +3732,38 @@ mod tests {
     }
 
     #[test]
-    fn bench_overhead_percent_clamps_at_zero() {
-        // A faster faulted run (timer noise) must render as 0, never as a
-        // negative number — the schema skeleton keeps '-', so a sign flip
-        // would read as schema drift in CI.
+    fn bench_overhead_percent_is_signed() {
+        // A faster faulted run (timer noise) renders as a *negative*
+        // percent — the old clamp-at-zero hid real regressions in the
+        // baseline. The schema skeleton strips the numeric sign with the
+        // digits, so the sign flip is not schema drift in CI.
         let o = OverheadRow {
             steps: 100,
             plain_nanos: 1_000,
             faulted_nanos: 900,
             journaled_nanos: 800,
         };
-        assert_eq!(o.percent(), 0);
-        assert_eq!(o.journal_percent(), 0);
+        assert_eq!(o.percent(), -10);
+        assert_eq!(o.journal_percent(), -11);
         let (t, sc, l, e, s, i, positive) = fake_rows();
         let json = bench_render_json(&t, &sc, &l, &e, &s, &i, &o);
-        assert!(json.contains("\"overhead_percent\": 0"), "{json}");
-        // Clamped and positive overheads share one schema skeleton: no
-        // sign character ever leaks outside a string literal.
+        assert!(json.contains("\"overhead_percent\": -10"), "{json}");
+        assert!(json.contains("\"overhead_percent\": -11"), "{json}");
+        // Negative and positive overheads share one schema skeleton: the
+        // sign is part of the number, not of the shape.
         assert_eq!(
             bench_schema_skeleton(&json),
             bench_schema_skeleton(&bench_render_json(&t, &sc, &l, &e, &s, &i, &positive))
         );
+        // The text rendering carries the sign too.
+        let opts = BenchOpts {
+            json: false,
+            quick: true,
+            against: None,
+        };
+        let text = bench_render_text(&t, &sc, &l, &e, &s, &i, &o, &opts);
+        assert!(text.contains("(-10%)"), "{text}");
+        assert!(text.contains("(-11% over faulted)"), "{text}");
     }
 
     #[test]
@@ -3531,5 +3773,251 @@ mod tests {
             "{\"v1 x\":,\"n\":}"
         );
         assert_eq!(bench_schema_skeleton("\"esc\\\"2\" 9"), "\"esc\\\"2\"");
+        // A numeric minus vanishes with its digits; a non-numeric minus
+        // (and one inside a string) is structure and stays.
+        assert_eq!(
+            bench_schema_skeleton("{\"p\": -23, \"q\": 23}"),
+            "{\"p\":,\"q\":}"
+        );
+        assert_eq!(bench_schema_skeleton("\"a-b\": x-y"), "\"a-b\":x-y");
+    }
+
+    // ---- the simulation farm ------------------------------------------
+
+    use simsym::serve::client as farm;
+
+    /// Boots a farm on an ephemeral port with the real [`DispatchRunner`].
+    fn boot_farm(
+        workers: usize,
+        queue: usize,
+    ) -> (String, std::thread::JoinHandle<Result<CmdOut, String>>) {
+        let addr_flag = "127.0.0.1:0".to_owned();
+        let server = Server::bind(
+            simsym::serve::ServeConfig {
+                addr: addr_flag,
+                workers,
+                queue_capacity: queue,
+            },
+            Arc::new(DispatchRunner),
+        )
+        .expect("bind farm");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || {
+            let summary = server.run()?;
+            ok(format!(
+                "completed {} cache_hits {} rejected {}",
+                summary.completed, summary.cache_hits, summary.rejected
+            ))
+        });
+        (addr, handle)
+    }
+
+    /// Submits every spec, then fetches every result in order.
+    fn farm_results(addr: &str, specs: &[String]) -> Vec<farm::JobResult> {
+        let submitted: Vec<_> = specs
+            .iter()
+            .map(|s| farm::submit_job(addr, s).expect("submit"))
+            .collect();
+        submitted
+            .iter()
+            .map(|s| farm::fetch_result(addr, s.job).expect("result"))
+            .collect()
+    }
+
+    #[test]
+    fn served_jobs_are_byte_identical_across_worker_counts_and_to_batch_output() {
+        let specs: Vec<String> = vec![
+            "{\"kind\": \"lint\", \"system\": \"ring:5\", \"seed\": 3}".to_owned(),
+            "{\"kind\": \"sweep\", \"system\": \"marked-ring:5\", \"steps\": 400}".to_owned(),
+            "{\"kind\": \"verify\", \"family\": \"hypercube\", \"procs\": 8, \"depth\": 6}"
+                .to_owned(),
+            "{\"kind\": \"faults\", \"family\": \"ring\", \"plan\": \"crash\", \"sweep\": 2}"
+                .to_owned(),
+        ];
+        let (addr1, handle1) = boot_farm(1, 16);
+        let one = farm_results(&addr1, &specs);
+        farm::shutdown(&addr1).expect("shutdown");
+        handle1.join().expect("farm thread").expect("farm summary");
+
+        let (addr4, handle4) = boot_farm(4, 16);
+        let four = farm_results(&addr4, &specs);
+        farm::shutdown(&addr4).expect("shutdown");
+        handle4.join().expect("farm thread").expect("farm summary");
+
+        // Byte-identical regardless of worker count…
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.document, b.document);
+            assert_eq!(a.failed, b.failed);
+        }
+        // …and identical to what the batch CLI prints for the same argv.
+        let batch_argv: Vec<Vec<String>> = specs
+            .iter()
+            .map(|s| simsym::serve::spec::job_argv(s).expect("argv"))
+            .collect();
+        for (served, argv) in one.iter().zip(&batch_argv) {
+            let batch = dispatch(argv).expect("batch dispatch");
+            assert_eq!(served.document, batch.text);
+            assert_eq!(served.failed, batch.failed);
+        }
+    }
+
+    /// Counts runner invocations, so a cache hit that silently recomputes
+    /// is caught.
+    struct CountingRunner(std::sync::atomic::AtomicUsize);
+
+    impl JobRunner for CountingRunner {
+        fn run(&self, argv: &[String]) -> Result<JobOutput, String> {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            dispatch(argv).map(|out| JobOutput {
+                document: out.text,
+                failed: out.failed,
+            })
+        }
+    }
+
+    #[test]
+    fn resubmitting_a_job_hits_the_store_without_recomputation() {
+        let runner = Arc::new(CountingRunner(std::sync::atomic::AtomicUsize::new(0)));
+        let server = Server::bind(
+            simsym::serve::ServeConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                workers: 2,
+                queue_capacity: 8,
+            },
+            Arc::clone(&runner) as Arc<dyn JobRunner>,
+        )
+        .expect("bind farm");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+
+        let spec = "{\"kind\": \"lint\", \"system\": \"ring:4\", \"static\": true}";
+        let first = farm::submit_job(&addr, spec).expect("submit");
+        assert_eq!(first.cache, "miss");
+        let first_doc = farm::fetch_result(&addr, first.job).expect("result");
+
+        let second = farm::submit_job(&addr, spec).expect("resubmit");
+        assert_eq!(second.cache, "hit");
+        let second_doc = farm::fetch_result(&addr, second.job).expect("cached result");
+        assert_eq!(first_doc.document, second_doc.document);
+        assert_eq!(
+            runner.0.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "the cache hit must not re-run the job"
+        );
+
+        farm::shutdown(&addr).expect("shutdown");
+        let summary = handle.join().expect("farm thread").expect("farm run");
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.cache_hits, 1);
+    }
+
+    #[test]
+    fn the_farm_sustains_sixty_four_concurrent_jobs() {
+        // 64 distinct static-lint jobs (varying system size over the
+        // repertoire of families) through a queue of exactly that
+        // capacity, on 2 workers. Every artifact must come back, every
+        // fingerprint distinct, and the final summary must account for
+        // all of them.
+        let (addr, handle) = boot_farm(2, 64);
+        let specs: Vec<String> = (0..64)
+            .map(|i| {
+                let family = ["ring", "line", "star", "table"][i % 4];
+                format!(
+                    "{{\"kind\": \"lint\", \"system\": \"{family}:{}\", \"static\": true}}",
+                    3 + i / 4
+                )
+            })
+            .collect();
+        let results = farm_results(&addr, &specs);
+        assert_eq!(results.len(), 64);
+        for (spec, result) in specs.iter().zip(&results) {
+            assert!(!result.document.is_empty(), "empty artifact for {spec}");
+            assert!(result.document.contains("\"system\""), "{spec}");
+        }
+        farm::shutdown(&addr).expect("shutdown");
+        let summary = handle.join().expect("farm thread").expect("farm summary");
+        assert!(summary.text.contains("completed 64"), "{}", summary.text);
+    }
+
+    #[test]
+    fn draining_rejects_new_work_but_finishes_the_queue() {
+        let (addr, handle) = boot_farm(1, 8);
+        let jobs: Vec<_> = (0..3)
+            .map(|i| {
+                farm::submit_job(
+                    &addr,
+                    &format!(
+                        "{{\"kind\": \"lint\", \"system\": \"ring:{}\", \"static\": true}}",
+                        3 + i
+                    ),
+                )
+                .expect("submit")
+            })
+            .collect();
+        // Open an event stream for the last job *before* asking for the
+        // drain, so the farm cannot fully exit until we have watched the
+        // job finish.
+        let watch_addr = addr.clone();
+        let last = jobs[2].job;
+        let watcher = std::thread::spawn(move || {
+            let mut events = Vec::new();
+            farm::watch_events(&watch_addr, last, |line| events.push(line.to_owned()))
+                .expect("events");
+            events
+        });
+        let ack = farm::shutdown(&addr).expect("shutdown");
+        assert!(ack.contains("draining"), "{ack}");
+        // New work is turned away while the queue drains. The exact
+        // refusal depends on timing — SERVE-DRAINING from a live farm, a
+        // connection error from one that already exited — but it must
+        // never be accepted.
+        match farm::submit_job(&addr, "{\"kind\": \"lint\", \"system\": \"ring:9\"}") {
+            Err(e) => {
+                if e.contains("SERVE-") {
+                    assert!(e.contains("SERVE-DRAINING"), "{e}");
+                }
+            }
+            Ok(_) => panic!("draining farm accepted new work"),
+        }
+        // Every queued job still ran to completion.
+        let events = watcher.join().expect("watcher");
+        assert!(
+            events.iter().any(|e| e.contains("\"event\": \"finished\"")),
+            "{events:?}"
+        );
+        let summary = handle.join().expect("farm thread").expect("farm summary");
+        assert!(summary.text.contains("completed 3"), "{}", summary.text);
+    }
+
+    #[test]
+    fn submit_command_parses_inline_specs_and_flags() {
+        let (addr, handle) = boot_farm(1, 8);
+        let out = call_full(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--watch",
+            "{\"kind\": \"lint\", \"system\": \"ring:3\", \"static\": true}",
+        ])
+        .expect("submit");
+        assert!(out.text.contains("\"cache\": \"miss\""), "{}", out.text);
+        assert!(out.text.contains("\"event\": \"queued\""), "{}", out.text);
+        assert!(out.text.contains("\"event\": \"finished\""), "{}", out.text);
+        assert!(out.text.contains("\"system\":\"ring:3\""), "{}", out.text);
+        assert!(!out.failed);
+
+        // A bad spec surfaces the diagnostic code, not a panic.
+        let err = call_full(&["submit", "--addr", &addr, "{\"kind\": \"melt\"}"]).unwrap_err();
+        assert!(err.contains("SERVE-JOB-SPEC"), "{err}");
+
+        let bye = call_full(&["shutdown", "--addr", &addr]).expect("shutdown");
+        assert!(bye.text.contains("draining"), "{}", bye.text);
+        handle.join().expect("farm thread").expect("farm summary");
+
+        // Usage errors are caught client-side before any connection.
+        let err = call_full(&["submit"]).unwrap_err();
+        assert!(err.contains("job spec"), "{err}");
+        let err = call_full(&["serve", "--workers", "0"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
     }
 }

@@ -31,6 +31,10 @@
 //!   topology specs, plus dynamic probe-based checkers (lockset race
 //!   detection, lock-order deadlock analysis, lock discipline, ISA
 //!   conformance) with stable diagnostic codes.
+//! * [`serve`] — the multi-tenant simulation farm: a bounded job queue,
+//!   deterministic strided-partition worker pool, and content-addressed
+//!   artifact store behind a std-only HTTP/1.1 + NDJSON wire protocol
+//!   (`simsym serve` / `simsym submit`).
 //! * [`mp`] — a message-passing substrate and its reduction to Q-systems.
 //! * [`philo`] — the Dining Philosophers case study: the impossibility for
 //!   five philosophers (DP), the six-philosopher symmetric deterministic
@@ -74,6 +78,7 @@ pub use simsym_core as core;
 pub use simsym_graph as graph;
 pub use simsym_mp as mp;
 pub use simsym_philo as philo;
+pub use simsym_serve as serve;
 pub use simsym_vm as vm;
 
 /// Crate version of the facade, for diagnostics.

@@ -53,6 +53,7 @@ fn static_lint_codes_match_the_expected_file() {
         "star:4",
         "table:5",
         "alternating:6",
+        "hypercube:3",
         "board:3x2",
     ] {
         let (codes, _) = static_lint_codes(sys, None);
