@@ -130,6 +130,24 @@ pub mod codes {
     /// A job id referenced by a status/result/cancel request does not
     /// exist on this server.
     pub const SERVE_UNKNOWN_JOB: &str = "SERVE-UNKNOWN-JOB";
+    /// A job exceeded its `deadline_ms` (or the farm-wide default) and
+    /// was cooperatively cancelled at a sweep-job boundary; the partial
+    /// progress is reported, the artifact is not cached.
+    pub const SERVE_JOB_DEADLINE: &str = "SERVE-JOB-DEADLINE";
+    /// A job panicked on a farm worker. The panic is isolated
+    /// (`catch_unwind`): the farm keeps serving, the job gets one
+    /// bounded retry, and a second panic becomes this failed artifact.
+    pub const SERVE_JOB_PANIC: &str = "SERVE-JOB-PANIC";
+    /// The durable job journal (or its artifact store) could not be
+    /// replayed or written safely: a malformed record before the final
+    /// line, a fingerprint mismatch, or an I/O failure. A torn final
+    /// line is *not* corruption — it is the expected signature of a
+    /// crash mid-append and is discarded silently.
+    pub const SERVE_JOURNAL_CORRUPT: &str = "SERVE-JOURNAL-CORRUPT";
+    /// A client connection idled past the socket read/write timeout
+    /// (slowloris guard); the connection was dropped, the farm state is
+    /// untouched.
+    pub const SERVE_CONN_TIMEOUT: &str = "SERVE-CONN-TIMEOUT";
 
     /// Every diagnostic code, in declaration order. The registry-hygiene
     /// test pins this list against DESIGN.md's §5d table in both
@@ -176,6 +194,10 @@ pub mod codes {
         SERVE_QUEUE_FULL,
         SERVE_DRAINING,
         SERVE_UNKNOWN_JOB,
+        SERVE_JOB_DEADLINE,
+        SERVE_JOB_PANIC,
+        SERVE_JOURNAL_CORRUPT,
+        SERVE_CONN_TIMEOUT,
     ];
 }
 

@@ -233,6 +233,23 @@ pub fn shutdown(addr: &str) -> Result<String, String> {
     }
 }
 
+/// Cancels a job: dequeues it while queued, or raises its cooperative
+/// cancellation token while running (the worker stops at the next
+/// sweep-job boundary). Returns the raw acknowledgement document.
+///
+/// # Errors
+///
+/// Connection failures, `SERVE-UNKNOWN-JOB`, and already-terminal jobs
+/// (HTTP 409).
+pub fn cancel_job(addr: &str, job: u64) -> Result<String, String> {
+    let resp = request(addr, "POST", &format!("/jobs/{job}/cancel"), "")?;
+    if resp.status == 200 {
+        Ok(resp.body)
+    } else {
+        Err(error_from(&resp))
+    }
+}
+
 /// Liveness probe; returns the raw health document.
 ///
 /// # Errors

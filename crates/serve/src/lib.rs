@@ -20,22 +20,44 @@
 //! | `POST /jobs` (body = job spec) | `{"job": N, "cache": "hit"\|"miss", ...}` |
 //! | `GET /jobs/N/events` | NDJSON event stream, closed at the terminal event |
 //! | `GET /jobs/N/result` | the final document (blocks until the job is done) |
-//! | `POST /jobs/N/cancel` | dequeues a still-queued job |
-//! | `GET /healthz` | liveness + queue depth |
+//! | `POST /jobs/N/cancel` | dequeues a queued job; interrupts a running one at the next sweep-job boundary |
+//! | `GET /healthz` | liveness + saturation: queue depth, in-flight, workers, uptime |
 //! | `POST /shutdown` | drain: finish queued + in-flight, reject new work |
 //!
 //! Submission failures carry the `SERVE-*` diagnostic codes registered
 //! in [`simsym_check::diag::codes`]: `SERVE-JOB-SPEC` (malformed spec),
-//! `SERVE-QUEUE-FULL` (bounded queue at capacity), `SERVE-DRAINING`
-//! (shutdown in progress), `SERVE-UNKNOWN-JOB` (bad job id).
+//! `SERVE-QUEUE-FULL` (bounded queue at capacity, shed with
+//! `Retry-After`), `SERVE-DRAINING` (shutdown in progress),
+//! `SERVE-UNKNOWN-JOB` (bad job id), `SERVE-JOB-DEADLINE` (job abandoned
+//! at a sweep-job boundary by its `deadline_ms`), `SERVE-JOB-PANIC`
+//! (job panicked on both its run and its one bounded retry),
+//! `SERVE-CONN-TIMEOUT` (slowloris guard), `SERVE-JOURNAL-CORRUPT`
+//! (unrecoverable `--state-dir` journal).
+//!
+//! ## Crash safety
+//!
+//! With `--state-dir` the farm is crash-safe: every lifecycle event is
+//! written ahead to the NDJSON job journal ([`journal`]) and synced
+//! before the client sees an acknowledgement, and artifacts are spilled
+//! to a content-addressed on-disk store before their `finish` record is
+//! logged. After `kill -9`, restarting on the same state dir re-queues
+//! every acknowledged-but-unfinished job (safe to re-run because every
+//! job kind is deterministic) and serves finished artifacts from disk,
+//! byte-identical to the pre-crash run.
 
 use simsym_check::diag::codes;
+use simsym_vm::engine::sweep::{self, StopSignal};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 pub mod client;
+pub mod journal;
 pub mod spec;
 
 /// What a job run produced: the final document in one of the existing
@@ -91,6 +113,15 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions past it get `SERVE-QUEUE-FULL`.
     pub queue_capacity: usize,
+    /// Durable state directory (job journal + artifact store). `None`
+    /// runs the PR-9 volatile farm.
+    pub state_dir: Option<String>,
+    /// Farm-wide default deadline applied to jobs whose spec carries no
+    /// `deadline_ms` of its own.
+    pub default_deadline_ms: Option<u64>,
+    /// Socket read/write timeout for client connections (slowloris
+    /// guard); 0 disables the guard.
+    pub conn_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +130,9 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:9119".to_owned(),
             workers: 2,
             queue_capacity: 64,
+            state_dir: None,
+            default_deadline_ms: None,
+            conn_timeout_ms: 10_000,
         }
     }
 }
@@ -112,6 +146,17 @@ pub struct ServeSummary {
     pub cache_hits: u64,
     /// Submissions rejected (bad spec, queue full, draining).
     pub rejected: u64,
+    /// Jobs re-queued after a first-run panic (bounded retry).
+    pub retried: u64,
+    /// Jobs that panicked on the retry too and were reported with
+    /// `SERVE-JOB-PANIC`.
+    pub panicked: u64,
+    /// Jobs abandoned at a sweep-job boundary by `deadline_ms`.
+    pub deadlines: u64,
+    /// Jobs cancelled (queued or in-flight).
+    pub cancelled: u64,
+    /// Unfinished jobs re-queued from the journal at startup.
+    pub recovered: u64,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -130,6 +175,29 @@ struct Job {
     document: Option<Arc<JobOutput>>,
     /// Pre-rendered NDJSON event lines; watchers replay from an index.
     events: Vec<String>,
+    /// Effective per-job deadline (spec `deadline_ms`, else the farm
+    /// default), measured from job start.
+    deadline_ms: Option<u64>,
+    /// Cooperative cancellation token, observed at sweep-job boundaries.
+    cancel: Arc<AtomicBool>,
+    /// Runs consumed so far: a first-run panic re-queues once.
+    attempts: u32,
+}
+
+impl Job {
+    fn new(argv: Vec<String>, fingerprint: u64, deadline_ms: Option<u64>) -> Job {
+        Job {
+            argv,
+            fingerprint,
+            state: JobState::Queued,
+            cache_hit: false,
+            document: None,
+            events: Vec::new(),
+            deadline_ms,
+            cancel: Arc::new(AtomicBool::new(false)),
+            attempts: 0,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -140,9 +208,13 @@ struct FarmState {
     /// bytes, so concurrent duplicate submissions are harmless.
     store: HashMap<u64, Arc<JobOutput>>,
     next_id: u64,
+    in_flight: u64,
     draining: bool,
     dispatcher_done: bool,
     summary: ServeSummary,
+    /// The write-ahead job journal when the farm runs with `--state-dir`.
+    journal: Option<journal::JobJournal>,
+    state_dir: Option<PathBuf>,
 }
 
 /// Shared farm state: one mutex, one condvar. Every state change that a
@@ -151,13 +223,22 @@ struct FarmState {
 struct Farm {
     state: Mutex<FarmState>,
     cv: Condvar,
+    config: ServeConfig,
+    started: Instant,
 }
 
 impl Farm {
-    fn new() -> Farm {
+    #[cfg(test)]
+    fn new(config: ServeConfig) -> Farm {
+        Farm::with_state(config, FarmState::default())
+    }
+
+    fn with_state(config: ServeConfig, state: FarmState) -> Farm {
         Farm {
-            state: Mutex::new(FarmState::default()),
+            state: Mutex::new(state),
             cv: Condvar::new(),
+            config,
+            started: Instant::now(),
         }
     }
 
@@ -171,10 +252,32 @@ impl Farm {
         }
     }
 
+    /// Appends one record to the job journal (no-op on a volatile
+    /// farm). Journal I/O failures are loud but non-fatal: the farm
+    /// keeps serving and degrades to volatile semantics.
+    fn journal_append(st: &mut FarmState, line: &str) {
+        if let Some(j) = st.journal.as_mut() {
+            if let Err(e) = j.append(line) {
+                eprintln!("simsym serve: journal write failed: {e}");
+            }
+        }
+    }
+
+    /// The fsync boundary: called before any acknowledgement that
+    /// depends on the appended records being durable.
+    fn journal_sync(st: &mut FarmState) {
+        if let Some(j) = st.journal.as_mut() {
+            if let Err(e) = j.sync() {
+                eprintln!("simsym serve: journal sync failed: {e}");
+            }
+        }
+    }
+
     /// Submits a spec. Returns the response body and HTTP status.
-    fn submit(&self, runner_spec: &str, capacity: usize) -> (u16, String) {
-        let argv = match spec::job_argv(runner_spec) {
-            Ok(argv) => argv,
+    fn submit(&self, runner_spec: &str) -> (u16, String) {
+        let capacity = self.config.queue_capacity;
+        let request = match spec::job_request(runner_spec) {
+            Ok(request) => request,
             Err(e) => {
                 self.lock().summary.rejected += 1;
                 return (
@@ -183,6 +286,7 @@ impl Farm {
                 );
             }
         };
+        let spec::JobRequest { argv, deadline_ms } = request;
         let kind = argv[0].clone();
         let fingerprint = job_fingerprint(&argv);
         let mut st = self.lock();
@@ -198,23 +302,29 @@ impl Farm {
         }
         if let Some(artifact) = st.store.get(&fingerprint).cloned() {
             // Cache hit: the job is born Done, no queue entry, no worker.
+            // Journaled as submit+finish so a restart replays it as the
+            // finished job it is.
             let id = st.next_id;
             st.next_id += 1;
             let failed = artifact.failed;
-            st.jobs.insert(
-                id,
-                Job {
-                    argv,
-                    fingerprint,
-                    state: JobState::Done,
-                    cache_hit: true,
-                    document: Some(artifact),
-                    events: vec![
-                        queued_event(id, &kind, fingerprint, "hit"),
-                        finished_event(id, "hit", failed),
-                    ],
-                },
+            let mut job = Job::new(argv, fingerprint, deadline_ms);
+            job.state = JobState::Done;
+            job.cache_hit = true;
+            job.document = Some(artifact);
+            job.events = vec![
+                queued_event(id, &kind, fingerprint, "hit"),
+                finished_event(id, "hit", failed),
+            ];
+            st.jobs.insert(id, job);
+            Farm::journal_append(
+                &mut st,
+                &journal::record::submit(id, fingerprint, runner_spec),
             );
+            Farm::journal_append(
+                &mut st,
+                &journal::record::finish(id, journal::Disposition::Ok { failed }),
+            );
+            Farm::journal_sync(&mut st);
             st.summary.cache_hits += 1;
             self.cv.notify_all();
             return (
@@ -234,17 +344,17 @@ impl Farm {
         }
         let id = st.next_id;
         st.next_id += 1;
-        st.jobs.insert(
-            id,
-            Job {
-                argv,
-                fingerprint,
-                state: JobState::Queued,
-                cache_hit: false,
-                document: None,
-                events: vec![queued_event(id, &kind, fingerprint, "miss")],
-            },
+        let mut job = Job::new(argv, fingerprint, deadline_ms);
+        job.events = vec![queued_event(id, &kind, fingerprint, "miss")];
+        st.jobs.insert(id, job);
+        // Write-ahead: the submit record is durable before the job is
+        // visible to the dispatcher and before the client gets its ack —
+        // an acknowledged job can never be lost to a crash.
+        Farm::journal_append(
+            &mut st,
+            &journal::record::submit(id, fingerprint, runner_spec),
         );
+        Farm::journal_sync(&mut st);
         st.queue.push_back(id);
         self.cv.notify_all();
         (
@@ -267,20 +377,40 @@ impl Farm {
                 st.queue.retain(|&q| q != id);
                 let job = st.jobs.get_mut(&id).expect("job exists");
                 job.state = JobState::Cancelled;
+                Farm::journal_append(&mut st, &journal::record::cancel(id));
+                Farm::journal_sync(&mut st);
                 Farm::event(
                     &mut st,
                     id,
                     format!("{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"cancelled\"}}"),
                 );
+                st.summary.cancelled += 1;
                 self.cv.notify_all();
                 (
                     200,
                     format!("{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"cancelled\": 1}}\n"),
                 )
             }
-            // In-flight and finished jobs are left alone: every job kind
-            // is step-bounded, so "finish at the next step boundary" and
-            // "finish" coincide.
+            // Cooperative: raise the job's cancellation token; the worker
+            // observes it at the next sweep-job boundary, discards partial
+            // work, and finalizes the job as cancelled. Best-effort — a
+            // run already past its last boundary finishes normally.
+            JobState::Running => {
+                let job = st.jobs.get(&id).expect("job exists");
+                job.cancel.store(true, Ordering::Relaxed);
+                Farm::event(
+                    &mut st,
+                    id,
+                    format!("{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"cancel-requested\"}}"),
+                );
+                self.cv.notify_all();
+                (
+                    200,
+                    format!(
+                        "{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"cancelled\": 1, \"state\": \"running\"}}\n"
+                    ),
+                )
+            }
             _ => (
                 409,
                 format!(
@@ -294,20 +424,15 @@ impl Farm {
     /// The dispatcher loop: drain the queue in batches, shard each batch
     /// across `workers` scoped threads via the deterministic
     /// strided-partition sweep, repeat until told to drain and empty.
+    /// Panic-retried jobs land back on the queue and are picked up by a
+    /// later batch, so a drain still runs every acknowledged job.
     fn dispatch(&self, runner: &dyn JobRunner, workers: usize) {
         loop {
-            let batch: Vec<(u64, Vec<String>)> = {
+            let batch: Vec<u64> = {
                 let mut st = self.lock();
                 loop {
                     if !st.queue.is_empty() {
-                        let ids: Vec<u64> = st.queue.drain(..).collect();
-                        break ids
-                            .into_iter()
-                            .map(|id| {
-                                let job = st.jobs.get(&id).expect("queued job exists");
-                                (id, job.argv.clone())
-                            })
-                            .collect();
+                        break st.queue.drain(..).collect();
                     }
                     if st.draining {
                         st.dispatcher_done = true;
@@ -319,45 +444,201 @@ impl Farm {
             };
             // The strided partition assigns batch[i] to worker i mod W;
             // per-job work and artifacts are deterministic regardless.
-            simsym_vm::engine::sweep::run_jobs(workers, &batch, |(id, argv)| {
-                {
-                    let mut st = self.lock();
-                    if let Some(job) = st.jobs.get_mut(id) {
-                        job.state = JobState::Running;
-                    }
-                    Farm::event(
-                        &mut st,
-                        *id,
-                        format!("{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"started\"}}"),
-                    );
-                    self.cv.notify_all();
-                }
-                let output = match runner.run(argv) {
-                    Ok(out) => out,
-                    Err(e) => JobOutput {
-                        document: format!(
-                            "{{\"schema\": \"simsym-serve/v1\", \"error\": {}}}\n",
-                            json_string(&e)
-                        ),
-                        failed: true,
-                    },
-                };
-                let artifact = Arc::new(output);
-                let mut st = self.lock();
-                let fingerprint = st.jobs.get(id).map(|j| j.fingerprint);
-                if let Some(fp) = fingerprint {
-                    st.store.insert(fp, Arc::clone(&artifact));
-                }
-                let failed = artifact.failed;
-                if let Some(job) = st.jobs.get_mut(id) {
-                    job.state = JobState::Done;
-                    job.document = Some(artifact);
-                }
-                Farm::event(&mut st, *id, finished_event(*id, "miss", failed));
-                st.summary.completed += 1;
-                self.cv.notify_all();
-            });
+            sweep::run_jobs(workers, &batch, |id| self.execute_job(runner, *id));
         }
+    }
+
+    /// Runs one job on a worker thread: panic-isolated (`catch_unwind`),
+    /// deadline- and cancel-aware (a [`StopSignal`] scoped around the
+    /// run, observed by any nested [`sweep::run_jobs`] at its job
+    /// boundaries), journaled write-ahead.
+    fn execute_job(&self, runner: &dyn JobRunner, id: u64) {
+        let (argv, cancel, deadline_ms) = {
+            let mut st = self.lock();
+            {
+                let Some(job) = st.jobs.get_mut(&id) else {
+                    return;
+                };
+                // Cancelled between batch drain and execution: skip.
+                if job.state != JobState::Queued {
+                    return;
+                }
+                job.state = JobState::Running;
+            }
+            st.in_flight += 1;
+            Farm::journal_append(&mut st, &journal::record::start(id));
+            Farm::event(
+                &mut st,
+                id,
+                format!(
+                    "{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"started\"}}"
+                ),
+            );
+            self.cv.notify_all();
+            let job = st.jobs.get(&id).expect("running job exists");
+            (
+                job.argv.clone(),
+                Arc::clone(&job.cancel),
+                job.deadline_ms.or(self.config.default_deadline_ms),
+            )
+        };
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let signal = {
+            let cancel = Arc::clone(&cancel);
+            StopSignal::new(move || {
+                cancel.load(Ordering::Relaxed) || deadline.is_some_and(|t| Instant::now() >= t)
+            })
+        };
+        let outcome = sweep::with_stop_signal(Arc::clone(&signal), || {
+            catch_unwind(AssertUnwindSafe(|| runner.run(&argv)))
+        });
+
+        let mut st = self.lock();
+        st.in_flight -= 1;
+        if cancel.load(Ordering::Relaxed) {
+            // Cancelled mid-run: partial work is discarded, nothing is
+            // cached (the job never produced its real artifact).
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.state = JobState::Cancelled;
+            }
+            Farm::journal_append(&mut st, &journal::record::cancel(id));
+            Farm::journal_sync(&mut st);
+            Farm::event(
+                &mut st,
+                id,
+                format!(
+                    "{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"cancelled\", \"jobs_completed\": {}}}",
+                    signal.jobs_completed()
+                ),
+            );
+            st.summary.cancelled += 1;
+        } else if signal.fired() {
+            // Deadline. The run may have returned a partial document or
+            // even panicked on the truncated result — either way the only
+            // honest artifact is the deadline verdict, and it is not
+            // cached (a resubmission deserves a fresh budget).
+            let message = format!(
+                "deadline of {}ms exceeded; stopped at a sweep-job boundary after {} jobs",
+                deadline_ms.unwrap_or(0),
+                signal.jobs_completed()
+            );
+            let artifact = Arc::new(JobOutput {
+                document: error_body(codes::SERVE_JOB_DEADLINE, &message),
+                failed: true,
+            });
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.state = JobState::Done;
+                job.document = Some(artifact);
+            }
+            Farm::journal_append(
+                &mut st,
+                &journal::record::finish(id, journal::Disposition::Deadline),
+            );
+            Farm::journal_sync(&mut st);
+            Farm::event(
+                &mut st,
+                id,
+                format!(
+                    "{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"deadline\", \"code\": \"{}\", \"jobs_completed\": {}}}",
+                    codes::SERVE_JOB_DEADLINE,
+                    signal.jobs_completed()
+                ),
+            );
+            Farm::event(&mut st, id, finished_event(id, "miss", true));
+            st.summary.deadlines += 1;
+        } else {
+            match outcome {
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    let attempts = st.jobs.get(&id).map_or(1, |j| j.attempts);
+                    if attempts == 0 {
+                        // Bounded retry: the job died without an artifact;
+                        // re-queue it once. No journal record — it stays
+                        // unfinished, which is exactly what it is.
+                        if let Some(job) = st.jobs.get_mut(&id) {
+                            job.attempts = 1;
+                            job.state = JobState::Queued;
+                        }
+                        st.queue.push_back(id);
+                        Farm::event(
+                            &mut st,
+                            id,
+                            format!(
+                                "{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"retrying\", \"code\": \"{}\", \"panic\": {}}}",
+                                codes::SERVE_JOB_PANIC,
+                                json_string(&message)
+                            ),
+                        );
+                        st.summary.retried += 1;
+                    } else {
+                        let artifact = Arc::new(JobOutput {
+                            document: error_body(
+                                codes::SERVE_JOB_PANIC,
+                                &format!("job panicked on its run and its retry: {message}"),
+                            ),
+                            failed: true,
+                        });
+                        if let Some(job) = st.jobs.get_mut(&id) {
+                            job.state = JobState::Done;
+                            job.document = Some(artifact);
+                        }
+                        Farm::journal_append(
+                            &mut st,
+                            &journal::record::finish(id, journal::Disposition::Panic),
+                        );
+                        Farm::journal_sync(&mut st);
+                        Farm::event(
+                            &mut st,
+                            id,
+                            format!(
+                                "{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"panicked\", \"code\": \"{}\"}}",
+                                codes::SERVE_JOB_PANIC
+                            ),
+                        );
+                        Farm::event(&mut st, id, finished_event(id, "miss", true));
+                        st.summary.panicked += 1;
+                    }
+                }
+                Ok(run_result) => {
+                    let output = match run_result {
+                        Ok(out) => out,
+                        Err(e) => JobOutput {
+                            document: format!(
+                                "{{\"schema\": \"simsym-serve/v1\", \"error\": {}}}\n",
+                                json_string(&e)
+                            ),
+                            failed: true,
+                        },
+                    };
+                    let artifact = Arc::new(output);
+                    let fingerprint = st.jobs.get(&id).map(|j| j.fingerprint);
+                    if let Some(fp) = fingerprint {
+                        // Artifact bytes hit the disk store before the
+                        // finish record: a durable `finish ok` always has
+                        // its artifact.
+                        if let Some(dir) = st.state_dir.clone() {
+                            if let Err(e) = journal::write_artifact(&dir, fp, &artifact.document) {
+                                eprintln!("simsym serve: artifact spill failed: {e}");
+                            }
+                        }
+                        st.store.insert(fp, Arc::clone(&artifact));
+                    }
+                    let failed = artifact.failed;
+                    if let Some(job) = st.jobs.get_mut(&id) {
+                        job.state = JobState::Done;
+                        job.document = Some(artifact);
+                    }
+                    Farm::journal_append(
+                        &mut st,
+                        &journal::record::finish(id, journal::Disposition::Ok { failed }),
+                    );
+                    Farm::journal_sync(&mut st);
+                    Farm::event(&mut st, id, finished_event(id, "miss", failed));
+                    st.summary.completed += 1;
+                }
+            }
+        }
+        self.cv.notify_all();
     }
 
     /// Blocks until job `id` reaches a terminal state; returns its
@@ -401,6 +682,14 @@ fn finished_event(id: u64, cache: &str, failed: bool) -> String {
     )
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
 fn error_body(code: &str, message: &str) -> String {
     format!(
         "{{\"schema\": \"simsym-serve/v1\", \"code\": \"{code}\", \"error\": {}}}\n",
@@ -433,14 +722,21 @@ pub struct Server {
     farm: Arc<Farm>,
     runner: Arc<dyn JobRunner>,
     config: ServeConfig,
+    /// (unfinished jobs re-queued, finished artifacts reloaded) from the
+    /// journal at bind time.
+    recovered: (u64, u64),
 }
 
 impl Server {
-    /// Binds the listener (port 0 picks an ephemeral port).
+    /// Binds the listener (port 0 picks an ephemeral port). With a
+    /// `state_dir`, replays the job journal first: finished jobs come
+    /// back with their on-disk artifacts, unfinished jobs are re-queued
+    /// under their original ids.
     ///
     /// # Errors
     ///
-    /// Bind failures, and a zero worker or queue capacity.
+    /// Bind failures, a zero worker or queue capacity, and an
+    /// unrecoverable journal (`SERVE-JOURNAL-CORRUPT`).
     pub fn bind(config: ServeConfig, runner: Arc<dyn JobRunner>) -> Result<Server, String> {
         if config.workers == 0 {
             return Err("--workers must be at least 1".into());
@@ -448,14 +744,33 @@ impl Server {
         if config.queue_capacity == 0 {
             return Err("--queue must be at least 1".into());
         }
+        let mut state = FarmState::default();
+        let mut recovered = (0u64, 0u64);
+        if let Some(dir) = &config.state_dir {
+            let dir = PathBuf::from(dir);
+            let (journal, replayed) = journal::JobJournal::open(&dir)?;
+            recovered = recover_jobs(&mut state, &dir, replayed.jobs);
+            state.next_id = replayed.next_id;
+            state.summary.recovered = recovered.0;
+            state.journal = Some(journal);
+            state.state_dir = Some(dir);
+        }
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
         Ok(Server {
             listener,
-            farm: Arc::new(Farm::new()),
+            farm: Arc::new(Farm::with_state(config.clone(), state)),
             runner,
             config,
+            recovered,
         })
+    }
+
+    /// What bind-time journal replay reconstructed: `(unfinished jobs
+    /// re-queued, finished artifacts reloaded from the store)`.
+    #[must_use]
+    pub fn recovery(&self) -> (u64, u64) {
+        self.recovered
     }
 
     /// The actually bound address (resolves a requested port 0).
@@ -480,6 +795,7 @@ impl Server {
             farm,
             runner,
             config,
+            recovered: _,
         } = self;
         let addr = listener
             .local_addr()
@@ -501,19 +817,99 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            if config.conn_timeout_ms > 0 {
+                // Slowloris guard: a stalled client gets SERVE-CONN-TIMEOUT
+                // instead of wedging a handler thread forever.
+                let t = Duration::from_millis(config.conn_timeout_ms);
+                let _ = stream.set_read_timeout(Some(t));
+                let _ = stream.set_write_timeout(Some(t));
+            }
             let farm = Arc::clone(&farm);
-            let capacity = config.queue_capacity;
             handlers.push(std::thread::spawn(move || {
-                handle_connection(stream, &farm, capacity);
+                handle_connection(stream, &farm);
             }));
         }
         dispatcher.join().map_err(|_| "dispatcher panicked")?;
         for h in handlers {
             let _ = h.join();
         }
-        let summary = farm.lock().summary;
+        // Final fsync boundary before the summary document is emitted:
+        // nothing the farm acknowledged may still be pending in the log.
+        let mut st = farm.lock();
+        Farm::journal_sync(&mut st);
+        let summary = st.summary;
+        drop(st);
         Ok(summary)
     }
+}
+
+/// Rebuilds farm state from replayed journal jobs. Finished `ok` jobs
+/// whose artifact file is missing are demoted to unfinished and re-run —
+/// always safe, because execution is deterministic.
+fn recover_jobs(
+    state: &mut FarmState,
+    dir: &std::path::Path,
+    jobs: Vec<journal::RecoveredJob>,
+) -> (u64, u64) {
+    let mut requeued = 0u64;
+    let mut artifacts = 0u64;
+    let recovered_event = |id: u64| {
+        format!("{{\"schema\": \"simsym-serve/v1\", \"job\": {id}, \"event\": \"recovered\"}}")
+    };
+    for rj in jobs {
+        let kind = rj.argv.first().cloned().unwrap_or_default();
+        let mut job = Job::new(rj.argv, rj.fingerprint, rj.deadline_ms);
+        job.events = vec![
+            queued_event(rj.id, &kind, rj.fingerprint, "miss"),
+            recovered_event(rj.id),
+        ];
+        let finish = |job: &mut Job, document: String, failed: bool| {
+            let artifact = Arc::new(JobOutput { document, failed });
+            job.state = JobState::Done;
+            job.document = Some(artifact);
+            job.events.push(finished_event(rj.id, "miss", failed));
+        };
+        match rj.state {
+            journal::RecoveredState::Finished(journal::Disposition::Ok { failed }) => {
+                if let Some(document) = journal::read_artifact(dir, rj.fingerprint) {
+                    finish(&mut job, document, failed);
+                    let artifact = job.document.clone().expect("just finished");
+                    state.store.insert(rj.fingerprint, artifact);
+                    artifacts += 1;
+                } else {
+                    state.queue.push_back(rj.id);
+                    requeued += 1;
+                }
+            }
+            journal::RecoveredState::Finished(journal::Disposition::Deadline) => {
+                let body = error_body(
+                    codes::SERVE_JOB_DEADLINE,
+                    "recovered from the journal: the job exceeded its deadline before the restart",
+                );
+                finish(&mut job, body, true);
+            }
+            journal::RecoveredState::Finished(journal::Disposition::Panic) => {
+                let body = error_body(
+                    codes::SERVE_JOB_PANIC,
+                    "recovered from the journal: the job panicked before the restart",
+                );
+                finish(&mut job, body, true);
+            }
+            journal::RecoveredState::Cancelled => {
+                job.state = JobState::Cancelled;
+                job.events.push(format!(
+                    "{{\"schema\": \"simsym-serve/v1\", \"job\": {}, \"event\": \"cancelled\"}}",
+                    rj.id
+                ));
+            }
+            journal::RecoveredState::Unfinished => {
+                state.queue.push_back(rj.id);
+                requeued += 1;
+            }
+        }
+        state.jobs.insert(rj.id, job);
+    }
+    (requeued, artifacts)
 }
 
 /// One parsed HTTP request.
@@ -523,17 +919,46 @@ struct Request {
     body: String,
 }
 
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+/// Why reading a request failed: a stalled socket (the slowloris guard
+/// tripping) is answered 408 with its own code, everything else 400.
+enum RequestError {
+    Timeout,
+    Bad(String),
+}
+
+fn io_request_error(e: &std::io::Error) -> RequestError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RequestError::Timeout,
+        _ => RequestError::Bad(e.to_string()),
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let bad = |m: &str| RequestError::Bad(m.to_owned());
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| RequestError::Bad(e.to_string()))?,
+    );
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    reader
+        .read_line(&mut line)
+        .map_err(|e| io_request_error(&e))?;
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_owned();
-    let path = parts.next().ok_or("request line has no path")?.to_owned();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("empty request line"))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line has no path"))?
+        .to_owned();
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        reader.read_line(&mut header).map_err(|e| e.to_string())?;
+        reader
+            .read_line(&mut header)
+            .map_err(|e| io_request_error(&e))?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -543,19 +968,21 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "bad Content-Length".to_owned())?;
+                    .map_err(|_| bad("bad Content-Length"))?;
             }
         }
     }
     if content_length > 1 << 20 {
-        return Err("body too large (1 MiB cap)".into());
+        return Err(bad("body too large (1 MiB cap)"));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| io_request_error(&e))?;
     Ok(Request {
         method,
         path,
-        body: String::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?,
+        body: String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?,
     })
 }
 
@@ -564,12 +991,20 @@ fn write_response(stream: &mut TcpStream, status: u16, extra_headers: &str, body
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         409 => "Conflict",
         503 => "Service Unavailable",
         _ => "Error",
     };
+    // Overload shedding contract: every 503 (queue full, draining)
+    // invites the client back rather than just slamming the door.
+    let retry_after = if status == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}{extra_headers}Connection: close\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(head.as_bytes());
@@ -577,10 +1012,25 @@ fn write_response(stream: &mut TcpStream, status: u16, extra_headers: &str, body
     let _ = stream.flush();
 }
 
-fn handle_connection(mut stream: TcpStream, farm: &Farm, capacity: usize) {
+fn handle_connection(mut stream: TcpStream, farm: &Farm) {
     let request = match read_request(&mut stream) {
         Ok(r) => r,
-        Err(e) => {
+        Err(RequestError::Timeout) => {
+            write_response(
+                &mut stream,
+                408,
+                "",
+                &error_body(
+                    codes::SERVE_CONN_TIMEOUT,
+                    &format!(
+                        "connection stalled past the {}ms socket deadline",
+                        farm.config.conn_timeout_ms
+                    ),
+                ),
+            );
+            return;
+        }
+        Err(RequestError::Bad(e)) => {
             write_response(&mut stream, 400, "", &error_body(codes::SERVE_JOB_SPEC, &e));
             return;
         }
@@ -588,17 +1038,21 @@ fn handle_connection(mut stream: TcpStream, farm: &Farm, capacity: usize) {
     let route = (request.method.as_str(), request.path.as_str());
     match route {
         ("POST", "/jobs") => {
-            let (status, body) = farm.submit(&request.body, capacity);
+            let (status, body) = farm.submit(&request.body);
             write_response(&mut stream, status, "", &body);
         }
         ("GET", "/healthz") => {
             let st = farm.lock();
             let body = format!(
-                "{{\"schema\": \"simsym-serve/v1\", \"status\": \"{}\", \"queued\": {}, \"completed\": {}, \"cache_hits\": {}}}\n",
+                "{{\"schema\": \"simsym-serve/v1\", \"status\": \"{}\", \"queued\": {}, \"in_flight\": {}, \"workers\": {}, \"uptime_ms\": {}, \"completed\": {}, \"cache_hits\": {}, \"recovered\": {}}}\n",
                 if st.draining { "draining" } else { "ok" },
                 st.queue.len(),
+                st.in_flight,
+                farm.config.workers,
+                farm.started.elapsed().as_millis(),
                 st.summary.completed,
-                st.summary.cache_hits
+                st.summary.cache_hits,
+                st.summary.recovered
             );
             drop(st);
             write_response(&mut stream, 200, "", &body);
@@ -607,6 +1061,9 @@ fn handle_connection(mut stream: TcpStream, farm: &Farm, capacity: usize) {
             let body = {
                 let mut st = farm.lock();
                 st.draining = true;
+                // The drain ack is itself a durability point: no job the
+                // farm has acknowledged may still be pending in the log.
+                Farm::journal_sync(&mut st);
                 let body = format!(
                     "{{\"schema\": \"simsym-serve/v1\", \"status\": \"draining\", \"queued\": {}}}\n",
                     st.queue.len()
@@ -755,22 +1212,30 @@ mod tests {
         }
     }
 
+    fn test_config(workers: usize, queue: usize) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_capacity: queue,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn spawn_server(
+        config: ServeConfig,
+        runner: Arc<dyn JobRunner>,
+    ) -> (String, std::thread::JoinHandle<ServeSummary>) {
+        let server = Server::bind(config, runner).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        (addr, handle)
+    }
+
     fn test_server(
         workers: usize,
         queue: usize,
     ) -> (String, std::thread::JoinHandle<ServeSummary>) {
-        let server = Server::bind(
-            ServeConfig {
-                addr: "127.0.0.1:0".into(),
-                workers,
-                queue_capacity: queue,
-            },
-            Arc::new(EchoRunner),
-        )
-        .expect("bind");
-        let addr = server.local_addr();
-        let handle = std::thread::spawn(move || server.run().expect("serve"));
-        (addr, handle)
+        spawn_server(test_config(workers, queue), Arc::new(EchoRunner))
     }
 
     #[test]
@@ -879,8 +1344,8 @@ mod tests {
 
     #[test]
     fn cancel_dequeues_a_queued_job() {
-        let farm = Farm::new();
-        let (status, body) = farm.submit("{\"kind\": \"lint\", \"system\": \"ring:3\"}", 8);
+        let farm = Farm::new(test_config(1, 8));
+        let (status, body) = farm.submit("{\"kind\": \"lint\", \"system\": \"ring:3\"}");
         assert_eq!(status, 200, "{body}");
         let (status, body) = farm.cancel(0);
         assert_eq!(status, 200, "{body}");
@@ -891,5 +1356,280 @@ mod tests {
         let (status, body) = farm.cancel(42);
         assert_eq!(status, 404);
         assert!(body.contains("SERVE-UNKNOWN-JOB"));
+        assert_eq!(farm.lock().summary.cancelled, 1);
+    }
+
+    /// Panics on `panic` jobs, echoes everything else — the fixture for
+    /// panic isolation and the bounded retry.
+    struct PanicRunner;
+    impl JobRunner for PanicRunner {
+        fn run(&self, argv: &[String]) -> Result<JobOutput, String> {
+            if argv[0] == "panic" {
+                panic!("panic fixture: deliberate failure");
+            }
+            EchoRunner.run(argv)
+        }
+    }
+
+    /// Runs a nested deterministic sweep of many short jobs, so ambient
+    /// stop signals (deadline, cancel) get boundaries to fire at.
+    struct SlowRunner;
+    impl JobRunner for SlowRunner {
+        fn run(&self, _argv: &[String]) -> Result<JobOutput, String> {
+            let jobs: Vec<u32> = (0..200).collect();
+            let done = sweep::run_jobs(1, &jobs, |_| {
+                std::thread::sleep(Duration::from_millis(5));
+            });
+            Ok(JobOutput {
+                document: format!("{{\"jobs_done\": {}}}\n", done.len()),
+                failed: false,
+            })
+        }
+    }
+
+    fn state_dir(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("simsym-serve-test-{}-{label}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_retried_once_then_reported() {
+        let (addr, handle) = spawn_server(test_config(2, 8), Arc::new(PanicRunner));
+        let submitted = client::submit_job(&addr, "{\"kind\": \"panic\"}").expect("submit");
+        let result = client::fetch_result(&addr, submitted.job).expect("result");
+        assert!(result.failed);
+        assert!(
+            result.document.contains("SERVE-JOB-PANIC"),
+            "{}",
+            result.document
+        );
+
+        // The farm survived both panics and still runs ordinary work.
+        let ok = client::submit_job(&addr, "{\"kind\": \"lint\", \"system\": \"ring:3\"}")
+            .expect("submit after panic");
+        let ok_result = client::fetch_result(&addr, ok.job).expect("result after panic");
+        assert!(!ok_result.failed);
+
+        let mut events = Vec::new();
+        client::watch_events(&addr, submitted.job, |line| events.push(line.to_owned()))
+            .expect("events");
+        assert!(
+            events.iter().any(|e| e.contains("\"event\": \"retrying\"")),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(|e| e.contains("\"event\": \"panicked\"")),
+            "{events:?}"
+        );
+
+        client::shutdown(&addr).expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.retried, 1);
+        assert_eq!(summary.panicked, 1);
+        assert_eq!(summary.completed, 1);
+    }
+
+    #[test]
+    fn deadline_stops_a_job_at_a_sweep_boundary() {
+        let (addr, handle) = spawn_server(test_config(1, 8), Arc::new(SlowRunner));
+        // 200 nested jobs at 5ms each (~1s) against a 40ms deadline.
+        let submitted = client::submit_job(
+            &addr,
+            "{\"kind\": \"lint\", \"system\": \"ring:3\", \"deadline_ms\": 40}",
+        )
+        .expect("submit");
+        let result = client::fetch_result(&addr, submitted.job).expect("result");
+        assert!(result.failed);
+        assert!(
+            result.document.contains("SERVE-JOB-DEADLINE"),
+            "{}",
+            result.document
+        );
+        // Deadline verdicts are not cached: the same spec re-runs.
+        let again = client::submit_job(
+            &addr,
+            "{\"kind\": \"lint\", \"system\": \"ring:3\", \"deadline_ms\": 40}",
+        )
+        .expect("resubmit");
+        assert_eq!(again.cache, "miss");
+        client::fetch_result(&addr, again.job).expect("second result");
+        client::shutdown(&addr).expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.deadlines, 2);
+        assert_eq!(summary.completed, 0);
+    }
+
+    #[test]
+    fn farm_default_deadline_applies_when_the_spec_has_none() {
+        let mut config = test_config(1, 8);
+        config.default_deadline_ms = Some(40);
+        let (addr, handle) = spawn_server(config, Arc::new(SlowRunner));
+        let submitted = client::submit_job(&addr, "{\"kind\": \"lint\", \"system\": \"ring:3\"}")
+            .expect("submit");
+        let result = client::fetch_result(&addr, submitted.job).expect("result");
+        assert!(
+            result.document.contains("SERVE-JOB-DEADLINE"),
+            "{}",
+            result.document
+        );
+        client::shutdown(&addr).expect("shutdown");
+        assert_eq!(handle.join().expect("server thread").deadlines, 1);
+    }
+
+    #[test]
+    fn cancel_interrupts_a_running_job() {
+        let (addr, handle) = spawn_server(test_config(1, 8), Arc::new(SlowRunner));
+        let submitted = client::submit_job(&addr, "{\"kind\": \"lint\", \"system\": \"ring:3\"}")
+            .expect("submit");
+        // Wait until the worker has actually picked the job up.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let health = client::healthz(&addr).expect("healthz");
+            if health.contains("\"in_flight\": 1") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never started: {health}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let body = client::cancel_job(&addr, submitted.job).expect("cancel");
+        assert!(body.contains("\"cancelled\": 1"), "{body}");
+        assert!(body.contains("\"state\": \"running\""), "{body}");
+        let result = client::fetch_result(&addr, submitted.job).unwrap_err();
+        assert!(result.contains("cancelled"), "{result}");
+        client::shutdown(&addr).expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.cancelled, 1);
+        assert_eq!(summary.completed, 0);
+    }
+
+    #[test]
+    fn journaled_farm_survives_restart_requeues_and_serves_from_disk() {
+        let dir = state_dir("restart");
+        let dir_str = dir.to_string_lossy().into_owned();
+        let mut config = test_config(1, 8);
+        config.state_dir = Some(dir_str);
+        let spec_a = "{\"kind\": \"lint\", \"system\": \"ring:3\"}";
+
+        // Life 1: run one job to completion, drain cleanly.
+        let (addr, handle) = spawn_server(config.clone(), Arc::new(EchoRunner));
+        let a = client::submit_job(&addr, spec_a).expect("submit");
+        let first_doc = client::fetch_result(&addr, a.job).expect("result").document;
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread");
+
+        // The drained journal replays with every job terminal.
+        let bytes = std::fs::read(dir.join(journal::JOURNAL_FILE)).expect("journal");
+        let replayed = journal::replay(&bytes).expect("clean journal");
+        assert!(replayed
+            .jobs
+            .iter()
+            .all(|j| j.state != journal::RecoveredState::Unfinished));
+
+        // Simulate kill -9 mid-flight: a submit+start with no terminal
+        // record, exactly what a crashed farm leaves behind.
+        let spec_b = "{\"kind\": \"lint\", \"system\": \"ring:4\"}";
+        {
+            let (mut j, _) = journal::JobJournal::open(&dir).expect("reopen");
+            let argv = spec::job_argv(spec_b).expect("spec");
+            let id = replayed.next_id;
+            j.append(&journal::record::submit(id, job_fingerprint(&argv), spec_b))
+                .expect("append");
+            j.append(&journal::record::start(id)).expect("append");
+            j.sync().expect("sync");
+        }
+
+        // Life 2: the unfinished job is re-queued and re-run; the
+        // finished one is served byte-identically from the disk store.
+        let server = Server::bind(config, Arc::new(EchoRunner)).expect("rebind");
+        assert_eq!(server.recovery(), (1, 1));
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        let recovered = client::fetch_result(&addr, replayed.next_id).expect("recovered result");
+        assert!(
+            recovered.document.contains("ring:4"),
+            "{}",
+            recovered.document
+        );
+        let hit = client::submit_job(&addr, spec_a).expect("resubmit");
+        assert_eq!(hit.cache, "hit");
+        let cached = client::fetch_result(&addr, hit.job).expect("cached result");
+        assert_eq!(
+            cached.document, first_doc,
+            "byte-identical across the crash"
+        );
+        client::shutdown(&addr).expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.recovered, 1);
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.cache_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_ack_is_durable_before_it_is_sent() {
+        let dir = state_dir("durable-ack");
+        let mut config = test_config(1, 8);
+        config.state_dir = Some(dir.to_string_lossy().into_owned());
+        // Bind only — no dispatcher, so the job can't finish: whatever is
+        // in the journal after submit() returns is the write-ahead state.
+        let server = Server::bind(config, Arc::new(EchoRunner)).expect("bind");
+        let (status, _) = server
+            .farm
+            .submit("{\"kind\": \"lint\", \"system\": \"ring:3\"}");
+        assert_eq!(status, 200);
+        let st = server.farm.lock();
+        assert_eq!(
+            st.journal
+                .as_ref()
+                .expect("journaled farm")
+                .pending_records(),
+            0,
+            "the ack must not outrun the fsync"
+        );
+        drop(st);
+        let bytes = std::fs::read(dir.join(journal::JOURNAL_FILE)).expect("journal");
+        let replayed = journal::replay(&bytes).expect("clean journal");
+        assert_eq!(replayed.jobs.len(), 1);
+        assert_eq!(replayed.jobs[0].state, journal::RecoveredState::Unfinished);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stalled_connection_gets_conn_timeout_not_a_wedged_farm() {
+        let mut config = test_config(1, 8);
+        config.conn_timeout_ms = 100;
+        let (addr, handle) = spawn_server(config, Arc::new(EchoRunner));
+        // A slowloris client: opens the socket, sends half a request
+        // line, stalls.
+        let mut slow = TcpStream::connect(&addr).expect("connect");
+        slow.write_all(b"POST /jo").expect("partial write");
+        let mut response = String::new();
+        slow.read_to_string(&mut response).expect("read 408");
+        assert!(response.contains("408"), "{response}");
+        assert!(response.contains("SERVE-CONN-TIMEOUT"), "{response}");
+        drop(slow);
+        // The farm is unharmed.
+        assert!(client::healthz(&addr)
+            .expect("healthz")
+            .contains("\"status\": \"ok\""));
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn queue_full_and_draining_responses_carry_retry_after() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            write_response(&mut stream, 503, "", "{}");
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        writer.join().expect("writer");
+        assert!(response.contains("Retry-After: 1"), "{response}");
     }
 }

@@ -118,6 +118,7 @@ impl Parser<'_> {
                     Some((_, 'n')) => out.push('\n'),
                     Some((_, 't')) => out.push('\t'),
                     Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'u')) => out.push(self.unicode_escape(i)?),
                     other => {
                         return Err(format!(
                             "unsupported escape at byte {i}: \\{}",
@@ -129,6 +130,25 @@ impl Parser<'_> {
                 None => return Err("unterminated string".to_owned()),
             }
         }
+    }
+
+    /// Decodes a `\uXXXX` escape (after the `u`); `start` is the byte of
+    /// the backslash, for error messages. Surrogates are rejected — the
+    /// journal encoder only ever emits `\u` for C0 control characters,
+    /// and a spec author can write any BMP character literally.
+    fn unicode_escape(&mut self, start: usize) -> Result<char, String> {
+        let mut code: u32 = 0;
+        for _ in 0..4 {
+            let Some((_, c)) = self.chars.next() else {
+                return Err(format!("truncated \\u escape at byte {start}"));
+            };
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit {c:?} in \\u escape at byte {start}"))?;
+            code = code * 16 + digit;
+        }
+        char::from_u32(code)
+            .ok_or_else(|| format!("\\u{code:04x} at byte {start} is not a scalar value"))
     }
 
     fn value(&mut self) -> Result<SpecValue, String> {
@@ -227,8 +247,25 @@ impl Fields {
     }
 }
 
-/// The job kinds the farm accepts, in the order the docs list them.
-pub const JOB_KINDS: &[&str] = &["sweep", "lint", "faults", "soak", "verify"];
+/// The job kinds the farm accepts, in the order the docs list them
+/// (`panic` is a test fixture: it dies by design, proving the farm's
+/// panic isolation end to end).
+pub const JOB_KINDS: &[&str] = &["sweep", "lint", "faults", "soak", "verify", "panic"];
+
+/// A validated job submission: the canonical execution argv plus the
+/// farm-level metadata that must **not** feed the cache key. A deadline
+/// changes when a run is abandoned, never what a completed run computes,
+/// so two specs differing only in `deadline_ms` share one artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Canonical batch-CLI argv (always ends in `--json`); the
+    /// content-addressed store keys on exactly this vector.
+    pub argv: Vec<String>,
+    /// Per-job execution deadline in milliseconds, measured from the
+    /// moment a worker starts the job. `None` defers to the farm-wide
+    /// default (`--default-deadline-ms`), which may also be absent.
+    pub deadline_ms: Option<u64>,
+}
 
 /// Maps a job-spec JSON document to the canonical argv of the equivalent
 /// batch CLI invocation. Field emission order is fixed per kind and
@@ -240,8 +277,24 @@ pub const JOB_KINDS: &[&str] = &["sweep", "lint", "faults", "soak", "verify"];
 /// Malformed JSON, an unknown `kind`, an unknown field, or a type
 /// mismatch — all surfaced to the client as `SERVE-JOB-SPEC`.
 pub fn job_argv(spec_json: &str) -> Result<Vec<String>, String> {
+    job_request(spec_json).map(|r| r.argv)
+}
+
+/// Parses a full job submission: the canonical argv ([`job_argv`]) plus
+/// the farm-level `deadline_ms` field, which every kind accepts and
+/// which is deliberately kept **out** of the argv and the cache key.
+///
+/// # Errors
+///
+/// Everything [`job_argv`] rejects, plus a zero or non-integer
+/// `deadline_ms`.
+pub fn job_request(spec_json: &str) -> Result<JobRequest, String> {
     let mut f = Fields(parse_flat_object(spec_json)?);
     let kind = f.str_req("kind")?;
+    let deadline_ms = match f.uint_opt("deadline_ms")? {
+        Some(0) => return Err("deadline_ms must be at least 1".to_owned()),
+        d => d,
+    };
     let mut argv: Vec<String> = Vec::new();
     let push_opt_u = |argv: &mut Vec<String>, flag: &str, v: Option<u64>| {
         if let Some(n) = v {
@@ -317,6 +370,14 @@ pub fn job_argv(spec_json: &str) -> Result<Vec<String>, String> {
                 argv.push(i);
             }
         }
+        // The panic fixture: a job whose execution panics by design, so
+        // tests and the CI recovery smoke can prove a worker panic never
+        // takes the dispatcher down. `seed` exists only to vary the
+        // fingerprint (distinct jobs, no cache collision).
+        "panic" => {
+            argv.push("panic".into());
+            push_opt_u(&mut argv, "--seed", f.uint_opt("seed")?);
+        }
         other => {
             return Err(format!(
                 "unknown kind {other:?} (have: {})",
@@ -326,7 +387,58 @@ pub fn job_argv(spec_json: &str) -> Result<Vec<String>, String> {
     }
     f.reject_leftovers(&kind)?;
     argv.push("--json".into());
-    Ok(argv)
+    Ok(JobRequest { argv, deadline_ms })
+}
+
+/// Re-serializes a flat spec with `key` set to `value` (replacing an
+/// existing field in place, or appending a new one), in the same
+/// restricted JSON dialect [`parse_flat_object`] accepts. Used by
+/// `simsym submit --deadline-ms`, which injects the deadline into the
+/// spec without asking the user to edit their JSON.
+///
+/// # Errors
+///
+/// Whatever [`parse_flat_object`] rejects about `spec_json`.
+pub fn set_field(spec_json: &str, key: &str, value: SpecValue) -> Result<String, String> {
+    let mut pairs = parse_flat_object(spec_json)?;
+    match pairs.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => pairs.push((key.to_owned(), value)),
+    }
+    let mut out = String::with_capacity(spec_json.len() + key.len() + 16);
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_string(&mut out, k);
+        out.push_str(": ");
+        match v {
+            SpecValue::Str(s) => push_json_string(&mut out, s),
+            SpecValue::Int(n) => out.push_str(&n.to_string()),
+            SpecValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out.push('}');
+    Ok(out)
+}
+
+/// JSON string escaper matching the dialect the parser reads back:
+/// named escapes for the common controls, `\uXXXX` for the rest of C0.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Extracts a field from a flat JSON object, for clients picking a job id
@@ -431,5 +543,61 @@ mod tests {
             Some(SpecValue::Str("hit".into()))
         );
         assert_eq!(flat_field(json, "nope"), None);
+    }
+
+    #[test]
+    fn deadline_ms_rides_outside_the_argv_and_the_cache_key() {
+        let with =
+            job_request("{\"kind\":\"lint\",\"system\":\"ring:3\",\"deadline_ms\":250}").unwrap();
+        let without = job_request("{\"kind\":\"lint\",\"system\":\"ring:3\"}").unwrap();
+        assert_eq!(with.deadline_ms, Some(250));
+        assert_eq!(without.deadline_ms, None);
+        // Same argv → same fingerprint: the deadline is an execution
+        // budget, not part of the job's identity.
+        assert_eq!(with.argv, without.argv);
+        assert!(
+            job_request("{\"kind\":\"lint\",\"system\":\"ring:3\",\"deadline_ms\":0}")
+                .unwrap_err()
+                .contains("at least 1")
+        );
+    }
+
+    #[test]
+    fn panic_fixture_kind_maps_to_the_hidden_command() {
+        assert_eq!(
+            job_argv("{\"kind\":\"panic\"}").unwrap(),
+            ["panic", "--json"]
+        );
+        assert_eq!(
+            job_argv("{\"kind\":\"panic\",\"seed\":7}").unwrap(),
+            ["panic", "--seed", "7", "--json"]
+        );
+    }
+
+    #[test]
+    fn set_field_inserts_or_replaces_and_reserializes() {
+        let spec = "{\"kind\": \"lint\", \"system\": \"ring:3\"}";
+        let with = set_field(spec, "deadline_ms", SpecValue::Int(40)).unwrap();
+        assert_eq!(job_request(&with).unwrap().deadline_ms, Some(40), "{with}");
+        let bumped = set_field(&with, "deadline_ms", SpecValue::Int(90)).unwrap();
+        assert_eq!(job_request(&bumped).unwrap().deadline_ms, Some(90));
+        assert!(set_field("nope", "k", SpecValue::Int(1)).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse_and_reserialize() {
+        let pairs = parse_flat_object("{\"a\": \"tab\\u0009end\\u00e9\"}").unwrap();
+        assert_eq!(pairs[0].1, SpecValue::Str("tab\tend\u{e9}".into()));
+        assert!(parse_flat_object("{\"a\": \"\\ud800\"}")
+            .unwrap_err()
+            .contains("not a scalar value"));
+        assert!(parse_flat_object("{\"a\": \"\\u12\"}").is_err());
+        // push_json_string escapes C0 controls so journal records stay
+        // single-line and re-parseable.
+        let mut out = String::new();
+        push_json_string(&mut out, "a\nb\u{1}c");
+        assert_eq!(out, "\"a\\nb\\u0001c\"");
+        let back = parse_flat_object(&format!("{{\"k\": {out}}}")).unwrap();
+        assert_eq!(back[0].1, SpecValue::Str("a\nb\u{1}c".into()));
     }
 }

@@ -12,7 +12,100 @@
 use crate::engine::{self, stop, System};
 use crate::{BoundedFairRandom, RandomFair, RoundRobin, ScheduleKind, Scheduler};
 use simsym_graph::ProcId;
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cooperative stop request observed by [`run_jobs`] **between** jobs.
+///
+/// Long-running fan-outs (a farm job's sweep, a soak's seed grid) have a
+/// natural preemption point: the boundary between two deterministic
+/// jobs. A `StopSignal` carries an arbitrary `should_stop` predicate —
+/// a cancellation flag, a wall-clock deadline, or both — that
+/// [`run_jobs`] evaluates before starting each job. Once the predicate
+/// first returns `true` the signal latches as [fired](StopSignal::fired)
+/// and the remaining jobs are skipped; jobs already running finish
+/// normally (they are atomic as far as the sweep is concerned).
+///
+/// The signal is installed for a dynamic scope with
+/// [`with_stop_signal`]: every `run_jobs`/[`sweep_jobs`] call made from
+/// inside the closure (including from the scoped worker threads those
+/// calls spawn) observes it. The completed-job counter
+/// ([`StopSignal::jobs_completed`]) gives the partial-progress number a
+/// supervisor can report for an abandoned run.
+pub struct StopSignal {
+    should_stop: Box<dyn Fn() -> bool + Send + Sync>,
+    fired: AtomicBool,
+    jobs_done: AtomicU64,
+}
+
+impl StopSignal {
+    /// A signal driven by `should_stop`. The predicate must be cheap —
+    /// it runs once per sweep job — and is expected to be monotone
+    /// (once true, stays true); the latch makes the sweep behave as if
+    /// it were even when it is not.
+    pub fn new(should_stop: impl Fn() -> bool + Send + Sync + 'static) -> Arc<StopSignal> {
+        Arc::new(StopSignal {
+            should_stop: Box::new(should_stop),
+            fired: AtomicBool::new(false),
+            jobs_done: AtomicU64::new(0),
+        })
+    }
+
+    /// Evaluates the predicate, latching the fired flag on the first
+    /// `true`. [`run_jobs`] calls this before every job.
+    pub fn should_stop(&self) -> bool {
+        if self.fired.load(Ordering::Relaxed) {
+            return true;
+        }
+        if (self.should_stop)() {
+            self.fired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the predicate ever returned `true` at a job boundary — a
+    /// run that finished all its jobs without observing the predicate
+    /// never fires, even if the predicate would be true now.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed under this signal across every `run_jobs` call in
+    /// its scope — the partial-progress count for an abandoned run.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_done.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    static CURRENT_STOP: RefCell<Option<Arc<StopSignal>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `signal` installed as the ambient stop signal for every
+/// [`run_jobs`] call it makes on this thread (and, transitively, on the
+/// scoped worker threads those calls spawn). The previous signal is
+/// restored on exit, including on unwind, so a panicking job cannot leak
+/// its signal into an unrelated run.
+pub fn with_stop_signal<R>(signal: Arc<StopSignal>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<StopSignal>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_STOP.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = CURRENT_STOP.with(|c| c.borrow_mut().replace(signal));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The stop signal installed on the current thread, if any.
+#[must_use]
+pub fn current_stop_signal() -> Option<Arc<StopSignal>> {
+    CURRENT_STOP.with(|c| c.borrow().clone())
+}
 
 /// A scheduler family a sweep can instantiate per seed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -230,17 +323,38 @@ where
 /// results in **input order** regardless of `threads`. [`sweep_jobs`] is
 /// the `(kind, seed)` instantiation; the CLI's `verify` fan-out uses it
 /// directly with reduction-mode jobs.
+///
+/// When a [`StopSignal`] is installed (see [`with_stop_signal`]) it is
+/// evaluated before each job; once it fires, the remaining jobs are
+/// skipped and the result list contains only the jobs that completed
+/// (still in input order). Callers that never install a signal get the
+/// full list, exactly as before.
 pub fn run_jobs<T, R, J>(threads: usize, jobs: &[T], job: J) -> Vec<R>
 where
     T: Sync,
     R: Send,
     J: Fn(&T) -> R + Sync,
 {
-    let run_job = |item: &T| -> R { job(item) };
+    let signal = current_stop_signal();
+    let run_job = |item: &T| -> R {
+        let out = job(item);
+        if let Some(s) = &signal {
+            s.jobs_done.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    };
+    let stop_now = || signal.as_ref().is_some_and(|s| s.should_stop());
 
     let threads = effective_threads(threads).min(jobs.len().max(1));
     let outcomes = if threads <= 1 {
-        jobs.iter().map(run_job).collect()
+        let mut out = Vec::with_capacity(jobs.len());
+        for item in jobs {
+            if stop_now() {
+                break;
+            }
+            out.push(run_job(item));
+        }
+        out
     } else {
         // Strided partition: worker t takes jobs t, t+T, t+2T, … and
         // returns them tagged with their global index, so merging restores
@@ -250,13 +364,16 @@ where
                 .map(|t| {
                     let jobs = &jobs;
                     let run_job = &run_job;
+                    let stop_now = &stop_now;
                     scope.spawn(move || {
-                        jobs.iter()
-                            .enumerate()
-                            .skip(t)
-                            .step_by(threads)
-                            .map(|(i, job)| (i, run_job(job)))
-                            .collect::<Vec<_>>()
+                        let mut out = Vec::new();
+                        for (i, job) in jobs.iter().enumerate().skip(t).step_by(threads) {
+                            if stop_now() {
+                                break;
+                            }
+                            out.push((i, run_job(job)));
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -424,6 +541,61 @@ mod tests {
         // More threads than jobs degrades gracefully.
         assert_eq!(run_jobs(16, &jobs[..3], |&x| x + 1), vec![1, 2, 3]);
         assert_eq!(run_jobs(4, &[] as &[u64], |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn stop_signal_skips_remaining_jobs_at_the_boundary() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        let jobs: Vec<u64> = (0..40).collect();
+        for threads in [1, 4] {
+            // Fires after 5 completed jobs; the sweep must stop at the
+            // next boundary, so strictly fewer than 40 results come back,
+            // in input order, and the signal latches as fired.
+            let done = Arc::new(Counter::new(0));
+            let done_probe = Arc::clone(&done);
+            let signal = StopSignal::new(move || done_probe.load(Ordering::Relaxed) >= 5);
+            let results = with_stop_signal(Arc::clone(&signal), || {
+                run_jobs(threads, &jobs, |&x| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                    x * 2
+                })
+            });
+            assert!(signal.fired());
+            assert!(
+                results.len() < jobs.len(),
+                "threads={threads}: {} results",
+                results.len()
+            );
+            assert_eq!(signal.jobs_completed(), results.len() as u64);
+            let mut sorted = results.clone();
+            sorted.sort_unstable();
+            assert_eq!(results, sorted, "input order must be preserved");
+        }
+    }
+
+    #[test]
+    fn stop_signal_that_never_fires_changes_nothing() {
+        let jobs: Vec<u64> = (0..12).collect();
+        let signal = StopSignal::new(|| false);
+        let results = with_stop_signal(Arc::clone(&signal), || run_jobs(3, &jobs, |&x| x + 1));
+        assert_eq!(results, (1..=12).collect::<Vec<_>>());
+        assert!(!signal.fired());
+        assert_eq!(signal.jobs_completed(), 12);
+        // Outside the scope the ambient signal is gone again.
+        assert!(current_stop_signal().is_none());
+    }
+
+    #[test]
+    fn stop_signal_scope_is_restored_on_unwind() {
+        let signal = StopSignal::new(|| true);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_stop_signal(Arc::clone(&signal), || panic!("job died"))
+        }));
+        assert!(unwound.is_err());
+        assert!(
+            current_stop_signal().is_none(),
+            "a panicking scope must not leak its signal"
+        );
     }
 
     /// Regression: round-robin runs used to be recorded as `n`-bounded

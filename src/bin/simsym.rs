@@ -77,7 +77,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym analyze --trace FILE\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--static] [--json] [--dot]\n  simsym verify --family <ring|table|alternating|hypercube> [--procs N]\n              [--program NAME] [--reduce none|quotient|por|both] [--depth N]\n              [--states N] [--json] [--interference probe|static|both]\n  simsym faults --family <ring|table|alternating|hypercube>\n                --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--journal] [--json]\n  simsym soak --family <ring|table|alternating|hypercube> [--budget N] [--seed N]\n              [--steps N] [--procs N] [--journal] [--repro-out FILE] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n  simsym serve [--addr HOST:PORT] [--workers N] [--queue N]\n  simsym submit [--addr HOST:PORT] [--watch] <job.json | ->\n  simsym shutdown [--addr HOST:PORT]\n\nverify explores the family's selection machine exhaustively (depth-\nand state-bounded DFS over undoable steps) under a pluggable\nstate-space reduction: quotient canonicalizes states modulo the\nautomorphism group Aut(N, state0), por prunes commuting interleavings\nwith persistent sets, both composes the two, none is the identity\noracle. The requested mode and the identity baseline run under the\nsame budgets and are cross-checked; the report carries canonical state\ncounts, peak visited-store bytes, and the reduction factor (x100 in\nJSON). A reachable double selection (DYN-EXPLORE-UNIQ), a surfaced\nmachine-model violation, or a reducer that diverges from the oracle\n(DYN-EXPLORE-DIVERGED) exits nonzero; an exhausted search is certified\nup to depth d modulo Aut(N) (DYN-EXPLORE-CERTIFIED). --program swaps\nthe generated selection program for a seeded-defect fixture (grab is\nthe naive grab-your-fork strawman that double-selects).\n--interference static drives the POR modes from the program's declared\nstatic footprints (may-touch sets from its ProgramSpec) instead of\none-step probes; both runs the exploration once per source and\ncross-checks every reduced run against the identity oracle.\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical. With --journal\n(crash plan only) every processor — the leader included — crashes and\nreboots from a stable-storage journal, and the checker runs strict:\nany selection lost across a reboot is a DYN-RECOV-STAB error.\n\nsoak is the budgeted chaos loop: it fans randomized crash-reset plans\nacross schedules and seeds (strict checker) until the budget is spent\nor a violation is found. A violation is delta-debug shrunk — crash\nevents dropped, the schedule truncated and minimized, the processor\ncount reduced — while replaying to the identical verdict, and emitted\nas a replayable simsym-repro/v1 JSON artifact (--repro-out FILE).\nWithout --journal the selection decision lives in volatile memory and\nsoak finds the Stability violation by construction; with --journal the\nsame chaos stays clean. The exit code stays zero either way (the JSON\nreports \"violation_found\"); only replay divergence exits nonzero.\n\nanalyze --trace FILE replays a simsym-repro/v1 artifact verbatim (the\nschedule runs through a fixed-sequence scheduler) and exits nonzero if\nthe recorded verdict does not reproduce (SOAK-REPLAY-DIVERGED) or the\nembedded fault plan is ill-formed (SOAK-PLAN).\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family, naive-vs-hopcroft labeling time on marked rings,\nand the fault-layer and journal overhead rows.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace (with a system) runs the Q label learner under a seeded\nrandom-fair schedule and emits a replayable JSON schedule trace\n(verified by re-execution) on stdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy | grab | uninit);\n--dot prints the lock-order graph in Graphviz syntax. --static skips\nthe dynamic pass entirely and instead runs the dataflow analyses over\nthe program's declared spec (uninit reads, dead phases, symmetry\nbreaks, static lock-order cycles) with zero VM steps executed. Exits\nnonzero on error-severity findings.\n\nserve runs the multi-tenant simulation farm: a bounded job queue over\nTCP (HTTP/1.1, newline-delimited JSON events) accepting sweep, lint,\nfaults, soak, and verify job specs. Jobs are sharded across a worker\npool by the deterministic strided-partition sweep, so results are\nbyte-identical for any --workers count and identical to the batch CLI.\nCompleted artifacts land in a content-addressed store keyed by the\njob's canonical argv; resubmitting the same job reports a cache hit\nand returns the stored document without recomputation. POST /shutdown\ndrains gracefully: queued and in-flight jobs finish, new submissions\nare rejected with SERVE-DRAINING. submit posts one job spec (a JSON\nobject, e.g. {\"kind\":\"verify\",\"family\":\"ring\"}) and prints the\nresult document; --watch streams the job's progress events first.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | hypercube:D | board:PxV |\n         @spec-file.sysg".to_owned()
+    "usage:\n  simsym list\n  simsym analyze <system> [--mark p0,p1,...] [--trace [--seed N] [--steps N]]\n  simsym analyze --trace FILE\n  simsym elect <system> [--mark p0,...]\n  simsym dine <n> <greedy|alternating|chandy-misra|lehmann-rabin> [steps]\n  simsym report <system> [--mark p0,...]\n  simsym dot <system> [--mark p0,...]\n  simsym lint <system> [--mark p0,...] [--program NAME] [--seed N]\n              [--steps N] [--sweep] [--static] [--json] [--dot]\n  simsym verify --family <ring|table|alternating|hypercube> [--procs N]\n              [--program NAME] [--reduce none|quotient|por|both] [--depth N]\n              [--states N] [--json] [--interference probe|static|both]\n  simsym faults --family <ring|table|alternating|hypercube>\n                --plan <crash|lossy|starve>\n                [--seed N] [--sweep M] [--steps N] [--journal] [--json]\n  simsym soak --family <ring|table|alternating|hypercube> [--budget N] [--seed N]\n              [--steps N] [--procs N] [--journal] [--repro-out FILE] [--json]\n  simsym bench [--json] [--quick] [--against FILE]\n  simsym serve [--addr HOST:PORT] [--workers N] [--queue N]\n              [--state-dir DIR] [--default-deadline-ms N]\n  simsym submit [--addr HOST:PORT] [--watch] [--deadline-ms N] <job.json | ->\n  simsym cancel [--addr HOST:PORT] JOB\n  simsym shutdown [--addr HOST:PORT]\n\nverify explores the family's selection machine exhaustively (depth-\nand state-bounded DFS over undoable steps) under a pluggable\nstate-space reduction: quotient canonicalizes states modulo the\nautomorphism group Aut(N, state0), por prunes commuting interleavings\nwith persistent sets, both composes the two, none is the identity\noracle. The requested mode and the identity baseline run under the\nsame budgets and are cross-checked; the report carries canonical state\ncounts, peak visited-store bytes, and the reduction factor (x100 in\nJSON). A reachable double selection (DYN-EXPLORE-UNIQ), a surfaced\nmachine-model violation, or a reducer that diverges from the oracle\n(DYN-EXPLORE-DIVERGED) exits nonzero; an exhausted search is certified\nup to depth d modulo Aut(N) (DYN-EXPLORE-CERTIFIED). --program swaps\nthe generated selection program for a seeded-defect fixture (grab is\nthe naive grab-your-fork strawman that double-selects).\n--interference static drives the POR modes from the program's declared\nstatic footprints (may-touch sets from its ProgramSpec) instead of\none-step probes; both runs the exploration once per source and\ncross-checks every reduced run against the identity oracle.\n\nfaults runs a seeded fault-injection sweep over one system family:\n--plan crash wraps the Q selection program in deterministic\ncrash/recovery faults (the marked leader is protected, losers crash\nand may recover with or without a state reset); --plan lossy runs\nChang-Roberts election on a unidirectional message ring whose channels\ndrop, duplicate, and reorder; --plan starve drives the k-bounded-fair\nstarvation adversary against the leader (k grows with the seed).\nEvery run is checked for Uniqueness and Stability under faults and\nthe sweep exits nonzero on error-severity findings. --sweep M fans\neach plan across M consecutive seeds on the deterministic schedule\nsweep, so identical invocations are byte-identical. With --journal\n(crash plan only) every processor — the leader included — crashes and\nreboots from a stable-storage journal, and the checker runs strict:\nany selection lost across a reboot is a DYN-RECOV-STAB error.\n\nsoak is the budgeted chaos loop: it fans randomized crash-reset plans\nacross schedules and seeds (strict checker) until the budget is spent\nor a violation is found. A violation is delta-debug shrunk — crash\nevents dropped, the schedule truncated and minimized, the processor\ncount reduced — while replaying to the identical verdict, and emitted\nas a replayable simsym-repro/v1 JSON artifact (--repro-out FILE).\nWithout --journal the selection decision lives in volatile memory and\nsoak finds the Stability violation by construction; with --journal the\nsame chaos stays clean. The exit code stays zero either way (the JSON\nreports \"violation_found\"); only replay divergence exits nonzero.\n\nanalyze --trace FILE replays a simsym-repro/v1 artifact verbatim (the\nschedule runs through a fixed-sequence scheduler) and exits nonzero if\nthe recorded verdict does not reproduce (SOAK-REPLAY-DIVERGED) or the\nembedded fault plan is ill-formed (SOAK-PLAN).\n\nbench runs the deterministic perf micro-suite: round-robin steps/second\nper built-in family, naive-vs-hopcroft labeling time on marked rings,\nand the fault-layer and journal overhead rows.\n--json emits the BENCH_pr3.json document; --quick shrinks the step\ncounts for CI smoke runs; --against FILE checks that the emitted JSON\nhas the same schema (keys and labels, numbers ignored) as FILE and\nexits nonzero on drift.\n\n--trace (with a system) runs the Q label learner under a seeded\nrandom-fair schedule and emits a replayable JSON schedule trace\n(verified by re-execution) on stdout; metrics go to stderr.\n\nlint runs static checks (spec/graph/ISA/labeling) and then the dynamic\ncheckers (lockset races, lock-order deadlock cycles, lock discipline, ISA\nconformance) over one seeded run — or a deterministic schedule sweep with\n--sweep. --program swaps the default Q label learner for a seeded-defect\nfixture (racy | fixed-order | isa-cheater | greedy | grab | uninit);\n--dot prints the lock-order graph in Graphviz syntax. --static skips\nthe dynamic pass entirely and instead runs the dataflow analyses over\nthe program's declared spec (uninit reads, dead phases, symmetry\nbreaks, static lock-order cycles) with zero VM steps executed. Exits\nnonzero on error-severity findings.\n\nserve runs the multi-tenant simulation farm: a bounded job queue over\nTCP (HTTP/1.1, newline-delimited JSON events) accepting sweep, lint,\nfaults, soak, and verify job specs. Jobs are sharded across a worker\npool by the deterministic strided-partition sweep, so results are\nbyte-identical for any --workers count and identical to the batch CLI.\nCompleted artifacts land in a content-addressed store keyed by the\njob's canonical argv; resubmitting the same job reports a cache hit\nand returns the stored document without recomputation. POST /shutdown\ndrains gracefully: queued and in-flight jobs finish, new submissions\nare rejected with SERVE-DRAINING. With --state-dir the farm is\ncrash-safe: every submit/start/finish/cancel is written ahead to an\nNDJSON job journal (synced before the ack) and artifacts spill to an\non-disk store, so after kill -9 a restart re-queues unfinished jobs\nand serves finished ones byte-identically from disk. deadline_ms in a\nspec (or --default-deadline-ms farm-wide) bounds a job's execution:\nthe worker stops at the next sweep-job boundary and reports\nSERVE-JOB-DEADLINE. A panicking job is caught (SERVE-JOB-PANIC),\nretried once, and cannot take the dispatcher down. submit posts one\njob spec (a JSON object, e.g. {\"kind\":\"verify\",\"family\":\"ring\"})\nand prints the result document; --watch streams the job's progress\nevents first; --deadline-ms injects the spec's deadline_ms field.\ncancel dequeues a queued job or interrupts a running one at its next\nsweep-job boundary.\n\nsystems: figure1 | figure2 | figure3 | ring:N | marked-ring:N | line:N |\n         star:N | table:N | alternating:N | hypercube:D | board:PxV |\n         @spec-file.sysg".to_owned()
 }
 
 fn dispatch(args: &[String]) -> Result<CmdOut, String> {
@@ -121,7 +121,9 @@ fn dispatch(args: &[String]) -> Result<CmdOut, String> {
         Some("bench") => bench(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("submit") => submit(&args[1..]),
+        Some("cancel") => cancel(&args[1..]),
         Some("shutdown") => shutdown(&args[1..]),
+        Some("panic") => panic_fixture(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_owned()),
     }
@@ -2805,14 +2807,17 @@ fn parse_count(flag: &str, value: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("{flag} needs a positive integer (got {value:?})"))
 }
 
-/// `simsym serve [--addr HOST:PORT] [--workers N] [--queue N]` — runs
-/// the farm until a client posts `/shutdown`, then prints the lifetime
-/// summary. The banner goes to stderr so stdout stays a clean document
-/// channel.
+/// `simsym serve [--addr HOST:PORT] [--workers N] [--queue N]
+/// [--state-dir DIR] [--default-deadline-ms N]` — runs the farm until a
+/// client posts `/shutdown`, then prints the lifetime summary. The
+/// banner (and the journal-recovery report) goes to stderr so stdout
+/// stays a clean document channel.
 fn serve(args: &[String]) -> Result<CmdOut, String> {
     let (addr, rest) = extract_flag_value(args, "--addr")?;
     let (workers, rest) = extract_flag_value(&rest, "--workers")?;
     let (queue, rest) = extract_flag_value(&rest, "--queue")?;
+    let (state_dir, rest) = extract_flag_value(&rest, "--state-dir")?;
+    let (deadline, rest) = extract_flag_value(&rest, "--default-deadline-ms")?;
     if let Some(extra) = rest.first() {
         return Err(format!("serve does not take {extra:?}"));
     }
@@ -2826,7 +2831,12 @@ fn serve(args: &[String]) -> Result<CmdOut, String> {
     if let Some(q) = queue {
         config.queue_capacity = parse_count("--queue", &q)?;
     }
+    config.state_dir = state_dir;
+    if let Some(d) = deadline {
+        config.default_deadline_ms = Some(parse_count("--default-deadline-ms", &d)? as u64);
+    }
     let workers = config.workers;
+    let journaled = config.state_dir.is_some();
     let server = Server::bind(config, Arc::new(DispatchRunner))?;
     eprintln!(
         "simsym serve: listening on {} ({} worker{}); POST /shutdown to drain",
@@ -2834,18 +2844,35 @@ fn serve(args: &[String]) -> Result<CmdOut, String> {
         workers,
         if workers == 1 { "" } else { "s" }
     );
+    if journaled {
+        let (requeued, artifacts) = server.recovery();
+        eprintln!(
+            "simsym serve: journal replayed: recovered {artifacts} finished artifact(s), requeued {requeued} unfinished job(s)"
+        );
+    }
     let summary = server.run()?;
     ok(format!(
-        "{{\"schema\": \"simsym-serve/v1\", \"completed\": {}, \"cache_hits\": {}, \"rejected\": {}}}\n",
-        summary.completed, summary.cache_hits, summary.rejected
+        "{{\"schema\": \"simsym-serve/v1\", \"completed\": {}, \"cache_hits\": {}, \"rejected\": {}, \"retried\": {}, \"panicked\": {}, \"deadlines\": {}, \"cancelled\": {}, \"recovered\": {}}}\n",
+        summary.completed,
+        summary.cache_hits,
+        summary.rejected,
+        summary.retried,
+        summary.panicked,
+        summary.deadlines,
+        summary.cancelled,
+        summary.recovered
     ))
 }
 
-/// `simsym submit [--addr HOST:PORT] [--watch] <job.json | - | {...}>` —
-/// posts one job spec, optionally streams its NDJSON events, and prints
-/// the final document. Exits nonzero when the job's run failed.
+/// `simsym submit [--addr HOST:PORT] [--watch] [--deadline-ms N]
+/// <job.json | - | {...}>` — posts one job spec, optionally streams its
+/// NDJSON events, and prints the final document. `--deadline-ms` is
+/// injected into the spec's `deadline_ms` field (an execution budget
+/// that stays out of the job's cache key). Exits nonzero when the
+/// job's run failed.
 fn submit(args: &[String]) -> Result<CmdOut, String> {
     let (addr, rest) = extract_flag_value(args, "--addr")?;
+    let (deadline, rest) = extract_flag_value(&rest, "--deadline-ms")?;
     let addr = addr.unwrap_or_else(|| ServeConfig::default().addr);
     let mut watch = false;
     let mut source = None;
@@ -2867,6 +2894,18 @@ fn submit(args: &[String]) -> Result<CmdOut, String> {
     } else {
         std::fs::read_to_string(&source)
             .map_err(|e| format!("cannot read job spec {source:?}: {e}"))?
+    };
+    let spec_text = match deadline {
+        Some(d) => {
+            let ms = parse_count("--deadline-ms", &d)?;
+            let ms = i64::try_from(ms).map_err(|_| "--deadline-ms is out of range".to_owned())?;
+            simsym::serve::spec::set_field(
+                &spec_text,
+                "deadline_ms",
+                simsym::serve::spec::SpecValue::Int(ms),
+            )?
+        }
+        None => spec_text,
     };
     let submitted = serve_client::submit_job(&addr, &spec_text)?;
     let mut text = format!(
@@ -2895,6 +2934,34 @@ fn shutdown(args: &[String]) -> Result<CmdOut, String> {
     }
     let addr = addr.unwrap_or_else(|| ServeConfig::default().addr);
     serve_client::shutdown(&addr).and_then(ok)
+}
+
+/// `simsym cancel [--addr HOST:PORT] <job-id>` — cancels a farm job:
+/// dequeues it while queued, or raises its cooperative cancellation
+/// token so the worker stops at the next sweep-job boundary.
+fn cancel(args: &[String]) -> Result<CmdOut, String> {
+    let (addr, rest) = extract_flag_value(args, "--addr")?;
+    let addr = addr.unwrap_or_else(|| ServeConfig::default().addr);
+    let [id] = rest.as_slice() else {
+        return Err("cancel takes exactly one job id".into());
+    };
+    let id: u64 = id
+        .parse()
+        .map_err(|_| format!("cancel needs a numeric job id (got {id:?})"))?;
+    serve_client::cancel_job(&addr, id).and_then(ok)
+}
+
+/// Hidden `panic` command: the farm's panic-isolation test fixture (the
+/// `{"kind": "panic"}` job spec routes here). It accepts the canonical
+/// argv the spec produces and then panics on purpose, proving a worker
+/// panic is caught, retried once, and reported — never fatal to the farm.
+fn panic_fixture(args: &[String]) -> Result<CmdOut, String> {
+    let (seed, rest) = extract_flag_value(args, "--seed")?;
+    if let Some(extra) = rest.iter().find(|a| a.as_str() != "--json") {
+        return Err(format!("panic does not take {extra:?}"));
+    }
+    let seed = seed.unwrap_or_else(|| "0".to_owned());
+    panic!("panic fixture: deliberate panic (seed {seed})");
 }
 
 #[cfg(test)]
@@ -3797,6 +3864,7 @@ mod tests {
                 addr: addr_flag,
                 workers,
                 queue_capacity: queue,
+                ..Default::default()
             },
             Arc::new(DispatchRunner),
         )
@@ -3883,6 +3951,7 @@ mod tests {
                 addr: "127.0.0.1:0".to_owned(),
                 workers: 2,
                 queue_capacity: 8,
+                ..Default::default()
             },
             Arc::clone(&runner) as Arc<dyn JobRunner>,
         )
@@ -4019,5 +4088,91 @@ mod tests {
         assert!(err.contains("job spec"), "{err}");
         let err = call_full(&["serve", "--workers", "0"]).unwrap_err();
         assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn panic_fixture_job_is_isolated_and_the_farm_keeps_serving() {
+        let (addr, handle) = boot_farm(2, 8);
+        let fixture = farm::submit_job(&addr, "{\"kind\": \"panic\", \"seed\": 3}")
+            .expect("submit panic fixture");
+        let verdict = farm::fetch_result(&addr, fixture.job).expect("fixture verdict");
+        assert!(verdict.failed);
+        assert!(
+            verdict.document.contains("SERVE-JOB-PANIC"),
+            "{}",
+            verdict.document
+        );
+        // The dispatcher survived two panics (run + bounded retry) and
+        // ordinary work still flows.
+        let ok = farm::submit_job(
+            &addr,
+            "{\"kind\": \"lint\", \"system\": \"ring:3\", \"static\": true}",
+        )
+        .expect("submit after panic");
+        assert!(!farm::fetch_result(&addr, ok.job).expect("result").failed);
+        farm::shutdown(&addr).expect("shutdown");
+        handle.join().expect("farm thread").expect("farm summary");
+    }
+
+    #[test]
+    fn deadline_ms_kills_a_long_soak_while_the_farm_answers_healthz() {
+        let (addr, handle) = boot_farm(1, 8);
+        // A soak sized to run for many seconds, against a 200ms budget:
+        // the nested sweep observes the deadline at a job boundary.
+        let submitted = farm::submit_job(
+            &addr,
+            "{\"kind\": \"soak\", \"family\": \"ring\", \"budget\": 400, \"deadline_ms\": 200}",
+        )
+        .expect("submit soak");
+        let result = farm::fetch_result(&addr, submitted.job).expect("deadline verdict");
+        assert!(result.failed);
+        assert!(
+            result.document.contains("SERVE-JOB-DEADLINE"),
+            "{}",
+            result.document
+        );
+        let health = farm::healthz(&addr).expect("healthz");
+        assert!(health.contains("\"status\": \"ok\""), "{health}");
+        assert!(health.contains("\"workers\": 1"), "{health}");
+        farm::shutdown(&addr).expect("shutdown");
+        handle.join().expect("farm thread").expect("farm summary");
+    }
+
+    #[test]
+    fn cancel_command_stops_a_running_soak() {
+        let (addr, handle) = boot_farm(1, 8);
+        let submitted = farm::submit_job(
+            &addr,
+            "{\"kind\": \"soak\", \"family\": \"ring\", \"budget\": 400}",
+        )
+        .expect("submit soak");
+        let ack =
+            call_full(&["cancel", "--addr", &addr, &submitted.job.to_string()]).expect("cancel");
+        assert!(ack.text.contains("\"cancelled\": 1"), "{}", ack.text);
+        let result = farm::fetch_result(&addr, submitted.job).unwrap_err();
+        assert!(result.contains("cancelled"), "{result}");
+        farm::shutdown(&addr).expect("shutdown");
+        handle.join().expect("farm thread").expect("farm summary");
+
+        let err = call_full(&["cancel", "not-a-number"]).unwrap_err();
+        assert!(err.contains("numeric job id"), "{err}");
+    }
+
+    #[test]
+    fn submit_deadline_flag_injects_the_spec_field() {
+        let (addr, handle) = boot_farm(1, 8);
+        let out = call_full(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--deadline-ms",
+            "200",
+            "{\"kind\": \"soak\", \"family\": \"ring\", \"budget\": 400}",
+        ])
+        .expect("submit returns the deadline verdict document");
+        assert!(out.failed);
+        assert!(out.text.contains("SERVE-JOB-DEADLINE"), "{}", out.text);
+        farm::shutdown(&addr).expect("shutdown");
+        handle.join().expect("farm thread").expect("farm summary");
     }
 }
