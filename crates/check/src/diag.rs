@@ -144,6 +144,13 @@ pub mod codes {
     /// line is *not* corruption — it is the expected signature of a
     /// crash mid-append and is discarded silently.
     pub const SERVE_JOURNAL_CORRUPT: &str = "SERVE-JOURNAL-CORRUPT";
+    /// A journal append or fsync failed mid-run (disk full, file
+    /// yanked). The journal is poisoned on the spot — nothing is ever
+    /// appended after a possibly-torn partial line — and the farm
+    /// degrades loudly to volatile semantics; the submission that hit
+    /// the failure is answered 503 rather than acknowledged without
+    /// the durability the ack promises.
+    pub const SERVE_JOURNAL_DEGRADED: &str = "SERVE-JOURNAL-DEGRADED";
     /// A client connection idled past the socket read/write timeout
     /// (slowloris guard); the connection was dropped, the farm state is
     /// untouched.
@@ -197,6 +204,7 @@ pub mod codes {
         SERVE_JOB_DEADLINE,
         SERVE_JOB_PANIC,
         SERVE_JOURNAL_CORRUPT,
+        SERVE_JOURNAL_DEGRADED,
         SERVE_CONN_TIMEOUT,
     ];
 }

@@ -41,6 +41,7 @@
 //! truncation property test).
 
 use crate::spec::{self, SpecValue};
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -167,6 +168,9 @@ fn take_str(
 /// panics.
 pub fn replay(bytes: &[u8]) -> Result<Replay, String> {
     let mut jobs: Vec<RecoveredJob> = Vec::new();
+    // id → index into `jobs`, so resolving a lifecycle event is O(1)
+    // and a long-lived farm's journal replays in linear time.
+    let mut index: HashMap<u64, usize> = HashMap::new();
     let mut next_id: u64 = 0;
     let mut valid_len: u64 = 0;
     let mut line_no = 0usize;
@@ -216,6 +220,7 @@ pub fn replay(bytes: &[u8]) -> Result<Replay, String> {
                          (recomputed {fingerprint:016x})"
                     )));
                 }
+                index.insert(id, jobs.len());
                 jobs.push(RecoveredJob {
                     id,
                     spec: spec_text,
@@ -228,7 +233,7 @@ pub fn replay(bytes: &[u8]) -> Result<Replay, String> {
             }
             "start" | "finish" | "cancel" => {
                 let id = take_u64(&mut pairs, "job", line_no)?;
-                let Some(job) = jobs.iter_mut().find(|j| j.id == id) else {
+                let Some(job) = index.get(&id).map(|&i| &mut jobs[i]) else {
                     return Err(corrupt(format!(
                         "line {line_no}: {event} for unknown job {id}"
                     )));
@@ -296,6 +301,9 @@ pub struct JobJournal {
     /// Records appended since the last [`JobJournal::sync`] — the
     /// pending tail that a crash right now would lose.
     pending_records: u64,
+    /// Test seam: force the next append to fail as if the disk did,
+    /// so the farm's degradation path can be exercised.
+    fail_appends: bool,
 }
 
 impl JobJournal {
@@ -332,6 +340,7 @@ impl JobJournal {
             file,
             path,
             pending_records: 0,
+            fail_appends: false,
         };
         if recovered.valid_len == 0 {
             journal.append(&format!("{{\"schema\": \"{JOURNAL_SCHEMA}\"}}"))?;
@@ -349,6 +358,12 @@ impl JobJournal {
     /// Write failures (disk full, journal file removed underneath us).
     pub fn append(&mut self, line: &str) -> Result<(), String> {
         debug_assert!(!line.contains('\n'), "journal records are single lines");
+        if self.fail_appends {
+            return Err(format!(
+                "cannot append to journal {}: injected test failure",
+                self.path.display()
+            ));
+        }
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.write_all(b"\n"))
@@ -375,6 +390,14 @@ impl JobJournal {
     /// shutdown regression test).
     pub fn pending_records(&self) -> u64 {
         self.pending_records
+    }
+
+    /// Makes every subsequent [`JobJournal::append`] fail, as a
+    /// transient disk error would — the seam the journal-degradation
+    /// test drives.
+    #[cfg(test)]
+    pub(crate) fn inject_append_failure(&mut self) {
+        self.fail_appends = true;
     }
 }
 
@@ -425,9 +448,12 @@ pub fn artifact_path(state_dir: &Path, fingerprint: u64) -> PathBuf {
 }
 
 /// Spills an artifact to the on-disk store, durably (write to a
-/// temporary sibling, sync, rename), **before** the `finish` record is
-/// journaled — the same write-ahead order the in-VM journal uses, so a
-/// durable `finish ok` always has its artifact bytes on disk.
+/// temporary sibling, sync, rename, sync the store directory),
+/// **before** the `finish` record is journaled — the same write-ahead
+/// order the in-VM journal uses, so a durable `finish ok` always has
+/// its artifact bytes on disk. The directory fsync matters: without it
+/// the rename itself can be lost to `kill -9`, leaving a durable
+/// `finish ok` record whose artifact never made it.
 ///
 /// # Errors
 ///
@@ -441,7 +467,12 @@ pub fn write_artifact(state_dir: &Path, fingerprint: u64, document: &str) -> Res
         .and_then(|()| file.sync_data())
         .map_err(|e| format!("cannot write artifact {}: {e}", tmp.display()))?;
     drop(file);
-    fs::rename(&tmp, &path).map_err(|e| format!("cannot commit artifact {}: {e}", path.display()))
+    fs::rename(&tmp, &path)
+        .map_err(|e| format!("cannot commit artifact {}: {e}", path.display()))?;
+    let store = state_dir.join(STORE_DIR);
+    File::open(&store)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| format!("cannot sync artifact store {}: {e}", store.display()))
 }
 
 /// Reads a spilled artifact back; `None` when the store has no bytes

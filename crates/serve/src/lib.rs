@@ -32,7 +32,10 @@
 //! at a sweep-job boundary by its `deadline_ms`), `SERVE-JOB-PANIC`
 //! (job panicked on both its run and its one bounded retry),
 //! `SERVE-CONN-TIMEOUT` (slowloris guard), `SERVE-JOURNAL-CORRUPT`
-//! (unrecoverable `--state-dir` journal).
+//! (unrecoverable `--state-dir` journal), `SERVE-JOURNAL-DEGRADED`
+//! (a journal write failed mid-run: the journal is poisoned — never
+//! appended past a possibly-torn line — the failing submission is
+//! refused, and the farm degrades loudly to volatile semantics).
 //!
 //! ## Crash safety
 //!
@@ -182,6 +185,12 @@ struct Job {
     cancel: Arc<AtomicBool>,
     /// Runs consumed so far: a first-run panic re-queues once.
     attempts: u32,
+    /// The journal already holds a terminal record for this job — it
+    /// was demoted to re-run only because its artifact bytes went
+    /// missing. Its re-execution must not journal lifecycle records:
+    /// replay treats start/finish/cancel after a terminal record as
+    /// corruption, and a self-written journal must never fail to bind.
+    journaled_terminal: bool,
 }
 
 impl Job {
@@ -196,6 +205,7 @@ impl Job {
             deadline_ms,
             cancel: Arc::new(AtomicBool::new(false)),
             attempts: 0,
+            journaled_terminal: false,
         }
     }
 }
@@ -253,24 +263,58 @@ impl Farm {
     }
 
     /// Appends one record to the job journal (no-op on a volatile
-    /// farm). Journal I/O failures are loud but non-fatal: the farm
-    /// keeps serving and degrades to volatile semantics.
-    fn journal_append(st: &mut FarmState, line: &str) {
-        if let Some(j) = st.journal.as_mut() {
-            if let Err(e) = j.append(line) {
-                eprintln!("simsym serve: journal write failed: {e}");
-            }
+    /// farm). A failed append may have torn a partial line mid-file, so
+    /// the journal is poisoned on the spot — appending anything after
+    /// the fragment would make the next restart fail with
+    /// `SERVE-JOURNAL-CORRUPT`. Returns `false` exactly when durability
+    /// was just lost.
+    fn journal_append(st: &mut FarmState, line: &str) -> bool {
+        let Some(j) = st.journal.as_mut() else {
+            return true;
+        };
+        if let Err(e) = j.append(line) {
+            Farm::poison_journal(st, &e);
+            return false;
         }
+        true
     }
 
     /// The fsync boundary: called before any acknowledgement that
-    /// depends on the appended records being durable.
-    fn journal_sync(st: &mut FarmState) {
-        if let Some(j) = st.journal.as_mut() {
-            if let Err(e) = j.sync() {
-                eprintln!("simsym serve: journal sync failed: {e}");
-            }
+    /// depends on the appended records being durable. A failed sync
+    /// poisons the journal like a failed append: the durability the
+    /// farm promises can no longer be delivered. Returns `false`
+    /// exactly when durability was just lost.
+    fn journal_sync(st: &mut FarmState) -> bool {
+        let Some(j) = st.journal.as_mut() else {
+            return true;
+        };
+        if let Err(e) = j.sync() {
+            Farm::poison_journal(st, &e);
+            return false;
         }
+        true
+    }
+
+    /// Drops the journal after an append/sync failure and tells the
+    /// operator once, loudly: volatile semantics from here on.
+    fn poison_journal(st: &mut FarmState, why: &str) {
+        st.journal = None;
+        eprintln!(
+            "simsym serve: {why}; disabling the job journal for the rest of this run \
+             (jobs accepted from here on are NOT crash-safe)"
+        );
+    }
+
+    /// Journals a lifecycle record for job `id` — unless the journal
+    /// already holds a terminal record for it (a job demoted to re-run
+    /// after its artifact bytes went missing), in which case the record
+    /// is skipped: the journal's verdict for the job is already right,
+    /// and replay would reject a second lifecycle as corruption.
+    fn journal_job(st: &mut FarmState, id: u64, line: &str) {
+        if st.jobs.get(&id).is_some_and(|j| j.journaled_terminal) {
+            return;
+        }
+        Farm::journal_append(st, line);
     }
 
     /// Submits a spec. Returns the response body and HTTP status.
@@ -349,12 +393,27 @@ impl Farm {
         st.jobs.insert(id, job);
         // Write-ahead: the submit record is durable before the job is
         // visible to the dispatcher and before the client gets its ack —
-        // an acknowledged job can never be lost to a crash.
-        Farm::journal_append(
+        // an acknowledged job can never be lost to a crash. If the
+        // record cannot be made durable the ack would be a lie, so the
+        // submission is refused instead (the journal is poisoned by the
+        // failure; a retry lands on the now-volatile farm and is
+        // accepted under the weaker contract it advertises).
+        let durable = Farm::journal_append(
             &mut st,
             &journal::record::submit(id, fingerprint, runner_spec),
-        );
-        Farm::journal_sync(&mut st);
+        ) && Farm::journal_sync(&mut st);
+        if !durable {
+            st.jobs.remove(&id);
+            st.summary.rejected += 1;
+            return (
+                503,
+                error_body(
+                    codes::SERVE_JOURNAL_DEGRADED,
+                    "the job journal failed mid-write; the submission was not made durable — \
+                     the farm has degraded to volatile semantics, resubmit to accept that",
+                ),
+            );
+        }
         st.queue.push_back(id);
         self.cv.notify_all();
         (
@@ -377,7 +436,7 @@ impl Farm {
                 st.queue.retain(|&q| q != id);
                 let job = st.jobs.get_mut(&id).expect("job exists");
                 job.state = JobState::Cancelled;
-                Farm::journal_append(&mut st, &journal::record::cancel(id));
+                Farm::journal_job(&mut st, id, &journal::record::cancel(id));
                 Farm::journal_sync(&mut st);
                 Farm::event(
                     &mut st,
@@ -466,7 +525,7 @@ impl Farm {
                 job.state = JobState::Running;
             }
             st.in_flight += 1;
-            Farm::journal_append(&mut st, &journal::record::start(id));
+            Farm::journal_job(&mut st, id, &journal::record::start(id));
             Farm::event(
                 &mut st,
                 id,
@@ -501,7 +560,7 @@ impl Farm {
             if let Some(job) = st.jobs.get_mut(&id) {
                 job.state = JobState::Cancelled;
             }
-            Farm::journal_append(&mut st, &journal::record::cancel(id));
+            Farm::journal_job(&mut st, id, &journal::record::cancel(id));
             Farm::journal_sync(&mut st);
             Farm::event(
                 &mut st,
@@ -530,8 +589,9 @@ impl Farm {
                 job.state = JobState::Done;
                 job.document = Some(artifact);
             }
-            Farm::journal_append(
+            Farm::journal_job(
                 &mut st,
+                id,
                 &journal::record::finish(id, journal::Disposition::Deadline),
             );
             Farm::journal_sync(&mut st);
@@ -582,8 +642,9 @@ impl Farm {
                             job.state = JobState::Done;
                             job.document = Some(artifact);
                         }
-                        Farm::journal_append(
+                        Farm::journal_job(
                             &mut st,
+                            id,
                             &journal::record::finish(id, journal::Disposition::Panic),
                         );
                         Farm::journal_sync(&mut st);
@@ -628,8 +689,9 @@ impl Farm {
                         job.state = JobState::Done;
                         job.document = Some(artifact);
                     }
-                    Farm::journal_append(
+                    Farm::journal_job(
                         &mut st,
+                        id,
                         &journal::record::finish(id, journal::Disposition::Ok { failed }),
                     );
                     Farm::journal_sync(&mut st);
@@ -877,6 +939,14 @@ fn recover_jobs(
                     state.store.insert(rj.fingerprint, artifact);
                     artifacts += 1;
                 } else {
+                    // Demoted: the journal's verdict stands (terminal,
+                    // ok) but the artifact bytes are gone, so the job
+                    // re-runs to regenerate them. The re-execution is
+                    // NOT journaled — the journal already holds this
+                    // job's terminal record, and replay would read a
+                    // second start/finish as corruption, bricking the
+                    // state dir on the restart after this one.
+                    job.journaled_terminal = true;
                     state.queue.push_back(rj.id);
                     requeued += 1;
                 }
@@ -933,6 +1003,38 @@ fn io_request_error(e: &std::io::Error) -> RequestError {
     }
 }
 
+/// Total byte cap on the request line plus every header line. Without
+/// it a malicious client could grow a handler thread's memory without
+/// bound by never sending a newline (the body is already capped).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Reads one `\n`-terminated line, charging its bytes against the
+/// request's shared head `budget`; a line (or an accumulation of lines)
+/// past the budget is rejected with a 400, never buffered.
+fn read_head_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(|e| io_request_error(&e))?;
+        if buf.is_empty() {
+            break; // EOF mid-line; the caller rejects the fragment.
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map_or(buf.len(), |i| i + 1);
+        if take > *budget {
+            return Err(RequestError::Bad(format!(
+                "request head exceeds the {MAX_HEAD_BYTES}-byte cap"
+            )));
+        }
+        *budget -= take;
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if nl.is_some() {
+            break;
+        }
+    }
+    String::from_utf8(line).map_err(|_| RequestError::Bad("request head is not UTF-8".into()))
+}
+
 fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     let bad = |m: &str| RequestError::Bad(m.to_owned());
     let mut reader = BufReader::new(
@@ -940,10 +1042,8 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
             .try_clone()
             .map_err(|e| RequestError::Bad(e.to_string()))?,
     );
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| io_request_error(&e))?;
+    let mut budget = MAX_HEAD_BYTES;
+    let line = read_head_line(&mut reader, &mut budget)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -955,10 +1055,7 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
         .to_owned();
     let mut content_length = 0usize;
     loop {
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| io_request_error(&e))?;
+        let header = read_head_line(&mut reader, &mut budget)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -1565,6 +1662,113 @@ mod tests {
         assert_eq!(summary.completed, 1);
         assert_eq!(summary.cache_hits, 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_artifact_rerun_does_not_brick_the_journal() {
+        let dir = state_dir("demote-rerun");
+        let mut config = test_config(1, 8);
+        config.state_dir = Some(dir.to_string_lossy().into_owned());
+        let spec = "{\"kind\": \"lint\", \"system\": \"ring:3\"}";
+
+        // Life 1: run one job to completion, drain cleanly.
+        let (addr, handle) = spawn_server(config.clone(), Arc::new(EchoRunner));
+        let a = client::submit_job(&addr, spec).expect("submit");
+        let first_doc = client::fetch_result(&addr, a.job).expect("result").document;
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread");
+
+        // Lose the artifact bytes; the journal still says `finish ok`.
+        let argv = spec::job_argv(spec).expect("spec");
+        let artifact = journal::artifact_path(&dir, job_fingerprint(&argv));
+        std::fs::remove_file(&artifact).expect("artifact existed");
+
+        // Life 2: the job is demoted to unfinished and re-run. The
+        // re-execution must not journal a second start/finish for a job
+        // the journal already holds as terminal.
+        let server = Server::bind(config.clone(), Arc::new(EchoRunner)).expect("life 2 bind");
+        assert_eq!(server.recovery(), (1, 0));
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        let rerun = client::fetch_result(&addr, a.job).expect("re-run result");
+        assert_eq!(rerun.document, first_doc, "deterministic re-execution");
+        client::shutdown(&addr).expect("shutdown");
+        handle.join().expect("server thread");
+
+        // Life 3: the self-written journal must still bind — and the
+        // re-run regenerated the artifact, so the job is served from
+        // disk again instead of being re-queued a second time.
+        let server = Server::bind(config, Arc::new(EchoRunner)).expect("life 3 bind");
+        assert_eq!(server.recovery(), (0, 1));
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_write_failure_degrades_to_volatile_and_refuses_the_ack() {
+        let dir = state_dir("degrade");
+        let mut config = test_config(1, 8);
+        config.state_dir = Some(dir.to_string_lossy().into_owned());
+        let server = Server::bind(config, Arc::new(EchoRunner)).expect("bind");
+        server
+            .farm
+            .lock()
+            .journal
+            .as_mut()
+            .expect("journaled farm")
+            .inject_append_failure();
+        // The submit whose record cannot be made durable is refused —
+        // a 200 here would promise crash-safety the farm cannot keep.
+        let (status, body) = server
+            .farm
+            .submit("{\"kind\": \"lint\", \"system\": \"ring:3\"}");
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("SERVE-JOURNAL-DEGRADED"), "{body}");
+        {
+            let st = server.farm.lock();
+            assert!(st.journal.is_none(), "journal must be poisoned");
+            assert!(st.queue.is_empty(), "refused job must not be queued");
+            assert!(st.jobs.is_empty(), "refused job must not linger");
+        }
+        // Nothing was appended past the failure: the on-disk journal
+        // still replays cleanly on the next restart.
+        let bytes = std::fs::read(dir.join(journal::JOURNAL_FILE)).expect("journal");
+        journal::replay(&bytes).expect("clean journal after poisoning");
+        // The farm lives on, volatile: a retry is accepted.
+        let (status, body) = server
+            .farm
+            .submit("{\"kind\": \"lint\", \"system\": \"ring:3\"}");
+        assert_eq!(status, 200, "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_head_is_bounded() {
+        // One header line far past the cap is rejected, not buffered.
+        let mut budget = MAX_HEAD_BYTES;
+        let huge = format!("X-Flood: {}\r\n", "a".repeat(2 * MAX_HEAD_BYTES));
+        let mut reader: &[u8] = huge.as_bytes();
+        match read_head_line(&mut reader, &mut budget) {
+            Err(RequestError::Bad(m)) => assert!(m.contains("cap"), "{m}"),
+            other => panic!("oversized line must be rejected, got {:?}", other.is_ok()),
+        }
+        // Many small headers exhaust the same shared budget.
+        let many = "X-H: v\r\n".repeat(4 * 1024);
+        let mut reader: &[u8] = many.as_bytes();
+        let mut budget = MAX_HEAD_BYTES;
+        let mut rejected = false;
+        for _ in 0..(4 * 1024) {
+            match read_head_line(&mut reader, &mut budget) {
+                Ok(_) => {}
+                Err(RequestError::Bad(m)) => {
+                    assert!(m.contains("cap"), "{m}");
+                    rejected = true;
+                    break;
+                }
+                Err(RequestError::Timeout) => panic!("not a timeout"),
+            }
+        }
+        assert!(rejected, "the shared head budget must run out");
     }
 
     #[test]
